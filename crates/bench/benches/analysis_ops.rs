@@ -1,0 +1,77 @@
+//! Criterion benchmarks of the structural-analysis layer added on top of the
+//! paper's substrate: shortest-path counting, edge-disjoint path diversity,
+//! survivability reports and root-selection policies. These are the
+//! operations a fabric manager would run after every failure event, so their
+//! cost matters even though they are off the simulator's critical path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hyperx_topology::{
+    edge_disjoint_paths, shortest_path_count, survivability_under_faults, DistanceHistogram,
+    FaultSet, HyperX, RootPolicy,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn bench_path_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis/paths");
+    let hx = HyperX::regular(3, 8);
+    let a = hx.switch_id(&[0, 0, 0]);
+    let b = hx.switch_id(&[7, 7, 7]);
+    group.bench_function("shortest_path_count_8x8x8", |bch| {
+        bch.iter(|| black_box(shortest_path_count(hx.network(), a, b)))
+    });
+    group.bench_function("edge_disjoint_paths_8x8x8", |bch| {
+        bch.iter(|| black_box(edge_disjoint_paths(hx.network(), a, b)))
+    });
+    group.finish();
+}
+
+fn bench_histograms_and_survivability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis/global");
+    group.sample_size(10);
+    let hx = HyperX::regular(2, 16);
+    group.bench_function("distance_histogram_16x16", |bch| {
+        bch.iter(|| black_box(DistanceHistogram::from_network(hx.network())))
+    });
+    let healthy = hx.network().clone();
+    let mut faulty = healthy.clone();
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    FaultSet::random_sequence(&healthy, 100, &mut rng).apply(&mut faulty);
+    group.bench_function("survivability_100faults_200pairs", |bch| {
+        bch.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(7);
+            black_box(survivability_under_faults(
+                &healthy,
+                &faulty,
+                Some(200),
+                &mut rng,
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_root_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis/root_selection");
+    group.sample_size(10);
+    let hx = HyperX::regular(3, 8);
+    let mut net = hx.network().clone();
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    FaultSet::random_sequence(&net, 100, &mut rng).apply(&mut net);
+    group.bench_function("max_alive_degree_8x8x8", |bch| {
+        bch.iter(|| black_box(RootPolicy::MaxAliveDegree.select(&net)))
+    });
+    group.bench_function("min_eccentricity_8x8x8", |bch| {
+        bch.iter(|| black_box(RootPolicy::MinEccentricity.select(&net)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_path_analysis,
+    bench_histograms_and_survivability,
+    bench_root_selection
+);
+criterion_main!(benches);

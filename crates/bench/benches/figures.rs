@@ -1,0 +1,62 @@
+//! Criterion benchmarks of whole figure-sized experiment points (scaled-down
+//! topologies, short windows), one per experiment family. These track the
+//! end-to-end cost of regenerating the paper's evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hyperx_routing::MechanismSpec;
+use hyperx_topology::{diameter_under_fault_sequence, FaultSet, HyperX};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+use surepath_core::{Experiment, FaultScenario, TrafficSpec};
+
+fn point(mechanism: MechanismSpec, traffic: TrafficSpec, scenario: FaultScenario) -> Experiment {
+    let mut e = Experiment::quick_3d(mechanism, traffic).with_scenario(scenario);
+    e.sim.warmup_cycles = 200;
+    e.sim.measure_cycles = 600;
+    e
+}
+
+fn bench_figure_points(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures/one_point_quick3d");
+    group.sample_size(10);
+    group.bench_function("fig5_uniform_polsp", |b| {
+        let e = point(MechanismSpec::PolSP, TrafficSpec::Uniform, FaultScenario::None);
+        b.iter(|| black_box(e.run_rate(0.6)))
+    });
+    group.bench_function("fig5_rpn_omnisp", |b| {
+        let e = point(
+            MechanismSpec::OmniSP,
+            TrafficSpec::RegularPermutationToNeighbour,
+            FaultScenario::None,
+        );
+        b.iter(|| black_box(e.run_rate(0.6)))
+    });
+    group.bench_function("fig6_30faults_polsp", |b| {
+        let e = point(
+            MechanismSpec::PolSP,
+            TrafficSpec::Uniform,
+            FaultScenario::Random { count: 30, seed: 5 },
+        )
+        .with_num_vcs(4);
+        b.iter(|| black_box(e.run_rate(0.8)))
+    });
+    group.finish();
+}
+
+fn bench_figure1_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures/fig1_diameter_curve");
+    group.sample_size(10);
+    let hx = HyperX::regular(3, 4);
+    group.bench_function("quick_sequence", |b| {
+        b.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(11);
+            let seq = FaultSet::random_sequence(hx.network(), 100, &mut rng);
+            black_box(diameter_under_fault_sequence(hx.network(), &seq, 10))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure_points, bench_figure1_analysis);
+criterion_main!(benches);

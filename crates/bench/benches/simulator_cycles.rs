@@ -1,0 +1,60 @@
+//! Criterion micro-benchmarks of the simulation engine: cycles per second at
+//! a moderate load for the SurePath mechanisms on the quick topologies.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hyperx_routing::MechanismSpec;
+use std::hint::black_box;
+use surepath_core::{Experiment, TrafficSpec};
+
+fn warm_simulator(spec: MechanismSpec, dims: usize) -> hyperx_sim::Simulator {
+    let mut e = match dims {
+        2 => Experiment::quick_2d(spec, TrafficSpec::Uniform),
+        _ => Experiment::quick_3d(spec, TrafficSpec::Uniform),
+    };
+    // Fill the network with traffic before measuring per-cycle cost.
+    e.sim.warmup_cycles = 500;
+    e.sim.measure_cycles = 1;
+    let mut sim = e.build_simulator();
+    sim.run_rate(0.6);
+    sim
+}
+
+fn bench_cycles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator/cycles_at_load_0.6");
+    group.sample_size(10);
+    for (name, spec, dims) in [
+        ("OmniSP_8x8", MechanismSpec::OmniSP, 2usize),
+        ("PolSP_8x8", MechanismSpec::PolSP, 2),
+        ("PolSP_4x4x4", MechanismSpec::PolSP, 3),
+        ("Minimal_8x8", MechanismSpec::Minimal, 2),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_batched_ref(
+                || warm_simulator(spec, dims),
+                |sim| {
+                    for _ in 0..200 {
+                        sim.step();
+                    }
+                    black_box(sim.total_delivered())
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_simulator_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator/construction");
+    group.sample_size(10);
+    group.bench_function("quick_3d_polsp", |b| {
+        b.iter(|| {
+            let e = Experiment::quick_3d(MechanismSpec::PolSP, TrafficSpec::Uniform);
+            black_box(e.build_simulator())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cycles, bench_simulator_construction);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Figure 5: fault-free performance on the 3D HyperX — the same sweep as
+//! Figure 4 plus the Regular Permutation to Neighbour pattern that separates
+//! Omnidimensional routes from Polarized routes.
+
+use hyperx_bench::{experiment_3d, load_grid, HarnessOptions};
+use hyperx_routing::MechanismSpec;
+use surepath_core::{format_rate_table, rate_metrics_to_csv, sweep_mechanisms, FaultScenario, TrafficSpec};
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let loads = load_grid(opts.scale);
+    let mechanisms = MechanismSpec::fault_free_lineup();
+    let mut all_points = Vec::new();
+    for traffic in TrafficSpec::lineup_3d() {
+        println!("=== Figure 5 / {} ===", traffic.name());
+        let template = experiment_3d(opts.scale, MechanismSpec::OmniSP, traffic);
+        let points = sweep_mechanisms(&template, &mechanisms, traffic, &FaultScenario::None, &loads);
+        println!("{}", format_rate_table(&points));
+        all_points.extend(points);
+    }
+    println!("Paper shapes to check: under Regular Permutation to Neighbour, OmniWAR/OmniSP stay");
+    println!("near 0.5 while Polarized/PolSP exceed it; SurePath variants lead the other patterns.");
+    opts.maybe_write_csv(&rate_metrics_to_csv(&all_points));
+}

@@ -1,0 +1,84 @@
+//! Figure 6: accepted load of OmniSP and PolSP as random link failures
+//! accumulate (0 to 100 faults in the paper), for every traffic pattern, in
+//! both the 2D and the 3D HyperX. SurePath runs with 4 VCs (3 routing + 1
+//! escape), the configuration the paper highlights as a 33% VC saving.
+
+use hyperx_bench::{experiment_2d, experiment_3d, fault_steps, saturation_load, HarnessOptions, Scale};
+use hyperx_routing::MechanismSpec;
+use surepath_core::{Experiment, FaultScenario, TrafficSpec};
+
+const FAULT_SEED: u64 = 20_240_404;
+
+fn run_network(
+    name: &str,
+    patterns: &[TrafficSpec],
+    make: impl Fn(MechanismSpec, TrafficSpec) -> Experiment,
+    steps: &[usize],
+    csv: &mut String,
+) {
+    println!("=== Figure 6 / {name} ===");
+    let load = saturation_load();
+    print!("{:>28} ", "pattern / mechanism");
+    for count in steps {
+        print!("{:>8}", format!("f={count}"));
+    }
+    println!();
+    for &traffic in patterns {
+        for mechanism in MechanismSpec::surepath_lineup() {
+            print!("{:>28} ", format!("{} / {}", traffic.name(), mechanism.name()));
+            for &count in steps {
+                let experiment = make(mechanism, traffic)
+                    .with_scenario(FaultScenario::Random {
+                        count,
+                        seed: FAULT_SEED,
+                    })
+                    .with_num_vcs(4);
+                let metrics = experiment.run_rate(load);
+                print!("{:>8.3}", metrics.accepted_load);
+                csv.push_str(&format!(
+                    "{name},{},{},{count},{:.6},{:.3},{:.5}\n",
+                    mechanism.name(),
+                    traffic.name().replace(',', ";"),
+                    metrics.accepted_load,
+                    metrics.average_latency,
+                    metrics.jain_generated
+                ));
+            }
+            println!();
+        }
+    }
+    println!();
+}
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let steps = fault_steps(opts.scale);
+    let mut csv =
+        String::from("network,mechanism,traffic,faults,accepted_load,average_latency,jain\n");
+
+    let patterns_2d = TrafficSpec::lineup_2d();
+    run_network(
+        "2D HyperX",
+        &patterns_2d,
+        |m, t| experiment_2d(opts.scale, m, t),
+        &steps,
+        &mut csv,
+    );
+
+    let patterns_3d: Vec<TrafficSpec> = if opts.scale == Scale::Quick {
+        TrafficSpec::lineup_3d().to_vec()
+    } else {
+        TrafficSpec::lineup_3d().to_vec()
+    };
+    run_network(
+        "3D HyperX",
+        &patterns_3d,
+        |m, t| experiment_3d(opts.scale, m, t),
+        &steps,
+        &mut csv,
+    );
+
+    println!("Paper shape to check: degradation is smooth — Uniform drops roughly from 0.9 to 0.8");
+    println!("over 100 faults on the full-size networks, the adversarial patterns barely move.");
+    opts.maybe_write_csv(&csv);
+}

@@ -1,0 +1,72 @@
+//! Figure 10: completion time of a fixed batch of Regular Permutation to
+//! Neighbour traffic under the Star fault configuration, for OmniSP and PolSP.
+//!
+//! The paper sends 8000 phits (500 packets of 16 phits) per server and shows
+//! that although OmniSP sustains a higher peak accepted load, its completion
+//! time is about 2.8× PolSP's because the servers at the almost-isolated
+//! escape root become stragglers.
+
+use hyperx_bench::{experiment_3d, HarnessOptions, Scale};
+use hyperx_routing::MechanismSpec;
+use hyperx_topology::FaultShape;
+use surepath_core::{BatchMetrics, FaultScenario, TrafficSpec};
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let (scenario, packets_per_server, sample_window) = match opts.scale {
+        Scale::Paper => (FaultScenario::star_3d(), 500u64, 5_000u64),
+        Scale::Quick => (
+            FaultScenario::Shape(FaultShape::Cross {
+                center: vec![2, 2, 2],
+                margin: 1,
+            }),
+            60u64,
+            1_000u64,
+        ),
+    };
+    println!(
+        "Figure 10: completion time, Regular Permutation to Neighbour, Star faults, {} packets/server",
+        packets_per_server
+    );
+    println!();
+
+    let mut results: Vec<(&str, BatchMetrics)> = Vec::new();
+    for mechanism in MechanismSpec::surepath_lineup() {
+        let experiment = experiment_3d(opts.scale, mechanism, TrafficSpec::RegularPermutationToNeighbour)
+            .with_scenario(scenario.clone())
+            .with_num_vcs(4);
+        let metrics = experiment.run_batch(packets_per_server, sample_window);
+        println!(
+            "{}: completion time {} cycles, {} packets delivered, average latency {:.1} cycles{}",
+            mechanism.name(),
+            metrics.completion_time,
+            metrics.delivered_packets,
+            metrics.average_latency,
+            if metrics.stalled { " (STALLED)" } else { "" }
+        );
+        results.push((mechanism.name(), metrics));
+    }
+    println!();
+
+    // Throughput-over-time series (the curve of Figure 10).
+    let mut csv = String::from("mechanism,cycle,accepted_load\n");
+    for (name, metrics) in &results {
+        println!("accepted load over time for {name}:");
+        for sample in &metrics.samples {
+            println!("  cycle {:>8}: {:.3}", sample.cycle, sample.accepted_load);
+            csv.push_str(&format!("{name},{},{:.6}\n", sample.cycle, sample.accepted_load));
+        }
+        println!();
+    }
+
+    if results.len() == 2 {
+        let omni = results.iter().find(|(n, _)| *n == "OmniSP").unwrap();
+        let pol = results.iter().find(|(n, _)| *n == "PolSP").unwrap();
+        let ratio = omni.1.completion_time as f64 / pol.1.completion_time.max(1) as f64;
+        println!(
+            "OmniSP completion time is {ratio:.2}x PolSP's (the paper reports about 2.8x on the \
+             full-size network)."
+        );
+    }
+    opts.maybe_write_csv(&csv);
+}

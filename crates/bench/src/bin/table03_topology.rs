@@ -1,0 +1,21 @@
+//! Table 3: topological parameters of the evaluated HyperX networks.
+
+use hyperx_bench::HarnessOptions;
+use hyperx_topology::HyperX;
+use surepath_core::topology_table;
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let table = topology_table(&[
+        ("2D HyperX 16x16", HyperX::regular(2, 16), 16),
+        ("3D HyperX 8x8x8", HyperX::regular(3, 8), 8),
+        ("quick 2D 8x8", HyperX::regular(2, 8), 8),
+        ("quick 3D 4x4x4", HyperX::regular(3, 4), 4),
+    ]);
+    println!("Table 3: topological parameters");
+    println!();
+    println!("{table}");
+    println!("Paper values (2D): 256 switches, radix 46, 4096 servers, 3840 links, diameter 2, avg 1.8");
+    println!("Paper values (3D): 512 switches, radix 29, 4096 servers, 5376 links, diameter 3, avg 2.625");
+    opts.maybe_write_csv(&table);
+}

@@ -1,0 +1,17 @@
+//! Table 4: the routing mechanisms evaluated and their virtual-channel usage.
+
+use hyperx_bench::HarnessOptions;
+use surepath_core::format_mechanism_table;
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let table = format_mechanism_table();
+    println!("Table 4: routing mechanisms evaluated");
+    println!();
+    println!("{table}");
+    println!(
+        "All mechanisms are compared with the same 2n VCs per port (4 in 2D, 6 in 3D); the \
+         SurePath configurations additionally run the fault experiments with only 4 VCs."
+    );
+    opts.maybe_write_csv(&table);
+}

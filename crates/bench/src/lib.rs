@@ -1,0 +1,143 @@
+//! # hyperx-bench
+//!
+//! The benchmark harness of the SurePath reproduction. Each binary in
+//! `src/bin/` regenerates the data behind one table or figure of the paper
+//! (see DESIGN.md for the experiment index); the Criterion benches in
+//! `benches/` measure the hot paths of the topology, routing and simulation
+//! layers.
+//!
+//! Every figure binary accepts:
+//!
+//! * `--quick` (default) — scaled-down topologies (8×8 and 4×4×4) and short
+//!   measurement windows, so the whole suite runs on a laptop in minutes;
+//! * `--full` — the paper's 16×16 and 8×8×8 networks with Table 2 windows
+//!   (hours of CPU time; the shapes are the same, the absolute numbers larger);
+//! * `--csv <path>` — additionally write the results as CSV.
+
+use hyperx_routing::MechanismSpec;
+use surepath_core::{Experiment, TrafficSpec};
+
+/// Which topology/window scale a figure binary runs at.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Scaled-down topologies and short windows (default).
+    Quick,
+    /// The paper's full-size topologies and windows.
+    Paper,
+}
+
+/// Command-line options shared by every figure binary.
+#[derive(Clone, Debug)]
+pub struct HarnessOptions {
+    /// Scale of the experiment.
+    pub scale: Scale,
+    /// Optional path for a CSV copy of the results.
+    pub csv: Option<String>,
+}
+
+impl HarnessOptions {
+    /// Parses the options from `std::env::args`, exiting with a usage message
+    /// on unknown flags.
+    pub fn from_args() -> Self {
+        let mut scale = Scale::Quick;
+        let mut csv = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--quick" => scale = Scale::Quick,
+                "--full" | "--paper" => scale = Scale::Paper,
+                "--csv" => {
+                    csv = Some(args.next().unwrap_or_else(|| {
+                        eprintln!("--csv requires a path");
+                        std::process::exit(2);
+                    }));
+                }
+                "--help" | "-h" => {
+                    println!("usage: [--quick|--full] [--csv <path>]");
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown argument: {other}");
+                    eprintln!("usage: [--quick|--full] [--csv <path>]");
+                    std::process::exit(2);
+                }
+            }
+        }
+        HarnessOptions { scale, csv }
+    }
+
+    /// Writes `contents` to the CSV path if one was requested.
+    pub fn maybe_write_csv(&self, contents: &str) {
+        if let Some(path) = &self.csv {
+            std::fs::write(path, contents).unwrap_or_else(|e| {
+                eprintln!("could not write {path}: {e}");
+                std::process::exit(1);
+            });
+            println!("(results also written to {path})");
+        }
+    }
+}
+
+/// The 2D experiment template at the given scale.
+pub fn experiment_2d(scale: Scale, mechanism: MechanismSpec, traffic: TrafficSpec) -> Experiment {
+    match scale {
+        Scale::Quick => Experiment::quick_2d(mechanism, traffic),
+        Scale::Paper => Experiment::paper_2d(mechanism, traffic),
+    }
+}
+
+/// The 3D experiment template at the given scale.
+pub fn experiment_3d(scale: Scale, mechanism: MechanismSpec, traffic: TrafficSpec) -> Experiment {
+    match scale {
+        Scale::Quick => Experiment::quick_3d(mechanism, traffic),
+        Scale::Paper => Experiment::paper_3d(mechanism, traffic),
+    }
+}
+
+/// The offered-load grid used by the fault-free sweeps at the given scale.
+pub fn load_grid(scale: Scale) -> Vec<f64> {
+    match scale {
+        Scale::Quick => vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0],
+        Scale::Paper => surepath_core::paper_load_grid(),
+    }
+}
+
+/// The random-fault counts of Figure 6 at the given scale.
+pub fn fault_steps(scale: Scale) -> Vec<usize> {
+    match scale {
+        Scale::Quick => (0..=5).map(|i| i * 10).collect(),
+        Scale::Paper => (0..=10).map(|i| i * 10).collect(),
+    }
+}
+
+/// The offered load the bar-chart fault experiments (Figures 8 and 9) use:
+/// high enough to be at or past saturation for every mechanism.
+pub fn saturation_load() -> f64 {
+    0.9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_pick_the_right_topologies() {
+        let q = experiment_2d(Scale::Quick, MechanismSpec::OmniSP, TrafficSpec::Uniform);
+        assert_eq!(q.sides, vec![8, 8]);
+        let p = experiment_2d(Scale::Paper, MechanismSpec::OmniSP, TrafficSpec::Uniform);
+        assert_eq!(p.sides, vec![16, 16]);
+        let q3 = experiment_3d(Scale::Quick, MechanismSpec::PolSP, TrafficSpec::Uniform);
+        assert_eq!(q3.sides, vec![4, 4, 4]);
+        let p3 = experiment_3d(Scale::Paper, MechanismSpec::PolSP, TrafficSpec::Uniform);
+        assert_eq!(p3.sides, vec![8, 8, 8]);
+    }
+
+    #[test]
+    fn grids_are_well_formed() {
+        assert_eq!(load_grid(Scale::Paper).len(), 20);
+        assert_eq!(load_grid(Scale::Quick).len(), 10);
+        assert_eq!(fault_steps(Scale::Quick).last(), Some(&50));
+        assert_eq!(fault_steps(Scale::Paper).last(), Some(&100));
+        assert!(saturation_load() > 0.8);
+    }
+}

@@ -1,0 +1,419 @@
+//! Argument parsing and experiment construction for the `surepath` binary.
+//!
+//! The command line maps one-to-one onto [`surepath_core::Experiment`]: pick a
+//! HyperX, a routing mechanism, a traffic pattern, an optional fault scenario
+//! and an operating point, run it, and print the paper's metrics as text or
+//! JSON. Everything the figure binaries do can also be scripted through this
+//! front end, one point at a time.
+
+use hyperx_routing::MechanismSpec;
+use hyperx_topology::RootPolicy;
+use surepath_core::{Experiment, FaultScenario, FaultShape, RootPlacement, SimConfig, TrafficSpec};
+
+/// What the simulation should measure.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum RunMode {
+    /// Open-loop run at a fixed offered load (phits/cycle/server).
+    Rate(f64),
+    /// Closed-loop run: every server sends this many packets, measure completion time.
+    Batch(u64),
+}
+
+/// A fully parsed command line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CliConfig {
+    /// HyperX sides, e.g. `[8, 8, 8]`.
+    pub sides: Vec<usize>,
+    /// Servers per switch.
+    pub concentration: usize,
+    /// Routing mechanism.
+    pub mechanism: MechanismSpec,
+    /// Traffic pattern.
+    pub traffic: TrafficSpec,
+    /// Fault scenario.
+    pub scenario: FaultScenario,
+    /// Escape-root placement.
+    pub root: RootPlacement,
+    /// Virtual channels per port (`None` = the paper's 2n default).
+    pub vcs: Option<usize>,
+    /// Random seed.
+    pub seed: u64,
+    /// Warmup and measurement windows (`None` = Table 2 defaults).
+    pub windows: Option<(u64, u64)>,
+    /// Rate or batch mode.
+    pub mode: RunMode,
+    /// Print JSON instead of text.
+    pub json: bool,
+}
+
+impl Default for CliConfig {
+    fn default() -> Self {
+        CliConfig {
+            sides: vec![8, 8, 8],
+            concentration: 8,
+            mechanism: MechanismSpec::PolSP,
+            traffic: TrafficSpec::Uniform,
+            scenario: FaultScenario::None,
+            root: RootPlacement::Suggested,
+            vcs: None,
+            seed: 1,
+            windows: None,
+            mode: RunMode::Rate(0.5),
+            json: false,
+        }
+    }
+}
+
+/// The usage string printed by `--help` and on parse errors.
+pub const USAGE: &str = "usage: surepath [options]
+  --sides KxKxK        HyperX sides (default 8x8x8)
+  --concentration N    servers per switch (default: the first side)
+  --mechanism NAME     minimal|valiant|omniwar|polarized|omnisp|polsp|dor|dal|omnisp-tree|polsp-tree
+  --traffic NAME       uniform|rsp|dcr|rpn|transpose|shift
+  --faults SPEC        none | random:COUNT[:SEED] | row | subgrid:SIZE | cross:MARGIN | star
+  --root SPEC          suggested | switch:ID | max-degree | min-eccentricity | min-distance
+  --vcs N              virtual channels per port (default 2n)
+  --load F             offered load in phits/cycle/server (default 0.5)
+  --batch PACKETS      closed-loop mode: packets per server (overrides --load)
+  --seed N             random seed (default 1)
+  --warmup N           warmup cycles (with --measure; default: Table 2 windows)
+  --measure N          measurement cycles
+  --json               print metrics as JSON
+  --help               this message";
+
+fn parse_sides(s: &str) -> Result<Vec<usize>, String> {
+    let sides: Result<Vec<usize>, _> = s.split('x').map(str::parse::<usize>).collect();
+    match sides {
+        Ok(v) if !v.is_empty() && v.iter().all(|&k| k >= 2) => Ok(v),
+        _ => Err(format!("invalid --sides '{s}': expected e.g. 16x16 or 8x8x8 with sides >= 2")),
+    }
+}
+
+fn parse_faults(spec: &str, sides: &[usize]) -> Result<FaultScenario, String> {
+    let mid: Vec<usize> = sides.iter().map(|&k| k / 2).collect();
+    let mut parts = spec.split(':');
+    let kind = parts.next().unwrap_or("");
+    match kind {
+        "none" => Ok(FaultScenario::None),
+        "random" => {
+            let count: usize = parts
+                .next()
+                .ok_or("random faults need a count, e.g. random:30")?
+                .parse()
+                .map_err(|_| "invalid random fault count")?;
+            let seed: u64 = match parts.next() {
+                Some(s) => s.parse().map_err(|_| "invalid random fault seed")?,
+                None => 1,
+            };
+            Ok(FaultScenario::Random { count, seed })
+        }
+        "row" => Ok(FaultScenario::Shape(FaultShape::Row {
+            along_dim: 0,
+            at: mid,
+        })),
+        "subgrid" | "subplane" | "subcube" => {
+            let size: usize = parts
+                .next()
+                .ok_or("subgrid faults need a size, e.g. subgrid:3")?
+                .parse()
+                .map_err(|_| "invalid subgrid size")?;
+            if sides.iter().any(|&k| size > k) {
+                return Err(format!("subgrid size {size} does not fit the topology"));
+            }
+            Ok(FaultScenario::Shape(FaultShape::Subgrid {
+                low: vec![0; sides.len()],
+                size,
+            }))
+        }
+        "cross" => {
+            let margin: usize = parts
+                .next()
+                .ok_or("cross faults need a margin, e.g. cross:5")?
+                .parse()
+                .map_err(|_| "invalid cross margin")?;
+            if sides.iter().any(|&k| margin >= k) {
+                return Err(format!("cross margin {margin} leaves no faulty links"));
+            }
+            Ok(FaultScenario::Shape(FaultShape::Cross { center: mid, margin }))
+        }
+        "star" => Ok(FaultScenario::Shape(FaultShape::Cross {
+            center: mid,
+            margin: 1,
+        })),
+        other => Err(format!("unknown fault spec '{other}'")),
+    }
+}
+
+fn parse_root(spec: &str) -> Result<RootPlacement, String> {
+    let mut parts = spec.split(':');
+    match parts.next().unwrap_or("") {
+        "suggested" => Ok(RootPlacement::Suggested),
+        "switch" => {
+            let id: usize = parts
+                .next()
+                .ok_or("switch root needs an id, e.g. switch:0")?
+                .parse()
+                .map_err(|_| "invalid root switch id")?;
+            Ok(RootPlacement::Switch(id))
+        }
+        "max-degree" | "max-alive-degree" => Ok(RootPlacement::Policy(RootPolicy::MaxAliveDegree)),
+        "min-eccentricity" | "min-ecc" => Ok(RootPlacement::Policy(RootPolicy::MinEccentricity)),
+        "min-distance" | "min-total-distance" => {
+            Ok(RootPlacement::Policy(RootPolicy::MinTotalDistance))
+        }
+        other => Err(format!("unknown root spec '{other}'")),
+    }
+}
+
+/// Parses the command line (without the program name).
+pub fn parse_args(args: &[String]) -> Result<CliConfig, String> {
+    let mut cfg = CliConfig::default();
+    let mut concentration_set = false;
+    let mut faults_spec: Option<String> = None;
+    let mut warmup: Option<u64> = None;
+    let mut measure: Option<u64> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--sides" => cfg.sides = parse_sides(&value("--sides")?)?,
+            "--concentration" => {
+                cfg.concentration = value("--concentration")?
+                    .parse()
+                    .map_err(|_| "invalid --concentration")?;
+                concentration_set = true;
+            }
+            "--mechanism" => {
+                let name = value("--mechanism")?;
+                cfg.mechanism = MechanismSpec::parse(&name)
+                    .ok_or_else(|| format!("unknown mechanism '{name}'"))?;
+            }
+            "--traffic" => {
+                let name = value("--traffic")?;
+                cfg.traffic = TrafficSpec::parse(&name)
+                    .ok_or_else(|| format!("unknown traffic pattern '{name}'"))?;
+            }
+            "--faults" => faults_spec = Some(value("--faults")?),
+            "--root" => cfg.root = parse_root(&value("--root")?)?,
+            "--vcs" => cfg.vcs = Some(value("--vcs")?.parse().map_err(|_| "invalid --vcs")?),
+            "--load" => {
+                let load: f64 = value("--load")?.parse().map_err(|_| "invalid --load")?;
+                if !(0.0..=1.0).contains(&load) || load == 0.0 {
+                    return Err("--load must be in (0, 1]".to_string());
+                }
+                cfg.mode = RunMode::Rate(load);
+            }
+            "--batch" => {
+                cfg.mode = RunMode::Batch(value("--batch")?.parse().map_err(|_| "invalid --batch")?)
+            }
+            "--seed" => cfg.seed = value("--seed")?.parse().map_err(|_| "invalid --seed")?,
+            "--warmup" => warmup = Some(value("--warmup")?.parse().map_err(|_| "invalid --warmup")?),
+            "--measure" => {
+                measure = Some(value("--measure")?.parse().map_err(|_| "invalid --measure")?)
+            }
+            "--json" => cfg.json = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
+        }
+    }
+    if !concentration_set {
+        cfg.concentration = cfg.sides[0];
+    }
+    if cfg.concentration == 0 {
+        return Err("--concentration must be at least 1".to_string());
+    }
+    cfg.scenario = match faults_spec {
+        Some(spec) => parse_faults(&spec, &cfg.sides)?,
+        None => FaultScenario::None,
+    };
+    cfg.windows = match (warmup, measure) {
+        (None, None) => None,
+        (Some(w), Some(m)) => Some((w, m)),
+        _ => return Err("--warmup and --measure must be given together".to_string()),
+    };
+    Ok(cfg)
+}
+
+/// Builds the [`Experiment`] described by a parsed configuration.
+pub fn build_experiment(cfg: &CliConfig) -> Experiment {
+    let dims = cfg.sides.len();
+    let num_vcs = cfg.vcs.unwrap_or_else(|| cfg.mechanism.default_num_vcs(dims));
+    let mut experiment = Experiment {
+        sides: cfg.sides.clone(),
+        concentration: cfg.concentration,
+        mechanism: cfg.mechanism,
+        num_vcs,
+        traffic: cfg.traffic,
+        scenario: cfg.scenario.clone(),
+        root: cfg.root,
+        sim: SimConfig::paper_defaults(cfg.concentration, num_vcs),
+    };
+    experiment.sim.servers_per_switch = cfg.concentration;
+    experiment = experiment.with_seed(cfg.seed);
+    if let Some((warmup, measure)) = cfg.windows {
+        experiment = experiment.with_windows(warmup, measure);
+    }
+    experiment
+}
+
+/// Runs the experiment and renders the result as text or JSON.
+pub fn run(cfg: &CliConfig) -> String {
+    let experiment = build_experiment(cfg);
+    match cfg.mode {
+        RunMode::Rate(load) => {
+            let metrics = experiment.run_rate(load);
+            if cfg.json {
+                serde_json::to_string_pretty(&metrics).expect("metrics serialise")
+            } else {
+                format!(
+                    "{}\noffered {:.3}  accepted {:.3}  latency {:.1}  jain {:.3}  escape {:.1}%  hops {:.2}  stalled {}",
+                    experiment.label(),
+                    metrics.offered_load,
+                    metrics.accepted_load,
+                    metrics.average_latency,
+                    metrics.jain_generated,
+                    100.0 * metrics.escape_fraction,
+                    metrics.average_hops,
+                    metrics.stalled
+                )
+            }
+        }
+        RunMode::Batch(packets) => {
+            let metrics = experiment.run_batch(packets, 1000);
+            if cfg.json {
+                serde_json::to_string_pretty(&metrics).expect("metrics serialise")
+            } else {
+                format!(
+                    "{}\ncompletion {} cycles  delivered {}  latency {:.1}  stalled {}",
+                    experiment.label(),
+                    metrics.completion_time,
+                    metrics.delivered_packets,
+                    metrics.average_latency,
+                    metrics.stalled
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_match_the_paper_3d_configuration() {
+        let cfg = parse_args(&[]).unwrap();
+        assert_eq!(cfg.sides, vec![8, 8, 8]);
+        assert_eq!(cfg.concentration, 8);
+        assert_eq!(cfg.mechanism, MechanismSpec::PolSP);
+        assert_eq!(cfg.mode, RunMode::Rate(0.5));
+        assert_eq!(cfg.scenario, FaultScenario::None);
+        let e = build_experiment(&cfg);
+        assert_eq!(e.num_vcs, 6);
+        assert_eq!(e.sides, vec![8, 8, 8]);
+    }
+
+    #[test]
+    fn full_command_line_round_trips() {
+        let cfg = parse_args(&args(&[
+            "--sides", "16x16", "--mechanism", "omnisp", "--traffic", "dcr", "--faults", "cross:5",
+            "--vcs", "4", "--load", "0.9", "--seed", "7", "--root", "max-degree", "--json",
+        ]))
+        .unwrap();
+        assert_eq!(cfg.sides, vec![16, 16]);
+        assert_eq!(cfg.concentration, 16, "concentration defaults to the first side");
+        assert_eq!(cfg.mechanism, MechanismSpec::OmniSP);
+        assert_eq!(cfg.traffic, TrafficSpec::DimensionComplementReverse);
+        assert_eq!(cfg.vcs, Some(4));
+        assert_eq!(cfg.mode, RunMode::Rate(0.9));
+        assert_eq!(cfg.seed, 7);
+        assert!(cfg.json);
+        assert_eq!(cfg.root, RootPlacement::Policy(RootPolicy::MaxAliveDegree));
+        match &cfg.scenario {
+            FaultScenario::Shape(FaultShape::Cross { center, margin }) => {
+                assert_eq!(center, &vec![8, 8]);
+                assert_eq!(*margin, 5);
+            }
+            other => panic!("unexpected scenario {other:?}"),
+        }
+        let e = build_experiment(&cfg);
+        assert_eq!(e.num_vcs, 4);
+        assert_eq!(e.sim.seed, 7);
+    }
+
+    #[test]
+    fn fault_specs_cover_every_named_shape() {
+        let sides = vec![8usize, 8, 8];
+        assert_eq!(parse_faults("none", &sides).unwrap(), FaultScenario::None);
+        assert!(matches!(
+            parse_faults("random:30:5", &sides).unwrap(),
+            FaultScenario::Random { count: 30, seed: 5 }
+        ));
+        assert!(matches!(
+            parse_faults("row", &sides).unwrap(),
+            FaultScenario::Shape(FaultShape::Row { along_dim: 0, .. })
+        ));
+        assert!(matches!(
+            parse_faults("subcube:3", &sides).unwrap(),
+            FaultScenario::Shape(FaultShape::Subgrid { size: 3, .. })
+        ));
+        assert!(matches!(
+            parse_faults("star", &sides).unwrap(),
+            FaultScenario::Shape(FaultShape::Cross { margin: 1, .. })
+        ));
+        assert!(parse_faults("subgrid:9", &sides).is_err());
+        assert!(parse_faults("cross:8", &sides).is_err());
+        assert!(parse_faults("meteor", &sides).is_err());
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected_with_messages() {
+        assert!(parse_args(&args(&["--sides", "1x8"])).is_err());
+        assert!(parse_args(&args(&["--mechanism", "nonsense"])).is_err());
+        assert!(parse_args(&args(&["--traffic", "nonsense"])).is_err());
+        assert!(parse_args(&args(&["--load", "1.5"])).is_err());
+        assert!(parse_args(&args(&["--load", "0"])).is_err());
+        assert!(parse_args(&args(&["--warmup", "10"])).is_err(), "warmup without measure");
+        assert!(parse_args(&args(&["--bogus"])).is_err());
+        assert!(parse_args(&args(&["--help"])).unwrap_err().contains("usage"));
+    }
+
+    #[test]
+    fn batch_mode_and_windows_are_parsed() {
+        let cfg = parse_args(&args(&[
+            "--sides", "4x4", "--batch", "60", "--warmup", "100", "--measure", "400",
+        ]))
+        .unwrap();
+        assert_eq!(cfg.mode, RunMode::Batch(60));
+        assert_eq!(cfg.windows, Some((100, 400)));
+        let e = build_experiment(&cfg);
+        assert_eq!(e.sim.warmup_cycles, 100);
+        assert_eq!(e.sim.measure_cycles, 400);
+    }
+
+    #[test]
+    fn run_produces_text_and_json_output() {
+        let mut cfg = parse_args(&args(&[
+            "--sides", "4x4", "--mechanism", "polsp", "--load", "0.3", "--warmup", "150",
+            "--measure", "400",
+        ]))
+        .unwrap();
+        cfg.concentration = 4;
+        let text = run(&cfg);
+        assert!(text.contains("accepted"));
+        assert!(text.contains("PolSP"));
+        cfg.json = true;
+        let json = run(&cfg);
+        let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        assert!(parsed["accepted_load"].as_f64().unwrap() > 0.1);
+        assert_eq!(parsed["stalled"], serde_json::Value::Bool(false));
+    }
+}

@@ -1,0 +1,20 @@
+//! `surepath` — run one SurePath experiment from the command line.
+//!
+//! Examples:
+//!
+//! ```text
+//! surepath --sides 8x8x8 --mechanism polsp --traffic uniform --load 0.6
+//! surepath --sides 16x16 --mechanism omnisp --traffic dcr --faults cross:5 --vcs 4 --load 0.9
+//! surepath --sides 8x8x8 --mechanism omnisp --traffic rpn --faults star --batch 500 --json
+//! ```
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match surepath_cli::parse_args(&args) {
+        Ok(cfg) => println!("{}", surepath_cli::run(&cfg)),
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    }
+}

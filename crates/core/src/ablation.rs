@@ -1,0 +1,273 @@
+//! Ablation studies of SurePath's design choices.
+//!
+//! The paper motivates several design decisions without isolating their
+//! individual contribution: the opportunistic shortcuts of the escape
+//! subnetwork (§3.2), the number of virtual channels SurePath actually needs
+//! (§3.1 / §6: "2 VCs suffice, 4 VCs are used in the fault experiments"), and
+//! the placement of the escape root (§6: avoid a heavily-faulted switch).
+//! This module turns each of those into a runnable study so the claims can be
+//! quantified on the same simulator as the main figures:
+//!
+//! * [`vc_count_study`] — SurePath throughput as a function of its VC budget.
+//! * [`escape_shortcut_study`] — the paper's opportunistic escape versus the
+//!   pure Up*/Down* tree (ablating the shortcuts).
+//! * [`root_placement_study`] — the stressful in-fault root versus the
+//!   [`RootPolicy`] alternatives.
+
+use crate::experiment::{Experiment, RootPlacement};
+use crate::sweep::SweepPoint;
+use hyperx_routing::MechanismSpec;
+use hyperx_topology::RootPolicy;
+use serde::{Deserialize, Serialize};
+
+/// One measurement of an ablation study: the varied knob, its value and the
+/// accepted load / latency it produced at the probe load.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AblationPoint {
+    /// Name of the knob being varied ("vcs", "escape", "root").
+    pub knob: String,
+    /// Value of the knob for this point.
+    pub value: String,
+    /// Mechanism under test.
+    pub mechanism: String,
+    /// Offered load of the probe.
+    pub offered_load: f64,
+    /// Accepted load measured.
+    pub accepted_load: f64,
+    /// Average message latency measured.
+    pub average_latency: f64,
+    /// Fraction of delivered packets that used the escape subnetwork.
+    pub escape_fraction: f64,
+}
+
+impl AblationPoint {
+    fn from_sweep(knob: &str, value: String, p: &SweepPoint) -> Self {
+        AblationPoint {
+            knob: knob.to_string(),
+            value,
+            mechanism: p.mechanism.clone(),
+            offered_load: p.offered_load,
+            accepted_load: p.metrics.accepted_load,
+            average_latency: p.metrics.average_latency,
+            escape_fraction: p.metrics.escape_fraction,
+        }
+    }
+}
+
+fn probe(experiment: &Experiment, load: f64) -> SweepPoint {
+    SweepPoint {
+        mechanism: experiment.mechanism.name().to_string(),
+        traffic: experiment.traffic.name().to_string(),
+        scenario: experiment.scenario.name(),
+        offered_load: load,
+        metrics: experiment.run_rate(load),
+    }
+}
+
+/// Runs the given SurePath experiment with every VC budget in `vc_counts`
+/// (each must be ≥ 2) at the probe load.
+///
+/// The paper's claim this study quantifies: SurePath keeps its performance
+/// with far fewer VCs than the Ladder mechanisms need (2 is functional, 4 is
+/// the budget used in the fault experiments, 2n matches the fair comparison).
+pub fn vc_count_study(template: &Experiment, vc_counts: &[usize], load: f64) -> Vec<AblationPoint> {
+    assert!(
+        template.mechanism.is_surepath(),
+        "the VC-count study only makes sense for SurePath mechanisms"
+    );
+    vc_counts
+        .iter()
+        .map(|&vcs| {
+            assert!(vcs >= 2, "SurePath needs at least 2 VCs");
+            let exp = template.clone().with_num_vcs(vcs);
+            AblationPoint::from_sweep("vcs", vcs.to_string(), &probe(&exp, load))
+        })
+        .collect()
+}
+
+/// Compares each SurePath configuration with its tree-only (no shortcuts)
+/// counterpart at the probe load: the ablation of §3.2's opportunistic
+/// shortcuts, which the paper credits with lifting the escape subnetwork from
+/// "the marginal throughput of a tree" to a usable fallback.
+pub fn escape_shortcut_study(template: &Experiment, load: f64) -> Vec<AblationPoint> {
+    MechanismSpec::escape_ablation_lineup()
+        .iter()
+        .map(|&mechanism| {
+            let mut exp = template.clone();
+            exp.mechanism = mechanism;
+            let value = if matches!(mechanism, MechanismSpec::OmniSPTree | MechanismSpec::PolSPTree)
+            {
+                "tree-only".to_string()
+            } else {
+                "opportunistic".to_string()
+            };
+            AblationPoint::from_sweep("escape", value, &probe(&exp, load))
+        })
+        .collect()
+}
+
+/// Compares the paper's stressful root placement (inside the fault region)
+/// against the [`RootPolicy`] alternatives, for the template's mechanism and
+/// scenario, at the probe load.
+pub fn root_placement_study(template: &Experiment, load: f64) -> Vec<AblationPoint> {
+    assert!(
+        template.mechanism.is_surepath(),
+        "the root-placement study only makes sense for SurePath mechanisms"
+    );
+    let mut out = Vec::new();
+    let suggested = template.clone().with_root(RootPlacement::Suggested);
+    out.push(AblationPoint::from_sweep(
+        "root",
+        "suggested(in-fault)".to_string(),
+        &probe(&suggested, load),
+    ));
+    for policy in [
+        RootPolicy::MaxAliveDegree,
+        RootPolicy::MinEccentricity,
+        RootPolicy::MinTotalDistance,
+    ] {
+        let exp = template.clone().with_root(RootPlacement::Policy(policy));
+        out.push(AblationPoint::from_sweep(
+            "root",
+            policy.name(),
+            &probe(&exp, load),
+        ));
+    }
+    out
+}
+
+/// Formats ablation points as an aligned text table.
+pub fn format_ablation_table(points: &[AblationPoint]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<10} {:<22} {:<12} {:>8} {:>9} {:>9} {:>8}\n",
+        "knob", "value", "mechanism", "offered", "accepted", "latency", "escape%"
+    ));
+    out.push_str(&"-".repeat(84));
+    out.push('\n');
+    for p in points {
+        out.push_str(&format!(
+            "{:<10} {:<22} {:<12} {:>8.2} {:>9.3} {:>9.1} {:>8.1}\n",
+            p.knob,
+            p.value,
+            p.mechanism,
+            p.offered_load,
+            p.accepted_load,
+            p.average_latency,
+            100.0 * p.escape_fraction,
+        ));
+    }
+    out
+}
+
+/// Serialises ablation points to CSV.
+pub fn ablation_to_csv(points: &[AblationPoint]) -> String {
+    let mut out =
+        String::from("knob,value,mechanism,offered_load,accepted_load,average_latency,escape_fraction\n");
+    for p in points {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{}\n",
+            p.knob,
+            p.value,
+            p.mechanism,
+            p.offered_load,
+            p.accepted_load,
+            p.average_latency,
+            p.escape_fraction
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::TrafficSpec;
+    use crate::scenario::FaultScenario;
+
+    fn tiny_template(mechanism: MechanismSpec) -> Experiment {
+        let mut e = Experiment::quick_2d(mechanism, TrafficSpec::Uniform);
+        e.sim.warmup_cycles = 150;
+        e.sim.measure_cycles = 400;
+        e
+    }
+
+    #[test]
+    fn vc_count_study_produces_one_point_per_budget() {
+        let points = vc_count_study(&tiny_template(MechanismSpec::PolSP), &[2, 4], 0.3);
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].value, "2");
+        assert_eq!(points[1].value, "4");
+        for p in &points {
+            assert_eq!(p.knob, "vcs");
+            assert!(p.accepted_load > 0.1, "accepted {}", p.accepted_load);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn vc_count_study_rejects_ladder_mechanisms() {
+        let _ = vc_count_study(&tiny_template(MechanismSpec::Minimal), &[2], 0.3);
+    }
+
+    #[test]
+    fn escape_shortcut_study_covers_all_four_variants() {
+        let points = escape_shortcut_study(&tiny_template(MechanismSpec::OmniSP), 0.3);
+        assert_eq!(points.len(), 4);
+        assert_eq!(
+            points.iter().filter(|p| p.value == "tree-only").count(),
+            2
+        );
+        assert_eq!(
+            points.iter().filter(|p| p.value == "opportunistic").count(),
+            2
+        );
+        for p in &points {
+            assert!(p.accepted_load > 0.05);
+        }
+    }
+
+    #[test]
+    fn root_placement_study_reports_all_policies() {
+        let template = tiny_template(MechanismSpec::PolSP)
+            .with_scenario(FaultScenario::Shape(hyperx_topology::FaultShape::Cross {
+                center: vec![4, 4],
+                margin: 2,
+            }));
+        let points = root_placement_study(&template, 0.3);
+        assert_eq!(points.len(), 4);
+        assert_eq!(points[0].value, "suggested(in-fault)");
+        assert!(points.iter().all(|p| p.knob == "root"));
+        assert!(points.iter().all(|p| p.accepted_load > 0.05));
+    }
+
+    #[test]
+    fn tables_and_csv_contain_every_point() {
+        let points = vec![
+            AblationPoint {
+                knob: "vcs".into(),
+                value: "2".into(),
+                mechanism: "PolSP".into(),
+                offered_load: 0.3,
+                accepted_load: 0.29,
+                average_latency: 120.0,
+                escape_fraction: 0.05,
+            },
+            AblationPoint {
+                knob: "vcs".into(),
+                value: "4".into(),
+                mechanism: "PolSP".into(),
+                offered_load: 0.3,
+                accepted_load: 0.30,
+                average_latency: 110.0,
+                escape_fraction: 0.03,
+            },
+        ];
+        let table = format_ablation_table(&points);
+        assert!(table.contains("PolSP"));
+        assert_eq!(table.lines().count(), 2 + points.len());
+        let csv = ablation_to_csv(&points);
+        assert_eq!(csv.lines().count(), 1 + points.len());
+        assert!(csv.starts_with("knob,value"));
+    }
+}

@@ -1,0 +1,45 @@
+//! # surepath-core
+//!
+//! The high-level API of the SurePath reproduction: describe an experiment
+//! (topology, routing mechanism, traffic pattern, fault scenario, simulation
+//! parameters), run it, and collect the paper's metrics.
+//!
+//! ```no_run
+//! use surepath_core::{Experiment, TrafficSpec};
+//! use hyperx_routing::MechanismSpec;
+//!
+//! // One point of Figure 5: PolSP on the 8×8×8 HyperX under uniform traffic.
+//! let experiment = Experiment::paper_3d(MechanismSpec::PolSP, TrafficSpec::Uniform);
+//! let metrics = experiment.run_rate(0.6);
+//! println!("accepted load = {:.3}", metrics.accepted_load);
+//! ```
+//!
+//! The crate re-exports the pieces an application typically needs from the
+//! lower layers (`hyperx-topology`, `hyperx-routing`, `hyperx-sim`) so that a
+//! single dependency suffices for most users.
+
+pub mod ablation;
+pub mod experiment;
+pub mod plot;
+pub mod report;
+pub mod scenario;
+pub mod stats;
+pub mod sweep;
+pub mod tables;
+
+pub use ablation::{
+    ablation_to_csv, escape_shortcut_study, format_ablation_table, root_placement_study,
+    vc_count_study, AblationPoint,
+};
+pub use experiment::{Experiment, RootPlacement, TrafficSpec};
+pub use plot::{throughput_chart, BarChart, BarGroup, LineChart, Series};
+pub use report::{format_rate_table, rate_metrics_to_csv, ReportRow};
+pub use scenario::FaultScenario;
+pub use stats::{replicate, ReplicatedPoint, Summary};
+pub use sweep::{paper_load_grid, quick_load_grid, sweep_loads, sweep_mechanisms, SweepPoint};
+pub use tables::{format_mechanism_table, mechanism_table, topology_table, MechanismRow};
+
+// Re-exports for downstream convenience.
+pub use hyperx_routing::{EscapePolicy, MechanismSpec, NetworkView, RoutingMechanism};
+pub use hyperx_sim::{BatchMetrics, RateMetrics, SimConfig};
+pub use hyperx_topology::{FaultSet, FaultShape, HyperX, RootPolicy, TopologyReport};

@@ -1,0 +1,517 @@
+//! Minimal SVG chart emitters for the figure binaries.
+//!
+//! The paper's figures are line plots (throughput/latency/Jain versus offered
+//! load, accepted load versus fault count or time) and grouped bar charts
+//! (throughput under the geometric fault shapes). This module renders both
+//! directly from the measured series, so a reproduction run can be inspected
+//! visually without any external plotting stack. The output is plain SVG 1.1
+//! with no dependencies; it is intentionally simple (fixed margins, automatic
+//! axis ranges, a small colour palette) rather than a general charting
+//! library.
+
+use std::fmt::Write as _;
+
+/// The colour palette used for series, in order.
+const PALETTE: [&str; 8] = [
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b", "#17becf", "#7f7f7f",
+];
+
+const WIDTH: f64 = 640.0;
+const HEIGHT: f64 = 420.0;
+const MARGIN_LEFT: f64 = 70.0;
+const MARGIN_RIGHT: f64 = 20.0;
+const MARGIN_TOP: f64 = 40.0;
+const MARGIN_BOTTOM: f64 = 55.0;
+
+fn escape_xml(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+/// A named series of `(x, y)` points.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// Data points in plotting order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Builds a series from a label and points.
+    pub fn new(name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            name: name.into(),
+            points,
+        }
+    }
+}
+
+/// A line chart with one or more series, in the style of Figures 4–6 and 10.
+///
+/// ```
+/// use surepath_core::{LineChart, Series};
+///
+/// let svg = LineChart::new("Uniform", "offered load", "accepted load")
+///     .with_y_range(0.0, 1.0)
+///     .with_series(Series::new("PolSP", vec![(0.1, 0.1), (0.9, 0.73)]))
+///     .to_svg();
+/// assert!(svg.contains("<polyline"));
+/// assert!(svg.contains("PolSP"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct LineChart {
+    /// Chart title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The series to draw.
+    pub series: Vec<Series>,
+    /// Optional fixed y range; computed from the data when `None`.
+    pub y_range: Option<(f64, f64)>,
+}
+
+impl LineChart {
+    /// Creates an empty chart with the given labels.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        LineChart {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+            y_range: None,
+        }
+    }
+
+    /// Adds a series (builder style).
+    pub fn with_series(mut self, series: Series) -> Self {
+        self.series.push(series);
+        self
+    }
+
+    /// Fixes the y-axis range (builder style).
+    pub fn with_y_range(mut self, lo: f64, hi: f64) -> Self {
+        assert!(lo < hi, "empty y range");
+        self.y_range = Some((lo, hi));
+        self
+    }
+
+    fn data_ranges(&self) -> ((f64, f64), (f64, f64)) {
+        let xs: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| p.0))
+            .collect();
+        let ys: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| p.1))
+            .collect();
+        let span = |v: &[f64]| -> (f64, f64) {
+            let lo = v.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            if !lo.is_finite() || !hi.is_finite() {
+                (0.0, 1.0)
+            } else if (hi - lo).abs() < 1e-12 {
+                (lo - 0.5, hi + 0.5)
+            } else {
+                (lo, hi)
+            }
+        };
+        let x = span(&xs);
+        let y = match self.y_range {
+            Some(r) => r,
+            None => span(&ys),
+        };
+        (x, y)
+    }
+
+    /// Renders the chart as an SVG document.
+    pub fn to_svg(&self) -> String {
+        assert!(
+            self.series.iter().any(|s| !s.points.is_empty()),
+            "a line chart needs at least one non-empty series"
+        );
+        let ((x_lo, x_hi), (y_lo, y_hi)) = self.data_ranges();
+        let plot_w = WIDTH - MARGIN_LEFT - MARGIN_RIGHT;
+        let plot_h = HEIGHT - MARGIN_TOP - MARGIN_BOTTOM;
+        let sx = |x: f64| MARGIN_LEFT + (x - x_lo) / (x_hi - x_lo) * plot_w;
+        let sy = |y: f64| MARGIN_TOP + (1.0 - (y - y_lo) / (y_hi - y_lo)) * plot_h;
+
+        let mut svg = svg_header(&self.title);
+        axes(&mut svg, &self.x_label, &self.y_label);
+
+        // Tick marks and grid: 5 ticks per axis.
+        for i in 0..=5 {
+            let fx = x_lo + (x_hi - x_lo) * i as f64 / 5.0;
+            let fy = y_lo + (y_hi - y_lo) * i as f64 / 5.0;
+            let px = sx(fx);
+            let py = sy(fy);
+            let _ = writeln!(
+                svg,
+                r##"  <line x1="{px:.1}" y1="{top:.1}" x2="{px:.1}" y2="{bot:.1}" stroke="#dddddd"/>
+  <text x="{px:.1}" y="{label_y:.1}" font-size="11" text-anchor="middle">{fx:.2}</text>
+  <line x1="{left:.1}" y1="{py:.1}" x2="{right:.1}" y2="{py:.1}" stroke="#dddddd"/>
+  <text x="{ylabel_x:.1}" y="{py:.1}" font-size="11" text-anchor="end" dominant-baseline="middle">{fy:.2}</text>"##,
+                top = MARGIN_TOP,
+                bot = HEIGHT - MARGIN_BOTTOM,
+                label_y = HEIGHT - MARGIN_BOTTOM + 16.0,
+                left = MARGIN_LEFT,
+                right = WIDTH - MARGIN_RIGHT,
+                ylabel_x = MARGIN_LEFT - 6.0,
+            );
+        }
+
+        // Series polylines and legend.
+        for (i, s) in self.series.iter().enumerate() {
+            let colour = PALETTE[i % PALETTE.len()];
+            let pts: Vec<String> = s
+                .points
+                .iter()
+                .map(|&(x, y)| format!("{:.1},{:.1}", sx(x), sy(y)))
+                .collect();
+            let _ = writeln!(
+                svg,
+                r##"  <polyline fill="none" stroke="{colour}" stroke-width="2" points="{}"/>"##,
+                pts.join(" ")
+            );
+            let ly = MARGIN_TOP + 14.0 * i as f64;
+            let _ = writeln!(
+                svg,
+                r##"  <line x1="{x0:.1}" y1="{ly:.1}" x2="{x1:.1}" y2="{ly:.1}" stroke="{colour}" stroke-width="2"/>
+  <text x="{tx:.1}" y="{ly:.1}" font-size="11" dominant-baseline="middle">{name}</text>"##,
+                x0 = WIDTH - MARGIN_RIGHT - 150.0,
+                x1 = WIDTH - MARGIN_RIGHT - 130.0,
+                tx = WIDTH - MARGIN_RIGHT - 125.0,
+                name = escape_xml(&s.name),
+            );
+        }
+        svg.push_str("</svg>\n");
+        svg
+    }
+}
+
+/// One group of bars (e.g. one traffic pattern) in a [`BarChart`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct BarGroup {
+    /// Group label shown under the bars.
+    pub label: String,
+    /// `(series name, value)` pairs; series names must be consistent across groups.
+    pub values: Vec<(String, f64)>,
+    /// Optional reference marks (e.g. the healthy-network throughput of Figures 8–9),
+    /// one per value, drawn as a horizontal tick above the bar.
+    pub references: Vec<Option<f64>>,
+}
+
+impl BarGroup {
+    /// Builds a group without reference marks.
+    pub fn new(label: impl Into<String>, values: Vec<(String, f64)>) -> Self {
+        let n = values.len();
+        BarGroup {
+            label: label.into(),
+            values,
+            references: vec![None; n],
+        }
+    }
+
+    /// Attaches one reference mark per value (builder style).
+    pub fn with_references(mut self, references: Vec<Option<f64>>) -> Self {
+        assert_eq!(references.len(), self.values.len());
+        self.references = references;
+        self
+    }
+}
+
+/// A grouped bar chart in the style of Figures 8 and 9.
+#[derive(Clone, Debug)]
+pub struct BarChart {
+    /// Chart title.
+    pub title: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The bar groups.
+    pub groups: Vec<BarGroup>,
+    /// Upper bound of the y axis (lower bound is 0).
+    pub y_max: f64,
+}
+
+impl BarChart {
+    /// Creates an empty chart; `y_max` bounds the axis (accepted load uses 1.0).
+    pub fn new(title: impl Into<String>, y_label: impl Into<String>, y_max: f64) -> Self {
+        assert!(y_max > 0.0, "y_max must be positive");
+        BarChart {
+            title: title.into(),
+            y_label: y_label.into(),
+            groups: Vec::new(),
+            y_max,
+        }
+    }
+
+    /// Adds a group (builder style).
+    pub fn with_group(mut self, group: BarGroup) -> Self {
+        self.groups.push(group);
+        self
+    }
+
+    /// Renders the chart as an SVG document.
+    pub fn to_svg(&self) -> String {
+        assert!(!self.groups.is_empty(), "a bar chart needs at least one group");
+        let plot_w = WIDTH - MARGIN_LEFT - MARGIN_RIGHT;
+        let plot_h = HEIGHT - MARGIN_TOP - MARGIN_BOTTOM;
+        let sy = |y: f64| MARGIN_TOP + (1.0 - (y / self.y_max).clamp(0.0, 1.0)) * plot_h;
+
+        let mut svg = svg_header(&self.title);
+        axes(&mut svg, "", &self.y_label);
+        for i in 0..=5 {
+            let fy = self.y_max * i as f64 / 5.0;
+            let py = sy(fy);
+            let _ = writeln!(
+                svg,
+                r##"  <line x1="{left:.1}" y1="{py:.1}" x2="{right:.1}" y2="{py:.1}" stroke="#dddddd"/>
+  <text x="{lx:.1}" y="{py:.1}" font-size="11" text-anchor="end" dominant-baseline="middle">{fy:.2}</text>"##,
+                left = MARGIN_LEFT,
+                right = WIDTH - MARGIN_RIGHT,
+                lx = MARGIN_LEFT - 6.0,
+            );
+        }
+
+        let group_w = plot_w / self.groups.len() as f64;
+        let mut legend: Vec<String> = Vec::new();
+        for (gi, group) in self.groups.iter().enumerate() {
+            let bars = group.values.len().max(1) as f64;
+            let bar_w = (group_w * 0.7) / bars;
+            let group_x = MARGIN_LEFT + gi as f64 * group_w;
+            for (bi, (name, value)) in group.values.iter().enumerate() {
+                if !legend.contains(name) {
+                    legend.push(name.clone());
+                }
+                let colour = PALETTE[legend.iter().position(|n| n == name).unwrap() % PALETTE.len()];
+                let x = group_x + group_w * 0.15 + bi as f64 * bar_w;
+                let y = sy(*value);
+                let h = HEIGHT - MARGIN_BOTTOM - y;
+                let _ = writeln!(
+                    svg,
+                    r##"  <rect x="{x:.1}" y="{y:.1}" width="{w:.1}" height="{h:.1}" fill="{colour}"/>"##,
+                    w = bar_w * 0.9,
+                );
+                if let Some(reference) = group.references.get(bi).copied().flatten() {
+                    let ry = sy(reference);
+                    let _ = writeln!(
+                        svg,
+                        r##"  <line x1="{x:.1}" y1="{ry:.1}" x2="{x2:.1}" y2="{ry:.1}" stroke="#000000" stroke-width="1.5" stroke-dasharray="3,2"/>"##,
+                        x2 = x + bar_w * 0.9,
+                    );
+                }
+            }
+            let _ = writeln!(
+                svg,
+                r##"  <text x="{cx:.1}" y="{ty:.1}" font-size="11" text-anchor="middle">{label}</text>"##,
+                cx = group_x + group_w / 2.0,
+                ty = HEIGHT - MARGIN_BOTTOM + 16.0,
+                label = escape_xml(&group.label),
+            );
+        }
+        for (i, name) in legend.iter().enumerate() {
+            let colour = PALETTE[i % PALETTE.len()];
+            let ly = MARGIN_TOP + 14.0 * i as f64;
+            let _ = writeln!(
+                svg,
+                r##"  <rect x="{x:.1}" y="{y:.1}" width="10" height="10" fill="{colour}"/>
+  <text x="{tx:.1}" y="{ty:.1}" font-size="11">{name}</text>"##,
+                x = WIDTH - MARGIN_RIGHT - 150.0,
+                y = ly - 9.0,
+                tx = WIDTH - MARGIN_RIGHT - 135.0,
+                ty = ly,
+                name = escape_xml(name),
+            );
+        }
+        svg.push_str("</svg>\n");
+        svg
+    }
+}
+
+fn svg_header(title: &str) -> String {
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        r##"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="sans-serif">
+  <rect width="{WIDTH}" height="{HEIGHT}" fill="#ffffff"/>
+  <text x="{cx}" y="22" font-size="15" text-anchor="middle" font-weight="bold">{title}</text>"##,
+        cx = WIDTH / 2.0,
+        title = escape_xml(title),
+    );
+    svg
+}
+
+fn axes(svg: &mut String, x_label: &str, y_label: &str) {
+    let _ = writeln!(
+        svg,
+        r##"  <line x1="{left}" y1="{bottom}" x2="{right}" y2="{bottom}" stroke="#000000"/>
+  <line x1="{left}" y1="{top}" x2="{left}" y2="{bottom}" stroke="#000000"/>
+  <text x="{cx}" y="{xl_y}" font-size="12" text-anchor="middle">{x_label}</text>
+  <text x="16" y="{cy}" font-size="12" text-anchor="middle" transform="rotate(-90 16 {cy})">{y_label}</text>"##,
+        left = MARGIN_LEFT,
+        right = WIDTH - MARGIN_RIGHT,
+        top = MARGIN_TOP,
+        bottom = HEIGHT - MARGIN_BOTTOM,
+        cx = (MARGIN_LEFT + WIDTH - MARGIN_RIGHT) / 2.0,
+        xl_y = HEIGHT - 14.0,
+        cy = (MARGIN_TOP + HEIGHT - MARGIN_BOTTOM) / 2.0,
+        x_label = escape_xml(x_label),
+        y_label = escape_xml(y_label),
+    );
+}
+
+/// Builds a throughput-versus-offered-load line chart from sweep points,
+/// one series per mechanism (the layout of Figures 4 and 5).
+pub fn throughput_chart(title: &str, points: &[crate::sweep::SweepPoint]) -> LineChart {
+    let mut chart = LineChart::new(title, "offered load", "accepted load").with_y_range(0.0, 1.0);
+    let mut order: Vec<String> = Vec::new();
+    for p in points {
+        if !order.contains(&p.mechanism) {
+            order.push(p.mechanism.clone());
+        }
+    }
+    for mechanism in order {
+        let series: Vec<(f64, f64)> = points
+            .iter()
+            .filter(|p| p.mechanism == mechanism)
+            .map(|p| (p.offered_load, p.metrics.accepted_load))
+            .collect();
+        chart = chart.with_series(Series::new(mechanism, series));
+    }
+    chart
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::SweepPoint;
+    use hyperx_sim::{MeasuredCounters, RateMetrics};
+
+    fn line_chart() -> LineChart {
+        LineChart::new("Uniform", "offered load", "accepted load")
+            .with_y_range(0.0, 1.0)
+            .with_series(Series::new("OmniSP", vec![(0.1, 0.1), (0.5, 0.48), (0.9, 0.8)]))
+            .with_series(Series::new("PolSP", vec![(0.1, 0.1), (0.5, 0.47), (0.9, 0.72)]))
+    }
+
+    #[test]
+    fn line_chart_svg_contains_every_series_and_labels() {
+        let svg = line_chart().to_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains("OmniSP"));
+        assert!(svg.contains("PolSP"));
+        assert!(svg.contains("offered load"));
+        assert!(svg.contains("accepted load"));
+        // Axis ticks render the fixed 0..1 range.
+        assert!(svg.contains(">0.00<"));
+        assert!(svg.contains(">1.00<"));
+    }
+
+    #[test]
+    fn line_chart_escapes_markup_in_names() {
+        let svg = LineChart::new("a < b", "x", "y")
+            .with_series(Series::new("A&B", vec![(0.0, 0.0), (1.0, 1.0)]))
+            .to_svg();
+        assert!(svg.contains("a &lt; b"));
+        assert!(svg.contains("A&amp;B"));
+        assert!(!svg.contains("a < b"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn line_chart_rejects_empty_data() {
+        let _ = LineChart::new("t", "x", "y").to_svg();
+    }
+
+    #[test]
+    fn line_chart_autoscale_handles_flat_series() {
+        let svg = LineChart::new("flat", "x", "y")
+            .with_series(Series::new("c", vec![(0.0, 0.5), (1.0, 0.5)]))
+            .to_svg();
+        // A flat series must not divide by zero; the axis widens around it.
+        assert!(svg.contains("<polyline"));
+    }
+
+    #[test]
+    fn bar_chart_svg_contains_groups_references_and_legend() {
+        let chart = BarChart::new("Star faults", "accepted load", 1.0)
+            .with_group(
+                BarGroup::new(
+                    "Uniform",
+                    vec![("OmniSP".to_string(), 0.73), ("PolSP".to_string(), 0.60)],
+                )
+                .with_references(vec![Some(0.78), Some(0.71)]),
+            )
+            .with_group(BarGroup::new(
+                "RPN",
+                vec![("OmniSP".to_string(), 0.52), ("PolSP".to_string(), 0.51)],
+            ));
+        let svg = chart.to_svg();
+        // 4 bars + 2 legend swatches.
+        assert_eq!(svg.matches("<rect").count(), 1 + 4 + 2);
+        // 2 dashed reference marks.
+        assert_eq!(svg.matches("stroke-dasharray").count(), 2);
+        assert!(svg.contains("Uniform"));
+        assert!(svg.contains("RPN"));
+        assert!(svg.contains("OmniSP"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn bar_chart_rejects_mismatched_references() {
+        let _ = BarGroup::new("g", vec![("a".to_string(), 0.5)]).with_references(vec![None, None]);
+    }
+
+    #[test]
+    fn throughput_chart_builds_one_series_per_mechanism() {
+        let metrics = |offered: f64, accepted: f64| {
+            let mut c = MeasuredCounters::new(1);
+            c.cycles = 100;
+            c.delivered_phits = (accepted * 100.0) as u64;
+            c.delivered_packets = 1;
+            RateMetrics::from_counters(offered, 16, 1, &c, 0, false)
+        };
+        let points = vec![
+            SweepPoint {
+                mechanism: "OmniSP".into(),
+                traffic: "Uniform".into(),
+                scenario: "Healthy".into(),
+                offered_load: 0.2,
+                metrics: metrics(0.2, 20.0),
+            },
+            SweepPoint {
+                mechanism: "PolSP".into(),
+                traffic: "Uniform".into(),
+                scenario: "Healthy".into(),
+                offered_load: 0.2,
+                metrics: metrics(0.2, 19.0),
+            },
+            SweepPoint {
+                mechanism: "OmniSP".into(),
+                traffic: "Uniform".into(),
+                scenario: "Healthy".into(),
+                offered_load: 0.4,
+                metrics: metrics(0.4, 40.0),
+            },
+        ];
+        let chart = throughput_chart("Fig 5 / Uniform", &points);
+        assert_eq!(chart.series.len(), 2);
+        assert_eq!(chart.series[0].name, "OmniSP");
+        assert_eq!(chart.series[0].points.len(), 2);
+        assert_eq!(chart.series[1].points.len(), 1);
+        let svg = chart.to_svg();
+        assert!(svg.contains("Fig 5 / Uniform"));
+    }
+}

@@ -1,0 +1,165 @@
+//! Report emitters: aligned text tables and CSV for the benchmark binaries.
+
+use crate::sweep::SweepPoint;
+use serde::{Deserialize, Serialize};
+
+/// A generic row of a report table: a label and a set of named columns.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ReportRow {
+    /// Row label (e.g. a mechanism name).
+    pub label: String,
+    /// Column values, in the order of the table's header.
+    pub values: Vec<String>,
+}
+
+/// Renders rows as an aligned plain-text table.
+pub fn format_table(header: &[&str], rows: &[ReportRow]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        widths[0] = widths[0].max(row.label.len());
+        for (i, v) in row.values.iter().enumerate() {
+            if i + 1 < widths.len() {
+                widths[i + 1] = widths[i + 1].max(v.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let mut line = String::new();
+    for (i, h) in header.iter().enumerate() {
+        line.push_str(&format!("{:<width$}  ", h, width = widths[i]));
+    }
+    out.push_str(line.trim_end());
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        let mut line = format!("{:<width$}  ", row.label, width = widths[0]);
+        for (i, v) in row.values.iter().enumerate() {
+            line.push_str(&format!("{:<width$}  ", v, width = widths[i + 1]));
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats sweep points as the table the figure binaries print: one row per
+/// (mechanism, traffic, scenario, load) with the three paper metrics.
+pub fn format_rate_table(points: &[SweepPoint]) -> String {
+    let header = [
+        "mechanism",
+        "traffic",
+        "scenario",
+        "offered",
+        "accepted",
+        "latency",
+        "jain",
+        "escape%",
+    ];
+    let rows: Vec<ReportRow> = points
+        .iter()
+        .map(|p| ReportRow {
+            label: p.mechanism.clone(),
+            values: vec![
+                p.traffic.clone(),
+                p.scenario.clone(),
+                format!("{:.2}", p.offered_load),
+                format!("{:.3}", p.metrics.accepted_load),
+                format!("{:.1}", p.metrics.average_latency),
+                format!("{:.3}", p.metrics.jain_generated),
+                format!("{:.1}", 100.0 * p.metrics.escape_fraction),
+            ],
+        })
+        .collect();
+    format_table(&header, &rows)
+}
+
+/// Serializes sweep points as CSV (with a header line), ready for plotting.
+pub fn rate_metrics_to_csv(points: &[SweepPoint]) -> String {
+    let mut out = String::from(
+        "mechanism,traffic,scenario,offered_load,accepted_load,generated_load,average_latency,jain_generated,escape_fraction,average_hops,delivered_packets,stalled\n",
+    );
+    for p in points {
+        out.push_str(&format!(
+            "{},{},{},{:.4},{:.6},{:.6},{:.3},{:.5},{:.5},{:.3},{},{}\n",
+            p.mechanism,
+            p.traffic.replace(',', ";"),
+            p.scenario.replace(',', ";"),
+            p.offered_load,
+            p.metrics.accepted_load,
+            p.metrics.generated_load,
+            p.metrics.average_latency,
+            p.metrics.jain_generated,
+            p.metrics.escape_fraction,
+            p.metrics.average_hops,
+            p.metrics.delivered_packets,
+            p.metrics.stalled
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperx_sim::RateMetrics;
+
+    fn dummy_point(mechanism: &str, load: f64, accepted: f64) -> SweepPoint {
+        SweepPoint {
+            mechanism: mechanism.to_string(),
+            traffic: "Uniform".to_string(),
+            scenario: "Healthy".to_string(),
+            offered_load: load,
+            metrics: RateMetrics {
+                offered_load: load,
+                accepted_load: accepted,
+                generated_load: load,
+                average_latency: 80.0,
+                max_latency: 200,
+                jain_generated: 0.999,
+                escape_fraction: 0.02,
+                average_hops: 2.0,
+                delivered_packets: 1000,
+                in_flight_at_end: 5,
+                stalled: false,
+            },
+        }
+    }
+
+    #[test]
+    fn table_is_aligned_and_contains_all_rows() {
+        let rows = vec![
+            ReportRow {
+                label: "OmniSP".into(),
+                values: vec!["0.5".into(), "0.48".into()],
+            },
+            ReportRow {
+                label: "PolSP".into(),
+                values: vec!["0.5".into(), "0.49".into()],
+            },
+        ];
+        let s = format_table(&["mech", "offered", "accepted"], &rows);
+        assert!(s.contains("OmniSP"));
+        assert!(s.contains("PolSP"));
+        assert!(s.lines().count() >= 4);
+    }
+
+    #[test]
+    fn rate_table_formats_metrics() {
+        let points = vec![dummy_point("OmniSP", 0.5, 0.47), dummy_point("PolSP", 0.5, 0.49)];
+        let s = format_rate_table(&points);
+        assert!(s.contains("0.470"));
+        assert!(s.contains("0.490"));
+        assert!(s.contains("escape%"));
+    }
+
+    #[test]
+    fn csv_has_header_plus_one_line_per_point() {
+        let points = vec![dummy_point("Minimal", 0.2, 0.2), dummy_point("Valiant", 0.2, 0.2)];
+        let csv = rate_metrics_to_csv(&points);
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.lines().next().unwrap().starts_with("mechanism,traffic"));
+        assert!(csv.contains("Minimal"));
+        assert!(csv.contains("Valiant"));
+    }
+}

@@ -1,0 +1,222 @@
+//! Fault scenarios: the named failure configurations of Section 6.
+
+use hyperx_topology::{FaultSet, FaultShape, HyperX};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// A failure scenario applied to a HyperX before an experiment runs.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum FaultScenario {
+    /// The healthy network.
+    None,
+    /// The first `count` faults of a reproducible random fault sequence
+    /// (Figures 1 and 6). The sequence is derived from `seed` alone, so two
+    /// scenarios with the same seed and increasing counts are prefixes of one
+    /// another, exactly like the paper's incremental experiment.
+    Random {
+        /// Number of faulty links.
+        count: usize,
+        /// Seed of the fault sequence.
+        seed: u64,
+    },
+    /// A geometric fault shape (Figures 7–9).
+    Shape(FaultShape),
+}
+
+impl FaultScenario {
+    /// The paper's 2D *Row* configuration: a full row of the 16×16 HyperX
+    /// fails (120 links).
+    pub fn row_2d() -> Self {
+        FaultScenario::Shape(FaultShape::Row {
+            along_dim: 0,
+            at: vec![0, 8],
+        })
+    }
+
+    /// The paper's 2D *Subplane* configuration: a 5×5 sub-grid fails (100 links).
+    pub fn subplane_2d() -> Self {
+        FaultScenario::Shape(FaultShape::Subgrid {
+            low: vec![5, 5],
+            size: 5,
+        })
+    }
+
+    /// The paper's 2D *Cross* configuration: a row and a column through the
+    /// escape root with margin 5 fail (110 links).
+    pub fn cross_2d() -> Self {
+        FaultScenario::Shape(FaultShape::Cross {
+            center: vec![8, 8],
+            margin: 5,
+        })
+    }
+
+    /// The paper's 3D *Row* configuration: a full row of the 8×8×8 HyperX fails (28 links).
+    pub fn row_3d() -> Self {
+        FaultScenario::Shape(FaultShape::Row {
+            along_dim: 0,
+            at: vec![0, 4, 4],
+        })
+    }
+
+    /// The paper's 3D *Subcube* configuration: a 3×3×3 subcube fails (81 links).
+    pub fn subcube_3d() -> Self {
+        FaultScenario::Shape(FaultShape::Subgrid {
+            low: vec![2, 2, 2],
+            size: 3,
+        })
+    }
+
+    /// The paper's 3D *Star* configuration: the three rows through the escape
+    /// root fail except one link per dimension (63 links, root keeps 3 links).
+    pub fn star_3d() -> Self {
+        FaultScenario::Shape(FaultShape::Cross {
+            center: vec![4, 4, 4],
+            margin: 1,
+        })
+    }
+
+    /// Display name used in reports.
+    pub fn name(&self) -> String {
+        match self {
+            FaultScenario::None => "Healthy".to_string(),
+            FaultScenario::Random { count, .. } => format!("Random({count})"),
+            FaultScenario::Shape(FaultShape::Row { .. }) => "Row".to_string(),
+            FaultScenario::Shape(FaultShape::Subgrid { low, size }) => {
+                if low.len() == 2 {
+                    format!("Subplane({size}x{size})")
+                } else {
+                    format!("Subcube({size}^{})", low.len())
+                }
+            }
+            FaultScenario::Shape(FaultShape::Cross { margin, center }) => {
+                if center.len() == 3 && *margin == 1 {
+                    "Star".to_string()
+                } else {
+                    format!("Cross(margin {margin})")
+                }
+            }
+        }
+    }
+
+    /// The fault set this scenario produces on the given topology.
+    pub fn faults(&self, hx: &HyperX) -> FaultSet {
+        match self {
+            FaultScenario::None => FaultSet::empty(),
+            FaultScenario::Random { count, seed } => {
+                let mut rng = ChaCha8Rng::seed_from_u64(*seed);
+                FaultSet::random_sequence(hx.network(), *count, &mut rng)
+            }
+            FaultScenario::Shape(shape) => FaultSet::from_shape(shape, hx),
+        }
+    }
+
+    /// The switch the paper would pick as the escape-subnetwork root for this
+    /// scenario: a switch *inside* the fault region for the geometric shapes
+    /// ("seeking for a more stressful situation"), switch 0 otherwise.
+    pub fn suggested_root(&self, hx: &HyperX) -> usize {
+        match self {
+            FaultScenario::None | FaultScenario::Random { .. } => 0,
+            FaultScenario::Shape(shape) => match shape {
+                FaultShape::Cross { center, .. } => hx.switch_id(center),
+                _ => shape
+                    .switch_groups(hx)
+                    .pop()
+                    .and_then(|g| g.into_iter().min())
+                    .unwrap_or(0),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_2d_shapes_have_the_documented_link_counts() {
+        let hx = HyperX::regular(2, 16);
+        assert_eq!(FaultScenario::row_2d().faults(&hx).len(), 120);
+        assert_eq!(FaultScenario::subplane_2d().faults(&hx).len(), 100);
+        assert_eq!(FaultScenario::cross_2d().faults(&hx).len(), 110);
+    }
+
+    #[test]
+    fn paper_3d_shapes_have_the_documented_link_counts() {
+        let hx = HyperX::regular(3, 8);
+        assert_eq!(FaultScenario::row_3d().faults(&hx).len(), 28);
+        assert_eq!(FaultScenario::subcube_3d().faults(&hx).len(), 81);
+        assert_eq!(FaultScenario::star_3d().faults(&hx).len(), 63);
+    }
+
+    #[test]
+    fn star_root_keeps_three_links() {
+        let hx = HyperX::regular(3, 8);
+        let scenario = FaultScenario::star_3d();
+        let root = scenario.suggested_root(&hx);
+        let mut net = hx.network().clone();
+        scenario.faults(&hx).apply(&mut net);
+        assert_eq!(net.degree(root), 3);
+        assert!(net.is_connected());
+    }
+
+    #[test]
+    fn cross_root_is_the_center() {
+        let hx = HyperX::regular(2, 16);
+        let scenario = FaultScenario::cross_2d();
+        assert_eq!(scenario.suggested_root(&hx), hx.switch_id(&[8, 8]));
+    }
+
+    #[test]
+    fn shape_roots_lie_inside_the_fault_region() {
+        // Paper §6: "all the configurations are designed such as the root of
+        // the escape subnetwork belongs to the set of switches under fault".
+        let hx2 = HyperX::regular(2, 16);
+        let hx3 = HyperX::regular(3, 8);
+        let cases: Vec<(HyperX, FaultScenario)> = vec![
+            (hx2.clone(), FaultScenario::row_2d()),
+            (hx2.clone(), FaultScenario::subplane_2d()),
+            (hx2, FaultScenario::cross_2d()),
+            (hx3.clone(), FaultScenario::row_3d()),
+            (hx3.clone(), FaultScenario::subcube_3d()),
+            (hx3, FaultScenario::star_3d()),
+        ];
+        for (hx, scenario) in cases {
+            let root = scenario.suggested_root(&hx);
+            let FaultScenario::Shape(shape) = &scenario else {
+                unreachable!()
+            };
+            let in_region = shape
+                .switch_groups(&hx)
+                .iter()
+                .any(|g| g.contains(&root));
+            assert!(in_region, "{} root {root} outside the fault region", scenario.name());
+        }
+    }
+
+    #[test]
+    fn random_scenarios_with_same_seed_are_prefixes() {
+        let hx = HyperX::regular(2, 8);
+        let a = FaultScenario::Random { count: 20, seed: 9 }.faults(&hx);
+        let b = FaultScenario::Random { count: 50, seed: 9 }.faults(&hx);
+        assert_eq!(a.links(), &b.links()[..20]);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(FaultScenario::None.name(), "Healthy");
+        assert_eq!(FaultScenario::Random { count: 30, seed: 1 }.name(), "Random(30)");
+        assert_eq!(FaultScenario::row_2d().name(), "Row");
+        assert_eq!(FaultScenario::subplane_2d().name(), "Subplane(5x5)");
+        assert_eq!(FaultScenario::cross_2d().name(), "Cross(margin 5)");
+        assert_eq!(FaultScenario::star_3d().name(), "Star");
+        assert_eq!(FaultScenario::subcube_3d().name(), "Subcube(3^3)");
+    }
+
+    #[test]
+    fn healthy_scenario_produces_no_faults() {
+        let hx = HyperX::regular(2, 4);
+        assert!(FaultScenario::None.faults(&hx).is_empty());
+        assert_eq!(FaultScenario::None.suggested_root(&hx), 0);
+    }
+}

@@ -1,0 +1,185 @@
+//! Multi-seed replication and summary statistics.
+//!
+//! The paper reports single simulation runs per point (the convention for
+//! cycle-level interconnect studies). For claims that hinge on small
+//! differences — e.g. "OmniSP and PolSP provide almost the same throughput" —
+//! this reproduction additionally replicates runs across seeds and reports
+//! mean, standard deviation and extreme values, so noise and signal can be
+//! told apart in EXPERIMENTS.md.
+
+use crate::experiment::Experiment;
+use hyperx_sim::RateMetrics;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of one scalar metric across replications.
+///
+/// ```
+/// use surepath_core::Summary;
+///
+/// let s = Summary::of(&[0.70, 0.72, 0.71]);
+/// assert_eq!(s.n, 3);
+/// assert!((s.mean - 0.71).abs() < 1e-12);
+/// assert!(s.std_dev < 0.02);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of replications.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (0 when `n < 2`).
+    pub std_dev: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes the summary of a slice of observations.
+    pub fn of(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return Summary::default();
+        }
+        let n = values.len();
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        Summary {
+            n,
+            mean,
+            std_dev: var.sqrt(),
+            min: values.iter().copied().fold(f64::INFINITY, f64::min),
+            max: values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+
+    /// Half-width of the ±2σ/√n interval around the mean (a pragmatic ~95 %
+    /// confidence half-width for the small replication counts used here).
+    pub fn half_width(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            2.0 * self.std_dev / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Whether another summary's mean lies outside this one's ±2σ/√n interval
+    /// (a cheap "the difference looks real" check).
+    pub fn differs_from(&self, other: &Summary) -> bool {
+        (self.mean - other.mean).abs() > self.half_width() + other.half_width()
+    }
+}
+
+/// Replicated metrics of one experiment point across seeds.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ReplicatedPoint {
+    /// Mechanism under test.
+    pub mechanism: String,
+    /// Traffic pattern.
+    pub traffic: String,
+    /// Fault scenario.
+    pub scenario: String,
+    /// Offered load.
+    pub offered_load: f64,
+    /// Accepted-load summary across seeds.
+    pub accepted_load: Summary,
+    /// Latency summary across seeds.
+    pub average_latency: Summary,
+    /// Jain-index summary across seeds.
+    pub jain_generated: Summary,
+    /// The raw per-seed metrics, in seed order.
+    pub runs: Vec<RateMetrics>,
+}
+
+/// Runs `experiment` at `offered_load` once per seed (in parallel, one scoped
+/// thread per seed) and summarises the headline metrics.
+pub fn replicate(experiment: &Experiment, offered_load: f64, seeds: &[u64]) -> ReplicatedPoint {
+    assert!(!seeds.is_empty(), "at least one seed is required");
+    let mut runs: Vec<Option<RateMetrics>> = vec![None; seeds.len()];
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (i, &seed) in seeds.iter().enumerate() {
+            let exp = experiment.clone().with_seed(seed);
+            handles.push((i, scope.spawn(move || exp.run_rate(offered_load))));
+        }
+        for (i, handle) in handles {
+            runs[i] = Some(handle.join().expect("replication thread panicked"));
+        }
+    });
+    let runs: Vec<RateMetrics> = runs.into_iter().map(|r| r.unwrap()).collect();
+    let collect = |f: fn(&RateMetrics) -> f64| -> Vec<f64> { runs.iter().map(f).collect() };
+    ReplicatedPoint {
+        mechanism: experiment.mechanism.name().to_string(),
+        traffic: experiment.traffic.name().to_string(),
+        scenario: experiment.scenario.name(),
+        offered_load,
+        accepted_load: Summary::of(&collect(|m| m.accepted_load)),
+        average_latency: Summary::of(&collect(|m| m.average_latency)),
+        jain_generated: Summary::of(&collect(|m| m.jain_generated)),
+        runs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::TrafficSpec;
+    use hyperx_routing::MechanismSpec;
+
+    #[test]
+    fn summary_of_known_values() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.n, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.std_dev - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!(s.half_width() > 0.0);
+    }
+
+    #[test]
+    fn summary_of_single_or_empty_inputs() {
+        let one = Summary::of(&[7.0]);
+        assert_eq!(one.n, 1);
+        assert_eq!(one.std_dev, 0.0);
+        assert_eq!(one.half_width(), 0.0);
+        let none = Summary::of(&[]);
+        assert_eq!(none.n, 0);
+        assert_eq!(none.mean, 0.0);
+    }
+
+    #[test]
+    fn differs_from_detects_separated_means() {
+        let a = Summary::of(&[1.0, 1.01, 0.99]);
+        let b = Summary::of(&[2.0, 2.01, 1.99]);
+        assert!(a.differs_from(&b));
+        let c = Summary::of(&[1.0, 1.2, 0.8]);
+        let d = Summary::of(&[1.05, 1.25, 0.85]);
+        assert!(!c.differs_from(&d));
+    }
+
+    #[test]
+    fn replicate_runs_every_seed_and_is_deterministic_per_seed() {
+        let mut e = Experiment::quick_2d(MechanismSpec::PolSP, TrafficSpec::Uniform);
+        e.sim.warmup_cycles = 150;
+        e.sim.measure_cycles = 400;
+        let point = replicate(&e, 0.3, &[1, 2, 1]);
+        assert_eq!(point.runs.len(), 3);
+        assert_eq!(point.accepted_load.n, 3);
+        assert!(point.accepted_load.mean > 0.1);
+        // Identical seeds give identical runs (seed 1 appears twice).
+        assert_eq!(point.runs[0].accepted_load, point.runs[2].accepted_load);
+        assert_eq!(point.runs[0].average_latency, point.runs[2].average_latency);
+    }
+
+    #[test]
+    #[should_panic]
+    fn replicate_rejects_empty_seed_list() {
+        let e = Experiment::quick_2d(MechanismSpec::PolSP, TrafficSpec::Uniform);
+        let _ = replicate(&e, 0.3, &[]);
+    }
+}

@@ -1,0 +1,165 @@
+//! Generators for the paper's descriptive tables (Table 3 and Table 4).
+
+use crate::report::{format_table, ReportRow};
+use hyperx_topology::{HyperX, TopologyReport};
+use serde::{Deserialize, Serialize};
+
+/// Renders Table 3 (topological parameters) for a list of HyperX configurations.
+pub fn topology_table(configs: &[(&str, HyperX, usize)]) -> String {
+    let header = [
+        "network",
+        "switches",
+        "radix",
+        "servers/switch",
+        "servers",
+        "links",
+        "diameter",
+        "avg distance",
+    ];
+    let rows: Vec<ReportRow> = configs
+        .iter()
+        .map(|(name, hx, concentration)| {
+            let r = TopologyReport::for_hyperx(hx, *concentration);
+            ReportRow {
+                label: name.to_string(),
+                values: vec![
+                    r.switches.to_string(),
+                    r.total_radix.to_string(),
+                    r.servers_per_switch.to_string(),
+                    r.total_servers.to_string(),
+                    r.links.to_string(),
+                    r.diameter.to_string(),
+                    format!("{:.3}", r.average_distance),
+                ],
+            }
+        })
+        .collect();
+    format_table(&header, &rows)
+}
+
+/// One row of Table 4: the routing mechanisms and their VC usage.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MechanismRow {
+    /// Mechanism name.
+    pub mechanism: &'static str,
+    /// Base routing algorithm.
+    pub algorithm: &'static str,
+    /// Virtual-channel management policy.
+    pub vc_management: &'static str,
+    /// How the 2n VCs are used in the fair comparison.
+    pub vc_usage: &'static str,
+    /// Minimum VCs the mechanism needs to work, as a function of the dimension n.
+    pub vcs_required: &'static str,
+}
+
+/// The rows of Table 4.
+pub fn mechanism_table() -> Vec<MechanismRow> {
+    vec![
+        MechanismRow {
+            mechanism: "Minimal",
+            algorithm: "Shortest path",
+            vc_management: "Ladder",
+            vc_usage: "2 VCs for each step",
+            vcs_required: "n",
+        },
+        MechanismRow {
+            mechanism: "Valiant",
+            algorithm: "Shortest path in each phase",
+            vc_management: "Ladder",
+            vc_usage: "1 VC for each step",
+            vcs_required: "2n",
+        },
+        MechanismRow {
+            mechanism: "OmniWAR",
+            algorithm: "Omnidimensional",
+            vc_management: "Ladder",
+            vc_usage: "n VCs minimal and n VCs for deroutes",
+            vcs_required: "2n",
+        },
+        MechanismRow {
+            mechanism: "Polarized",
+            algorithm: "Polarized",
+            vc_management: "Ladder",
+            vc_usage: "1 VC per step",
+            vcs_required: "2n",
+        },
+        MechanismRow {
+            mechanism: "OmniSP",
+            algorithm: "Omnidimensional",
+            vc_management: "SurePath",
+            vc_usage: "2n-1 VCs routing + 1 VC Up/Down",
+            vcs_required: "2",
+        },
+        MechanismRow {
+            mechanism: "PolSP",
+            algorithm: "Polarized",
+            vc_management: "SurePath",
+            vc_usage: "2n-1 VCs routing + 1 VC Up/Down",
+            vcs_required: "2",
+        },
+    ]
+}
+
+/// Renders Table 4 as a plain-text table.
+pub fn format_mechanism_table() -> String {
+    let header = ["mechanism", "algorithm", "VC management", "use of 2n VCs", "VCs required"];
+    let rows: Vec<ReportRow> = mechanism_table()
+        .into_iter()
+        .map(|r| ReportRow {
+            label: r.mechanism.to_string(),
+            values: vec![
+                r.algorithm.to_string(),
+                r.vc_management.to_string(),
+                r.vc_usage.to_string(),
+                r.vcs_required.to_string(),
+            ],
+        })
+        .collect();
+    format_table(&header, &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperx_routing::MechanismSpec;
+
+    #[test]
+    fn topology_table_contains_paper_values() {
+        let s = topology_table(&[
+            ("2D HyperX", HyperX::regular(2, 16), 16),
+            ("3D HyperX", HyperX::regular(3, 8), 8),
+        ]);
+        // Table 3 headline numbers.
+        assert!(s.contains("256"));
+        assert!(s.contains("512"));
+        assert!(s.contains("3840"));
+        assert!(s.contains("5376"));
+        assert!(s.contains("46"));
+        assert!(s.contains("29"));
+        assert!(s.contains("4096"));
+    }
+
+    #[test]
+    fn mechanism_table_has_six_rows_matching_the_lineup() {
+        let rows = mechanism_table();
+        assert_eq!(rows.len(), 6);
+        let lineup = MechanismSpec::fault_free_lineup();
+        for (row, spec) in rows.iter().zip(lineup.iter()) {
+            assert_eq!(row.mechanism, spec.name());
+        }
+        // SurePath rows require only 2 VCs.
+        assert!(rows
+            .iter()
+            .filter(|r| r.vc_management == "SurePath")
+            .all(|r| r.vcs_required == "2"));
+    }
+
+    #[test]
+    fn formatted_mechanism_table_mentions_surepath() {
+        let s = format_mechanism_table();
+        assert!(s.contains("SurePath"));
+        assert!(s.contains("OmniSP"));
+        assert!(s.contains("PolSP"));
+        assert!(s.contains("Ladder"));
+    }
+}

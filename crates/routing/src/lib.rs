@@ -1,0 +1,97 @@
+//! # hyperx-routing
+//!
+//! Routing algorithms and routing *mechanisms* for HyperX networks, as
+//! defined in the SurePath paper (SC 2024).
+//!
+//! The crate separates two concepts the paper keeps distinct:
+//!
+//! * A **routing algorithm** ([`RouteAlgorithm`]) decides which neighbours of
+//!   the current switch are acceptable next hops for a packet, each with a
+//!   *penalty* in phits used to bias the allocator. Implemented algorithms:
+//!   [`minimal::MinimalRouting`], [`valiant::ValiantRouting`],
+//!   [`dor::DimensionOrderedRouting`], [`dal::DalRouting`],
+//!   [`omnidimensional::OmnidimensionalRouting`] and
+//!   [`polarized::PolarizedRouting`].
+//! * A **routing mechanism** ([`RoutingMechanism`]) combines an algorithm
+//!   with a virtual-channel management policy that guarantees deadlock
+//!   freedom: either the hop-count *Ladder* ([`mechanism::LadderMechanism`])
+//!   or **SurePath** ([`surepath::SurePathMechanism`]), which dedicates one
+//!   VC to an opportunistic Up/Down escape subnetwork
+//!   ([`updown_escape::EscapeTables`]) and leaves the remaining VCs to the
+//!   routing algorithm.
+//!
+//! The [`mechanism::MechanismSpec`] factory builds the six named
+//! configurations evaluated in the paper (Table 4): `Minimal`, `Valiant`,
+//! `OmniWAR`, `Polarized`, `OmniSP` and `PolSP`.
+
+pub mod candidate;
+pub mod dal;
+pub mod dor;
+pub mod mechanism;
+pub mod minimal;
+pub mod omnidimensional;
+pub mod penalties;
+pub mod polarized;
+pub mod surepath;
+pub mod updown_escape;
+pub mod valiant;
+pub mod view;
+
+pub use candidate::{Candidate, CandidateKind, PacketState, RouteCandidate, VcRange};
+pub use mechanism::{LadderMechanism, LadderStep, MechanismSpec};
+pub use surepath::SurePathMechanism;
+pub use updown_escape::{EscapePolicy, EscapeTables};
+pub use view::NetworkView;
+
+use rand::RngCore;
+
+/// A routing algorithm: produces acceptable next hops for a packet at a switch.
+///
+/// Implementations are immutable once built (they may hold routing tables
+/// computed from a [`NetworkView`]); per-packet state lives in
+/// [`PacketState`] so a single algorithm instance serves every packet of a
+/// simulation.
+pub trait RouteAlgorithm: Send + Sync {
+    /// Short name used in reports ("Minimal", "Polarized", ...).
+    fn name(&self) -> &'static str;
+
+    /// Initializes the per-packet routing state for a packet from `source` to
+    /// `dest` (switch ids). `rng` is used by algorithms that make random
+    /// per-packet choices (Valiant's intermediate switch).
+    fn init(&self, source: usize, dest: usize, rng: &mut dyn RngCore) -> PacketState;
+
+    /// Appends to `out` the acceptable next hops for the packet at `current`.
+    /// May legitimately produce nothing (e.g. a DOR packet facing a faulty
+    /// link, or Omnidimensional out of deroutes with the minimal port dead).
+    fn candidates(&self, state: &PacketState, current: usize, out: &mut Vec<RouteCandidate>);
+
+    /// Updates per-packet state after the packet moves from `current` to `next`.
+    fn update(&self, state: &mut PacketState, current: usize, next: usize);
+
+    /// Upper bound on the number of switch-to-switch hops a route may take in
+    /// the healthy network; used by the Ladder policy to size its VC ladder.
+    fn max_route_hops(&self) -> usize;
+}
+
+/// A routing mechanism: routing algorithm + VC management, the unit the
+/// simulator plugs in (one of the rows of Table 4).
+pub trait RoutingMechanism: Send + Sync {
+    /// Display name ("OmniSP", "PolSP", "Minimal", ...).
+    fn name(&self) -> String;
+
+    /// Number of virtual channels per port the mechanism uses.
+    fn num_vcs(&self) -> usize;
+
+    /// Index of the escape VC, or `None` if the mechanism has no escape
+    /// subnetwork (pure Ladder mechanisms).
+    fn escape_vc(&self) -> Option<usize>;
+
+    /// Initializes the per-packet routing state.
+    fn init_packet(&self, source: usize, dest: usize, rng: &mut dyn RngCore) -> PacketState;
+
+    /// Appends the candidate output requests for the packet at `current`.
+    fn candidates(&self, state: &PacketState, current: usize, out: &mut Vec<Candidate>);
+
+    /// Updates per-packet state after the packet takes `cand` from `current` to `next`.
+    fn note_hop(&self, state: &mut PacketState, current: usize, next: usize, cand: &Candidate);
+}

@@ -1,0 +1,175 @@
+//! Minimal (shortest-path) routing over BFS tables.
+//!
+//! Minimal routing offers, at every switch, every alive port whose far
+//! endpoint is strictly closer to the destination. It survives arbitrary
+//! failures (the tables are recomputed by BFS) but cannot spread load over
+//! non-minimal paths, which is why the paper uses it as the robust but
+//! low-performance baseline.
+
+use crate::candidate::{PacketState, RouteCandidate};
+use crate::penalties::SHORTEST_PATH;
+use crate::view::NetworkView;
+use crate::RouteAlgorithm;
+use rand::RngCore;
+use std::sync::Arc;
+
+/// Fully adaptive shortest-path routing.
+#[derive(Clone, Debug)]
+pub struct MinimalRouting {
+    view: Arc<NetworkView>,
+}
+
+impl MinimalRouting {
+    /// Builds minimal routing tables over the given network view.
+    pub fn new(view: Arc<NetworkView>) -> Self {
+        MinimalRouting { view }
+    }
+
+    /// Appends every alive port of `current` that gets strictly closer to `target`.
+    pub(crate) fn minimal_ports(
+        view: &NetworkView,
+        current: usize,
+        target: usize,
+        penalty: u32,
+        out: &mut Vec<RouteCandidate>,
+    ) {
+        let here = view.distance(current, target);
+        for (port, nb) in view.network().neighbors(current) {
+            if view.distance(nb.switch, target) < here {
+                out.push(RouteCandidate {
+                    port,
+                    penalty,
+                    deroute: false,
+                });
+            }
+        }
+    }
+}
+
+impl RouteAlgorithm for MinimalRouting {
+    fn name(&self) -> &'static str {
+        "Minimal"
+    }
+
+    fn init(&self, source: usize, dest: usize, _rng: &mut dyn RngCore) -> PacketState {
+        PacketState::new(source, dest)
+    }
+
+    fn candidates(&self, state: &PacketState, current: usize, out: &mut Vec<RouteCandidate>) {
+        if current == state.dest {
+            return;
+        }
+        Self::minimal_ports(&self.view, current, state.dest, SHORTEST_PATH, out);
+    }
+
+    fn update(&self, state: &mut PacketState, _current: usize, _next: usize) {
+        state.hops += 1;
+        state.minimal_hops += 1;
+    }
+
+    fn max_route_hops(&self) -> usize {
+        self.view.diameter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperx_topology::{FaultSet, HyperX};
+    use rand::rngs::mock::StepRng;
+
+    fn view(side: usize, dims: usize) -> Arc<NetworkView> {
+        Arc::new(NetworkView::healthy(HyperX::regular(dims, side), 0))
+    }
+
+    #[test]
+    fn candidates_always_reduce_distance() {
+        let v = view(4, 2);
+        let algo = MinimalRouting::new(v.clone());
+        let mut rng = StepRng::new(0, 1);
+        for src in 0..v.hyperx().num_switches() {
+            for dst in 0..v.hyperx().num_switches() {
+                let st = algo.init(src, dst, &mut rng);
+                let mut out = Vec::new();
+                algo.candidates(&st, src, &mut out);
+                if src == dst {
+                    assert!(out.is_empty());
+                    continue;
+                }
+                assert!(!out.is_empty());
+                for c in &out {
+                    let nb = v.network().neighbor(src, c.port).unwrap();
+                    assert!(v.distance(nb.switch, dst) < v.distance(src, dst));
+                    assert!(!c.deroute);
+                    assert_eq!(c.penalty, 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn candidate_count_in_healthy_hyperx() {
+        // In a healthy HyperX at Hamming distance h from the destination there
+        // are exactly h minimal ports (one aligned port per unaligned dimension).
+        let v = view(4, 3);
+        let algo = MinimalRouting::new(v.clone());
+        let mut rng = StepRng::new(0, 1);
+        let hx = v.hyperx();
+        let src = hx.switch_id(&[0, 0, 0]);
+        let dst = hx.switch_id(&[1, 2, 0]);
+        let st = algo.init(src, dst, &mut rng);
+        let mut out = Vec::new();
+        algo.candidates(&st, src, &mut out);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn survives_faults_while_connected() {
+        let hx = HyperX::regular(2, 4);
+        let mut rng_f = rand::thread_rng();
+        let faults = FaultSet::random_connected_sequence(hx.network(), 10, &mut rng_f);
+        let v = Arc::new(NetworkView::with_faults(hx, &faults, 0));
+        let algo = MinimalRouting::new(v.clone());
+        let mut rng = StepRng::new(0, 1);
+        for src in 0..v.hyperx().num_switches() {
+            for dst in 0..v.hyperx().num_switches() {
+                if src == dst {
+                    continue;
+                }
+                let st = algo.init(src, dst, &mut rng);
+                let mut out = Vec::new();
+                algo.candidates(&st, src, &mut out);
+                assert!(!out.is_empty(), "minimal routing must always progress in a connected network");
+            }
+        }
+    }
+
+    #[test]
+    fn walking_candidates_reaches_destination_within_distance() {
+        let v = view(5, 2);
+        let algo = MinimalRouting::new(v.clone());
+        let mut rng = StepRng::new(0, 1);
+        let src = 0;
+        let dst = v.hyperx().num_switches() - 1;
+        let mut st = algo.init(src, dst, &mut rng);
+        let mut current = src;
+        let mut hops = 0;
+        while current != dst {
+            let mut out = Vec::new();
+            algo.candidates(&st, current, &mut out);
+            let next = v.network().neighbor(current, out[0].port).unwrap().switch;
+            algo.update(&mut st, current, next);
+            current = next;
+            hops += 1;
+            assert!(hops <= v.diameter());
+        }
+        assert_eq!(hops as u16, st.hops);
+    }
+
+    #[test]
+    fn max_route_hops_is_diameter() {
+        let v = view(8, 3);
+        let algo = MinimalRouting::new(v);
+        assert_eq!(algo.max_route_hops(), 3);
+    }
+}

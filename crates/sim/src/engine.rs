@@ -1,0 +1,844 @@
+//! The cycle-level simulation engine.
+//!
+//! The simulator is packet-granular with phit-accurate timing:
+//!
+//! * buffers hold whole packets (virtual cut-through), with the sizes of
+//!   Table 2 (8-packet input VC FIFOs, 4-packet output staging buffers);
+//! * moving a packet through the crossbar takes `crossbar_latency +
+//!   packet_length / crossbar_speedup` cycles; serializing it on a link takes
+//!   `packet_length` cycles plus `link_latency`;
+//! * a head packet makes a single request per cycle to the output with the
+//!   lowest `Q + P` among the candidates that satisfy flow control (the exact
+//!   allocation rule of paper §3), and each output port grants up to
+//!   `crossbar_speedup` requests per cycle;
+//! * credits are modelled by reserving a downstream buffer slot at grant time
+//!   and releasing it when the packet arrives, which is what a credit-based
+//!   VCT implementation guarantees.
+
+use crate::config::SimConfig;
+use crate::metrics::{BatchMetrics, MeasuredCounters, RateMetrics, ThroughputSample};
+use crate::packet::Packet;
+use crate::server::{GenerationMode, ServerState};
+use crate::switch::{OutputKind, StagedPacket, SwitchState};
+use crate::traffic::{ServerLayout, TrafficPattern};
+use hyperx_routing::{Candidate, NetworkView, RoutingMechanism};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+/// A timed event travelling between switches or towards a server.
+#[derive(Debug)]
+enum Event {
+    /// A packet finishes crossing a link and lands in an input VC.
+    Arrival {
+        switch: usize,
+        port: usize,
+        vc: usize,
+        packet: Packet,
+    },
+    /// A packet finishes its ejection link and is consumed by its server.
+    Delivery { packet: Packet },
+}
+
+/// One output request produced by a head packet.
+#[derive(Debug, Clone)]
+struct Request {
+    in_port: usize,
+    in_vc: usize,
+    out_port: usize,
+    out_vc: usize,
+    /// `Q + P` in phits.
+    score: u64,
+    /// The routing candidate behind the request (`None` for ejection).
+    candidate: Option<Candidate>,
+}
+
+/// The cycle-level simulator.
+pub struct Simulator {
+    cfg: SimConfig,
+    view: Arc<NetworkView>,
+    mechanism: Box<dyn RoutingMechanism>,
+    pattern: Box<dyn TrafficPattern>,
+    layout: ServerLayout,
+    switches: Vec<SwitchState>,
+    servers: Vec<ServerState>,
+    /// Event wheel indexed by `cycle % wheel.len()`.
+    wheel: Vec<Vec<Event>>,
+    rng: ChaCha8Rng,
+    cycle: u64,
+    next_packet_id: u64,
+    /// Packets created and not yet delivered (source queues + network).
+    packets_alive: u64,
+    total_generated: u64,
+    total_delivered: u64,
+    counters: MeasuredCounters,
+    measuring: bool,
+    generation: GenerationMode,
+    last_progress: u64,
+    progress_this_cycle: bool,
+    stalled: bool,
+    radix: usize,
+    /// Delivered phits since the last batch sample (Figure 10 curve).
+    window_delivered_phits: u64,
+}
+
+impl Simulator {
+    /// Builds a simulator over `view` with the given routing mechanism and
+    /// traffic pattern.
+    ///
+    /// # Panics
+    /// Panics if the mechanism's VC count disagrees with the configuration.
+    pub fn new(
+        view: Arc<NetworkView>,
+        mechanism: Box<dyn RoutingMechanism>,
+        pattern: Box<dyn TrafficPattern>,
+        cfg: SimConfig,
+    ) -> Self {
+        cfg.validate();
+        assert_eq!(
+            mechanism.num_vcs(),
+            cfg.num_vcs,
+            "the routing mechanism uses {} VCs but the configuration says {}",
+            mechanism.num_vcs(),
+            cfg.num_vcs
+        );
+        let hx = view.hyperx();
+        let layout = ServerLayout::new(hx, cfg.servers_per_switch);
+        let radix = hx.switch_radix();
+        let num_ports = radix + cfg.servers_per_switch;
+        let switches = (0..hx.num_switches())
+            .map(|s| {
+                let mut kinds = Vec::with_capacity(num_ports);
+                for p in 0..radix {
+                    kinds.push(match view.network().neighbor(s, p) {
+                        Some(nb) => OutputKind::Network {
+                            next_switch: nb.switch,
+                            next_input_port: nb.reverse_port,
+                        },
+                        None => OutputKind::Dead,
+                    });
+                }
+                for o in 0..cfg.servers_per_switch {
+                    kinds.push(OutputKind::Ejection {
+                        server: layout.server_at(s, o),
+                    });
+                }
+                SwitchState::new(num_ports, cfg.num_vcs, kinds)
+            })
+            .collect();
+        let servers = (0..layout.num_servers())
+            .map(|_| ServerState::new(u64::MAX))
+            .collect();
+        let wheel_len = (cfg.packet_length + cfg.link_latency + cfg.crossbar_latency + 4) as usize;
+        let counters = MeasuredCounters::new(layout.num_servers());
+        Simulator {
+            rng: ChaCha8Rng::seed_from_u64(cfg.seed),
+            cfg,
+            view,
+            mechanism,
+            pattern,
+            switches,
+            servers,
+            wheel: (0..wheel_len).map(|_| Vec::new()).collect(),
+            cycle: 0,
+            next_packet_id: 0,
+            packets_alive: 0,
+            total_generated: 0,
+            total_delivered: 0,
+            counters,
+            measuring: false,
+            generation: GenerationMode::Rate { offered_load: 0.0 },
+            last_progress: 0,
+            progress_this_cycle: false,
+            stalled: false,
+            radix,
+            layout,
+            window_delivered_phits: 0,
+        }
+    }
+
+    /// Current simulation cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// The network view this simulator runs on.
+    pub fn view(&self) -> &NetworkView {
+        &self.view
+    }
+
+    /// Packets created and not yet delivered.
+    pub fn packets_alive(&self) -> u64 {
+        self.packets_alive
+    }
+
+    /// Packets delivered since the simulation started.
+    pub fn total_delivered(&self) -> u64 {
+        self.total_delivered
+    }
+
+    /// Packets generated since the simulation started.
+    pub fn total_generated(&self) -> u64 {
+        self.total_generated
+    }
+
+    /// Whether the stall watchdog has fired.
+    pub fn stalled(&self) -> bool {
+        self.stalled
+    }
+
+    /// Sum of packets buffered inside switches (inputs + staging), used by
+    /// conservation tests.
+    pub fn packets_in_switches(&self) -> usize {
+        self.switches.iter().map(|s| s.buffered_packets()).sum()
+    }
+
+    /// Runs an open-loop (rate mode) experiment at `offered_load`
+    /// phits/cycle/server: warmup, then a measurement window.
+    pub fn run_rate(&mut self, offered_load: f64) -> RateMetrics {
+        assert!(
+            (0.0..=1.0).contains(&offered_load),
+            "offered load is normalised to [0, 1] phits/cycle/server"
+        );
+        self.generation = GenerationMode::Rate { offered_load };
+        for _ in 0..self.cfg.warmup_cycles {
+            self.step();
+        }
+        self.begin_measurement();
+        for _ in 0..self.cfg.measure_cycles {
+            self.step();
+            if self.stalled {
+                break;
+            }
+        }
+        self.counters.cycles = self.cfg.measure_cycles.min(self.counters.cycles.max(1));
+        RateMetrics::from_counters(
+            offered_load,
+            self.cfg.packet_length,
+            self.layout.num_servers(),
+            &self.counters,
+            self.packets_alive,
+            self.stalled,
+        )
+    }
+
+    /// Runs a closed-loop (batch mode) experiment: every server sends
+    /// `packets_per_server` packets as fast as it can; the simulation runs to
+    /// completion (or a stall). `sample_window` controls the granularity of
+    /// the accepted-load curve (Figure 10).
+    pub fn run_batch(&mut self, packets_per_server: u64, sample_window: u64) -> BatchMetrics {
+        assert!(packets_per_server > 0 && sample_window > 0);
+        self.generation = GenerationMode::Batch { packets_per_server };
+        for server in &mut self.servers {
+            server.remaining_quota = packets_per_server;
+        }
+        self.begin_measurement();
+        let expected = packets_per_server * self.layout.num_servers() as u64;
+        let mut samples = Vec::new();
+        let mut completion = 0u64;
+        while self.total_delivered < expected && !self.stalled {
+            self.step();
+            if self.cycle % sample_window == 0 {
+                samples.push(ThroughputSample {
+                    cycle: self.cycle,
+                    accepted_load: self.window_delivered_phits as f64
+                        / (sample_window as f64 * self.layout.num_servers() as f64),
+                });
+                self.window_delivered_phits = 0;
+            }
+            if self.total_delivered >= expected {
+                completion = self.cycle;
+            }
+        }
+        if completion == 0 {
+            completion = self.cycle;
+        }
+        // Final partial window, if any.
+        if self.cycle % sample_window != 0 {
+            let partial = self.cycle % sample_window;
+            samples.push(ThroughputSample {
+                cycle: self.cycle,
+                accepted_load: self.window_delivered_phits as f64
+                    / (partial as f64 * self.layout.num_servers() as f64),
+            });
+        }
+        let average_latency = if self.counters.delivered_packets > 0 {
+            self.counters.latency_sum as f64 / self.counters.delivered_packets as f64
+        } else {
+            0.0
+        };
+        BatchMetrics {
+            completion_time: completion,
+            delivered_packets: self.counters.delivered_packets,
+            samples,
+            average_latency,
+            stalled: self.stalled,
+        }
+    }
+
+    /// Stops generating new packets and runs until everything in flight is
+    /// delivered (or `max_cycles` elapse). Returns whether the network drained
+    /// completely. Used by integration tests to verify packet conservation.
+    pub fn drain(&mut self, max_cycles: u64) -> bool {
+        self.generation = GenerationMode::Batch {
+            packets_per_server: 0,
+        };
+        for server in &mut self.servers {
+            server.remaining_quota = 0;
+        }
+        let deadline = self.cycle + max_cycles;
+        while self.packets_alive > 0 && self.cycle < deadline && !self.stalled {
+            self.step();
+        }
+        self.packets_alive == 0
+    }
+
+    fn begin_measurement(&mut self) {
+        self.counters = MeasuredCounters::new(self.layout.num_servers());
+        self.measuring = true;
+        self.window_delivered_phits = 0;
+    }
+
+    /// Advances the simulation by one cycle.
+    pub fn step(&mut self) {
+        self.progress_this_cycle = false;
+        self.process_events();
+        self.generate_and_inject();
+        self.allocate();
+        self.transmit();
+        if self.measuring {
+            self.counters.cycles += 1;
+        }
+        if self.progress_this_cycle {
+            self.last_progress = self.cycle;
+        } else if self.packets_alive > 0
+            && self.cycle - self.last_progress >= self.cfg.watchdog_cycles
+        {
+            self.stalled = true;
+        }
+        self.cycle += 1;
+    }
+
+    fn wheel_slot(&self, cycle: u64) -> usize {
+        (cycle % self.wheel.len() as u64) as usize
+    }
+
+    fn schedule(&mut self, cycle: u64, event: Event) {
+        debug_assert!(cycle > self.cycle, "events must be scheduled in the future");
+        debug_assert!(
+            cycle - self.cycle < self.wheel.len() as u64,
+            "event beyond the wheel horizon"
+        );
+        let slot = self.wheel_slot(cycle);
+        self.wheel[slot].push(event);
+    }
+
+    fn process_events(&mut self) {
+        let slot = self.wheel_slot(self.cycle);
+        let events = std::mem::take(&mut self.wheel[slot]);
+        for event in events {
+            match event {
+                Event::Arrival {
+                    switch,
+                    port,
+                    vc,
+                    packet,
+                } => {
+                    let input = &mut self.switches[switch].inputs[port][vc];
+                    debug_assert!(input.inflight > 0, "arrival without a reservation");
+                    input.inflight -= 1;
+                    debug_assert!(
+                        input.queue.len() < self.cfg.input_buffer_packets,
+                        "input VC overflow: the reservation protocol is broken"
+                    );
+                    input.queue.push_back(packet);
+                    self.progress_this_cycle = true;
+                }
+                Event::Delivery { packet } => {
+                    self.packets_alive -= 1;
+                    self.total_delivered += 1;
+                    self.progress_this_cycle = true;
+                    if self.measuring {
+                        self.counters.delivered_packets += 1;
+                        self.counters.delivered_phits += self.cfg.packet_length;
+                        let lat = packet.latency_at(self.cycle);
+                        self.counters.latency_sum += lat;
+                        self.counters.latency_max = self.counters.latency_max.max(lat);
+                        self.counters.hop_sum += packet.state.hops as u64;
+                        self.counters.escape_hop_sum += packet.escape_hops as u64;
+                        if packet.escape_hops > 0 {
+                            self.counters.delivered_via_escape += 1;
+                        }
+                        self.window_delivered_phits += self.cfg.packet_length;
+                    }
+                }
+            }
+        }
+    }
+
+    fn generate_and_inject(&mut self) {
+        let packet_length = self.cfg.packet_length;
+        for server in 0..self.layout.num_servers() {
+            // Generation.
+            let wants_packet = match self.generation {
+                GenerationMode::Rate { offered_load } => {
+                    offered_load > 0.0
+                        && self.rng.gen::<f64>() < offered_load / packet_length as f64
+                }
+                GenerationMode::Batch { .. } => self.servers[server].remaining_quota > 0,
+            };
+            if wants_packet {
+                if self.servers[server].source_queue.len() < self.cfg.source_queue_packets {
+                    let dst = self.pattern.destination(server, &mut self.rng);
+                    debug_assert!(dst < self.layout.num_servers());
+                    let src_switch = self.layout.server_switch(server);
+                    let dst_switch = self.layout.server_switch(dst);
+                    let state = self
+                        .mechanism
+                        .init_packet(src_switch, dst_switch, &mut self.rng);
+                    let packet = Packet::new(
+                        self.next_packet_id,
+                        server,
+                        dst,
+                        dst_switch,
+                        self.cycle,
+                        state,
+                    );
+                    self.next_packet_id += 1;
+                    self.packets_alive += 1;
+                    self.total_generated += 1;
+                    if self.measuring {
+                        self.counters.generated_per_server[server] += 1;
+                    }
+                    if let GenerationMode::Batch { .. } = self.generation {
+                        self.servers[server].remaining_quota -= 1;
+                    }
+                    self.servers[server].source_queue.push_back(packet);
+                } else if self.measuring {
+                    // Rate mode: a generation opportunity lost to a full source
+                    // queue (this is what depresses the Jain index at saturation).
+                    self.counters.generation_blocked += 1;
+                }
+            }
+
+            // Injection over the server-to-switch link.
+            if self.servers[server].injection_busy_until > self.cycle
+                || self.servers[server].source_queue.is_empty()
+            {
+                continue;
+            }
+            let sw = self.layout.server_switch(server);
+            let in_port = self.radix + self.layout.server_offset(server);
+            let vc = 0usize;
+            if self.switches[sw].inputs[in_port][vc].free_slots(self.cfg.input_buffer_packets) == 0
+            {
+                continue;
+            }
+            let mut packet = self.servers[server].source_queue.pop_front().unwrap();
+            packet.injected_at = self.cycle;
+            self.switches[sw].inputs[in_port][vc].inflight += 1;
+            self.servers[server].injection_busy_until = self.cycle + packet_length;
+            let arrive = self.cycle + packet_length + self.cfg.link_latency;
+            self.schedule(
+                arrive,
+                Event::Arrival {
+                    switch: sw,
+                    port: in_port,
+                    vc,
+                    packet,
+                },
+            );
+            self.progress_this_cycle = true;
+        }
+    }
+
+    /// The `Q` term of the paper's allocation rule, in packets: output staging
+    /// occupancy plus the consumed credits of every VC of the requested port,
+    /// counting the requested VC twice.
+    fn request_q(&self, switch: usize, out_port: usize, out_vc: usize) -> u64 {
+        let out = &self.switches[switch].outputs[out_port];
+        let staging = out.staging.len() as u64;
+        match out.kind {
+            OutputKind::Network {
+                next_switch,
+                next_input_port,
+            } => {
+                let port = &self.switches[next_switch].inputs[next_input_port];
+                let all: u64 = port.iter().map(|vc| vc.occupancy() as u64).sum();
+                staging + all + port[out_vc].occupancy() as u64
+            }
+            OutputKind::Ejection { .. } => staging * 2,
+            OutputKind::Dead => u64::MAX / 2,
+        }
+    }
+
+    fn collect_requests(&self, switch: usize) -> Vec<Request> {
+        let mut requests = Vec::new();
+        let num_ports = self.switches[switch].inputs.len();
+        let mut scratch: Vec<Candidate> = Vec::new();
+        for in_port in 0..num_ports {
+            for in_vc in 0..self.cfg.num_vcs {
+                let Some(head) = self.switches[switch].inputs[in_port][in_vc].queue.front() else {
+                    continue;
+                };
+                // Ejection: the packet has reached its destination switch.
+                if head.dst_switch == switch {
+                    let out_port = self.radix + self.layout.server_offset(head.dst_server);
+                    let out = &self.switches[switch].outputs[out_port];
+                    if out.staging_has_room(self.cfg.output_buffer_packets, 0) {
+                        requests.push(Request {
+                            in_port,
+                            in_vc,
+                            out_port,
+                            out_vc: 0,
+                            score: self.request_q(switch, out_port, 0) * self.cfg.packet_length,
+                            candidate: None,
+                        });
+                    }
+                    continue;
+                }
+                // Routing: single request to the best candidate that satisfies flow control.
+                scratch.clear();
+                self.mechanism.candidates(&head.state, switch, &mut scratch);
+                let mut best: Option<Request> = None;
+                for cand in &scratch {
+                    let out = &self.switches[switch].outputs[cand.port];
+                    let OutputKind::Network {
+                        next_switch,
+                        next_input_port,
+                    } = out.kind
+                    else {
+                        continue;
+                    };
+                    if !out.staging_has_room(self.cfg.output_buffer_packets, 0) {
+                        continue;
+                    }
+                    // Pick the VC of the allowed range with the most free space.
+                    let mut chosen: Option<(usize, usize)> = None; // (free, vc)
+                    for vc in cand.vcs.iter() {
+                        if vc >= self.cfg.num_vcs {
+                            continue;
+                        }
+                        let free = self.switches[next_switch].inputs[next_input_port][vc]
+                            .free_slots(self.cfg.input_buffer_packets);
+                        if free > 0 && chosen.map_or(true, |(best_free, _)| free > best_free) {
+                            chosen = Some((free, vc));
+                        }
+                    }
+                    let Some((_, vc)) = chosen else {
+                        continue;
+                    };
+                    let score = self.request_q(switch, cand.port, vc) * self.cfg.packet_length
+                        + cand.penalty as u64;
+                    if best.as_ref().map_or(true, |b| score < b.score) {
+                        best = Some(Request {
+                            in_port,
+                            in_vc,
+                            out_port: cand.port,
+                            out_vc: vc,
+                            score,
+                            candidate: Some(*cand),
+                        });
+                    }
+                }
+                if let Some(req) = best {
+                    requests.push(req);
+                }
+            }
+        }
+        requests
+    }
+
+    fn apply_grants(&mut self, switch: usize, requests: Vec<Request>) {
+        if requests.is_empty() {
+            return;
+        }
+        // Random tie-break, then lowest score first per output port.
+        let mut keyed: Vec<(u64, u32, usize)> = requests
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.score, self.rng.gen::<u32>(), i))
+            .collect();
+        keyed.sort_unstable();
+        let num_ports = self.switches[switch].outputs.len();
+        let speedup = self.cfg.crossbar_speedup;
+        let mut out_grants = vec![0usize; num_ports];
+        let mut in_grants = vec![0usize; num_ports];
+        let crossbar_time =
+            self.cfg.crossbar_latency + self.cfg.packet_length.div_ceil(self.cfg.crossbar_speedup as u64);
+        for (_, _, idx) in keyed {
+            let req = requests[idx].clone();
+            if out_grants[req.out_port] >= speedup || in_grants[req.in_port] >= speedup {
+                continue;
+            }
+            if !self.switches[switch].outputs[req.out_port]
+                .staging_has_room(self.cfg.output_buffer_packets, 0)
+            {
+                continue;
+            }
+            // Re-check (and reserve) the downstream slot for network hops.
+            if let OutputKind::Network {
+                next_switch,
+                next_input_port,
+            } = self.switches[switch].outputs[req.out_port].kind
+            {
+                let free = self.switches[next_switch].inputs[next_input_port][req.out_vc]
+                    .free_slots(self.cfg.input_buffer_packets);
+                if free == 0 {
+                    continue;
+                }
+                self.switches[next_switch].inputs[next_input_port][req.out_vc].inflight += 1;
+            }
+            // Commit: move the packet from the input VC to the output staging buffer.
+            let input = &mut self.switches[switch].inputs[req.in_port][req.in_vc];
+            let mut packet = input
+                .queue
+                .pop_front()
+                .expect("granted request without a head packet");
+            input.invalidate_cache();
+            if let Some(cand) = &req.candidate {
+                if let OutputKind::Network { next_switch, .. } =
+                    self.switches[switch].outputs[req.out_port].kind
+                {
+                    self.mechanism
+                        .note_hop(&mut packet.state, switch, next_switch, cand);
+                    if cand.enters_escape() {
+                        packet.escape_hops += 1;
+                    }
+                }
+            }
+            self.switches[switch].outputs[req.out_port]
+                .staging
+                .push_back(StagedPacket {
+                    packet,
+                    dst_vc: req.out_vc,
+                    ready_at: self.cycle + crossbar_time,
+                });
+            out_grants[req.out_port] += 1;
+            in_grants[req.in_port] += 1;
+            self.progress_this_cycle = true;
+        }
+    }
+
+    fn allocate(&mut self) {
+        for switch in 0..self.switches.len() {
+            let requests = self.collect_requests(switch);
+            self.apply_grants(switch, requests);
+        }
+    }
+
+    fn transmit(&mut self) {
+        let packet_length = self.cfg.packet_length;
+        let link_latency = self.cfg.link_latency;
+        for switch in 0..self.switches.len() {
+            for port in 0..self.switches[switch].outputs.len() {
+                let out = &self.switches[switch].outputs[port];
+                if out.link_busy_until > self.cycle {
+                    continue;
+                }
+                let Some(head) = out.staging.front() else {
+                    continue;
+                };
+                if head.ready_at > self.cycle {
+                    continue;
+                }
+                let kind = out.kind;
+                let staged = self.switches[switch].outputs[port]
+                    .staging
+                    .pop_front()
+                    .unwrap();
+                self.switches[switch].outputs[port].link_busy_until = self.cycle + packet_length;
+                let arrive = self.cycle + packet_length + link_latency;
+                match kind {
+                    OutputKind::Network {
+                        next_switch,
+                        next_input_port,
+                    } => {
+                        self.schedule(
+                            arrive,
+                            Event::Arrival {
+                                switch: next_switch,
+                                port: next_input_port,
+                                vc: staged.dst_vc,
+                                packet: staged.packet,
+                            },
+                        );
+                    }
+                    OutputKind::Ejection { .. } => {
+                        self.schedule(
+                            arrive,
+                            Event::Delivery {
+                                packet: staged.packet,
+                            },
+                        );
+                    }
+                    OutputKind::Dead => unreachable!("dead ports never receive grants"),
+                }
+                self.progress_this_cycle = true;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::{RandomServerPermutation, UniformTraffic};
+    use hyperx_routing::MechanismSpec;
+    use hyperx_topology::HyperX;
+
+    fn build_sim(spec: MechanismSpec, load_cfg: SimConfig) -> Simulator {
+        let hx = HyperX::regular(2, 4);
+        let view = Arc::new(NetworkView::healthy(hx, 0));
+        let mech = spec.build(view.clone(), load_cfg.num_vcs);
+        let layout = ServerLayout::new(view.hyperx(), load_cfg.servers_per_switch);
+        let pattern = Box::new(UniformTraffic::new(&layout));
+        Simulator::new(view, mech, pattern, load_cfg)
+    }
+
+    #[test]
+    fn single_packet_end_to_end_latency() {
+        // One packet, empty network: latency = injection serialization + per-hop
+        // (crossbar + link) serialization, so it must be close to the analytic
+        // minimum and the packet must arrive.
+        let mut cfg = SimConfig::quick(2, 4);
+        cfg.warmup_cycles = 0;
+        cfg.measure_cycles = 400;
+        cfg.seed = 7;
+        let hx = HyperX::regular(2, 4);
+        let view = Arc::new(NetworkView::healthy(hx, 0));
+        let mech = MechanismSpec::Minimal.build(view.clone(), 4);
+        let layout = ServerLayout::new(view.hyperx(), 2);
+        // A fixed permutation sending server 0 to the farthest corner and making
+        // everything else local (self loops are fine for this test).
+        let mut mapping: Vec<usize> = (0..layout.num_servers()).collect();
+        let far = layout.num_servers() - 1;
+        mapping.swap(0, far);
+        let pattern = Box::new(RandomServerPermutation::from_mapping(mapping));
+        let mut sim = Simulator::new(view, mech, pattern, cfg);
+        sim.generation = GenerationMode::Batch {
+            packets_per_server: 0,
+        };
+        for s in &mut sim.servers {
+            s.remaining_quota = 0;
+        }
+        sim.servers[0].remaining_quota = 1;
+        sim.begin_measurement();
+        for _ in 0..400 {
+            sim.step();
+            if sim.total_delivered() == 1 {
+                break;
+            }
+        }
+        assert_eq!(sim.total_delivered(), 1, "the lone packet must arrive");
+        // Distance is 2 hops; minimum latency = 3 links × (16+1) + 2 crossbars ≈ 70.
+        let lat = sim.counters.latency_sum;
+        assert!(lat >= 3 * 17, "latency {lat} below the serialization floor");
+        assert!(lat <= 150, "latency {lat} absurdly high for an empty network");
+    }
+
+    #[test]
+    fn low_load_uniform_delivers_offered_traffic() {
+        let mut cfg = SimConfig::quick(2, 4);
+        cfg.warmup_cycles = 500;
+        cfg.measure_cycles = 3000;
+        let mut sim = build_sim(MechanismSpec::Minimal, cfg);
+        let m = sim.run_rate(0.2);
+        assert!(!m.stalled);
+        assert!(
+            (m.accepted_load - 0.2).abs() < 0.05,
+            "accepted {} should track the offered 0.2",
+            m.accepted_load
+        );
+        assert!(m.average_latency > 30.0 && m.average_latency < 300.0);
+        assert!(m.jain_generated > 0.9);
+    }
+
+    #[test]
+    fn packet_conservation_under_drain() {
+        let mut cfg = SimConfig::quick(2, 4);
+        cfg.warmup_cycles = 0;
+        cfg.measure_cycles = 500;
+        let mut sim = build_sim(MechanismSpec::OmniSP, cfg);
+        sim.run_rate(0.4);
+        let generated = sim.total_generated();
+        assert!(generated > 0);
+        let drained = sim.drain(200_000);
+        assert!(drained, "all packets must eventually be delivered");
+        assert_eq!(sim.total_delivered(), generated);
+        assert_eq!(sim.packets_in_switches(), 0);
+    }
+
+    #[test]
+    fn saturation_does_not_exceed_physical_limit() {
+        let mut cfg = SimConfig::quick(2, 4);
+        cfg.warmup_cycles = 300;
+        cfg.measure_cycles = 1500;
+        let mut sim = build_sim(MechanismSpec::OmniSP, cfg);
+        let m = sim.run_rate(1.0);
+        assert!(m.accepted_load <= 1.0 + 1e-9);
+        assert!(m.accepted_load > 0.3, "a healthy HyperX should accept substantial uniform load");
+        assert!(!m.stalled);
+    }
+
+    #[test]
+    fn batch_mode_completes_and_reports_samples() {
+        let mut cfg = SimConfig::quick(2, 4);
+        cfg.seed = 3;
+        let hx = HyperX::regular(2, 4);
+        let view = Arc::new(NetworkView::healthy(hx, 0));
+        let mech = MechanismSpec::PolSP.build(view.clone(), 4);
+        let layout = ServerLayout::new(view.hyperx(), 2);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let pattern = Box::new(RandomServerPermutation::new(&layout, &mut rng));
+        let mut sim = Simulator::new(view, mech, pattern, cfg);
+        let result = sim.run_batch(5, 200);
+        assert!(!result.stalled);
+        assert_eq!(result.delivered_packets, 5 * 32);
+        assert!(result.completion_time > 0);
+        assert!(!result.samples.is_empty());
+        let delivered_via_samples: f64 = result
+            .samples
+            .iter()
+            .map(|s| s.accepted_load)
+            .sum::<f64>();
+        assert!(delivered_via_samples > 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_a_seed() {
+        let mut cfg = SimConfig::quick(2, 4);
+        cfg.warmup_cycles = 200;
+        cfg.measure_cycles = 800;
+        cfg.seed = 99;
+        let m1 = build_sim(MechanismSpec::Polarized, cfg.clone()).run_rate(0.5);
+        let m2 = build_sim(MechanismSpec::Polarized, cfg).run_rate(0.5);
+        assert_eq!(m1.delivered_packets, m2.delivered_packets);
+        assert_eq!(m1.accepted_load, m2.accepted_load);
+        assert_eq!(m1.average_latency, m2.average_latency);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mechanism_vc_mismatch_rejected() {
+        let cfg = SimConfig::quick(2, 6);
+        let hx = HyperX::regular(2, 4);
+        let view = Arc::new(NetworkView::healthy(hx, 0));
+        let mech = MechanismSpec::Minimal.build(view.clone(), 4);
+        let layout = ServerLayout::new(view.hyperx(), 2);
+        let pattern = Box::new(UniformTraffic::new(&layout));
+        let _ = Simulator::new(view, mech, pattern, cfg);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_load_rejected() {
+        let cfg = SimConfig::quick(2, 4);
+        let mut sim = build_sim(MechanismSpec::Minimal, cfg);
+        let _ = sim.run_rate(1.5);
+    }
+
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+}

@@ -1,0 +1,224 @@
+//! Performance metrics: accepted throughput, message latency, Jain fairness.
+
+use serde::{Deserialize, Serialize};
+
+/// Jain's fairness index over a set of per-server loads:
+/// `(Σ xᵢ)² / (n · Σ xᵢ²)`. A value of 1.0 means perfect equity; the paper
+/// treats values below 0.98 as signalling unfairness.
+pub fn jain_index(loads: &[f64]) -> f64 {
+    if loads.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = loads.iter().sum();
+    let sq_sum: f64 = loads.iter().map(|x| x * x).sum();
+    if sq_sum == 0.0 {
+        // Every server generated nothing: trivially fair.
+        return 1.0;
+    }
+    (sum * sum) / (loads.len() as f64 * sq_sum)
+}
+
+/// Counters accumulated during the measurement window of a simulation.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct MeasuredCounters {
+    /// Cycles measured.
+    pub cycles: u64,
+    /// Packets generated (accepted into a source queue) during measurement, per server.
+    pub generated_per_server: Vec<u64>,
+    /// Packets whose generation attempt was dropped because the source queue was full.
+    pub generation_blocked: u64,
+    /// Packets delivered to their destination server during measurement.
+    pub delivered_packets: u64,
+    /// Phits delivered during measurement.
+    pub delivered_phits: u64,
+    /// Sum of end-to-end latencies (creation → delivery) of delivered packets.
+    pub latency_sum: u64,
+    /// Largest observed latency.
+    pub latency_max: u64,
+    /// Delivered packets that used at least one escape hop.
+    pub delivered_via_escape: u64,
+    /// Total switch-to-switch hops of delivered packets.
+    pub hop_sum: u64,
+    /// Total escape hops of delivered packets.
+    pub escape_hop_sum: u64,
+}
+
+impl MeasuredCounters {
+    /// Creates zeroed counters for `servers` servers.
+    pub fn new(servers: usize) -> Self {
+        MeasuredCounters {
+            generated_per_server: vec![0; servers],
+            ..Default::default()
+        }
+    }
+}
+
+/// The headline metrics of a rate-mode (open-loop) simulation, one point of a
+/// throughput/latency curve in Figures 4–6, 8 and 9.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RateMetrics {
+    /// Offered load in phits/cycle/server (the x axis of Figures 4 and 5).
+    pub offered_load: f64,
+    /// Accepted load in phits/cycle/server (delivered phits normalised by servers × cycles).
+    pub accepted_load: f64,
+    /// Generated load in phits/cycle/server (what the sources actually injected).
+    pub generated_load: f64,
+    /// Average end-to-end message latency in cycles.
+    pub average_latency: f64,
+    /// Maximum observed latency in cycles.
+    pub max_latency: u64,
+    /// Jain fairness index of the per-server generated load.
+    pub jain_generated: f64,
+    /// Fraction of delivered packets that used the escape subnetwork.
+    pub escape_fraction: f64,
+    /// Average switch-to-switch hops per delivered packet.
+    pub average_hops: f64,
+    /// Packets delivered during the measurement window.
+    pub delivered_packets: u64,
+    /// Packets still in flight (source queues + network) at the end of measurement.
+    pub in_flight_at_end: u64,
+    /// Whether the stall watchdog fired (deadlock or undeliverable packets).
+    pub stalled: bool,
+}
+
+impl RateMetrics {
+    /// Derives the metrics from raw counters.
+    pub fn from_counters(
+        offered_load: f64,
+        packet_length: u64,
+        servers: usize,
+        counters: &MeasuredCounters,
+        in_flight_at_end: u64,
+        stalled: bool,
+    ) -> Self {
+        let cycles = counters.cycles.max(1) as f64;
+        let servers_f = servers.max(1) as f64;
+        let accepted_load = counters.delivered_phits as f64 / (cycles * servers_f);
+        let generated_phits: u64 = counters
+            .generated_per_server
+            .iter()
+            .map(|&p| p * packet_length)
+            .sum();
+        let generated_load = generated_phits as f64 / (cycles * servers_f);
+        let per_server_loads: Vec<f64> = counters
+            .generated_per_server
+            .iter()
+            .map(|&p| p as f64 * packet_length as f64 / cycles)
+            .collect();
+        let average_latency = if counters.delivered_packets > 0 {
+            counters.latency_sum as f64 / counters.delivered_packets as f64
+        } else {
+            0.0
+        };
+        let escape_fraction = if counters.delivered_packets > 0 {
+            counters.delivered_via_escape as f64 / counters.delivered_packets as f64
+        } else {
+            0.0
+        };
+        let average_hops = if counters.delivered_packets > 0 {
+            counters.hop_sum as f64 / counters.delivered_packets as f64
+        } else {
+            0.0
+        };
+        RateMetrics {
+            offered_load,
+            accepted_load,
+            generated_load,
+            average_latency,
+            max_latency: counters.latency_max,
+            jain_generated: jain_index(&per_server_loads),
+            escape_fraction,
+            average_hops,
+            delivered_packets: counters.delivered_packets,
+            in_flight_at_end,
+            stalled,
+        }
+    }
+}
+
+/// One sample of the completion-time experiment (Figure 10): the accepted load
+/// measured over a window ending at `cycle`.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ThroughputSample {
+    /// End cycle of the sampling window.
+    pub cycle: u64,
+    /// Accepted load in phits/cycle/server over the window.
+    pub accepted_load: f64,
+}
+
+/// Results of a batch-mode (closed-loop) simulation: every server sends a
+/// fixed amount of traffic and the simulation runs until everything is delivered.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BatchMetrics {
+    /// Cycle at which the last packet was delivered.
+    pub completion_time: u64,
+    /// Total packets delivered.
+    pub delivered_packets: u64,
+    /// Accepted-load curve over time (Figure 10's series).
+    pub samples: Vec<ThroughputSample>,
+    /// Average end-to-end latency over all packets.
+    pub average_latency: f64,
+    /// Whether the stall watchdog fired before completion.
+    pub stalled: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jain_index_of_equal_loads_is_one() {
+        assert!((jain_index(&[0.5; 16]) - 1.0).abs() < 1e-12);
+        assert!((jain_index(&[]) - 1.0).abs() < 1e-12);
+        assert!((jain_index(&[0.0, 0.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_index_detects_unfairness() {
+        // One busy server among four idle ones: index = 1/5.
+        let loads = [1.0, 0.0, 0.0, 0.0, 0.0];
+        assert!((jain_index(&loads) - 0.2).abs() < 1e-12);
+        // Mild unfairness stays close to 1.
+        let mild = [1.0, 0.9, 1.0, 1.1];
+        assert!(jain_index(&mild) > 0.99);
+    }
+
+    #[test]
+    fn jain_index_is_scale_invariant() {
+        let a = [0.2, 0.4, 0.6];
+        let b = [2.0, 4.0, 6.0];
+        assert!((jain_index(&a) - jain_index(&b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rate_metrics_normalisation() {
+        let mut c = MeasuredCounters::new(4);
+        c.cycles = 100;
+        c.delivered_packets = 10;
+        c.delivered_phits = 160;
+        c.latency_sum = 500;
+        c.latency_max = 90;
+        c.generated_per_server = vec![3, 3, 3, 3];
+        c.hop_sum = 20;
+        let m = RateMetrics::from_counters(0.5, 16, 4, &c, 2, false);
+        // 160 phits over 100 cycles and 4 servers = 0.4 phits/cycle/server.
+        assert!((m.accepted_load - 0.4).abs() < 1e-12);
+        assert!((m.generated_load - 0.48).abs() < 1e-12);
+        assert!((m.average_latency - 50.0).abs() < 1e-12);
+        assert_eq!(m.max_latency, 90);
+        assert!((m.jain_generated - 1.0).abs() < 1e-12);
+        assert!((m.average_hops - 2.0).abs() < 1e-12);
+        assert_eq!(m.in_flight_at_end, 2);
+        assert!(!m.stalled);
+    }
+
+    #[test]
+    fn rate_metrics_with_no_deliveries() {
+        let c = MeasuredCounters::new(2);
+        let m = RateMetrics::from_counters(0.1, 16, 2, &c, 0, true);
+        assert_eq!(m.accepted_load, 0.0);
+        assert_eq!(m.average_latency, 0.0);
+        assert_eq!(m.escape_fraction, 0.0);
+        assert!(m.stalled);
+    }
+}

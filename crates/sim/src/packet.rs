@@ -1,0 +1,84 @@
+//! Packets: the unit of simulation.
+//!
+//! The simulator is packet-granular with phit-accurate timing: a packet
+//! occupies buffers as a unit (virtual cut-through) but its serialization
+//! over crossbars and links takes `packet_length` phit times.
+
+use hyperx_routing::PacketState;
+use serde::{Deserialize, Serialize};
+
+/// Unique, monotonically increasing packet identifier.
+pub type PacketId = u64;
+
+/// A packet in flight.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Packet {
+    /// Unique id (generation order).
+    pub id: PacketId,
+    /// Generating server.
+    pub src_server: usize,
+    /// Destination server.
+    pub dst_server: usize,
+    /// Switch the destination server hangs from.
+    pub dst_switch: usize,
+    /// Cycle the packet was created at the source queue.
+    pub created_at: u64,
+    /// Cycle the packet finished entering its source switch (0 until then).
+    pub injected_at: u64,
+    /// Per-packet routing state maintained by the routing mechanism.
+    pub state: PacketState,
+    /// Number of hops taken on the escape subnetwork (SurePath statistics).
+    pub escape_hops: u16,
+}
+
+impl Packet {
+    /// Creates a packet; the routing state must come from the routing
+    /// mechanism's `init_packet`.
+    pub fn new(
+        id: PacketId,
+        src_server: usize,
+        dst_server: usize,
+        dst_switch: usize,
+        created_at: u64,
+        state: PacketState,
+    ) -> Self {
+        Packet {
+            id,
+            src_server,
+            dst_server,
+            dst_switch,
+            created_at,
+            injected_at: 0,
+            state,
+            escape_hops: 0,
+        }
+    }
+
+    /// End-to-end latency if delivered at `cycle` (from creation, i.e.
+    /// including the time spent in the source queue).
+    pub fn latency_at(&self, cycle: u64) -> u64 {
+        cycle.saturating_sub(self.created_at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_measured_from_creation() {
+        let p = Packet::new(1, 0, 99, 9, 100, PacketState::new(0, 9));
+        assert_eq!(p.latency_at(150), 50);
+        assert_eq!(p.latency_at(100), 0);
+        assert_eq!(p.latency_at(50), 0, "saturates instead of underflowing");
+    }
+
+    #[test]
+    fn new_packet_has_no_escape_hops() {
+        let p = Packet::new(7, 3, 4, 1, 0, PacketState::new(0, 1));
+        assert_eq!(p.escape_hops, 0);
+        assert_eq!(p.injected_at, 0);
+        assert_eq!(p.state.source, 0);
+        assert_eq!(p.state.dest, 1);
+    }
+}

@@ -1,0 +1,208 @@
+//! Per-switch simulation state: input virtual channels, output staging
+//! buffers and the bookkeeping needed by credit-based virtual cut-through.
+
+use crate::packet::{Packet, PacketId};
+use hyperx_routing::Candidate;
+use std::collections::VecDeque;
+
+/// One input virtual-channel FIFO.
+#[derive(Debug, Default)]
+pub struct InputVc {
+    /// Packets buffered in this VC, head first.
+    pub queue: VecDeque<Packet>,
+    /// Packets committed towards this VC (granted upstream or in flight on the
+    /// link) that have not arrived yet. Together with `queue.len()` this is the
+    /// "consumed credits" the upstream switch sees.
+    pub inflight: usize,
+    /// Packet id the cached candidate list belongs to.
+    pub cached_for: Option<PacketId>,
+    /// Candidate list of the current head packet (computed once per head).
+    pub cached_candidates: Vec<Candidate>,
+}
+
+impl InputVc {
+    /// Free packet slots, as seen by the upstream switch through its credits.
+    pub fn free_slots(&self, capacity: usize) -> usize {
+        capacity.saturating_sub(self.queue.len() + self.inflight)
+    }
+
+    /// Occupancy (buffered + committed), the "consumed credits" of the paper's Q computation.
+    pub fn occupancy(&self) -> usize {
+        self.queue.len() + self.inflight
+    }
+
+    /// Drops the cached candidates (the head changed).
+    pub fn invalidate_cache(&mut self) {
+        self.cached_for = None;
+        self.cached_candidates.clear();
+    }
+}
+
+/// Where an output port leads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OutputKind {
+    /// A switch-to-switch link; arrivals land at `(next_switch, next_input_port)`.
+    Network {
+        /// Downstream switch.
+        next_switch: usize,
+        /// Input port at the downstream switch.
+        next_input_port: usize,
+    },
+    /// An ejection link towards a locally attached server.
+    Ejection {
+        /// Destination server id.
+        server: usize,
+    },
+    /// A dead port (the healthy link failed). Never carries traffic.
+    Dead,
+}
+
+/// A packet sitting in an output staging buffer, waiting for the link.
+#[derive(Debug)]
+pub struct StagedPacket {
+    /// The packet itself.
+    pub packet: Packet,
+    /// VC it will occupy at the downstream input (ignored for ejection).
+    pub dst_vc: usize,
+    /// Cycle at which the crossbar transfer completes and the packet may start
+    /// on the link.
+    pub ready_at: u64,
+}
+
+/// One output port: staging buffer plus link state.
+#[derive(Debug)]
+pub struct OutputPort {
+    /// Where the port leads.
+    pub kind: OutputKind,
+    /// Packets transferred through the crossbar, waiting for the link.
+    pub staging: VecDeque<StagedPacket>,
+    /// The link is serializing a packet until this cycle.
+    pub link_busy_until: u64,
+}
+
+impl OutputPort {
+    /// Creates an idle output port.
+    pub fn new(kind: OutputKind) -> Self {
+        OutputPort {
+            kind,
+            staging: VecDeque::new(),
+            link_busy_until: 0,
+        }
+    }
+
+    /// Whether another packet fits in the staging buffer given `extra` already
+    /// granted this cycle.
+    pub fn staging_has_room(&self, capacity: usize, extra: usize) -> bool {
+        self.staging.len() + extra < capacity
+    }
+}
+
+/// The full state of one switch.
+#[derive(Debug)]
+pub struct SwitchState {
+    /// Input ports × VCs. Ports `0..radix` come from neighbour switches (the
+    /// topology's port numbering); ports `radix..radix+concentration` are the
+    /// injection ports of the attached servers. Every port has `num_vcs` VCs,
+    /// but injection ports only ever use VC 0.
+    pub inputs: Vec<Vec<InputVc>>,
+    /// Output ports, same indexing as inputs (network then ejection).
+    pub outputs: Vec<OutputPort>,
+}
+
+impl SwitchState {
+    /// Builds an empty switch with the given port structure.
+    pub fn new(num_ports: usize, num_vcs: usize, output_kinds: Vec<OutputKind>) -> Self {
+        assert_eq!(output_kinds.len(), num_ports);
+        SwitchState {
+            inputs: (0..num_ports)
+                .map(|_| (0..num_vcs).map(|_| InputVc::default()).collect())
+                .collect(),
+            outputs: output_kinds.into_iter().map(OutputPort::new).collect(),
+        }
+    }
+
+    /// Total packets buffered in the switch (inputs + staging).
+    pub fn buffered_packets(&self) -> usize {
+        let inputs: usize = self
+            .inputs
+            .iter()
+            .flat_map(|p| p.iter())
+            .map(|vc| vc.queue.len())
+            .sum();
+        let staged: usize = self.outputs.iter().map(|o| o.staging.len()).sum();
+        inputs + staged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperx_routing::PacketState;
+
+    fn dummy_packet(id: u64) -> Packet {
+        Packet::new(id, 0, 1, 0, 0, PacketState::new(0, 0))
+    }
+
+    #[test]
+    fn input_vc_accounting() {
+        let mut vc = InputVc::default();
+        assert_eq!(vc.free_slots(8), 8);
+        vc.queue.push_back(dummy_packet(1));
+        vc.inflight = 2;
+        assert_eq!(vc.free_slots(8), 5);
+        assert_eq!(vc.occupancy(), 3);
+        vc.inflight = 10;
+        assert_eq!(vc.free_slots(8), 0, "free slots saturate at zero");
+    }
+
+    #[test]
+    fn cache_invalidation_clears_state() {
+        let mut vc = InputVc::default();
+        vc.cached_for = Some(3);
+        vc.invalidate_cache();
+        assert_eq!(vc.cached_for, None);
+        assert!(vc.cached_candidates.is_empty());
+    }
+
+    #[test]
+    fn output_staging_room() {
+        let mut port = OutputPort::new(OutputKind::Ejection { server: 0 });
+        assert!(port.staging_has_room(4, 0));
+        for i in 0..4 {
+            port.staging.push_back(StagedPacket {
+                packet: dummy_packet(i),
+                dst_vc: 0,
+                ready_at: 0,
+            });
+        }
+        assert!(!port.staging_has_room(4, 0));
+        assert!(!port.staging_has_room(5, 1));
+        assert!(port.staging_has_room(6, 1));
+    }
+
+    #[test]
+    fn switch_counts_buffered_packets() {
+        let kinds = vec![
+            OutputKind::Network {
+                next_switch: 1,
+                next_input_port: 0,
+            },
+            OutputKind::Ejection { server: 0 },
+        ];
+        let mut sw = SwitchState::new(2, 2, kinds);
+        assert_eq!(sw.buffered_packets(), 0);
+        sw.inputs[0][1].queue.push_back(dummy_packet(1));
+        sw.outputs[1].staging.push_back(StagedPacket {
+            packet: dummy_packet(2),
+            dst_vc: 0,
+            ready_at: 5,
+        });
+        assert_eq!(sw.buffered_packets(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_output_kinds_rejected() {
+        let _ = SwitchState::new(3, 2, vec![OutputKind::Dead]);
+    }
+}

@@ -1,0 +1,121 @@
+//! Random Server Permutation traffic and fixed permutation patterns in general.
+
+use super::{ServerLayout, TrafficPattern};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::RngCore;
+
+/// A fixed permutation of the servers: every server sends all its traffic to
+/// the image of its own index. The paper motivates it as "every server pulls
+/// a large file from another server, with those servers selected in a random
+/// but balanced way".
+#[derive(Clone, Debug)]
+pub struct RandomServerPermutation {
+    mapping: Vec<usize>,
+}
+
+impl RandomServerPermutation {
+    /// Draws a uniformly random permutation of the servers using `rng`.
+    pub fn new<R: Rng>(layout: &ServerLayout, rng: &mut R) -> Self {
+        let mut mapping: Vec<usize> = (0..layout.num_servers()).collect();
+        mapping.shuffle(rng);
+        RandomServerPermutation { mapping }
+    }
+
+    /// Builds the pattern from an explicit permutation (used by tests and by
+    /// experiments that need a reproducible mapping).
+    ///
+    /// # Panics
+    /// Panics if `mapping` is not a permutation of `0..len`.
+    pub fn from_mapping(mapping: Vec<usize>) -> Self {
+        let mut seen = vec![false; mapping.len()];
+        for &d in &mapping {
+            assert!(d < mapping.len(), "destination {d} out of range");
+            assert!(!seen[d], "destination {d} repeated: not a permutation");
+            seen[d] = true;
+        }
+        RandomServerPermutation { mapping }
+    }
+
+    /// The underlying mapping.
+    pub fn mapping(&self) -> &[usize] {
+        &self.mapping
+    }
+}
+
+impl TrafficPattern for RandomServerPermutation {
+    fn name(&self) -> &'static str {
+        "Random Server Permutation"
+    }
+
+    fn destination(&self, src_server: usize, _rng: &mut dyn RngCore) -> usize {
+        self.mapping[src_server]
+    }
+
+    fn is_permutation(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::check_permutation_admissible;
+    use hyperx_topology::HyperX;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn layout() -> ServerLayout {
+        ServerLayout::new(&HyperX::regular(2, 4), 4)
+    }
+
+    #[test]
+    fn random_permutation_is_admissible() {
+        let l = layout();
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let p = RandomServerPermutation::new(&l, &mut rng);
+        let fixed = check_permutation_admissible(&p, &l).expect("admissible");
+        assert!(fixed <= l.num_servers());
+        assert!(p.is_permutation());
+    }
+
+    #[test]
+    fn destination_is_deterministic() {
+        let l = layout();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let p = RandomServerPermutation::new(&l, &mut rng);
+        let mut dummy = ChaCha8Rng::seed_from_u64(0);
+        for s in 0..l.num_servers() {
+            let a = p.destination(s, &mut dummy);
+            let b = p.destination(s, &mut dummy);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn from_mapping_accepts_identity() {
+        let p = RandomServerPermutation::from_mapping((0..10).collect());
+        assert_eq!(p.destination(3, &mut ChaCha8Rng::seed_from_u64(0)), 3);
+        assert_eq!(p.mapping().len(), 10);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_mapping_rejects_duplicates() {
+        let _ = RandomServerPermutation::from_mapping(vec![0, 0, 2]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_mapping_rejects_out_of_range() {
+        let _ = RandomServerPermutation::from_mapping(vec![0, 5, 2]);
+    }
+
+    #[test]
+    fn different_seeds_give_different_permutations() {
+        let l = layout();
+        let p1 = RandomServerPermutation::new(&l, &mut ChaCha8Rng::seed_from_u64(1));
+        let p2 = RandomServerPermutation::new(&l, &mut ChaCha8Rng::seed_from_u64(2));
+        assert_ne!(p1.mapping(), p2.mapping());
+    }
+}

@@ -1,0 +1,81 @@
+//! Uniform random traffic: the benign reference pattern.
+
+use super::{ServerLayout, TrafficPattern};
+use rand::RngCore;
+
+/// Each packet picks a destination uniformly at random among the *other*
+/// servers (the paper: "a destination randomly chosen among the other servers").
+#[derive(Clone, Debug)]
+pub struct UniformTraffic {
+    num_servers: usize,
+}
+
+impl UniformTraffic {
+    /// Builds uniform traffic over the servers of `layout`.
+    pub fn new(layout: &ServerLayout) -> Self {
+        assert!(layout.num_servers() >= 2, "uniform traffic needs at least two servers");
+        UniformTraffic {
+            num_servers: layout.num_servers(),
+        }
+    }
+}
+
+impl TrafficPattern for UniformTraffic {
+    fn name(&self) -> &'static str {
+        "Uniform"
+    }
+
+    fn destination(&self, src_server: usize, rng: &mut dyn RngCore) -> usize {
+        // Uniform over the other `n − 1` servers, skipping the source.
+        let pick = (rng.next_u64() % (self.num_servers as u64 - 1)) as usize;
+        if pick >= src_server {
+            pick + 1
+        } else {
+            pick
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperx_topology::HyperX;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn layout() -> ServerLayout {
+        ServerLayout::new(&HyperX::regular(2, 4), 2)
+    }
+
+    #[test]
+    fn never_sends_to_itself() {
+        let t = UniformTraffic::new(&layout());
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for src in 0..32 {
+            for _ in 0..200 {
+                assert_ne!(t.destination(src, &mut rng), src);
+            }
+        }
+    }
+
+    #[test]
+    fn destinations_stay_in_range_and_cover_the_network() {
+        let t = UniformTraffic::new(&layout());
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut seen = vec![false; 32];
+        for _ in 0..5_000 {
+            let d = t.destination(0, &mut rng);
+            assert!(d < 32);
+            seen[d] = true;
+        }
+        assert!(seen.iter().skip(1).all(|&s| s), "every other server should eventually be hit");
+        assert!(!seen[0]);
+    }
+
+    #[test]
+    fn is_not_a_permutation() {
+        let t = UniformTraffic::new(&layout());
+        assert!(!t.is_permutation());
+        assert_eq!(t.name(), "Uniform");
+    }
+}

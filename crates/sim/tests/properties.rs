@@ -1,0 +1,175 @@
+//! Property-based tests of the simulator layer: metric invariants, traffic
+//! pattern admissibility and packet conservation under random configurations.
+
+use hyperx_routing::{MechanismSpec, NetworkView};
+use hyperx_sim::traffic::{
+    check_permutation_admissible, DimensionComplementReverse, HotspotIncast, NeighbourShift,
+    RandomServerPermutation, RegularPermutationToNeighbour, ServerLayout, TrafficPattern,
+    Transpose, UniformTraffic,
+};
+use hyperx_sim::{jain_index, SimConfig, Simulator};
+use hyperx_topology::HyperX;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn jain_index_is_bounded_and_scale_invariant(loads in prop::collection::vec(0.0f64..10.0, 1..40), scale in 0.1f64..100.0) {
+        let j = jain_index(&loads);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&j));
+        let scaled: Vec<f64> = loads.iter().map(|x| x * scale).collect();
+        prop_assert!((jain_index(&scaled) - j).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jain_index_is_one_for_equal_loads(value in 0.01f64..5.0, n in 1usize..64) {
+        let loads = vec![value; n];
+        prop_assert!((jain_index(&loads) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_traffic_is_never_self_and_in_range(
+        side in 2usize..=5,
+        conc in 1usize..=4,
+        seed in 0u64..1000,
+    ) {
+        let hx = HyperX::regular(2, side);
+        let layout = ServerLayout::new(&hx, conc);
+        let t = UniformTraffic::new(&layout);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for src in 0..layout.num_servers() {
+            let d = t.destination(src, &mut rng);
+            prop_assert!(d < layout.num_servers());
+            prop_assert_ne!(d, src);
+        }
+    }
+
+    #[test]
+    fn random_server_permutation_is_admissible(
+        side in 2usize..=5,
+        conc in 1usize..=4,
+        seed in 0u64..1000,
+    ) {
+        let hx = HyperX::regular(2, side);
+        let layout = ServerLayout::new(&hx, conc);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let t = RandomServerPermutation::new(&layout, &mut rng);
+        prop_assert!(check_permutation_admissible(&t, &layout).is_ok());
+    }
+
+    #[test]
+    fn dcr_3d_is_admissible_and_involutive(side in 2usize..=6, conc in 1usize..=4) {
+        let hx = HyperX::regular(3, side);
+        let layout = ServerLayout::new(&hx, conc);
+        let t = DimensionComplementReverse::new(layout.clone());
+        prop_assert!(check_permutation_admissible(&t, &layout).is_ok());
+        // Applying the mapping twice returns to the source (it is an involution
+        // on switch coordinates), a structural sanity check of the definition.
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        for src in (0..layout.num_servers()).step_by(conc) {
+            let once = t.destination(src, &mut rng);
+            let twice = t.destination(once, &mut rng);
+            prop_assert_eq!(twice, src);
+        }
+    }
+
+    #[test]
+    fn rpn_is_admissible_and_neighbour_preserving(side in 1usize..=3, conc in 1usize..=3) {
+        let side = side * 2; // even sides only
+        let hx = HyperX::regular(3, side);
+        let layout = ServerLayout::new(&hx, conc);
+        let t = RegularPermutationToNeighbour::new(layout.clone());
+        prop_assert!(check_permutation_admissible(&t, &layout).is_ok());
+        for s in 0..hx.num_switches() {
+            let d = t.destination_switch(s);
+            prop_assert_eq!(hx.coords().hamming_distance(s, d), 1);
+        }
+    }
+
+    #[test]
+    fn config_total_servers_is_consistent(conc in 1usize..=16, switches in 1usize..=512) {
+        let cfg = SimConfig::paper_defaults(conc, 4);
+        prop_assert_eq!(cfg.total_servers(switches), conc * switches);
+    }
+
+    #[test]
+    fn transpose_and_shift_extension_patterns_are_admissible(
+        dims in 2usize..=3,
+        side in 2usize..=4,
+        conc in 1usize..=3,
+    ) {
+        let hx = HyperX::regular(dims, side);
+        let layout = ServerLayout::new(&hx, conc);
+        let transpose = Transpose::new(layout.clone());
+        prop_assert!(check_permutation_admissible(&transpose, &layout).is_ok());
+        let shift = NeighbourShift::new(layout.clone());
+        // The shift permutation has no fixed points (it always moves one hop).
+        prop_assert_eq!(check_permutation_admissible(&shift, &layout).unwrap(), 0);
+    }
+
+    #[test]
+    fn hotspot_incast_destinations_are_valid_and_skewed(
+        side in 2usize..=4,
+        conc in 1usize..=3,
+        hot_permille in 300u32..=900,
+        seed in 0u64..1000,
+    ) {
+        let hx = HyperX::regular(2, side);
+        let layout = ServerLayout::new(&hx, conc);
+        let fraction = hot_permille as f64 / 1000.0;
+        let hot_switch = (seed as usize) % layout.num_switches();
+        let t = HotspotIncast::new(layout.clone(), hot_switch, fraction);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let draws = 600usize;
+        let mut hot_hits = 0usize;
+        for i in 0..draws {
+            let src = i % layout.num_servers();
+            let dst = t.destination(src, &mut rng);
+            prop_assert!(dst < layout.num_servers());
+            prop_assert_ne!(dst, src);
+            if layout.server_switch(dst) == hot_switch {
+                hot_hits += 1;
+            }
+        }
+        // The hotspot switch must receive at least roughly its configured share
+        // (loose bound: half of the nominal fraction).
+        prop_assert!(hot_hits as f64 / draws as f64 > fraction / 2.0);
+    }
+}
+
+proptest! {
+    // End-to-end simulations are comparatively expensive: fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn random_simulations_conserve_packets(
+        side in 3usize..=4,
+        conc in 1usize..=2,
+        load in 0.2f64..0.7,
+        mech_idx in 0usize..6,
+        seed in 0u64..100,
+    ) {
+        let spec = MechanismSpec::fault_free_lineup()[mech_idx];
+        let hx = HyperX::regular(2, side);
+        let view = Arc::new(NetworkView::healthy(hx, 0));
+        let num_vcs = spec.default_num_vcs(2);
+        let mut cfg = SimConfig::quick(conc, num_vcs);
+        cfg.warmup_cycles = 0;
+        cfg.measure_cycles = 300;
+        cfg.seed = seed;
+        let mech = spec.build(view.clone(), num_vcs);
+        let layout = ServerLayout::new(view.hyperx(), conc);
+        let pattern: Box<dyn TrafficPattern> = Box::new(UniformTraffic::new(&layout));
+        let mut sim = Simulator::new(view, mech, pattern, cfg);
+        sim.run_rate(load);
+        let generated = sim.total_generated();
+        prop_assert!(sim.drain(200_000), "{} failed to drain", spec);
+        prop_assert_eq!(sim.total_delivered(), generated);
+        prop_assert_eq!(sim.packets_in_switches(), 0);
+        prop_assert_eq!(sim.packets_alive(), 0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Incremental construction of [`Network`] instances.
+
+use crate::graph::{Neighbor, Network, SwitchId};
+
+/// Builds a [`Network`] link by link, assigning port numbers in insertion order.
+///
+/// Topology constructors ([`crate::hamming::HyperX`], [`crate::complete`],
+/// [`crate::cartesian`]) use the builder so that port numbering is fully
+/// deterministic: ports of a switch are numbered in the order its links were
+/// added.
+#[derive(Clone, Debug)]
+pub struct NetworkBuilder {
+    ports: Vec<Vec<Option<Neighbor>>>,
+}
+
+impl NetworkBuilder {
+    /// Starts a builder for a network of `switches` switches and no links.
+    pub fn new(switches: usize) -> Self {
+        NetworkBuilder {
+            ports: vec![Vec::new(); switches],
+        }
+    }
+
+    /// Number of switches the network will have.
+    pub fn num_switches(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Adds an undirected link between `x` and `y`, creating one new port at
+    /// each endpoint. Returns the pair of port indices `(port_of_x, port_of_y)`.
+    ///
+    /// # Panics
+    /// Panics on self links, out-of-range switches or duplicate links.
+    pub fn add_link(&mut self, x: SwitchId, y: SwitchId) -> (usize, usize) {
+        assert!(x != y, "self links are not allowed");
+        assert!(
+            x < self.ports.len() && y < self.ports.len(),
+            "switch out of range"
+        );
+        assert!(
+            !self.ports[x].iter().flatten().any(|n| n.switch == y),
+            "duplicate link {x}-{y}"
+        );
+        let px = self.ports[x].len();
+        let py = self.ports[y].len();
+        self.ports[x].push(Some(Neighbor {
+            switch: y,
+            reverse_port: py,
+        }));
+        self.ports[y].push(Some(Neighbor {
+            switch: x,
+            reverse_port: px,
+        }));
+        (px, py)
+    }
+
+    /// Finalizes the builder into an immutable-shape [`Network`].
+    pub fn build(self) -> Network {
+        Network::from_ports(self.ports)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_path_graph() {
+        let mut b = NetworkBuilder::new(4);
+        b.add_link(0, 1);
+        b.add_link(1, 2);
+        b.add_link(2, 3);
+        let net = b.build();
+        assert_eq!(net.num_links(), 3);
+        assert_eq!(net.degree(0), 1);
+        assert_eq!(net.degree(1), 2);
+        assert!(net.is_connected());
+    }
+
+    #[test]
+    fn port_numbers_follow_insertion_order() {
+        let mut b = NetworkBuilder::new(3);
+        let (p01, _) = b.add_link(0, 1);
+        let (p02, _) = b.add_link(0, 2);
+        assert_eq!(p01, 0);
+        assert_eq!(p02, 1);
+        let net = b.build();
+        assert_eq!(net.neighbor(0, 0).unwrap().switch, 1);
+        assert_eq!(net.neighbor(0, 1).unwrap().switch, 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_duplicate_links() {
+        let mut b = NetworkBuilder::new(3);
+        b.add_link(0, 1);
+        b.add_link(1, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_self_link() {
+        let mut b = NetworkBuilder::new(3);
+        b.add_link(1, 1);
+    }
+}

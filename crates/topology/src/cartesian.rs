@@ -1,0 +1,117 @@
+//! Cartesian products of networks.
+//!
+//! HyperX networks are Cartesian products of complete graphs. The generic
+//! product is provided here both as a substrate in its own right (meshes,
+//! tori and Hamming graphs are all Cartesian products) and as an independent
+//! construction that the test-suite uses to cross-check the direct HyperX
+//! constructor in [`crate::hamming`].
+
+use crate::builder::NetworkBuilder;
+use crate::graph::Network;
+
+/// Builds the Cartesian product `a □ b`.
+///
+/// The product has `|a|·|b|` switches; switch `(x, y)` is assigned the flat
+/// id `x + y·|a|`. Two switches `(x, y)` and `(x', y')` are adjacent iff
+/// either `y = y'` and `x ~ x'` in `a`, or `x = x'` and `y ~ y'` in `b`.
+pub fn cartesian_product(a: &Network, b: &Network) -> Network {
+    let na = a.num_switches();
+    let nb = b.num_switches();
+    let mut builder = NetworkBuilder::new(na * nb);
+    let id = |x: usize, y: usize| x + y * na;
+    // "a"-dimension links first so that port grouping matches the HyperX
+    // convention of dimension-major port layout.
+    for y in 0..nb {
+        for x in 0..na {
+            for (_, n) in a.neighbors(x) {
+                if x < n.switch {
+                    builder.add_link(id(x, y), id(n.switch, y));
+                }
+            }
+        }
+    }
+    for y in 0..nb {
+        for (_, n) in b.neighbors(y) {
+            if y < n.switch {
+                for x in 0..na {
+                    builder.add_link(id(x, y), id(x, n.switch));
+                }
+            }
+        }
+    }
+    builder.build()
+}
+
+/// Folds [`cartesian_product`] over a sequence of factor networks.
+///
+/// # Panics
+/// Panics if `factors` is empty.
+pub fn cartesian_power(factors: &[Network]) -> Network {
+    assert!(!factors.is_empty(), "at least one factor is required");
+    let mut acc = factors[0].clone();
+    for f in &factors[1..] {
+        acc = cartesian_product(&acc, f);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::DistanceMatrix;
+    use crate::complete::complete_graph;
+
+    #[test]
+    fn product_of_k2_k2_is_a_square() {
+        let k2 = complete_graph(2);
+        let sq = cartesian_product(&k2, &k2);
+        assert_eq!(sq.num_switches(), 4);
+        assert_eq!(sq.num_links(), 4);
+        for s in 0..4 {
+            assert_eq!(sq.degree(s), 2);
+        }
+        let d = DistanceMatrix::compute(&sq);
+        assert_eq!(d.diameter(), 2);
+    }
+
+    #[test]
+    fn product_distance_is_sum_of_factor_distances() {
+        let k3 = complete_graph(3);
+        let k4 = complete_graph(4);
+        let p = cartesian_product(&k3, &k4);
+        let d = DistanceMatrix::compute(&p);
+        for x1 in 0..3 {
+            for y1 in 0..4 {
+                for x2 in 0..3 {
+                    for y2 in 0..4 {
+                        let expected = usize::from(x1 != x2) + usize::from(y1 != y2);
+                        assert_eq!(
+                            d.get(x1 + y1 * 3, x2 + y2 * 3) as usize,
+                            expected,
+                            "distance between ({x1},{y1}) and ({x2},{y2})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn power_of_three_completes_matches_hamming_size() {
+        let k4 = complete_graph(4);
+        let h = cartesian_power(&[k4.clone(), k4.clone(), k4]);
+        assert_eq!(h.num_switches(), 64);
+        // Each switch has 3·(4−1) = 9 neighbors.
+        for s in 0..64 {
+            assert_eq!(h.degree(s), 9);
+        }
+        let d = DistanceMatrix::compute(&h);
+        assert_eq!(d.diameter(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_power_rejected() {
+        let _ = cartesian_power(&[]);
+    }
+}

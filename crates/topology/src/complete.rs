@@ -1,0 +1,79 @@
+//! Complete graphs `K_n`, the 1-dimensional building block of HyperX.
+
+use crate::builder::NetworkBuilder;
+use crate::graph::Network;
+
+/// Builds the complete graph `K_n`: `n` switches, every pair connected.
+///
+/// Ports of switch `s` are ordered by increasing neighbor id (skipping `s`
+/// itself), so port `p` of switch `s` leads to switch `p` when `p < s` and to
+/// switch `p + 1` otherwise.
+///
+/// # Panics
+/// Panics if `n < 2`.
+pub fn complete_graph(n: usize) -> Network {
+    assert!(n >= 2, "a complete graph needs at least two switches");
+    let mut b = NetworkBuilder::new(n);
+    // Insert links grouped by the lower endpoint but in an order that yields
+    // the neighbor-sorted port layout documented above: for each switch s we
+    // need its ports sorted by neighbor id. Adding links (x, y) for x < y in
+    // lexicographic order achieves exactly that on both endpoints.
+    for x in 0..n {
+        for y in (x + 1)..n {
+            b.add_link(x, y);
+        }
+    }
+    b.build()
+}
+
+/// The expected number of links of `K_n`, i.e. `n·(n−1)/2`.
+pub fn complete_graph_links(n: usize) -> usize {
+    n * (n - 1) / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::bfs_distances;
+
+    #[test]
+    fn k5_shape() {
+        let net = complete_graph(5);
+        assert_eq!(net.num_switches(), 5);
+        assert_eq!(net.num_links(), complete_graph_links(5));
+        for s in 0..5 {
+            assert_eq!(net.degree(s), 4);
+        }
+    }
+
+    #[test]
+    fn k33_matches_paper_introduction_example() {
+        // The paper's introduction: 33 switches based on K33 uses 528 wires.
+        let net = complete_graph(33);
+        assert_eq!(net.num_links(), 528);
+    }
+
+    #[test]
+    fn diameter_is_one() {
+        let net = complete_graph(7);
+        let d = bfs_distances(&net, 0);
+        assert!(d.iter().skip(1).all(|&x| x == 1));
+    }
+
+    #[test]
+    fn port_layout_is_neighbor_sorted() {
+        let net = complete_graph(6);
+        for s in 0..6 {
+            let neighbors: Vec<usize> = net.neighbors(s).map(|(_, n)| n.switch).collect();
+            let mut sorted = neighbors.clone();
+            sorted.sort_unstable();
+            assert_eq!(neighbors, sorted, "ports of switch {s} must be neighbor-sorted");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_tiny_graphs() {
+        let _ = complete_graph(1);
+    }
+}

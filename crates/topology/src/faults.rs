@@ -1,0 +1,493 @@
+//! Link-fault models: random fault sequences and the geometric fault shapes
+//! of the paper (Row, Subplane/Subcube, Cross/Star).
+//!
+//! Section 6 of the paper evaluates SurePath under two fault scenarios:
+//!
+//! 1. *Random faults* — a sequence of uniformly random link failures applied
+//!    incrementally (Figures 1 and 6).
+//! 2. *Geometric fault shapes* — all links inside a sub-structure fail at
+//!    once: a full row (a `K_k`), a subplane/subcube (a smaller Hamming
+//!    subgraph) or a cross/star through a chosen center with a margin that
+//!    keeps the center connected (Figures 7, 8 and 9).
+
+use crate::coordinates::Coordinates;
+use crate::graph::{LinkId, Network};
+use crate::hamming::HyperX;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A geometric set of faulty links in a HyperX, as used by Figures 7–9.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultShape {
+    /// All links of the row through `at` along dimension `along_dim` fail.
+    /// The row induces a complete graph `K_k`, so `k·(k−1)/2` links fail
+    /// (120 in the paper's 2D network, 28 in its 3D network).
+    Row {
+        /// Dimension the row runs along.
+        along_dim: usize,
+        /// Any switch of the row (its coordinate along `along_dim` is irrelevant).
+        at: Coordinates,
+    },
+    /// All links internal to the sub-Hamming-graph spanning `size` consecutive
+    /// coordinate values per dimension starting at `low` fail. With `size = 5`
+    /// in 2D this is the paper's *Subplane* (a `K₅²`, 100 links); with
+    /// `size = 3` in 3D it is the *Subcube* (a `K₃³`, 81 links).
+    Subgrid {
+        /// Lowest corner of the sub-grid.
+        low: Coordinates,
+        /// Number of coordinate values per dimension.
+        size: usize,
+    },
+    /// For every dimension, the complete subgraph over the `k − margin` row
+    /// switches through `center` (always including the center itself) fails.
+    /// The center keeps exactly `margin` live links per dimension.
+    ///
+    /// With `margin = 5` in the paper's 2D network this is the *Cross*
+    /// (2·C(11,2) = 110 links, center keeps 10 live links); with `margin = 1`
+    /// in its 3D network it is the *Star* (3·C(7,2) = 63 links, center keeps
+    /// only 3 live links).
+    Cross {
+        /// Intersection switch of the arms.
+        center: Coordinates,
+        /// Switches per dimension excluded from the failure.
+        margin: usize,
+    },
+}
+
+impl FaultShape {
+    /// The switches whose pairwise links this shape removes, grouped by the
+    /// complete subgraphs the shape is made of.
+    pub fn switch_groups(&self, hx: &HyperX) -> Vec<Vec<usize>> {
+        match self {
+            FaultShape::Row { along_dim, at } => {
+                let d = *along_dim;
+                assert!(d < hx.dims(), "row dimension out of range");
+                let base = hx.switch_id(at);
+                vec![(0..hx.side(d))
+                    .map(|v| hx.coords().with_coordinate(base, d, v))
+                    .collect()]
+            }
+            FaultShape::Subgrid { low, size } => {
+                assert_eq!(low.len(), hx.dims());
+                for (d, &l) in low.iter().enumerate() {
+                    assert!(
+                        l + size <= hx.side(d),
+                        "subgrid does not fit in dimension {d}"
+                    );
+                }
+                // Every row segment of the sub-grid, in every dimension, forms
+                // a complete subgraph among the selected switches.
+                let mut groups = Vec::new();
+                let total: usize = (0..hx.dims()).map(|_| *size).product();
+                let mut members = Vec::with_capacity(total);
+                // Enumerate the switches of the sub-grid.
+                let mut idx = vec![0usize; hx.dims()];
+                loop {
+                    let coords: Coordinates =
+                        idx.iter().zip(low.iter()).map(|(i, l)| i + l).collect();
+                    members.push(hx.switch_id(&coords));
+                    // advance mixed-radix counter
+                    let mut d = 0;
+                    loop {
+                        if d == hx.dims() {
+                            break;
+                        }
+                        idx[d] += 1;
+                        if idx[d] < *size {
+                            break;
+                        }
+                        idx[d] = 0;
+                        d += 1;
+                    }
+                    if d == hx.dims() {
+                        break;
+                    }
+                }
+                // For each dimension, group the members by their remaining coordinates.
+                for d in 0..hx.dims() {
+                    use std::collections::HashMap;
+                    let mut by_rest: HashMap<Vec<usize>, Vec<usize>> = HashMap::new();
+                    for &s in &members {
+                        let mut c = hx.switch_coords(s);
+                        c[d] = 0;
+                        by_rest.entry(c).or_default().push(s);
+                    }
+                    groups.extend(by_rest.into_values());
+                }
+                groups
+            }
+            FaultShape::Cross { center, margin } => {
+                let c = hx.switch_id(center);
+                let mut groups = Vec::new();
+                for d in 0..hx.dims() {
+                    let k = hx.side(d);
+                    assert!(
+                        *margin < k,
+                        "margin {margin} leaves no switches in dimension {d}"
+                    );
+                    let own = hx.switch_coords(c)[d];
+                    // The arm keeps the center and the (k - margin - 1) switches
+                    // with the smallest positive cyclic offset from the center.
+                    let arm: Vec<usize> = (0..k - *margin)
+                        .map(|off| hx.coords().with_coordinate(c, d, (own + off) % k))
+                        .collect();
+                    groups.push(arm);
+                }
+                groups
+            }
+        }
+    }
+
+    /// Every link removed by this shape, each reported once.
+    pub fn links(&self, hx: &HyperX) -> Vec<LinkId> {
+        let mut set = std::collections::BTreeSet::new();
+        for group in self.switch_groups(hx) {
+            for (i, &a) in group.iter().enumerate() {
+                for &b in &group[i + 1..] {
+                    if hx.network().had_link(a, b) {
+                        set.insert(LinkId::new(a, b));
+                    }
+                }
+            }
+        }
+        set.into_iter().collect()
+    }
+}
+
+/// An ordered collection of faulty links that can be applied to a [`Network`].
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultSet {
+    links: Vec<LinkId>,
+}
+
+impl FaultSet {
+    /// An empty fault set (healthy network).
+    pub fn empty() -> Self {
+        FaultSet { links: Vec::new() }
+    }
+
+    /// A fault set over an explicit list of links.
+    pub fn from_links(links: Vec<LinkId>) -> Self {
+        FaultSet { links }
+    }
+
+    /// The faults produced by a geometric shape.
+    pub fn from_shape(shape: &FaultShape, hx: &HyperX) -> Self {
+        FaultSet {
+            links: shape.links(hx),
+        }
+    }
+
+    /// Every healthy link incident to any of the given switches: the link-level
+    /// footprint of whole-switch failures.
+    ///
+    /// The paper's evaluation removes links rather than switches (its servers
+    /// always stay attached), but §1 motivates the problem with both "link or
+    /// switch failures"; this constructor covers the switch case so the same
+    /// machinery can model it.
+    pub fn from_switch_failures(net: &Network, switches: &[usize]) -> Self {
+        let mut set = std::collections::BTreeSet::new();
+        for &s in switches {
+            assert!(s < net.num_switches(), "switch {s} out of range");
+            for p in 0..net.ports(s) {
+                if let Some(nb) = net.healthy_neighbor(s, p) {
+                    set.insert(LinkId::new(s, nb.switch));
+                }
+            }
+        }
+        FaultSet {
+            links: set.into_iter().collect(),
+        }
+    }
+
+    /// `count` uniformly random distinct switch failures, expressed as the set
+    /// of their incident links.
+    pub fn random_switch_failures<R: Rng>(net: &Network, count: usize, rng: &mut R) -> Self {
+        assert!(
+            count <= net.num_switches(),
+            "cannot fail {count} switches, only {} exist",
+            net.num_switches()
+        );
+        let mut switches: Vec<usize> = (0..net.num_switches()).collect();
+        switches.shuffle(rng);
+        switches.truncate(count);
+        Self::from_switch_failures(net, &switches)
+    }
+
+    /// A uniformly random sequence of `count` distinct healthy links.
+    ///
+    /// The sequence order matters: Figures 1 and 6 apply prefixes of a single
+    /// sequence to show the incremental effect of each extra fault.
+    pub fn random_sequence<R: Rng>(net: &Network, count: usize, rng: &mut R) -> Self {
+        let mut links = net.healthy_links();
+        assert!(
+            count <= links.len(),
+            "cannot fail {count} links, only {} exist",
+            links.len()
+        );
+        links.shuffle(rng);
+        links.truncate(count);
+        FaultSet { links }
+    }
+
+    /// Like [`random_sequence`](Self::random_sequence) but skips any fault that
+    /// would disconnect the network, so the result always leaves the network
+    /// connected. Returns fewer than `count` faults if connectivity cannot be
+    /// preserved otherwise.
+    pub fn random_connected_sequence<R: Rng>(net: &Network, count: usize, rng: &mut R) -> Self {
+        let mut scratch = net.clone();
+        let mut candidates = scratch.links();
+        candidates.shuffle(rng);
+        let mut chosen = Vec::with_capacity(count);
+        for link in candidates {
+            if chosen.len() == count {
+                break;
+            }
+            if !scratch.remove_link(link.a, link.b) {
+                continue;
+            }
+            if scratch.is_connected() {
+                chosen.push(link);
+            } else {
+                scratch.restore_link(link.a, link.b);
+            }
+        }
+        FaultSet { links: chosen }
+    }
+
+    /// Number of faults.
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+
+    /// The faulty links, in application order.
+    pub fn links(&self) -> &[LinkId] {
+        &self.links
+    }
+
+    /// The prefix of the first `count` faults.
+    pub fn prefix(&self, count: usize) -> FaultSet {
+        FaultSet {
+            links: self.links[..count.min(self.links.len())].to_vec(),
+        }
+    }
+
+    /// Removes every link of the set from `net`. Returns how many links were
+    /// actually alive and got removed.
+    pub fn apply(&self, net: &mut Network) -> usize {
+        self.links
+            .iter()
+            .filter(|l| net.remove_link(l.a, l.b))
+            .count()
+    }
+
+    /// Restores every link of the set in `net`. Returns how many were restored.
+    pub fn revert(&self, net: &mut Network) -> usize {
+        self.links
+            .iter()
+            .filter(|l| net.restore_link(l.a, l.b))
+            .count()
+    }
+
+    /// Appends another fault set (duplicates are kept; `apply` tolerates them).
+    pub fn extend(&mut self, other: &FaultSet) {
+        self.links.extend_from_slice(&other.links);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(0xFA17)
+    }
+
+    #[test]
+    fn row_2d_removes_120_links() {
+        let hx = HyperX::regular(2, 16);
+        let shape = FaultShape::Row {
+            along_dim: 0,
+            at: vec![0, 7],
+        };
+        assert_eq!(shape.links(&hx).len(), 120);
+    }
+
+    #[test]
+    fn row_3d_removes_28_links() {
+        let hx = HyperX::regular(3, 8);
+        let shape = FaultShape::Row {
+            along_dim: 1,
+            at: vec![3, 0, 5],
+        };
+        assert_eq!(shape.links(&hx).len(), 28);
+    }
+
+    #[test]
+    fn subplane_2d_removes_100_links() {
+        let hx = HyperX::regular(2, 16);
+        let shape = FaultShape::Subgrid {
+            low: vec![4, 4],
+            size: 5,
+        };
+        assert_eq!(shape.links(&hx).len(), 100);
+    }
+
+    #[test]
+    fn subcube_3d_removes_81_links() {
+        let hx = HyperX::regular(3, 8);
+        let shape = FaultShape::Subgrid {
+            low: vec![2, 2, 2],
+            size: 3,
+        };
+        assert_eq!(shape.links(&hx).len(), 81);
+    }
+
+    #[test]
+    fn cross_2d_removes_110_links_and_keeps_center_connected() {
+        let hx = HyperX::regular(2, 16);
+        let center = vec![8usize, 8usize];
+        let shape = FaultShape::Cross {
+            center: center.clone(),
+            margin: 5,
+        };
+        let links = shape.links(&hx);
+        assert_eq!(links.len(), 110);
+        let mut net = hx.network().clone();
+        FaultSet::from_links(links).apply(&mut net);
+        let c = hx.switch_id(&center);
+        assert_eq!(net.degree(c), 10, "center must keep margin live links per dimension");
+        assert!(net.is_connected());
+    }
+
+    #[test]
+    fn star_3d_removes_63_links_and_leaves_root_3_links() {
+        let hx = HyperX::regular(3, 8);
+        let center = vec![0usize, 0, 0];
+        let shape = FaultShape::Cross {
+            center: center.clone(),
+            margin: 1,
+        };
+        let links = shape.links(&hx);
+        assert_eq!(links.len(), 63);
+        let mut net = hx.network().clone();
+        FaultSet::from_links(links).apply(&mut net);
+        assert_eq!(net.degree(hx.switch_id(&center)), 3);
+        assert!(net.is_connected());
+    }
+
+    #[test]
+    fn random_sequence_has_distinct_links() {
+        let hx = HyperX::regular(2, 8);
+        let f = FaultSet::random_sequence(hx.network(), 50, &mut rng());
+        assert_eq!(f.len(), 50);
+        let mut sorted = f.links().to_vec();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 50);
+    }
+
+    #[test]
+    fn apply_and_revert_are_inverse() {
+        let hx = HyperX::regular(2, 8);
+        let mut net = hx.network().clone();
+        let healthy_links = net.num_links();
+        let f = FaultSet::random_sequence(&net, 30, &mut rng());
+        assert_eq!(f.apply(&mut net), 30);
+        assert_eq!(net.num_links(), healthy_links - 30);
+        assert_eq!(f.revert(&mut net), 30);
+        assert_eq!(net.num_links(), healthy_links);
+    }
+
+    #[test]
+    fn prefix_truncates() {
+        let hx = HyperX::regular(2, 8);
+        let f = FaultSet::random_sequence(hx.network(), 40, &mut rng());
+        assert_eq!(f.prefix(10).len(), 10);
+        assert_eq!(f.prefix(100).len(), 40);
+        assert_eq!(f.prefix(10).links(), &f.links()[..10]);
+    }
+
+    #[test]
+    fn connected_sequence_preserves_connectivity() {
+        let hx = HyperX::regular(2, 4);
+        let mut net = hx.network().clone();
+        let f = FaultSet::random_connected_sequence(&net, 20, &mut rng());
+        f.apply(&mut net);
+        assert!(net.is_connected());
+    }
+
+    #[test]
+    fn switch_failure_removes_all_incident_links() {
+        let hx = HyperX::regular(2, 4);
+        let s = hx.switch_id(&[1, 2]);
+        let f = FaultSet::from_switch_failures(hx.network(), &[s]);
+        assert_eq!(f.len(), hx.switch_radix());
+        let mut net = hx.network().clone();
+        f.apply(&mut net);
+        assert_eq!(net.degree(s), 0);
+        // The rest of the network must stay connected (k ≥ 3 Hamming graphs
+        // survive a single switch loss among the remaining switches).
+        let reachable = {
+            let mut seen = vec![false; net.num_switches()];
+            let start = (0..net.num_switches()).find(|&x| x != s).unwrap();
+            let mut stack = vec![start];
+            seen[start] = true;
+            let mut count = 1;
+            while let Some(x) = stack.pop() {
+                for (_, nb) in net.neighbors(x) {
+                    if !seen[nb.switch] {
+                        seen[nb.switch] = true;
+                        count += 1;
+                        stack.push(nb.switch);
+                    }
+                }
+            }
+            count
+        };
+        assert_eq!(reachable, net.num_switches() - 1);
+    }
+
+    #[test]
+    fn overlapping_switch_failures_do_not_double_count_links() {
+        let hx = HyperX::regular(2, 4);
+        let a = hx.switch_id(&[0, 0]);
+        let b = hx.switch_id(&[1, 0]); // adjacent to a: they share one link
+        let f = FaultSet::from_switch_failures(hx.network(), &[a, b]);
+        assert_eq!(f.len(), 2 * hx.switch_radix() - 1);
+    }
+
+    #[test]
+    fn random_switch_failures_respect_count() {
+        let hx = HyperX::regular(2, 8);
+        let f = FaultSet::random_switch_failures(hx.network(), 3, &mut rng());
+        let mut net = hx.network().clone();
+        f.apply(&mut net);
+        let isolated = (0..net.num_switches()).filter(|&s| net.degree(s) == 0).count();
+        assert_eq!(isolated, 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn switch_failure_out_of_range_rejected() {
+        let hx = HyperX::regular(2, 4);
+        let _ = FaultSet::from_switch_failures(hx.network(), &[1000]);
+    }
+
+    #[test]
+    fn double_apply_is_tolerated() {
+        let hx = HyperX::regular(2, 4);
+        let mut net = hx.network().clone();
+        let f = FaultSet::random_sequence(&net, 5, &mut rng());
+        assert_eq!(f.apply(&mut net), 5);
+        assert_eq!(f.apply(&mut net), 0);
+    }
+}

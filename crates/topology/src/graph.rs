@@ -1,0 +1,375 @@
+//! Switch-level network graph with stable port numbering and link faults.
+//!
+//! A [`Network`] is an undirected graph of switches. Every switch owns a
+//! fixed array of *ports*; port numbering is assigned at construction time
+//! and never changes, even when links fail. A failed link simply leaves its
+//! two ports dangling ([`Network::neighbor`] returns `None`), which mirrors
+//! how a real deployment behaves: the cable is dead but the switch ports
+//! still exist.
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a switch in the network, in `0..num_switches()`.
+pub type SwitchId = usize;
+
+/// Index of a port inside a switch, in `0..ports(switch)`.
+pub type PortId = usize;
+
+/// Sentinel used by routing tables for "no port".
+pub const INVALID_PORT: PortId = usize::MAX;
+
+/// Canonical identifier of an undirected switch-to-switch link.
+///
+/// HyperX networks (and every topology built in this crate) have no parallel
+/// links, so the unordered pair of endpoints identifies a link uniquely.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+pub struct LinkId {
+    /// Smaller endpoint.
+    pub a: SwitchId,
+    /// Larger endpoint.
+    pub b: SwitchId,
+}
+
+impl LinkId {
+    /// Builds the canonical (sorted) link identifier for the pair `(x, y)`.
+    ///
+    /// # Panics
+    /// Panics if `x == y`; self-links do not exist.
+    pub fn new(x: SwitchId, y: SwitchId) -> Self {
+        assert!(x != y, "self links are not allowed");
+        if x < y {
+            LinkId { a: x, b: y }
+        } else {
+            LinkId { a: y, b: x }
+        }
+    }
+
+    /// Returns the endpoint different from `s`.
+    ///
+    /// # Panics
+    /// Panics if `s` is not an endpoint of this link.
+    pub fn other(&self, s: SwitchId) -> SwitchId {
+        if s == self.a {
+            self.b
+        } else if s == self.b {
+            self.a
+        } else {
+            panic!("switch {s} is not an endpoint of link {self:?}")
+        }
+    }
+}
+
+/// The far side of a live port.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Neighbor {
+    /// Switch at the other end of the link.
+    pub switch: SwitchId,
+    /// Port on that switch that points back to us.
+    pub reverse_port: PortId,
+}
+
+/// An undirected switch-level network with stable port numbering.
+///
+/// The structure is mutable only through fault operations
+/// ([`remove_link`](Network::remove_link) / [`restore_link`](Network::restore_link));
+/// the set of switches and the port layout are fixed at construction.
+#[derive(Clone, Debug)]
+pub struct Network {
+    /// `ports[s][p]` is the neighbor reachable through port `p` of switch `s`,
+    /// or `None` if the link through that port has failed (or never existed).
+    ports: Vec<Vec<Option<Neighbor>>>,
+    /// What each port was connected to in the healthy network. Used to undo faults.
+    healthy: Vec<Vec<Option<Neighbor>>>,
+    /// Number of currently alive links.
+    alive_links: usize,
+    /// Number of links in the healthy network.
+    healthy_links: usize,
+}
+
+impl Network {
+    /// Builds a network from per-switch port tables. Intended to be called by
+    /// [`crate::builder::NetworkBuilder`]; prefer the topology constructors.
+    pub(crate) fn from_ports(ports: Vec<Vec<Option<Neighbor>>>) -> Self {
+        let links = ports
+            .iter()
+            .enumerate()
+            .flat_map(|(s, ps)| {
+                ps.iter()
+                    .filter_map(move |n| n.as_ref().map(|n| (s, n.switch)))
+            })
+            .filter(|(s, t)| s < t)
+            .count();
+        Network {
+            healthy: ports.clone(),
+            ports,
+            alive_links: links,
+            healthy_links: links,
+        }
+    }
+
+    /// Number of switches in the network.
+    pub fn num_switches(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Number of ports of switch `s` (alive or not).
+    pub fn ports(&self, s: SwitchId) -> usize {
+        self.ports[s].len()
+    }
+
+    /// Largest switch-to-switch port count across all switches.
+    pub fn max_ports(&self) -> usize {
+        self.ports.iter().map(|p| p.len()).max().unwrap_or(0)
+    }
+
+    /// Number of currently alive ports (live links) of switch `s`.
+    pub fn degree(&self, s: SwitchId) -> usize {
+        self.ports[s].iter().filter(|n| n.is_some()).count()
+    }
+
+    /// The neighbor on the other side of port `p` of switch `s`, if the link is alive.
+    pub fn neighbor(&self, s: SwitchId, p: PortId) -> Option<Neighbor> {
+        self.ports[s][p]
+    }
+
+    /// The neighbor this port connected to in the healthy network, dead or alive.
+    pub fn healthy_neighbor(&self, s: SwitchId, p: PortId) -> Option<Neighbor> {
+        self.healthy[s][p]
+    }
+
+    /// Iterates over the alive `(port, neighbor)` pairs of switch `s`.
+    pub fn neighbors(&self, s: SwitchId) -> impl Iterator<Item = (PortId, Neighbor)> + '_ {
+        self.ports[s]
+            .iter()
+            .enumerate()
+            .filter_map(|(p, n)| n.map(|n| (p, n)))
+    }
+
+    /// Finds the port of `s` whose alive link leads to `t`, if any.
+    pub fn port_towards(&self, s: SwitchId, t: SwitchId) -> Option<PortId> {
+        self.neighbors(s)
+            .find(|(_, n)| n.switch == t)
+            .map(|(p, _)| p)
+    }
+
+    /// Whether the link between `x` and `y` is currently alive.
+    pub fn has_link(&self, x: SwitchId, y: SwitchId) -> bool {
+        self.port_towards(x, y).is_some()
+    }
+
+    /// Whether the link between `x` and `y` exists in the healthy network.
+    pub fn had_link(&self, x: SwitchId, y: SwitchId) -> bool {
+        self.healthy[x]
+            .iter()
+            .flatten()
+            .any(|n| n.switch == y)
+    }
+
+    /// Number of currently alive links.
+    pub fn num_links(&self) -> usize {
+        self.alive_links
+    }
+
+    /// Number of links the healthy network has.
+    pub fn num_healthy_links(&self) -> usize {
+        self.healthy_links
+    }
+
+    /// Number of links currently marked as failed.
+    pub fn num_faults(&self) -> usize {
+        self.healthy_links - self.alive_links
+    }
+
+    /// All currently alive links, each reported once.
+    pub fn links(&self) -> Vec<LinkId> {
+        let mut out = Vec::with_capacity(self.alive_links);
+        for s in 0..self.num_switches() {
+            for (_, n) in self.neighbors(s) {
+                if s < n.switch {
+                    out.push(LinkId::new(s, n.switch));
+                }
+            }
+        }
+        out
+    }
+
+    /// All links of the healthy network, each reported once.
+    pub fn healthy_links(&self) -> Vec<LinkId> {
+        let mut out = Vec::with_capacity(self.healthy_links);
+        for s in 0..self.num_switches() {
+            for n in self.healthy[s].iter().flatten() {
+                if s < n.switch {
+                    out.push(LinkId::new(s, n.switch));
+                }
+            }
+        }
+        out
+    }
+
+    /// Marks the link between `x` and `y` as failed.
+    ///
+    /// Returns `true` if the link was alive and has now been removed, `false`
+    /// if it was already failed or never existed.
+    pub fn remove_link(&mut self, x: SwitchId, y: SwitchId) -> bool {
+        let Some(px) = self.port_towards(x, y) else {
+            return false;
+        };
+        let py = self.ports[x][px].expect("port_towards returned alive port").reverse_port;
+        debug_assert_eq!(self.ports[y][py].map(|n| n.switch), Some(x));
+        self.ports[x][px] = None;
+        self.ports[y][py] = None;
+        self.alive_links -= 1;
+        true
+    }
+
+    /// Restores a previously failed link between `x` and `y`.
+    ///
+    /// Returns `true` if the link existed in the healthy network and was
+    /// failed, `false` otherwise.
+    pub fn restore_link(&mut self, x: SwitchId, y: SwitchId) -> bool {
+        if self.has_link(x, y) || !self.had_link(x, y) {
+            return false;
+        }
+        let px = self.healthy[x]
+            .iter()
+            .position(|n| n.map(|n| n.switch) == Some(y))
+            .expect("had_link checked");
+        let n = self.healthy[x][px].unwrap();
+        self.ports[x][px] = Some(n);
+        self.ports[n.switch][n.reverse_port] = Some(Neighbor {
+            switch: x,
+            reverse_port: px,
+        });
+        self.alive_links += 1;
+        true
+    }
+
+    /// Restores every failed link, returning the network to its healthy state.
+    pub fn heal(&mut self) {
+        self.ports = self.healthy.clone();
+        self.alive_links = self.healthy_links;
+    }
+
+    /// Whether every switch can reach every other switch over alive links.
+    pub fn is_connected(&self) -> bool {
+        let n = self.num_switches();
+        if n == 0 {
+            return true;
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut count = 1usize;
+        while let Some(s) = stack.pop() {
+            for (_, nb) in self.neighbors(s) {
+                if !seen[nb.switch] {
+                    seen[nb.switch] = true;
+                    count += 1;
+                    stack.push(nb.switch);
+                }
+            }
+        }
+        count == n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetworkBuilder;
+
+    fn triangle() -> Network {
+        let mut b = NetworkBuilder::new(3);
+        b.add_link(0, 1);
+        b.add_link(1, 2);
+        b.add_link(2, 0);
+        b.build()
+    }
+
+    #[test]
+    fn link_id_is_canonical() {
+        assert_eq!(LinkId::new(3, 1), LinkId::new(1, 3));
+        assert_eq!(LinkId::new(1, 3).other(1), 3);
+        assert_eq!(LinkId::new(1, 3).other(3), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn link_id_rejects_self_link() {
+        let _ = LinkId::new(2, 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn link_id_other_rejects_non_endpoint() {
+        let _ = LinkId::new(1, 3).other(2);
+    }
+
+    #[test]
+    fn triangle_basics() {
+        let net = triangle();
+        assert_eq!(net.num_switches(), 3);
+        assert_eq!(net.num_links(), 3);
+        assert_eq!(net.degree(0), 2);
+        assert!(net.has_link(0, 1));
+        assert!(net.is_connected());
+        assert_eq!(net.links().len(), 3);
+    }
+
+    #[test]
+    fn ports_are_symmetric() {
+        let net = triangle();
+        for s in 0..3 {
+            for (p, nb) in net.neighbors(s) {
+                let back = net.neighbor(nb.switch, nb.reverse_port).unwrap();
+                assert_eq!(back.switch, s);
+                assert_eq!(back.reverse_port, p);
+            }
+        }
+    }
+
+    #[test]
+    fn remove_and_restore_link() {
+        let mut net = triangle();
+        assert!(net.remove_link(0, 1));
+        assert!(!net.remove_link(0, 1), "double removal must be a no-op");
+        assert_eq!(net.num_links(), 2);
+        assert_eq!(net.num_faults(), 1);
+        assert!(!net.has_link(0, 1));
+        assert!(net.had_link(0, 1));
+        assert!(net.is_connected(), "triangle minus one edge is still connected");
+        assert!(net.restore_link(0, 1));
+        assert!(!net.restore_link(0, 1));
+        assert_eq!(net.num_links(), 3);
+        assert!(net.has_link(0, 1));
+    }
+
+    #[test]
+    fn disconnection_detected() {
+        let mut net = triangle();
+        net.remove_link(0, 1);
+        net.remove_link(0, 2);
+        assert!(!net.is_connected());
+        net.heal();
+        assert!(net.is_connected());
+        assert_eq!(net.num_links(), 3);
+    }
+
+    #[test]
+    fn healthy_links_unaffected_by_faults() {
+        let mut net = triangle();
+        net.remove_link(1, 2);
+        assert_eq!(net.healthy_links().len(), 3);
+        assert_eq!(net.links().len(), 2);
+        assert_eq!(net.num_healthy_links(), 3);
+    }
+
+    #[test]
+    fn port_towards_missing_link() {
+        let net = triangle();
+        assert_eq!(net.port_towards(0, 0), None);
+        let mut net = net;
+        net.remove_link(0, 1);
+        assert_eq!(net.port_towards(0, 1), None);
+    }
+}

@@ -1,0 +1,187 @@
+//! Topology-level analyses: Table 3 parameters and the Figure 1 diameter-vs-faults study.
+
+use crate::bfs::DistanceMatrix;
+use crate::faults::FaultSet;
+use crate::graph::Network;
+use crate::hamming::HyperX;
+use serde::{Deserialize, Serialize};
+
+/// The topological parameters reported in Table 3 of the paper.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TopologyReport {
+    /// Number of switches.
+    pub switches: usize,
+    /// Switch-to-switch ports per switch.
+    pub switch_radix: usize,
+    /// Servers attached to each switch (the concentration).
+    pub servers_per_switch: usize,
+    /// Total switch radix including server ports.
+    pub total_radix: usize,
+    /// Total number of servers.
+    pub total_servers: usize,
+    /// Number of switch-to-switch links.
+    pub links: usize,
+    /// Network diameter.
+    pub diameter: usize,
+    /// Average switch-to-switch distance over distinct pairs.
+    pub average_distance: f64,
+}
+
+impl TopologyReport {
+    /// Computes the report for a HyperX with the given concentration
+    /// (servers per switch). The paper uses a concentration equal to the side.
+    pub fn for_hyperx(hx: &HyperX, servers_per_switch: usize) -> Self {
+        let d = DistanceMatrix::compute(hx.network());
+        TopologyReport {
+            switches: hx.num_switches(),
+            switch_radix: hx.switch_radix(),
+            servers_per_switch,
+            total_radix: hx.switch_radix() + servers_per_switch,
+            total_servers: hx.num_switches() * servers_per_switch,
+            links: hx.network().num_links(),
+            diameter: d.diameter(),
+            average_distance: d.average_distance(),
+        }
+    }
+
+    /// Computes the report for an arbitrary network.
+    pub fn for_network(net: &Network, servers_per_switch: usize) -> Self {
+        let d = DistanceMatrix::compute(net);
+        TopologyReport {
+            switches: net.num_switches(),
+            switch_radix: net.max_ports(),
+            servers_per_switch,
+            total_radix: net.max_ports() + servers_per_switch,
+            total_servers: net.num_switches() * servers_per_switch,
+            links: net.num_links(),
+            diameter: d.diameter(),
+            average_distance: d.average_distance(),
+        }
+    }
+}
+
+/// One point of the Figure 1 study: after applying `faults` random failures,
+/// the network has the given diameter (`None` once it disconnects).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DiameterSample {
+    /// Number of failed links applied so far.
+    pub faults: usize,
+    /// Diameter of the surviving network, or `None` if disconnected.
+    pub diameter: Option<usize>,
+}
+
+/// Reproduces one curve of Figure 1: applies the fault sequence incrementally
+/// and records the diameter every `step` faults (and at the exact points where
+/// the network disconnects or the sequence ends).
+///
+/// The function stops at the first sample where the network is disconnected,
+/// matching the paper ("the network becomes disconnected as the line exits the
+/// plot").
+pub fn diameter_under_fault_sequence(
+    net: &Network,
+    sequence: &FaultSet,
+    step: usize,
+) -> Vec<DiameterSample> {
+    assert!(step > 0, "step must be positive");
+    let mut scratch = net.clone();
+    let mut samples = Vec::new();
+    let record = |scratch: &Network, faults: usize, samples: &mut Vec<DiameterSample>| {
+        let d = DistanceMatrix::compute(scratch);
+        samples.push(DiameterSample {
+            faults,
+            diameter: d.diameter_checked(),
+        });
+    };
+    record(&scratch, 0, &mut samples);
+    for (i, link) in sequence.links().iter().enumerate() {
+        scratch.remove_link(link.a, link.b);
+        let applied = i + 1;
+        if applied % step == 0 || applied == sequence.len() {
+            record(&scratch, applied, &mut samples);
+            if samples.last().unwrap().diameter.is_none() {
+                break;
+            }
+        }
+    }
+    samples
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn table3_values_for_2d_hyperx() {
+        // Table 3, 2D HyperX column: 256 switches, radix 46 (30 + 16 servers),
+        // 4096 servers, 3840 links, diameter 2, average distance 1.8...
+        let hx = HyperX::regular(2, 16);
+        let r = TopologyReport::for_hyperx(&hx, 16);
+        assert_eq!(r.switches, 256);
+        assert_eq!(r.total_radix, 46);
+        assert_eq!(r.servers_per_switch, 16);
+        assert_eq!(r.total_servers, 4096);
+        assert_eq!(r.links, 3840);
+        assert_eq!(r.diameter, 2);
+        // Average Hamming distance: 2·(15/16)·256/255 ≈ 1.8824; the paper rounds to 1.8.
+        let expected = 2.0 * (15.0 / 16.0) * 256.0 / 255.0;
+        assert!((r.average_distance - expected).abs() < 1e-9);
+        assert!((r.average_distance - 1.88).abs() < 0.01);
+    }
+
+    #[test]
+    fn table3_values_for_3d_hyperx() {
+        // Table 3, 3D HyperX column: 512 switches, radix 29 (21 + 8 servers),
+        // 4096 servers, 5376 links, diameter 3, average distance 2.625.
+        let hx = HyperX::regular(3, 8);
+        let r = TopologyReport::for_hyperx(&hx, 8);
+        assert_eq!(r.switches, 512);
+        assert_eq!(r.total_radix, 29);
+        assert_eq!(r.total_servers, 4096);
+        assert_eq!(r.links, 5376);
+        assert_eq!(r.diameter, 3);
+        let expected = 3.0 * (7.0 / 8.0) * 512.0 / 511.0;
+        assert!((r.average_distance - expected).abs() < 1e-9);
+        assert!((r.average_distance - 2.63).abs() < 0.01);
+    }
+
+    #[test]
+    fn diameter_curve_starts_at_healthy_diameter_and_is_monotone() {
+        let hx = HyperX::regular(3, 4);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let seq = FaultSet::random_sequence(hx.network(), 60, &mut rng);
+        let samples = diameter_under_fault_sequence(hx.network(), &seq, 10);
+        assert_eq!(samples[0].faults, 0);
+        assert_eq!(samples[0].diameter, Some(3));
+        let mut last = 0usize;
+        for s in &samples {
+            if let Some(d) = s.diameter {
+                assert!(d >= last, "diameter can only grow as faults accumulate");
+                last = d;
+            }
+        }
+    }
+
+    #[test]
+    fn diameter_curve_stops_after_disconnection() {
+        let hx = HyperX::regular(2, 3);
+        // Fail every link: the curve must stop at the first disconnected sample.
+        let all = FaultSet::from_links(hx.network().healthy_links());
+        let samples = diameter_under_fault_sequence(hx.network(), &all, 1);
+        assert!(samples.last().unwrap().diameter.is_none());
+        // No sample after the disconnected one.
+        let disconnected_at = samples.iter().position(|s| s.diameter.is_none()).unwrap();
+        assert_eq!(disconnected_at, samples.len() - 1);
+    }
+
+    #[test]
+    fn report_for_arbitrary_network() {
+        let net = crate::complete::complete_graph(33);
+        let r = TopologyReport::for_network(&net, 32);
+        assert_eq!(r.total_servers, 33 * 32);
+        assert_eq!(r.links, 528);
+        assert_eq!(r.diameter, 1);
+        assert_eq!(r.total_radix, 64);
+    }
+}

@@ -1,0 +1,53 @@
+//! Fault storm: apply an increasing sequence of random link failures to a 3D
+//! HyperX and watch SurePath's throughput degrade gracefully (the style of
+//! Figure 6 of the paper).
+//!
+//! Run with `cargo run --release --example fault_storm`.
+
+use hyperx_routing::MechanismSpec;
+use hyperx_topology::DistanceMatrix;
+use surepath_core::{Experiment, FaultScenario, TrafficSpec};
+
+fn main() {
+    let fault_seed = 2024;
+    let steps: Vec<usize> = (0..=5).map(|i| i * 10).collect();
+    let load = 0.8;
+
+    println!("Random fault storm on a 4x4x4 HyperX, uniform traffic, offered load {load}");
+    println!();
+    println!(
+        "{:>7}  {:>12}  {:>16}  {:>16}",
+        "faults", "diameter", "OmniSP accepted", "PolSP accepted"
+    );
+
+    for &count in &steps {
+        let scenario = FaultScenario::Random {
+            count,
+            seed: fault_seed,
+        };
+        // Report the diameter of the surviving network alongside throughput.
+        let hx = Experiment::quick_3d(MechanismSpec::OmniSP, TrafficSpec::Uniform).topology();
+        let mut net = hx.network().clone();
+        scenario.faults(&hx).apply(&mut net);
+        let diameter = DistanceMatrix::compute(&net)
+            .diameter_checked()
+            .map(|d| d.to_string())
+            .unwrap_or_else(|| "disconnected".to_string());
+
+        let mut row = vec![format!("{count:>7}"), format!("{diameter:>12}")];
+        for mechanism in [MechanismSpec::OmniSP, MechanismSpec::PolSP] {
+            let experiment = Experiment::quick_3d(mechanism, TrafficSpec::Uniform)
+                .with_scenario(scenario.clone())
+                // The fault experiments of the paper run SurePath with 4 VCs
+                // (3 routing + 1 escape).
+                .with_num_vcs(4);
+            let metrics = experiment.run_rate(load);
+            row.push(format!("{:>16.3}", metrics.accepted_load));
+        }
+        println!("{}", row.join("  "));
+    }
+
+    println!();
+    println!("SurePath keeps delivering every packet as long as the network stays connected;");
+    println!("throughput decreases smoothly instead of collapsing at the first failure.");
+}

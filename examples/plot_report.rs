@@ -1,0 +1,58 @@
+//! Render SVG charts from freshly measured data: a Figure-5-style throughput
+//! curve (accepted load versus offered load, one line per mechanism) and a
+//! Figure-9-style bar chart (accepted load under Star faults with the healthy
+//! value as a dashed reference mark).
+//!
+//! Run with `cargo run --release --example plot_report`; the SVG files are
+//! written to `results/`.
+
+use hyperx_routing::MechanismSpec;
+use hyperx_topology::FaultShape;
+use surepath_core::{
+    sweep_mechanisms, throughput_chart, BarChart, BarGroup, Experiment, FaultScenario, TrafficSpec,
+};
+
+fn main() -> std::io::Result<()> {
+    std::fs::create_dir_all("results")?;
+
+    // A scaled-down Figure 5 (Uniform panel): all six mechanisms, eleven loads.
+    let template = Experiment::quick_3d(MechanismSpec::OmniSP, TrafficSpec::Uniform);
+    let loads: Vec<f64> = (1..=10).map(|i| i as f64 / 10.0).collect();
+    let points = sweep_mechanisms(
+        &template,
+        &MechanismSpec::fault_free_lineup(),
+        TrafficSpec::Uniform,
+        &FaultScenario::None,
+        &loads,
+    );
+    let line = throughput_chart("Figure 5 style: 3D HyperX, Uniform traffic", &points);
+    std::fs::write("results/plot_fig5_uniform.svg", line.to_svg())?;
+    println!("wrote results/plot_fig5_uniform.svg ({} series)", line.series.len());
+
+    // A scaled-down Figure 9 (Star panel): OmniSP and PolSP under Star faults,
+    // healthy throughput as the reference mark.
+    let star = FaultScenario::Shape(FaultShape::Cross {
+        center: vec![2, 2, 2],
+        margin: 1,
+    });
+    let mut chart = BarChart::new("Figure 9 style: Star faults on the 3D HyperX", "accepted load", 1.0);
+    for traffic in [TrafficSpec::Uniform, TrafficSpec::RegularPermutationToNeighbour] {
+        let mut values = Vec::new();
+        let mut references = Vec::new();
+        for mechanism in MechanismSpec::surepath_lineup() {
+            let faulty = Experiment::quick_3d(mechanism, traffic)
+                .with_scenario(star.clone())
+                .with_num_vcs(4)
+                .run_rate(0.9);
+            let healthy = Experiment::quick_3d(mechanism, traffic)
+                .with_num_vcs(4)
+                .run_rate(0.9);
+            values.push((mechanism.name().to_string(), faulty.accepted_load));
+            references.push(Some(healthy.accepted_load));
+        }
+        chart = chart.with_group(BarGroup::new(traffic.name(), values).with_references(references));
+    }
+    std::fs::write("results/plot_fig9_star.svg", chart.to_svg())?;
+    println!("wrote results/plot_fig9_star.svg");
+    Ok(())
+}

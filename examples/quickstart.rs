@@ -1,0 +1,36 @@
+//! Quickstart: build a HyperX, pick a routing mechanism, run uniform traffic
+//! and print the paper's three metrics.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use hyperx_routing::MechanismSpec;
+use surepath_core::{format_rate_table, sweep_loads, Experiment, TrafficSpec};
+
+fn main() {
+    // A laptop-sized 8×8 HyperX (64 switches, 512 servers) so the example
+    // finishes in seconds. Swap `quick_2d` for `paper_2d` to reproduce the
+    // full-scale 16×16 network of the paper.
+    let experiment = Experiment::quick_2d(MechanismSpec::PolSP, TrafficSpec::Uniform);
+    println!("Experiment: {}", experiment.label());
+    println!(
+        "Topology: {} switches, {} servers, {} VCs per port",
+        experiment.topology().num_switches(),
+        experiment.topology().num_switches() * experiment.concentration,
+        experiment.num_vcs
+    );
+    println!();
+
+    // One point: moderate load.
+    let metrics = experiment.run_rate(0.5);
+    println!("At offered load 0.50:");
+    println!("  accepted load    = {:.3} phits/cycle/server", metrics.accepted_load);
+    println!("  average latency  = {:.1} cycles", metrics.average_latency);
+    println!("  Jain fairness    = {:.4}", metrics.jain_generated);
+    println!("  escape usage     = {:.1}% of packets", 100.0 * metrics.escape_fraction);
+    println!();
+
+    // A short load sweep, like one panel of Figure 4.
+    let loads = [0.2, 0.4, 0.6, 0.8, 1.0];
+    let points = sweep_loads(&experiment, &loads);
+    println!("{}", format_rate_table(&points));
+}

@@ -1,0 +1,175 @@
+//! End-to-end fault-free simulations across every mechanism and traffic
+//! pattern (the integration-level counterpart of Figures 4 and 5).
+
+use hyperx_routing::MechanismSpec;
+use surepath_core::{Experiment, TrafficSpec};
+
+fn quick_2d(mechanism: MechanismSpec, traffic: TrafficSpec) -> Experiment {
+    let mut e = Experiment::quick_2d(mechanism, traffic);
+    e.sim.warmup_cycles = 400;
+    e.sim.measure_cycles = 1200;
+    e.sim.seed = 11;
+    e
+}
+
+fn quick_3d(mechanism: MechanismSpec, traffic: TrafficSpec) -> Experiment {
+    let mut e = Experiment::quick_3d(mechanism, traffic);
+    e.sim.warmup_cycles = 400;
+    e.sim.measure_cycles = 1200;
+    e.sim.seed = 11;
+    e
+}
+
+#[test]
+fn every_mechanism_delivers_uniform_traffic_2d() {
+    for mechanism in MechanismSpec::fault_free_lineup() {
+        let m = quick_2d(mechanism, TrafficSpec::Uniform).run_rate(0.3);
+        assert!(!m.stalled, "{mechanism} stalled under light uniform traffic");
+        assert!(
+            m.accepted_load > 0.2,
+            "{mechanism} accepted only {:.3} of an offered 0.3",
+            m.accepted_load
+        );
+        assert!(m.average_latency > 30.0, "{mechanism} latency impossibly low");
+        assert!(m.jain_generated > 0.9, "{mechanism} starves some servers at light load");
+    }
+}
+
+#[test]
+fn every_mechanism_delivers_uniform_traffic_3d() {
+    for mechanism in MechanismSpec::fault_free_lineup() {
+        let m = quick_3d(mechanism, TrafficSpec::Uniform).run_rate(0.3);
+        assert!(!m.stalled, "{mechanism} stalled");
+        assert!(
+            m.accepted_load > 0.2,
+            "{mechanism} accepted only {:.3}",
+            m.accepted_load
+        );
+    }
+}
+
+#[test]
+fn every_pattern_works_with_surepath_3d() {
+    for traffic in TrafficSpec::lineup_3d() {
+        for mechanism in MechanismSpec::surepath_lineup() {
+            let m = quick_3d(mechanism, traffic).run_rate(0.25);
+            assert!(!m.stalled, "{mechanism} stalled under {}", traffic.name());
+            assert!(
+                m.accepted_load > 0.15,
+                "{mechanism} under {} accepted only {:.3}",
+                traffic.name(),
+                m.accepted_load
+            );
+        }
+    }
+}
+
+#[test]
+fn valiant_saturates_around_half_under_uniform() {
+    // Valiant doubles path length, so it cannot accept much more than 0.5
+    // phits/cycle/server under uniform traffic while adaptive mechanisms go higher.
+    let valiant = quick_2d(MechanismSpec::Valiant, TrafficSpec::Uniform).run_rate(1.0);
+    let polsp = quick_2d(MechanismSpec::PolSP, TrafficSpec::Uniform).run_rate(1.0);
+    assert!(
+        valiant.accepted_load < 0.65,
+        "Valiant accepted {:.3}, above its theoretical ceiling",
+        valiant.accepted_load
+    );
+    assert!(
+        polsp.accepted_load > valiant.accepted_load,
+        "PolSP ({:.3}) should beat Valiant ({:.3}) under benign traffic",
+        polsp.accepted_load,
+        valiant.accepted_load
+    );
+}
+
+#[test]
+fn surepath_matches_or_beats_ladder_counterparts_under_uniform() {
+    // Paper §5: OmniSP/PolSP provide the same or better throughput than
+    // OmniWAR/Polarized with the same resources.
+    let omniwar = quick_3d(MechanismSpec::OmniWAR, TrafficSpec::Uniform).run_rate(0.9);
+    let omnisp = quick_3d(MechanismSpec::OmniSP, TrafficSpec::Uniform).run_rate(0.9);
+    assert!(
+        omnisp.accepted_load >= omniwar.accepted_load - 0.08,
+        "OmniSP ({:.3}) collapsed versus OmniWAR ({:.3})",
+        omnisp.accepted_load,
+        omniwar.accepted_load
+    );
+    let polarized = quick_3d(MechanismSpec::Polarized, TrafficSpec::Uniform).run_rate(0.9);
+    let polsp = quick_3d(MechanismSpec::PolSP, TrafficSpec::Uniform).run_rate(0.9);
+    assert!(
+        polsp.accepted_load >= polarized.accepted_load - 0.08,
+        "PolSP ({:.3}) collapsed versus Polarized ({:.3})",
+        polsp.accepted_load,
+        polarized.accepted_load
+    );
+}
+
+#[test]
+fn rpn_separates_omnidimensional_from_polarized_routes() {
+    // The paper's headline claim for its new pattern: mechanisms based on
+    // Omnidimensional routes are capped near 0.5 while Polarized-route
+    // mechanisms exceed them.
+    let omnisp = quick_3d(MechanismSpec::OmniSP, TrafficSpec::RegularPermutationToNeighbour)
+        .run_rate(1.0);
+    let polsp = quick_3d(MechanismSpec::PolSP, TrafficSpec::RegularPermutationToNeighbour)
+        .run_rate(1.0);
+    assert!(
+        omnisp.accepted_load < 0.62,
+        "OmniSP accepted {:.3} under RPN, above the row bound",
+        omnisp.accepted_load
+    );
+    assert!(
+        polsp.accepted_load > omnisp.accepted_load,
+        "PolSP ({:.3}) should beat OmniSP ({:.3}) under RPN",
+        polsp.accepted_load,
+        omnisp.accepted_load
+    );
+}
+
+#[test]
+fn minimal_routing_struggles_under_rpn() {
+    // Minimal routing only has the single direct link per pair: it saturates
+    // early under Regular Permutation to Neighbour.
+    let minimal =
+        quick_3d(MechanismSpec::Minimal, TrafficSpec::RegularPermutationToNeighbour).run_rate(1.0);
+    let polsp =
+        quick_3d(MechanismSpec::PolSP, TrafficSpec::RegularPermutationToNeighbour).run_rate(1.0);
+    assert!(
+        minimal.accepted_load < polsp.accepted_load,
+        "Minimal ({:.3}) should not beat PolSP ({:.3}) under RPN",
+        minimal.accepted_load,
+        polsp.accepted_load
+    );
+}
+
+#[test]
+fn latency_grows_with_load() {
+    let low = quick_2d(MechanismSpec::OmniSP, TrafficSpec::Uniform).run_rate(0.2);
+    let high = quick_2d(MechanismSpec::OmniSP, TrafficSpec::Uniform).run_rate(0.95);
+    assert!(
+        high.average_latency > low.average_latency,
+        "latency at load 0.95 ({:.1}) should exceed latency at 0.2 ({:.1})",
+        high.average_latency,
+        low.average_latency
+    );
+}
+
+#[test]
+fn packet_conservation_for_every_mechanism() {
+    for mechanism in MechanismSpec::fault_free_lineup() {
+        let mut e = quick_2d(mechanism, TrafficSpec::Uniform);
+        e.sim.warmup_cycles = 0;
+        e.sim.measure_cycles = 400;
+        let mut sim = e.build_simulator();
+        sim.run_rate(0.4);
+        let generated = sim.total_generated();
+        assert!(generated > 0);
+        assert!(
+            sim.drain(300_000),
+            "{mechanism} failed to drain its in-flight packets"
+        );
+        assert_eq!(sim.total_delivered(), generated, "{mechanism} lost packets");
+        assert_eq!(sim.packets_in_switches(), 0);
+    }
+}

@@ -1,0 +1,201 @@
+//! End-to-end simulations under failures (the integration-level counterpart of
+//! Figures 6, 8, 9 and 10): SurePath keeps delivering while Ladder-based
+//! mechanisms lose packets.
+
+use hyperx_routing::MechanismSpec;
+use surepath_core::{Experiment, FaultScenario, TrafficSpec};
+
+fn faulty_3d(mechanism: MechanismSpec, traffic: TrafficSpec, scenario: FaultScenario) -> Experiment {
+    let mut e = Experiment::quick_3d(mechanism, traffic)
+        .with_scenario(scenario)
+        .with_num_vcs(if mechanism.is_surepath() { 4 } else { 6 });
+    e.sim.warmup_cycles = 400;
+    e.sim.measure_cycles = 1200;
+    e.sim.seed = 5;
+    e
+}
+
+fn faulty_2d(mechanism: MechanismSpec, traffic: TrafficSpec, scenario: FaultScenario) -> Experiment {
+    let mut e = Experiment::quick_2d(mechanism, traffic)
+        .with_scenario(scenario)
+        .with_num_vcs(4);
+    e.sim.warmup_cycles = 400;
+    e.sim.measure_cycles = 1200;
+    e.sim.seed = 5;
+    e
+}
+
+#[test]
+fn surepath_survives_random_fault_storms() {
+    for count in [5usize, 15, 30] {
+        for mechanism in MechanismSpec::surepath_lineup() {
+            let scenario = FaultScenario::Random { count, seed: 99 };
+            let m = faulty_3d(mechanism, TrafficSpec::Uniform, scenario).run_rate(0.5);
+            assert!(!m.stalled, "{mechanism} stalled with {count} random faults");
+            assert!(
+                m.accepted_load > 0.3,
+                "{mechanism} accepted only {:.3} with {count} faults",
+                m.accepted_load
+            );
+        }
+    }
+}
+
+#[test]
+fn surepath_degrades_gracefully_with_fault_count() {
+    // Figure 6's shape: throughput decreases slowly as faults accumulate; with
+    // a third of the sequence applied the loss stays far from a collapse.
+    let healthy = faulty_3d(MechanismSpec::PolSP, TrafficSpec::Uniform, FaultScenario::None)
+        .run_rate(0.9);
+    let faulty = faulty_3d(
+        MechanismSpec::PolSP,
+        TrafficSpec::Uniform,
+        FaultScenario::Random { count: 30, seed: 7 },
+    )
+    .run_rate(0.9);
+    assert!(!healthy.stalled && !faulty.stalled);
+    assert!(
+        faulty.accepted_load > 0.5 * healthy.accepted_load,
+        "throughput collapsed from {:.3} to {:.3}",
+        healthy.accepted_load,
+        faulty.accepted_load
+    );
+}
+
+#[test]
+fn surepath_delivers_every_packet_under_shape_faults() {
+    let scenarios = [
+        FaultScenario::Shape(hyperx_topology::FaultShape::Row {
+            along_dim: 0,
+            at: vec![0, 2, 2],
+        }),
+        FaultScenario::Shape(hyperx_topology::FaultShape::Subgrid {
+            low: vec![1, 1, 1],
+            size: 2,
+        }),
+        FaultScenario::Shape(hyperx_topology::FaultShape::Cross {
+            center: vec![2, 2, 2],
+            margin: 1,
+        }),
+    ];
+    for scenario in scenarios {
+        for mechanism in MechanismSpec::surepath_lineup() {
+            let mut e = faulty_3d(mechanism, TrafficSpec::Uniform, scenario.clone());
+            e.sim.warmup_cycles = 0;
+            e.sim.measure_cycles = 400;
+            let mut sim = e.build_simulator();
+            sim.run_rate(0.4);
+            let generated = sim.total_generated();
+            assert!(
+                sim.drain(400_000),
+                "{mechanism} could not drain under {}",
+                scenario.name()
+            );
+            assert_eq!(sim.total_delivered(), generated);
+        }
+    }
+}
+
+#[test]
+fn escape_usage_increases_with_faults() {
+    let healthy = faulty_3d(MechanismSpec::OmniSP, TrafficSpec::Uniform, FaultScenario::None)
+        .run_rate(0.4);
+    let faulty = faulty_3d(
+        MechanismSpec::OmniSP,
+        TrafficSpec::Uniform,
+        FaultScenario::Random { count: 40, seed: 3 },
+    )
+    .run_rate(0.4);
+    assert!(
+        faulty.escape_fraction >= healthy.escape_fraction,
+        "escape usage should not shrink when faults appear ({:.4} vs {:.4})",
+        faulty.escape_fraction,
+        healthy.escape_fraction
+    );
+    assert!(
+        faulty.escape_fraction > 0.0,
+        "with 40 faults some packets must need the escape subnetwork"
+    );
+}
+
+#[test]
+fn dor_loses_packets_after_a_single_fault_but_omnisp_does_not() {
+    // The paper's motivation (§2): a single failure breaks DOR's unique paths,
+    // while SurePath reroutes through the escape subnetwork.
+    let hx = hyperx_topology::HyperX::regular(2, 4);
+    let a = hx.switch_id(&[0, 0]);
+    let b = hx.switch_id(&[1, 0]);
+    let single_fault = FaultScenario::Shape(hyperx_topology::FaultShape::Row {
+        along_dim: 0,
+        at: vec![0, 0],
+    });
+    // Sanity: the row fault includes the (0,0)-(1,0) link.
+    assert!(single_fault
+        .faults(&hx)
+        .links()
+        .contains(&hyperx_topology::LinkId::new(a, b)));
+
+    let run = |mechanism: MechanismSpec| {
+        let mut e = faulty_2d(mechanism, TrafficSpec::Uniform, single_fault.clone());
+        e.sim.warmup_cycles = 0;
+        e.sim.measure_cycles = 600;
+        e.sim.watchdog_cycles = 3_000;
+        let mut sim = e.build_simulator();
+        sim.run_rate(0.3);
+        let generated = sim.total_generated();
+        let drained = sim.drain(30_000);
+        (generated, sim.total_delivered(), drained)
+    };
+
+    let (gen_sp, del_sp, drained_sp) = run(MechanismSpec::OmniSP);
+    assert!(drained_sp, "OmniSP must deliver everything despite the faulty row");
+    assert_eq!(gen_sp, del_sp);
+
+    let (gen_dor, del_dor, drained_dor) = run(MechanismSpec::Dor);
+    assert!(
+        !drained_dor || del_dor < gen_dor,
+        "DOR should be unable to deliver the traffic that needed the dead row links"
+    );
+}
+
+#[test]
+fn star_configuration_is_the_most_stressful() {
+    // Figure 9: Row and Subcube barely hurt, the Star (which almost isolates
+    // the escape root) hurts most.
+    let row = faulty_3d(MechanismSpec::PolSP, TrafficSpec::Uniform, FaultScenario::Shape(
+        hyperx_topology::FaultShape::Row { along_dim: 0, at: vec![0, 2, 2] },
+    ))
+    .run_rate(0.9);
+    let star = faulty_3d(MechanismSpec::PolSP, TrafficSpec::Uniform, FaultScenario::Shape(
+        hyperx_topology::FaultShape::Cross { center: vec![2, 2, 2], margin: 1 },
+    ))
+    .run_rate(0.9);
+    assert!(!row.stalled && !star.stalled);
+    assert!(
+        star.accepted_load <= row.accepted_load + 0.05,
+        "the Star fault ({:.3}) should not outperform the Row fault ({:.3})",
+        star.accepted_load,
+        row.accepted_load
+    );
+}
+
+#[test]
+fn batch_completion_works_under_star_faults() {
+    // Figure 10 in miniature: the closed-loop experiment completes under the
+    // Star fault for both SurePath variants and reports a throughput curve.
+    for mechanism in MechanismSpec::surepath_lineup() {
+        let e = faulty_3d(
+            mechanism,
+            TrafficSpec::RegularPermutationToNeighbour,
+            FaultScenario::Shape(hyperx_topology::FaultShape::Cross {
+                center: vec![2, 2, 2],
+                margin: 1,
+            }),
+        );
+        let result = e.run_batch(20, 500);
+        assert!(!result.stalled, "{mechanism} stalled in batch mode");
+        assert_eq!(result.delivered_packets, 20 * 64 * 4, "{mechanism} lost packets");
+        assert!(result.completion_time > 0);
+        assert!(!result.samples.is_empty());
+    }
+}

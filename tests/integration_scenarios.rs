@@ -1,0 +1,159 @@
+//! Scenario- and harness-level integration tests: Figure 1's diameter study,
+//! the named fault configurations, load sweeps and report emitters.
+
+use hyperx_routing::MechanismSpec;
+use hyperx_topology::{diameter_under_fault_sequence, FaultSet, HyperX};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use surepath_core::{
+    format_rate_table, rate_metrics_to_csv, sweep_loads, sweep_mechanisms, Experiment,
+    FaultScenario, TrafficSpec,
+};
+
+#[test]
+fn figure1_diameter_stays_low_for_many_random_faults() {
+    // Figure 1 (scaled down): the 4×4×4 HyperX keeps its healthy diameter of 3
+    // for a meaningful number of random faults and only disconnects after
+    // losing most of its links.
+    let hx = HyperX::regular(3, 4);
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    let total_links = hx.network().num_links();
+    let seq = FaultSet::random_sequence(hx.network(), total_links, &mut rng);
+    let samples = diameter_under_fault_sequence(hx.network(), &seq, 8);
+    assert_eq!(samples[0].diameter, Some(3));
+    // The diameter never decreases along the sequence.
+    let mut last = 3usize;
+    for s in &samples {
+        if let Some(d) = s.diameter {
+            assert!(d >= last);
+            last = d;
+        }
+    }
+    // With 10% of links removed the diameter is still small.
+    let early = samples
+        .iter()
+        .filter(|s| s.faults <= total_links / 10)
+        .filter_map(|s| s.diameter)
+        .max()
+        .unwrap();
+    assert!(early <= 4, "diameter jumped to {early} with only 10% faults");
+    // The network survives at least a third of the links failing.
+    let disconnect_at = samples
+        .iter()
+        .find(|s| s.diameter.is_none())
+        .map(|s| s.faults)
+        .unwrap_or(total_links);
+    assert!(
+        disconnect_at > total_links / 3,
+        "disconnected after only {disconnect_at} of {total_links} faults"
+    );
+}
+
+#[test]
+fn paper_fault_shapes_leave_the_full_networks_connected() {
+    let hx2 = HyperX::regular(2, 16);
+    for scenario in [
+        FaultScenario::row_2d(),
+        FaultScenario::subplane_2d(),
+        FaultScenario::cross_2d(),
+    ] {
+        let mut net = hx2.network().clone();
+        scenario.faults(&hx2).apply(&mut net);
+        assert!(net.is_connected(), "{} disconnects the 2D network", scenario.name());
+    }
+    let hx3 = HyperX::regular(3, 8);
+    for scenario in [
+        FaultScenario::row_3d(),
+        FaultScenario::subcube_3d(),
+        FaultScenario::star_3d(),
+    ] {
+        let mut net = hx3.network().clone();
+        scenario.faults(&hx3).apply(&mut net);
+        assert!(net.is_connected(), "{} disconnects the 3D network", scenario.name());
+    }
+}
+
+#[test]
+fn sweeps_are_deterministic_for_a_fixed_seed() {
+    let mut e = Experiment::quick_2d(MechanismSpec::OmniSP, TrafficSpec::Uniform);
+    e.sim.warmup_cycles = 200;
+    e.sim.measure_cycles = 600;
+    e.sim.seed = 123;
+    let a = sweep_loads(&e, &[0.3, 0.6]);
+    let b = sweep_loads(&e, &[0.3, 0.6]);
+    for (x, y) in a.iter().zip(b.iter()) {
+        assert_eq!(x.metrics.accepted_load, y.metrics.accepted_load);
+        assert_eq!(x.metrics.delivered_packets, y.metrics.delivered_packets);
+    }
+}
+
+#[test]
+fn mechanism_sweep_covers_the_whole_lineup_and_serializes() {
+    let mut template = Experiment::quick_2d(MechanismSpec::OmniSP, TrafficSpec::Uniform);
+    template.sim.warmup_cycles = 150;
+    template.sim.measure_cycles = 400;
+    let points = sweep_mechanisms(
+        &template,
+        &MechanismSpec::fault_free_lineup(),
+        TrafficSpec::Uniform,
+        &FaultScenario::None,
+        &[0.3],
+    );
+    assert_eq!(points.len(), 6);
+    let table = format_rate_table(&points);
+    for spec in MechanismSpec::fault_free_lineup() {
+        assert!(table.contains(spec.name()), "table misses {spec}");
+    }
+    let csv = rate_metrics_to_csv(&points);
+    assert_eq!(csv.lines().count(), 7);
+    // CSV fields are numeric where expected.
+    for line in csv.lines().skip(1) {
+        let fields: Vec<&str> = line.split(',').collect();
+        assert_eq!(fields.len(), 12);
+        assert!(fields[3].parse::<f64>().is_ok());
+        assert!(fields[4].parse::<f64>().is_ok());
+    }
+}
+
+#[test]
+fn random_fault_scenarios_grow_monotonically() {
+    // The same seed with increasing counts reproduces prefixes, so Figure 6's
+    // incremental experiment is well defined.
+    let hx = HyperX::regular(3, 4);
+    let mut previous: Vec<_> = Vec::new();
+    for count in [0usize, 10, 20, 30] {
+        let faults = FaultScenario::Random { count, seed: 2024 }.faults(&hx);
+        assert_eq!(faults.len(), count);
+        assert_eq!(&previous[..], &faults.links()[..previous.len()]);
+        previous = faults.links().to_vec();
+    }
+}
+
+#[test]
+fn experiments_with_different_escape_roots_still_work() {
+    use surepath_core::experiment::RootPlacement;
+    let mut e = Experiment::quick_2d(MechanismSpec::PolSP, TrafficSpec::Uniform);
+    e.sim.warmup_cycles = 200;
+    e.sim.measure_cycles = 500;
+    e.root = RootPlacement::Switch(17);
+    let view = e.build_view();
+    assert_eq!(view.escape_root(), 17);
+    let m = e.run_rate(0.4);
+    assert!(!m.stalled);
+    assert!(m.accepted_load > 0.2);
+}
+
+#[test]
+fn batch_and_rate_modes_agree_on_low_load_behaviour() {
+    // At light batch sizes the completion-time experiment should deliver all
+    // packets with latencies comparable to the open-loop experiment.
+    let mut e = Experiment::quick_2d(MechanismSpec::OmniSP, TrafficSpec::RandomServerPermutation);
+    e.sim.seed = 8;
+    let batch = e.run_batch(10, 250);
+    assert!(!batch.stalled);
+    assert_eq!(batch.delivered_packets, 10 * 64 * 8);
+    assert!(batch.average_latency > 30.0);
+    let rate = e.run_rate(0.3);
+    assert!(!rate.stalled);
+    assert!(rate.average_latency > 30.0);
+}
