@@ -21,7 +21,11 @@ fn bench_figure_points(c: &mut Criterion) {
     let mut group = c.benchmark_group("figures/one_point_quick3d");
     group.sample_size(10);
     group.bench_function("fig5_uniform_polsp", |b| {
-        let e = point(MechanismSpec::PolSP, TrafficSpec::Uniform, FaultScenario::None);
+        let e = point(
+            MechanismSpec::PolSP,
+            TrafficSpec::Uniform,
+            FaultScenario::None,
+        );
         b.iter(|| black_box(e.run_rate(0.6)))
     });
     group.bench_function("fig5_rpn_omnisp", |b| {

@@ -9,7 +9,9 @@
 use hyperx_bench::{experiment_3d, saturation_load, HarnessOptions, Scale};
 use hyperx_routing::MechanismSpec;
 use hyperx_topology::FaultShape;
-use surepath_core::{ablation_to_csv, format_ablation_table, vc_count_study, FaultScenario, TrafficSpec};
+use surepath_core::{
+    ablation_to_csv, format_ablation_table, vc_count_study, FaultScenario, TrafficSpec,
+};
 
 fn star(scale: Scale) -> FaultScenario {
     match scale {
@@ -27,10 +29,8 @@ fn main() {
     let vc_counts = [2usize, 3, 4, 6];
     let mut all = Vec::new();
 
-    for (scenario_name, scenario) in [
-        ("Healthy", FaultScenario::None),
-        ("Star", star(opts.scale)),
-    ] {
+    for (scenario_name, scenario) in [("Healthy", FaultScenario::None), ("Star", star(opts.scale))]
+    {
         for mechanism in MechanismSpec::surepath_lineup() {
             println!(
                 "=== VC-count ablation / {} / {} / Uniform / offered {:.2} ===",
@@ -48,6 +48,8 @@ fn main() {
     }
 
     println!("Paper claim to check: accepted load barely moves between 2 and 2n VCs for SurePath,");
-    println!("whereas the Ladder mechanisms cannot even run with fewer than 2n VCs on long routes.");
+    println!(
+        "whereas the Ladder mechanisms cannot even run with fewer than 2n VCs on long routes."
+    );
     opts.maybe_write_csv(&ablation_to_csv(&all));
 }

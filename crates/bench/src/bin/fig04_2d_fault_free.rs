@@ -5,7 +5,9 @@
 
 use hyperx_bench::{experiment_2d, load_grid, HarnessOptions};
 use hyperx_routing::MechanismSpec;
-use surepath_core::{format_rate_table, rate_metrics_to_csv, sweep_mechanisms, FaultScenario, TrafficSpec};
+use surepath_core::{
+    format_rate_table, rate_metrics_to_csv, sweep_mechanisms, FaultScenario, TrafficSpec,
+};
 
 fn main() {
     let opts = HarnessOptions::from_args();
@@ -15,7 +17,13 @@ fn main() {
     for traffic in TrafficSpec::lineup_2d() {
         println!("=== Figure 4 / {} ===", traffic.name());
         let template = experiment_2d(opts.scale, MechanismSpec::OmniSP, traffic);
-        let points = sweep_mechanisms(&template, &mechanisms, traffic, &FaultScenario::None, &loads);
+        let points = sweep_mechanisms(
+            &template,
+            &mechanisms,
+            traffic,
+            &FaultScenario::None,
+            &loads,
+        );
         println!("{}", format_rate_table(&points));
         all_points.extend(points);
     }

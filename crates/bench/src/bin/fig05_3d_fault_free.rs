@@ -4,7 +4,9 @@
 
 use hyperx_bench::{experiment_3d, load_grid, HarnessOptions};
 use hyperx_routing::MechanismSpec;
-use surepath_core::{format_rate_table, rate_metrics_to_csv, sweep_mechanisms, FaultScenario, TrafficSpec};
+use surepath_core::{
+    format_rate_table, rate_metrics_to_csv, sweep_mechanisms, FaultScenario, TrafficSpec,
+};
 
 fn main() {
     let opts = HarnessOptions::from_args();
@@ -14,11 +16,19 @@ fn main() {
     for traffic in TrafficSpec::lineup_3d() {
         println!("=== Figure 5 / {} ===", traffic.name());
         let template = experiment_3d(opts.scale, MechanismSpec::OmniSP, traffic);
-        let points = sweep_mechanisms(&template, &mechanisms, traffic, &FaultScenario::None, &loads);
+        let points = sweep_mechanisms(
+            &template,
+            &mechanisms,
+            traffic,
+            &FaultScenario::None,
+            &loads,
+        );
         println!("{}", format_rate_table(&points));
         all_points.extend(points);
     }
     println!("Paper shapes to check: under Regular Permutation to Neighbour, OmniWAR/OmniSP stay");
-    println!("near 0.5 while Polarized/PolSP exceed it; SurePath variants lead the other patterns.");
+    println!(
+        "near 0.5 while Polarized/PolSP exceed it; SurePath variants lead the other patterns."
+    );
     opts.maybe_write_csv(&rate_metrics_to_csv(&all_points));
 }

@@ -46,7 +46,8 @@ fn scenarios(scale: Scale) -> Vec<(&'static str, FaultScenario)> {
 fn main() {
     let opts = HarnessOptions::from_args();
     let load = saturation_load();
-    let mut csv = String::from("shape,traffic,mechanism,accepted_load,healthy_reference,drop_percent\n");
+    let mut csv =
+        String::from("shape,traffic,mechanism,accepted_load,healthy_reference,drop_percent\n");
     for (shape_name, scenario) in scenarios(opts.scale) {
         println!("=== Figure 8 / {shape_name} faults ===");
         println!(

@@ -32,9 +32,13 @@ fn main() {
 
     let mut results: Vec<(&str, BatchMetrics)> = Vec::new();
     for mechanism in MechanismSpec::surepath_lineup() {
-        let experiment = experiment_3d(opts.scale, mechanism, TrafficSpec::RegularPermutationToNeighbour)
-            .with_scenario(scenario.clone())
-            .with_num_vcs(4);
+        let experiment = experiment_3d(
+            opts.scale,
+            mechanism,
+            TrafficSpec::RegularPermutationToNeighbour,
+        )
+        .with_scenario(scenario.clone())
+        .with_num_vcs(4);
         let metrics = experiment.run_batch(packets_per_server, sample_window);
         println!(
             "{}: completion time {} cycles, {} packets delivered, average latency {:.1} cycles{}",
@@ -54,7 +58,10 @@ fn main() {
         println!("accepted load over time for {name}:");
         for sample in &metrics.samples {
             println!("  cycle {:>8}: {:.3}", sample.cycle, sample.accepted_load);
-            csv.push_str(&format!("{name},{},{:.6}\n", sample.cycle, sample.accepted_load));
+            csv.push_str(&format!(
+                "{name},{},{:.6}\n",
+                sample.cycle, sample.accepted_load
+            ));
         }
         println!();
     }

@@ -15,7 +15,9 @@ fn main() {
     println!("Table 3: topological parameters");
     println!();
     println!("{table}");
-    println!("Paper values (2D): 256 switches, radix 46, 4096 servers, 3840 links, diameter 2, avg 1.8");
+    println!(
+        "Paper values (2D): 256 switches, radix 46, 4096 servers, 3840 links, diameter 2, avg 1.8"
+    );
     println!("Paper values (3D): 512 switches, radix 29, 4096 servers, 5376 links, diameter 3, avg 2.625");
     opts.maybe_write_csv(&table);
 }

@@ -33,7 +33,15 @@ pub struct HarnessOptions {
     pub scale: Scale,
     /// Optional path for a CSV copy of the results.
     pub csv: Option<String>,
+    /// Campaign result store path override (`--store`); binaries ported onto
+    /// the campaign runner resume from this JSONL file.
+    pub store: Option<String>,
+    /// Worker thread count override (`--threads`).
+    pub threads: Option<usize>,
 }
+
+const HARNESS_USAGE: &str =
+    "usage: [--quick|--full] [--csv <path>] [--store <results.jsonl>] [--threads <n>]";
 
 impl HarnessOptions {
     /// Parses the options from `std::env::args`, exiting with a usage message
@@ -41,29 +49,61 @@ impl HarnessOptions {
     pub fn from_args() -> Self {
         let mut scale = Scale::Quick;
         let mut csv = None;
+        let mut store = None;
+        let mut threads = None;
         let mut args = std::env::args().skip(1);
+        let value = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} requires a value");
+                std::process::exit(2);
+            })
+        };
         while let Some(arg) = args.next() {
             match arg.as_str() {
                 "--quick" => scale = Scale::Quick,
                 "--full" | "--paper" => scale = Scale::Paper,
-                "--csv" => {
-                    csv = Some(args.next().unwrap_or_else(|| {
-                        eprintln!("--csv requires a path");
+                "--csv" => csv = Some(value(&mut args, "--csv")),
+                "--store" => store = Some(value(&mut args, "--store")),
+                "--threads" => {
+                    let n: usize = value(&mut args, "--threads").parse().unwrap_or(0);
+                    if n == 0 {
+                        eprintln!("--threads must be a positive integer");
                         std::process::exit(2);
-                    }));
+                    }
+                    threads = Some(n);
                 }
                 "--help" | "-h" => {
-                    println!("usage: [--quick|--full] [--csv <path>]");
+                    println!("{HARNESS_USAGE}");
                     std::process::exit(0);
                 }
                 other => {
                     eprintln!("unknown argument: {other}");
-                    eprintln!("usage: [--quick|--full] [--csv <path>]");
+                    eprintln!("{HARNESS_USAGE}");
                     std::process::exit(2);
                 }
             }
         }
-        HarnessOptions { scale, csv }
+        HarnessOptions {
+            scale,
+            csv,
+            store,
+            threads,
+        }
+    }
+
+    /// The campaign store path for a figure binary: `--store` if given, else
+    /// `results/<stem>_<scale>.jsonl`.
+    pub fn store_path(&self, stem: &str) -> std::path::PathBuf {
+        match &self.store {
+            Some(path) => std::path::PathBuf::from(path),
+            None => {
+                let scale = match self.scale {
+                    Scale::Quick => "quick",
+                    Scale::Paper => "full",
+                };
+                std::path::PathBuf::from(format!("results/{stem}_{scale}.jsonl"))
+            }
+        }
     }
 
     /// Writes `contents` to the CSV path if one was requested.
@@ -116,6 +156,31 @@ pub fn saturation_load() -> f64 {
     0.9
 }
 
+/// The (warmup, measure) simulation windows at the given scale, for campaign
+/// specs (matching `SimConfig::quick` and Table 2 respectively).
+pub fn windows(scale: Scale) -> (u64, u64) {
+    match scale {
+        Scale::Quick => (1_000, 2_000),
+        Scale::Paper => (5_000, 10_000),
+    }
+}
+
+/// The 2D/3D topology sides at the given scale.
+pub fn sides_2d(scale: Scale) -> Vec<usize> {
+    match scale {
+        Scale::Quick => vec![8, 8],
+        Scale::Paper => vec![16, 16],
+    }
+}
+
+/// See [`sides_2d`].
+pub fn sides_3d(scale: Scale) -> Vec<usize> {
+    match scale {
+        Scale::Quick => vec![4, 4, 4],
+        Scale::Paper => vec![8, 8, 8],
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,5 +204,33 @@ mod tests {
         assert_eq!(fault_steps(Scale::Quick).last(), Some(&50));
         assert_eq!(fault_steps(Scale::Paper).last(), Some(&100));
         assert!(saturation_load() > 0.8);
+    }
+
+    #[test]
+    fn campaign_helpers_match_experiment_templates() {
+        // The campaign-spec helpers must describe the same configurations the
+        // Experiment constructors build, or fingerprints would quietly drift.
+        let q2 = experiment_2d(Scale::Quick, MechanismSpec::OmniSP, TrafficSpec::Uniform);
+        assert_eq!(sides_2d(Scale::Quick), q2.sides);
+        assert_eq!(
+            windows(Scale::Quick),
+            (q2.sim.warmup_cycles, q2.sim.measure_cycles)
+        );
+        let p3 = experiment_3d(Scale::Paper, MechanismSpec::PolSP, TrafficSpec::Uniform);
+        assert_eq!(sides_3d(Scale::Paper), p3.sides);
+        assert_eq!(
+            windows(Scale::Paper),
+            (p3.sim.warmup_cycles, p3.sim.measure_cycles)
+        );
+        let opts = HarnessOptions {
+            scale: Scale::Quick,
+            csv: None,
+            store: None,
+            threads: None,
+        };
+        assert_eq!(
+            opts.store_path("fig06"),
+            std::path::PathBuf::from("results/fig06_quick.jsonl")
+        );
     }
 }

@@ -8,7 +8,7 @@
 
 use hyperx_routing::MechanismSpec;
 use hyperx_topology::RootPolicy;
-use surepath_core::{Experiment, FaultScenario, FaultShape, RootPlacement, SimConfig, TrafficSpec};
+use surepath_core::{Experiment, FaultScenario, RootPlacement, SimConfig, TrafficSpec};
 
 /// What the simulation should measure.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -64,8 +64,23 @@ impl Default for CliConfig {
     }
 }
 
+/// The usage string of the `campaign` subcommand.
+pub const CAMPAIGN_USAGE: &str = "usage: surepath campaign <spec.toml|spec.json> [options]
+  Runs (or resumes) a declarative experiment campaign: the spec's
+  topology x mechanism x traffic x scenario x load x seed cross-product
+  is executed on a bounded work-stealing thread pool and streamed to a
+  resumable JSONL result store. Already-completed jobs (matched by
+  fingerprint) are skipped, so re-running a finished campaign is instant.
+
+  --store PATH         result store (default: <spec>.results.jsonl)
+  --threads N          worker threads (default: all cores)
+  --quiet              suppress per-job progress on stderr
+  --dry-run            expand and validate the grid, run nothing
+  --help               this message";
+
 /// The usage string printed by `--help` and on parse errors.
 pub const USAGE: &str = "usage: surepath [options]
+       surepath campaign <spec.toml|spec.json> [options]   (see `surepath campaign --help`)
   --sides KxKxK        HyperX sides (default 8x8x8)
   --concentration N    servers per switch (default: the first side)
   --mechanism NAME     minimal|valiant|omniwar|polarized|omnisp|polsp|dor|dal|omnisp-tree|polsp-tree
@@ -85,63 +100,15 @@ fn parse_sides(s: &str) -> Result<Vec<usize>, String> {
     let sides: Result<Vec<usize>, _> = s.split('x').map(str::parse::<usize>).collect();
     match sides {
         Ok(v) if !v.is_empty() && v.iter().all(|&k| k >= 2) => Ok(v),
-        _ => Err(format!("invalid --sides '{s}': expected e.g. 16x16 or 8x8x8 with sides >= 2")),
+        _ => Err(format!(
+            "invalid --sides '{s}': expected e.g. 16x16 or 8x8x8 with sides >= 2"
+        )),
     }
 }
 
 fn parse_faults(spec: &str, sides: &[usize]) -> Result<FaultScenario, String> {
-    let mid: Vec<usize> = sides.iter().map(|&k| k / 2).collect();
-    let mut parts = spec.split(':');
-    let kind = parts.next().unwrap_or("");
-    match kind {
-        "none" => Ok(FaultScenario::None),
-        "random" => {
-            let count: usize = parts
-                .next()
-                .ok_or("random faults need a count, e.g. random:30")?
-                .parse()
-                .map_err(|_| "invalid random fault count")?;
-            let seed: u64 = match parts.next() {
-                Some(s) => s.parse().map_err(|_| "invalid random fault seed")?,
-                None => 1,
-            };
-            Ok(FaultScenario::Random { count, seed })
-        }
-        "row" => Ok(FaultScenario::Shape(FaultShape::Row {
-            along_dim: 0,
-            at: mid,
-        })),
-        "subgrid" | "subplane" | "subcube" => {
-            let size: usize = parts
-                .next()
-                .ok_or("subgrid faults need a size, e.g. subgrid:3")?
-                .parse()
-                .map_err(|_| "invalid subgrid size")?;
-            if sides.iter().any(|&k| size > k) {
-                return Err(format!("subgrid size {size} does not fit the topology"));
-            }
-            Ok(FaultScenario::Shape(FaultShape::Subgrid {
-                low: vec![0; sides.len()],
-                size,
-            }))
-        }
-        "cross" => {
-            let margin: usize = parts
-                .next()
-                .ok_or("cross faults need a margin, e.g. cross:5")?
-                .parse()
-                .map_err(|_| "invalid cross margin")?;
-            if sides.iter().any(|&k| margin >= k) {
-                return Err(format!("cross margin {margin} leaves no faulty links"));
-            }
-            Ok(FaultScenario::Shape(FaultShape::Cross { center: mid, margin }))
-        }
-        "star" => Ok(FaultScenario::Shape(FaultShape::Cross {
-            center: mid,
-            margin: 1,
-        })),
-        other => Err(format!("unknown fault spec '{other}'")),
-    }
+    // The parser lives in surepath-core so campaign specs share it.
+    FaultScenario::parse(spec, sides)
 }
 
 fn parse_root(spec: &str) -> Result<RootPlacement, String> {
@@ -211,9 +178,15 @@ pub fn parse_args(args: &[String]) -> Result<CliConfig, String> {
                 cfg.mode = RunMode::Batch(value("--batch")?.parse().map_err(|_| "invalid --batch")?)
             }
             "--seed" => cfg.seed = value("--seed")?.parse().map_err(|_| "invalid --seed")?,
-            "--warmup" => warmup = Some(value("--warmup")?.parse().map_err(|_| "invalid --warmup")?),
+            "--warmup" => {
+                warmup = Some(value("--warmup")?.parse().map_err(|_| "invalid --warmup")?)
+            }
             "--measure" => {
-                measure = Some(value("--measure")?.parse().map_err(|_| "invalid --measure")?)
+                measure = Some(
+                    value("--measure")?
+                        .parse()
+                        .map_err(|_| "invalid --measure")?,
+                )
             }
             "--json" => cfg.json = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
@@ -241,7 +214,9 @@ pub fn parse_args(args: &[String]) -> Result<CliConfig, String> {
 /// Builds the [`Experiment`] described by a parsed configuration.
 pub fn build_experiment(cfg: &CliConfig) -> Experiment {
     let dims = cfg.sides.len();
-    let num_vcs = cfg.vcs.unwrap_or_else(|| cfg.mechanism.default_num_vcs(dims));
+    let num_vcs = cfg
+        .vcs
+        .unwrap_or_else(|| cfg.mechanism.default_num_vcs(dims));
     let mut experiment = Experiment {
         sides: cfg.sides.clone(),
         concentration: cfg.concentration,
@@ -300,9 +275,120 @@ pub fn run(cfg: &CliConfig) -> String {
     }
 }
 
+/// A parsed `surepath campaign` command line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CampaignCliConfig {
+    /// Path of the TOML/JSON campaign spec.
+    pub spec_path: String,
+    /// Result store path (`None` = `<spec>.results.jsonl`).
+    pub store: Option<String>,
+    /// Worker threads (`None` = all cores).
+    pub threads: Option<usize>,
+    /// Suppress per-job progress output.
+    pub quiet: bool,
+    /// Validate and expand only; run nothing.
+    pub dry_run: bool,
+}
+
+impl CampaignCliConfig {
+    /// The effective store path.
+    pub fn store_path(&self) -> std::path::PathBuf {
+        match &self.store {
+            Some(path) => std::path::PathBuf::from(path),
+            None => {
+                let spec = std::path::Path::new(&self.spec_path);
+                spec.with_extension("results.jsonl")
+            }
+        }
+    }
+}
+
+/// Parses the arguments of the `campaign` subcommand (everything after the
+/// literal `campaign`).
+pub fn parse_campaign_args(args: &[String]) -> Result<CampaignCliConfig, String> {
+    let mut spec_path: Option<String> = None;
+    let mut store = None;
+    let mut threads = None;
+    let mut quiet = false;
+    let mut dry_run = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--store" => store = Some(value("--store")?),
+            "--threads" => {
+                let n: usize = value("--threads")?
+                    .parse()
+                    .map_err(|_| "invalid --threads")?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".to_string());
+                }
+                threads = Some(n);
+            }
+            "--quiet" => quiet = true,
+            "--dry-run" => dry_run = true,
+            "--help" | "-h" => return Err(CAMPAIGN_USAGE.to_string()),
+            other if other.starts_with("--") => {
+                return Err(format!("unknown argument '{other}'\n{CAMPAIGN_USAGE}"))
+            }
+            positional => {
+                if spec_path.replace(positional.to_string()).is_some() {
+                    return Err("campaign takes exactly one spec file".to_string());
+                }
+            }
+        }
+    }
+    Ok(CampaignCliConfig {
+        spec_path: spec_path.ok_or_else(|| format!("missing spec file\n{CAMPAIGN_USAGE}"))?,
+        store,
+        threads,
+        quiet,
+        dry_run,
+    })
+}
+
+/// Runs the `campaign` subcommand, returning the summary to print.
+pub fn run_campaign_cli(cfg: &CampaignCliConfig) -> Result<String, String> {
+    let spec = surepath_runner::load_spec_file(std::path::Path::new(&cfg.spec_path))?;
+    if cfg.dry_run {
+        // The run path below validates on its own; only the dry run needs
+        // the expansion here (for the counts).
+        let jobs = spec.expand()?;
+        surepath_core::validate_campaign(&spec)?;
+        return Ok(format!(
+            "campaign `{}`: {} jobs valid ({} topologies x {} mechanisms x {} traffics x {} scenarios x {} loads x {} seeds); dry run, nothing executed",
+            spec.name,
+            jobs.len(),
+            spec.topologies.len(),
+            spec.mechanisms.as_ref().map_or(1, Vec::len),
+            spec.traffics.as_ref().map_or(1, Vec::len),
+            spec.scenarios.as_ref().map_or(1, Vec::len),
+            spec.loads.as_ref().map_or(1, Vec::len),
+            spec.seeds.as_ref().map_or(1, Vec::len),
+        ));
+    }
+    let store_path = cfg.store_path();
+    let outcome = surepath_core::run_campaign(&spec, &store_path, cfg.threads, cfg.quiet)
+        .map_err(|e| format!("campaign failed: {e}"))?;
+    Ok(format!(
+        "campaign `{}`: {} jobs total, {} skipped (already complete), {} executed, {} failed\nresults: {}",
+        spec.name,
+        outcome.total,
+        outcome.skipped,
+        outcome.executed,
+        outcome.failed,
+        store_path.display()
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use surepath_core::FaultShape;
 
     fn args(list: &[&str]) -> Vec<String> {
         list.iter().map(|s| s.to_string()).collect()
@@ -324,12 +410,30 @@ mod tests {
     #[test]
     fn full_command_line_round_trips() {
         let cfg = parse_args(&args(&[
-            "--sides", "16x16", "--mechanism", "omnisp", "--traffic", "dcr", "--faults", "cross:5",
-            "--vcs", "4", "--load", "0.9", "--seed", "7", "--root", "max-degree", "--json",
+            "--sides",
+            "16x16",
+            "--mechanism",
+            "omnisp",
+            "--traffic",
+            "dcr",
+            "--faults",
+            "cross:5",
+            "--vcs",
+            "4",
+            "--load",
+            "0.9",
+            "--seed",
+            "7",
+            "--root",
+            "max-degree",
+            "--json",
         ]))
         .unwrap();
         assert_eq!(cfg.sides, vec![16, 16]);
-        assert_eq!(cfg.concentration, 16, "concentration defaults to the first side");
+        assert_eq!(
+            cfg.concentration, 16,
+            "concentration defaults to the first side"
+        );
         assert_eq!(cfg.mechanism, MechanismSpec::OmniSP);
         assert_eq!(cfg.traffic, TrafficSpec::DimensionComplementReverse);
         assert_eq!(cfg.vcs, Some(4));
@@ -381,15 +485,27 @@ mod tests {
         assert!(parse_args(&args(&["--traffic", "nonsense"])).is_err());
         assert!(parse_args(&args(&["--load", "1.5"])).is_err());
         assert!(parse_args(&args(&["--load", "0"])).is_err());
-        assert!(parse_args(&args(&["--warmup", "10"])).is_err(), "warmup without measure");
+        assert!(
+            parse_args(&args(&["--warmup", "10"])).is_err(),
+            "warmup without measure"
+        );
         assert!(parse_args(&args(&["--bogus"])).is_err());
-        assert!(parse_args(&args(&["--help"])).unwrap_err().contains("usage"));
+        assert!(parse_args(&args(&["--help"]))
+            .unwrap_err()
+            .contains("usage"));
     }
 
     #[test]
     fn batch_mode_and_windows_are_parsed() {
         let cfg = parse_args(&args(&[
-            "--sides", "4x4", "--batch", "60", "--warmup", "100", "--measure", "400",
+            "--sides",
+            "4x4",
+            "--batch",
+            "60",
+            "--warmup",
+            "100",
+            "--measure",
+            "400",
         ]))
         .unwrap();
         assert_eq!(cfg.mode, RunMode::Batch(60));
@@ -400,10 +516,101 @@ mod tests {
     }
 
     #[test]
+    fn campaign_args_parse_and_reject() {
+        let cfg = parse_campaign_args(&args(&[
+            "grid.toml",
+            "--threads",
+            "4",
+            "--quiet",
+            "--store",
+            "out.jsonl",
+        ]))
+        .unwrap();
+        assert_eq!(cfg.spec_path, "grid.toml");
+        assert_eq!(cfg.threads, Some(4));
+        assert!(cfg.quiet);
+        assert_eq!(cfg.store_path(), std::path::PathBuf::from("out.jsonl"));
+
+        let default_store = parse_campaign_args(&args(&["grid.toml"])).unwrap();
+        assert_eq!(
+            default_store.store_path(),
+            std::path::PathBuf::from("grid.results.jsonl")
+        );
+
+        assert!(parse_campaign_args(&args(&[])).is_err());
+        assert!(parse_campaign_args(&args(&["a.toml", "b.toml"])).is_err());
+        assert!(parse_campaign_args(&args(&["a.toml", "--threads", "0"])).is_err());
+        assert!(parse_campaign_args(&args(&["a.toml", "--bogus"])).is_err());
+        assert!(parse_campaign_args(&args(&["--help"]))
+            .unwrap_err()
+            .contains("campaign"));
+    }
+
+    #[test]
+    fn campaign_cli_runs_then_resumes_instantly() {
+        let dir = std::env::temp_dir().join("surepath-cli-campaign-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec_path = dir.join(format!("quick-{}.toml", std::process::id()));
+        let store_path = dir.join(format!("quick-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&store_path);
+        std::fs::write(
+            &spec_path,
+            r#"
+                name = "cli-test"
+                mechanisms = ["polsp"]
+                traffics = ["uniform"]
+                scenarios = ["none", "random:4:2"]
+                loads = [0.3]
+                seeds = [1, 2]
+                warmup = 100
+                measure = 250
+
+                [[topologies]]
+                sides = [4, 4]
+            "#,
+        )
+        .unwrap();
+        let cfg = CampaignCliConfig {
+            spec_path: spec_path.to_string_lossy().into_owned(),
+            store: Some(store_path.to_string_lossy().into_owned()),
+            threads: Some(2),
+            quiet: true,
+            dry_run: false,
+        };
+        let summary = run_campaign_cli(&cfg).unwrap();
+        assert!(summary.contains("4 jobs total"), "{summary}");
+        assert!(summary.contains("4 executed"), "{summary}");
+        assert!(summary.contains("0 failed"), "{summary}");
+
+        // Second invocation: everything fingerprint-complete, nothing runs.
+        let resumed = run_campaign_cli(&cfg).unwrap();
+        assert!(resumed.contains("4 skipped"), "{resumed}");
+        assert!(resumed.contains("0 executed"), "{resumed}");
+
+        // A dry run validates without touching the store.
+        let dry = CampaignCliConfig {
+            dry_run: true,
+            ..cfg.clone()
+        };
+        assert!(run_campaign_cli(&dry).unwrap().contains("dry run"));
+
+        let _ = std::fs::remove_file(&spec_path);
+        let _ = std::fs::remove_file(&store_path);
+    }
+
+    #[test]
     fn run_produces_text_and_json_output() {
         let mut cfg = parse_args(&args(&[
-            "--sides", "4x4", "--mechanism", "polsp", "--load", "0.3", "--warmup", "150",
-            "--measure", "400",
+            "--sides",
+            "4x4",
+            "--mechanism",
+            "polsp",
+            "--load",
+            "0.3",
+            "--warmup",
+            "150",
+            "--measure",
+            "400",
         ]))
         .unwrap();
         cfg.concentration = 4;

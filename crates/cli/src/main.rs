@@ -1,15 +1,35 @@
-//! `surepath` — run one SurePath experiment from the command line.
+//! `surepath` — run SurePath experiments from the command line.
 //!
-//! Examples:
+//! Single experiments:
 //!
 //! ```text
 //! surepath --sides 8x8x8 --mechanism polsp --traffic uniform --load 0.6
 //! surepath --sides 16x16 --mechanism omnisp --traffic dcr --faults cross:5 --vcs 4 --load 0.9
 //! surepath --sides 8x8x8 --mechanism omnisp --traffic rpn --faults star --batch 500 --json
 //! ```
+//!
+//! Declarative campaigns (experiment matrices on a work-stealing pool with a
+//! resumable result store):
+//!
+//! ```text
+//! surepath campaign examples/campaign_quick.toml
+//! surepath campaign grid.toml --threads 8 --store results/grid.jsonl
+//! ```
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("campaign") {
+        match surepath_cli::parse_campaign_args(&args[1..])
+            .and_then(|cfg| surepath_cli::run_campaign_cli(&cfg))
+        {
+            Ok(summary) => println!("{summary}"),
+            Err(message) => {
+                eprintln!("{message}");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
     match surepath_cli::parse_args(&args) {
         Ok(cfg) => println!("{}", surepath_cli::run(&cfg)),
         Err(message) => {

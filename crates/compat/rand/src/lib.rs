@@ -1,0 +1,253 @@
+//! Offline stand-in for the `rand` crate (0.8-era API surface).
+//!
+//! The build environment cannot reach crates.io, so this crate reimplements
+//! the slice of `rand` the workspace uses: the [`RngCore`] / [`SeedableRng`]
+//! traits, the [`Rng`] extension trait (`gen`, `gen_range`, `gen_bool`),
+//! [`seq::SliceRandom`] (`shuffle`, `choose`), [`rngs::mock::StepRng`] and a
+//! [`thread_rng`]. Statistical quality matches the original for the purposes
+//! of this simulator (the default generator is ChaCha8, vendored separately
+//! as `rand_chacha`).
+
+pub mod rngs;
+pub mod seq;
+
+/// Error type for fallible RNG operations (infallible here, kept for API
+/// compatibility with `rand_core::Error` in signatures).
+#[derive(Clone, Debug)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("RNG error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A source of randomness: the core trait every generator implements.
+pub trait RngCore {
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fallible version of [`fill_bytes`](RngCore::fill_bytes).
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error>;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        (**self).try_fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        (**self).try_fill_bytes(dest)
+    }
+}
+
+/// A generator that can be constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// The raw seed type (a byte array).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Builds the generator from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64`, expanding it with SplitMix64 the
+    /// same way `rand_core` does, so low-entropy seeds like 0, 1, 2 still
+    /// produce well-distributed states.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = state;
+        for chunk in seed.as_mut().chunks_mut(8) {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            for (dst, src) in chunk.iter_mut().zip(z.to_le_bytes()) {
+                *dst = src;
+            }
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types samplable uniformly over their whole domain (the `Standard`
+/// distribution of real rand), used by [`Rng::gen`].
+pub trait SampleStandard: Sized {
+    /// Draws one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl SampleStandard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl SampleStandard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl SampleStandard for usize {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl SampleStandard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits in [0, 1), like rand's Standard for f64.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl SampleStandard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl SampleStandard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+/// Integer types usable with [`Rng::gen_range`].
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draws a value uniformly from `[low, high)`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($ty:ty),*) => {$(
+        impl SampleUniform for $ty {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: empty range");
+                let span = (high as i128 - low as i128) as u128;
+                // Rejection sampling to avoid modulo bias.
+                let zone = u128::from(u64::MAX) + 1 - (u128::from(u64::MAX) + 1) % span;
+                loop {
+                    let draw = u128::from(rng.next_u64());
+                    if draw < zone {
+                        return (low as i128 + (draw % span) as i128) as $ty;
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        assert!(low < high, "gen_range: empty range");
+        low + f64::sample(rng) * (high - low)
+    }
+}
+
+/// Convenience methods over any [`RngCore`], mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Draws a value of type `T` from the standard distribution.
+    fn gen<T: SampleStandard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws a value uniformly from `range` (half-open).
+    fn gen_range<T: SampleUniform>(&mut self, range: std::ops::Range<T>) -> T {
+        T::sample_range(self, range.start, range.end)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p must be in [0, 1]");
+        f64::sample(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A process-global, loosely seeded generator, for callers that explicitly
+/// opt out of reproducibility. Experiment code should prefer seeded
+/// generators; this exists for API compatibility.
+pub fn thread_rng() -> rngs::ThreadRng {
+    rngs::ThreadRng::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::mock::StepRng;
+
+    #[test]
+    fn step_rng_counts_up() {
+        let mut rng = StepRng::new(5, 2);
+        assert_eq!(rng.next_u64(), 5);
+        assert_eq!(rng.next_u64(), 7);
+        assert_eq!(rng.next_u32(), 9);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds_and_covers() {
+        let mut rng = crate::thread_rng();
+        let mut seen = [false; 8];
+        for _ in 0..512 {
+            let v = rng.gen_range(0..8usize);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = crate::thread_rng();
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn f64_samples_are_unit_interval() {
+        let mut rng = crate::thread_rng();
+        for _ in 0..100 {
+            let v: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        use crate::seq::SliceRandom;
+        let mut rng = StepRng::new(1, 0x9E3779B97F4A7C15);
+        let mut v: Vec<usize> = (0..16).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..16).collect::<Vec<_>>());
+    }
+}

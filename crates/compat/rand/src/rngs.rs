@@ -1,0 +1,107 @@
+//! Concrete generators: the mock [`StepRng`](mock::StepRng) and
+//! [`ThreadRng`].
+
+use crate::{Error, RngCore};
+
+/// Mock generators for tests.
+pub mod mock {
+    use super::*;
+
+    /// A deterministic counter "generator": yields `initial`,
+    /// `initial + increment`, `initial + 2*increment`, … — mirrors
+    /// `rand::rngs::mock::StepRng`.
+    #[derive(Clone, Debug)]
+    pub struct StepRng {
+        value: u64,
+        increment: u64,
+    }
+
+    impl StepRng {
+        /// Creates a new `StepRng`.
+        pub fn new(initial: u64, increment: u64) -> Self {
+            StepRng {
+                value: initial,
+                increment,
+            }
+        }
+    }
+
+    impl RngCore for StepRng {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let result = self.value;
+            self.value = self.value.wrapping_add(self.increment);
+            result
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let bytes = self.next_u64().to_le_bytes();
+                for (dst, src) in chunk.iter_mut().zip(bytes) {
+                    *dst = src;
+                }
+            }
+        }
+
+        fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+            self.fill_bytes(dest);
+            Ok(())
+        }
+    }
+}
+
+/// A loosely seeded per-call generator (SplitMix64 core). Unlike real rand's
+/// thread-local lazily-seeded ChaCha, this derives its seed from a global
+/// counter and the current time — adequate for its only legitimate use here:
+/// explicitly non-reproducible exploration.
+#[derive(Clone, Debug)]
+pub struct ThreadRng {
+    state: u64,
+}
+
+impl ThreadRng {
+    pub(crate) fn new() -> Self {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0x243F_6A88_85A3_08D3);
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+            .unwrap_or(0);
+        let unique = COUNTER.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
+        ThreadRng {
+            state: nanos ^ unique,
+        }
+    }
+}
+
+impl RngCore for ThreadRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // SplitMix64 step.
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            for (dst, src) in chunk.iter_mut().zip(bytes) {
+                *dst = src;
+            }
+        }
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}

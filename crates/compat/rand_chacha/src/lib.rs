@@ -1,0 +1,166 @@
+//! Offline stand-in for `rand_chacha`: a genuine ChaCha8 stream-cipher
+//! generator implementing the vendored `rand` traits.
+//!
+//! The keystream is a faithful ChaCha implementation (8 rounds, original djb
+//! layout with a 64-bit block counter), so statistical quality matches the
+//! real crate. Word-level output order may differ from upstream
+//! `rand_chacha`, which is fine here: the workspace never relies on golden
+//! vectors, only on determinism and quality.
+
+use rand::{Error, RngCore, SeedableRng};
+
+/// A deterministic, seedable ChaCha generator with 8 rounds.
+#[derive(Clone, Debug)]
+pub struct ChaCha8Rng {
+    /// The 16-word ChaCha input block (constants, key, counter, nonce).
+    state: [u32; 16],
+    /// The current output block.
+    buffer: [u32; 16],
+    /// Next unread word of `buffer`; 16 means exhausted.
+    index: usize,
+}
+
+const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+const ROUNDS: usize = 8;
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..ROUNDS / 2 {
+            // Column round.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, init) in working.iter_mut().zip(self.state.iter()) {
+            *out = out.wrapping_add(*init);
+        }
+        self.buffer = working;
+        self.index = 0;
+        // 64-bit block counter in words 12–13.
+        let (low, carry) = self.state[12].overflowing_add(1);
+        self.state[12] = low;
+        if carry {
+            self.state[13] = self.state[13].wrapping_add(1);
+        }
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CHACHA_CONSTANTS);
+        for (i, chunk) in seed.chunks(4).enumerate() {
+            state[4 + i] = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        // Words 12..16 (counter and nonce) start at zero.
+        ChaCha8Rng {
+            state,
+            buffer: [0; 16],
+            index: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let word = self.buffer[self.index];
+        self.index += 1;
+        word
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let low = self.next_u32() as u64;
+        let high = self.next_u32() as u64;
+        low | (high << 32)
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(4) {
+            let bytes = self.next_u32().to_le_bytes();
+            for (dst, src) in chunk.iter_mut().zip(bytes) {
+                *dst = src;
+            }
+        }
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn zero_block_matches_chacha_structure() {
+        // With an all-zero key the first block must differ from the raw
+        // state (the rounds actually ran) and be stable across calls.
+        let mut rng = ChaCha8Rng::from_seed([0; 32]);
+        let first = rng.next_u32();
+        let mut again = ChaCha8Rng::from_seed([0; 32]);
+        assert_eq!(first, again.next_u32());
+        assert_ne!(first, CHACHA_CONSTANTS[0]);
+    }
+
+    #[test]
+    fn output_is_roughly_balanced() {
+        // Cheap sanity check on bit balance: ~50% ones over 64k bits.
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let ones: u32 = (0..1024).map(|_| rng.next_u64().count_ones()).sum();
+        let ratio = ones as f64 / (1024.0 * 64.0);
+        assert!((0.48..0.52).contains(&ratio), "bit ratio {ratio}");
+    }
+
+    #[test]
+    fn clone_preserves_position() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        for _ in 0..5 {
+            rng.next_u32();
+        }
+        let mut cloned = rng.clone();
+        assert_eq!(rng.next_u64(), cloned.next_u64());
+    }
+}

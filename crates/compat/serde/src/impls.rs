@@ -1,0 +1,272 @@
+//! `Serialize` / `Deserialize` implementations for std types.
+
+use crate::{Deserialize, Error, Number, Serialize, Value};
+
+macro_rules! ser_de_unsigned {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize(&self) -> Value {
+                Value::Number(Number::UInt(*self as u64))
+            }
+        }
+        impl Deserialize for $ty {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let n = value
+                    .as_u64()
+                    .ok_or_else(|| Error::type_mismatch(stringify!($ty), value))?;
+                <$ty>::try_from(n).map_err(|_| {
+                    Error::custom(format!("{n} out of range for {}", stringify!($ty)))
+                })
+            }
+        }
+    )*};
+}
+
+macro_rules! ser_de_signed {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::Number(Number::UInt(v as u64))
+                } else {
+                    Value::Number(Number::Int(v))
+                }
+            }
+        }
+        impl Deserialize for $ty {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let n = value
+                    .as_i64()
+                    .ok_or_else(|| Error::type_mismatch(stringify!($ty), value))?;
+                <$ty>::try_from(n).map_err(|_| {
+                    Error::custom(format!("{n} out of range for {}", stringify!($ty)))
+                })
+            }
+        }
+    )*};
+}
+
+ser_de_unsigned!(u8, u16, u32, u64, usize);
+ser_de_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! ser_de_float {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize(&self) -> Value {
+                let v = *self as f64;
+                if v.is_finite() {
+                    Value::Number(Number::Float(v))
+                } else {
+                    // serde_json serializes non-finite floats as null.
+                    Value::Null
+                }
+            }
+        }
+        impl Deserialize for $ty {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Null => Ok(<$ty>::NAN),
+                    _ => value
+                        .as_f64()
+                        .map(|v| v as $ty)
+                        .ok_or_else(|| Error::type_mismatch(stringify!($ty), value)),
+                }
+            }
+        }
+    )*};
+}
+
+ser_de_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_bool()
+            .ok_or_else(|| Error::type_mismatch("bool", value))
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::type_mismatch("string", value))
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let s = value
+            .as_str()
+            .ok_or_else(|| Error::type_mismatch("char", value))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom(format!(
+                "expected single character, got {s:?}"
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_array()
+            .ok_or_else(|| Error::type_mismatch("array", value))?
+            .iter()
+            .map(T::deserialize)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(v) => v.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+
+    fn deserialize_missing() -> Option<Self> {
+        Some(None)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        T::deserialize(value).map(Box::new)
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize(&self) -> Value {
+        Value::Array(vec![self.0.serialize(), self.1.serialize()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let items = crate::de_tuple(value, "2-tuple", 2)?;
+        Ok((A::deserialize(&items[0])?, B::deserialize(&items[1])?))
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize(&self) -> Value {
+        Value::Array(vec![
+            self.0.serialize(),
+            self.1.serialize(),
+            self.2.serialize(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let items = crate::de_tuple(value, "3-tuple", 3)?;
+        Ok((
+            A::deserialize(&items[0])?,
+            B::deserialize(&items[1])?,
+            C::deserialize(&items[2])?,
+        ))
+    }
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn serialize(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.serialize()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_object()
+            .ok_or_else(|| Error::type_mismatch("object", value))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::deserialize(v)?)))
+            .collect()
+    }
+}

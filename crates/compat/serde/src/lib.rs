@@ -1,0 +1,102 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no route to crates.io, so this workspace vendors
+//! a minimal serialization framework under the `serde` name. Instead of
+//! serde's visitor architecture it uses a concrete JSON-like [`Value`] tree:
+//!
+//! * [`Serialize`] converts a value into a [`Value`];
+//! * [`Deserialize`] reconstructs a value from a [`&Value`](Value);
+//! * `#[derive(Serialize, Deserialize)]` (from the vendored `serde_derive`)
+//!   generates both, following real serde's default representations
+//!   (structs as objects, enums externally tagged).
+//!
+//! The `serde_json` stand-in layers JSON text parsing/printing on top.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod impls;
+mod value;
+
+pub use value::{Number, Value};
+
+/// Serialization: convert `self` into a [`Value`] tree.
+pub trait Serialize {
+    /// Returns the value-tree representation of `self`.
+    fn serialize(&self) -> Value;
+}
+
+/// Deserialization: reconstruct `Self` from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parses `Self` out of `value`.
+    fn deserialize(value: &Value) -> Result<Self, Error>;
+
+    /// Called by derived struct impls when a field is absent. `Option<T>`
+    /// overrides this to return `None`, matching real serde's behaviour.
+    #[doc(hidden)]
+    fn deserialize_missing() -> Option<Self> {
+        None
+    }
+}
+
+/// A deserialization error with a human-readable message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// An error with a custom message.
+    pub fn custom(message: impl Into<String>) -> Self {
+        Error(message.into())
+    }
+
+    /// A required field was absent.
+    pub fn missing_field(field: &str) -> Self {
+        Error(format!("missing field `{field}`"))
+    }
+
+    /// The value had the wrong shape.
+    pub fn type_mismatch(expected: &str, got: &Value) -> Self {
+        Error(format!("expected {expected}, got {}", got.kind_name()))
+    }
+
+    /// An enum tag did not match any variant.
+    pub fn unknown_variant(enum_name: &str, tag: &str) -> Self {
+        Error(format!("unknown variant `{tag}` of enum {enum_name}"))
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Looks up struct field `name` in an object `value` and deserializes it.
+/// Used by derived `Deserialize` impls.
+#[doc(hidden)]
+pub fn de_field<T: Deserialize>(value: &Value, name: &'static str) -> Result<T, Error> {
+    let Value::Object(entries) = value else {
+        return Err(Error::type_mismatch("object", value));
+    };
+    match entries.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::deserialize(v),
+        None => T::deserialize_missing().ok_or_else(|| Error::missing_field(name)),
+    }
+}
+
+/// Checks that `value` is an array of exactly `len` items and returns it.
+/// Used by derived impls for tuple structs and tuple enum variants.
+#[doc(hidden)]
+pub fn de_tuple<'v>(value: &'v Value, what: &str, len: usize) -> Result<&'v [Value], Error> {
+    let Value::Array(items) = value else {
+        return Err(Error::type_mismatch("array", value));
+    };
+    if items.len() != len {
+        return Err(Error::custom(format!(
+            "expected {len} elements for {what}, got {}",
+            items.len()
+        )));
+    }
+    Ok(items)
+}

@@ -1,0 +1,391 @@
+//! Derive macros for the vendored `serde` stand-in (see `crates/compat/serde`).
+//!
+//! The build environment has no access to crates.io, so this crate implements
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` from scratch on top of
+//! `proc_macro` alone (no `syn`/`quote`). It supports the shapes this
+//! workspace actually uses:
+//!
+//! * structs with named fields,
+//! * tuple structs (newtype and general),
+//! * enums with unit, tuple and struct variants (externally tagged, like
+//!   real serde's default representation),
+//!
+//! and intentionally rejects generics and `#[serde(...)]` attributes, which
+//! the workspace does not use.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of the item the derive is attached to.
+enum Body {
+    /// `struct S { a: T, b: U }`
+    NamedStruct(Vec<String>),
+    /// `struct S(T, U);`
+    TupleStruct(usize),
+    /// `enum E { ... }`
+    Enum(Vec<Variant>),
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde derive: expected item name, found {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde derive stand-in does not support generic types (on `{name}`)");
+    }
+    let body = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            other => panic!("serde derive: unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde derive: unsupported enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("serde derive: cannot derive for `{other}` items"),
+    };
+    Item { name, body }
+}
+
+/// Advances `i` past doc comments / attributes and visibility modifiers.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` and the bracketed attribute group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                // `pub(crate)` / `pub(super)` carry a parenthesised group.
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `a: T, b: U, ...` into the list of field names, tracking angle
+/// bracket depth so commas inside `Vec<(A, B)>`-style types do not split.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(id.to_string());
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde derive: expected `:` after field name, found {other:?}"),
+        }
+        skip_type(&tokens, &mut i);
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Advances `i` past one type, stopping at a top-level `,` (angle-depth aware).
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    let mut prev_dash = false;
+    while let Some(tok) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                ',' if angle_depth == 0 => return,
+                '<' => angle_depth += 1,
+                '>' if !prev_dash => angle_depth -= 1, // skip the `>` of `->`
+                _ => {}
+            }
+            prev_dash = p.as_char() == '-';
+        } else {
+            prev_dash = false;
+        }
+        *i += 1;
+    }
+}
+
+/// Counts the fields of a tuple struct / tuple variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        count += 1;
+        skip_type(&tokens, &mut i);
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        let name = id.to_string();
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            panic!("serde derive stand-in does not support explicit discriminants");
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn impl_header(trait_name: &str, type_name: &str) -> String {
+    format!(
+        "#[automatically_derived]\n#[allow(clippy::all, clippy::pedantic, unused_variables)]\n\
+         impl ::serde::{trait_name} for {type_name} {{\n"
+    )
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut out = impl_header("Serialize", name);
+    out.push_str("fn serialize(&self) -> ::serde::Value {\n");
+    match &item.body {
+        Body::NamedStruct(fields) => {
+            out.push_str("let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n");
+            for f in fields {
+                out.push_str(&format!(
+                    "fields.push((String::from(\"{f}\"), ::serde::Serialize::serialize(&self.{f})));\n"
+                ));
+            }
+            out.push_str("::serde::Value::Object(fields)\n");
+        }
+        Body::TupleStruct(1) => {
+            out.push_str("::serde::Serialize::serialize(&self.0)\n");
+        }
+        Body::TupleStruct(n) => {
+            out.push_str("::serde::Value::Array(vec![\n");
+            for idx in 0..*n {
+                out.push_str(&format!("::serde::Serialize::serialize(&self.{idx}),\n"));
+            }
+            out.push_str("])\n");
+        }
+        Body::Enum(variants) => {
+            out.push_str("match self {\n");
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => out.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String(String::from(\"{vn}\")),\n"
+                    )),
+                    VariantKind::Tuple(1) => out.push_str(&format!(
+                        "{name}::{vn}(f0) => ::serde::Value::Object(vec![(String::from(\"{vn}\"), \
+                         ::serde::Serialize::serialize(f0))]),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                        let items: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize({b})"))
+                            .collect();
+                        out.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Object(vec![(String::from(\"{vn}\"), \
+                             ::serde::Value::Array(vec![{}]))]),\n",
+                            binders.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let binders = fields.join(", ");
+                        let mut pushes = String::new();
+                        for f in fields {
+                            pushes.push_str(&format!(
+                                "fields.push((String::from(\"{f}\"), ::serde::Serialize::serialize({f})));\n"
+                            ));
+                        }
+                        out.push_str(&format!(
+                            "{name}::{vn} {{ {binders} }} => {{\n\
+                             let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                             {pushes}\
+                             ::serde::Value::Object(vec![(String::from(\"{vn}\"), ::serde::Value::Object(fields))])\n\
+                             }},\n"
+                        ));
+                    }
+                }
+            }
+            out.push_str("}\n");
+        }
+    }
+    out.push_str("}\n}\n");
+    out
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut out = impl_header("Deserialize", name);
+    out.push_str(
+        "fn deserialize(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {\n",
+    );
+    match &item.body {
+        Body::NamedStruct(fields) => {
+            out.push_str(&format!("Ok({name} {{\n"));
+            for f in fields {
+                out.push_str(&format!("{f}: ::serde::de_field(value, \"{f}\")?,\n"));
+            }
+            out.push_str("})\n");
+        }
+        Body::TupleStruct(1) => {
+            out.push_str(&format!(
+                "Ok({name}(::serde::Deserialize::deserialize(value)?))\n"
+            ));
+        }
+        Body::TupleStruct(n) => {
+            out.push_str(&format!(
+                "let items = ::serde::de_tuple(value, \"{name}\", {n})?;\n"
+            ));
+            let args: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::deserialize(&items[{k}])?"))
+                .collect();
+            out.push_str(&format!("Ok({name}({}))\n", args.join(", ")));
+        }
+        Body::Enum(variants) => {
+            out.push_str("match value {\n");
+            // Unit variants arrive as plain strings.
+            out.push_str("::serde::Value::String(s) => match s.as_str() {\n");
+            for v in variants {
+                if matches!(v.kind, VariantKind::Unit) {
+                    let vn = &v.name;
+                    out.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"));
+                }
+            }
+            out.push_str(&format!(
+                "other => Err(::serde::Error::unknown_variant(\"{name}\", other)),\n}},\n"
+            ));
+            // Data variants arrive as single-entry objects.
+            out.push_str(
+                "::serde::Value::Object(entries) if entries.len() == 1 => {\n\
+                 let (tag, inner) = &entries[0];\n\
+                 match tag.as_str() {\n",
+            );
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {}
+                    VariantKind::Tuple(1) => out.push_str(&format!(
+                        "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::deserialize(inner)?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let args: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Deserialize::deserialize(&items[{k}])?"))
+                            .collect();
+                        out.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let items = ::serde::de_tuple(inner, \"{name}::{vn}\", {n})?;\n\
+                             Ok({name}::{vn}({}))\n}},\n",
+                            args.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            inits.push_str(&format!("{f}: ::serde::de_field(inner, \"{f}\")?,\n"));
+                        }
+                        out.push_str(&format!("\"{vn}\" => Ok({name}::{vn} {{\n{inits}}}),\n"));
+                    }
+                }
+            }
+            out.push_str(&format!(
+                "other => Err(::serde::Error::unknown_variant(\"{name}\", other)),\n}}\n}},\n"
+            ));
+            out.push_str(&format!(
+                "_ => Err(::serde::Error::type_mismatch(\"{name} enum\", value)),\n}}\n"
+            ));
+        }
+    }
+    out.push_str("}\n}\n");
+    out
+}

@@ -95,8 +95,10 @@ pub fn escape_shortcut_study(template: &Experiment, load: f64) -> Vec<AblationPo
         .map(|&mechanism| {
             let mut exp = template.clone();
             exp.mechanism = mechanism;
-            let value = if matches!(mechanism, MechanismSpec::OmniSPTree | MechanismSpec::PolSPTree)
-            {
+            let value = if matches!(
+                mechanism,
+                MechanismSpec::OmniSPTree | MechanismSpec::PolSPTree
+            ) {
                 "tree-only".to_string()
             } else {
                 "opportunistic".to_string()
@@ -162,8 +164,9 @@ pub fn format_ablation_table(points: &[AblationPoint]) -> String {
 
 /// Serialises ablation points to CSV.
 pub fn ablation_to_csv(points: &[AblationPoint]) -> String {
-    let mut out =
-        String::from("knob,value,mechanism,offered_load,accepted_load,average_latency,escape_fraction\n");
+    let mut out = String::from(
+        "knob,value,mechanism,offered_load,accepted_load,average_latency,escape_fraction\n",
+    );
     for p in points {
         out.push_str(&format!(
             "{},{},{},{},{},{},{}\n",
@@ -214,10 +217,7 @@ mod tests {
     fn escape_shortcut_study_covers_all_four_variants() {
         let points = escape_shortcut_study(&tiny_template(MechanismSpec::OmniSP), 0.3);
         assert_eq!(points.len(), 4);
-        assert_eq!(
-            points.iter().filter(|p| p.value == "tree-only").count(),
-            2
-        );
+        assert_eq!(points.iter().filter(|p| p.value == "tree-only").count(), 2);
         assert_eq!(
             points.iter().filter(|p| p.value == "opportunistic").count(),
             2
@@ -229,11 +229,12 @@ mod tests {
 
     #[test]
     fn root_placement_study_reports_all_policies() {
-        let template = tiny_template(MechanismSpec::PolSP)
-            .with_scenario(FaultScenario::Shape(hyperx_topology::FaultShape::Cross {
+        let template = tiny_template(MechanismSpec::PolSP).with_scenario(FaultScenario::Shape(
+            hyperx_topology::FaultShape::Cross {
                 center: vec![4, 4],
                 margin: 2,
-            }));
+            },
+        ));
         let points = root_placement_study(&template, 0.3);
         assert_eq!(points.len(), 4);
         assert_eq!(points[0].value, "suggested(in-fault)");

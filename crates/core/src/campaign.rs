@@ -1,0 +1,230 @@
+//! The bridge between declarative campaign jobs (`surepath-runner`) and
+//! runnable [`Experiment`]s.
+//!
+//! `surepath-runner` is domain-agnostic: it expands specs, schedules jobs
+//! and stores results, but a [`JobSpec`] is just names and numbers. This
+//! module gives those names their simulation semantics:
+//!
+//! * [`job_experiment`] — builds the [`Experiment`] a job describes
+//!   (parsing mechanism / traffic / scenario strings with the same parsers
+//!   the CLI uses);
+//! * [`run_job`] — executes one job and returns its metrics as a JSON value
+//!   ready for the result store;
+//! * [`run_campaign`] — the full pipeline: expand, skip completed
+//!   fingerprints, execute on the work-stealing pool, stream to the JSONL
+//!   store.
+//!
+//! Determinism: a job's result depends only on the job itself. The
+//! simulator, the traffic permutation draw and the fault sequence are all
+//! seeded from `JobSpec::seed` (and scenario-embedded seeds), never from
+//! global state, so re-running a fingerprinted job reproduces its bytes.
+
+use crate::experiment::{Experiment, RootPlacement, TrafficSpec};
+use crate::scenario::FaultScenario;
+use hyperx_routing::MechanismSpec;
+use hyperx_sim::SimConfig;
+use serde::Value;
+use std::path::Path;
+use surepath_runner::{CampaignOutcome, CampaignSpec, JobSpec};
+
+/// Builds the [`Experiment`] described by a campaign job.
+pub fn job_experiment(job: &JobSpec) -> Result<Experiment, String> {
+    if job.sides.is_empty() || job.sides.iter().any(|&k| k < 2) {
+        return Err(format!(
+            "invalid sides {:?}: need >= 2 per dimension",
+            job.sides
+        ));
+    }
+    let dims = job.sides.len();
+    let mechanism_name = job
+        .mechanism
+        .as_deref()
+        .ok_or("rate jobs need a mechanism")?;
+    let mechanism = MechanismSpec::parse(mechanism_name)
+        .ok_or_else(|| format!("unknown mechanism '{mechanism_name}'"))?;
+    let traffic = match job.traffic.as_deref() {
+        None => TrafficSpec::Uniform,
+        Some(name) => {
+            TrafficSpec::parse(name).ok_or_else(|| format!("unknown traffic pattern '{name}'"))?
+        }
+    };
+    let scenario = match job.scenario.as_deref() {
+        None => FaultScenario::None,
+        Some(spec) => FaultScenario::parse(spec, &job.sides)?,
+    };
+    let concentration = job.concentration.unwrap_or(job.sides[0]);
+    if concentration == 0 {
+        return Err("concentration must be at least 1".to_string());
+    }
+    let num_vcs = job.vcs.unwrap_or_else(|| mechanism.default_num_vcs(dims));
+    let mut experiment = Experiment {
+        sides: job.sides.clone(),
+        concentration,
+        mechanism,
+        num_vcs,
+        traffic,
+        scenario,
+        root: RootPlacement::Suggested,
+        sim: SimConfig::paper_defaults(concentration, num_vcs),
+    };
+    experiment.sim.servers_per_switch = concentration;
+    experiment = experiment.with_seed(job.seed);
+    if let (Some(warmup), Some(measure)) = (job.warmup, job.measure) {
+        experiment = experiment.with_windows(warmup, measure);
+    }
+    Ok(experiment)
+}
+
+/// Executes one campaign job. Currently understands kind `"rate"`
+/// (open-loop simulation at `job.load`); other kinds live with their
+/// callers (e.g. the figure binaries define analysis kinds on the same
+/// runner).
+pub fn run_job(job: &JobSpec) -> Result<Value, String> {
+    match job.kind.as_str() {
+        "rate" => {
+            let experiment = job_experiment(job)?;
+            let load = job.load.ok_or("rate jobs need a load")?;
+            let metrics = experiment.run_rate(load);
+            serde_json::to_value(&metrics).map_err(|e| e.to_string())
+        }
+        other => Err(format!("unknown job kind '{other}'")),
+    }
+}
+
+/// Checks every job of a campaign before running anything, so a typo in a
+/// mechanism name fails in milliseconds instead of after the first hour of
+/// simulation.
+pub fn validate_campaign(spec: &CampaignSpec) -> Result<(), String> {
+    for job in spec.expand()? {
+        if job.kind == "rate" {
+            job_experiment(&job).map_err(|e| format!("job `{}`: {e}", job.label()))?;
+            if job.load.is_none() {
+                return Err(format!("job `{}`: rate jobs need a load", job.label()));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Runs (or resumes) a simulation campaign end to end: expands `spec`,
+/// skips jobs already fingerprint-complete in the store at `store_path`,
+/// executes the rest on `threads` workers and streams results to the store.
+pub fn run_campaign(
+    spec: &CampaignSpec,
+    store_path: &Path,
+    threads: Option<usize>,
+    quiet: bool,
+) -> std::io::Result<CampaignOutcome> {
+    validate_campaign(spec)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
+    surepath_runner::run_campaign(spec, store_path, threads, quiet, run_job)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use surepath_runner::TopologySpec;
+
+    fn tiny_job() -> JobSpec {
+        JobSpec {
+            campaign: "bridge-test".into(),
+            kind: "rate".into(),
+            sides: vec![4, 4],
+            concentration: Some(4),
+            mechanism: Some("polsp".into()),
+            traffic: Some("uniform".into()),
+            scenario: Some("random:5:3".into()),
+            load: Some(0.3),
+            seed: 11,
+            vcs: None,
+            warmup: Some(150),
+            measure: Some(400),
+        }
+    }
+
+    #[test]
+    fn job_experiment_builds_the_described_experiment() {
+        let e = job_experiment(&tiny_job()).unwrap();
+        assert_eq!(e.sides, vec![4, 4]);
+        assert_eq!(e.concentration, 4);
+        assert_eq!(e.mechanism, MechanismSpec::PolSP);
+        assert_eq!(e.traffic, TrafficSpec::Uniform);
+        assert_eq!(e.scenario, FaultScenario::Random { count: 5, seed: 3 });
+        assert_eq!(e.sim.seed, 11);
+        assert_eq!(e.sim.warmup_cycles, 150);
+        assert_eq!(e.sim.measure_cycles, 400);
+    }
+
+    #[test]
+    fn invalid_jobs_are_rejected_with_messages() {
+        let mut j = tiny_job();
+        j.mechanism = Some("warp-drive".into());
+        assert!(job_experiment(&j).unwrap_err().contains("warp-drive"));
+
+        let mut j = tiny_job();
+        j.traffic = Some("gridlock".into());
+        assert!(job_experiment(&j).unwrap_err().contains("gridlock"));
+
+        let mut j = tiny_job();
+        j.scenario = Some("meteor".into());
+        assert!(job_experiment(&j).is_err());
+
+        let mut j = tiny_job();
+        j.sides = vec![1, 4];
+        assert!(job_experiment(&j).is_err());
+
+        let mut j = tiny_job();
+        j.mechanism = None;
+        assert!(job_experiment(&j).is_err());
+
+        let mut j = tiny_job();
+        j.kind = "teleport".into();
+        assert!(run_job(&j).unwrap_err().contains("teleport"));
+    }
+
+    #[test]
+    fn run_job_produces_rate_metrics_json() {
+        let result = run_job(&tiny_job()).unwrap();
+        assert!(result["accepted_load"].as_f64().unwrap() > 0.05);
+        assert_eq!(result["stalled"].as_bool(), Some(false));
+    }
+
+    #[test]
+    fn run_job_is_deterministic_per_seed() {
+        let a = run_job(&tiny_job()).unwrap();
+        let b = run_job(&tiny_job()).unwrap();
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+        let mut other = tiny_job();
+        other.seed = 12;
+        let c = run_job(&other).unwrap();
+        assert_ne!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&c).unwrap()
+        );
+    }
+
+    #[test]
+    fn validate_campaign_catches_typos_upfront() {
+        let spec = CampaignSpec {
+            name: "validate".into(),
+            kind: None,
+            topologies: vec![TopologySpec {
+                sides: vec![4, 4],
+                concentration: None,
+            }],
+            mechanisms: Some(vec!["polsp".into(), "nonsense".into()]),
+            traffics: Some(vec!["uniform".into()]),
+            scenarios: Some(vec!["none".into()]),
+            loads: Some(vec![0.2]),
+            seeds: None,
+            vcs: None,
+            warmup: Some(50),
+            measure: Some(100),
+        };
+        let err = validate_campaign(&spec).unwrap_err();
+        assert!(err.contains("nonsense"), "{err}");
+    }
+}

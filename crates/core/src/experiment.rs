@@ -83,6 +83,19 @@ impl TrafficSpec {
         }
     }
 
+    /// The canonical parse token of this pattern: the inverse of
+    /// [`TrafficSpec::parse`], used when generating campaign specs.
+    pub fn key(&self) -> &'static str {
+        match self {
+            TrafficSpec::Uniform => "uniform",
+            TrafficSpec::RandomServerPermutation => "rsp",
+            TrafficSpec::DimensionComplementReverse => "dcr",
+            TrafficSpec::RegularPermutationToNeighbour => "rpn",
+            TrafficSpec::Transpose => "transpose",
+            TrafficSpec::NeighbourShift => "shift",
+        }
+    }
+
     /// Parses a traffic name from a command line (`uniform`, `rsp`, `dcr`, `rpn`,
     /// plus the extension patterns `transpose` and `shift`).
     pub fn parse(name: &str) -> Option<TrafficSpec> {
@@ -91,9 +104,7 @@ impl TrafficSpec {
             "rsp" | "permutation" | "random-server-permutation" => {
                 Some(TrafficSpec::RandomServerPermutation)
             }
-            "dcr" | "dimension-complement-reverse" => {
-                Some(TrafficSpec::DimensionComplementReverse)
-            }
+            "dcr" | "dimension-complement-reverse" => Some(TrafficSpec::DimensionComplementReverse),
             "rpn" | "regular-permutation-to-neighbour" => {
                 Some(TrafficSpec::RegularPermutationToNeighbour)
             }
@@ -311,13 +322,36 @@ mod tests {
     }
 
     #[test]
+    fn traffic_keys_round_trip_through_parse() {
+        for traffic in [
+            TrafficSpec::Uniform,
+            TrafficSpec::RandomServerPermutation,
+            TrafficSpec::DimensionComplementReverse,
+            TrafficSpec::RegularPermutationToNeighbour,
+            TrafficSpec::Transpose,
+            TrafficSpec::NeighbourShift,
+        ] {
+            assert_eq!(TrafficSpec::parse(traffic.key()), Some(traffic));
+        }
+    }
+
+    #[test]
     fn traffic_spec_lineups_and_names() {
         assert_eq!(TrafficSpec::lineup_2d().len(), 3);
         assert_eq!(TrafficSpec::lineup_3d().len(), 4);
         assert_eq!(TrafficSpec::parse("uniform"), Some(TrafficSpec::Uniform));
-        assert_eq!(TrafficSpec::parse("rpn"), Some(TrafficSpec::RegularPermutationToNeighbour));
-        assert_eq!(TrafficSpec::parse("dcr"), Some(TrafficSpec::DimensionComplementReverse));
-        assert_eq!(TrafficSpec::parse("rsp"), Some(TrafficSpec::RandomServerPermutation));
+        assert_eq!(
+            TrafficSpec::parse("rpn"),
+            Some(TrafficSpec::RegularPermutationToNeighbour)
+        );
+        assert_eq!(
+            TrafficSpec::parse("dcr"),
+            Some(TrafficSpec::DimensionComplementReverse)
+        );
+        assert_eq!(
+            TrafficSpec::parse("rsp"),
+            Some(TrafficSpec::RandomServerPermutation)
+        );
         assert_eq!(TrafficSpec::parse("junk"), None);
     }
 
@@ -345,8 +379,11 @@ mod tests {
 
     #[test]
     fn label_mentions_all_components() {
-        let e = Experiment::paper_3d(MechanismSpec::PolSP, TrafficSpec::RegularPermutationToNeighbour)
-            .with_scenario(FaultScenario::star_3d());
+        let e = Experiment::paper_3d(
+            MechanismSpec::PolSP,
+            TrafficSpec::RegularPermutationToNeighbour,
+        )
+        .with_scenario(FaultScenario::star_3d());
         let label = e.label();
         assert!(label.contains("PolSP"));
         assert!(label.contains("Regular Permutation"));
@@ -383,10 +420,21 @@ mod tests {
             e.sim.measure_cycles = 500;
             let m = e.run_rate(0.2);
             assert!(!m.stalled, "{} stalled", traffic.name());
-            assert!(m.accepted_load > 0.05, "{} accepted {}", traffic.name(), m.accepted_load);
+            assert!(
+                m.accepted_load > 0.05,
+                "{} accepted {}",
+                traffic.name(),
+                m.accepted_load
+            );
         }
-        assert_eq!(TrafficSpec::parse("transpose"), Some(TrafficSpec::Transpose));
-        assert_eq!(TrafficSpec::parse("shift"), Some(TrafficSpec::NeighbourShift));
+        assert_eq!(
+            TrafficSpec::parse("transpose"),
+            Some(TrafficSpec::Transpose)
+        );
+        assert_eq!(
+            TrafficSpec::parse("shift"),
+            Some(TrafficSpec::NeighbourShift)
+        );
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! single dependency suffices for most users.
 
 pub mod ablation;
+pub mod campaign;
 pub mod experiment;
 pub mod plot;
 pub mod report;
@@ -31,6 +32,7 @@ pub use ablation::{
     ablation_to_csv, escape_shortcut_study, format_ablation_table, root_placement_study,
     vc_count_study, AblationPoint,
 };
+pub use campaign::{job_experiment, run_campaign, run_job, validate_campaign};
 pub use experiment::{Experiment, RootPlacement, TrafficSpec};
 pub use plot::{throughput_chart, BarChart, BarGroup, LineChart, Series};
 pub use report::{format_rate_table, rate_metrics_to_csv, ReportRow};
@@ -43,3 +45,4 @@ pub use tables::{format_mechanism_table, mechanism_table, topology_table, Mechan
 pub use hyperx_routing::{EscapePolicy, MechanismSpec, NetworkView, RoutingMechanism};
 pub use hyperx_sim::{BatchMetrics, RateMetrics, SimConfig};
 pub use hyperx_topology::{FaultSet, FaultShape, HyperX, RootPolicy, TopologyReport};
+pub use surepath_runner::{CampaignOutcome, CampaignSpec, JobSpec, ResultStore, TopologySpec};

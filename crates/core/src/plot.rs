@@ -263,7 +263,10 @@ impl BarChart {
 
     /// Renders the chart as an SVG document.
     pub fn to_svg(&self) -> String {
-        assert!(!self.groups.is_empty(), "a bar chart needs at least one group");
+        assert!(
+            !self.groups.is_empty(),
+            "a bar chart needs at least one group"
+        );
         let plot_w = WIDTH - MARGIN_LEFT - MARGIN_RIGHT;
         let plot_h = HEIGHT - MARGIN_TOP - MARGIN_BOTTOM;
         let sy = |y: f64| MARGIN_TOP + (1.0 - (y / self.y_max).clamp(0.0, 1.0)) * plot_h;
@@ -293,7 +296,8 @@ impl BarChart {
                 if !legend.contains(name) {
                     legend.push(name.clone());
                 }
-                let colour = PALETTE[legend.iter().position(|n| n == name).unwrap() % PALETTE.len()];
+                let colour =
+                    PALETTE[legend.iter().position(|n| n == name).unwrap() % PALETTE.len()];
                 let x = group_x + group_w * 0.15 + bi as f64 * bar_w;
                 let y = sy(*value);
                 let h = HEIGHT - MARGIN_BOTTOM - y;
@@ -400,8 +404,14 @@ mod tests {
     fn line_chart() -> LineChart {
         LineChart::new("Uniform", "offered load", "accepted load")
             .with_y_range(0.0, 1.0)
-            .with_series(Series::new("OmniSP", vec![(0.1, 0.1), (0.5, 0.48), (0.9, 0.8)]))
-            .with_series(Series::new("PolSP", vec![(0.1, 0.1), (0.5, 0.47), (0.9, 0.72)]))
+            .with_series(Series::new(
+                "OmniSP",
+                vec![(0.1, 0.1), (0.5, 0.48), (0.9, 0.8)],
+            ))
+            .with_series(Series::new(
+                "PolSP",
+                vec![(0.1, 0.1), (0.5, 0.47), (0.9, 0.72)],
+            ))
     }
 
     #[test]

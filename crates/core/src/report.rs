@@ -146,7 +146,10 @@ mod tests {
 
     #[test]
     fn rate_table_formats_metrics() {
-        let points = vec![dummy_point("OmniSP", 0.5, 0.47), dummy_point("PolSP", 0.5, 0.49)];
+        let points = vec![
+            dummy_point("OmniSP", 0.5, 0.47),
+            dummy_point("PolSP", 0.5, 0.49),
+        ];
         let s = format_rate_table(&points);
         assert!(s.contains("0.470"));
         assert!(s.contains("0.490"));
@@ -155,7 +158,10 @@ mod tests {
 
     #[test]
     fn csv_has_header_plus_one_line_per_point() {
-        let points = vec![dummy_point("Minimal", 0.2, 0.2), dummy_point("Valiant", 0.2, 0.2)];
+        let points = vec![
+            dummy_point("Minimal", 0.2, 0.2),
+            dummy_point("Valiant", 0.2, 0.2),
+        ];
         let csv = rate_metrics_to_csv(&points);
         assert_eq!(csv.lines().count(), 3);
         assert!(csv.lines().next().unwrap().starts_with("mechanism,traffic"));

@@ -111,6 +111,69 @@ impl FaultScenario {
         }
     }
 
+    /// Parses a scenario string, as used by the CLI `--faults` flag and by
+    /// campaign specs: `none`, `random:COUNT[:SEED]`, `row`,
+    /// `subgrid:SIZE` (aliases `subplane`, `subcube`), `cross:MARGIN`,
+    /// `star`. Geometric shapes are centred on the topology given by
+    /// `sides`.
+    pub fn parse(spec: &str, sides: &[usize]) -> Result<FaultScenario, String> {
+        let mid: Vec<usize> = sides.iter().map(|&k| k / 2).collect();
+        let mut parts = spec.split(':');
+        let kind = parts.next().unwrap_or("");
+        match kind {
+            "none" => Ok(FaultScenario::None),
+            "random" => {
+                let count: usize = parts
+                    .next()
+                    .ok_or("random faults need a count, e.g. random:30")?
+                    .parse()
+                    .map_err(|_| "invalid random fault count")?;
+                let seed: u64 = match parts.next() {
+                    Some(s) => s.parse().map_err(|_| "invalid random fault seed")?,
+                    None => 1,
+                };
+                Ok(FaultScenario::Random { count, seed })
+            }
+            "row" => Ok(FaultScenario::Shape(FaultShape::Row {
+                along_dim: 0,
+                at: mid,
+            })),
+            "subgrid" | "subplane" | "subcube" => {
+                let size: usize = parts
+                    .next()
+                    .ok_or("subgrid faults need a size, e.g. subgrid:3")?
+                    .parse()
+                    .map_err(|_| "invalid subgrid size")?;
+                if sides.iter().any(|&k| size > k) {
+                    return Err(format!("subgrid size {size} does not fit the topology"));
+                }
+                Ok(FaultScenario::Shape(FaultShape::Subgrid {
+                    low: vec![0; sides.len()],
+                    size,
+                }))
+            }
+            "cross" => {
+                let margin: usize = parts
+                    .next()
+                    .ok_or("cross faults need a margin, e.g. cross:5")?
+                    .parse()
+                    .map_err(|_| "invalid cross margin")?;
+                if sides.iter().any(|&k| margin >= k) {
+                    return Err(format!("cross margin {margin} leaves no faulty links"));
+                }
+                Ok(FaultScenario::Shape(FaultShape::Cross {
+                    center: mid,
+                    margin,
+                }))
+            }
+            "star" => Ok(FaultScenario::Shape(FaultShape::Cross {
+                center: mid,
+                margin: 1,
+            })),
+            other => Err(format!("unknown fault spec '{other}'")),
+        }
+    }
+
     /// The switch the paper would pick as the escape-subnetwork root for this
     /// scenario: a switch *inside* the fault region for the geometric shapes
     /// ("seeking for a more stressful situation"), switch 0 otherwise.
@@ -186,11 +249,12 @@ mod tests {
             let FaultScenario::Shape(shape) = &scenario else {
                 unreachable!()
             };
-            let in_region = shape
-                .switch_groups(&hx)
-                .iter()
-                .any(|g| g.contains(&root));
-            assert!(in_region, "{} root {root} outside the fault region", scenario.name());
+            let in_region = shape.switch_groups(&hx).iter().any(|g| g.contains(&root));
+            assert!(
+                in_region,
+                "{} root {root} outside the fault region",
+                scenario.name()
+            );
         }
     }
 
@@ -205,7 +269,10 @@ mod tests {
     #[test]
     fn names_are_stable() {
         assert_eq!(FaultScenario::None.name(), "Healthy");
-        assert_eq!(FaultScenario::Random { count: 30, seed: 1 }.name(), "Random(30)");
+        assert_eq!(
+            FaultScenario::Random { count: 30, seed: 1 }.name(),
+            "Random(30)"
+        );
         assert_eq!(FaultScenario::row_2d().name(), "Row");
         assert_eq!(FaultScenario::subplane_2d().name(), "Subplane(5x5)");
         assert_eq!(FaultScenario::cross_2d().name(), "Cross(margin 5)");

@@ -95,22 +95,13 @@ pub struct ReplicatedPoint {
     pub runs: Vec<RateMetrics>,
 }
 
-/// Runs `experiment` at `offered_load` once per seed (in parallel, one scoped
-/// thread per seed) and summarises the headline metrics.
+/// Runs `experiment` at `offered_load` once per seed, in parallel on the
+/// runner's bounded work-stealing pool, and summarises the headline metrics.
 pub fn replicate(experiment: &Experiment, offered_load: f64, seeds: &[u64]) -> ReplicatedPoint {
     assert!(!seeds.is_empty(), "at least one seed is required");
-    let mut runs: Vec<Option<RateMetrics>> = vec![None; seeds.len()];
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (i, &seed) in seeds.iter().enumerate() {
-            let exp = experiment.clone().with_seed(seed);
-            handles.push((i, scope.spawn(move || exp.run_rate(offered_load))));
-        }
-        for (i, handle) in handles {
-            runs[i] = Some(handle.join().expect("replication thread panicked"));
-        }
+    let runs: Vec<RateMetrics> = surepath_runner::parallel_map(seeds, None, |&seed| {
+        experiment.clone().with_seed(seed).run_rate(offered_load)
     });
-    let runs: Vec<RateMetrics> = runs.into_iter().map(|r| r.unwrap()).collect();
     let collect = |f: fn(&RateMetrics) -> f64| -> Vec<f64> { runs.iter().map(f).collect() };
     ReplicatedPoint {
         mechanism: experiment.mechanism.name().to_string(),

@@ -1,5 +1,6 @@
-//! Offered-load sweeps and mechanism comparisons, with optional parallelism
-//! across independent simulations.
+//! Offered-load sweeps and mechanism comparisons, parallelised on the
+//! campaign runner's bounded work-stealing pool (`surepath-runner`) rather
+//! than one OS thread per simulation.
 
 use crate::experiment::{Experiment, TrafficSpec};
 use crate::scenario::FaultScenario;
@@ -23,28 +24,23 @@ pub struct SweepPoint {
     pub metrics: RateMetrics,
 }
 
-/// Runs one experiment at every offered load of `loads`, in parallel (one
-/// thread per load, scoped).
+/// Runs one experiment at every offered load of `loads`, in parallel on the
+/// runner's work-stealing pool (bounded by the core count, not by the number
+/// of loads). Panics if a simulation panics, preserving the pre-runner
+/// fail-fast behaviour.
 pub fn sweep_loads(experiment: &Experiment, loads: &[f64]) -> Vec<SweepPoint> {
-    let mut results: Vec<Option<SweepPoint>> = vec![None; loads.len()];
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (i, &load) in loads.iter().enumerate() {
-            let exp = experiment.clone();
-            handles.push((i, scope.spawn(move || exp.run_rate(load))));
-        }
-        for (i, handle) in handles {
-            let metrics = handle.join().expect("simulation thread panicked");
-            results[i] = Some(SweepPoint {
-                mechanism: experiment.mechanism.name().to_string(),
-                traffic: experiment.traffic.name().to_string(),
-                scenario: experiment.scenario.name(),
-                offered_load: loads[i],
-                metrics,
-            });
-        }
-    });
-    results.into_iter().map(|r| r.unwrap()).collect()
+    let metrics = surepath_runner::parallel_map(loads, None, |&load| experiment.run_rate(load));
+    loads
+        .iter()
+        .zip(metrics)
+        .map(|(&offered_load, metrics)| SweepPoint {
+            mechanism: experiment.mechanism.name().to_string(),
+            traffic: experiment.traffic.name().to_string(),
+            scenario: experiment.scenario.name(),
+            offered_load,
+            metrics,
+        })
+        .collect()
 }
 
 /// Runs a full mechanism comparison (one curve per mechanism) for a fixed

@@ -2,7 +2,7 @@
 
 use crate::report::{format_table, ReportRow};
 use hyperx_topology::{HyperX, TopologyReport};
-use serde::{Deserialize, Serialize};
+use serde::Serialize;
 
 /// Renders Table 3 (topological parameters) for a list of HyperX configurations.
 pub fn topology_table(configs: &[(&str, HyperX, usize)]) -> String {
@@ -38,7 +38,10 @@ pub fn topology_table(configs: &[(&str, HyperX, usize)]) -> String {
 }
 
 /// One row of Table 4: the routing mechanisms and their VC usage.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+///
+/// Rows are static documentation data (`&'static str` fields), so they are
+/// serializable for reports but not deserializable.
+#[derive(Clone, Debug, Serialize)]
 pub struct MechanismRow {
     /// Mechanism name.
     pub mechanism: &'static str,
@@ -102,7 +105,13 @@ pub fn mechanism_table() -> Vec<MechanismRow> {
 
 /// Renders Table 4 as a plain-text table.
 pub fn format_mechanism_table() -> String {
-    let header = ["mechanism", "algorithm", "VC management", "use of 2n VCs", "VCs required"];
+    let header = [
+        "mechanism",
+        "algorithm",
+        "VC management",
+        "use of 2n VCs",
+        "VCs required",
+    ];
     let rows: Vec<ReportRow> = mechanism_table()
         .into_iter()
         .map(|r| ReportRow {

@@ -209,7 +209,10 @@ mod tests {
         let algo2 = DalRouting::new(v2);
         let mut out2 = Vec::new();
         algo2.candidates(&st, 0, &mut out2);
-        assert!(out2.is_empty(), "DAL is stuck once its per-dimension deroute is spent");
+        assert!(
+            out2.is_empty(),
+            "DAL is stuck once its per-dimension deroute is spent"
+        );
     }
 
     #[test]

@@ -128,14 +128,18 @@ mod tests {
         let hx = HyperX::regular(2, 4);
         let a = hx.switch_id(&[0, 0]);
         let b = hx.switch_id(&[1, 0]);
-        let faults = hyperx_topology::FaultSet::from_links(vec![hyperx_topology::LinkId::new(a, b)]);
+        let faults =
+            hyperx_topology::FaultSet::from_links(vec![hyperx_topology::LinkId::new(a, b)]);
         let v = Arc::new(NetworkView::with_faults(hx, &faults, 0));
         let algo = DimensionOrderedRouting::new(v.clone());
         let mut rng = StepRng::new(0, 1);
         let st = algo.init(a, b, &mut rng);
         let mut out = Vec::new();
         algo.candidates(&st, a, &mut out);
-        assert!(out.is_empty(), "DOR has no alternative when its unique link dies");
+        assert!(
+            out.is_empty(),
+            "DOR has no alternative when its unique link dies"
+        );
         // While the network itself is still connected.
         assert!(v.is_connected());
     }

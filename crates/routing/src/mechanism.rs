@@ -333,11 +333,23 @@ mod tests {
 
     #[test]
     fn ladder_step_vc_assignment() {
-        assert_eq!(LadderStep::OnePerStep.vcs_for_hop(0, 4), Some(VcRange::exact(0)));
-        assert_eq!(LadderStep::OnePerStep.vcs_for_hop(3, 4), Some(VcRange::exact(3)));
+        assert_eq!(
+            LadderStep::OnePerStep.vcs_for_hop(0, 4),
+            Some(VcRange::exact(0))
+        );
+        assert_eq!(
+            LadderStep::OnePerStep.vcs_for_hop(3, 4),
+            Some(VcRange::exact(3))
+        );
         assert_eq!(LadderStep::OnePerStep.vcs_for_hop(4, 4), None);
-        assert_eq!(LadderStep::TwoPerStep.vcs_for_hop(0, 4), Some(VcRange::span(0, 2)));
-        assert_eq!(LadderStep::TwoPerStep.vcs_for_hop(1, 4), Some(VcRange::span(2, 4)));
+        assert_eq!(
+            LadderStep::TwoPerStep.vcs_for_hop(0, 4),
+            Some(VcRange::span(0, 2))
+        );
+        assert_eq!(
+            LadderStep::TwoPerStep.vcs_for_hop(1, 4),
+            Some(VcRange::span(2, 4))
+        );
         assert_eq!(LadderStep::TwoPerStep.vcs_for_hop(2, 4), None);
     }
 
@@ -422,9 +434,7 @@ mod tests {
             let mut out = Vec::new();
             mech.candidates(&st, 0, &mut out);
             assert!(!out.is_empty());
-            assert!(out
-                .iter()
-                .all(|c| c.kind != CandidateKind::EscapeShortcut));
+            assert!(out.iter().all(|c| c.kind != CandidateKind::EscapeShortcut));
         }
     }
 

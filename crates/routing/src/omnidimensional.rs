@@ -156,9 +156,7 @@ mod tests {
         let mut out = Vec::new();
         algo.candidates(&st, src, &mut out);
         assert_eq!(out.len(), 7);
-        assert!(out
-            .iter()
-            .all(|c| hx.port_meaning(src, c.port).dim == 1));
+        assert!(out.iter().all(|c| hx.port_meaning(src, c.port).dim == 1));
     }
 
     #[test]
@@ -174,7 +172,10 @@ mod tests {
         let mut out = Vec::new();
         algo.candidates(&st, src, &mut out);
         assert!(!out.is_empty());
-        assert!(out.iter().all(|c| !c.deroute), "budget exhausted: only minimal hops remain");
+        assert!(
+            out.iter().all(|c| !c.deroute),
+            "budget exhausted: only minimal hops remain"
+        );
     }
 
     #[test]

@@ -75,6 +75,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // documents the constant ordering
     fn escape_ordering_prefers_shortcuts_over_tree_links() {
         // The paper penalizes Up the most, then Down, then shortcuts by how
         // much they reduce the Up/Down distance.

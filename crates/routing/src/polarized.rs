@@ -33,7 +33,11 @@ impl PolarizedRouting {
     /// Builds Polarized routing with the default zero-gain hop limit of
     /// `2 · diameter` hops.
     pub fn new(view: Arc<NetworkView>) -> Self {
-        let diameter = if view.is_connected() { view.diameter() } else { view.dims() };
+        let diameter = if view.is_connected() {
+            view.diameter()
+        } else {
+            view.dims()
+        };
         let limit = (2 * diameter) as u16;
         Self::with_zero_gain_limit(view, limit)
     }
@@ -113,8 +117,7 @@ impl RouteAlgorithm for PolarizedRouting {
         } else {
             state.deroutes += 1;
         }
-        state.closer_to_source =
-            d.get(next, state.source) < d.get(next, state.dest);
+        state.closer_to_source = d.get(next, state.source) < d.get(next, state.dest);
     }
 
     fn max_route_hops(&self) -> usize {
@@ -200,7 +203,10 @@ mod tests {
             let dim = hx.port_meaning(src, c.port).dim;
             dim != 0
         });
-        assert!(out_of_row, "polarized must offer hops outside the shared row");
+        assert!(
+            out_of_row,
+            "polarized must offer hops outside the shared row"
+        );
     }
 
     #[test]

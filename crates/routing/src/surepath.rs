@@ -44,7 +44,13 @@ impl SurePathMechanism {
         view: Arc<NetworkView>,
         num_vcs: usize,
     ) -> Self {
-        Self::with_escape_policy(algo, display_name, view, num_vcs, EscapePolicy::Opportunistic)
+        Self::with_escape_policy(
+            algo,
+            display_name,
+            view,
+            num_vcs,
+            EscapePolicy::Opportunistic,
+        )
     }
 
     /// Builds SurePath with an explicit [`EscapePolicy`] — the paper's
@@ -170,8 +176,14 @@ mod tests {
         let st = mech.init_packet(0, 15, &mut rng);
         let mut out = Vec::new();
         mech.candidates(&st, 0, &mut out);
-        assert!(out.iter().any(|c| !c.kind.is_escape()), "routing candidates expected");
-        assert!(out.iter().any(|c| c.kind.is_escape()), "escape candidates expected");
+        assert!(
+            out.iter().any(|c| !c.kind.is_escape()),
+            "routing candidates expected"
+        );
+        assert!(
+            out.iter().any(|c| c.kind.is_escape()),
+            "escape candidates expected"
+        );
         // Routing candidates span the routing VCs, escape candidates pin VC 3.
         for c in &out {
             if c.kind.is_escape() {
@@ -225,7 +237,10 @@ mod tests {
         st.deroutes = 2; // budget m = n = 2 consumed
         let mut out = Vec::new();
         mech.candidates(&st, src, &mut out);
-        assert!(!out.is_empty(), "forced hop must fall back to the escape subnetwork");
+        assert!(
+            !out.is_empty(),
+            "forced hop must fall back to the escape subnetwork"
+        );
         assert!(out.iter().all(|c| c.kind.is_escape()));
     }
 
@@ -263,7 +278,10 @@ mod tests {
                     mech.note_hop(&mut st, current, next, best);
                     current = next;
                     hops += 1;
-                    assert!(hops <= 2 * v.hyperx().num_switches(), "escape walk does not terminate");
+                    assert!(
+                        hops <= 2 * v.hyperx().num_switches(),
+                        "escape walk does not terminate"
+                    );
                 }
             }
         }

@@ -156,7 +156,10 @@ mod tests {
         let direct = out.iter().find(|c| c.port == direct_port).unwrap();
         assert_eq!(direct.penalty, 64);
         assert_eq!(direct.kind, CandidateKind::EscapeShortcut);
-        let root_port = view.network().port_towards(a, hx.switch_id(&[0, 0])).unwrap();
+        let root_port = view
+            .network()
+            .port_towards(a, hx.switch_id(&[0, 0]))
+            .unwrap();
         let up = out.iter().find(|c| c.port == root_port).unwrap();
         assert_eq!(up.penalty, 112);
         assert_eq!(up.kind, CandidateKind::EscapeUp);
@@ -238,9 +241,7 @@ mod tests {
                 let mut out = Vec::new();
                 tree.candidates(cur, dest, &mut out);
                 assert!(!out.is_empty(), "tree escape stuck at {cur} -> {dest}");
-                assert!(out
-                    .iter()
-                    .all(|c| c.kind != CandidateKind::EscapeShortcut));
+                assert!(out.iter().all(|c| c.kind != CandidateKind::EscapeShortcut));
             }
         }
     }
@@ -261,7 +262,9 @@ mod tests {
                     assert!(full.contains(c));
                 }
                 assert_eq!(
-                    full.iter().filter(|c| c.kind != CandidateKind::EscapeShortcut).count(),
+                    full.iter()
+                        .filter(|c| c.kind != CandidateKind::EscapeShortcut)
+                        .count(),
                     pruned.len()
                 );
             }

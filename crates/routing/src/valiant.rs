@@ -136,8 +136,10 @@ mod tests {
                 assert!(hops <= algo.max_route_hops());
             }
             if intermediate != dst {
-                assert!(visited_intermediate || intermediate == 0,
-                    "route to {dst} skipped its intermediate {intermediate}");
+                assert!(
+                    visited_intermediate || intermediate == 0,
+                    "route to {dst} skipped its intermediate {intermediate}"
+                );
             }
         }
     }

@@ -31,7 +31,10 @@ impl NetworkView {
     }
 
     fn from_hyperx(hyperx: HyperX, escape_root: SwitchId) -> Self {
-        assert!(escape_root < hyperx.num_switches(), "escape root out of range");
+        assert!(
+            escape_root < hyperx.num_switches(),
+            "escape root out of range"
+        );
         let distances = DistanceMatrix::compute(hyperx.network());
         let escape = if distances.is_connected() {
             Some(UpDownEscape::new(hyperx.network(), escape_root))
@@ -116,7 +119,10 @@ mod tests {
         let hx = view.hyperx();
         for a in 0..hx.num_switches() {
             for b in 0..hx.num_switches() {
-                assert_eq!(view.distance(a, b) as usize, hx.coords().hamming_distance(a, b));
+                assert_eq!(
+                    view.distance(a, b) as usize,
+                    hx.coords().hamming_distance(a, b)
+                );
             }
         }
     }

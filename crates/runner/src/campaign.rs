@@ -1,0 +1,265 @@
+//! The campaign driver: spec → jobs → executor → store.
+
+use crate::executor::{run_work_stealing, JobOutcome};
+use crate::fingerprint::job_fingerprint;
+use crate::progress::ProgressReporter;
+use crate::spec::{CampaignSpec, JobSpec};
+use crate::store::ResultStore;
+use serde::Value;
+use std::path::Path;
+
+/// What a finished campaign run looked like.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CampaignOutcome {
+    /// Total jobs in the expanded grid.
+    pub total: usize,
+    /// Jobs skipped because the store already had them.
+    pub skipped: usize,
+    /// Jobs executed this run.
+    pub executed: usize,
+    /// Of the executed jobs, how many failed (error or panic).
+    pub failed: usize,
+}
+
+impl CampaignOutcome {
+    /// Whether every grid cell now has a successful result.
+    pub fn is_complete(&self) -> bool {
+        self.skipped + self.executed - self.failed == self.total
+    }
+}
+
+/// Runs (or resumes) a campaign.
+///
+/// Expands `spec`, skips every job whose fingerprint is already complete in
+/// the store at `store_path`, and executes the rest on a work-stealing pool
+/// of `threads` workers (`None` = all cores). Each pending job is passed to
+/// `job_fn`; `Ok(value)` is streamed to the store as a success, `Err` (and
+/// any panic) as a retryable failure. On completion the store is rewritten
+/// in canonical grid order, making repeated runs byte-identical.
+pub fn run_campaign<F>(
+    spec: &CampaignSpec,
+    store_path: &Path,
+    threads: Option<usize>,
+    quiet: bool,
+    job_fn: F,
+) -> std::io::Result<CampaignOutcome>
+where
+    F: Fn(&JobSpec) -> Result<Value, String> + Sync,
+{
+    let jobs = spec
+        .expand()
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
+    let mut store = ResultStore::open(store_path)?;
+
+    let pending: Vec<JobSpec> = jobs
+        .iter()
+        .filter(|job| !store.is_complete(&job_fingerprint(job)))
+        .cloned()
+        .collect();
+    let skipped = jobs.len() - pending.len();
+
+    let mut progress = ProgressReporter::new(jobs.len(), skipped, !quiet);
+    let mut io_error: Option<std::io::Error> = None;
+    run_work_stealing(
+        &pending,
+        threads.unwrap_or_else(crate::executor::default_threads),
+        |_, job| job_fn(job),
+        |idx, outcome| {
+            let job = &pending[idx];
+            let write_result = match outcome {
+                JobOutcome::Completed(Ok(result)) => {
+                    progress.job_finished(&job.label(), true);
+                    store.append_ok(job, result)
+                }
+                JobOutcome::Completed(Err(error)) => {
+                    progress.job_finished(&job.label(), false);
+                    store.append_failed(job, error)
+                }
+                JobOutcome::Panicked(message) => {
+                    progress.job_finished(&job.label(), false);
+                    store.append_failed(job, format!("panic: {message}"))
+                }
+            };
+            match write_result {
+                Ok(()) => true,
+                Err(e) => {
+                    // A store that cannot be written makes every further
+                    // result unpersistable: stop the pool instead of burning
+                    // hours of simulation that would be lost.
+                    io_error.get_or_insert(e);
+                    false
+                }
+            }
+        },
+    );
+    if let Some(e) = io_error {
+        return Err(e);
+    }
+    let (executed, failed) = progress.finish();
+    store.finalize(&jobs)?;
+    Ok(CampaignOutcome {
+        total: jobs.len(),
+        skipped,
+        executed,
+        failed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::TopologySpec;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn spec(name: &str) -> CampaignSpec {
+        CampaignSpec {
+            name: name.to_string(),
+            kind: None,
+            topologies: vec![TopologySpec {
+                sides: vec![4, 4],
+                concentration: None,
+            }],
+            mechanisms: Some(vec!["a".into(), "b".into()]),
+            traffics: Some(vec!["uniform".into()]),
+            scenarios: Some(vec!["none".into()]),
+            loads: Some(vec![0.25, 0.5]),
+            seeds: Some(vec![1, 2, 3]),
+            vcs: None,
+            warmup: None,
+            measure: None,
+        }
+    }
+
+    fn temp_store(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("surepath-runner-campaign-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}.jsonl", std::process::id()))
+    }
+
+    /// A deterministic fake workload: result derives only from the job.
+    fn fake_result(job: &JobSpec) -> Result<Value, String> {
+        let score = job.seed as f64 * job.load.unwrap_or(1.0);
+        serde_json::to_value(&score).map_err(|e| e.to_string())
+    }
+
+    #[test]
+    fn full_run_then_resume_skips_everything() {
+        let path = temp_store("resume-all");
+        let _ = std::fs::remove_file(&path);
+        let s = spec("resume-all");
+
+        let first = run_campaign(&s, &path, Some(4), true, fake_result).unwrap();
+        assert_eq!(first.total, 12);
+        assert_eq!(first.executed, 12);
+        assert_eq!(first.skipped, 0);
+        assert!(first.is_complete());
+
+        let executed = AtomicUsize::new(0);
+        let second = run_campaign(&s, &path, Some(4), true, |job| {
+            executed.fetch_add(1, Ordering::Relaxed);
+            fake_result(job)
+        })
+        .unwrap();
+        assert_eq!(second.skipped, 12);
+        assert_eq!(second.executed, 0);
+        assert_eq!(executed.load(Ordering::Relaxed), 0, "no job re-ran");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn repeated_runs_are_byte_identical() {
+        let path_a = temp_store("bytes-a");
+        let path_b = temp_store("bytes-b");
+        let _ = std::fs::remove_file(&path_a);
+        let _ = std::fs::remove_file(&path_b);
+        let s = spec("bytes");
+        run_campaign(&s, &path_a, Some(1), true, fake_result).unwrap();
+        run_campaign(&s, &path_b, Some(6), true, fake_result).unwrap();
+        let a = std::fs::read(&path_a).unwrap();
+        let b = std::fs::read(&path_b).unwrap();
+        assert!(!a.is_empty());
+        assert_eq!(a, b, "different thread counts must give identical stores");
+        let _ = std::fs::remove_file(&path_a);
+        let _ = std::fs::remove_file(&path_b);
+    }
+
+    #[test]
+    fn interrupted_campaign_reruns_only_missing_jobs() {
+        let path = temp_store("partial");
+        let _ = std::fs::remove_file(&path);
+        let s = spec("partial");
+        let jobs = s.expand().unwrap();
+
+        // Simulate an interrupted run: only 5 of 12 results made it to disk.
+        {
+            let mut store = ResultStore::open(&path).unwrap();
+            for job in jobs.iter().take(5) {
+                store.append_ok(job, fake_result(job).unwrap()).unwrap();
+            }
+        }
+        let executed = AtomicUsize::new(0);
+        let outcome = run_campaign(&s, &path, Some(4), true, |job| {
+            executed.fetch_add(1, Ordering::Relaxed);
+            fake_result(job)
+        })
+        .unwrap();
+        assert_eq!(outcome.skipped, 5);
+        assert_eq!(outcome.executed, 7);
+        assert_eq!(executed.load(Ordering::Relaxed), 7);
+        assert!(outcome.is_complete());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn panicking_job_fails_alone_and_is_retried_next_run() {
+        let path = temp_store("panic");
+        let _ = std::fs::remove_file(&path);
+        let s = spec("panic");
+
+        let outcome = run_campaign(&s, &path, Some(4), true, |job| {
+            if job.seed == 2 && job.mechanism.as_deref() == Some("a") {
+                panic!("simulated simulator bug");
+            }
+            fake_result(job)
+        })
+        .unwrap();
+        assert_eq!(outcome.executed, 12);
+        assert_eq!(outcome.failed, 2, "seed 2 × mechanism a × two loads");
+        assert!(!outcome.is_complete());
+
+        // The failure is recorded, and a healthy re-run completes the grid.
+        let store = ResultStore::open(&path).unwrap();
+        let failed: Vec<_> = store.records().filter(|r| r.status == "failed").collect();
+        assert_eq!(failed.len(), 2);
+        assert!(failed[0]
+            .error
+            .as_deref()
+            .unwrap()
+            .contains("simulated simulator bug"));
+
+        let retry = run_campaign(&s, &path, Some(4), true, fake_result).unwrap();
+        assert_eq!(retry.skipped, 10);
+        assert_eq!(retry.executed, 2);
+        assert!(retry.is_complete());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn job_errors_are_recorded_not_fatal() {
+        let path = temp_store("errors");
+        let _ = std::fs::remove_file(&path);
+        let s = spec("errors");
+        let outcome = run_campaign(&s, &path, Some(2), true, |job| {
+            if job.mechanism.as_deref() == Some("b") {
+                Err("unknown mechanism `b`".to_string())
+            } else {
+                fake_result(job)
+            }
+        })
+        .unwrap();
+        assert_eq!(outcome.failed, 6);
+        assert_eq!(outcome.executed, 12);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,341 @@
+//! A fixed-size work-stealing thread pool for independent jobs.
+//!
+//! The previous generation of this codebase spawned **one OS thread per
+//! simulation** (`std::thread::scope` fan-outs in `surepath-core`), which
+//! falls over on large campaigns: a 2,000-job grid would try to run 2,000
+//! concurrent cycle-level simulations. This executor instead runs a bounded
+//! worker pool:
+//!
+//! * jobs are distributed round-robin into **per-worker deques**;
+//! * each worker pops from the *front* of its own deque and, when empty,
+//!   **steals from the back** of a sibling's deque, so uneven job costs
+//!   (e.g. high-load saturation points next to cheap low-load points)
+//!   still keep every core busy;
+//! * every job runs under `catch_unwind`, so one panicking simulation is
+//!   reported as a failed job instead of killing the whole campaign;
+//! * results are delivered to a single consumer callback as they finish,
+//!   which is what lets the store stream records to disk mid-campaign.
+//!
+//! Determinism note: job *results* must depend only on the job (the
+//! simulator is seeded per job), never on scheduling. The executor makes no
+//! ordering promises between `on_complete` calls; callers that need a
+//! canonical order (the JSONL store does) re-order afterwards.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::Mutex;
+
+/// What happened to one job.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JobOutcome<T> {
+    /// The job ran to completion.
+    Completed(T),
+    /// The job panicked; the payload message is preserved.
+    Panicked(String),
+}
+
+impl<T> JobOutcome<T> {
+    /// Unwraps a completed outcome, re-panicking with the original message
+    /// for panicked jobs (used by callers that want fail-fast semantics).
+    pub fn unwrap_completed(self) -> T {
+        match self {
+            JobOutcome::Completed(v) => v,
+            JobOutcome::Panicked(msg) => panic!("job panicked: {msg}"),
+        }
+    }
+}
+
+/// The default worker count: all available cores.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `worker` over every item on a work-stealing pool of `threads`
+/// workers, invoking `on_complete(index, outcome)` on the calling thread as
+/// jobs finish (in completion order, not index order).
+///
+/// `on_complete` returns whether to keep going: returning `false` shuts the
+/// pool down promptly — workers finish their in-flight job and stop pulling
+/// new ones. Callers that cannot make use of further results (e.g. the
+/// store's disk is full) use this to avoid burning hours of simulation that
+/// could never be persisted.
+pub fn run_work_stealing<I, T, F, C>(items: &[I], threads: usize, worker: F, mut on_complete: C)
+where
+    I: Sync,
+    T: Send,
+    F: Fn(usize, &I) -> T + Sync,
+    C: FnMut(usize, JobOutcome<T>) -> bool,
+{
+    if items.is_empty() {
+        return;
+    }
+    let threads = threads.clamp(1, items.len());
+
+    // Round-robin initial distribution across per-worker deques.
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..threads)
+        .map(|w| {
+            Mutex::new(
+                (0..items.len())
+                    .filter(|i| i % threads == w)
+                    .collect::<VecDeque<usize>>(),
+            )
+        })
+        .collect();
+
+    let pop_next = |own: usize| -> Option<usize> {
+        // Own deque first (front: cache-friendly FIFO of the initial share)…
+        if let Some(idx) = queues[own].lock().expect("queue lock").pop_front() {
+            return Some(idx);
+        }
+        // …then steal from the back of a sibling's deque, preferring the most
+        // loaded one. Every queue is attempted: a single measured victim can
+        // be drained by other thieves between the measurement and the steal,
+        // and bailing out then would retire this worker while work remains.
+        // (No job ever re-enters a queue, so observing every queue empty is a
+        // safe termination condition.)
+        let mut victims: Vec<usize> = (0..queues.len()).filter(|&w| w != own).collect();
+        victims.sort_by_key(|&w| std::cmp::Reverse(queues[w].lock().expect("queue lock").len()));
+        victims
+            .into_iter()
+            .find_map(|w| queues[w].lock().expect("queue lock").pop_back())
+    };
+
+    std::thread::scope(|scope| {
+        let (sender, receiver) = mpsc::channel::<(usize, JobOutcome<T>)>();
+        for w in 0..threads {
+            let sender = sender.clone();
+            let worker = &worker;
+            let items_ref = items;
+            let pop_next = &pop_next;
+            scope.spawn(move || {
+                while let Some(idx) = pop_next(w) {
+                    let outcome =
+                        match catch_unwind(AssertUnwindSafe(|| worker(idx, &items_ref[idx]))) {
+                            Ok(value) => JobOutcome::Completed(value),
+                            Err(payload) => JobOutcome::Panicked(panic_message(payload)),
+                        };
+                    if sender.send((idx, outcome)).is_err() {
+                        // Consumer hung up; nothing useful left to do.
+                        break;
+                    }
+                }
+            });
+        }
+        drop(sender);
+        for (idx, outcome) in receiver {
+            if !on_complete(idx, outcome) {
+                // Dropping the receiver makes every worker's next send fail,
+                // so the pool drains promptly without starting new jobs.
+                break;
+            }
+        }
+    });
+}
+
+/// Convenience wrapper: maps `f` over `items` on the pool and returns
+/// results **in input order**. Panics (with the original message) if any job
+/// panicked — the fail-fast behaviour `surepath-core`'s sweep helpers want.
+pub fn parallel_map<I, T, F>(items: &[I], threads: Option<usize>, f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    let threads = threads.unwrap_or_else(default_threads);
+    let mut slots: Vec<Option<JobOutcome<T>>> = (0..items.len()).map(|_| None).collect();
+    run_work_stealing(
+        items,
+        threads,
+        |_, item| f(item),
+        |idx, outcome| {
+            slots[idx] = Some(outcome);
+            true
+        },
+    );
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.expect("executor completed every job")
+                .unwrap_completed()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_every_job_exactly_once() {
+        let items: Vec<usize> = (0..97).collect();
+        let executed = AtomicUsize::new(0);
+        let mut seen = vec![false; items.len()];
+        run_work_stealing(
+            &items,
+            4,
+            |_, &v| {
+                executed.fetch_add(1, Ordering::Relaxed);
+                v * 2
+            },
+            |idx, outcome| {
+                assert!(!seen[idx], "job {idx} completed twice");
+                seen[idx] = true;
+                assert_eq!(outcome, JobOutcome::Completed(items[idx] * 2));
+                true
+            },
+        );
+        assert_eq!(executed.load(Ordering::Relaxed), items.len());
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn parallel_map_preserves_input_order() {
+        let items: Vec<u64> = (0..50).collect();
+        let doubled = parallel_map(&items, Some(8), |&v| v * 2);
+        assert_eq!(doubled, items.iter().map(|v| v * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn uses_a_bounded_pool_not_thread_per_job() {
+        use std::sync::atomic::AtomicIsize;
+        let live = AtomicIsize::new(0);
+        let peak = AtomicIsize::new(0);
+        let items: Vec<usize> = (0..64).collect();
+        parallel_map(&items, Some(3), |_| {
+            let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            live.fetch_sub(1, Ordering::SeqCst);
+        });
+        assert!(
+            peak.load(Ordering::SeqCst) <= 3,
+            "peak concurrency {} exceeded pool size",
+            peak.load(Ordering::SeqCst)
+        );
+    }
+
+    #[test]
+    fn work_stealing_drains_uneven_queues() {
+        // Worker 0's initial share is expensive; the others must steal it.
+        let items: Vec<usize> = (0..32).collect();
+        let slow_worker_jobs = AtomicUsize::new(0);
+        let mut completed = 0;
+        run_work_stealing(
+            &items,
+            4,
+            |_, &v| {
+                if v % 4 == 0 {
+                    slow_worker_jobs.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                }
+                v
+            },
+            |_, _| {
+                completed += 1;
+                true
+            },
+        );
+        assert_eq!(completed, 32);
+        assert_eq!(slow_worker_jobs.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn a_panicking_job_does_not_kill_the_pool() {
+        let items: Vec<usize> = (0..20).collect();
+        let mut ok = 0;
+        let mut panicked = 0;
+        run_work_stealing(
+            &items,
+            4,
+            |_, &v| {
+                if v == 7 {
+                    panic!("job {v} exploded");
+                }
+                v
+            },
+            |_, outcome| {
+                match outcome {
+                    JobOutcome::Completed(_) => ok += 1,
+                    JobOutcome::Panicked(msg) => {
+                        assert!(msg.contains("exploded"), "message preserved: {msg}");
+                        panicked += 1;
+                    }
+                }
+                true
+            },
+        );
+        assert_eq!(ok, 19);
+        assert_eq!(panicked, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "job panicked")]
+    fn parallel_map_propagates_panics() {
+        let items = [1usize, 2, 3];
+        let _ = parallel_map(&items, Some(2), |&v| {
+            if v == 2 {
+                panic!("boom");
+            }
+            v
+        });
+    }
+
+    #[test]
+    fn returning_false_from_on_complete_stops_the_pool_promptly() {
+        let items: Vec<usize> = (0..200).collect();
+        let executed = AtomicUsize::new(0);
+        let mut delivered = 0;
+        run_work_stealing(
+            &items,
+            2,
+            |_, &v| {
+                executed.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                v
+            },
+            |_, _| {
+                delivered += 1;
+                delivered < 5 // cancel after the fifth result
+            },
+        );
+        assert_eq!(delivered, 5);
+        // Workers stop pulling new jobs once the consumer hangs up; at most
+        // the in-flight jobs (one per worker) plus a small channel backlog
+        // run beyond the cancellation point.
+        let total = executed.load(Ordering::Relaxed);
+        assert!(
+            total < 200,
+            "cancellation must not run the whole grid (ran {total})"
+        );
+    }
+
+    #[test]
+    fn empty_job_list_is_a_no_op() {
+        let items: Vec<usize> = Vec::new();
+        let mut calls = 0;
+        run_work_stealing(
+            &items,
+            4,
+            |_, &v| v,
+            |_, _| {
+                calls += 1;
+                true
+            },
+        );
+        assert_eq!(calls, 0);
+    }
+}

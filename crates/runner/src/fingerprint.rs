@@ -1,0 +1,83 @@
+//! Job fingerprinting: a stable identity for every campaign grid cell.
+//!
+//! The fingerprint is an FNV-1a 64-bit hash of the job's canonical compact
+//! JSON. It is stable across processes and platforms (unlike
+//! `std::collections::hash_map::DefaultHasher`, which is randomly keyed),
+//! which is what lets a restarted campaign recognise completed jobs in the
+//! store.
+
+use crate::spec::JobSpec;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over arbitrary bytes.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// The canonical serialized form of a job (compact JSON, declaration field
+/// order — deterministic because the vendored serde preserves order).
+pub fn canonical_job_json(job: &JobSpec) -> String {
+    serde_json::to_string(job).expect("job serializes")
+}
+
+/// The job's fingerprint: 16 lowercase hex characters.
+pub fn job_fingerprint(job: &JobSpec) -> String {
+    format!("{:016x}", fnv1a64(canonical_job_json(job).as_bytes()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(seed: u64) -> JobSpec {
+        JobSpec {
+            campaign: "c".into(),
+            kind: "rate".into(),
+            sides: vec![4, 4],
+            concentration: Some(4),
+            mechanism: Some("polsp".into()),
+            traffic: Some("uniform".into()),
+            scenario: Some("none".into()),
+            load: Some(0.3),
+            seed,
+            vcs: None,
+            warmup: Some(100),
+            measure: Some(200),
+        }
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_distinguish_jobs() {
+        assert_eq!(job_fingerprint(&job(1)), job_fingerprint(&job(1)));
+        assert_ne!(job_fingerprint(&job(1)), job_fingerprint(&job(2)));
+        assert_eq!(job_fingerprint(&job(1)).len(), 16);
+    }
+
+    #[test]
+    fn fingerprint_tracks_every_field() {
+        let base = job_fingerprint(&job(1));
+        let mut j = job(1);
+        j.load = Some(0.4);
+        assert_ne!(job_fingerprint(&j), base);
+        let mut j = job(1);
+        j.scenario = Some("random:5:1".into());
+        assert_ne!(job_fingerprint(&j), base);
+        let mut j = job(1);
+        j.warmup = None;
+        assert_ne!(job_fingerprint(&j), base);
+    }
+
+    #[test]
+    fn fnv_reference_vector() {
+        // Known FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+    }
+}

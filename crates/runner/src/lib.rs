@@ -1,0 +1,54 @@
+//! # surepath-runner
+//!
+//! The campaign subsystem of the SurePath reproduction: describe a whole
+//! grid of experiments *declaratively*, execute it on a bounded
+//! work-stealing thread pool, and stream results to a resumable JSONL store.
+//!
+//! The crate is deliberately **domain-agnostic**: it knows nothing about
+//! topologies or simulators. A campaign is a cross-product of string/number
+//! dimensions ([`CampaignSpec`] → flat [`JobSpec`] list), and the caller
+//! supplies the closure that turns one job into one JSON result
+//! (`surepath-core` provides that bridge for simulation jobs). This keeps
+//! the dependency arrow pointing upward — `surepath-core` builds *on top of*
+//! the runner, so its own sweep helpers run on the same pool.
+//!
+//! The moving parts:
+//!
+//! * [`spec`] — [`CampaignSpec`], deserializable from TOML or JSON, expanded
+//!   into a deterministic flat job list.
+//! * [`executor`] — a fixed-size work-stealing thread pool (per-worker
+//!   deques + stealing, not thread-per-job) with panic isolation.
+//! * [`store`] — the append-only JSONL result store; every job is
+//!   fingerprinted and already-completed jobs are skipped on restart.
+//! * [`campaign`] — the driver tying the three together, with progress
+//!   reporting.
+//! * [`toml`] — a minimal TOML parser (the build environment has no crates.io
+//!   access, so the subset campaign specs need is implemented here).
+//!
+//! ```no_run
+//! use surepath_runner::{campaign, spec};
+//! let spec = spec::load_spec_file(std::path::Path::new("campaign.toml")).unwrap();
+//! let outcome = campaign::run_campaign(
+//!     &spec,
+//!     std::path::Path::new("results.jsonl"),
+//!     None,  // threads: default = available parallelism
+//!     false, // quiet
+//!     |job| Ok(serde_json::to_value(&job.seed).unwrap()),
+//! )
+//! .unwrap();
+//! println!("{} executed, {} skipped", outcome.executed, outcome.skipped);
+//! ```
+
+pub mod campaign;
+pub mod executor;
+pub mod fingerprint;
+pub mod progress;
+pub mod spec;
+pub mod store;
+pub mod toml;
+
+pub use campaign::{run_campaign, CampaignOutcome};
+pub use executor::{default_threads, parallel_map, run_work_stealing, JobOutcome};
+pub use fingerprint::job_fingerprint;
+pub use spec::{load_spec_file, CampaignSpec, JobSpec, TopologySpec};
+pub use store::{ResultStore, StoreRecord};

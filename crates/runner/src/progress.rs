@@ -1,0 +1,70 @@
+//! Campaign progress reporting.
+//!
+//! All output goes to **stderr** so stdout stays clean for piped results.
+//! The reporter is driven from the executor's single consumer thread, so it
+//! needs no synchronisation.
+
+use std::io::Write;
+use std::time::Instant;
+
+/// Prints per-job progress lines and a final summary.
+#[derive(Debug)]
+pub struct ProgressReporter {
+    total: usize,
+    skipped: usize,
+    done: usize,
+    failed: usize,
+    started: Instant,
+    enabled: bool,
+}
+
+impl ProgressReporter {
+    /// Creates a reporter for a campaign of `total` jobs, `skipped` of which
+    /// were already complete in the store. When `enabled` is false the
+    /// reporter stays silent.
+    pub fn new(total: usize, skipped: usize, enabled: bool) -> Self {
+        let reporter = ProgressReporter {
+            total,
+            skipped,
+            done: 0,
+            failed: 0,
+            started: Instant::now(),
+            enabled,
+        };
+        if enabled && skipped > 0 {
+            eprintln!("[{skipped}/{total}] already complete in the store, skipping");
+        }
+        reporter
+    }
+
+    /// Records one finished job.
+    pub fn job_finished(&mut self, label: &str, ok: bool) {
+        self.done += 1;
+        if !ok {
+            self.failed += 1;
+        }
+        if self.enabled {
+            let position = self.skipped + self.done;
+            let status = if ok { "done" } else { "FAILED" };
+            eprintln!("[{position}/{}] {status}  {label}", self.total);
+            let _ = std::io::stderr().flush();
+        }
+    }
+
+    /// Prints the campaign summary and returns (executed, failed).
+    pub fn finish(self) -> (usize, usize) {
+        if self.enabled {
+            let secs = self.started.elapsed().as_secs_f64();
+            let rate = if secs > 0.0 {
+                self.done as f64 / secs
+            } else {
+                0.0
+            };
+            eprintln!(
+                "campaign: {} executed ({} failed), {} skipped, {:.1}s ({rate:.2} jobs/s)",
+                self.done, self.failed, self.skipped, secs
+            );
+        }
+        (self.done, self.failed)
+    }
+}

@@ -1,0 +1,384 @@
+//! Declarative campaign specifications.
+//!
+//! A [`CampaignSpec`] names every dimension of an experiment grid —
+//! topologies, mechanisms, traffic patterns, fault scenarios, offered loads
+//! and seeds — and [`CampaignSpec::expand`] turns the cross-product into a
+//! flat, deterministically ordered list of [`JobSpec`]s. Job semantics
+//! (what a mechanism name means, how a scenario string is parsed) belong to
+//! the caller; the runner only guarantees a stable grid and stable
+//! fingerprints.
+
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// One topology of a campaign: HyperX sides plus an optional concentration
+/// (servers per switch; callers default it to the first side).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TopologySpec {
+    /// HyperX sides, e.g. `[16, 16]` or `[8, 8, 8]`.
+    pub sides: Vec<usize>,
+    /// Servers per switch (`None` = caller's default).
+    pub concentration: Option<usize>,
+}
+
+impl TopologySpec {
+    /// A short label like `8x8x8`.
+    pub fn label(&self) -> String {
+        self.sides
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join("x")
+    }
+}
+
+/// A declarative experiment matrix.
+///
+/// Missing dimensions default to a single neutral entry, so analysis-style
+/// campaigns (e.g. diameter-under-faults, which has no traffic or load) can
+/// omit what they do not use.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CampaignSpec {
+    /// Campaign name (used in job fingerprints and reports).
+    pub name: String,
+    /// Job kind understood by the executing bridge: `"rate"` (default) for
+    /// open-loop simulation points; other kinds (e.g. `"diameter"`) are
+    /// defined by their callers.
+    pub kind: Option<String>,
+    /// The topologies of the grid (at least one).
+    pub topologies: Vec<TopologySpec>,
+    /// Routing mechanism names (e.g. `polsp`, `omnisp`).
+    pub mechanisms: Option<Vec<String>>,
+    /// Traffic pattern names (e.g. `uniform`, `dcr`).
+    pub traffics: Option<Vec<String>>,
+    /// Fault scenario strings (e.g. `none`, `random:30:5`, `cross:5`).
+    pub scenarios: Option<Vec<String>>,
+    /// Offered loads in phits/cycle/server.
+    pub loads: Option<Vec<f64>>,
+    /// Random seeds (default `[1]`).
+    pub seeds: Option<Vec<u64>>,
+    /// Virtual channels per port (`None` = mechanism default).
+    pub vcs: Option<usize>,
+    /// Warmup cycles override.
+    pub warmup: Option<u64>,
+    /// Measurement cycles override.
+    pub measure: Option<u64>,
+}
+
+/// One fully instantiated cell of the campaign grid. Serialized verbatim
+/// into the result store; its canonical JSON is what gets fingerprinted.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Owning campaign name.
+    pub campaign: String,
+    /// Job kind (see [`CampaignSpec::kind`]).
+    pub kind: String,
+    /// HyperX sides.
+    pub sides: Vec<usize>,
+    /// Servers per switch.
+    pub concentration: Option<usize>,
+    /// Routing mechanism name.
+    pub mechanism: Option<String>,
+    /// Traffic pattern name.
+    pub traffic: Option<String>,
+    /// Fault scenario string.
+    pub scenario: Option<String>,
+    /// Offered load.
+    pub load: Option<f64>,
+    /// Random seed.
+    pub seed: u64,
+    /// VC override.
+    pub vcs: Option<usize>,
+    /// Warmup cycles override.
+    pub warmup: Option<u64>,
+    /// Measurement cycles override.
+    pub measure: Option<u64>,
+}
+
+impl JobSpec {
+    /// A one-line human label for progress output.
+    pub fn label(&self) -> String {
+        let mut parts = vec![self
+            .sides
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join("x")];
+        if let Some(m) = &self.mechanism {
+            parts.push(m.clone());
+        }
+        if let Some(t) = &self.traffic {
+            parts.push(t.clone());
+        }
+        if let Some(s) = &self.scenario {
+            parts.push(s.clone());
+        }
+        if let Some(l) = self.load {
+            parts.push(format!("load={l}"));
+        }
+        parts.push(format!("seed={}", self.seed));
+        parts.join(" / ")
+    }
+}
+
+impl CampaignSpec {
+    /// The job kind, defaulting to `"rate"`.
+    pub fn kind(&self) -> &str {
+        self.kind.as_deref().unwrap_or("rate")
+    }
+
+    /// Checks the spec is a well-formed grid.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.name.is_empty() {
+            return Err("campaign name must not be empty".to_string());
+        }
+        if self.topologies.is_empty() {
+            return Err("campaign needs at least one topology".to_string());
+        }
+        for t in &self.topologies {
+            if t.sides.is_empty() || t.sides.iter().any(|&s| s < 2) {
+                return Err(format!(
+                    "topology {:?}: sides must be non-empty and >= 2",
+                    t.sides
+                ));
+            }
+        }
+        for (dim, empty) in [
+            (
+                "mechanisms",
+                self.mechanisms.as_ref().is_some_and(Vec::is_empty),
+            ),
+            (
+                "traffics",
+                self.traffics.as_ref().is_some_and(Vec::is_empty),
+            ),
+            (
+                "scenarios",
+                self.scenarios.as_ref().is_some_and(Vec::is_empty),
+            ),
+        ] {
+            if empty {
+                return Err(format!("campaign dimension `{dim}` is present but empty"));
+            }
+        }
+        if self.loads.as_ref().is_some_and(Vec::is_empty) {
+            return Err("campaign dimension `loads` is present but empty".to_string());
+        }
+        if let Some(loads) = &self.loads {
+            if loads.iter().any(|&l| !(0.0..=1.0).contains(&l) || l == 0.0) {
+                return Err("offered loads must lie in (0, 1]".to_string());
+            }
+        }
+        if self.seeds.as_ref().is_some_and(Vec::is_empty) {
+            return Err("campaign dimension `seeds` is present but empty".to_string());
+        }
+        Ok(())
+    }
+
+    /// Expands the cross-product into the flat job list, in a deterministic
+    /// order: topology, mechanism, traffic, scenario, load, seed (innermost).
+    pub fn expand(&self) -> Result<Vec<JobSpec>, String> {
+        self.validate()?;
+        let none_str = [None];
+        let opt_strings = |dim: &Option<Vec<String>>| -> Vec<Option<String>> {
+            match dim {
+                Some(values) => values.iter().cloned().map(Some).collect(),
+                None => none_str.to_vec(),
+            }
+        };
+        let mechanisms = opt_strings(&self.mechanisms);
+        let traffics = opt_strings(&self.traffics);
+        let scenarios = opt_strings(&self.scenarios);
+        let loads: Vec<Option<f64>> = match &self.loads {
+            Some(values) => values.iter().copied().map(Some).collect(),
+            None => vec![None],
+        };
+        let seeds = self.seeds.clone().unwrap_or_else(|| vec![1]);
+
+        let mut jobs = Vec::new();
+        for topology in &self.topologies {
+            for mechanism in &mechanisms {
+                for traffic in &traffics {
+                    for scenario in &scenarios {
+                        for load in &loads {
+                            for &seed in &seeds {
+                                jobs.push(JobSpec {
+                                    campaign: self.name.clone(),
+                                    kind: self.kind().to_string(),
+                                    sides: topology.sides.clone(),
+                                    concentration: topology.concentration,
+                                    mechanism: mechanism.clone(),
+                                    traffic: traffic.clone(),
+                                    scenario: scenario.clone(),
+                                    load: *load,
+                                    seed,
+                                    vcs: self.vcs,
+                                    warmup: self.warmup,
+                                    measure: self.measure,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(jobs)
+    }
+}
+
+/// Parses a campaign spec from TOML text.
+pub fn spec_from_toml(text: &str) -> Result<CampaignSpec, String> {
+    let value = crate::toml::parse(text).map_err(|e| format!("TOML parse error: {e}"))?;
+    serde::Deserialize::deserialize(&value).map_err(|e| format!("invalid campaign spec: {e}"))
+}
+
+/// Parses a campaign spec from JSON text.
+pub fn spec_from_json(text: &str) -> Result<CampaignSpec, String> {
+    serde_json::from_str(text).map_err(|e| format!("invalid campaign spec: {e}"))
+}
+
+/// Loads a campaign spec from a `.toml` or `.json` file (by extension;
+/// unknown extensions try TOML first, then JSON).
+pub fn load_spec_file(path: &Path) -> Result<CampaignSpec, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    match path.extension().and_then(|e| e.to_str()) {
+        Some("json") => spec_from_json(&text),
+        Some("toml") => spec_from_toml(&text),
+        _ => spec_from_toml(&text).or_else(|toml_err| {
+            spec_from_json(&text).map_err(|json_err| {
+                format!("not parseable as TOML ({toml_err}) nor JSON ({json_err})")
+            })
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_spec() -> CampaignSpec {
+        CampaignSpec {
+            name: "quick".to_string(),
+            kind: None,
+            topologies: vec![TopologySpec {
+                sides: vec![4, 4],
+                concentration: None,
+            }],
+            mechanisms: Some(vec!["polsp".into(), "omnisp".into()]),
+            traffics: Some(vec!["uniform".into()]),
+            scenarios: Some(vec!["none".into(), "random:5:1".into()]),
+            loads: Some(vec![0.2, 0.4]),
+            seeds: Some(vec![1, 2, 3]),
+            vcs: None,
+            warmup: Some(100),
+            measure: Some(200),
+        }
+    }
+
+    #[test]
+    fn expansion_is_a_full_cross_product_in_stable_order() {
+        let jobs = quick_spec().expand().unwrap();
+        assert_eq!(jobs.len(), 2 * 2 * 2 * 3);
+        // Innermost dimension is the seed.
+        assert_eq!(jobs[0].seed, 1);
+        assert_eq!(jobs[1].seed, 2);
+        assert_eq!(jobs[2].seed, 3);
+        assert_eq!(jobs[3].load, Some(0.4));
+        // Outermost (after topology) is the mechanism.
+        assert!(jobs[..12]
+            .iter()
+            .all(|j| j.mechanism.as_deref() == Some("polsp")));
+        assert!(jobs[12..]
+            .iter()
+            .all(|j| j.mechanism.as_deref() == Some("omnisp")));
+        // Expansion is deterministic.
+        assert_eq!(jobs, quick_spec().expand().unwrap());
+    }
+
+    #[test]
+    fn missing_dimensions_default_to_single_neutral_entries() {
+        let spec = CampaignSpec {
+            name: "analysis".to_string(),
+            kind: Some("diameter".to_string()),
+            topologies: vec![TopologySpec {
+                sides: vec![4, 4, 4],
+                concentration: None,
+            }],
+            mechanisms: None,
+            traffics: None,
+            scenarios: Some(vec!["random:100:7".into()]),
+            loads: None,
+            seeds: Some(vec![7, 8]),
+            vcs: None,
+            warmup: None,
+            measure: None,
+        };
+        let jobs = spec.expand().unwrap();
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].kind, "diameter");
+        assert_eq!(jobs[0].mechanism, None);
+        assert_eq!(jobs[0].load, None);
+    }
+
+    #[test]
+    fn validation_rejects_bad_grids() {
+        let mut s = quick_spec();
+        s.topologies.clear();
+        assert!(s.expand().is_err());
+
+        let mut s = quick_spec();
+        s.loads = Some(vec![1.5]);
+        assert!(s.expand().is_err());
+
+        let mut s = quick_spec();
+        s.mechanisms = Some(vec![]);
+        assert!(s.expand().is_err());
+
+        let mut s = quick_spec();
+        s.topologies[0].sides = vec![1, 4];
+        assert!(s.expand().is_err());
+    }
+
+    #[test]
+    fn toml_and_json_specs_agree() {
+        let toml_text = r#"
+            name = "demo"
+            mechanisms = ["polsp"]
+            traffics = ["uniform"]
+            scenarios = ["none"]
+            loads = [0.3]
+            seeds = [1, 2]
+            warmup = 50
+            measure = 100
+
+            [[topologies]]
+            sides = [4, 4]
+            concentration = 4
+        "#;
+        let json_text = r#"{
+            "name": "demo",
+            "topologies": [{"sides": [4, 4], "concentration": 4}],
+            "mechanisms": ["polsp"],
+            "traffics": ["uniform"],
+            "scenarios": ["none"],
+            "loads": [0.3],
+            "seeds": [1, 2],
+            "warmup": 50,
+            "measure": 100
+        }"#;
+        let from_toml = spec_from_toml(toml_text).unwrap();
+        let from_json = spec_from_json(json_text).unwrap();
+        assert_eq!(from_toml, from_json);
+        assert_eq!(from_toml.expand().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn job_labels_are_informative() {
+        let jobs = quick_spec().expand().unwrap();
+        let label = jobs[0].label();
+        assert!(label.contains("4x4"));
+        assert!(label.contains("polsp"));
+        assert!(label.contains("seed=1"));
+    }
+}

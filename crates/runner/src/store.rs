@@ -1,0 +1,329 @@
+//! The resumable JSONL result store.
+//!
+//! Every completed job becomes one JSON line:
+//!
+//! ```text
+//! {"fp":"<16-hex fingerprint>","status":"ok","job":{...},"result":{...}}
+//! {"fp":"<16-hex fingerprint>","status":"failed","job":{...},"error":"..."}
+//! ```
+//!
+//! Records are **appended and flushed as jobs finish**, so an interrupted
+//! campaign keeps everything it has already paid for. On reopen the store
+//! indexes the `ok` fingerprints; the campaign driver skips those jobs and
+//! re-runs only the missing (or previously failed) ones. A truncated final
+//! line — the signature of a hard kill mid-write — is tolerated and simply
+//! re-run.
+//!
+//! After a campaign completes, [`ResultStore::finalize`] rewrites the file
+//! in canonical grid order (atomically, via a temp file + rename). Since
+//! record contents are deterministic, two runs of the same spec produce
+//! **byte-identical** stores, whatever the thread scheduling was.
+
+use crate::fingerprint::job_fingerprint;
+use crate::spec::JobSpec;
+use serde::{Deserialize, Serialize, Value};
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// One stored record.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StoreRecord {
+    /// The job fingerprint (see [`crate::fingerprint`]).
+    pub fp: String,
+    /// `"ok"` or `"failed"`.
+    pub status: String,
+    /// The job that produced this record.
+    pub job: JobSpec,
+    /// The result payload (present when `status == "ok"`).
+    pub result: Option<Value>,
+    /// The failure message (present when `status == "failed"`).
+    pub error: Option<String>,
+}
+
+/// An append-only, fingerprint-indexed JSONL result store.
+#[derive(Debug)]
+pub struct ResultStore {
+    path: PathBuf,
+    writer: BufWriter<File>,
+    /// fingerprint → record, last-writer-wins (an `ok` overwrites a stale
+    /// `failed` from an earlier run).
+    records: HashMap<String, StoreRecord>,
+    /// Lines that could not be parsed when reopening (corruption tally).
+    pub corrupt_lines: usize,
+}
+
+impl ResultStore {
+    /// Opens (or creates) the store at `path`, indexing existing records.
+    pub fn open(path: &Path) -> std::io::Result<Self> {
+        let mut records = HashMap::new();
+        let mut corrupt_lines = 0;
+        match std::fs::read_to_string(path) {
+            Ok(existing) => {
+                for line in existing.lines() {
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    match serde_json::from_str::<StoreRecord>(line) {
+                        Ok(record) => {
+                            // `ok` beats `failed`; otherwise last wins.
+                            let keep_old =
+                                records.get(&record.fp).is_some_and(|old: &StoreRecord| {
+                                    old.status == "ok" && record.status != "ok"
+                                });
+                            if !keep_old {
+                                records.insert(record.fp.clone(), record);
+                            }
+                        }
+                        Err(_) => corrupt_lines += 1,
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(ResultStore {
+            path: path.to_path_buf(),
+            writer: BufWriter::new(file),
+            records,
+            corrupt_lines,
+        })
+    }
+
+    /// Whether a job with this fingerprint already completed successfully.
+    pub fn is_complete(&self, fingerprint: &str) -> bool {
+        self.records
+            .get(fingerprint)
+            .is_some_and(|r| r.status == "ok")
+    }
+
+    /// Number of successfully completed records.
+    pub fn completed_count(&self) -> usize {
+        self.records.values().filter(|r| r.status == "ok").count()
+    }
+
+    /// The record for a fingerprint, if any.
+    pub fn record(&self, fingerprint: &str) -> Option<&StoreRecord> {
+        self.records.get(fingerprint)
+    }
+
+    /// All indexed records (unordered).
+    pub fn records(&self) -> impl Iterator<Item = &StoreRecord> {
+        self.records.values()
+    }
+
+    /// The store's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn append(&mut self, record: StoreRecord) -> std::io::Result<()> {
+        let line = serde_json::to_string(&record).expect("record serializes");
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        // Flush per record: an interrupted campaign must keep what finished.
+        self.writer.flush()?;
+        self.records.insert(record.fp.clone(), record);
+        Ok(())
+    }
+
+    /// Streams one successful result to disk.
+    pub fn append_ok(&mut self, job: &JobSpec, result: Value) -> std::io::Result<()> {
+        self.append(StoreRecord {
+            fp: job_fingerprint(job),
+            status: "ok".to_string(),
+            job: job.clone(),
+            result: Some(result),
+            error: None,
+        })
+    }
+
+    /// Streams one failure to disk. Failed jobs are *not* treated as
+    /// complete: a later run retries them.
+    pub fn append_failed(&mut self, job: &JobSpec, error: String) -> std::io::Result<()> {
+        self.append(StoreRecord {
+            fp: job_fingerprint(job),
+            status: "failed".to_string(),
+            job: job.clone(),
+            result: None,
+            error: Some(error),
+        })
+    }
+
+    /// Rewrites the store in canonical order — `jobs` order for `ok`
+    /// records, then still-failing jobs in the same order — dropping
+    /// duplicates and corruption. Atomic (temp file + rename). Makes
+    /// completed campaign stores byte-identical across runs.
+    pub fn finalize(&mut self, jobs: &[JobSpec]) -> std::io::Result<()> {
+        let mut ordered: Vec<&StoreRecord> = Vec::new();
+        let mut listed = std::collections::HashSet::new();
+        for status in ["ok", "failed"] {
+            for job in jobs {
+                let fp = job_fingerprint(job);
+                if let Some(record) = self.records.get(&fp) {
+                    if record.status == status && listed.insert(fp) {
+                        ordered.push(record);
+                    }
+                }
+            }
+        }
+        // Records for jobs outside the current grid (e.g. the spec shrank)
+        // are preserved after the grid's own, in fingerprint order.
+        let mut extras: Vec<&StoreRecord> = self
+            .records
+            .values()
+            .filter(|r| !listed.contains(&r.fp))
+            .collect();
+        extras.sort_by(|a, b| a.fp.cmp(&b.fp));
+        ordered.extend(extras);
+
+        let mut text = String::new();
+        for record in &ordered {
+            text.push_str(&serde_json::to_string(record).expect("record serializes"));
+            text.push('\n');
+        }
+        let tmp = self.path.with_extension("jsonl.tmp");
+        std::fs::write(&tmp, text)?;
+        std::fs::rename(&tmp, &self.path)?;
+        // Reopen the append handle on the renamed file.
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        self.writer = BufWriter::new(file);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(seed: u64) -> JobSpec {
+        JobSpec {
+            campaign: "store-test".into(),
+            kind: "rate".into(),
+            sides: vec![4, 4],
+            concentration: None,
+            mechanism: Some("polsp".into()),
+            traffic: Some("uniform".into()),
+            scenario: Some("none".into()),
+            load: Some(0.5),
+            seed,
+            vcs: None,
+            warmup: None,
+            measure: None,
+        }
+    }
+
+    fn temp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("surepath-runner-store-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}.jsonl", std::process::id()))
+    }
+
+    #[test]
+    fn append_then_reopen_indexes_completions() {
+        let path = temp_path("reopen");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut store = ResultStore::open(&path).unwrap();
+            store
+                .append_ok(&job(1), serde_json::to_value(&1u64).unwrap())
+                .unwrap();
+            store.append_failed(&job(2), "sim stalled".into()).unwrap();
+        }
+        let store = ResultStore::open(&path).unwrap();
+        assert!(store.is_complete(&job_fingerprint(&job(1))));
+        assert!(
+            !store.is_complete(&job_fingerprint(&job(2))),
+            "failures are retried"
+        );
+        assert!(!store.is_complete(&job_fingerprint(&job(3))));
+        assert_eq!(store.completed_count(), 1);
+        assert_eq!(store.corrupt_lines, 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncated_trailing_line_is_tolerated() {
+        let path = temp_path("truncated");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut store = ResultStore::open(&path).unwrap();
+            store.append_ok(&job(1), Value::Null).unwrap();
+        }
+        // Simulate a hard kill mid-write: a partial record at the end.
+        {
+            use std::io::Write as _;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"{\"fp\":\"deadbeef\",\"status\":\"o").unwrap();
+        }
+        let store = ResultStore::open(&path).unwrap();
+        assert_eq!(store.completed_count(), 1);
+        assert_eq!(store.corrupt_lines, 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn ok_records_shadow_stale_failures() {
+        let path = temp_path("shadow");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut store = ResultStore::open(&path).unwrap();
+            store
+                .append_failed(&job(5), "first try died".into())
+                .unwrap();
+            store.append_ok(&job(5), Value::Bool(true)).unwrap();
+        }
+        let store = ResultStore::open(&path).unwrap();
+        let fp = job_fingerprint(&job(5));
+        assert!(store.is_complete(&fp));
+        assert_eq!(store.record(&fp).unwrap().status, "ok");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn finalize_produces_canonical_byte_identical_files() {
+        let jobs: Vec<JobSpec> = (0..6).map(job).collect();
+        let render = |order: &[usize]| -> String {
+            let path = temp_path(&format!("canon-{}", order[0]));
+            let _ = std::fs::remove_file(&path);
+            let mut store = ResultStore::open(&path).unwrap();
+            for &i in order {
+                store
+                    .append_ok(&jobs[i], serde_json::to_value(&(i as u64 * 10)).unwrap())
+                    .unwrap();
+            }
+            store.finalize(&jobs).unwrap();
+            let text = std::fs::read_to_string(&path).unwrap();
+            let _ = std::fs::remove_file(&path);
+            text
+        };
+        // Two different completion orders must serialize identically.
+        let a = render(&[0, 1, 2, 3, 4, 5]);
+        let b = render(&[5, 3, 1, 4, 2, 0]);
+        assert_eq!(a, b);
+        assert_eq!(a.lines().count(), 6);
+    }
+
+    #[test]
+    fn finalize_keeps_out_of_grid_records() {
+        let path = temp_path("extras");
+        let _ = std::fs::remove_file(&path);
+        let mut store = ResultStore::open(&path).unwrap();
+        store.append_ok(&job(1), Value::Null).unwrap();
+        store.append_ok(&job(99), Value::Null).unwrap();
+        store.finalize(&[job(1)]).unwrap();
+        let reopened = ResultStore::open(&path).unwrap();
+        assert_eq!(reopened.completed_count(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -77,10 +77,22 @@ impl SimConfig {
 
     /// Validates internal consistency; called by the simulator constructor.
     pub fn validate(&self) {
-        assert!(self.packet_length > 0, "packets must have at least one phit");
-        assert!(self.input_buffer_packets > 0, "input buffers cannot be empty");
-        assert!(self.output_buffer_packets > 0, "output buffers cannot be empty");
-        assert!(self.source_queue_packets > 0, "source queues cannot be empty");
+        assert!(
+            self.packet_length > 0,
+            "packets must have at least one phit"
+        );
+        assert!(
+            self.input_buffer_packets > 0,
+            "input buffers cannot be empty"
+        );
+        assert!(
+            self.output_buffer_packets > 0,
+            "output buffers cannot be empty"
+        );
+        assert!(
+            self.source_queue_packets > 0,
+            "source queues cannot be empty"
+        );
         assert!(self.crossbar_speedup > 0, "the crossbar must move packets");
         assert!(self.servers_per_switch > 0, "switches need servers");
         assert!(self.num_vcs > 0, "at least one VC is required");
@@ -130,6 +142,7 @@ mod tests {
 
     #[test]
     #[should_panic]
+    #[allow(clippy::field_reassign_with_default)]
     fn zero_vcs_rejected() {
         let mut c = SimConfig::default();
         c.num_vcs = 0;
@@ -138,6 +151,7 @@ mod tests {
 
     #[test]
     #[should_panic]
+    #[allow(clippy::field_reassign_with_default)]
     fn zero_packet_length_rejected() {
         let mut c = SimConfig::default();
         c.packet_length = 0;

@@ -239,7 +239,7 @@ impl Simulator {
         let mut completion = 0u64;
         while self.total_delivered < expected && !self.stalled {
             self.step();
-            if self.cycle % sample_window == 0 {
+            if self.cycle.is_multiple_of(sample_window) {
                 samples.push(ThroughputSample {
                     cycle: self.cycle,
                     accepted_load: self.window_delivered_phits as f64
@@ -255,7 +255,7 @@ impl Simulator {
             completion = self.cycle;
         }
         // Final partial window, if any.
-        if self.cycle % sample_window != 0 {
+        if !self.cycle.is_multiple_of(sample_window) {
             let partial = self.cycle % sample_window;
             samples.push(ThroughputSample {
                 cycle: self.cycle,
@@ -522,7 +522,7 @@ impl Simulator {
                         }
                         let free = self.switches[next_switch].inputs[next_input_port][vc]
                             .free_slots(self.cfg.input_buffer_packets);
-                        if free > 0 && chosen.map_or(true, |(best_free, _)| free > best_free) {
+                        if free > 0 && chosen.is_none_or(|(best_free, _)| free > best_free) {
                             chosen = Some((free, vc));
                         }
                     }
@@ -531,7 +531,7 @@ impl Simulator {
                     };
                     let score = self.request_q(switch, cand.port, vc) * self.cfg.packet_length
                         + cand.penalty as u64;
-                    if best.as_ref().map_or(true, |b| score < b.score) {
+                    if best.as_ref().is_none_or(|b| score < b.score) {
                         best = Some(Request {
                             in_port,
                             in_vc,
@@ -565,8 +565,11 @@ impl Simulator {
         let speedup = self.cfg.crossbar_speedup;
         let mut out_grants = vec![0usize; num_ports];
         let mut in_grants = vec![0usize; num_ports];
-        let crossbar_time =
-            self.cfg.crossbar_latency + self.cfg.packet_length.div_ceil(self.cfg.crossbar_speedup as u64);
+        let crossbar_time = self.cfg.crossbar_latency
+            + self
+                .cfg
+                .packet_length
+                .div_ceil(self.cfg.crossbar_speedup as u64);
         for (_, _, idx) in keyed {
             let req = requests[idx].clone();
             if out_grants[req.out_port] >= speedup || in_grants[req.in_port] >= speedup {
@@ -735,7 +738,10 @@ mod tests {
         // Distance is 2 hops; minimum latency = 3 links × (16+1) + 2 crossbars ≈ 70.
         let lat = sim.counters.latency_sum;
         assert!(lat >= 3 * 17, "latency {lat} below the serialization floor");
-        assert!(lat <= 150, "latency {lat} absurdly high for an empty network");
+        assert!(
+            lat <= 150,
+            "latency {lat} absurdly high for an empty network"
+        );
     }
 
     #[test]
@@ -778,7 +784,10 @@ mod tests {
         let mut sim = build_sim(MechanismSpec::OmniSP, cfg);
         let m = sim.run_rate(1.0);
         assert!(m.accepted_load <= 1.0 + 1e-9);
-        assert!(m.accepted_load > 0.3, "a healthy HyperX should accept substantial uniform load");
+        assert!(
+            m.accepted_load > 0.3,
+            "a healthy HyperX should accept substantial uniform load"
+        );
         assert!(!m.stalled);
     }
 
@@ -798,11 +807,8 @@ mod tests {
         assert_eq!(result.delivered_packets, 5 * 32);
         assert!(result.completion_time > 0);
         assert!(!result.samples.is_empty());
-        let delivered_via_samples: f64 = result
-            .samples
-            .iter()
-            .map(|s| s.accepted_load)
-            .sum::<f64>();
+        let delivered_via_samples: f64 =
+            result.samples.iter().map(|s| s.accepted_load).sum::<f64>();
         assert!(delivered_via_samples > 0.0);
     }
 

@@ -156,6 +156,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::field_reassign_with_default)]
     fn cache_invalidation_clears_state() {
         let mut vc = InputVc::default();
         vc.cached_for = Some(3);

@@ -42,7 +42,7 @@ impl RegularPermutationToNeighbour {
             cs.sides().iter().all(|&s| s == k),
             "RPN requires a regular HyperX"
         );
-        assert!(k >= 2 && k % 2 == 0, "RPN requires an even side");
+        assert!(k >= 2 && k.is_multiple_of(2), "RPN requires an even side");
 
         // Position of each vertex in the Hamiltonian cycle.
         let mut position = [0usize; 8];
@@ -51,6 +51,7 @@ impl RegularPermutationToNeighbour {
         }
 
         let mut switch_map = vec![0usize; cs.num_switches()];
+        #[allow(clippy::needless_range_loop)] // s indexes both coords and map
         for s in 0..cs.num_switches() {
             let c = cs.to_coords(s);
             // Local bits within the embedded hypercube and the block the switch belongs to.
@@ -97,7 +98,11 @@ mod tests {
     fn pattern(side: usize, conc: usize) -> (RegularPermutationToNeighbour, ServerLayout, HyperX) {
         let hx = HyperX::regular(3, side);
         let layout = ServerLayout::new(&hx, conc);
-        (RegularPermutationToNeighbour::new(layout.clone()), layout, hx)
+        (
+            RegularPermutationToNeighbour::new(layout.clone()),
+            layout,
+            hx,
+        )
     }
 
     #[test]
@@ -105,7 +110,11 @@ mod tests {
         for i in 0..8 {
             let a = HAMILTONIAN_CYCLE[i];
             let b = HAMILTONIAN_CYCLE[(i + 1) % 8];
-            assert_eq!((a ^ b).count_ones(), 1, "consecutive vertices must differ in one bit");
+            assert_eq!(
+                (a ^ b).count_ones(),
+                1,
+                "consecutive vertices must differ in one bit"
+            );
         }
         let mut sorted = HAMILTONIAN_CYCLE;
         sorted.sort_unstable();
@@ -118,7 +127,11 @@ mod tests {
         for s in 0..hx.num_switches() {
             let d = p.destination_switch(s);
             assert_ne!(s, d);
-            assert_eq!(hx.coords().hamming_distance(s, d), 1, "destination must be a neighbour");
+            assert_eq!(
+                hx.coords().hamming_distance(s, d),
+                1,
+                "destination must be a neighbour"
+            );
         }
     }
 

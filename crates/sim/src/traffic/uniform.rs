@@ -13,7 +13,10 @@ pub struct UniformTraffic {
 impl UniformTraffic {
     /// Builds uniform traffic over the servers of `layout`.
     pub fn new(layout: &ServerLayout) -> Self {
-        assert!(layout.num_servers() >= 2, "uniform traffic needs at least two servers");
+        assert!(
+            layout.num_servers() >= 2,
+            "uniform traffic needs at least two servers"
+        );
         UniformTraffic {
             num_servers: layout.num_servers(),
         }
@@ -62,13 +65,16 @@ mod tests {
     fn destinations_stay_in_range_and_cover_the_network() {
         let t = UniformTraffic::new(&layout());
         let mut rng = ChaCha8Rng::seed_from_u64(2);
-        let mut seen = vec![false; 32];
+        let mut seen = [false; 32];
         for _ in 0..5_000 {
             let d = t.destination(0, &mut rng);
             assert!(d < 32);
             seen[d] = true;
         }
-        assert!(seen.iter().skip(1).all(|&s| s), "every other server should eventually be hit");
+        assert!(
+            seen.iter().skip(1).all(|&s| s),
+            "every other server should eventually be hit"
+        );
         assert!(!seen[0]);
     }
 

@@ -250,7 +250,11 @@ impl SurvivabilityReport {
         if surviving.is_empty() {
             return 0.0;
         }
-        surviving.iter().filter(|p| p.distance_stretch() > 0).count() as f64 / surviving.len() as f64
+        surviving
+            .iter()
+            .filter(|p| p.distance_stretch() > 0)
+            .count() as f64
+            / surviving.len() as f64
     }
 
     /// Largest distance stretch across surviving pairs.
@@ -324,11 +328,7 @@ pub fn survivability_under_faults<R: Rng>(
 /// HyperX into low and high halves. For a `k`-side dimension with `S` switches
 /// in total this is `S/k · ⌈k/2⌉ · ⌊k/2⌋` in the healthy network; with faults
 /// applied the count reflects only alive links.
-pub fn dimension_bisection_links(
-    hx: &crate::hamming::HyperX,
-    net: &Network,
-    dim: usize,
-) -> usize {
+pub fn dimension_bisection_links(hx: &crate::hamming::HyperX, net: &Network, dim: usize) -> usize {
     assert!(dim < hx.dims(), "dimension out of range");
     let half = hx.side(dim) / 2;
     let mut count = 0usize;
@@ -501,11 +501,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let report = survivability_under_faults(&healthy, &faulty, None, &mut rng);
         assert!(report.survival_ratio() < 1.0);
-        let dead = report
-            .pairs
-            .iter()
-            .filter(|p| !p.survives())
-            .count();
+        let dead = report.pairs.iter().filter(|p| !p.survives()).count();
         // 3 ordered pairs from 0 plus 3 into 0.
         assert_eq!(dead, 6);
     }

@@ -176,6 +176,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn row_matches_get() {
         let hx = HyperX::regular(2, 3);
         let d = DistanceMatrix::compute(hx.network());

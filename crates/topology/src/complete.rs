@@ -67,7 +67,10 @@ mod tests {
             let neighbors: Vec<usize> = net.neighbors(s).map(|(_, n)| n.switch).collect();
             let mut sorted = neighbors.clone();
             sorted.sort_unstable();
-            assert_eq!(neighbors, sorted, "ports of switch {s} must be neighbor-sorted");
+            assert_eq!(
+                neighbors, sorted,
+                "ports of switch {s} must be neighbor-sorted"
+            );
         }
     }
 

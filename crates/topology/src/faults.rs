@@ -364,7 +364,11 @@ mod tests {
         let mut net = hx.network().clone();
         FaultSet::from_links(links).apply(&mut net);
         let c = hx.switch_id(&center);
-        assert_eq!(net.degree(c), 10, "center must keep margin live links per dimension");
+        assert_eq!(
+            net.degree(c),
+            10,
+            "center must keep margin live links per dimension"
+        );
         assert!(net.is_connected());
     }
 
@@ -471,7 +475,9 @@ mod tests {
         let f = FaultSet::random_switch_failures(hx.network(), 3, &mut rng());
         let mut net = hx.network().clone();
         f.apply(&mut net);
-        let isolated = (0..net.num_switches()).filter(|&s| net.degree(s) == 0).count();
+        let isolated = (0..net.num_switches())
+            .filter(|&s| net.degree(s) == 0)
+            .count();
         assert_eq!(isolated, 3);
     }
 

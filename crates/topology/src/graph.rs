@@ -159,10 +159,7 @@ impl Network {
 
     /// Whether the link between `x` and `y` exists in the healthy network.
     pub fn had_link(&self, x: SwitchId, y: SwitchId) -> bool {
-        self.healthy[x]
-            .iter()
-            .flatten()
-            .any(|n| n.switch == y)
+        self.healthy[x].iter().flatten().any(|n| n.switch == y)
     }
 
     /// Number of currently alive links.
@@ -214,7 +211,9 @@ impl Network {
         let Some(px) = self.port_towards(x, y) else {
             return false;
         };
-        let py = self.ports[x][px].expect("port_towards returned alive port").reverse_port;
+        let py = self.ports[x][px]
+            .expect("port_towards returned alive port")
+            .reverse_port;
         debug_assert_eq!(self.ports[y][py].map(|n| n.switch), Some(x));
         self.ports[x][px] = None;
         self.ports[y][py] = None;
@@ -337,7 +336,10 @@ mod tests {
         assert_eq!(net.num_faults(), 1);
         assert!(!net.has_link(0, 1));
         assert!(net.had_link(0, 1));
-        assert!(net.is_connected(), "triangle minus one edge is still connected");
+        assert!(
+            net.is_connected(),
+            "triangle minus one edge is still connected"
+        );
         assert!(net.restore_link(0, 1));
         assert!(!net.restore_link(0, 1));
         assert_eq!(net.num_links(), 3);

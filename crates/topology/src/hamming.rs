@@ -55,6 +55,7 @@ impl HyperX {
         let radix = acc;
 
         let mut ports: Vec<Vec<Option<Neighbor>>> = vec![vec![None; radix]; n_switches];
+        #[allow(clippy::needless_range_loop)] // s/d index parallel structures
         for s in 0..n_switches {
             let c = coords.to_coords(s);
             for d in 0..dims {
@@ -220,6 +221,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn port_for_and_port_meaning_are_inverse() {
         let hx = HyperX::new(&[5, 4, 3]);
         for s in 0..hx.num_switches() {
@@ -257,11 +259,7 @@ mod tests {
         // The direct constructor and the generic Cartesian product must agree
         // on the vertex labelling and the edge set.
         let hx = HyperX::regular(3, 3);
-        let prod = cartesian_power(&[
-            complete_graph(3),
-            complete_graph(3),
-            complete_graph(3),
-        ]);
+        let prod = cartesian_power(&[complete_graph(3), complete_graph(3), complete_graph(3)]);
         assert_eq!(hx.num_switches(), prod.num_switches());
         assert_eq!(hx.network().num_links(), prod.num_links());
         for s in 0..hx.num_switches() {

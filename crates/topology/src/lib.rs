@@ -42,8 +42,8 @@ pub mod rootsel;
 pub mod updown;
 
 pub use analysis::{
-    dimension_bisection_links, edge_disjoint_paths, shortest_path_count, survivability_under_faults,
-    DistanceHistogram, PairSurvivability, SurvivabilityReport,
+    dimension_bisection_links, edge_disjoint_paths, shortest_path_count,
+    survivability_under_faults, DistanceHistogram, PairSurvivability, SurvivabilityReport,
 };
 pub use bfs::{bfs_distances, DistanceMatrix};
 pub use builder::NetworkBuilder;

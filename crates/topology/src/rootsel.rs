@@ -66,7 +66,10 @@ impl RootPolicy {
         match self {
             RootPolicy::First => 0,
             RootPolicy::Fixed(s) => {
-                assert!(*s < n, "fixed root {s} out of range (network has {n} switches)");
+                assert!(
+                    *s < n,
+                    "fixed root {s} out of range (network has {n} switches)"
+                );
                 *s
             }
             RootPolicy::MaxAliveDegree => (0..n)

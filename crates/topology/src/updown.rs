@@ -77,13 +77,12 @@ impl UpDownEscape {
         for s in 0..n {
             classes[s] = (0..net.ports(s))
                 .map(|p| {
-                    net.neighbor(s, p).map(|nb| {
-                        match levels[nb.switch].cmp(&levels[s]) {
+                    net.neighbor(s, p)
+                        .map(|nb| match levels[nb.switch].cmp(&levels[s]) {
                             std::cmp::Ordering::Less => LinkClass::Up,
                             std::cmp::Ordering::Greater => LinkClass::Down,
                             std::cmp::Ordering::Equal => LinkClass::Horizontal,
-                        }
-                    })
+                        })
                 })
                 .collect();
         }
@@ -268,7 +267,10 @@ mod tests {
         let p_black = hx.network().port_towards(s10, s11).unwrap();
         let p_red = hx.network().port_towards(s10, s20).unwrap();
         assert_eq!(esc.link_class(s10, p_black), Some(LinkClass::Down));
-        assert_eq!(esc.link_class(s11, hx.network().port_towards(s11, s10).unwrap()), Some(LinkClass::Up));
+        assert_eq!(
+            esc.link_class(s11, hx.network().port_towards(s11, s10).unwrap()),
+            Some(LinkClass::Up)
+        );
         assert_eq!(esc.link_class(s10, p_red), Some(LinkClass::Horizontal));
     }
 
@@ -336,7 +338,10 @@ mod tests {
                 if cur == dest {
                     assert!(cands.is_empty());
                 } else {
-                    assert!(!cands.is_empty(), "no escape candidate from {cur} to {dest}");
+                    assert!(
+                        !cands.is_empty(),
+                        "no escape candidate from {cur} to {dest}"
+                    );
                     for c in cands {
                         assert!(c.reduction > 0);
                         assert_eq!(

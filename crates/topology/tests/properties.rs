@@ -36,6 +36,7 @@ proptest! {
         let src = (seed as usize) % hx.num_switches();
         let d = DistanceMatrix::compute(hx.network());
         let row = bfs_distances(hx.network(), src);
+        #[allow(clippy::needless_range_loop)] // b indexes row and matrix together
         for b in 0..hx.num_switches() {
             prop_assert_eq!(row[b], d.get(src, b));
         }

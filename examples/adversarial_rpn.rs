@@ -12,8 +12,10 @@ use hyperx_routing::MechanismSpec;
 use surepath_core::{format_rate_table, sweep_mechanisms, Experiment, FaultScenario, TrafficSpec};
 
 fn main() {
-    let template =
-        Experiment::quick_3d(MechanismSpec::OmniSP, TrafficSpec::RegularPermutationToNeighbour);
+    let template = Experiment::quick_3d(
+        MechanismSpec::OmniSP,
+        TrafficSpec::RegularPermutationToNeighbour,
+    );
     println!(
         "Regular Permutation to Neighbour on a {}x{}x{} HyperX",
         template.sides[0], template.sides[1], template.sides[2]

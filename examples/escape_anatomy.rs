@@ -69,7 +69,11 @@ fn main() {
     println!(
         "Applying a Cross fault through the root removes {} links; the network {} connected.",
         faults.len(),
-        if net.is_connected() { "stays" } else { "is NOT" }
+        if net.is_connected() {
+            "stays"
+        } else {
+            "is NOT"
+        }
     );
     println!();
     let esc_faulty = UpDownEscape::new(&net, root);

@@ -27,7 +27,10 @@ fn main() -> std::io::Result<()> {
     );
     let line = throughput_chart("Figure 5 style: 3D HyperX, Uniform traffic", &points);
     std::fs::write("results/plot_fig5_uniform.svg", line.to_svg())?;
-    println!("wrote results/plot_fig5_uniform.svg ({} series)", line.series.len());
+    println!(
+        "wrote results/plot_fig5_uniform.svg ({} series)",
+        line.series.len()
+    );
 
     // A scaled-down Figure 9 (Star panel): OmniSP and PolSP under Star faults,
     // healthy throughput as the reference mark.
@@ -35,8 +38,15 @@ fn main() -> std::io::Result<()> {
         center: vec![2, 2, 2],
         margin: 1,
     });
-    let mut chart = BarChart::new("Figure 9 style: Star faults on the 3D HyperX", "accepted load", 1.0);
-    for traffic in [TrafficSpec::Uniform, TrafficSpec::RegularPermutationToNeighbour] {
+    let mut chart = BarChart::new(
+        "Figure 9 style: Star faults on the 3D HyperX",
+        "accepted load",
+        1.0,
+    );
+    for traffic in [
+        TrafficSpec::Uniform,
+        TrafficSpec::RegularPermutationToNeighbour,
+    ] {
         let mut values = Vec::new();
         let mut references = Vec::new();
         for mechanism in MechanismSpec::surepath_lineup() {

@@ -23,10 +23,16 @@ fn main() {
     // One point: moderate load.
     let metrics = experiment.run_rate(0.5);
     println!("At offered load 0.50:");
-    println!("  accepted load    = {:.3} phits/cycle/server", metrics.accepted_load);
+    println!(
+        "  accepted load    = {:.3} phits/cycle/server",
+        metrics.accepted_load
+    );
     println!("  average latency  = {:.1} cycles", metrics.average_latency);
     println!("  Jain fairness    = {:.4}", metrics.jain_generated);
-    println!("  escape usage     = {:.1}% of packets", 100.0 * metrics.escape_fraction);
+    println!(
+        "  escape usage     = {:.1}% of packets",
+        100.0 * metrics.escape_fraction
+    );
     println!();
 
     // A short load sweep, like one panel of Figure 4.

@@ -27,7 +27,10 @@ fn main() {
 
     // Show which switch each placement actually picks before running it.
     let placements: Vec<(String, RootPlacement)> = vec![
-        ("in-fault centre (paper)".to_string(), RootPlacement::Suggested),
+        (
+            "in-fault centre (paper)".to_string(),
+            RootPlacement::Suggested,
+        ),
         (
             RootPolicy::MaxAliveDegree.name(),
             RootPlacement::Policy(RootPolicy::MaxAliveDegree),
@@ -38,7 +41,9 @@ fn main() {
         ),
     ];
 
-    println!("PolSP on a 4x4x4 HyperX with Star faults (centre keeps 3 links), uniform load {load}");
+    println!(
+        "PolSP on a 4x4x4 HyperX with Star faults (centre keeps 3 links), uniform load {load}"
+    );
     println!(
         "{:>26}  {:>6}  {:>12}  {:>10}  {:>10}",
         "placement", "root", "root degree", "accepted", "latency"

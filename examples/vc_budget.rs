@@ -17,10 +17,16 @@ fn main() {
 
     for (label, scenario) in [
         ("healthy network", FaultScenario::None),
-        ("30 random faults", FaultScenario::Random { count: 30, seed: 7 }),
+        (
+            "30 random faults",
+            FaultScenario::Random { count: 30, seed: 7 },
+        ),
     ] {
         println!("PolSP on a 4x4x4 HyperX, uniform traffic at offered load {load}, {label}");
-        println!("{:>6}  {:>10}  {:>10}  {:>9}", "VCs", "accepted", "latency", "escape%");
+        println!(
+            "{:>6}  {:>10}  {:>10}  {:>9}",
+            "VCs", "accepted", "latency", "escape%"
+        );
         let template = Experiment::quick_3d(MechanismSpec::PolSP, TrafficSpec::Uniform)
             .with_scenario(scenario);
         for point in vc_count_study(&template, &vc_counts, load) {

@@ -52,7 +52,10 @@ fn surepath_survives_faults_that_constrain_dal_routes() {
         .with_scenario(scenario.clone())
         .with_num_vcs(4)
         .run_rate(0.5);
-    assert!(!sure.stalled, "OmniSP must keep working under the Cross faults");
+    assert!(
+        !sure.stalled,
+        "OmniSP must keep working under the Cross faults"
+    );
     assert!(sure.accepted_load > 0.25, "accepted {}", sure.accepted_load);
 
     let dal = quick_2d(MechanismSpec::Dal, TrafficSpec::Uniform)
@@ -84,7 +87,11 @@ fn tree_only_escape_still_delivers_but_does_not_beat_opportunistic() {
         .with_num_vcs(4)
         .run_rate(load);
     assert!(!full.stalled && !tree.stalled);
-    assert!(tree.accepted_load > 0.2, "tree escape accepted {}", tree.accepted_load);
+    assert!(
+        tree.accepted_load > 0.2,
+        "tree escape accepted {}",
+        tree.accepted_load
+    );
     // The shortcuts are the contribution: removing them must not help.
     assert!(
         tree.accepted_load <= full.accepted_load + 0.05,
@@ -100,7 +107,10 @@ fn policy_selected_root_matches_or_beats_the_stressful_star_root() {
     let template = quick_3d(MechanismSpec::PolSP, TrafficSpec::Uniform)
         .with_scenario(star_quick_3d())
         .with_num_vcs(4);
-    let stressed = template.clone().with_root(RootPlacement::Suggested).run_rate(load);
+    let stressed = template
+        .clone()
+        .with_root(RootPlacement::Suggested)
+        .run_rate(load);
     let relocated = template
         .with_root(RootPlacement::Policy(RootPolicy::MaxAliveDegree))
         .run_rate(load);
@@ -123,7 +133,11 @@ fn surepath_is_functional_with_only_two_vcs() {
     assert_eq!(points.len(), 2);
     let two = &points[0];
     let six = &points[1];
-    assert!(two.accepted_load > 0.3, "2-VC accepted {}", two.accepted_load);
+    assert!(
+        two.accepted_load > 0.3,
+        "2-VC accepted {}",
+        two.accepted_load
+    );
     // Adding VCs helps at most moderately: the 2-VC configuration must stay
     // within 40% of the 2n-VC one (the paper claims no degradation; we leave
     // slack for the scaled-down network and short windows).
@@ -159,8 +173,16 @@ fn extension_patterns_run_and_deliver_under_adaptive_routing() {
     // rides non-minimal paths; the point here is stability, not peak load.
     let shift = quick_2d(MechanismSpec::PolSP, TrafficSpec::NeighbourShift).run_rate(0.9);
     assert!(!shift.stalled);
-    assert!(shift.accepted_load > 0.2, "shift accepted {}", shift.accepted_load);
+    assert!(
+        shift.accepted_load > 0.2,
+        "shift accepted {}",
+        shift.accepted_load
+    );
     let transpose = quick_2d(MechanismSpec::PolSP, TrafficSpec::Transpose).run_rate(0.6);
     assert!(!transpose.stalled);
-    assert!(transpose.accepted_load > 0.25, "transpose accepted {}", transpose.accepted_load);
+    assert!(
+        transpose.accepted_load > 0.25,
+        "transpose accepted {}",
+        transpose.accepted_load
+    );
 }

@@ -1,0 +1,153 @@
+//! End-to-end tests of the campaign subsystem against the *real* simulator:
+//! determinism (byte-identical stores), resume after interruption, and
+//! panic isolation — the contract the `surepath campaign` subcommand and
+//! the ported figure binaries rely on.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use surepath::core::{run_campaign, run_job, CampaignSpec, ResultStore, TopologySpec};
+use surepath::runner::{self, job_fingerprint};
+
+fn tiny_spec(name: &str) -> CampaignSpec {
+    CampaignSpec {
+        name: name.to_string(),
+        kind: None,
+        topologies: vec![TopologySpec {
+            sides: vec![4, 4],
+            concentration: None,
+        }],
+        mechanisms: Some(vec!["omnisp".into(), "polsp".into()]),
+        traffics: Some(vec!["uniform".into()]),
+        scenarios: Some(vec!["none".into(), "random:6:5".into()]),
+        loads: Some(vec![0.3]),
+        seeds: Some(vec![1, 2]),
+        vcs: Some(4),
+        warmup: Some(100),
+        measure: Some(250),
+    }
+}
+
+fn temp_store(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("surepath-integration-campaign");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{name}-{}.jsonl", std::process::id()))
+}
+
+#[test]
+fn same_spec_same_seed_gives_byte_identical_stores() {
+    let spec = tiny_spec("bytes");
+    let path_serial = temp_store("bytes-serial");
+    let path_parallel = temp_store("bytes-parallel");
+    let _ = std::fs::remove_file(&path_serial);
+    let _ = std::fs::remove_file(&path_parallel);
+
+    // One worker vs. many: completion order differs wildly, bytes must not.
+    let a = run_campaign(&spec, &path_serial, Some(1), true).unwrap();
+    let b = run_campaign(&spec, &path_parallel, Some(4), true).unwrap();
+    assert_eq!(a.executed, 8);
+    assert_eq!(b.executed, 8);
+    assert_eq!(a.failed + b.failed, 0);
+
+    let serial = std::fs::read(&path_serial).unwrap();
+    let parallel = std::fs::read(&path_parallel).unwrap();
+    assert!(!serial.is_empty());
+    assert_eq!(
+        serial, parallel,
+        "real-simulation campaign stores must be byte-identical across schedules"
+    );
+    let _ = std::fs::remove_file(&path_serial);
+    let _ = std::fs::remove_file(&path_parallel);
+}
+
+#[test]
+fn interrupted_campaign_resumes_running_only_missing_jobs() {
+    let spec = tiny_spec("resume");
+    let jobs = spec.expand().unwrap();
+    let path = temp_store("resume");
+    let _ = std::fs::remove_file(&path);
+
+    // Simulate an interruption: pre-complete 3 of the 8 jobs by running them
+    // through the same bridge the campaign uses.
+    {
+        let mut store = ResultStore::open(&path).unwrap();
+        for job in jobs.iter().take(3) {
+            store.append_ok(job, run_job(job).unwrap()).unwrap();
+        }
+    }
+
+    let executed = AtomicUsize::new(0);
+    let outcome = runner::run_campaign(&spec, &path, Some(4), true, |job| {
+        executed.fetch_add(1, Ordering::Relaxed);
+        run_job(job)
+    })
+    .unwrap();
+    assert_eq!(outcome.total, 8);
+    assert_eq!(outcome.skipped, 3);
+    assert_eq!(outcome.executed, 5);
+    assert_eq!(
+        executed.load(Ordering::Relaxed),
+        5,
+        "only the missing jobs ran"
+    );
+    assert!(outcome.is_complete());
+
+    // And a third run touches nothing at all.
+    let untouched = run_campaign(&spec, &path, Some(4), true).unwrap();
+    assert_eq!(untouched.skipped, 8);
+    assert_eq!(untouched.executed, 0);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn a_panicking_job_is_isolated_and_the_campaign_completes() {
+    let spec = tiny_spec("panic");
+    let jobs = spec.expand().unwrap();
+    let poisoned = job_fingerprint(&jobs[3]);
+    let path = temp_store("panic");
+    let _ = std::fs::remove_file(&path);
+
+    let outcome = runner::run_campaign(&spec, &path, Some(4), true, |job| {
+        if job_fingerprint(job) == poisoned {
+            panic!("injected fault in job 3");
+        }
+        run_job(job)
+    })
+    .unwrap();
+    assert_eq!(outcome.executed, 8, "every job was attempted");
+    assert_eq!(outcome.failed, 1, "only the poisoned job failed");
+
+    // The failure is on disk with its message, and a clean re-run heals it.
+    let store = ResultStore::open(&path).unwrap();
+    let record = store.record(&poisoned).unwrap();
+    assert_eq!(record.status, "failed");
+    assert!(record.error.as_deref().unwrap().contains("injected fault"));
+
+    let healed = run_campaign(&spec, &path, Some(2), true).unwrap();
+    assert_eq!(healed.skipped, 7);
+    assert_eq!(healed.executed, 1);
+    assert!(healed.is_complete());
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn campaign_results_match_direct_experiment_runs() {
+    // The runner must not change the physics: a campaign cell equals the
+    // same experiment run directly through the core API.
+    let spec = tiny_spec("cross-check");
+    let jobs = spec.expand().unwrap();
+    let path = temp_store("cross-check");
+    let _ = std::fs::remove_file(&path);
+    run_campaign(&spec, &path, None, true).unwrap();
+
+    let store = ResultStore::open(&path).unwrap();
+    let job = &jobs[5];
+    let stored = store.record(&job_fingerprint(job)).unwrap();
+    let direct = run_job(job).unwrap();
+    assert_eq!(
+        serde_json::to_string(stored.result.as_ref().unwrap()).unwrap(),
+        serde_json::to_string(&direct).unwrap()
+    );
+    let accepted = direct["accepted_load"].as_f64().unwrap();
+    assert!(accepted > 0.05, "tiny 4x4 run accepted {accepted}");
+    let _ = std::fs::remove_file(&path);
+}

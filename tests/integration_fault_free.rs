@@ -24,14 +24,23 @@ fn quick_3d(mechanism: MechanismSpec, traffic: TrafficSpec) -> Experiment {
 fn every_mechanism_delivers_uniform_traffic_2d() {
     for mechanism in MechanismSpec::fault_free_lineup() {
         let m = quick_2d(mechanism, TrafficSpec::Uniform).run_rate(0.3);
-        assert!(!m.stalled, "{mechanism} stalled under light uniform traffic");
+        assert!(
+            !m.stalled,
+            "{mechanism} stalled under light uniform traffic"
+        );
         assert!(
             m.accepted_load > 0.2,
             "{mechanism} accepted only {:.3} of an offered 0.3",
             m.accepted_load
         );
-        assert!(m.average_latency > 30.0, "{mechanism} latency impossibly low");
-        assert!(m.jain_generated > 0.9, "{mechanism} starves some servers at light load");
+        assert!(
+            m.average_latency > 30.0,
+            "{mechanism} latency impossibly low"
+        );
+        assert!(
+            m.jain_generated > 0.9,
+            "{mechanism} starves some servers at light load"
+        );
     }
 }
 
@@ -110,10 +119,16 @@ fn rpn_separates_omnidimensional_from_polarized_routes() {
     // The paper's headline claim for its new pattern: mechanisms based on
     // Omnidimensional routes are capped near 0.5 while Polarized-route
     // mechanisms exceed them.
-    let omnisp = quick_3d(MechanismSpec::OmniSP, TrafficSpec::RegularPermutationToNeighbour)
-        .run_rate(1.0);
-    let polsp = quick_3d(MechanismSpec::PolSP, TrafficSpec::RegularPermutationToNeighbour)
-        .run_rate(1.0);
+    let omnisp = quick_3d(
+        MechanismSpec::OmniSP,
+        TrafficSpec::RegularPermutationToNeighbour,
+    )
+    .run_rate(1.0);
+    let polsp = quick_3d(
+        MechanismSpec::PolSP,
+        TrafficSpec::RegularPermutationToNeighbour,
+    )
+    .run_rate(1.0);
     assert!(
         omnisp.accepted_load < 0.62,
         "OmniSP accepted {:.3} under RPN, above the row bound",
@@ -131,10 +146,16 @@ fn rpn_separates_omnidimensional_from_polarized_routes() {
 fn minimal_routing_struggles_under_rpn() {
     // Minimal routing only has the single direct link per pair: it saturates
     // early under Regular Permutation to Neighbour.
-    let minimal =
-        quick_3d(MechanismSpec::Minimal, TrafficSpec::RegularPermutationToNeighbour).run_rate(1.0);
-    let polsp =
-        quick_3d(MechanismSpec::PolSP, TrafficSpec::RegularPermutationToNeighbour).run_rate(1.0);
+    let minimal = quick_3d(
+        MechanismSpec::Minimal,
+        TrafficSpec::RegularPermutationToNeighbour,
+    )
+    .run_rate(1.0);
+    let polsp = quick_3d(
+        MechanismSpec::PolSP,
+        TrafficSpec::RegularPermutationToNeighbour,
+    )
+    .run_rate(1.0);
     assert!(
         minimal.accepted_load < polsp.accepted_load,
         "Minimal ({:.3}) should not beat PolSP ({:.3}) under RPN",

@@ -5,7 +5,11 @@
 use hyperx_routing::MechanismSpec;
 use surepath_core::{Experiment, FaultScenario, TrafficSpec};
 
-fn faulty_3d(mechanism: MechanismSpec, traffic: TrafficSpec, scenario: FaultScenario) -> Experiment {
+fn faulty_3d(
+    mechanism: MechanismSpec,
+    traffic: TrafficSpec,
+    scenario: FaultScenario,
+) -> Experiment {
     let mut e = Experiment::quick_3d(mechanism, traffic)
         .with_scenario(scenario)
         .with_num_vcs(if mechanism.is_surepath() { 4 } else { 6 });
@@ -15,7 +19,11 @@ fn faulty_3d(mechanism: MechanismSpec, traffic: TrafficSpec, scenario: FaultScen
     e
 }
 
-fn faulty_2d(mechanism: MechanismSpec, traffic: TrafficSpec, scenario: FaultScenario) -> Experiment {
+fn faulty_2d(
+    mechanism: MechanismSpec,
+    traffic: TrafficSpec,
+    scenario: FaultScenario,
+) -> Experiment {
     let mut e = Experiment::quick_2d(mechanism, traffic)
         .with_scenario(scenario)
         .with_num_vcs(4);
@@ -45,8 +53,12 @@ fn surepath_survives_random_fault_storms() {
 fn surepath_degrades_gracefully_with_fault_count() {
     // Figure 6's shape: throughput decreases slowly as faults accumulate; with
     // a third of the sequence applied the loss stays far from a collapse.
-    let healthy = faulty_3d(MechanismSpec::PolSP, TrafficSpec::Uniform, FaultScenario::None)
-        .run_rate(0.9);
+    let healthy = faulty_3d(
+        MechanismSpec::PolSP,
+        TrafficSpec::Uniform,
+        FaultScenario::None,
+    )
+    .run_rate(0.9);
     let faulty = faulty_3d(
         MechanismSpec::PolSP,
         TrafficSpec::Uniform,
@@ -98,8 +110,12 @@ fn surepath_delivers_every_packet_under_shape_faults() {
 
 #[test]
 fn escape_usage_increases_with_faults() {
-    let healthy = faulty_3d(MechanismSpec::OmniSP, TrafficSpec::Uniform, FaultScenario::None)
-        .run_rate(0.4);
+    let healthy = faulty_3d(
+        MechanismSpec::OmniSP,
+        TrafficSpec::Uniform,
+        FaultScenario::None,
+    )
+    .run_rate(0.4);
     let faulty = faulty_3d(
         MechanismSpec::OmniSP,
         TrafficSpec::Uniform,
@@ -148,7 +164,10 @@ fn dor_loses_packets_after_a_single_fault_but_omnisp_does_not() {
     };
 
     let (gen_sp, del_sp, drained_sp) = run(MechanismSpec::OmniSP);
-    assert!(drained_sp, "OmniSP must deliver everything despite the faulty row");
+    assert!(
+        drained_sp,
+        "OmniSP must deliver everything despite the faulty row"
+    );
     assert_eq!(gen_sp, del_sp);
 
     let (gen_dor, del_dor, drained_dor) = run(MechanismSpec::Dor);
@@ -162,13 +181,23 @@ fn dor_loses_packets_after_a_single_fault_but_omnisp_does_not() {
 fn star_configuration_is_the_most_stressful() {
     // Figure 9: Row and Subcube barely hurt, the Star (which almost isolates
     // the escape root) hurts most.
-    let row = faulty_3d(MechanismSpec::PolSP, TrafficSpec::Uniform, FaultScenario::Shape(
-        hyperx_topology::FaultShape::Row { along_dim: 0, at: vec![0, 2, 2] },
-    ))
+    let row = faulty_3d(
+        MechanismSpec::PolSP,
+        TrafficSpec::Uniform,
+        FaultScenario::Shape(hyperx_topology::FaultShape::Row {
+            along_dim: 0,
+            at: vec![0, 2, 2],
+        }),
+    )
     .run_rate(0.9);
-    let star = faulty_3d(MechanismSpec::PolSP, TrafficSpec::Uniform, FaultScenario::Shape(
-        hyperx_topology::FaultShape::Cross { center: vec![2, 2, 2], margin: 1 },
-    ))
+    let star = faulty_3d(
+        MechanismSpec::PolSP,
+        TrafficSpec::Uniform,
+        FaultScenario::Shape(hyperx_topology::FaultShape::Cross {
+            center: vec![2, 2, 2],
+            margin: 1,
+        }),
+    )
     .run_rate(0.9);
     assert!(!row.stalled && !star.stalled);
     assert!(
@@ -194,7 +223,11 @@ fn batch_completion_works_under_star_faults() {
         );
         let result = e.run_batch(20, 500);
         assert!(!result.stalled, "{mechanism} stalled in batch mode");
-        assert_eq!(result.delivered_packets, 20 * 64 * 4, "{mechanism} lost packets");
+        assert_eq!(
+            result.delivered_packets,
+            20 * 64 * 4,
+            "{mechanism} lost packets"
+        );
         assert!(result.completion_time > 0);
         assert!(!result.samples.is_empty());
     }

@@ -104,7 +104,10 @@ fn surepath_routes_every_pair_under_heavy_faults_where_ladders_fail() {
             }
         }
     }
-    assert!(dor_stuck > 0, "DOR should break for some pairs with 30 faults");
+    assert!(
+        dor_stuck > 0,
+        "DOR should break for some pairs with 30 faults"
+    );
 }
 
 #[test]
@@ -125,7 +128,10 @@ fn surepath_route_lengths_are_reasonable() {
             max_hops = max_hops.max(hops);
         }
     }
-    assert!(max_hops <= 6, "OmniSP used {max_hops} hops for an uncongested walk");
+    assert!(
+        max_hops <= 6,
+        "OmniSP used {max_hops} hops for an uncongested walk"
+    );
 }
 
 #[test]

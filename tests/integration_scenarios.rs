@@ -36,7 +36,10 @@ fn figure1_diameter_stays_low_for_many_random_faults() {
         .filter_map(|s| s.diameter)
         .max()
         .unwrap();
-    assert!(early <= 4, "diameter jumped to {early} with only 10% faults");
+    assert!(
+        early <= 4,
+        "diameter jumped to {early} with only 10% faults"
+    );
     // The network survives at least a third of the links failing.
     let disconnect_at = samples
         .iter()
@@ -59,7 +62,11 @@ fn paper_fault_shapes_leave_the_full_networks_connected() {
     ] {
         let mut net = hx2.network().clone();
         scenario.faults(&hx2).apply(&mut net);
-        assert!(net.is_connected(), "{} disconnects the 2D network", scenario.name());
+        assert!(
+            net.is_connected(),
+            "{} disconnects the 2D network",
+            scenario.name()
+        );
     }
     let hx3 = HyperX::regular(3, 8);
     for scenario in [
@@ -69,7 +76,11 @@ fn paper_fault_shapes_leave_the_full_networks_connected() {
     ] {
         let mut net = hx3.network().clone();
         scenario.faults(&hx3).apply(&mut net);
-        assert!(net.is_connected(), "{} disconnects the 3D network", scenario.name());
+        assert!(
+            net.is_connected(),
+            "{} disconnects the 3D network",
+            scenario.name()
+        );
     }
 }
 
