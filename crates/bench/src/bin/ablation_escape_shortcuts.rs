@@ -6,13 +6,20 @@
 //! removes the shortcuts (OmniSP-tree / PolSP-tree) and measures the drop, on
 //! the healthy network and under the stressful Cross/Star faults, where the
 //! escape subnetwork carries the most forced traffic.
+//!
+//! Ported onto the campaign runner: each case is a small declarative
+//! campaign over the four-mechanism escape lineup, all sharing one
+//! resumable store, rendered from the store.
 
-use hyperx_bench::{experiment_2d, experiment_3d, saturation_load, HarnessOptions, Scale};
+use hyperx_bench::{
+    mechanism_keys, run_campaigns_to_store, saturation_load, sides_2d, sides_3d, windows,
+    HarnessOptions, Scale,
+};
 use hyperx_routing::MechanismSpec;
 use hyperx_topology::FaultShape;
 use surepath_core::{
-    ablation_to_csv, escape_shortcut_study, format_ablation_table, Experiment, FaultScenario,
-    TrafficSpec,
+    ablation_points_from_store, ablation_to_csv, format_ablation_table, CampaignSpec,
+    FaultScenario, TopologySpec,
 };
 
 fn cross_2d(scale: Scale) -> FaultScenario {
@@ -35,41 +42,86 @@ fn star_3d(scale: Scale) -> FaultScenario {
     }
 }
 
+struct Case {
+    label: &'static str,
+    slug: &'static str,
+    sides: Vec<usize>,
+    traffic: &'static str,
+    scenario: FaultScenario,
+    /// `None` = the fair 2n default; the faulty cases use the paper's 4 VCs.
+    vcs: Option<usize>,
+}
+
+fn cases(scale: Scale) -> Vec<Case> {
+    vec![
+        Case {
+            label: "2D / Healthy / Uniform",
+            slug: "2d-healthy",
+            sides: sides_2d(scale),
+            traffic: "uniform",
+            scenario: FaultScenario::None,
+            vcs: None,
+        },
+        Case {
+            label: "2D / Cross / Uniform",
+            slug: "2d-cross",
+            sides: sides_2d(scale),
+            traffic: "uniform",
+            scenario: cross_2d(scale),
+            vcs: Some(4),
+        },
+        Case {
+            label: "3D / Healthy / DCR",
+            slug: "3d-healthy",
+            sides: sides_3d(scale),
+            traffic: "dcr",
+            scenario: FaultScenario::None,
+            vcs: None,
+        },
+        Case {
+            label: "3D / Star / Uniform",
+            slug: "3d-star",
+            sides: sides_3d(scale),
+            traffic: "uniform",
+            scenario: star_3d(scale),
+            vcs: Some(4),
+        },
+    ]
+}
+
+fn campaign(scale: Scale, case: &Case) -> CampaignSpec {
+    let (warmup, measure) = windows(scale);
+    CampaignSpec {
+        name: format!("ablation-escape-{}", case.slug),
+        topologies: vec![TopologySpec {
+            sides: case.sides.clone(),
+            concentration: None,
+        }],
+        mechanisms: Some(mechanism_keys(&MechanismSpec::escape_ablation_lineup())),
+        traffics: Some(vec![case.traffic.to_string()]),
+        scenarios: Some(vec![case.scenario.key()]),
+        loads: Some(vec![saturation_load()]),
+        vcs: case.vcs,
+        warmup: Some(warmup),
+        measure: Some(measure),
+        ..CampaignSpec::default()
+    }
+}
+
 fn main() {
     let opts = HarnessOptions::from_args();
     let load = saturation_load();
+    let cases = cases(opts.scale);
+    let campaigns: Vec<CampaignSpec> = cases.iter().map(|c| campaign(opts.scale, c)).collect();
+    let store = run_campaigns_to_store(&opts, "ablation_escape", &campaigns);
+
     let mut all = Vec::new();
-
-    let cases: Vec<(&str, Experiment)> = vec![
-        (
-            "2D / Healthy / Uniform",
-            experiment_2d(opts.scale, MechanismSpec::OmniSP, TrafficSpec::Uniform),
-        ),
-        (
-            "2D / Cross / Uniform",
-            experiment_2d(opts.scale, MechanismSpec::OmniSP, TrafficSpec::Uniform)
-                .with_scenario(cross_2d(opts.scale))
-                .with_num_vcs(4),
-        ),
-        (
-            "3D / Healthy / DCR",
-            experiment_3d(
-                opts.scale,
-                MechanismSpec::OmniSP,
-                TrafficSpec::DimensionComplementReverse,
-            ),
-        ),
-        (
-            "3D / Star / Uniform",
-            experiment_3d(opts.scale, MechanismSpec::OmniSP, TrafficSpec::Uniform)
-                .with_scenario(star_3d(opts.scale))
-                .with_num_vcs(4),
-        ),
-    ];
-
-    for (label, template) in cases {
-        println!("=== Escape-shortcut ablation / {label} / offered {load:.2} ===");
-        let points = escape_shortcut_study(&template, load);
+    for (case, spec) in cases.iter().zip(&campaigns) {
+        println!(
+            "=== Escape-shortcut ablation / {} / offered {load:.2} ===",
+            case.label
+        );
+        let points = ablation_points_from_store(&store, &spec.name, "escape", |_| true);
         print!("{}", format_ablation_table(&points));
         println!();
         all.extend(points);

@@ -6,12 +6,20 @@
 //! in-fault root with the alternative policies implemented in
 //! `hyperx_topology::RootPolicy`, under the Star faults and both the Uniform
 //! and Regular Permutation to Neighbour patterns of Figure 9/10.
+//!
+//! Ported onto the campaign runner: the root placement is a grid dimension
+//! (`roots`), so the whole study is one declarative campaign with a
+//! resumable store, rendered from the store.
 
-use hyperx_bench::{experiment_3d, saturation_load, HarnessOptions, Scale};
+use hyperx_bench::{
+    mechanism_keys, run_campaigns_to_store, saturation_load, sides_3d, windows, HarnessOptions,
+    Scale,
+};
 use hyperx_routing::MechanismSpec;
 use hyperx_topology::FaultShape;
 use surepath_core::{
-    ablation_to_csv, format_ablation_table, root_placement_study, FaultScenario, TrafficSpec,
+    ablation_points_from_store, ablation_to_csv, format_ablation_table, CampaignSpec,
+    FaultScenario, TopologySpec, TrafficSpec,
 };
 
 fn star(scale: Scale) -> FaultScenario {
@@ -24,6 +32,31 @@ fn star(scale: Scale) -> FaultScenario {
     }
 }
 
+fn campaign(scale: Scale) -> CampaignSpec {
+    let (warmup, measure) = windows(scale);
+    CampaignSpec {
+        name: "ablation-root".to_string(),
+        topologies: vec![TopologySpec {
+            sides: sides_3d(scale),
+            concentration: None,
+        }],
+        mechanisms: Some(mechanism_keys(&MechanismSpec::surepath_lineup())),
+        traffics: Some(vec!["uniform".to_string(), "rpn".to_string()]),
+        scenarios: Some(vec![star(scale).key()]),
+        roots: Some(vec![
+            "suggested".to_string(),
+            "max-alive-degree".to_string(),
+            "min-eccentricity".to_string(),
+            "min-total-distance".to_string(),
+        ]),
+        loads: Some(vec![saturation_load()]),
+        vcs: Some(4),
+        warmup: Some(warmup),
+        measure: Some(measure),
+        ..CampaignSpec::default()
+    }
+}
+
 fn main() {
     let opts = HarnessOptions::from_args();
     let load = saturation_load();
@@ -31,8 +64,10 @@ fn main() {
         TrafficSpec::Uniform,
         TrafficSpec::RegularPermutationToNeighbour,
     ];
-    let mut all = Vec::new();
+    let spec = campaign(opts.scale);
+    let store = run_campaigns_to_store(&opts, "ablation_root", std::slice::from_ref(&spec));
 
+    let mut all = Vec::new();
     for mechanism in MechanismSpec::surepath_lineup() {
         for traffic in traffics {
             println!(
@@ -41,10 +76,10 @@ fn main() {
                 traffic.name(),
                 load
             );
-            let template = experiment_3d(opts.scale, mechanism, traffic)
-                .with_scenario(star(opts.scale))
-                .with_num_vcs(4);
-            let points = root_placement_study(&template, load);
+            let points = ablation_points_from_store(&store, &spec.name, "root", |job| {
+                job.mechanism.as_deref() == Some(&mechanism.name().to_ascii_lowercase())
+                    && job.traffic.as_deref() == Some(traffic.key())
+            });
             print!("{}", format_ablation_table(&points));
             println!();
             all.extend(points);

@@ -5,12 +5,20 @@
 //! the Ladder mechanisms' 2n VCs in the fair fault-free comparison. This
 //! binary quantifies that claim by sweeping the VC budget for OmniSP and
 //! PolSP on the 3D network, healthy and under the Star faults.
+//!
+//! Ported onto the campaign runner: the VC budget is a grid dimension
+//! (`vc_counts`), one declarative campaign per scenario, both resumable in
+//! the shared store and rendered from it.
 
-use hyperx_bench::{experiment_3d, saturation_load, HarnessOptions, Scale};
+use hyperx_bench::{
+    mechanism_keys, run_campaigns_to_store, saturation_load, sides_3d, windows, HarnessOptions,
+    Scale,
+};
 use hyperx_routing::MechanismSpec;
 use hyperx_topology::FaultShape;
 use surepath_core::{
-    ablation_to_csv, format_ablation_table, vc_count_study, FaultScenario, TrafficSpec,
+    ablation_points_from_store, ablation_to_csv, format_ablation_table, CampaignSpec,
+    FaultScenario, TopologySpec,
 };
 
 fn star(scale: Scale) -> FaultScenario {
@@ -23,14 +31,41 @@ fn star(scale: Scale) -> FaultScenario {
     }
 }
 
+fn campaign(scale: Scale, label: &str, scenario: &FaultScenario) -> CampaignSpec {
+    let (warmup, measure) = windows(scale);
+    CampaignSpec {
+        name: format!("ablation-vc-{label}"),
+        topologies: vec![TopologySpec {
+            sides: sides_3d(scale),
+            concentration: None,
+        }],
+        mechanisms: Some(mechanism_keys(&MechanismSpec::surepath_lineup())),
+        traffics: Some(vec!["uniform".to_string()]),
+        scenarios: Some(vec![scenario.key()]),
+        loads: Some(vec![saturation_load()]),
+        vc_counts: Some(vec![2, 3, 4, 6]),
+        warmup: Some(warmup),
+        measure: Some(measure),
+        ..CampaignSpec::default()
+    }
+}
+
 fn main() {
     let opts = HarnessOptions::from_args();
     let load = saturation_load();
-    let vc_counts = [2usize, 3, 4, 6];
-    let mut all = Vec::new();
+    let cases = [
+        ("Healthy", "healthy", FaultScenario::None),
+        ("Star", "star", star(opts.scale)),
+    ];
+    let campaigns: Vec<CampaignSpec> = cases
+        .iter()
+        .map(|(_, label, scenario)| campaign(opts.scale, label, scenario))
+        .collect();
+    let store = run_campaigns_to_store(&opts, "ablation_vc", &campaigns);
 
-    for (scenario_name, scenario) in [("Healthy", FaultScenario::None), ("Star", star(opts.scale))]
-    {
+    let mut all = Vec::new();
+    for ((scenario_name, _, _), spec) in cases.iter().zip(&campaigns) {
+        let points = ablation_points_from_store(&store, &spec.name, "vcs", |_| true);
         for mechanism in MechanismSpec::surepath_lineup() {
             println!(
                 "=== VC-count ablation / {} / {} / Uniform / offered {:.2} ===",
@@ -38,13 +73,15 @@ fn main() {
                 mechanism.name(),
                 load
             );
-            let template = experiment_3d(opts.scale, mechanism, TrafficSpec::Uniform)
-                .with_scenario(scenario.clone());
-            let points = vc_count_study(&template, &vc_counts, load);
-            print!("{}", format_ablation_table(&points));
+            let group: Vec<_> = points
+                .iter()
+                .filter(|p| p.mechanism == mechanism.name())
+                .cloned()
+                .collect();
+            print!("{}", format_ablation_table(&group));
             println!();
-            all.extend(points);
         }
+        all.extend(points);
     }
 
     println!("Paper claim to check: accepted load barely moves between 2 and 2n VCs for SurePath,");

@@ -31,8 +31,6 @@ fn campaign(scale: Scale) -> (CampaignSpec, usize) {
             sides: vec![side; 3],
             concentration: None,
         }],
-        mechanisms: None,
-        traffics: None,
         // One fault sequence per scenario; the scenario string carries both
         // the sequence length (all links) and the sequence seed.
         scenarios: Some(
@@ -40,13 +38,10 @@ fn campaign(scale: Scale) -> (CampaignSpec, usize) {
                 .map(|i| format!("random:{total_links}:{}", 1000 + i as u64))
                 .collect(),
         ),
-        loads: None,
-        seeds: None,
-        vcs: None,
         // Reuse the measure field as the diameter sampling step so the
         // fingerprint captures it (a different step is a different curve).
-        warmup: None,
         measure: Some(step as u64),
+        ..CampaignSpec::default()
     };
     (spec, total_links)
 }
@@ -100,7 +95,7 @@ fn main() {
         outcome.total, outcome.skipped, outcome.executed, outcome.failed
     );
 
-    let store = ResultStore::open(&store_path).unwrap_or_else(|e| {
+    let store = ResultStore::open_read_only(&store_path).unwrap_or_else(|e| {
         eprintln!("cannot reopen store {}: {e}", store_path.display());
         std::process::exit(1);
     });

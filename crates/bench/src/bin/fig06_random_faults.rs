@@ -28,17 +28,13 @@ fn network_campaign(
     let (warmup, measure) = windows(scale);
     CampaignSpec {
         name: format!("fig06-{label}"),
-        kind: None,
         topologies: vec![TopologySpec {
             sides,
             concentration: None,
         }],
-        mechanisms: Some(
-            MechanismSpec::surepath_lineup()
-                .iter()
-                .map(|m| m.name().to_ascii_lowercase())
-                .collect(),
-        ),
+        mechanisms: Some(hyperx_bench::mechanism_keys(
+            &MechanismSpec::surepath_lineup(),
+        )),
         traffics: Some(patterns.iter().map(|t| t.key().to_string()).collect()),
         scenarios: Some(
             steps
@@ -52,6 +48,7 @@ fn network_campaign(
         vcs: Some(4),
         warmup: Some(warmup),
         measure: Some(measure),
+        ..CampaignSpec::default()
     }
 }
 
@@ -78,9 +75,10 @@ fn render_network(
         print!("{:>8}", format!("f={count}"));
     }
     println!();
-    // Index the store by (mechanism, traffic, fault count).
+    // Index the store by (mechanism, traffic, fault count). Only keyed
+    // lookups below — the render order comes from the fixed lineups.
     let mut cells = std::collections::HashMap::new();
-    for record in store.records() {
+    for record in store.records_in_order() {
         if record.status != "ok" || record.job.campaign != campaign.name {
             continue;
         }
@@ -158,7 +156,7 @@ fn main() {
         );
     }
 
-    let store = ResultStore::open(&store_path).unwrap_or_else(|e| {
+    let store = ResultStore::open_read_only(&store_path).unwrap_or_else(|e| {
         eprintln!("cannot reopen store {}: {e}", store_path.display());
         std::process::exit(1);
     });

@@ -2,11 +2,19 @@
 //! links of a geometric shape fail — Row, Subplane and Cross — under Uniform,
 //! Random Server Permutation and Dimension Complement Reverse traffic, with
 //! the healthy-network value as a reference mark.
+//!
+//! Ported onto the campaign runner: faulty shapes and the healthy reference
+//! are one declarative grid (the scenario strings carry explicit shape
+//! coordinates, `FaultScenario::key()`), executed on the work-stealing pool
+//! with a resumable store and rendered from the store.
 
-use hyperx_bench::{experiment_2d, saturation_load, HarnessOptions, Scale};
+use hyperx_bench::{
+    mechanism_keys, render_fault_shape_figure, run_campaigns_to_store, saturation_load, sides_2d,
+    traffic_keys, windows, HarnessOptions, Scale,
+};
 use hyperx_routing::MechanismSpec;
 use hyperx_topology::FaultShape;
-use surepath_core::{FaultScenario, TrafficSpec};
+use surepath_core::{CampaignSpec, FaultScenario, TopologySpec, TrafficSpec};
 
 fn scenarios(scale: Scale) -> Vec<(&'static str, FaultScenario)> {
     match scale {
@@ -43,50 +51,45 @@ fn scenarios(scale: Scale) -> Vec<(&'static str, FaultScenario)> {
     }
 }
 
+fn campaign(scale: Scale, shapes: &[(&str, FaultScenario)]) -> CampaignSpec {
+    let (warmup, measure) = windows(scale);
+    let mut scenario_keys = vec!["none".to_string()];
+    scenario_keys.extend(shapes.iter().map(|(_, s)| s.key()));
+    CampaignSpec {
+        name: "fig08-2d".to_string(),
+        topologies: vec![TopologySpec {
+            sides: sides_2d(scale),
+            concentration: None,
+        }],
+        mechanisms: Some(mechanism_keys(&MechanismSpec::surepath_lineup())),
+        traffics: Some(traffic_keys(&TrafficSpec::lineup_2d())),
+        scenarios: Some(scenario_keys),
+        loads: Some(vec![saturation_load()]),
+        // The paper's 4-VC SurePath configuration, healthy reference included.
+        vcs: Some(4),
+        warmup: Some(warmup),
+        measure: Some(measure),
+        ..CampaignSpec::default()
+    }
+}
+
 fn main() {
     let opts = HarnessOptions::from_args();
-    let load = saturation_load();
+    let shapes = scenarios(opts.scale);
+    let spec = campaign(opts.scale, &shapes);
+    let store = run_campaigns_to_store(&opts, "fig08", std::slice::from_ref(&spec));
+
     let mut csv =
         String::from("shape,traffic,mechanism,accepted_load,healthy_reference,drop_percent\n");
-    for (shape_name, scenario) in scenarios(opts.scale) {
-        println!("=== Figure 8 / {shape_name} faults ===");
-        println!(
-            "{:>32}  {:>8}  {:>8}  {:>8}",
-            "traffic / mechanism", "faulty", "healthy", "drop%"
-        );
-        for traffic in TrafficSpec::lineup_2d() {
-            for mechanism in MechanismSpec::surepath_lineup() {
-                let faulty = experiment_2d(opts.scale, mechanism, traffic)
-                    .with_scenario(scenario.clone())
-                    .with_num_vcs(4)
-                    .run_rate(load);
-                let healthy = experiment_2d(opts.scale, mechanism, traffic)
-                    .with_num_vcs(4)
-                    .run_rate(load);
-                let drop = if healthy.accepted_load > 0.0 {
-                    100.0 * (1.0 - faulty.accepted_load / healthy.accepted_load)
-                } else {
-                    0.0
-                };
-                println!(
-                    "{:>32}  {:>8.3}  {:>8.3}  {:>8.1}",
-                    format!("{} / {}", traffic.name(), mechanism.name()),
-                    faulty.accepted_load,
-                    healthy.accepted_load,
-                    drop
-                );
-                csv.push_str(&format!(
-                    "{shape_name},{},{},{:.6},{:.6},{:.2}\n",
-                    traffic.name().replace(',', ";"),
-                    mechanism.name(),
-                    faulty.accepted_load,
-                    healthy.accepted_load,
-                    drop
-                ));
-            }
-        }
-        println!();
-    }
+    render_fault_shape_figure(
+        "Figure 8",
+        32,
+        &store,
+        &spec.name,
+        &TrafficSpec::lineup_2d(),
+        &shapes,
+        &mut csv,
+    );
     println!("Paper shape to check: Row and Subplane lose around 11%, the Cross (which removes");
     println!("two thirds of the escape root's links) is the stressful one with a ~37% drop under Uniform.");
     opts.maybe_write_csv(&csv);

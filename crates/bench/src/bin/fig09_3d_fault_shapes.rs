@@ -1,11 +1,18 @@
 //! Figure 9: accepted load of OmniSP and PolSP on the 3D HyperX under the
 //! Row, Subcube and Star fault shapes for all four traffic patterns, with the
 //! healthy-network reference.
+//!
+//! Runs as one declarative campaign (explicit-coordinate scenario strings,
+//! healthy reference included) with a resumable store; rendered from the
+//! store (see fig08).
 
-use hyperx_bench::{experiment_3d, saturation_load, HarnessOptions, Scale};
+use hyperx_bench::{
+    mechanism_keys, render_fault_shape_figure, run_campaigns_to_store, saturation_load, sides_3d,
+    traffic_keys, windows, HarnessOptions, Scale,
+};
 use hyperx_routing::MechanismSpec;
 use hyperx_topology::FaultShape;
-use surepath_core::{FaultScenario, TrafficSpec};
+use surepath_core::{CampaignSpec, FaultScenario, TopologySpec, TrafficSpec};
 
 fn scenarios(scale: Scale) -> Vec<(&'static str, FaultScenario)> {
     match scale {
@@ -42,50 +49,44 @@ fn scenarios(scale: Scale) -> Vec<(&'static str, FaultScenario)> {
     }
 }
 
+fn campaign(scale: Scale, shapes: &[(&str, FaultScenario)]) -> CampaignSpec {
+    let (warmup, measure) = windows(scale);
+    let mut scenario_keys = vec!["none".to_string()];
+    scenario_keys.extend(shapes.iter().map(|(_, s)| s.key()));
+    CampaignSpec {
+        name: "fig09-3d".to_string(),
+        topologies: vec![TopologySpec {
+            sides: sides_3d(scale),
+            concentration: None,
+        }],
+        mechanisms: Some(mechanism_keys(&MechanismSpec::surepath_lineup())),
+        traffics: Some(traffic_keys(&TrafficSpec::lineup_3d())),
+        scenarios: Some(scenario_keys),
+        loads: Some(vec![saturation_load()]),
+        vcs: Some(4),
+        warmup: Some(warmup),
+        measure: Some(measure),
+        ..CampaignSpec::default()
+    }
+}
+
 fn main() {
     let opts = HarnessOptions::from_args();
-    let load = saturation_load();
+    let shapes = scenarios(opts.scale);
+    let spec = campaign(opts.scale, &shapes);
+    let store = run_campaigns_to_store(&opts, "fig09", std::slice::from_ref(&spec));
+
     let mut csv =
         String::from("shape,traffic,mechanism,accepted_load,healthy_reference,drop_percent\n");
-    for (shape_name, scenario) in scenarios(opts.scale) {
-        println!("=== Figure 9 / {shape_name} faults ===");
-        println!(
-            "{:>44}  {:>8}  {:>8}  {:>8}",
-            "traffic / mechanism", "faulty", "healthy", "drop%"
-        );
-        for traffic in TrafficSpec::lineup_3d() {
-            for mechanism in MechanismSpec::surepath_lineup() {
-                let faulty = experiment_3d(opts.scale, mechanism, traffic)
-                    .with_scenario(scenario.clone())
-                    .with_num_vcs(4)
-                    .run_rate(load);
-                let healthy = experiment_3d(opts.scale, mechanism, traffic)
-                    .with_num_vcs(4)
-                    .run_rate(load);
-                let drop = if healthy.accepted_load > 0.0 {
-                    100.0 * (1.0 - faulty.accepted_load / healthy.accepted_load)
-                } else {
-                    0.0
-                };
-                println!(
-                    "{:>44}  {:>8.3}  {:>8.3}  {:>8.1}",
-                    format!("{} / {}", traffic.name(), mechanism.name()),
-                    faulty.accepted_load,
-                    healthy.accepted_load,
-                    drop
-                );
-                csv.push_str(&format!(
-                    "{shape_name},{},{},{:.6},{:.6},{:.2}\n",
-                    traffic.name().replace(',', ";"),
-                    mechanism.name(),
-                    faulty.accepted_load,
-                    healthy.accepted_load,
-                    drop
-                ));
-            }
-        }
-        println!();
-    }
+    render_fault_shape_figure(
+        "Figure 9",
+        44,
+        &store,
+        &spec.name,
+        &TrafficSpec::lineup_3d(),
+        &shapes,
+        &mut csv,
+    );
     println!("Paper shapes to check: Row and Subcube behave like the 2D case; the Star is the");
     println!("extreme one. Under Star + Regular Permutation to Neighbour, OmniSP's peak accepted");
     println!("load beats PolSP (the in-cast at the root floods Polarized's many routes), the");

@@ -5,15 +5,24 @@
 //! that although OmniSP sustains a higher peak accepted load, its completion
 //! time is about 2.8× PolSP's because the servers at the almost-isolated
 //! escape root become stragglers.
+//!
+//! Ported onto the campaign runner with the core bridge's `kind = "batch"`:
+//! the two closed-loop runs are a declarative campaign carrying
+//! `packets_per_server` and `sample_window`, executed in parallel with a
+//! resumable store, and everything below — the completion-time lines, the
+//! throughput-over-time series and the OmniSP/PolSP ratio — renders from
+//! the store (`surepath campaign --report` reproduces it).
 
-use hyperx_bench::{experiment_3d, HarnessOptions, Scale};
+use hyperx_bench::{mechanism_keys, run_campaigns_to_store, sides_3d, HarnessOptions, Scale};
 use hyperx_routing::MechanismSpec;
 use hyperx_topology::FaultShape;
-use surepath_core::{BatchMetrics, FaultScenario, TrafficSpec};
+use surepath_core::{
+    batch_runs_from_store, batch_samples_csv, completion_ratio, format_batch_table, CampaignSpec,
+    FaultScenario, TopologySpec,
+};
 
-fn main() {
-    let opts = HarnessOptions::from_args();
-    let (scenario, packets_per_server, sample_window) = match opts.scale {
+fn campaign(scale: Scale) -> (CampaignSpec, u64) {
+    let (scenario, packets_per_server, sample_window) = match scale {
         Scale::Paper => (FaultScenario::star_3d(), 500u64, 5_000u64),
         Scale::Quick => (
             FaultScenario::Shape(FaultShape::Cross {
@@ -24,56 +33,65 @@ fn main() {
             1_000u64,
         ),
     };
+    let spec = CampaignSpec {
+        name: "fig10-batch".to_string(),
+        kind: Some("batch".to_string()),
+        topologies: vec![TopologySpec {
+            sides: sides_3d(scale),
+            concentration: None,
+        }],
+        mechanisms: Some(mechanism_keys(&MechanismSpec::surepath_lineup())),
+        traffics: Some(vec!["rpn".to_string()]),
+        scenarios: Some(vec![scenario.key()]),
+        vcs: Some(4),
+        packets_per_server: Some(packets_per_server),
+        sample_window: Some(sample_window),
+        ..CampaignSpec::default()
+    };
+    (spec, packets_per_server)
+}
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let (spec, packets_per_server) = campaign(opts.scale);
     println!(
         "Figure 10: completion time, Regular Permutation to Neighbour, Star faults, {} packets/server",
         packets_per_server
     );
     println!();
 
-    let mut results: Vec<(&str, BatchMetrics)> = Vec::new();
-    for mechanism in MechanismSpec::surepath_lineup() {
-        let experiment = experiment_3d(
-            opts.scale,
-            mechanism,
-            TrafficSpec::RegularPermutationToNeighbour,
-        )
-        .with_scenario(scenario.clone())
-        .with_num_vcs(4);
-        let metrics = experiment.run_batch(packets_per_server, sample_window);
-        println!(
-            "{}: completion time {} cycles, {} packets delivered, average latency {:.1} cycles{}",
-            mechanism.name(),
-            metrics.completion_time,
-            metrics.delivered_packets,
-            metrics.average_latency,
-            if metrics.stalled { " (STALLED)" } else { "" }
-        );
-        results.push((mechanism.name(), metrics));
-    }
+    let store = run_campaigns_to_store(&opts, "fig10", std::slice::from_ref(&spec));
+    let runs = batch_runs_from_store(&store, Some(&spec.name));
+    print!("{}", format_batch_table(&runs));
     println!();
 
     // Throughput-over-time series (the curve of Figure 10).
-    let mut csv = String::from("mechanism,cycle,accepted_load\n");
-    for (name, metrics) in &results {
-        println!("accepted load over time for {name}:");
-        for sample in &metrics.samples {
+    for run in &runs {
+        println!("accepted load over time for {}:", run.mechanism);
+        for sample in &run.metrics.samples {
             println!("  cycle {:>8}: {:.3}", sample.cycle, sample.accepted_load);
-            csv.push_str(&format!(
-                "{name},{},{:.6}\n",
-                sample.cycle, sample.accepted_load
-            ));
         }
         println!();
     }
 
-    if results.len() == 2 {
-        let omni = results.iter().find(|(n, _)| *n == "OmniSP").unwrap();
-        let pol = results.iter().find(|(n, _)| *n == "PolSP").unwrap();
-        let ratio = omni.1.completion_time as f64 / pol.1.completion_time.max(1) as f64;
-        println!(
+    match completion_ratio(&runs, "OmniSP", "PolSP") {
+        Some(ratio) => println!(
             "OmniSP completion time is {ratio:.2}x PolSP's (the paper reports about 2.8x on the \
              full-size network)."
-        );
+        ),
+        None => println!(
+            "OmniSP/PolSP completion ratio unavailable: the store has {} completed run(s) \
+             ({}); rerun to retry missing jobs.",
+            runs.len(),
+            if runs.is_empty() {
+                "none".to_string()
+            } else {
+                runs.iter()
+                    .map(|r| r.mechanism.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            }
+        ),
     }
-    opts.maybe_write_csv(&csv);
+    opts.maybe_write_csv(&batch_samples_csv(&runs));
 }

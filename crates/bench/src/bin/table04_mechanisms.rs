@@ -1,4 +1,9 @@
 //! Table 4: the routing mechanisms evaluated and their virtual-channel usage.
+//!
+//! Unlike every other binary here, this table is static documentation data
+//! (`surepath_core::mechanism_table`) — there is no simulation or analysis
+//! to execute, so there is nothing for the campaign runner to schedule,
+//! fingerprint or resume. It stays a plain formatter.
 
 use hyperx_bench::HarnessOptions;
 use surepath_core::format_mechanism_table;

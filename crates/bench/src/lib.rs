@@ -13,9 +13,16 @@
 //! * `--full` — the paper's 16×16 and 8×8×8 networks with Table 2 windows
 //!   (hours of CPU time; the shapes are the same, the absolute numbers larger);
 //! * `--csv <path>` — additionally write the results as CSV.
+//!
+//! Every experiment binary executes on the **campaign runner**: it builds a
+//! declarative [`CampaignSpec`], runs it on the bounded work-stealing pool
+//! (`--threads`) against a resumable JSONL result store (`--store`), and
+//! renders its figure/table **from the store** — so re-running skips every
+//! fingerprint-complete point, and `surepath campaign --report <store>`
+//! reproduces the output without simulating.
 
 use hyperx_routing::MechanismSpec;
-use surepath_core::{Experiment, TrafficSpec};
+use surepath_core::{CampaignSpec, Experiment, ResultStore, TrafficSpec};
 
 /// Which topology/window scale a figure binary runs at.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -116,6 +123,118 @@ impl HarnessOptions {
             println!("(results also written to {path})");
         }
     }
+}
+
+/// Runs every campaign against the shared store at `opts.store_path(stem)`
+/// (skipping fingerprint-complete points, so interrupted runs resume) and
+/// reopens the store for rendering. Prints per-campaign outcomes on stderr
+/// and exits with a message if a campaign cannot run.
+pub fn run_campaigns_to_store(
+    opts: &HarnessOptions,
+    stem: &str,
+    campaigns: &[CampaignSpec],
+) -> ResultStore {
+    let store_path = opts.store_path(stem);
+    for campaign in campaigns {
+        let outcome = surepath_core::run_campaign(campaign, &store_path, opts.threads, true)
+            .unwrap_or_else(|e| {
+                eprintln!("campaign `{}` failed: {e}", campaign.name);
+                std::process::exit(1);
+            });
+        eprintln!(
+            "{}: {} points ({} skipped, {} executed, {} failed)",
+            campaign.name, outcome.total, outcome.skipped, outcome.executed, outcome.failed
+        );
+    }
+    eprintln!(
+        "(campaign store: {}; rerun to resume/skip)",
+        store_path.display()
+    );
+    ResultStore::open_read_only(&store_path).unwrap_or_else(|e| {
+        eprintln!("cannot reopen store {}: {e}", store_path.display());
+        std::process::exit(1);
+    })
+}
+
+/// Renders a Figures-8/9-style fault-shape comparison from the store: one
+/// section per shape with faulty vs healthy accepted load and the drop
+/// percentage, for every (traffic, SurePath mechanism) pair, appending CSV
+/// rows. `label_width` sizes the `traffic / mechanism` column (the 3D
+/// pattern names are longer).
+pub fn render_fault_shape_figure(
+    figure: &str,
+    label_width: usize,
+    store: &ResultStore,
+    campaign: &str,
+    patterns: &[TrafficSpec],
+    shapes: &[(&str, surepath_core::FaultScenario)],
+    csv: &mut String,
+) {
+    use surepath_core::FaultScenario;
+    // Index accepted loads by (mechanism, traffic, scenario) display names.
+    let mut accepted = std::collections::HashMap::new();
+    for p in surepath_core::rate_points_from_store(store, Some(campaign)) {
+        accepted.insert(
+            (p.mechanism.clone(), p.traffic.clone(), p.scenario.clone()),
+            p.metrics.accepted_load,
+        );
+    }
+    for (shape_name, scenario) in shapes {
+        println!("=== {figure} / {shape_name} faults ===");
+        println!(
+            "{:>label_width$}  {:>8}  {:>8}  {:>8}",
+            "traffic / mechanism", "faulty", "healthy", "drop%"
+        );
+        for &traffic in patterns {
+            for mechanism in MechanismSpec::surepath_lineup() {
+                let key = |s: &FaultScenario| {
+                    (
+                        mechanism.name().to_string(),
+                        traffic.name().to_string(),
+                        s.name(),
+                    )
+                };
+                let (Some(&faulty), Some(&healthy)) = (
+                    accepted.get(&key(scenario)),
+                    accepted.get(&key(&FaultScenario::None)),
+                ) else {
+                    println!(
+                        "{:>label_width$}  (missing from store; rerun to retry)",
+                        format!("{} / {}", traffic.name(), mechanism.name())
+                    );
+                    continue;
+                };
+                let drop = if healthy > 0.0 {
+                    100.0 * (1.0 - faulty / healthy)
+                } else {
+                    0.0
+                };
+                println!(
+                    "{:>label_width$}  {faulty:>8.3}  {healthy:>8.3}  {drop:>8.1}",
+                    format!("{} / {}", traffic.name(), mechanism.name())
+                );
+                csv.push_str(&format!(
+                    "{shape_name},{},{},{faulty:.6},{healthy:.6},{drop:.2}\n",
+                    traffic.name().replace(',', ";"),
+                    mechanism.name(),
+                ));
+            }
+        }
+        println!();
+    }
+}
+
+/// The mechanism keys (campaign-spec form) of a lineup.
+pub fn mechanism_keys(lineup: &[MechanismSpec]) -> Vec<String> {
+    lineup
+        .iter()
+        .map(|m| m.name().to_ascii_lowercase())
+        .collect()
+}
+
+/// The traffic keys (campaign-spec form) of a lineup.
+pub fn traffic_keys(lineup: &[TrafficSpec]) -> Vec<String> {
+    lineup.iter().map(|t| t.key().to_string()).collect()
 }
 
 /// The 2D experiment template at the given scale.

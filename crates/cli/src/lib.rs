@@ -7,7 +7,6 @@
 //! front end, one point at a time.
 
 use hyperx_routing::MechanismSpec;
-use hyperx_topology::RootPolicy;
 use surepath_core::{Experiment, FaultScenario, RootPlacement, SimConfig, TrafficSpec};
 
 /// What the simulation should measure.
@@ -66,16 +65,28 @@ impl Default for CliConfig {
 
 /// The usage string of the `campaign` subcommand.
 pub const CAMPAIGN_USAGE: &str = "usage: surepath campaign <spec.toml|spec.json> [options]
+       surepath campaign --report <store.jsonl>... [--merge <out.jsonl>] [--csv <out.csv>]
+       surepath campaign --merge <out.jsonl> <store.jsonl>...
   Runs (or resumes) a declarative experiment campaign: the spec's
-  topology x mechanism x traffic x scenario x load x seed cross-product
-  is executed on a bounded work-stealing thread pool and streamed to a
-  resumable JSONL result store. Already-completed jobs (matched by
-  fingerprint) are skipped, so re-running a finished campaign is instant.
+  topology x mechanism x traffic x scenario x root x VCs x load x seed
+  cross-product is executed on a bounded work-stealing thread pool and
+  streamed to a resumable JSONL result store. Already-completed jobs
+  (matched by fingerprint) are skipped, so re-running a finished campaign
+  is instant.
 
+  Run options:
   --store PATH         result store (default: <spec>.results.jsonl)
   --threads N          worker threads (default: all cores)
   --quiet              suppress per-job progress on stderr
   --dry-run            expand and validate the grid, run nothing
+
+  Store tooling (no simulation):
+  --report             render figures/tables straight from the store(s):
+                       rate campaigns as sweep tables, batch campaigns as
+                       completion times + throughput-over-time series
+  --merge OUT          merge sharded stores into OUT (fingerprint-deduped,
+                       ok beats failed, deterministic byte order)
+  --csv PATH           with --report: also write the data as CSV
   --help               this message";
 
 /// The usage string printed by `--help` and on parse errors.
@@ -112,24 +123,8 @@ fn parse_faults(spec: &str, sides: &[usize]) -> Result<FaultScenario, String> {
 }
 
 fn parse_root(spec: &str) -> Result<RootPlacement, String> {
-    let mut parts = spec.split(':');
-    match parts.next().unwrap_or("") {
-        "suggested" => Ok(RootPlacement::Suggested),
-        "switch" => {
-            let id: usize = parts
-                .next()
-                .ok_or("switch root needs an id, e.g. switch:0")?
-                .parse()
-                .map_err(|_| "invalid root switch id")?;
-            Ok(RootPlacement::Switch(id))
-        }
-        "max-degree" | "max-alive-degree" => Ok(RootPlacement::Policy(RootPolicy::MaxAliveDegree)),
-        "min-eccentricity" | "min-ecc" => Ok(RootPlacement::Policy(RootPolicy::MinEccentricity)),
-        "min-distance" | "min-total-distance" => {
-            Ok(RootPlacement::Policy(RootPolicy::MinTotalDistance))
-        }
-        other => Err(format!("unknown root spec '{other}'")),
-    }
+    // The parser lives in surepath-core so campaign specs share it.
+    RootPlacement::parse(spec)
 }
 
 /// Parses the command line (without the program name).
@@ -290,6 +285,31 @@ pub struct CampaignCliConfig {
     pub dry_run: bool,
 }
 
+/// What a `surepath campaign` invocation asks for: run a spec, or operate on
+/// existing result stores (report / merge) without simulating anything.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CampaignCommand {
+    /// Run (or resume) the campaign described by a spec file.
+    Run(CampaignCliConfig),
+    /// Render figures/tables from one or more stores; optionally persist the
+    /// merged store and/or a CSV copy.
+    Report {
+        /// Input store shards (at least one).
+        stores: Vec<String>,
+        /// Where to write the merged store (`None` = don't persist a merge).
+        merge: Option<String>,
+        /// Where to write the CSV copy of the report data.
+        csv: Option<String>,
+    },
+    /// Merge store shards into one store, nothing else.
+    Merge {
+        /// Output store path.
+        output: String,
+        /// Input store shards (at least one).
+        inputs: Vec<String>,
+    },
+}
+
 impl CampaignCliConfig {
     /// The effective store path.
     pub fn store_path(&self) -> std::path::PathBuf {
@@ -305,12 +325,15 @@ impl CampaignCliConfig {
 
 /// Parses the arguments of the `campaign` subcommand (everything after the
 /// literal `campaign`).
-pub fn parse_campaign_args(args: &[String]) -> Result<CampaignCliConfig, String> {
-    let mut spec_path: Option<String> = None;
+pub fn parse_campaign_args(args: &[String]) -> Result<CampaignCommand, String> {
+    let mut positionals: Vec<String> = Vec::new();
     let mut store = None;
     let mut threads = None;
     let mut quiet = false;
     let mut dry_run = false;
+    let mut report = false;
+    let mut merge: Option<String> = None;
+    let mut csv: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |name: &str| -> Result<String, String> {
@@ -331,24 +354,132 @@ pub fn parse_campaign_args(args: &[String]) -> Result<CampaignCliConfig, String>
             }
             "--quiet" => quiet = true,
             "--dry-run" => dry_run = true,
+            "--report" => report = true,
+            "--merge" => merge = Some(value("--merge")?),
+            "--csv" => csv = Some(value("--csv")?),
             "--help" | "-h" => return Err(CAMPAIGN_USAGE.to_string()),
             other if other.starts_with("--") => {
                 return Err(format!("unknown argument '{other}'\n{CAMPAIGN_USAGE}"))
             }
-            positional => {
-                if spec_path.replace(positional.to_string()).is_some() {
-                    return Err("campaign takes exactly one spec file".to_string());
-                }
-            }
+            positional => positionals.push(positional.to_string()),
         }
     }
-    Ok(CampaignCliConfig {
-        spec_path: spec_path.ok_or_else(|| format!("missing spec file\n{CAMPAIGN_USAGE}"))?,
+    if report {
+        if store.is_some() || threads.is_some() || dry_run || quiet {
+            return Err("--report only combines with --merge and --csv".to_string());
+        }
+        if positionals.is_empty() {
+            return Err(format!(
+                "--report needs at least one store\n{CAMPAIGN_USAGE}"
+            ));
+        }
+        return Ok(CampaignCommand::Report {
+            stores: positionals,
+            merge,
+            csv,
+        });
+    }
+    if let Some(output) = merge {
+        if store.is_some() || threads.is_some() || dry_run || csv.is_some() || quiet {
+            return Err("--merge (without --report) only takes input stores".to_string());
+        }
+        if positionals.is_empty() {
+            return Err(format!(
+                "--merge needs at least one input store\n{CAMPAIGN_USAGE}"
+            ));
+        }
+        return Ok(CampaignCommand::Merge {
+            output,
+            inputs: positionals,
+        });
+    }
+    if csv.is_some() {
+        return Err("--csv only applies to --report".to_string());
+    }
+    if positionals.len() > 1 {
+        return Err("campaign takes exactly one spec file".to_string());
+    }
+    Ok(CampaignCommand::Run(CampaignCliConfig {
+        spec_path: positionals
+            .pop()
+            .ok_or_else(|| format!("missing spec file\n{CAMPAIGN_USAGE}"))?,
         store,
         threads,
         quiet,
         dry_run,
-    })
+    }))
+}
+
+/// Rejects input store paths that do not exist — opening them would
+/// silently create empty stores and report nothing instead of the mistake.
+fn require_stores_exist(paths: &[String]) -> Result<(), String> {
+    for path in paths {
+        if !std::path::Path::new(path).is_file() {
+            return Err(format!("store not found: {path}"));
+        }
+    }
+    Ok(())
+}
+
+/// Runs a parsed `campaign` subcommand, returning the text to print.
+pub fn run_campaign_command(cmd: &CampaignCommand) -> Result<String, String> {
+    match cmd {
+        CampaignCommand::Run(cfg) => run_campaign_cli(cfg),
+        CampaignCommand::Merge { output, inputs } => {
+            require_stores_exist(inputs)?;
+            let paths: Vec<std::path::PathBuf> =
+                inputs.iter().map(std::path::PathBuf::from).collect();
+            let summary = surepath_runner::merge_stores(std::path::Path::new(output), &paths)
+                .map_err(|e| format!("merge failed: {e}"))?;
+            Ok(format!(
+                "merged {} stores: {} records read, {} written, {} duplicates dropped\nmerged store: {output}",
+                inputs.len(),
+                summary.read,
+                summary.written,
+                summary.duplicates
+            ))
+        }
+        CampaignCommand::Report { stores, merge, csv } => {
+            require_stores_exist(stores)?;
+            // With several shards (or an explicit --merge) the report runs
+            // over the merged store; a single shard is read directly.
+            let (store_path, temp_merge) = match (merge, stores.len()) {
+                (Some(out), _) => {
+                    let paths: Vec<std::path::PathBuf> =
+                        stores.iter().map(std::path::PathBuf::from).collect();
+                    surepath_runner::merge_stores(std::path::Path::new(out), &paths)
+                        .map_err(|e| format!("merge failed: {e}"))?;
+                    (std::path::PathBuf::from(out), None)
+                }
+                (None, 1) => (std::path::PathBuf::from(&stores[0]), None),
+                (None, _) => {
+                    let tmp = std::env::temp_dir().join(format!(
+                        "surepath-report-merge-{}.jsonl",
+                        std::process::id()
+                    ));
+                    let paths: Vec<std::path::PathBuf> =
+                        stores.iter().map(std::path::PathBuf::from).collect();
+                    surepath_runner::merge_stores(&tmp, &paths)
+                        .map_err(|e| format!("merge failed: {e}"))?;
+                    (tmp.clone(), Some(tmp))
+                }
+            };
+            // Read-only: reporting must work on archived stores without
+            // write access and must not create files.
+            let store = surepath_core::ResultStore::open_read_only(&store_path)
+                .map_err(|e| format!("cannot open store {}: {e}", store_path.display()))?;
+            let mut out = surepath_core::report_store(&store);
+            if let Some(csv_path) = csv {
+                std::fs::write(csv_path, surepath_core::report_csv(&store))
+                    .map_err(|e| format!("could not write {csv_path}: {e}"))?;
+                out.push_str(&format!("(CSV written to {csv_path})\n"));
+            }
+            if let Some(tmp) = temp_merge {
+                let _ = std::fs::remove_file(tmp);
+            }
+            Ok(out)
+        }
+    }
 }
 
 /// Runs the `campaign` subcommand, returning the summary to print.
@@ -360,13 +491,15 @@ pub fn run_campaign_cli(cfg: &CampaignCliConfig) -> Result<String, String> {
         let jobs = spec.expand()?;
         surepath_core::validate_campaign(&spec)?;
         return Ok(format!(
-            "campaign `{}`: {} jobs valid ({} topologies x {} mechanisms x {} traffics x {} scenarios x {} loads x {} seeds); dry run, nothing executed",
+            "campaign `{}`: {} jobs valid ({} topologies x {} mechanisms x {} traffics x {} scenarios x {} roots x {} VC budgets x {} loads x {} seeds); dry run, nothing executed",
             spec.name,
             jobs.len(),
             spec.topologies.len(),
             spec.mechanisms.as_ref().map_or(1, Vec::len),
             spec.traffics.as_ref().map_or(1, Vec::len),
             spec.scenarios.as_ref().map_or(1, Vec::len),
+            spec.roots.as_ref().map_or(1, Vec::len),
+            spec.vc_counts.as_ref().map_or(1, Vec::len),
             spec.loads.as_ref().map_or(1, Vec::len),
             spec.seeds.as_ref().map_or(1, Vec::len),
         ));
@@ -388,7 +521,7 @@ pub fn run_campaign_cli(cfg: &CampaignCliConfig) -> Result<String, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use surepath_core::FaultShape;
+    use surepath_core::{FaultShape, RootPolicy};
 
     fn args(list: &[&str]) -> Vec<String> {
         list.iter().map(|s| s.to_string()).collect()
@@ -515,23 +648,30 @@ mod tests {
         assert_eq!(e.sim.measure_cycles, 400);
     }
 
+    fn parse_run(list: &[&str]) -> Result<CampaignCliConfig, String> {
+        match parse_campaign_args(&args(list))? {
+            CampaignCommand::Run(cfg) => Ok(cfg),
+            other => Err(format!("expected a run command, got {other:?}")),
+        }
+    }
+
     #[test]
     fn campaign_args_parse_and_reject() {
-        let cfg = parse_campaign_args(&args(&[
+        let cfg = parse_run(&[
             "grid.toml",
             "--threads",
             "4",
             "--quiet",
             "--store",
             "out.jsonl",
-        ]))
+        ])
         .unwrap();
         assert_eq!(cfg.spec_path, "grid.toml");
         assert_eq!(cfg.threads, Some(4));
         assert!(cfg.quiet);
         assert_eq!(cfg.store_path(), std::path::PathBuf::from("out.jsonl"));
 
-        let default_store = parse_campaign_args(&args(&["grid.toml"])).unwrap();
+        let default_store = parse_run(&["grid.toml"]).unwrap();
         assert_eq!(
             default_store.store_path(),
             std::path::PathBuf::from("grid.results.jsonl")
@@ -544,6 +684,135 @@ mod tests {
         assert!(parse_campaign_args(&args(&["--help"]))
             .unwrap_err()
             .contains("campaign"));
+    }
+
+    #[test]
+    fn report_and_merge_args_parse_and_reject() {
+        assert_eq!(
+            parse_campaign_args(&args(&["--report", "a.jsonl", "b.jsonl"])).unwrap(),
+            CampaignCommand::Report {
+                stores: vec!["a.jsonl".into(), "b.jsonl".into()],
+                merge: None,
+                csv: None,
+            }
+        );
+        assert_eq!(
+            parse_campaign_args(&args(&[
+                "--report",
+                "a.jsonl",
+                "--merge",
+                "all.jsonl",
+                "--csv",
+                "out.csv"
+            ]))
+            .unwrap(),
+            CampaignCommand::Report {
+                stores: vec!["a.jsonl".into()],
+                merge: Some("all.jsonl".into()),
+                csv: Some("out.csv".into()),
+            }
+        );
+        assert_eq!(
+            parse_campaign_args(&args(&["--merge", "all.jsonl", "a.jsonl", "b.jsonl"])).unwrap(),
+            CampaignCommand::Merge {
+                output: "all.jsonl".into(),
+                inputs: vec!["a.jsonl".into(), "b.jsonl".into()],
+            }
+        );
+        // Stores are mandatory, must exist, and the modes do not mix with
+        // run flags.
+        assert!(parse_campaign_args(&args(&["--report"])).is_err());
+        assert!(parse_campaign_args(&args(&["--merge", "all.jsonl"])).is_err());
+        let missing = run_campaign_command(&CampaignCommand::Report {
+            stores: vec!["/nonexistent/store.jsonl".into()],
+            merge: None,
+            csv: None,
+        })
+        .unwrap_err();
+        assert!(missing.contains("store not found"), "{missing}");
+        assert!(parse_campaign_args(&args(&["--report", "a.jsonl", "--dry-run"])).is_err());
+        assert!(parse_campaign_args(&args(&["--report", "a.jsonl", "--threads", "2"])).is_err());
+        assert!(parse_campaign_args(&args(&["--report", "a.jsonl", "--quiet"])).is_err());
+        assert!(parse_campaign_args(&args(&["--merge", "o.jsonl", "a.jsonl", "--quiet"])).is_err());
+        assert!(parse_campaign_args(&args(&["spec.toml", "--csv", "x.csv"])).is_err());
+    }
+
+    #[test]
+    fn report_and_merge_render_stores_without_simulating() {
+        let dir = std::env::temp_dir().join("surepath-cli-report-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let pid = std::process::id();
+        let spec_path = dir.join(format!("report-{pid}.toml"));
+        let shard_a = dir.join(format!("report-{pid}-a.jsonl"));
+        let shard_b = dir.join(format!("report-{pid}-b.jsonl"));
+        let merged = dir.join(format!("report-{pid}-all.jsonl"));
+        let csv = dir.join(format!("report-{pid}.csv"));
+        for p in [&shard_a, &shard_b, &merged, &csv] {
+            let _ = std::fs::remove_file(p);
+        }
+        // Two shards of the same campaign, produced by independent runs
+        // (e.g. two machines splitting the seeds).
+        let spec_text = |seeds: &str| {
+            format!(
+                r#"
+                    name = "sharded"
+                    mechanisms = ["polsp"]
+                    traffics = ["uniform"]
+                    scenarios = ["none"]
+                    loads = [0.3]
+                    seeds = [{seeds}]
+                    warmup = 100
+                    measure = 250
+
+                    [[topologies]]
+                    sides = [4, 4]
+                "#
+            )
+        };
+        for (seeds, shard) in [("1", &shard_a), ("2", &shard_b)] {
+            std::fs::write(&spec_path, spec_text(seeds)).unwrap();
+            run_campaign_cli(&CampaignCliConfig {
+                spec_path: spec_path.to_string_lossy().into_owned(),
+                store: Some(shard.to_string_lossy().into_owned()),
+                threads: Some(2),
+                quiet: true,
+                dry_run: false,
+            })
+            .unwrap();
+        }
+
+        let report = run_campaign_command(&CampaignCommand::Report {
+            stores: vec![
+                shard_a.to_string_lossy().into_owned(),
+                shard_b.to_string_lossy().into_owned(),
+            ],
+            merge: Some(merged.to_string_lossy().into_owned()),
+            csv: Some(csv.to_string_lossy().into_owned()),
+        })
+        .unwrap();
+        assert!(
+            report.contains("campaign `sharded` / kind `rate`"),
+            "{report}"
+        );
+        assert!(report.contains("2 ok, 0 failed"), "{report}");
+        assert!(report.contains("PolSP"), "{report}");
+        assert!(merged.exists(), "--merge persisted the merged store");
+        let csv_text = std::fs::read_to_string(&csv).unwrap();
+        assert_eq!(csv_text.lines().count(), 3, "header + one line per seed");
+
+        let summary = run_campaign_command(&CampaignCommand::Merge {
+            output: merged.to_string_lossy().into_owned(),
+            inputs: vec![
+                shard_a.to_string_lossy().into_owned(),
+                shard_b.to_string_lossy().into_owned(),
+            ],
+        })
+        .unwrap();
+        assert!(summary.contains("2 written"), "{summary}");
+
+        for p in [&spec_path, &shard_a, &shard_b, &merged, &csv] {
+            let _ = std::fs::remove_file(p);
+        }
     }
 
     #[test]

@@ -14,13 +14,15 @@
 //! ```text
 //! surepath campaign examples/campaign_quick.toml
 //! surepath campaign grid.toml --threads 8 --store results/grid.jsonl
+//! surepath campaign --report results/grid.jsonl            # render, no simulation
+//! surepath campaign --merge all.jsonl shard1.jsonl shard2.jsonl
 //! ```
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("campaign") {
         match surepath_cli::parse_campaign_args(&args[1..])
-            .and_then(|cfg| surepath_cli::run_campaign_cli(&cfg))
+            .and_then(|cmd| surepath_cli::run_campaign_command(&cmd))
         {
             Ok(summary) => println!("{summary}"),
             Err(message) => {

@@ -138,6 +138,70 @@ pub fn root_placement_study(template: &Experiment, load: f64) -> Vec<AblationPoi
     out
 }
 
+/// Reconstructs ablation points from a campaign result store (campaign name
+/// + `rate` kind), deriving the varied knob's value from the stored job:
+///
+/// * `"vcs"` — the job's VC budget;
+/// * `"root"` — the job's root-placement spec (`suggested` is labelled
+///   `suggested(in-fault)`, matching the studies above);
+/// * `"escape"` — `tree-only` for the `*-tree` mechanism variants,
+///   `opportunistic` otherwise.
+///
+/// Records come back in the store's canonical grid order; failed records
+/// are skipped (re-run the campaign to heal them). `filter` selects which
+/// jobs to render (e.g. one mechanism × traffic section of a study) —
+/// pass `|_| true` for everything.
+pub fn ablation_points_from_store(
+    store: &surepath_runner::ResultStore,
+    campaign: &str,
+    knob: &str,
+    filter: impl Fn(&surepath_runner::JobSpec) -> bool,
+) -> Vec<AblationPoint> {
+    store
+        .records_in_order()
+        .filter(|r| {
+            r.status == "ok" && r.job.kind == "rate" && r.job.campaign == campaign && filter(&r.job)
+        })
+        .filter_map(|r| {
+            let metrics: hyperx_sim::RateMetrics =
+                serde::Deserialize::deserialize(r.result.as_ref()?).ok()?;
+            let mechanism_key = r.job.mechanism.as_deref().unwrap_or_default();
+            let mechanism = match MechanismSpec::parse(mechanism_key) {
+                Some(spec) => spec.name().to_string(),
+                None => mechanism_key.to_string(),
+            };
+            let value = match knob {
+                "vcs" => r.job.vcs.map_or("default".to_string(), |v| v.to_string()),
+                "root" => match r.job.root.as_deref() {
+                    None | Some("suggested") => "suggested(in-fault)".to_string(),
+                    Some(root) => root.to_string(),
+                },
+                "escape" => {
+                    let tree_only = matches!(
+                        MechanismSpec::parse(mechanism_key),
+                        Some(MechanismSpec::OmniSPTree | MechanismSpec::PolSPTree)
+                    );
+                    if tree_only {
+                        "tree-only".to_string()
+                    } else {
+                        "opportunistic".to_string()
+                    }
+                }
+                other => other.to_string(),
+            };
+            Some(AblationPoint {
+                knob: knob.to_string(),
+                value,
+                mechanism,
+                offered_load: r.job.load.unwrap_or(metrics.offered_load),
+                accepted_load: metrics.accepted_load,
+                average_latency: metrics.average_latency,
+                escape_fraction: metrics.escape_fraction,
+            })
+        })
+        .collect()
+}
+
 /// Formats ablation points as an aligned text table.
 pub fn format_ablation_table(points: &[AblationPoint]) -> String {
     let mut out = String::new();
@@ -240,6 +304,84 @@ mod tests {
         assert_eq!(points[0].value, "suggested(in-fault)");
         assert!(points.iter().all(|p| p.knob == "root"));
         assert!(points.iter().all(|p| p.accepted_load > 0.05));
+    }
+
+    #[test]
+    fn ablation_points_reconstruct_from_a_store() {
+        use surepath_runner::{JobSpec, ResultStore};
+        let dir = std::env::temp_dir().join("surepath-ablation-store-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("points-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let mut store = ResultStore::open(&path).unwrap();
+
+        let metrics = hyperx_sim::RateMetrics {
+            offered_load: 0.9,
+            accepted_load: 0.7,
+            generated_load: 0.9,
+            average_latency: 120.0,
+            max_latency: 400,
+            jain_generated: 0.99,
+            escape_fraction: 0.04,
+            average_hops: 2.1,
+            delivered_packets: 999,
+            in_flight_at_end: 1,
+            stalled: false,
+        };
+        let base = JobSpec {
+            campaign: "study".into(),
+            sides: vec![4, 4, 4],
+            mechanism: Some("polsp".into()),
+            traffic: Some("uniform".into()),
+            load: Some(0.9),
+            ..JobSpec::default()
+        };
+        let jobs = [
+            JobSpec {
+                vcs: Some(2),
+                ..base.clone()
+            },
+            JobSpec {
+                root: Some("max-alive-degree".into()),
+                seed: 2,
+                ..base.clone()
+            },
+            JobSpec {
+                mechanism: Some("polsp-tree".into()),
+                seed: 3,
+                ..base.clone()
+            },
+        ];
+        for job in &jobs {
+            store
+                .append_ok(job, serde_json::to_value(&metrics).unwrap())
+                .unwrap();
+        }
+
+        let vcs = ablation_points_from_store(&store, "study", "vcs", |_| true);
+        assert_eq!(vcs.len(), 3);
+        assert_eq!(vcs[0].value, "2");
+        assert_eq!(vcs[1].value, "default");
+        assert_eq!(vcs[0].mechanism, "PolSP");
+        assert!((vcs[0].accepted_load - 0.7).abs() < 1e-12);
+
+        let roots = ablation_points_from_store(&store, "study", "root", |_| true);
+        assert_eq!(roots[0].value, "suggested(in-fault)");
+        assert_eq!(roots[1].value, "max-alive-degree");
+
+        let escape = ablation_points_from_store(&store, "study", "escape", |_| true);
+        assert_eq!(escape[0].value, "opportunistic");
+        assert_eq!(escape[2].value, "tree-only");
+        assert_eq!(escape[2].mechanism, "PolSP-tree");
+
+        // The filter narrows to a section of the study.
+        let filtered = ablation_points_from_store(&store, "study", "vcs", |j| j.seed == 3);
+        assert_eq!(filtered.len(), 1);
+        assert_eq!(
+            ablation_points_from_store(&store, "other", "vcs", |_| true).len(),
+            0
+        );
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

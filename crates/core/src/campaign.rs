@@ -25,7 +25,11 @@ use hyperx_routing::MechanismSpec;
 use hyperx_sim::SimConfig;
 use serde::Value;
 use std::path::Path;
-use surepath_runner::{CampaignOutcome, CampaignSpec, JobSpec};
+use surepath_runner::{job_fingerprint, CampaignOutcome, CampaignSpec, JobSpec};
+
+/// Default batch throughput-sampling window (cycles) when a batch job does
+/// not carry its own, matching the CLI `--batch` default.
+pub const DEFAULT_SAMPLE_WINDOW: u64 = 1_000;
 
 /// Builds the [`Experiment`] described by a campaign job.
 pub fn job_experiment(job: &JobSpec) -> Result<Experiment, String> {
@@ -39,7 +43,7 @@ pub fn job_experiment(job: &JobSpec) -> Result<Experiment, String> {
     let mechanism_name = job
         .mechanism
         .as_deref()
-        .ok_or("rate jobs need a mechanism")?;
+        .ok_or("simulation jobs need a mechanism")?;
     let mechanism = MechanismSpec::parse(mechanism_name)
         .ok_or_else(|| format!("unknown mechanism '{mechanism_name}'"))?;
     let traffic = match job.traffic.as_deref() {
@@ -51,6 +55,10 @@ pub fn job_experiment(job: &JobSpec) -> Result<Experiment, String> {
     let scenario = match job.scenario.as_deref() {
         None => FaultScenario::None,
         Some(spec) => FaultScenario::parse(spec, &job.sides)?,
+    };
+    let root = match job.root.as_deref() {
+        None => RootPlacement::Suggested,
+        Some(spec) => RootPlacement::parse(spec)?,
     };
     let concentration = job.concentration.unwrap_or(job.sides[0]);
     if concentration == 0 {
@@ -64,7 +72,7 @@ pub fn job_experiment(job: &JobSpec) -> Result<Experiment, String> {
         num_vcs,
         traffic,
         scenario,
-        root: RootPlacement::Suggested,
+        root,
         sim: SimConfig::paper_defaults(concentration, num_vcs),
     };
     experiment.sim.servers_per_switch = concentration;
@@ -75,11 +83,8 @@ pub fn job_experiment(job: &JobSpec) -> Result<Experiment, String> {
     Ok(experiment)
 }
 
-/// Executes one campaign job. Currently understands kind `"rate"`
-/// (open-loop simulation at `job.load`); other kinds live with their
-/// callers (e.g. the figure binaries define analysis kinds on the same
-/// runner).
-pub fn run_job(job: &JobSpec) -> Result<Value, String> {
+/// Executes one simulation job, without the diagnostic context wrapper.
+fn run_job_inner(job: &JobSpec) -> Result<Value, String> {
     match job.kind.as_str() {
         "rate" => {
             let experiment = job_experiment(job)?;
@@ -87,19 +92,72 @@ pub fn run_job(job: &JobSpec) -> Result<Value, String> {
             let metrics = experiment.run_rate(load);
             serde_json::to_value(&metrics).map_err(|e| e.to_string())
         }
+        "batch" => {
+            let experiment = job_experiment(job)?;
+            let packets = job
+                .packets_per_server
+                .ok_or("batch jobs need packets_per_server")?;
+            let window = job.sample_window.unwrap_or(DEFAULT_SAMPLE_WINDOW);
+            // BatchMetrics serializes whole: completion time, delivered
+            // packets, the throughput-over-time samples and the stalled flag.
+            let metrics = experiment.run_batch(packets, window);
+            serde_json::to_value(&metrics).map_err(|e| e.to_string())
+        }
         other => Err(format!("unknown job kind '{other}'")),
     }
 }
 
+/// Executes one campaign job. Understands kind `"rate"` (open-loop
+/// simulation at `job.load`) and kind `"batch"` (closed-loop completion-time
+/// run of `job.packets_per_server` packets per server, Figure 10); other
+/// kinds live with their callers (e.g. the figure binaries define analysis
+/// kinds on the same runner).
+///
+/// Errors carry the job's campaign name and fingerprint, so a failed record
+/// in a store — or a bad campaign TOML — is diagnosable from the message
+/// alone.
+pub fn run_job(job: &JobSpec) -> Result<Value, String> {
+    run_job_inner(job).map_err(|e| {
+        format!(
+            "job `{}` (campaign `{}`, fp {}): {e}",
+            job.label(),
+            job.campaign,
+            job_fingerprint(job)
+        )
+    })
+}
+
 /// Checks every job of a campaign before running anything, so a typo in a
 /// mechanism name fails in milliseconds instead of after the first hour of
-/// simulation.
+/// simulation. Rejects job kinds the core bridge does not understand —
+/// callers with custom kinds (e.g. `diameter`) validate on their own.
 pub fn validate_campaign(spec: &CampaignSpec) -> Result<(), String> {
-    for job in spec.expand()? {
-        if job.kind == "rate" {
-            job_experiment(&job).map_err(|e| format!("job `{}`: {e}", job.label()))?;
-            if job.load.is_none() {
-                return Err(format!("job `{}`: rate jobs need a load", job.label()));
+    for (index, job) in spec.expand()?.iter().enumerate() {
+        let context = |e: String| {
+            format!(
+                "campaign `{}` job #{index} `{}` (fp {}): {e}",
+                spec.name,
+                job.label(),
+                job_fingerprint(job)
+            )
+        };
+        match job.kind.as_str() {
+            "rate" => {
+                job_experiment(job).map_err(&context)?;
+                if job.load.is_none() {
+                    return Err(context("rate jobs need a load".to_string()));
+                }
+            }
+            "batch" => {
+                job_experiment(job).map_err(&context)?;
+                if job.packets_per_server.is_none() {
+                    return Err(context("batch jobs need packets_per_server".to_string()));
+                }
+            }
+            other => {
+                return Err(context(format!(
+                    "unknown job kind '{other}' (the core bridge understands `rate` and `batch`)"
+                )))
             }
         }
     }
@@ -136,9 +194,20 @@ mod tests {
             scenario: Some("random:5:3".into()),
             load: Some(0.3),
             seed: 11,
-            vcs: None,
             warmup: Some(150),
             measure: Some(400),
+            ..JobSpec::default()
+        }
+    }
+
+    fn tiny_batch_job() -> JobSpec {
+        JobSpec {
+            campaign: "bridge-batch-test".into(),
+            kind: "batch".into(),
+            load: None,
+            packets_per_server: Some(20),
+            sample_window: Some(250),
+            ..tiny_job()
         }
     }
 
@@ -178,8 +247,44 @@ mod tests {
         assert!(job_experiment(&j).is_err());
 
         let mut j = tiny_job();
+        j.root = Some("volcano".into());
+        assert!(job_experiment(&j).unwrap_err().contains("volcano"));
+
+        let mut j = tiny_job();
         j.kind = "teleport".into();
-        assert!(run_job(&j).unwrap_err().contains("teleport"));
+        let err = run_job(&j).unwrap_err();
+        assert!(err.contains("teleport"), "{err}");
+        // Errors identify the failing job: campaign name and fingerprint.
+        assert!(err.contains("bridge-test"), "{err}");
+        assert!(err.contains(&surepath_runner::job_fingerprint(&j)), "{err}");
+    }
+
+    #[test]
+    fn run_job_produces_batch_metrics_json() {
+        let result = run_job(&tiny_batch_job()).unwrap();
+        assert_eq!(result["stalled"].as_bool(), Some(false));
+        assert!(result["completion_time"].as_u64().unwrap() > 0);
+        // 4x4 switches x 4 servers x 20 packets.
+        assert_eq!(result["delivered_packets"].as_u64(), Some(16 * 4 * 20));
+        assert!(
+            !result["samples"].as_array().unwrap().is_empty(),
+            "throughput-over-time samples are stored"
+        );
+    }
+
+    #[test]
+    fn batch_jobs_are_deterministic_and_need_packets() {
+        let a = run_job(&tiny_batch_job()).unwrap();
+        let b = run_job(&tiny_batch_job()).unwrap();
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+
+        let mut j = tiny_batch_job();
+        j.packets_per_server = None;
+        let err = run_job(&j).unwrap_err();
+        assert!(err.contains("packets_per_server"), "{err}");
     }
 
     #[test]
@@ -210,7 +315,6 @@ mod tests {
     fn validate_campaign_catches_typos_upfront() {
         let spec = CampaignSpec {
             name: "validate".into(),
-            kind: None,
             topologies: vec![TopologySpec {
                 sides: vec![4, 4],
                 concentration: None,
@@ -219,12 +323,63 @@ mod tests {
             traffics: Some(vec!["uniform".into()]),
             scenarios: Some(vec!["none".into()]),
             loads: Some(vec![0.2]),
-            seeds: None,
-            vcs: None,
             warmup: Some(50),
             measure: Some(100),
+            ..CampaignSpec::default()
         };
         let err = validate_campaign(&spec).unwrap_err();
         assert!(err.contains("nonsense"), "{err}");
+        // The message pins down which grid cell is broken: campaign name,
+        // job index and fingerprint.
+        assert!(err.contains("campaign `validate` job #1"), "{err}");
+        assert!(err.contains("fp "), "{err}");
+
+        let batch = CampaignSpec {
+            kind: Some("batch".into()),
+            mechanisms: Some(vec!["polsp".into()]),
+            loads: None,
+            ..spec.clone()
+        };
+        let err = validate_campaign(&batch).unwrap_err();
+        assert!(err.contains("packets_per_server"), "{err}");
+
+        let unknown = CampaignSpec {
+            kind: Some("teleport".into()),
+            mechanisms: Some(vec!["polsp".into()]),
+            ..spec.clone()
+        };
+        let err = validate_campaign(&unknown).unwrap_err();
+        assert!(err.contains("unknown job kind 'teleport'"), "{err}");
+        assert!(err.contains("job #0"), "{err}");
+    }
+
+    #[test]
+    fn batch_campaigns_validate_and_run_end_to_end() {
+        let spec = CampaignSpec {
+            name: "batch-bridge".into(),
+            kind: Some("batch".into()),
+            topologies: vec![TopologySpec {
+                sides: vec![4, 4],
+                concentration: Some(4),
+            }],
+            mechanisms: Some(vec!["omnisp".into(), "polsp".into()]),
+            traffics: Some(vec!["uniform".into()]),
+            scenarios: Some(vec!["none".into()]),
+            seeds: Some(vec![1]),
+            vcs: Some(4),
+            packets_per_server: Some(15),
+            sample_window: Some(200),
+            ..CampaignSpec::default()
+        };
+        assert!(validate_campaign(&spec).is_ok());
+        let dir = std::env::temp_dir().join("surepath-core-batch-campaign");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("batch-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let outcome = run_campaign(&spec, &path, Some(2), true).unwrap();
+        assert_eq!(outcome.total, 2);
+        assert_eq!(outcome.failed, 0);
+        assert!(outcome.is_complete());
+        let _ = std::fs::remove_file(&path);
     }
 }

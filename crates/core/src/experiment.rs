@@ -129,6 +129,47 @@ pub enum RootPlacement {
     Policy(RootPolicy),
 }
 
+impl RootPlacement {
+    /// Parses a root-placement spec, as used by the CLI `--root` flag and by
+    /// campaign specs: `suggested`, `switch:ID`, `max-degree`
+    /// (alias `max-alive-degree`), `min-eccentricity` (alias `min-ecc`),
+    /// `min-distance` (alias `min-total-distance`).
+    pub fn parse(spec: &str) -> Result<RootPlacement, String> {
+        let mut parts = spec.split(':');
+        match parts.next().unwrap_or("") {
+            "suggested" => Ok(RootPlacement::Suggested),
+            "switch" => {
+                let id: usize = parts
+                    .next()
+                    .ok_or("switch root needs an id, e.g. switch:0")?
+                    .parse()
+                    .map_err(|_| "invalid root switch id")?;
+                Ok(RootPlacement::Switch(id))
+            }
+            "max-degree" | "max-alive-degree" => {
+                Ok(RootPlacement::Policy(RootPolicy::MaxAliveDegree))
+            }
+            "min-eccentricity" | "min-ecc" => {
+                Ok(RootPlacement::Policy(RootPolicy::MinEccentricity))
+            }
+            "min-distance" | "min-total-distance" => {
+                Ok(RootPlacement::Policy(RootPolicy::MinTotalDistance))
+            }
+            other => Err(format!("unknown root spec '{other}'")),
+        }
+    }
+
+    /// The canonical spec string of this placement: the inverse of
+    /// [`RootPlacement::parse`], used when generating campaign specs.
+    pub fn key(&self) -> String {
+        match self {
+            RootPlacement::Suggested => "suggested".to_string(),
+            RootPlacement::Switch(id) => format!("switch:{id}"),
+            RootPlacement::Policy(policy) => policy.name(),
+        }
+    }
+}
+
 /// A fully described experiment.
 #[derive(Clone, Debug)]
 pub struct Experiment {
@@ -435,6 +476,25 @@ mod tests {
             TrafficSpec::parse("shift"),
             Some(TrafficSpec::NeighbourShift)
         );
+    }
+
+    #[test]
+    fn root_placement_keys_round_trip_through_parse() {
+        for placement in [
+            RootPlacement::Suggested,
+            RootPlacement::Switch(17),
+            RootPlacement::Policy(RootPolicy::MaxAliveDegree),
+            RootPlacement::Policy(RootPolicy::MinEccentricity),
+            RootPlacement::Policy(RootPolicy::MinTotalDistance),
+        ] {
+            assert_eq!(RootPlacement::parse(&placement.key()), Ok(placement));
+        }
+        assert_eq!(
+            RootPlacement::parse("max-degree"),
+            Ok(RootPlacement::Policy(RootPolicy::MaxAliveDegree))
+        );
+        assert!(RootPlacement::parse("volcano").is_err());
+        assert!(RootPlacement::parse("switch").is_err());
     }
 
     #[test]

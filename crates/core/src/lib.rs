@@ -29,17 +29,26 @@ pub mod sweep;
 pub mod tables;
 
 pub use ablation::{
-    ablation_to_csv, escape_shortcut_study, format_ablation_table, root_placement_study,
-    vc_count_study, AblationPoint,
+    ablation_points_from_store, ablation_to_csv, escape_shortcut_study, format_ablation_table,
+    root_placement_study, vc_count_study, AblationPoint,
 };
-pub use campaign::{job_experiment, run_campaign, run_job, validate_campaign};
+pub use campaign::{
+    job_experiment, run_campaign, run_job, validate_campaign, DEFAULT_SAMPLE_WINDOW,
+};
 pub use experiment::{Experiment, RootPlacement, TrafficSpec};
 pub use plot::{throughput_chart, BarChart, BarGroup, LineChart, Series};
-pub use report::{format_rate_table, rate_metrics_to_csv, ReportRow};
+pub use report::{
+    batch_runs_from_store, batch_samples_csv, completion_ratio, format_batch_table,
+    format_rate_table, rate_metrics_to_csv, rate_points_from_store, report_csv, report_store,
+    BatchRun, ReportRow,
+};
 pub use scenario::FaultScenario;
 pub use stats::{replicate, ReplicatedPoint, Summary};
 pub use sweep::{paper_load_grid, quick_load_grid, sweep_loads, sweep_mechanisms, SweepPoint};
-pub use tables::{format_mechanism_table, mechanism_table, topology_table, MechanismRow};
+pub use tables::{
+    format_mechanism_table, mechanism_table, topology_table, topology_table_from_reports,
+    MechanismRow,
+};
 
 // Re-exports for downstream convenience.
 pub use hyperx_routing::{EscapePolicy, MechanismSpec, NetworkView, RoutingMechanism};

@@ -1,7 +1,15 @@
-//! Report emitters: aligned text tables and CSV for the benchmark binaries.
+//! Report emitters: aligned text tables and CSV for the benchmark binaries,
+//! and renderers that reconstruct figure output **straight from campaign
+//! result stores** — no re-simulation. `surepath campaign --report` and the
+//! ported figure binaries share these.
 
+use crate::experiment::TrafficSpec;
+use crate::scenario::FaultScenario;
 use crate::sweep::SweepPoint;
+use hyperx_routing::MechanismSpec;
+use hyperx_sim::{BatchMetrics, RateMetrics};
 use serde::{Deserialize, Serialize};
+use surepath_runner::{JobSpec, ResultStore};
 
 /// A generic row of a report table: a label and a set of named columns.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -99,6 +107,271 @@ pub fn rate_metrics_to_csv(points: &[SweepPoint]) -> String {
     out
 }
 
+/// The paper-facing display names of a stored job: mechanism, traffic and
+/// scenario keys mapped back through the same parsers that executed the job.
+/// Unparseable values (e.g. custom kinds) fall back to the raw string.
+fn display_names(job: &JobSpec) -> (String, String, String) {
+    let mechanism = job
+        .mechanism
+        .as_deref()
+        .map(|m| match MechanismSpec::parse(m) {
+            Some(spec) => spec.name().to_string(),
+            None => m.to_string(),
+        })
+        .unwrap_or_default();
+    let traffic = job
+        .traffic
+        .as_deref()
+        .map(|t| match TrafficSpec::parse(t) {
+            Some(spec) => spec.name().to_string(),
+            None => t.to_string(),
+        })
+        .unwrap_or_else(|| TrafficSpec::Uniform.name().to_string());
+    let scenario = match job.scenario.as_deref() {
+        None => FaultScenario::None.name(),
+        Some(s) => match FaultScenario::parse(s, &job.sides) {
+            Ok(scenario) => scenario.name(),
+            Err(_) => s.to_string(),
+        },
+    };
+    (mechanism, traffic, scenario)
+}
+
+/// Reconstructs the sweep points of a campaign's `rate` jobs from a result
+/// store, in the store's (canonical grid) order. `campaign = None` takes
+/// every rate record. Failed records are skipped — re-run the campaign to
+/// heal them.
+pub fn rate_points_from_store(store: &ResultStore, campaign: Option<&str>) -> Vec<SweepPoint> {
+    store
+        .records_in_order()
+        .filter(|r| {
+            r.status == "ok"
+                && r.job.kind == "rate"
+                && campaign.is_none_or(|name| r.job.campaign == name)
+        })
+        .filter_map(|r| {
+            let metrics: RateMetrics = serde::Deserialize::deserialize(r.result.as_ref()?).ok()?;
+            let (mechanism, traffic, scenario) = display_names(&r.job);
+            Some(SweepPoint {
+                mechanism,
+                traffic,
+                scenario,
+                offered_load: r.job.load.unwrap_or(metrics.offered_load),
+                metrics,
+            })
+        })
+        .collect()
+}
+
+/// One completion-time (batch) run recovered from a result store.
+#[derive(Clone, Debug)]
+pub struct BatchRun {
+    /// Owning campaign.
+    pub campaign: String,
+    /// Mechanism display name (e.g. `OmniSP`).
+    pub mechanism: String,
+    /// Traffic display name.
+    pub traffic: String,
+    /// Scenario display name.
+    pub scenario: String,
+    /// Random seed of the run.
+    pub seed: u64,
+    /// The stored batch metrics, including the throughput-over-time samples.
+    pub metrics: BatchMetrics,
+}
+
+/// Reconstructs the batch runs of a campaign from a result store, in the
+/// store's (canonical grid) order.
+pub fn batch_runs_from_store(store: &ResultStore, campaign: Option<&str>) -> Vec<BatchRun> {
+    store
+        .records_in_order()
+        .filter(|r| {
+            r.status == "ok"
+                && r.job.kind == "batch"
+                && campaign.is_none_or(|name| r.job.campaign == name)
+        })
+        .filter_map(|r| {
+            let metrics: BatchMetrics = serde::Deserialize::deserialize(r.result.as_ref()?).ok()?;
+            let (mechanism, traffic, scenario) = display_names(&r.job);
+            Some(BatchRun {
+                campaign: r.job.campaign.clone(),
+                mechanism,
+                traffic,
+                scenario,
+                seed: r.job.seed,
+                metrics,
+            })
+        })
+        .collect()
+}
+
+/// The display label of a batch run: the mechanism alone when that is
+/// unambiguous within `runs` (Figure 10's two-line case), qualified with
+/// traffic, scenario and seed when a campaign has several runs per
+/// mechanism.
+fn batch_run_label(run: &BatchRun, runs: &[BatchRun]) -> String {
+    let ambiguous = runs.iter().filter(|r| r.mechanism == run.mechanism).count() > 1;
+    if ambiguous {
+        format!(
+            "{} [{} / {} / seed {}]",
+            run.mechanism, run.traffic, run.scenario, run.seed
+        )
+    } else {
+        run.mechanism.clone()
+    }
+}
+
+/// Formats batch runs as the completion-time lines Figure 10 prints.
+pub fn format_batch_table(runs: &[BatchRun]) -> String {
+    let mut out = String::new();
+    for run in runs {
+        out.push_str(&format!(
+            "{}: completion time {} cycles, {} packets delivered, average latency {:.1} cycles{}\n",
+            batch_run_label(run, runs),
+            run.metrics.completion_time,
+            run.metrics.delivered_packets,
+            run.metrics.average_latency,
+            if run.metrics.stalled {
+                " (STALLED)"
+            } else {
+                ""
+            }
+        ));
+    }
+    out
+}
+
+/// Serializes the throughput-over-time series of batch runs as CSV
+/// (Figure 10's curve). Every row carries the full run identity — campaign
+/// included — so multi-campaign stores and multi-scenario or multi-seed
+/// campaigns stay separable when plotting.
+pub fn batch_samples_csv(runs: &[BatchRun]) -> String {
+    let mut out = String::from("campaign,mechanism,traffic,scenario,seed,cycle,accepted_load\n");
+    for run in runs {
+        for sample in &run.metrics.samples {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{:.6}\n",
+                run.campaign,
+                run.mechanism,
+                run.traffic.replace(',', ";"),
+                run.scenario.replace(',', ";"),
+                run.seed,
+                sample.cycle,
+                sample.accepted_load
+            ));
+        }
+    }
+    out
+}
+
+/// The completion-time ratio between two mechanisms of a batch campaign
+/// (the paper's "OmniSP takes ~2.8x PolSP's time" headline). Returns `None`
+/// when either mechanism has no completed run — e.g. a filtered or renamed
+/// lineup — instead of panicking, so callers can degrade gracefully.
+pub fn completion_ratio(runs: &[BatchRun], numerator: &str, denominator: &str) -> Option<f64> {
+    let find = |name: &str| runs.iter().find(|r| r.mechanism == name);
+    let num = find(numerator)?;
+    let den = find(denominator)?;
+    Some(num.metrics.completion_time as f64 / den.metrics.completion_time.max(1) as f64)
+}
+
+/// Renders everything a store contains as a human-readable report, grouped
+/// by campaign and kind in the store's canonical order: rate campaigns as
+/// the figure tables, batch campaigns as completion-time lines plus their
+/// throughput series, custom kinds and failures as summaries. This is the
+/// engine of `surepath campaign --report` — figures come straight from the
+/// store, no simulation.
+pub fn report_store(store: &ResultStore) -> String {
+    let mut out = String::new();
+    let mut groups: Vec<(String, String)> = Vec::new();
+    for record in store.records_in_order() {
+        let key = (record.job.campaign.clone(), record.job.kind.clone());
+        if !groups.contains(&key) {
+            groups.push(key);
+        }
+    }
+    if groups.is_empty() {
+        out.push_str("store is empty\n");
+        return out;
+    }
+    for (campaign, kind) in &groups {
+        let records: Vec<_> = store
+            .records_in_order()
+            .filter(|r| &r.job.campaign == campaign && &r.job.kind == kind)
+            .collect();
+        let ok = records.iter().filter(|r| r.status == "ok").count();
+        let failed = records.len() - ok;
+        out.push_str(&format!(
+            "=== campaign `{campaign}` / kind `{kind}`: {ok} ok, {failed} failed ===\n"
+        ));
+        match kind.as_str() {
+            "rate" => {
+                let points = rate_points_from_store(store, Some(campaign));
+                out.push_str(&format_rate_table(&points));
+            }
+            "batch" => {
+                let runs = batch_runs_from_store(store, Some(campaign));
+                out.push_str(&format_batch_table(&runs));
+                out.push('\n');
+                out.push_str(&batch_samples_csv(&runs));
+            }
+            _ => {
+                out.push_str(&format!(
+                    "(kind `{kind}` is rendered by its owning binary; {ok} result records in store)\n"
+                ));
+            }
+        }
+        for record in records.iter().filter(|r| r.status == "failed") {
+            out.push_str(&format!(
+                "failed: `{}`: {}\n",
+                record.job.label(),
+                record.error.as_deref().unwrap_or("unknown error")
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// The CSV companion of [`report_store`]: rate points and batch samples of
+/// every campaign in the store, concatenated with section headers. Every
+/// row leads with its campaign name, so same-named configurations from
+/// different campaigns sharing a store stay separable.
+pub fn report_csv(store: &ResultStore) -> String {
+    let mut out = String::new();
+    let mut rate_campaigns: Vec<String> = Vec::new();
+    for record in store.records_in_order() {
+        if record.job.kind == "rate" && !rate_campaigns.contains(&record.job.campaign) {
+            rate_campaigns.push(record.job.campaign.clone());
+        }
+    }
+    if !rate_campaigns.is_empty() {
+        let mut sections = rate_campaigns.iter().map(|campaign| {
+            (
+                campaign,
+                rate_metrics_to_csv(&rate_points_from_store(store, Some(campaign))),
+            )
+        });
+        if let Some((first_campaign, first_block)) = sections.next() {
+            let header = first_block.lines().next().unwrap_or_default();
+            out.push_str(&format!("campaign,{header}\n"));
+            for line in first_block.lines().skip(1) {
+                out.push_str(&format!("{first_campaign},{line}\n"));
+            }
+            for (campaign, block) in sections {
+                for line in block.lines().skip(1) {
+                    out.push_str(&format!("{campaign},{line}\n"));
+                }
+            }
+        }
+    }
+    let batch_runs = batch_runs_from_store(store, None);
+    if !batch_runs.is_empty() {
+        out.push_str(&batch_samples_csv(&batch_runs));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,5 +440,182 @@ mod tests {
         assert!(csv.lines().next().unwrap().starts_with("mechanism,traffic"));
         assert!(csv.contains("Minimal"));
         assert!(csv.contains("Valiant"));
+    }
+
+    use hyperx_sim::{BatchMetrics, ThroughputSample};
+    use surepath_runner::JobSpec;
+
+    fn dummy_batch(mechanism: &str, completion: u64) -> BatchRun {
+        BatchRun {
+            campaign: "fig10-test".into(),
+            mechanism: mechanism.to_string(),
+            traffic: "Regular Permutation to Neighbour".into(),
+            scenario: "Star".into(),
+            seed: 1,
+            metrics: BatchMetrics {
+                completion_time: completion,
+                delivered_packets: 1000,
+                samples: vec![
+                    ThroughputSample {
+                        cycle: 500,
+                        accepted_load: 0.4,
+                    },
+                    ThroughputSample {
+                        cycle: completion,
+                        accepted_load: 0.1,
+                    },
+                ],
+                average_latency: 150.0,
+                stalled: false,
+            },
+        }
+    }
+
+    #[test]
+    fn batch_table_and_samples_render_every_run() {
+        let runs = vec![dummy_batch("OmniSP", 2800), dummy_batch("PolSP", 1000)];
+        let table = format_batch_table(&runs);
+        assert!(table.contains("OmniSP: completion time 2800 cycles"));
+        assert!(table.contains("PolSP: completion time 1000 cycles"));
+        let csv = batch_samples_csv(&runs);
+        assert_eq!(csv.lines().count(), 1 + 4, "header + 2 samples per run");
+        assert!(
+            csv.contains("fig10-test,OmniSP,Regular Permutation to Neighbour,Star,1,500,0.400000")
+        );
+    }
+
+    #[test]
+    fn ambiguous_batch_runs_are_qualified_by_scenario_and_seed() {
+        // Two runs of the same mechanism (e.g. a multi-seed campaign) must
+        // stay distinguishable in the table and the CSV.
+        let mut healthy = dummy_batch("OmniSP", 900);
+        healthy.scenario = "Healthy".into();
+        healthy.seed = 2;
+        let runs = vec![dummy_batch("OmniSP", 2800), healthy];
+        let table = format_batch_table(&runs);
+        assert!(
+            table.contains("OmniSP [Regular Permutation to Neighbour / Star / seed 1]:"),
+            "{table}"
+        );
+        assert!(
+            table.contains("OmniSP [Regular Permutation to Neighbour / Healthy / seed 2]:"),
+            "{table}"
+        );
+        let csv = batch_samples_csv(&runs);
+        assert!(csv.contains(",Star,1,"), "{csv}");
+        assert!(csv.contains(",Healthy,2,"), "{csv}");
+    }
+
+    #[test]
+    fn completion_ratio_is_graceful_when_a_mechanism_is_missing() {
+        let runs = vec![dummy_batch("OmniSP", 2800), dummy_batch("PolSP", 1000)];
+        let ratio = completion_ratio(&runs, "OmniSP", "PolSP").unwrap();
+        assert!((ratio - 2.8).abs() < 1e-9);
+
+        // Regression: a filtered or renamed lineup must not panic — the old
+        // fig10 binary `.unwrap()`ed this exact lookup.
+        let only_polsp = vec![dummy_batch("PolSP", 1000)];
+        assert_eq!(completion_ratio(&only_polsp, "OmniSP", "PolSP"), None);
+        assert_eq!(completion_ratio(&[], "OmniSP", "PolSP"), None);
+    }
+
+    fn temp_store(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("surepath-report-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}.jsonl", std::process::id()))
+    }
+
+    #[test]
+    fn report_reconstructs_figures_from_a_store_without_simulating() {
+        let path = temp_store("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let mut store = ResultStore::open(&path).unwrap();
+
+        let rate_job = JobSpec {
+            campaign: "fig-rate".into(),
+            sides: vec![4, 4],
+            mechanism: Some("polsp".into()),
+            traffic: Some("uniform".into()),
+            scenario: Some("none".into()),
+            load: Some(0.3),
+            ..JobSpec::default()
+        };
+        let rate_metrics = RateMetrics {
+            offered_load: 0.3,
+            accepted_load: 0.29,
+            generated_load: 0.3,
+            average_latency: 88.0,
+            max_latency: 301,
+            jain_generated: 0.999,
+            escape_fraction: 0.01,
+            average_hops: 1.9,
+            delivered_packets: 4242,
+            in_flight_at_end: 3,
+            stalled: false,
+        };
+        store
+            .append_ok(&rate_job, serde_json::to_value(&rate_metrics).unwrap())
+            .unwrap();
+
+        let batch_job = JobSpec {
+            campaign: "fig10".into(),
+            kind: "batch".into(),
+            sides: vec![4, 4, 4],
+            mechanism: Some("omnisp".into()),
+            traffic: Some("rpn".into()),
+            scenario: Some("star:2,2,2".into()),
+            packets_per_server: Some(60),
+            sample_window: Some(500),
+            ..JobSpec::default()
+        };
+        store
+            .append_ok(
+                &batch_job,
+                serde_json::to_value(&dummy_batch("OmniSP", 1234).metrics).unwrap(),
+            )
+            .unwrap();
+
+        let failed_job = JobSpec {
+            campaign: "fig-rate".into(),
+            seed: 9,
+            ..rate_job.clone()
+        };
+        store
+            .append_failed(&failed_job, "simulated crash".into())
+            .unwrap();
+
+        // Points come back with paper display names and the stored numbers.
+        let points = rate_points_from_store(&store, Some("fig-rate"));
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].mechanism, "PolSP");
+        assert_eq!(points[0].traffic, "Uniform");
+        assert_eq!(points[0].scenario, "Healthy");
+        assert_eq!(points[0].metrics.delivered_packets, 4242);
+
+        let runs = batch_runs_from_store(&store, Some("fig10"));
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].mechanism, "OmniSP");
+        assert_eq!(runs[0].scenario, "Star");
+        assert_eq!(runs[0].metrics.completion_time, 1234);
+
+        // The full report covers both campaigns and surfaces the failure.
+        let report = report_store(&store);
+        assert!(
+            report.contains("campaign `fig-rate` / kind `rate`"),
+            "{report}"
+        );
+        assert!(
+            report.contains("campaign `fig10` / kind `batch`"),
+            "{report}"
+        );
+        assert!(report.contains("OmniSP: completion time 1234 cycles"));
+        assert!(report.contains("simulated crash"));
+
+        let csv = report_csv(&store);
+        assert!(csv.contains("campaign,mechanism,traffic,scenario"));
+        assert!(csv.contains("campaign,mechanism,traffic,scenario,seed,cycle,accepted_load"));
+        assert!(csv.contains("fig-rate,PolSP,Uniform,Healthy,"), "{csv}");
+        assert!(csv.contains("fig10,OmniSP,"), "{csv}");
+        let _ = std::fs::remove_file(&path);
     }
 }

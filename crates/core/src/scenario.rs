@@ -112,14 +112,32 @@ impl FaultScenario {
     }
 
     /// Parses a scenario string, as used by the CLI `--faults` flag and by
-    /// campaign specs: `none`, `random:COUNT[:SEED]`, `row`,
-    /// `subgrid:SIZE` (aliases `subplane`, `subcube`), `cross:MARGIN`,
-    /// `star`. Geometric shapes are centred on the topology given by
-    /// `sides`.
+    /// campaign specs: `none`, `random:COUNT[:SEED]`, `row[:DIM[:COORDS]]`,
+    /// `subgrid:SIZE[:COORDS]` (aliases `subplane`, `subcube`),
+    /// `cross:MARGIN[:COORDS]`, `star[:COORDS]`. `COORDS` is a
+    /// comma-separated coordinate vector (`row:0:0,8`, `cross:5:8,8`) fixing
+    /// the shape's anchor exactly — the row's `at`, the subgrid's `low`, the
+    /// cross/star's `center`. Without it, shapes are centred on the topology
+    /// given by `sides` (the subgrid anchors at the origin).
     pub fn parse(spec: &str, sides: &[usize]) -> Result<FaultScenario, String> {
         let mid: Vec<usize> = sides.iter().map(|&k| k / 2).collect();
         let mut parts = spec.split(':');
         let kind = parts.next().unwrap_or("");
+        let coords = |part: Option<&str>, default: Vec<usize>| -> Result<Vec<usize>, String> {
+            let Some(text) = part else {
+                return Ok(default);
+            };
+            let parsed: Result<Vec<usize>, _> = text.split(',').map(str::parse::<usize>).collect();
+            match parsed {
+                Ok(v) if v.len() == sides.len() && v.iter().zip(sides).all(|(&c, &k)| c < k) => {
+                    Ok(v)
+                }
+                _ => Err(format!(
+                    "invalid coordinates '{text}': expected {} comma-separated values within {sides:?}",
+                    sides.len()
+                )),
+            }
+        };
         match kind {
             "none" => Ok(FaultScenario::None),
             "random" => {
@@ -134,23 +152,30 @@ impl FaultScenario {
                 };
                 Ok(FaultScenario::Random { count, seed })
             }
-            "row" => Ok(FaultScenario::Shape(FaultShape::Row {
-                along_dim: 0,
-                at: mid,
-            })),
+            "row" => {
+                let along_dim: usize = match parts.next() {
+                    Some(d) => d.parse().map_err(|_| "invalid row dimension")?,
+                    None => 0,
+                };
+                if along_dim >= sides.len() {
+                    return Err(format!(
+                        "row dimension {along_dim} out of range for {sides:?}"
+                    ));
+                }
+                let at = coords(parts.next(), mid)?;
+                Ok(FaultScenario::Shape(FaultShape::Row { along_dim, at }))
+            }
             "subgrid" | "subplane" | "subcube" => {
                 let size: usize = parts
                     .next()
                     .ok_or("subgrid faults need a size, e.g. subgrid:3")?
                     .parse()
                     .map_err(|_| "invalid subgrid size")?;
-                if sides.iter().any(|&k| size > k) {
+                let low = coords(parts.next(), vec![0; sides.len()])?;
+                if low.iter().zip(sides).any(|(&l, &k)| l + size > k) {
                     return Err(format!("subgrid size {size} does not fit the topology"));
                 }
-                Ok(FaultScenario::Shape(FaultShape::Subgrid {
-                    low: vec![0; sides.len()],
-                    size,
-                }))
+                Ok(FaultScenario::Shape(FaultShape::Subgrid { low, size }))
             }
             "cross" => {
                 let margin: usize = parts
@@ -161,16 +186,44 @@ impl FaultScenario {
                 if sides.iter().any(|&k| margin >= k) {
                     return Err(format!("cross margin {margin} leaves no faulty links"));
                 }
+                let center = coords(parts.next(), mid)?;
+                Ok(FaultScenario::Shape(FaultShape::Cross { center, margin }))
+            }
+            "star" => {
+                let center = coords(parts.next(), mid)?;
                 Ok(FaultScenario::Shape(FaultShape::Cross {
-                    center: mid,
-                    margin,
+                    center,
+                    margin: 1,
                 }))
             }
-            "star" => Ok(FaultScenario::Shape(FaultShape::Cross {
-                center: mid,
-                margin: 1,
-            })),
             other => Err(format!("unknown fault spec '{other}'")),
+        }
+    }
+
+    /// The canonical spec string of this scenario: the inverse of
+    /// [`FaultScenario::parse`], used when generating campaign specs from
+    /// programmatic scenarios. Coordinates are always explicit, so the
+    /// string round-trips on any topology that contains them.
+    pub fn key(&self) -> String {
+        let join = |coords: &[usize]| -> String {
+            coords
+                .iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        match self {
+            FaultScenario::None => "none".to_string(),
+            FaultScenario::Random { count, seed } => format!("random:{count}:{seed}"),
+            FaultScenario::Shape(FaultShape::Row { along_dim, at }) => {
+                format!("row:{along_dim}:{}", join(at))
+            }
+            FaultScenario::Shape(FaultShape::Subgrid { low, size }) => {
+                format!("subgrid:{size}:{}", join(low))
+            }
+            FaultScenario::Shape(FaultShape::Cross { center, margin }) => {
+                format!("cross:{margin}:{}", join(center))
+            }
         }
     }
 
@@ -278,6 +331,56 @@ mod tests {
         assert_eq!(FaultScenario::cross_2d().name(), "Cross(margin 5)");
         assert_eq!(FaultScenario::star_3d().name(), "Star");
         assert_eq!(FaultScenario::subcube_3d().name(), "Subcube(3^3)");
+    }
+
+    #[test]
+    fn parse_accepts_explicit_coordinates() {
+        let sides = vec![16usize, 16];
+        assert_eq!(
+            FaultScenario::parse("row:0:0,8", &sides).unwrap(),
+            FaultScenario::row_2d()
+        );
+        assert_eq!(
+            FaultScenario::parse("subgrid:5:5,5", &sides).unwrap(),
+            FaultScenario::subplane_2d()
+        );
+        assert_eq!(
+            FaultScenario::parse("cross:5:8,8", &sides).unwrap(),
+            FaultScenario::cross_2d()
+        );
+        assert_eq!(
+            FaultScenario::parse("star:4,4,4", &[8, 8, 8]).unwrap(),
+            FaultScenario::star_3d()
+        );
+        // Out-of-range coordinates, wrong arity and bad dims are rejected.
+        assert!(FaultScenario::parse("row:0:0,16", &sides).is_err());
+        assert!(FaultScenario::parse("row:2:0,8", &sides).is_err());
+        assert!(FaultScenario::parse("cross:5:8", &sides).is_err());
+        assert!(FaultScenario::parse("subgrid:5:13,0", &sides).is_err());
+    }
+
+    #[test]
+    fn keys_round_trip_through_parse() {
+        let sides2 = vec![16usize, 16];
+        let sides3 = vec![8usize, 8, 8];
+        let cases: Vec<(FaultScenario, &[usize])> = vec![
+            (FaultScenario::None, &sides2),
+            (FaultScenario::Random { count: 30, seed: 7 }, &sides2),
+            (FaultScenario::row_2d(), &sides2),
+            (FaultScenario::subplane_2d(), &sides2),
+            (FaultScenario::cross_2d(), &sides2),
+            (FaultScenario::row_3d(), &sides3),
+            (FaultScenario::subcube_3d(), &sides3),
+            (FaultScenario::star_3d(), &sides3),
+        ];
+        for (scenario, sides) in cases {
+            let key = scenario.key();
+            assert_eq!(
+                FaultScenario::parse(&key, sides).unwrap(),
+                scenario,
+                "key `{key}` does not round-trip"
+            );
+        }
     }
 
     #[test]

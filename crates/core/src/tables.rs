@@ -6,6 +6,22 @@ use serde::Serialize;
 
 /// Renders Table 3 (topological parameters) for a list of HyperX configurations.
 pub fn topology_table(configs: &[(&str, HyperX, usize)]) -> String {
+    let reports: Vec<(String, TopologyReport)> = configs
+        .iter()
+        .map(|(name, hx, concentration)| {
+            (
+                name.to_string(),
+                TopologyReport::for_hyperx(hx, *concentration),
+            )
+        })
+        .collect();
+    topology_table_from_reports(&reports)
+}
+
+/// Renders Table 3 from already-computed reports — the path used when the
+/// table is reconstructed from a campaign result store instead of re-running
+/// the all-pairs BFS.
+pub fn topology_table_from_reports(reports: &[(String, TopologyReport)]) -> String {
     let header = [
         "network",
         "switches",
@@ -16,22 +32,19 @@ pub fn topology_table(configs: &[(&str, HyperX, usize)]) -> String {
         "diameter",
         "avg distance",
     ];
-    let rows: Vec<ReportRow> = configs
+    let rows: Vec<ReportRow> = reports
         .iter()
-        .map(|(name, hx, concentration)| {
-            let r = TopologyReport::for_hyperx(hx, *concentration);
-            ReportRow {
-                label: name.to_string(),
-                values: vec![
-                    r.switches.to_string(),
-                    r.total_radix.to_string(),
-                    r.servers_per_switch.to_string(),
-                    r.total_servers.to_string(),
-                    r.links.to_string(),
-                    r.diameter.to_string(),
-                    format!("{:.3}", r.average_distance),
-                ],
-            }
+        .map(|(name, r)| ReportRow {
+            label: name.clone(),
+            values: vec![
+                r.switches.to_string(),
+                r.total_radix.to_string(),
+                r.servers_per_switch.to_string(),
+                r.total_servers.to_string(),
+                r.links.to_string(),
+                r.diameter.to_string(),
+                format!("{:.3}", r.average_distance),
+            ],
         })
         .collect();
     format_table(&header, &rows)

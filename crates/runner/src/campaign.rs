@@ -115,7 +115,6 @@ mod tests {
     fn spec(name: &str) -> CampaignSpec {
         CampaignSpec {
             name: name.to_string(),
-            kind: None,
             topologies: vec![TopologySpec {
                 sides: vec![4, 4],
                 concentration: None,
@@ -125,9 +124,7 @@ mod tests {
             scenarios: Some(vec!["none".into()]),
             loads: Some(vec![0.25, 0.5]),
             seeds: Some(vec![1, 2, 3]),
-            vcs: None,
-            warmup: None,
-            measure: None,
+            ..CampaignSpec::default()
         }
     }
 

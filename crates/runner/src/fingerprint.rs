@@ -5,8 +5,16 @@
 //! `std::collections::hash_map::DefaultHasher`, which is randomly keyed),
 //! which is what lets a restarted campaign recognise completed jobs in the
 //! store.
+//!
+//! Canonical form drops `null` fields: an unset optional dimension
+//! fingerprints identically whether the field exists in the struct or not,
+//! so — from this scheme onward — *adding* an optional field to [`JobSpec`]
+//! does not invalidate the fingerprints of existing stores. (Adopting the
+//! scheme was itself a one-time break: stores written when unset fields
+//! were hashed as `null` re-run from scratch.)
 
 use crate::spec::JobSpec;
+use serde::Value;
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -21,10 +29,15 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
     hash
 }
 
-/// The canonical serialized form of a job (compact JSON, declaration field
-/// order — deterministic because the vendored serde preserves order).
+/// The canonical serialized form of a job: compact JSON in declaration
+/// field order (deterministic because the vendored serde preserves order),
+/// with `null` (unset optional) fields removed.
 pub fn canonical_job_json(job: &JobSpec) -> String {
-    serde_json::to_string(job).expect("job serializes")
+    let mut value = serde::Serialize::serialize(job);
+    if let Value::Object(fields) = &mut value {
+        fields.retain(|(_, v)| !matches!(v, Value::Null));
+    }
+    serde_json::to_string(&value).expect("job serializes")
 }
 
 /// The job's fingerprint: 16 lowercase hex characters.
@@ -39,7 +52,6 @@ mod tests {
     fn job(seed: u64) -> JobSpec {
         JobSpec {
             campaign: "c".into(),
-            kind: "rate".into(),
             sides: vec![4, 4],
             concentration: Some(4),
             mechanism: Some("polsp".into()),
@@ -47,9 +59,9 @@ mod tests {
             scenario: Some("none".into()),
             load: Some(0.3),
             seed,
-            vcs: None,
             warmup: Some(100),
             measure: Some(200),
+            ..JobSpec::default()
         }
     }
 
@@ -72,6 +84,39 @@ mod tests {
         let mut j = job(1);
         j.warmup = None;
         assert_ne!(job_fingerprint(&j), base);
+        let mut j = job(1);
+        j.root = Some("max-degree".into());
+        assert_ne!(job_fingerprint(&j), base);
+        let mut j = job(1);
+        j.kind = "batch".into();
+        j.packets_per_server = Some(500);
+        j.sample_window = Some(5000);
+        let batch = job_fingerprint(&j);
+        assert_ne!(batch, base);
+        j.sample_window = Some(1000);
+        assert_ne!(job_fingerprint(&j), batch, "sample window is identity");
+    }
+
+    #[test]
+    fn canonical_json_omits_unset_optional_fields() {
+        // Unset optionals must not appear at all: this is what keeps old
+        // store fingerprints valid when JobSpec grows a new Option field.
+        let mut j = job(1);
+        j.vcs = None;
+        j.root = None;
+        let json = canonical_job_json(&j);
+        assert!(!json.contains("null"), "{json}");
+        assert!(!json.contains("root"), "{json}");
+        assert!(!json.contains("packets_per_server"), "{json}");
+        assert!(json.contains("\"mechanism\":\"polsp\""), "{json}");
+
+        // A job predating the root/batch fields fingerprints identically to
+        // one that has them unset.
+        let legacy = r#"{"campaign":"c","kind":"rate","sides":[4,4],"concentration":4,"mechanism":"polsp","traffic":"uniform","scenario":"none","load":0.3,"seed":1,"warmup":100,"measure":200}"#;
+        let legacy_job: JobSpec = serde_json::from_str(legacy).unwrap();
+        let mut modern = job(1);
+        modern.vcs = None;
+        assert_eq!(job_fingerprint(&legacy_job), job_fingerprint(&modern));
     }
 
     #[test]

@@ -42,8 +42,8 @@ pub struct CampaignSpec {
     /// Campaign name (used in job fingerprints and reports).
     pub name: String,
     /// Job kind understood by the executing bridge: `"rate"` (default) for
-    /// open-loop simulation points; other kinds (e.g. `"diameter"`) are
-    /// defined by their callers.
+    /// open-loop simulation points, `"batch"` for closed-loop completion-time
+    /// runs; other kinds (e.g. `"diameter"`) are defined by their callers.
     pub kind: Option<String>,
     /// The topologies of the grid (at least one).
     pub topologies: Vec<TopologySpec>,
@@ -53,16 +53,52 @@ pub struct CampaignSpec {
     pub traffics: Option<Vec<String>>,
     /// Fault scenario strings (e.g. `none`, `random:30:5`, `cross:5`).
     pub scenarios: Option<Vec<String>>,
+    /// Escape-root placement specs (e.g. `suggested`, `max-degree`); a
+    /// dimension of the grid, `None` = the caller's default placement.
+    pub roots: Option<Vec<String>>,
     /// Offered loads in phits/cycle/server.
     pub loads: Option<Vec<f64>>,
     /// Random seeds (default `[1]`).
     pub seeds: Option<Vec<u64>>,
-    /// Virtual channels per port (`None` = mechanism default).
+    /// Virtual channels per port (`None` = mechanism default). Mutually
+    /// exclusive with `vc_counts`.
     pub vcs: Option<usize>,
+    /// VC budgets swept as a grid dimension (ablation studies). Mutually
+    /// exclusive with `vcs`.
+    pub vc_counts: Option<Vec<usize>>,
     /// Warmup cycles override.
     pub warmup: Option<u64>,
     /// Measurement cycles override.
     pub measure: Option<u64>,
+    /// Packets each server sends in a `"batch"` (closed-loop) campaign.
+    pub packets_per_server: Option<u64>,
+    /// Sampling window (cycles) of the batch throughput-over-time curve.
+    pub sample_window: Option<u64>,
+}
+
+impl Default for CampaignSpec {
+    /// An empty (invalid) spec: a convenience base for struct updates in
+    /// spec-building code; `validate` rejects it until a name and at least
+    /// one topology are filled in.
+    fn default() -> Self {
+        CampaignSpec {
+            name: String::new(),
+            kind: None,
+            topologies: Vec::new(),
+            mechanisms: None,
+            traffics: None,
+            scenarios: None,
+            roots: None,
+            loads: None,
+            seeds: None,
+            vcs: None,
+            vc_counts: None,
+            warmup: None,
+            measure: None,
+            packets_per_server: None,
+            sample_window: None,
+        }
+    }
 }
 
 /// One fully instantiated cell of the campaign grid. Serialized verbatim
@@ -83,6 +119,8 @@ pub struct JobSpec {
     pub traffic: Option<String>,
     /// Fault scenario string.
     pub scenario: Option<String>,
+    /// Escape-root placement spec.
+    pub root: Option<String>,
     /// Offered load.
     pub load: Option<f64>,
     /// Random seed.
@@ -93,6 +131,34 @@ pub struct JobSpec {
     pub warmup: Option<u64>,
     /// Measurement cycles override.
     pub measure: Option<u64>,
+    /// Packets per server (batch jobs).
+    pub packets_per_server: Option<u64>,
+    /// Throughput sampling window in cycles (batch jobs).
+    pub sample_window: Option<u64>,
+}
+
+impl Default for JobSpec {
+    /// A neutral `"rate"` job with nothing filled in — a convenience base
+    /// for tests and spec-building code.
+    fn default() -> Self {
+        JobSpec {
+            campaign: String::new(),
+            kind: "rate".to_string(),
+            sides: Vec::new(),
+            concentration: None,
+            mechanism: None,
+            traffic: None,
+            scenario: None,
+            root: None,
+            load: None,
+            seed: 1,
+            vcs: None,
+            warmup: None,
+            measure: None,
+            packets_per_server: None,
+            sample_window: None,
+        }
+    }
 }
 
 impl JobSpec {
@@ -113,8 +179,17 @@ impl JobSpec {
         if let Some(s) = &self.scenario {
             parts.push(s.clone());
         }
+        if let Some(r) = &self.root {
+            parts.push(format!("root={r}"));
+        }
+        if let Some(v) = self.vcs {
+            parts.push(format!("vcs={v}"));
+        }
         if let Some(l) = self.load {
             parts.push(format!("load={l}"));
+        }
+        if let Some(p) = self.packets_per_server {
+            parts.push(format!("packets={p}"));
         }
         parts.push(format!("seed={}", self.seed));
         parts.join(" / ")
@@ -156,6 +231,7 @@ impl CampaignSpec {
                 "scenarios",
                 self.scenarios.as_ref().is_some_and(Vec::is_empty),
             ),
+            ("roots", self.roots.as_ref().is_some_and(Vec::is_empty)),
         ] {
             if empty {
                 return Err(format!("campaign dimension `{dim}` is present but empty"));
@@ -172,11 +248,24 @@ impl CampaignSpec {
         if self.seeds.as_ref().is_some_and(Vec::is_empty) {
             return Err("campaign dimension `seeds` is present but empty".to_string());
         }
+        if self.vc_counts.as_ref().is_some_and(Vec::is_empty) {
+            return Err("campaign dimension `vc_counts` is present but empty".to_string());
+        }
+        if self.vcs.is_some() && self.vc_counts.is_some() {
+            return Err("`vcs` and `vc_counts` are mutually exclusive".to_string());
+        }
+        if self.packets_per_server == Some(0) {
+            return Err("`packets_per_server` must be at least 1".to_string());
+        }
+        if self.sample_window == Some(0) {
+            return Err("`sample_window` must be at least 1".to_string());
+        }
         Ok(())
     }
 
     /// Expands the cross-product into the flat job list, in a deterministic
-    /// order: topology, mechanism, traffic, scenario, load, seed (innermost).
+    /// order: topology, mechanism, traffic, scenario, root, VC budget, load,
+    /// seed (innermost).
     pub fn expand(&self) -> Result<Vec<JobSpec>, String> {
         self.validate()?;
         let none_str = [None];
@@ -189,6 +278,11 @@ impl CampaignSpec {
         let mechanisms = opt_strings(&self.mechanisms);
         let traffics = opt_strings(&self.traffics);
         let scenarios = opt_strings(&self.scenarios);
+        let roots = opt_strings(&self.roots);
+        let vc_budgets: Vec<Option<usize>> = match &self.vc_counts {
+            Some(values) => values.iter().copied().map(Some).collect(),
+            None => vec![self.vcs],
+        };
         let loads: Vec<Option<f64>> = match &self.loads {
             Some(values) => values.iter().copied().map(Some).collect(),
             None => vec![None],
@@ -200,22 +294,29 @@ impl CampaignSpec {
             for mechanism in &mechanisms {
                 for traffic in &traffics {
                     for scenario in &scenarios {
-                        for load in &loads {
-                            for &seed in &seeds {
-                                jobs.push(JobSpec {
-                                    campaign: self.name.clone(),
-                                    kind: self.kind().to_string(),
-                                    sides: topology.sides.clone(),
-                                    concentration: topology.concentration,
-                                    mechanism: mechanism.clone(),
-                                    traffic: traffic.clone(),
-                                    scenario: scenario.clone(),
-                                    load: *load,
-                                    seed,
-                                    vcs: self.vcs,
-                                    warmup: self.warmup,
-                                    measure: self.measure,
-                                });
+                        for root in &roots {
+                            for &vcs in &vc_budgets {
+                                for load in &loads {
+                                    for &seed in &seeds {
+                                        jobs.push(JobSpec {
+                                            campaign: self.name.clone(),
+                                            kind: self.kind().to_string(),
+                                            sides: topology.sides.clone(),
+                                            concentration: topology.concentration,
+                                            mechanism: mechanism.clone(),
+                                            traffic: traffic.clone(),
+                                            scenario: scenario.clone(),
+                                            root: root.clone(),
+                                            load: *load,
+                                            seed,
+                                            vcs,
+                                            warmup: self.warmup,
+                                            measure: self.measure,
+                                            packets_per_server: self.packets_per_server,
+                                            sample_window: self.sample_window,
+                                        });
+                                    }
+                                }
                             }
                         }
                     }
@@ -260,7 +361,6 @@ mod tests {
     fn quick_spec() -> CampaignSpec {
         CampaignSpec {
             name: "quick".to_string(),
-            kind: None,
             topologies: vec![TopologySpec {
                 sides: vec![4, 4],
                 concentration: None,
@@ -270,9 +370,9 @@ mod tests {
             scenarios: Some(vec!["none".into(), "random:5:1".into()]),
             loads: Some(vec![0.2, 0.4]),
             seeds: Some(vec![1, 2, 3]),
-            vcs: None,
             warmup: Some(100),
             measure: Some(200),
+            ..CampaignSpec::default()
         }
     }
 
@@ -305,20 +405,55 @@ mod tests {
                 sides: vec![4, 4, 4],
                 concentration: None,
             }],
-            mechanisms: None,
-            traffics: None,
             scenarios: Some(vec!["random:100:7".into()]),
-            loads: None,
             seeds: Some(vec![7, 8]),
-            vcs: None,
-            warmup: None,
-            measure: None,
+            ..CampaignSpec::default()
         };
         let jobs = spec.expand().unwrap();
         assert_eq!(jobs.len(), 2);
         assert_eq!(jobs[0].kind, "diameter");
         assert_eq!(jobs[0].mechanism, None);
+        assert_eq!(jobs[0].root, None);
         assert_eq!(jobs[0].load, None);
+        assert_eq!(jobs[0].packets_per_server, None);
+    }
+
+    #[test]
+    fn roots_and_vc_counts_are_grid_dimensions() {
+        let spec = CampaignSpec {
+            roots: Some(vec!["suggested".into(), "max-degree".into()]),
+            vc_counts: Some(vec![2, 4, 6]),
+            loads: Some(vec![0.4]),
+            seeds: Some(vec![1]),
+            scenarios: Some(vec!["star".into()]),
+            ..quick_spec()
+        };
+        let jobs = spec.expand().unwrap();
+        // 2 mechanisms x 1 traffic x 1 scenario x 2 roots x 3 VC budgets.
+        assert_eq!(jobs.len(), 12);
+        assert_eq!(jobs[0].root.as_deref(), Some("suggested"));
+        assert_eq!(jobs[0].vcs, Some(2));
+        assert_eq!(jobs[1].vcs, Some(4), "vcs vary inside a root");
+        assert_eq!(jobs[3].root.as_deref(), Some("max-degree"));
+        let label = jobs[3].label();
+        assert!(label.contains("root=max-degree"), "{label}");
+        assert!(label.contains("vcs=2"), "{label}");
+    }
+
+    #[test]
+    fn batch_fields_reach_every_job() {
+        let spec = CampaignSpec {
+            kind: Some("batch".to_string()),
+            loads: None,
+            packets_per_server: Some(60),
+            sample_window: Some(500),
+            ..quick_spec()
+        };
+        let jobs = spec.expand().unwrap();
+        assert!(jobs
+            .iter()
+            .all(|j| j.packets_per_server == Some(60) && j.sample_window == Some(500)));
+        assert!(jobs[0].label().contains("packets=60"));
     }
 
     #[test]
@@ -337,6 +472,27 @@ mod tests {
 
         let mut s = quick_spec();
         s.topologies[0].sides = vec![1, 4];
+        assert!(s.expand().is_err());
+
+        let mut s = quick_spec();
+        s.vcs = Some(4);
+        s.vc_counts = Some(vec![2, 4]);
+        assert!(s.expand().unwrap_err().contains("mutually exclusive"));
+
+        let mut s = quick_spec();
+        s.vc_counts = Some(vec![]);
+        assert!(s.expand().is_err());
+
+        let mut s = quick_spec();
+        s.roots = Some(vec![]);
+        assert!(s.expand().is_err());
+
+        let mut s = quick_spec();
+        s.packets_per_server = Some(0);
+        assert!(s.expand().is_err());
+
+        let mut s = quick_spec();
+        s.sample_window = Some(0);
         assert!(s.expand().is_err());
     }
 

@@ -42,22 +42,31 @@ pub struct StoreRecord {
     pub error: Option<String>,
 }
 
+/// The indexed contents of a store file: records by fingerprint, first-seen
+/// order, and the corrupt-line tally.
+type IndexedRecords = (HashMap<String, StoreRecord>, Vec<String>, usize);
+
 /// An append-only, fingerprint-indexed JSONL result store.
 #[derive(Debug)]
 pub struct ResultStore {
     path: PathBuf,
-    writer: BufWriter<File>,
+    /// `None` for read-only stores (see [`ResultStore::open_read_only`]).
+    writer: Option<BufWriter<File>>,
     /// fingerprint → record, last-writer-wins (an `ok` overwrites a stale
     /// `failed` from an earlier run).
     records: HashMap<String, StoreRecord>,
+    /// Fingerprints in first-seen (file) order, so consumers that render
+    /// reports can iterate deterministically. In a finalized store this is
+    /// the canonical grid order.
+    order: Vec<String>,
     /// Lines that could not be parsed when reopening (corruption tally).
     pub corrupt_lines: usize,
 }
 
 impl ResultStore {
-    /// Opens (or creates) the store at `path`, indexing existing records.
-    pub fn open(path: &Path) -> std::io::Result<Self> {
+    fn index(path: &Path, tolerate_missing: bool) -> std::io::Result<IndexedRecords> {
         let mut records = HashMap::new();
+        let mut order: Vec<String> = Vec::new();
         let mut corrupt_lines = 0;
         match std::fs::read_to_string(path) {
             Ok(existing) => {
@@ -73,6 +82,9 @@ impl ResultStore {
                                     old.status == "ok" && record.status != "ok"
                                 });
                             if !keep_old {
+                                if !records.contains_key(&record.fp) {
+                                    order.push(record.fp.clone());
+                                }
                                 records.insert(record.fp.clone(), record);
                             }
                         }
@@ -80,9 +92,16 @@ impl ResultStore {
                     }
                 }
             }
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound && tolerate_missing => {}
             Err(e) => return Err(e),
         }
+        Ok((records, order, corrupt_lines))
+    }
+
+    /// Opens (or creates) the store at `path` for appending, indexing
+    /// existing records.
+    pub fn open(path: &Path) -> std::io::Result<Self> {
+        let (records, order, corrupt_lines) = Self::index(path, true)?;
         if let Some(parent) = path.parent() {
             if !parent.as_os_str().is_empty() {
                 std::fs::create_dir_all(parent)?;
@@ -91,8 +110,24 @@ impl ResultStore {
         let file = OpenOptions::new().create(true).append(true).open(path)?;
         Ok(ResultStore {
             path: path.to_path_buf(),
-            writer: BufWriter::new(file),
+            writer: Some(BufWriter::new(file)),
             records,
+            order,
+            corrupt_lines,
+        })
+    }
+
+    /// Opens the store at `path` read-only: no file is created, no write
+    /// access is required (archived stores on read-only media report fine),
+    /// and a missing file is an error rather than an empty store. Appending
+    /// or finalizing a read-only store fails.
+    pub fn open_read_only(path: &Path) -> std::io::Result<Self> {
+        let (records, order, corrupt_lines) = Self::index(path, false)?;
+        Ok(ResultStore {
+            path: path.to_path_buf(),
+            writer: None,
+            records,
+            order,
             corrupt_lines,
         })
     }
@@ -119,17 +154,33 @@ impl ResultStore {
         self.records.values()
     }
 
+    /// All indexed records in first-seen (file) order — the canonical grid
+    /// order for a finalized store. Report renderers must use this (not
+    /// [`ResultStore::records`]) so their output is deterministic.
+    pub fn records_in_order(&self) -> impl Iterator<Item = &StoreRecord> {
+        self.order.iter().filter_map(|fp| self.records.get(fp))
+    }
+
     /// The store's path.
     pub fn path(&self) -> &Path {
         &self.path
     }
 
     fn append(&mut self, record: StoreRecord) -> std::io::Result<()> {
+        let Some(writer) = &mut self.writer else {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::PermissionDenied,
+                "store was opened read-only",
+            ));
+        };
         let line = serde_json::to_string(&record).expect("record serializes");
-        self.writer.write_all(line.as_bytes())?;
-        self.writer.write_all(b"\n")?;
+        writer.write_all(line.as_bytes())?;
+        writer.write_all(b"\n")?;
         // Flush per record: an interrupted campaign must keep what finished.
-        self.writer.flush()?;
+        writer.flush()?;
+        if !self.records.contains_key(&record.fp) {
+            self.order.push(record.fp.clone());
+        }
         self.records.insert(record.fp.clone(), record);
         Ok(())
     }
@@ -162,6 +213,12 @@ impl ResultStore {
     /// duplicates and corruption. Atomic (temp file + rename). Makes
     /// completed campaign stores byte-identical across runs.
     pub fn finalize(&mut self, jobs: &[JobSpec]) -> std::io::Result<()> {
+        if self.writer.is_none() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::PermissionDenied,
+                "store was opened read-only",
+            ));
+        }
         let mut ordered: Vec<&StoreRecord> = Vec::new();
         let mut listed = std::collections::HashSet::new();
         for status in ["ok", "failed"] {
@@ -174,15 +231,22 @@ impl ResultStore {
                 }
             }
         }
-        // Records for jobs outside the current grid (e.g. the spec shrank)
-        // are preserved after the grid's own, in fingerprint order.
+        // Records outside the current grid — other campaigns sharing the
+        // store, or a spec that shrank — are preserved after the grid's own,
+        // grouped by (campaign, kind) but otherwise in first-seen order: for
+        // a campaign that already finalized, that is its own canonical grid
+        // order, so finalizing campaign B never scrambles campaign A's
+        // report order.
         let mut extras: Vec<&StoreRecord> = self
-            .records
-            .values()
+            .order
+            .iter()
+            .filter_map(|fp| self.records.get(fp))
             .filter(|r| !listed.contains(&r.fp))
             .collect();
-        extras.sort_by(|a, b| a.fp.cmp(&b.fp));
+        extras.sort_by_key(|r| (r.job.campaign.clone(), r.job.kind.clone()));
         ordered.extend(extras);
+
+        let canonical_order: Vec<String> = ordered.iter().map(|r| r.fp.clone()).collect();
 
         let mut text = String::new();
         for record in &ordered {
@@ -192,14 +256,103 @@ impl ResultStore {
         let tmp = self.path.with_extension("jsonl.tmp");
         std::fs::write(&tmp, text)?;
         std::fs::rename(&tmp, &self.path)?;
+        self.order = canonical_order;
         // Reopen the append handle on the renamed file.
         let file = OpenOptions::new()
             .create(true)
             .append(true)
             .open(&self.path)?;
-        self.writer = BufWriter::new(file);
+        self.writer = Some(BufWriter::new(file));
         Ok(())
     }
+}
+
+/// What [`merge_stores`] did.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MergeSummary {
+    /// Records read across all input shards (post-dedup within each shard).
+    pub read: usize,
+    /// Records written to the merged store.
+    pub written: usize,
+    /// Records dropped because another shard had the same fingerprint
+    /// (`ok` beats `failed`; among equals the earlier shard wins).
+    pub duplicates: usize,
+}
+
+/// The content-based sort key used for merged stores: grid dimensions in
+/// expansion order (campaign, kind, topology, mechanism, traffic, scenario,
+/// root, VCs, load, seed, …), so a merged store reads like a finalized one
+/// rather than hashing records into fingerprint order. Loads compare via
+/// their bit pattern, which matches numeric order for the (0, 1] range the
+/// validator enforces.
+fn job_sort_key(job: &JobSpec) -> impl Ord + '_ {
+    (
+        (&job.campaign, &job.kind, &job.sides, job.concentration),
+        (&job.mechanism, &job.traffic, &job.scenario, &job.root),
+        (job.vcs, job.load.map(f64::to_bits), job.seed),
+        (
+            job.warmup,
+            job.measure,
+            job.packets_per_server,
+            job.sample_window,
+        ),
+    )
+}
+
+/// Merges sharded result stores into one.
+///
+/// Campaigns can be split across processes or machines by giving each shard
+/// its own store (fingerprints are machine-independent, so the records
+/// compose). This reads every input shard, dedups by fingerprint (`ok` beats
+/// `failed`; among records of equal status the earliest-listed shard wins)
+/// and writes the union to `output` sorted by the jobs' grid dimensions —
+/// a canonical, report-friendly order that does not depend on shard listing
+/// order, so merging the same shards always produces identical bytes.
+pub fn merge_stores(output: &Path, inputs: &[PathBuf]) -> std::io::Result<MergeSummary> {
+    let mut merged: HashMap<String, StoreRecord> = HashMap::new();
+    let mut read = 0;
+    let mut duplicates = 0;
+    for input in inputs {
+        let shard = ResultStore::open_read_only(input)?;
+        for record in shard.records_in_order() {
+            read += 1;
+            let keep_old = merged
+                .get(&record.fp)
+                .is_some_and(|old| !(old.status != "ok" && record.status == "ok"));
+            if keep_old {
+                duplicates += 1;
+            } else {
+                if merged.contains_key(&record.fp) {
+                    duplicates += 1;
+                }
+                merged.insert(record.fp.clone(), record.clone());
+            }
+        }
+    }
+    let mut ordered: Vec<&StoreRecord> = merged.values().collect();
+    ordered.sort_by(|a, b| {
+        job_sort_key(&a.job)
+            .cmp(&job_sort_key(&b.job))
+            .then(a.fp.cmp(&b.fp))
+    });
+    let mut text = String::new();
+    for record in &ordered {
+        text.push_str(&serde_json::to_string(record).expect("record serializes"));
+        text.push('\n');
+    }
+    if let Some(parent) = output.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let tmp = output.with_extension("jsonl.tmp");
+    std::fs::write(&tmp, text)?;
+    std::fs::rename(&tmp, output)?;
+    Ok(MergeSummary {
+        read,
+        written: ordered.len(),
+        duplicates,
+    })
 }
 
 #[cfg(test)]
@@ -209,17 +362,13 @@ mod tests {
     fn job(seed: u64) -> JobSpec {
         JobSpec {
             campaign: "store-test".into(),
-            kind: "rate".into(),
             sides: vec![4, 4],
-            concentration: None,
             mechanism: Some("polsp".into()),
             traffic: Some("uniform".into()),
             scenario: Some("none".into()),
             load: Some(0.5),
             seed,
-            vcs: None,
-            warmup: None,
-            measure: None,
+            ..JobSpec::default()
         }
     }
 
@@ -315,6 +464,102 @@ mod tests {
     }
 
     #[test]
+    fn read_only_open_needs_no_write_access_and_rejects_writes() {
+        let path = temp_path("read-only");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut store = ResultStore::open(&path).unwrap();
+            store.append_ok(&job(1), Value::Null).unwrap();
+        }
+        let mut ro = ResultStore::open_read_only(&path).unwrap();
+        assert_eq!(ro.completed_count(), 1);
+        assert!(ro.append_ok(&job(2), Value::Null).is_err());
+        assert!(ro.finalize(&[job(1)]).is_err());
+        // A missing file is an error, not a silently created empty store.
+        let missing = temp_path("read-only-missing");
+        let _ = std::fs::remove_file(&missing);
+        assert!(ResultStore::open_read_only(&missing).is_err());
+        assert!(!missing.exists(), "read-only open must not create files");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn records_in_order_follows_file_order() {
+        let path = temp_path("ordered");
+        let _ = std::fs::remove_file(&path);
+        let jobs: Vec<JobSpec> = [4u64, 1, 3].iter().map(|&s| job(s)).collect();
+        {
+            let mut store = ResultStore::open(&path).unwrap();
+            for j in &jobs {
+                store
+                    .append_ok(j, serde_json::to_value(&j.seed).unwrap())
+                    .unwrap();
+            }
+            let seeds: Vec<u64> = store.records_in_order().map(|r| r.job.seed).collect();
+            assert_eq!(seeds, vec![4, 1, 3], "live store follows append order");
+        }
+        let reopened = ResultStore::open(&path).unwrap();
+        let seeds: Vec<u64> = reopened.records_in_order().map(|r| r.job.seed).collect();
+        assert_eq!(seeds, vec![4, 1, 3], "reopened store follows file order");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn finalize_resets_iteration_to_canonical_grid_order() {
+        let path = temp_path("ordered-final");
+        let _ = std::fs::remove_file(&path);
+        let jobs: Vec<JobSpec> = (1..=3).map(job).collect();
+        let mut store = ResultStore::open(&path).unwrap();
+        for j in jobs.iter().rev() {
+            store.append_ok(j, Value::Null).unwrap();
+        }
+        store.finalize(&jobs).unwrap();
+        let seeds: Vec<u64> = store.records_in_order().map(|r| r.job.seed).collect();
+        assert_eq!(seeds, vec![1, 2, 3]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn merge_stores_combines_shards_deterministically() {
+        let shard_a = temp_path("merge-a");
+        let shard_b = temp_path("merge-b");
+        let out_ab = temp_path("merge-out-ab");
+        let out_ba = temp_path("merge-out-ba");
+        for p in [&shard_a, &shard_b, &out_ab, &out_ba] {
+            let _ = std::fs::remove_file(p);
+        }
+        {
+            let mut a = ResultStore::open(&shard_a).unwrap();
+            a.append_ok(&job(1), Value::Bool(true)).unwrap();
+            a.append_failed(&job(2), "shard-a died".into()).unwrap();
+            let mut b = ResultStore::open(&shard_b).unwrap();
+            b.append_ok(&job(2), Value::Bool(true)).unwrap();
+            b.append_ok(&job(3), Value::Bool(true)).unwrap();
+        }
+        let summary = merge_stores(&out_ab, &[shard_a.clone(), shard_b.clone()]).unwrap();
+        assert_eq!(summary.read, 4);
+        assert_eq!(summary.written, 3);
+        assert_eq!(summary.duplicates, 1);
+
+        let merged = ResultStore::open(&out_ab).unwrap();
+        assert_eq!(merged.completed_count(), 3, "ok from shard b healed job 2");
+        // Merged records come back in grid order (here: by seed), not in
+        // fingerprint-hash order — reports over merged stores stay readable.
+        let seeds: Vec<u64> = merged.records_in_order().map(|r| r.job.seed).collect();
+        assert_eq!(seeds, vec![1, 2, 3]);
+
+        // Shard listing order must not change the merged bytes.
+        merge_stores(&out_ba, &[shard_b.clone(), shard_a.clone()]).unwrap();
+        assert_eq!(
+            std::fs::read(&out_ab).unwrap(),
+            std::fs::read(&out_ba).unwrap()
+        );
+        for p in [&shard_a, &shard_b, &out_ab, &out_ba] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
     fn finalize_keeps_out_of_grid_records() {
         let path = temp_path("extras");
         let _ = std::fs::remove_file(&path);
@@ -324,6 +569,49 @@ mod tests {
         store.finalize(&[job(1)]).unwrap();
         let reopened = ResultStore::open(&path).unwrap();
         assert_eq!(reopened.completed_count(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn finalizing_one_campaign_preserves_the_others_canonical_order() {
+        // Two campaigns share a store (the figure binaries do this). After
+        // campaign A finalizes in grid order and campaign B then runs and
+        // finalizes, A's records must still read back in A's grid order —
+        // report rendering depends on it.
+        let path = temp_path("two-campaigns");
+        let _ = std::fs::remove_file(&path);
+        let job_in = |campaign: &str, seed: u64| JobSpec {
+            campaign: campaign.into(),
+            seed,
+            ..job(seed)
+        };
+        let grid_a: Vec<JobSpec> = (1..=4).map(|s| job_in("a", s)).collect();
+        let grid_b: Vec<JobSpec> = (1..=3).map(|s| job_in("b", s)).collect();
+        let mut store = ResultStore::open(&path).unwrap();
+        // Campaign A completes out of order, then finalizes canonically.
+        for j in [&grid_a[2], &grid_a[0], &grid_a[3], &grid_a[1]] {
+            store.append_ok(j, Value::Null).unwrap();
+        }
+        store.finalize(&grid_a).unwrap();
+        // Campaign B completes out of order, then finalizes.
+        for j in [&grid_b[1], &grid_b[2], &grid_b[0]] {
+            store.append_ok(j, Value::Null).unwrap();
+        }
+        store.finalize(&grid_b).unwrap();
+
+        let reopened = ResultStore::open(&path).unwrap();
+        let a_seeds: Vec<u64> = reopened
+            .records_in_order()
+            .filter(|r| r.job.campaign == "a")
+            .map(|r| r.job.seed)
+            .collect();
+        assert_eq!(a_seeds, vec![1, 2, 3, 4], "campaign A stays in grid order");
+        let b_seeds: Vec<u64> = reopened
+            .records_in_order()
+            .filter(|r| r.job.campaign == "b")
+            .map(|r| r.job.seed)
+            .collect();
+        assert_eq!(b_seeds, vec![1, 2, 3]);
         let _ = std::fs::remove_file(&path);
     }
 }

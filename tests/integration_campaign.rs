@@ -11,7 +11,6 @@ use surepath::runner::{self, job_fingerprint};
 fn tiny_spec(name: &str) -> CampaignSpec {
     CampaignSpec {
         name: name.to_string(),
-        kind: None,
         topologies: vec![TopologySpec {
             sides: vec![4, 4],
             concentration: None,
@@ -24,6 +23,28 @@ fn tiny_spec(name: &str) -> CampaignSpec {
         vcs: Some(4),
         warmup: Some(100),
         measure: Some(250),
+        ..CampaignSpec::default()
+    }
+}
+
+/// A tiny closed-loop (completion-time) campaign: the batch analogue of
+/// [`tiny_spec`], exercising the `kind = "batch"` core bridge.
+fn tiny_batch_spec(name: &str) -> CampaignSpec {
+    CampaignSpec {
+        name: name.to_string(),
+        kind: Some("batch".into()),
+        topologies: vec![TopologySpec {
+            sides: vec![4, 4],
+            concentration: None,
+        }],
+        mechanisms: Some(vec!["omnisp".into(), "polsp".into()]),
+        traffics: Some(vec!["uniform".into()]),
+        scenarios: Some(vec!["none".into(), "random:6:5".into()]),
+        seeds: Some(vec![1, 2]),
+        vcs: Some(4),
+        packets_per_server: Some(15),
+        sample_window: Some(300),
+        ..CampaignSpec::default()
     }
 }
 
@@ -126,6 +147,78 @@ fn a_panicking_job_is_isolated_and_the_campaign_completes() {
     assert_eq!(healed.skipped, 7);
     assert_eq!(healed.executed, 1);
     assert!(healed.is_complete());
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn batch_campaign_stores_are_byte_identical_across_thread_counts() {
+    let spec = tiny_batch_spec("batch-bytes");
+    let path_serial = temp_store("batch-bytes-serial");
+    let path_parallel = temp_store("batch-bytes-parallel");
+    let _ = std::fs::remove_file(&path_serial);
+    let _ = std::fs::remove_file(&path_parallel);
+
+    let a = run_campaign(&spec, &path_serial, Some(1), true).unwrap();
+    let b = run_campaign(&spec, &path_parallel, Some(4), true).unwrap();
+    assert_eq!(a.executed, 8);
+    assert_eq!(a.failed + b.failed, 0);
+
+    let serial = std::fs::read(&path_serial).unwrap();
+    let parallel = std::fs::read(&path_parallel).unwrap();
+    assert!(!serial.is_empty());
+    assert_eq!(
+        serial, parallel,
+        "batch campaign stores must be byte-identical across schedules"
+    );
+    // The stored payloads are full BatchMetrics: completion time, the
+    // throughput-over-time samples and the stalled flag.
+    let store = ResultStore::open(&path_serial).unwrap();
+    for record in store.records() {
+        let result = record.result.as_ref().expect("ok record");
+        assert!(result["completion_time"].as_u64().unwrap() > 0);
+        assert!(!result["samples"].as_array().unwrap().is_empty());
+        assert_eq!(result["stalled"].as_bool(), Some(false));
+    }
+    let _ = std::fs::remove_file(&path_serial);
+    let _ = std::fs::remove_file(&path_parallel);
+}
+
+#[test]
+fn interrupted_batch_campaign_resumes_running_only_missing_jobs() {
+    let spec = tiny_batch_spec("batch-resume");
+    let jobs = spec.expand().unwrap();
+    let path = temp_store("batch-resume");
+    let _ = std::fs::remove_file(&path);
+
+    // Simulate an interruption: pre-complete 3 of the 8 batch jobs through
+    // the same bridge the campaign uses.
+    {
+        let mut store = ResultStore::open(&path).unwrap();
+        for job in jobs.iter().take(3) {
+            store.append_ok(job, run_job(job).unwrap()).unwrap();
+        }
+    }
+
+    let executed = AtomicUsize::new(0);
+    let outcome = runner::run_campaign(&spec, &path, Some(4), true, |job| {
+        executed.fetch_add(1, Ordering::Relaxed);
+        run_job(job)
+    })
+    .unwrap();
+    assert_eq!(outcome.total, 8);
+    assert_eq!(outcome.skipped, 3);
+    assert_eq!(outcome.executed, 5);
+    assert_eq!(
+        executed.load(Ordering::Relaxed),
+        5,
+        "only the missing batch jobs ran"
+    );
+    assert!(outcome.is_complete());
+
+    // And a third run touches nothing at all.
+    let untouched = run_campaign(&spec, &path, Some(4), true).unwrap();
+    assert_eq!(untouched.skipped, 8);
+    assert_eq!(untouched.executed, 0);
     let _ = std::fs::remove_file(&path);
 }
 
