@@ -12,7 +12,7 @@
 //! resumable store, rendered from the store.
 
 use hyperx_bench::{
-    mechanism_keys, run_campaigns_to_store, saturation_load, sides_2d, sides_3d, windows,
+    mechanism_keys, replicas, run_campaigns_to_store, saturation_load, sides_2d, sides_3d, windows,
     HarnessOptions, Scale,
 };
 use hyperx_routing::MechanismSpec;
@@ -101,6 +101,8 @@ fn campaign(scale: Scale, case: &Case) -> CampaignSpec {
         traffics: Some(vec![case.traffic.to_string()]),
         scenarios: Some(vec![case.scenario.key()]),
         loads: Some(vec![saturation_load()]),
+        // Replica means per variant instead of single draws.
+        replicas: Some(replicas(scale)),
         vcs: case.vcs,
         warmup: Some(warmup),
         measure: Some(measure),

@@ -12,8 +12,8 @@
 //! resumable store, rendered from the store.
 
 use hyperx_bench::{
-    mechanism_keys, run_campaigns_to_store, saturation_load, sides_3d, windows, HarnessOptions,
-    Scale,
+    mechanism_keys, replicas, run_campaigns_to_store, saturation_load, sides_3d, windows,
+    HarnessOptions, Scale,
 };
 use hyperx_routing::MechanismSpec;
 use hyperx_topology::FaultShape;
@@ -50,6 +50,8 @@ fn campaign(scale: Scale) -> CampaignSpec {
             "min-total-distance".to_string(),
         ]),
         loads: Some(vec![saturation_load()]),
+        // Replica means per placement instead of single draws.
+        replicas: Some(replicas(scale)),
         vcs: Some(4),
         warmup: Some(warmup),
         measure: Some(measure),

@@ -11,8 +11,8 @@
 //! the shared store and rendered from it.
 
 use hyperx_bench::{
-    mechanism_keys, run_campaigns_to_store, saturation_load, sides_3d, windows, HarnessOptions,
-    Scale,
+    mechanism_keys, replicas, run_campaigns_to_store, saturation_load, sides_3d, windows,
+    HarnessOptions, Scale,
 };
 use hyperx_routing::MechanismSpec;
 use hyperx_topology::FaultShape;
@@ -43,6 +43,8 @@ fn campaign(scale: Scale, label: &str, scenario: &FaultScenario) -> CampaignSpec
         traffics: Some(vec!["uniform".to_string()]),
         scenarios: Some(vec![scenario.key()]),
         loads: Some(vec![saturation_load()]),
+        // Replica means per VC budget instead of single draws.
+        replicas: Some(replicas(scale)),
         vc_counts: Some(vec![2, 3, 4, 6]),
         warmup: Some(warmup),
         measure: Some(measure),

@@ -11,10 +11,10 @@
 //! it stopped instead of starting over.
 
 use hyperx_bench::{
-    fault_steps, saturation_load, sides_2d, sides_3d, windows, HarnessOptions, Scale,
+    fault_steps, replicas, saturation_load, sides_2d, sides_3d, windows, HarnessOptions, Scale,
 };
 use hyperx_routing::MechanismSpec;
-use surepath_core::{CampaignSpec, ResultStore, TopologySpec, TrafficSpec};
+use surepath_core::{replicated_rate_points, CampaignSpec, ResultStore, TopologySpec, TrafficSpec};
 
 const FAULT_SEED: u64 = 20_240_404;
 
@@ -43,7 +43,9 @@ fn network_campaign(
                 .collect(),
         ),
         loads: Some(vec![saturation_load()]),
-        seeds: Some(vec![1]),
+        // Every (pattern, fault-count) point replicates across derived seeds
+        // — the figure reports the replica mean, the CSV carries the CI.
+        replicas: Some(replicas(scale)),
         // The paper's 4-VC SurePath configuration (3 routing + 1 escape).
         vcs: Some(4),
         warmup: Some(warmup),
@@ -75,19 +77,18 @@ fn render_network(
         print!("{:>8}", format!("f={count}"));
     }
     println!();
-    // Index the store by (mechanism, traffic, fault count). Only keyed
-    // lookups below — the render order comes from the fixed lineups.
+    // Index the replica-aggregated points by (mechanism, traffic, fault
+    // count). Only keyed lookups below — the render order comes from the
+    // fixed lineups. The table prints the replica mean; the CSV carries the
+    // sample size and ±2σ/√n half-widths.
     let mut cells = std::collections::HashMap::new();
-    for record in store.records_in_order() {
-        if record.status != "ok" || record.job.campaign != campaign.name {
-            continue;
-        }
+    for point in replicated_rate_points(store, Some(&campaign.name)) {
         let key = (
-            record.job.mechanism.clone().unwrap_or_default(),
-            record.job.traffic.clone().unwrap_or_default(),
-            fault_count(record.job.scenario.as_deref().unwrap_or_default()),
+            point.job.mechanism.clone().unwrap_or_default(),
+            point.job.traffic.clone().unwrap_or_default(),
+            fault_count(point.job.scenario.as_deref().unwrap_or_default()),
         );
-        cells.insert(key, record);
+        cells.insert(key, point);
     }
     for &traffic in patterns {
         for mechanism in MechanismSpec::surepath_lineup() {
@@ -101,19 +102,21 @@ fn render_network(
                     traffic.key().to_string(),
                     count,
                 );
-                let Some(record) = cells.get(&key) else {
+                let Some(point) = cells.get(&key) else {
                     print!("{:>8}", "-");
                     continue;
                 };
-                let result = record.result.as_ref().expect("ok records carry results");
-                let accepted = result["accepted_load"].as_f64().unwrap_or(f64::NAN);
-                let latency = result["average_latency"].as_f64().unwrap_or(f64::NAN);
-                let jain = result["jain_generated"].as_f64().unwrap_or(f64::NAN);
-                print!("{accepted:>8.3}");
+                print!("{:>8.3}", point.accepted_load.mean);
                 csv.push_str(&format!(
-                    "{name},{},{},{count},{accepted:.6},{latency:.3},{jain:.5}\n",
+                    "{name},{},{},{count},{},{:.6},{},{:.3},{},{:.5}\n",
                     mechanism.name(),
                     traffic.name().replace(',', ";"),
+                    point.n,
+                    point.accepted_load.mean,
+                    surepath_core::csv_half_width(&point.accepted_load, 6),
+                    point.average_latency.mean,
+                    surepath_core::csv_half_width(&point.average_latency, 3),
+                    point.jain_generated.mean,
                 ));
             }
             println!();
@@ -126,8 +129,9 @@ fn main() {
     let opts = HarnessOptions::from_args();
     let steps = fault_steps(opts.scale);
     let store_path = opts.store_path("fig06");
-    let mut csv =
-        String::from("network,mechanism,traffic,faults,accepted_load,average_latency,jain\n");
+    let mut csv = String::from(
+        "network,mechanism,traffic,faults,replicas,accepted_mean,accepted_hw,latency_mean,latency_hw,jain_mean\n",
+    );
 
     let patterns_2d = TrafficSpec::lineup_2d();
     let patterns_3d = TrafficSpec::lineup_3d();

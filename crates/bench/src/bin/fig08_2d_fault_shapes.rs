@@ -65,6 +65,9 @@ fn campaign(scale: Scale, shapes: &[(&str, FaultScenario)]) -> CampaignSpec {
         traffics: Some(traffic_keys(&TrafficSpec::lineup_2d())),
         scenarios: Some(scenario_keys),
         loads: Some(vec![saturation_load()]),
+        // Every point replicates across derived seeds: the figure reports
+        // mean ± CI instead of a single draw.
+        replicas: Some(hyperx_bench::replicas(scale)),
         // The paper's 4-VC SurePath configuration, healthy reference included.
         vcs: Some(4),
         warmup: Some(warmup),
@@ -79,8 +82,9 @@ fn main() {
     let spec = campaign(opts.scale, &shapes);
     let store = run_campaigns_to_store(&opts, "fig08", std::slice::from_ref(&spec));
 
-    let mut csv =
-        String::from("shape,traffic,mechanism,accepted_load,healthy_reference,drop_percent\n");
+    let mut csv = String::from(
+        "shape,traffic,mechanism,replicas,accepted_mean,accepted_hw,healthy_mean,healthy_hw,drop_percent\n",
+    );
     render_fault_shape_figure(
         "Figure 8",
         32,

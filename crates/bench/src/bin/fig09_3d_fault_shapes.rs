@@ -63,6 +63,8 @@ fn campaign(scale: Scale, shapes: &[(&str, FaultScenario)]) -> CampaignSpec {
         traffics: Some(traffic_keys(&TrafficSpec::lineup_3d())),
         scenarios: Some(scenario_keys),
         loads: Some(vec![saturation_load()]),
+        // Mean ± CI per point (see fig08).
+        replicas: Some(hyperx_bench::replicas(scale)),
         vcs: Some(4),
         warmup: Some(warmup),
         measure: Some(measure),
@@ -76,8 +78,9 @@ fn main() {
     let spec = campaign(opts.scale, &shapes);
     let store = run_campaigns_to_store(&opts, "fig09", std::slice::from_ref(&spec));
 
-    let mut csv =
-        String::from("shape,traffic,mechanism,accepted_load,healthy_reference,drop_percent\n");
+    let mut csv = String::from(
+        "shape,traffic,mechanism,replicas,accepted_mean,accepted_hw,healthy_mean,healthy_hw,drop_percent\n",
+    );
     render_fault_shape_figure(
         "Figure 9",
         44,

@@ -157,10 +157,10 @@ pub fn run_campaigns_to_store(
 }
 
 /// Renders a Figures-8/9-style fault-shape comparison from the store: one
-/// section per shape with faulty vs healthy accepted load and the drop
-/// percentage, for every (traffic, SurePath mechanism) pair, appending CSV
-/// rows. `label_width` sizes the `traffic / mechanism` column (the 3D
-/// pattern names are longer).
+/// section per shape with faulty vs healthy accepted load (replica mean ±
+/// CI) and the drop percentage of the means, for every (traffic, SurePath
+/// mechanism) pair, appending CSV rows. `label_width` sizes the
+/// `traffic / mechanism` column (the 3D pattern names are longer).
 pub fn render_fault_shape_figure(
     figure: &str,
     label_width: usize,
@@ -170,19 +170,20 @@ pub fn render_fault_shape_figure(
     shapes: &[(&str, surepath_core::FaultScenario)],
     csv: &mut String,
 ) {
-    use surepath_core::FaultScenario;
-    // Index accepted loads by (mechanism, traffic, scenario) display names.
+    use surepath_core::{csv_half_width, format_mean_hw, FaultScenario};
+    // Index replica-aggregated accepted loads by (mechanism, traffic,
+    // scenario) display names.
     let mut accepted = std::collections::HashMap::new();
-    for p in surepath_core::rate_points_from_store(store, Some(campaign)) {
+    for p in surepath_core::replicated_rate_points(store, Some(campaign)) {
         accepted.insert(
             (p.mechanism.clone(), p.traffic.clone(), p.scenario.clone()),
-            p.metrics.accepted_load,
+            p.accepted_load,
         );
     }
     for (shape_name, scenario) in shapes {
         println!("=== {figure} / {shape_name} faults ===");
         println!(
-            "{:>label_width$}  {:>8}  {:>8}  {:>8}",
+            "{:>label_width$}  {:>14}  {:>14}  {:>8}",
             "traffic / mechanism", "faulty", "healthy", "drop%"
         );
         for &traffic in patterns {
@@ -194,7 +195,7 @@ pub fn render_fault_shape_figure(
                         s.name(),
                     )
                 };
-                let (Some(&faulty), Some(&healthy)) = (
+                let (Some(faulty), Some(healthy)) = (
                     accepted.get(&key(scenario)),
                     accepted.get(&key(&FaultScenario::None)),
                 ) else {
@@ -204,19 +205,26 @@ pub fn render_fault_shape_figure(
                     );
                     continue;
                 };
-                let drop = if healthy > 0.0 {
-                    100.0 * (1.0 - faulty / healthy)
+                let drop = if healthy.mean > 0.0 {
+                    100.0 * (1.0 - faulty.mean / healthy.mean)
                 } else {
                     0.0
                 };
                 println!(
-                    "{:>label_width$}  {faulty:>8.3}  {healthy:>8.3}  {drop:>8.1}",
-                    format!("{} / {}", traffic.name(), mechanism.name())
+                    "{:>label_width$}  {:>14}  {:>14}  {drop:>8.1}",
+                    format!("{} / {}", traffic.name(), mechanism.name()),
+                    format_mean_hw(faulty, 3),
+                    format_mean_hw(healthy, 3),
                 );
                 csv.push_str(&format!(
-                    "{shape_name},{},{},{faulty:.6},{healthy:.6},{drop:.2}\n",
+                    "{shape_name},{},{},{},{:.6},{},{:.6},{},{drop:.2}\n",
                     traffic.name().replace(',', ";"),
                     mechanism.name(),
+                    faulty.n,
+                    faulty.mean,
+                    csv_half_width(faulty, 6),
+                    healthy.mean,
+                    csv_half_width(healthy, 6),
                 ));
             }
         }
@@ -275,6 +283,17 @@ pub fn saturation_load() -> f64 {
     0.9
 }
 
+/// The replication factor of the figure campaigns at the given scale: every
+/// grid point runs this many seeds, so the rendered tables carry a mean ±
+/// CI instead of a single draw. Kept small at quick scale (the suite stays
+/// laptop-sized) and a bit deeper at paper scale.
+pub fn replicas(scale: Scale) -> usize {
+    match scale {
+        Scale::Quick => 3,
+        Scale::Paper => 5,
+    }
+}
+
 /// The (warmup, measure) simulation windows at the given scale, for campaign
 /// specs (matching `SimConfig::quick` and Table 2 respectively).
 pub fn windows(scale: Scale) -> (u64, u64) {
@@ -323,6 +342,8 @@ mod tests {
         assert_eq!(fault_steps(Scale::Quick).last(), Some(&50));
         assert_eq!(fault_steps(Scale::Paper).last(), Some(&100));
         assert!(saturation_load() > 0.8);
+        assert!(replicas(Scale::Quick) >= 2, "CIs need at least 2 replicas");
+        assert!(replicas(Scale::Paper) >= replicas(Scale::Quick));
     }
 
     #[test]

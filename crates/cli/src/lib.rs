@@ -67,12 +67,13 @@ impl Default for CliConfig {
 pub const CAMPAIGN_USAGE: &str = "usage: surepath campaign <spec.toml|spec.json> [options]
        surepath campaign --report <store.jsonl>... [--merge <out.jsonl>] [--csv <out.csv>]
        surepath campaign --merge <out.jsonl> <store.jsonl>...
+       surepath campaign --diff <baseline.jsonl> <candidate.jsonl>
   Runs (or resumes) a declarative experiment campaign: the spec's
   topology x mechanism x traffic x scenario x root x VCs x load x seed
-  cross-product is executed on a bounded work-stealing thread pool and
-  streamed to a resumable JSONL result store. Already-completed jobs
-  (matched by fingerprint) are skipped, so re-running a finished campaign
-  is instant.
+  cross-product (with `replicas = N`, each point runs N seeds) is executed
+  on a bounded work-stealing thread pool and streamed to a resumable JSONL
+  result store. Already-completed jobs (matched by fingerprint) are
+  skipped, so re-running a finished campaign is instant.
 
   Run options:
   --store PATH         result store (default: <spec>.results.jsonl)
@@ -82,10 +83,15 @@ pub const CAMPAIGN_USAGE: &str = "usage: surepath campaign <spec.toml|spec.json>
 
   Store tooling (no simulation):
   --report             render figures/tables straight from the store(s):
-                       rate campaigns as sweep tables, batch campaigns as
-                       completion times + throughput-over-time series
+                       rate campaigns as sweep tables (replicated points as
+                       mean ± CI), batch campaigns as completion times +
+                       throughput-over-time series
   --merge OUT          merge sharded stores into OUT (fingerprint-deduped,
                        ok beats failed, deterministic byte order)
+  --diff               compare two stores point by point (aligned by
+                       fingerprint minus seed): significant per-metric
+                       deltas are tabulated and a regression (significant
+                       delta in the worse direction) exits nonzero
   --csv PATH           with --report: also write the data as CSV
   --help               this message";
 
@@ -308,6 +314,15 @@ pub enum CampaignCommand {
         /// Input store shards (at least one).
         inputs: Vec<String>,
     },
+    /// Compare two stores point by point (aligned by fingerprint minus
+    /// seed) and report significant per-metric deltas; regressions make the
+    /// command fail, so `--diff` gates CI and before/after experiments.
+    Diff {
+        /// The baseline store.
+        baseline: String,
+        /// The candidate store, judged against the baseline.
+        candidate: String,
+    },
 }
 
 impl CampaignCliConfig {
@@ -332,6 +347,7 @@ pub fn parse_campaign_args(args: &[String]) -> Result<CampaignCommand, String> {
     let mut quiet = false;
     let mut dry_run = false;
     let mut report = false;
+    let mut diff = false;
     let mut merge: Option<String> = None;
     let mut csv: Option<String> = None;
     let mut it = args.iter();
@@ -355,6 +371,7 @@ pub fn parse_campaign_args(args: &[String]) -> Result<CampaignCommand, String> {
             "--quiet" => quiet = true,
             "--dry-run" => dry_run = true,
             "--report" => report = true,
+            "--diff" => diff = true,
             "--merge" => merge = Some(value("--merge")?),
             "--csv" => csv = Some(value("--csv")?),
             "--help" | "-h" => return Err(CAMPAIGN_USAGE.to_string()),
@@ -363,6 +380,29 @@ pub fn parse_campaign_args(args: &[String]) -> Result<CampaignCommand, String> {
             }
             positional => positionals.push(positional.to_string()),
         }
+    }
+    if diff {
+        if report
+            || store.is_some()
+            || threads.is_some()
+            || dry_run
+            || quiet
+            || merge.is_some()
+            || csv.is_some()
+        {
+            return Err("--diff takes exactly two stores and no other flags".to_string());
+        }
+        if positionals.len() != 2 {
+            return Err(format!(
+                "--diff needs exactly two stores (baseline, candidate)\n{CAMPAIGN_USAGE}"
+            ));
+        }
+        let candidate = positionals.pop().expect("checked above");
+        let baseline = positionals.pop().expect("checked above");
+        return Ok(CampaignCommand::Diff {
+            baseline,
+            candidate,
+        });
     }
     if report {
         if store.is_some() || threads.is_some() || dry_run || quiet {
@@ -479,6 +519,30 @@ pub fn run_campaign_command(cmd: &CampaignCommand) -> Result<String, String> {
             }
             Ok(out)
         }
+        CampaignCommand::Diff {
+            baseline,
+            candidate,
+        } => {
+            require_stores_exist(std::slice::from_ref(baseline))?;
+            require_stores_exist(std::slice::from_ref(candidate))?;
+            let open = |path: &String| {
+                surepath_core::ResultStore::open_read_only(std::path::Path::new(path))
+                    .map_err(|e| format!("cannot open store {path}: {e}"))
+            };
+            let diff = surepath_core::diff_stores(&open(baseline)?, &open(candidate)?);
+            let text = format!(
+                "diff: baseline {baseline} vs candidate {candidate}\n{}",
+                surepath_core::format_store_diff(&diff)
+            );
+            // A regression is the command's failure mode: the caller (CI, a
+            // before/after check) gets a nonzero exit code, with the full
+            // table on stderr.
+            if diff.has_regressions() {
+                Err(text)
+            } else {
+                Ok(text)
+            }
+        }
     }
 }
 
@@ -491,7 +555,7 @@ pub fn run_campaign_cli(cfg: &CampaignCliConfig) -> Result<String, String> {
         let jobs = spec.expand()?;
         surepath_core::validate_campaign(&spec)?;
         return Ok(format!(
-            "campaign `{}`: {} jobs valid ({} topologies x {} mechanisms x {} traffics x {} scenarios x {} roots x {} VC budgets x {} loads x {} seeds); dry run, nothing executed",
+            "campaign `{}`: {} jobs valid ({} topologies x {} mechanisms x {} traffics x {} scenarios x {} roots x {} VC budgets x {} loads x {} {}); dry run, nothing executed",
             spec.name,
             jobs.len(),
             spec.topologies.len(),
@@ -501,7 +565,12 @@ pub fn run_campaign_cli(cfg: &CampaignCliConfig) -> Result<String, String> {
             spec.roots.as_ref().map_or(1, Vec::len),
             spec.vc_counts.as_ref().map_or(1, Vec::len),
             spec.loads.as_ref().map_or(1, Vec::len),
-            spec.seeds.as_ref().map_or(1, Vec::len),
+            spec.replica_seeds().len(),
+            if spec.replicas.is_some() {
+                "replicas"
+            } else {
+                "seeds"
+            },
         ));
     }
     let store_path = cfg.store_path();
@@ -735,6 +804,112 @@ mod tests {
         assert!(parse_campaign_args(&args(&["--report", "a.jsonl", "--quiet"])).is_err());
         assert!(parse_campaign_args(&args(&["--merge", "o.jsonl", "a.jsonl", "--quiet"])).is_err());
         assert!(parse_campaign_args(&args(&["spec.toml", "--csv", "x.csv"])).is_err());
+    }
+
+    #[test]
+    fn diff_args_parse_and_reject() {
+        assert_eq!(
+            parse_campaign_args(&args(&["--diff", "a.jsonl", "b.jsonl"])).unwrap(),
+            CampaignCommand::Diff {
+                baseline: "a.jsonl".into(),
+                candidate: "b.jsonl".into(),
+            }
+        );
+        // Exactly two stores, no other flags.
+        assert!(parse_campaign_args(&args(&["--diff"])).is_err());
+        assert!(parse_campaign_args(&args(&["--diff", "a.jsonl"])).is_err());
+        assert!(parse_campaign_args(&args(&["--diff", "a.jsonl", "b.jsonl", "c.jsonl"])).is_err());
+        assert!(parse_campaign_args(&args(&["--diff", "a.jsonl", "b.jsonl", "--quiet"])).is_err());
+        assert!(parse_campaign_args(&args(&["--diff", "--report", "a.jsonl", "b.jsonl"])).is_err());
+        assert!(
+            parse_campaign_args(&args(&["--diff", "a.jsonl", "b.jsonl", "--csv", "x.csv"]))
+                .is_err()
+        );
+        let missing = run_campaign_command(&CampaignCommand::Diff {
+            baseline: "/nonexistent/a.jsonl".into(),
+            candidate: "/nonexistent/b.jsonl".into(),
+        })
+        .unwrap_err();
+        assert!(missing.contains("store not found"), "{missing}");
+    }
+
+    #[test]
+    fn replicated_campaign_reports_ci_and_diffs_clean_against_itself() {
+        let dir = std::env::temp_dir().join("surepath-cli-diff-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let pid = std::process::id();
+        let spec_path = dir.join(format!("rep-{pid}.toml"));
+        let store_a = dir.join(format!("rep-{pid}-a.jsonl"));
+        let store_b = dir.join(format!("rep-{pid}-b.jsonl"));
+        for p in [&store_a, &store_b] {
+            let _ = std::fs::remove_file(p);
+        }
+        std::fs::write(
+            &spec_path,
+            r#"
+                name = "rep"
+                mechanisms = ["polsp"]
+                traffics = ["uniform"]
+                scenarios = ["none"]
+                loads = [0.3]
+                replicas = 3
+                warmup = 100
+                measure = 250
+
+                [[topologies]]
+                sides = [4, 4]
+            "#,
+        )
+        .unwrap();
+        for store in [&store_a, &store_b] {
+            let summary = run_campaign_cli(&CampaignCliConfig {
+                spec_path: spec_path.to_string_lossy().into_owned(),
+                store: Some(store.to_string_lossy().into_owned()),
+                threads: Some(2),
+                quiet: true,
+                dry_run: false,
+            })
+            .unwrap();
+            assert!(summary.contains("3 jobs total"), "{summary}");
+        }
+        // Identical runs produce identical stores; the report shows mean ± CI.
+        assert_eq!(
+            std::fs::read(&store_a).unwrap(),
+            std::fs::read(&store_b).unwrap()
+        );
+        let report = run_campaign_command(&CampaignCommand::Report {
+            stores: vec![store_a.to_string_lossy().into_owned()],
+            merge: None,
+            csv: None,
+        })
+        .unwrap();
+        assert!(
+            report.contains('±'),
+            "replicated report shows CIs: {report}"
+        );
+
+        // Self-diff: zero significant regressions.
+        let diff = run_campaign_command(&CampaignCommand::Diff {
+            baseline: store_a.to_string_lossy().into_owned(),
+            candidate: store_b.to_string_lossy().into_owned(),
+        })
+        .unwrap();
+        assert!(diff.contains("result: no regressions"), "{diff}");
+
+        // The dry run reports the replica dimension.
+        let dry = run_campaign_cli(&CampaignCliConfig {
+            spec_path: spec_path.to_string_lossy().into_owned(),
+            store: None,
+            threads: None,
+            quiet: true,
+            dry_run: true,
+        })
+        .unwrap();
+        assert!(dry.contains("3 replicas"), "{dry}");
+
+        for p in [&spec_path, &store_a, &store_b] {
+            let _ = std::fs::remove_file(p);
+        }
     }
 
     #[test]

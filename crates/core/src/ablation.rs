@@ -32,11 +32,14 @@ pub struct AblationPoint {
     pub mechanism: String,
     /// Offered load of the probe.
     pub offered_load: f64,
-    /// Accepted load measured.
+    /// How many replica runs the metrics average over (1 for a direct probe).
+    pub replicas: usize,
+    /// Accepted load measured (replica mean).
     pub accepted_load: f64,
-    /// Average message latency measured.
+    /// Average message latency measured (replica mean).
     pub average_latency: f64,
-    /// Fraction of delivered packets that used the escape subnetwork.
+    /// Fraction of delivered packets that used the escape subnetwork
+    /// (replica mean).
     pub escape_fraction: f64,
 }
 
@@ -47,6 +50,7 @@ impl AblationPoint {
             value,
             mechanism: p.mechanism.clone(),
             offered_load: p.offered_load,
+            replicas: 1,
             accepted_load: p.metrics.accepted_load,
             average_latency: p.metrics.average_latency,
             escape_fraction: p.metrics.escape_fraction,
@@ -151,28 +155,39 @@ pub fn root_placement_study(template: &Experiment, load: f64) -> Vec<AblationPoi
 /// are skipped (re-run the campaign to heal them). `filter` selects which
 /// jobs to render (e.g. one mechanism × traffic section of a study) —
 /// pass `|_| true` for everything.
+///
+/// Replication-aware: records that are replicas of the same grid point
+/// (same job minus the seed) collapse into **one** point whose metrics are
+/// the replica means (NaN-free; non-finite rows only shrink the sample),
+/// with `replicas` recording the sample size.
 pub fn ablation_points_from_store(
     store: &surepath_runner::ResultStore,
     campaign: &str,
     knob: &str,
     filter: impl Fn(&surepath_runner::JobSpec) -> bool,
 ) -> Vec<AblationPoint> {
-    store
-        .records_in_order()
-        .filter(|r| {
-            r.status == "ok" && r.job.kind == "rate" && r.job.campaign == campaign && filter(&r.job)
-        })
-        .filter_map(|r| {
-            let metrics: hyperx_sim::RateMetrics =
-                serde::Deserialize::deserialize(r.result.as_ref()?).ok()?;
-            let mechanism_key = r.job.mechanism.as_deref().unwrap_or_default();
+    let records = store.records_in_order().filter(|r| {
+        r.status == "ok" && r.job.kind == "rate" && r.job.campaign == campaign && filter(&r.job)
+    });
+    surepath_runner::group_replicas(records)
+        .into_iter()
+        .filter_map(|(_, replicas)| {
+            let runs: Vec<hyperx_sim::RateMetrics> = replicas
+                .iter()
+                .filter_map(|r| serde::Deserialize::deserialize(r.result.as_ref()?).ok())
+                .collect();
+            if runs.is_empty() {
+                return None;
+            }
+            let job = &replicas[0].job;
+            let mechanism_key = job.mechanism.as_deref().unwrap_or_default();
             let mechanism = match MechanismSpec::parse(mechanism_key) {
                 Some(spec) => spec.name().to_string(),
                 None => mechanism_key.to_string(),
             };
             let value = match knob {
-                "vcs" => r.job.vcs.map_or("default".to_string(), |v| v.to_string()),
-                "root" => match r.job.root.as_deref() {
+                "vcs" => job.vcs.map_or("default".to_string(), |v| v.to_string()),
+                "root" => match job.root.as_deref() {
                     None | Some("suggested") => "suggested(in-fault)".to_string(),
                     Some(root) => root.to_string(),
                 },
@@ -189,14 +204,18 @@ pub fn ablation_points_from_store(
                 }
                 other => other.to_string(),
             };
+            let mean = |f: fn(&hyperx_sim::RateMetrics) -> f64| -> f64 {
+                crate::stats::Summary::of_finite(&runs.iter().map(f).collect::<Vec<_>>()).mean
+            };
             Some(AblationPoint {
                 knob: knob.to_string(),
                 value,
                 mechanism,
-                offered_load: r.job.load.unwrap_or(metrics.offered_load),
-                accepted_load: metrics.accepted_load,
-                average_latency: metrics.average_latency,
-                escape_fraction: metrics.escape_fraction,
+                offered_load: job.load.unwrap_or(runs[0].offered_load),
+                replicas: runs.len(),
+                accepted_load: mean(|m| m.accepted_load),
+                average_latency: mean(|m| m.average_latency),
+                escape_fraction: mean(|m| m.escape_fraction),
             })
         })
         .collect()
@@ -206,18 +225,19 @@ pub fn ablation_points_from_store(
 pub fn format_ablation_table(points: &[AblationPoint]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<10} {:<22} {:<12} {:>8} {:>9} {:>9} {:>8}\n",
-        "knob", "value", "mechanism", "offered", "accepted", "latency", "escape%"
+        "{:<10} {:<22} {:<12} {:>8} {:>3} {:>9} {:>9} {:>8}\n",
+        "knob", "value", "mechanism", "offered", "n", "accepted", "latency", "escape%"
     ));
-    out.push_str(&"-".repeat(84));
+    out.push_str(&"-".repeat(88));
     out.push('\n');
     for p in points {
         out.push_str(&format!(
-            "{:<10} {:<22} {:<12} {:>8.2} {:>9.3} {:>9.1} {:>8.1}\n",
+            "{:<10} {:<22} {:<12} {:>8.2} {:>3} {:>9.3} {:>9.1} {:>8.1}\n",
             p.knob,
             p.value,
             p.mechanism,
             p.offered_load,
+            p.replicas,
             p.accepted_load,
             p.average_latency,
             100.0 * p.escape_fraction,
@@ -229,15 +249,16 @@ pub fn format_ablation_table(points: &[AblationPoint]) -> String {
 /// Serialises ablation points to CSV.
 pub fn ablation_to_csv(points: &[AblationPoint]) -> String {
     let mut out = String::from(
-        "knob,value,mechanism,offered_load,accepted_load,average_latency,escape_fraction\n",
+        "knob,value,mechanism,offered_load,replicas,accepted_load,average_latency,escape_fraction\n",
     );
     for p in points {
         out.push_str(&format!(
-            "{},{},{},{},{},{},{}\n",
+            "{},{},{},{},{},{},{},{}\n",
             p.knob,
             p.value,
             p.mechanism,
             p.offered_load,
+            p.replicas,
             p.accepted_load,
             p.average_latency,
             p.escape_fraction
@@ -381,6 +402,28 @@ mod tests {
             ablation_points_from_store(&store, "other", "vcs", |_| true).len(),
             0
         );
+
+        // Replicas of a grid point (same job, different seed) collapse into
+        // one point averaging their metrics.
+        let mut richer = metrics;
+        richer.accepted_load = 0.8;
+        store
+            .append_ok(
+                &JobSpec {
+                    vcs: Some(2),
+                    seed: 9,
+                    ..base.clone()
+                },
+                serde_json::to_value(&richer).unwrap(),
+            )
+            .unwrap();
+        let vcs = ablation_points_from_store(&store, "study", "vcs", |_| true);
+        assert_eq!(vcs.len(), 3, "the new record joined the vcs=2 point");
+        assert_eq!(vcs[0].replicas, 2);
+        assert!(
+            (vcs[0].accepted_load - 0.75).abs() < 1e-12,
+            "mean of 0.7/0.8"
+        );
         let _ = std::fs::remove_file(&path);
     }
 
@@ -392,6 +435,7 @@ mod tests {
                 value: "2".into(),
                 mechanism: "PolSP".into(),
                 offered_load: 0.3,
+                replicas: 1,
                 accepted_load: 0.29,
                 average_latency: 120.0,
                 escape_fraction: 0.05,
@@ -401,6 +445,7 @@ mod tests {
                 value: "4".into(),
                 mechanism: "PolSP".into(),
                 offered_load: 0.3,
+                replicas: 3,
                 accepted_load: 0.30,
                 average_latency: 110.0,
                 escape_fraction: 0.03,

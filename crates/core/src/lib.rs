@@ -38,9 +38,11 @@ pub use campaign::{
 pub use experiment::{Experiment, RootPlacement, TrafficSpec};
 pub use plot::{throughput_chart, BarChart, BarGroup, LineChart, Series};
 pub use report::{
-    batch_runs_from_store, batch_samples_csv, completion_ratio, format_batch_table,
-    format_rate_table, rate_metrics_to_csv, rate_points_from_store, report_csv, report_store,
-    BatchRun, ReportRow,
+    batch_runs_from_store, batch_samples_csv, completion_ratio, csv_half_width, diff_stores,
+    format_batch_table, format_mean_hw, format_rate_table, format_replicated_batch_table,
+    format_replicated_rate_table, format_store_diff, rate_metrics_to_csv, rate_points_from_store,
+    replicated_batch_points, replicated_rate_points, report_csv, report_store, BatchRun,
+    MetricDiff, PointDiff, ReplicatedBatchPoint, ReplicatedStorePoint, ReportRow, StoreDiff,
 };
 pub use scenario::FaultScenario;
 pub use stats::{replicate, ReplicatedPoint, Summary};

@@ -5,11 +5,12 @@
 
 use crate::experiment::TrafficSpec;
 use crate::scenario::FaultScenario;
+use crate::stats::Summary;
 use crate::sweep::SweepPoint;
 use hyperx_routing::MechanismSpec;
 use hyperx_sim::{BatchMetrics, RateMetrics};
 use serde::{Deserialize, Serialize};
-use surepath_runner::{JobSpec, ResultStore};
+use surepath_runner::{group_replicas, JobSpec, ResultStore, StoreRecord};
 
 /// A generic row of a report table: a label and a set of named columns.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -275,6 +276,567 @@ pub fn completion_ratio(runs: &[BatchRun], numerator: &str, denominator: &str) -
     Some(num.metrics.completion_time as f64 / den.metrics.completion_time.max(1) as f64)
 }
 
+/// One campaign grid point recovered from a store with all of its replicas
+/// aggregated: per-metric mean / std-dev / CI summaries across the replica
+/// seeds (see [`surepath_runner::group_replicas`]).
+#[derive(Clone, Debug)]
+pub struct ReplicatedStorePoint {
+    /// The point fingerprint shared by the replicas.
+    pub point: String,
+    /// A representative job of the point (the first replica's; only its
+    /// `seed` differs between replicas).
+    pub job: JobSpec,
+    /// Mechanism display name.
+    pub mechanism: String,
+    /// Traffic display name.
+    pub traffic: String,
+    /// Scenario display name.
+    pub scenario: String,
+    /// Offered load of the point.
+    pub offered_load: f64,
+    /// Number of successfully parsed replica rows.
+    pub n: usize,
+    /// Accepted-load summary across replicas.
+    pub accepted_load: Summary,
+    /// Latency summary across replicas.
+    pub average_latency: Summary,
+    /// Jain-index summary across replicas.
+    pub jain_generated: Summary,
+    /// Escape-fraction summary across replicas.
+    pub escape_fraction: Summary,
+}
+
+/// Reconstructs the `rate` grid points of a campaign from a result store,
+/// one entry per point with its replicas aggregated, in the store's
+/// (canonical grid) order. Works for stores written with the `replicas`
+/// dimension and for old stores whose seeds were an explicit grid axis —
+/// grouping is by point fingerprint either way. Failed records are skipped.
+pub fn replicated_rate_points(
+    store: &ResultStore,
+    campaign: Option<&str>,
+) -> Vec<ReplicatedStorePoint> {
+    let records = store.records_in_order().filter(|r| {
+        r.status == "ok"
+            && r.job.kind == "rate"
+            && campaign.is_none_or(|name| r.job.campaign == name)
+    });
+    group_replicas(records)
+        .into_iter()
+        .filter_map(|(point, replicas)| {
+            let runs: Vec<RateMetrics> = replicas
+                .iter()
+                .filter_map(|r| serde::Deserialize::deserialize(r.result.as_ref()?).ok())
+                .collect();
+            if runs.is_empty() {
+                return None;
+            }
+            let job = replicas[0].job.clone();
+            let (mechanism, traffic, scenario) = display_names(&job);
+            let collect = |f: fn(&RateMetrics) -> f64| -> Summary {
+                Summary::of_finite(&runs.iter().map(f).collect::<Vec<_>>())
+            };
+            Some(ReplicatedStorePoint {
+                point,
+                offered_load: job.load.unwrap_or(runs[0].offered_load),
+                mechanism,
+                traffic,
+                scenario,
+                n: runs.len(),
+                accepted_load: collect(|m| m.accepted_load),
+                average_latency: collect(|m| m.average_latency),
+                jain_generated: collect(|m| m.jain_generated),
+                escape_fraction: collect(|m| m.escape_fraction),
+                job,
+            })
+        })
+        .collect()
+}
+
+/// One batch (closed-loop) grid point with its replicas aggregated.
+/// Non-finite per-replica values (a stalled run with no delivered packets
+/// has no meaningful latency) are dropped from the summaries, which only
+/// shrinks their `n`; `stalled_replicas` counts how many replicas stalled.
+#[derive(Clone, Debug)]
+pub struct ReplicatedBatchPoint {
+    /// The point fingerprint shared by the replicas.
+    pub point: String,
+    /// A representative job of the point.
+    pub job: JobSpec,
+    /// Mechanism display name.
+    pub mechanism: String,
+    /// Traffic display name.
+    pub traffic: String,
+    /// Scenario display name.
+    pub scenario: String,
+    /// Number of successfully parsed replica rows.
+    pub n: usize,
+    /// Completion-time summary across replicas (cycles).
+    pub completion_time: Summary,
+    /// Delivered-packet summary across replicas.
+    pub delivered_packets: Summary,
+    /// Latency summary across replicas.
+    pub average_latency: Summary,
+    /// How many replicas hit the stall watchdog.
+    pub stalled_replicas: usize,
+}
+
+/// The batch analogue of [`replicated_rate_points`].
+pub fn replicated_batch_points(
+    store: &ResultStore,
+    campaign: Option<&str>,
+) -> Vec<ReplicatedBatchPoint> {
+    let records = store.records_in_order().filter(|r| {
+        r.status == "ok"
+            && r.job.kind == "batch"
+            && campaign.is_none_or(|name| r.job.campaign == name)
+    });
+    group_replicas(records)
+        .into_iter()
+        .filter_map(|(point, replicas)| {
+            let runs: Vec<BatchMetrics> = replicas
+                .iter()
+                .filter_map(|r| serde::Deserialize::deserialize(r.result.as_ref()?).ok())
+                .collect();
+            if runs.is_empty() {
+                return None;
+            }
+            let job = replicas[0].job.clone();
+            let (mechanism, traffic, scenario) = display_names(&job);
+            let collect = |f: fn(&BatchMetrics) -> f64| -> Summary {
+                Summary::of_finite(&runs.iter().map(f).collect::<Vec<_>>())
+            };
+            Some(ReplicatedBatchPoint {
+                point,
+                mechanism,
+                traffic,
+                scenario,
+                n: runs.len(),
+                completion_time: collect(|m| m.completion_time as f64),
+                delivered_packets: collect(|m| m.delivered_packets as f64),
+                average_latency: collect(|m| m.average_latency),
+                stalled_replicas: runs.iter().filter(|m| m.stalled).count(),
+                job,
+            })
+        })
+        .collect()
+}
+
+/// Renders a replica summary as `mean ±half-width` (the ±2σ/√n CI). A
+/// single replica has an infinite-width CI, so only its mean is printed; an
+/// empty summary renders as `-`.
+pub fn format_mean_hw(summary: &Summary, decimals: usize) -> String {
+    if summary.n == 0 {
+        "-".to_string()
+    } else if summary.n == 1 {
+        format!("{:.decimals$}", summary.mean)
+    } else {
+        format!(
+            "{:.decimals$} ±{:.decimals$}",
+            summary.mean,
+            summary.half_width()
+        )
+    }
+}
+
+/// Renders a replica summary's half-width for a numeric CSV column: the
+/// ±2σ/√n value with `decimals` places, or an **empty field** when the
+/// half-width is unknown (n < 2 has an infinite CI) — numeric CSV consumers
+/// must never see `inf`.
+pub fn csv_half_width(summary: &Summary, decimals: usize) -> String {
+    let hw = summary.half_width();
+    if hw.is_finite() {
+        format!("{hw:.decimals$}")
+    } else {
+        String::new()
+    }
+}
+
+/// Formats replicated rate points as a mean ± CI table: the replication-aware
+/// face of [`format_rate_table`], which `--report` uses whenever a campaign
+/// has more than one replica per point.
+pub fn format_replicated_rate_table(points: &[ReplicatedStorePoint]) -> String {
+    let header = [
+        "mechanism",
+        "traffic",
+        "scenario",
+        "offered",
+        "n",
+        "accepted",
+        "latency",
+        "jain",
+        "escape%",
+    ];
+    let rows: Vec<ReportRow> = points
+        .iter()
+        .map(|p| ReportRow {
+            label: p.mechanism.clone(),
+            values: vec![
+                p.traffic.clone(),
+                p.scenario.clone(),
+                format!("{:.2}", p.offered_load),
+                p.n.to_string(),
+                format_mean_hw(&p.accepted_load, 3),
+                format_mean_hw(&p.average_latency, 1),
+                format_mean_hw(&p.jain_generated, 3),
+                format_mean_hw(&p.escape_fraction.scaled(100.0), 1),
+            ],
+        })
+        .collect();
+    format_table(&header, &rows)
+}
+
+/// Formats replicated batch points as completion-time lines with mean ± CI,
+/// the replication-aware face of [`format_batch_table`].
+pub fn format_replicated_batch_table(points: &[ReplicatedBatchPoint]) -> String {
+    let mut out = String::new();
+    for p in points {
+        let ambiguous = points.iter().filter(|q| q.mechanism == p.mechanism).count() > 1;
+        let label = if ambiguous {
+            format!("{} [{} / {}]", p.mechanism, p.traffic, p.scenario)
+        } else {
+            p.mechanism.clone()
+        };
+        out.push_str(&format!(
+            "{}: completion time {} cycles, {} packets delivered, average latency {} cycles (n={}{})\n",
+            label,
+            format_mean_hw(&p.completion_time, 0),
+            format_mean_hw(&p.delivered_packets, 0),
+            format_mean_hw(&p.average_latency, 1),
+            p.n,
+            if p.stalled_replicas > 0 {
+                format!(", {} STALLED", p.stalled_replicas)
+            } else {
+                String::new()
+            }
+        ));
+    }
+    out
+}
+
+/// One metric of a grid point compared between two stores.
+#[derive(Clone, Debug)]
+pub struct MetricDiff {
+    /// Metric name (a stored-result field, e.g. `accepted_load`).
+    pub metric: &'static str,
+    /// Whether larger values of this metric are better.
+    pub higher_is_better: bool,
+    /// Display decimals.
+    pub decimals: usize,
+    /// The baseline store's replica summary.
+    pub baseline: Summary,
+    /// The candidate store's replica summary.
+    pub candidate: Summary,
+    /// Whether the means lie outside each other's ±2σ/√n intervals.
+    pub significant: bool,
+    /// Significant *and* worse in the candidate.
+    pub regression: bool,
+}
+
+/// One grid point aligned between two stores (by point fingerprint — the
+/// job identity minus the seed — so replicated and explicit-seed stores
+/// align alike).
+#[derive(Clone, Debug)]
+pub struct PointDiff {
+    /// Human label of the point (display names, no seed).
+    pub label: String,
+    /// Owning campaign.
+    pub campaign: String,
+    /// Job kind (`rate` or `batch`).
+    pub kind: String,
+    /// Per-metric comparisons.
+    pub metrics: Vec<MetricDiff>,
+}
+
+/// The comparison of two result stores: `surepath campaign --diff`.
+#[derive(Clone, Debug, Default)]
+pub struct StoreDiff {
+    /// Points present in both stores, compared metric by metric.
+    pub points: Vec<PointDiff>,
+    /// Points only the baseline store has.
+    pub baseline_only: usize,
+    /// Points only the candidate store has.
+    pub candidate_only: usize,
+    /// Common points whose kind the diff engine cannot compare
+    /// (custom kinds owned by their binaries).
+    pub uncompared: usize,
+    /// Labels of baseline points whose candidate rows exist but **all
+    /// failed**: the candidate could not even complete these jobs, which is
+    /// worse than any metric delta and counts as a regression.
+    pub candidate_failed: Vec<String>,
+}
+
+impl StoreDiff {
+    /// Significant metric deltas across all compared points.
+    pub fn significant(&self) -> usize {
+        self.points
+            .iter()
+            .flat_map(|p| &p.metrics)
+            .filter(|m| m.significant)
+            .count()
+    }
+
+    /// Significant deltas that are worse in the candidate store.
+    pub fn regressions(&self) -> usize {
+        self.points
+            .iter()
+            .flat_map(|p| &p.metrics)
+            .filter(|m| m.regression)
+            .count()
+    }
+
+    /// Significant deltas that are better in the candidate store.
+    pub fn improvements(&self) -> usize {
+        self.significant() - self.regressions()
+    }
+
+    /// Whether the candidate store regressed anywhere — a significant
+    /// worse-direction metric delta *or* a point whose candidate jobs all
+    /// failed: the `--diff` exit criterion.
+    pub fn has_regressions(&self) -> bool {
+        self.regressions() > 0 || !self.candidate_failed.is_empty()
+    }
+}
+
+/// The metrics `--diff` compares per job kind, with the direction that
+/// counts as better. `stalled` enters as a 0/1 indicator per replica, so a
+/// mechanism that starts stalling shows up as a regression of its mean.
+fn diff_metrics(kind: &str) -> &'static [(&'static str, bool, usize)] {
+    match kind {
+        "rate" => &[
+            ("accepted_load", true, 3),
+            ("average_latency", false, 1),
+            ("jain_generated", true, 3),
+            ("stalled", false, 2),
+        ],
+        "batch" => &[
+            ("completion_time", false, 0),
+            ("average_latency", false, 1),
+            ("delivered_packets", true, 0),
+            ("stalled", false, 2),
+        ],
+        _ => &[],
+    }
+}
+
+/// A stored result's metric as f64 (booleans count 0/1), if present.
+fn metric_value(record: &StoreRecord, metric: &str) -> Option<f64> {
+    let value = &record.result.as_ref()?[metric];
+    value
+        .as_f64()
+        .or_else(|| value.as_bool().map(|b| if b { 1.0 } else { 0.0 }))
+}
+
+/// The label of a grid point in diff output: the owning campaign, the job's
+/// display names and every set dimension except the seed — campaigns with
+/// identical grids sharing a store stay distinguishable row by row.
+fn point_label(job: &JobSpec) -> String {
+    let (mechanism, traffic, scenario) = display_names(job);
+    let mut parts = vec![
+        job.campaign.clone(),
+        job.sides
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join("x"),
+    ];
+    for part in [mechanism, traffic, scenario] {
+        if !part.is_empty() {
+            parts.push(part);
+        }
+    }
+    if let Some(root) = &job.root {
+        parts.push(format!("root={root}"));
+    }
+    if let Some(vcs) = job.vcs {
+        parts.push(format!("vcs={vcs}"));
+    }
+    if let Some(load) = job.load {
+        parts.push(format!("load={load}"));
+    }
+    if let Some(packets) = job.packets_per_server {
+        parts.push(format!("packets={packets}"));
+    }
+    parts.join(" / ")
+}
+
+/// Compares two stores point by point: rows are aligned by fingerprint
+/// minus seed, each aligned point's replicas are summarised per metric on
+/// both sides, and a delta is **significant** when the means lie outside
+/// each other's ±2σ/√n intervals ([`Summary::differs_from`]) — so a
+/// single-replica store can never produce a significant delta, and two runs
+/// of the same campaign (deterministic per seed) always diff clean. A
+/// significant delta in the worse direction is a **regression** — as is a
+/// baseline point whose candidate jobs exist but *all failed* (the candidate
+/// could not complete them at all), so crashing jobs cannot slip past the
+/// exit-code gate.
+pub fn diff_stores(baseline: &ResultStore, candidate: &ResultStore) -> StoreDiff {
+    fn group(store: &ResultStore) -> Vec<(String, Vec<&StoreRecord>)> {
+        group_replicas(store.records_in_order().filter(|r| r.status == "ok"))
+    }
+    let baseline_groups = group(baseline);
+    let candidate_groups = group(candidate);
+    let candidate_index: std::collections::HashMap<&str, &Vec<&StoreRecord>> = candidate_groups
+        .iter()
+        .map(|(point, replicas)| (point.as_str(), replicas))
+        .collect();
+    // Points for which the candidate store has *any* record, failed
+    // included — distinguishes "the candidate never ran this point" (grid
+    // mismatch, tolerated) from "the candidate ran it and every replica
+    // failed" (a regression).
+    let candidate_attempted: std::collections::HashSet<String> =
+        group_replicas(candidate.records_in_order())
+            .into_iter()
+            .map(|(point, _)| point)
+            .collect();
+    let baseline_points: std::collections::HashSet<&str> = baseline_groups
+        .iter()
+        .map(|(point, _)| point.as_str())
+        .collect();
+
+    let mut diff = StoreDiff {
+        candidate_only: candidate_groups
+            .iter()
+            .filter(|(point, _)| !baseline_points.contains(point.as_str()))
+            .count(),
+        ..StoreDiff::default()
+    };
+    for (point, baseline_replicas) in &baseline_groups {
+        let Some(candidate_replicas) = candidate_index.get(point.as_str()) else {
+            if candidate_attempted.contains(point.as_str()) {
+                diff.candidate_failed
+                    .push(point_label(&baseline_replicas[0].job));
+            } else {
+                diff.baseline_only += 1;
+            }
+            continue;
+        };
+        let job = &baseline_replicas[0].job;
+        let specs = diff_metrics(&job.kind);
+        if specs.is_empty() {
+            diff.uncompared += 1;
+            continue;
+        }
+        let summarise = |replicas: &[&StoreRecord], metric: &str| -> Summary {
+            Summary::of_finite(
+                &replicas
+                    .iter()
+                    .filter_map(|r| metric_value(r, metric))
+                    .collect::<Vec<_>>(),
+            )
+        };
+        let metrics = specs
+            .iter()
+            .map(|&(metric, higher_is_better, decimals)| {
+                let a = summarise(baseline_replicas, metric);
+                let b = summarise(candidate_replicas, metric);
+                let significant = a.differs_from(&b);
+                let worse = if higher_is_better {
+                    b.mean < a.mean
+                } else {
+                    b.mean > a.mean
+                };
+                MetricDiff {
+                    metric,
+                    higher_is_better,
+                    decimals,
+                    baseline: a,
+                    candidate: b,
+                    significant,
+                    regression: significant && worse,
+                }
+            })
+            .collect();
+        diff.points.push(PointDiff {
+            label: point_label(job),
+            campaign: job.campaign.clone(),
+            kind: job.kind.clone(),
+            metrics,
+        });
+    }
+    diff
+}
+
+/// Renders a [`StoreDiff`] as the `--diff` regression table: one row per
+/// significant metric delta (regressions and improvements), then the
+/// counters and the verdict line. Deterministic — two byte-identical store
+/// pairs render identically.
+pub fn format_store_diff(diff: &StoreDiff) -> String {
+    let mut out = String::new();
+    let header = [
+        "point",
+        "metric",
+        "baseline",
+        "candidate",
+        "delta",
+        "verdict",
+    ];
+    let mut rows: Vec<ReportRow> = diff
+        .points
+        .iter()
+        .flat_map(|p| {
+            p.metrics
+                .iter()
+                .filter(|m| m.significant)
+                .map(|m| ReportRow {
+                    label: p.label.clone(),
+                    values: vec![
+                        m.metric.to_string(),
+                        format_mean_hw(&m.baseline, m.decimals),
+                        format_mean_hw(&m.candidate, m.decimals),
+                        format!(
+                            "{:+.decimals$}",
+                            m.candidate.mean - m.baseline.mean,
+                            decimals = m.decimals
+                        ),
+                        if m.regression {
+                            "REGRESSION".to_string()
+                        } else {
+                            "improvement".to_string()
+                        },
+                    ],
+                })
+        })
+        .collect();
+    rows.extend(diff.candidate_failed.iter().map(|label| ReportRow {
+        label: label.clone(),
+        values: vec![
+            "(completion)".to_string(),
+            "ok".to_string(),
+            "all FAILED".to_string(),
+            "-".to_string(),
+            "REGRESSION".to_string(),
+        ],
+    }));
+    if rows.is_empty() {
+        out.push_str("(no significant per-metric differences)\n");
+    } else {
+        out.push_str(&format_table(&header, &rows));
+    }
+    out.push_str(&format!(
+        "compared {} points ({} baseline-only, {} candidate-only, {} uncompared kinds, {} candidate-failed)\n",
+        diff.points.len(),
+        diff.baseline_only,
+        diff.candidate_only,
+        diff.uncompared,
+        diff.candidate_failed.len(),
+    ));
+    out.push_str(&format!(
+        "significant deltas: {} ({} regressions, {} improvements)\n",
+        diff.significant(),
+        diff.regressions(),
+        diff.improvements()
+    ));
+    if diff.has_regressions() {
+        out.push_str(&format!(
+            "result: {} regression(s)\n",
+            diff.regressions() + diff.candidate_failed.len()
+        ));
+    } else {
+        out.push_str("result: no regressions\n");
+    }
+    out
+}
+
 /// Renders everything a store contains as a human-readable report, grouped
 /// by campaign and kind in the store's canonical order: rate campaigns as
 /// the figure tables, batch campaigns as completion-time lines plus their
@@ -306,12 +868,25 @@ pub fn report_store(store: &ResultStore) -> String {
         ));
         match kind.as_str() {
             "rate" => {
-                let points = rate_points_from_store(store, Some(campaign));
-                out.push_str(&format_rate_table(&points));
+                // Replicated campaigns (any point with > 1 replica) render as
+                // mean ± CI per point; single-run campaigns keep the classic
+                // per-row table, so old stores report byte-identically.
+                let replicated = replicated_rate_points(store, Some(campaign));
+                if replicated.iter().any(|p| p.n > 1) {
+                    out.push_str(&format_replicated_rate_table(&replicated));
+                } else {
+                    let points = rate_points_from_store(store, Some(campaign));
+                    out.push_str(&format_rate_table(&points));
+                }
             }
             "batch" => {
                 let runs = batch_runs_from_store(store, Some(campaign));
-                out.push_str(&format_batch_table(&runs));
+                let replicated = replicated_batch_points(store, Some(campaign));
+                if replicated.iter().any(|p| p.n > 1) {
+                    out.push_str(&format_replicated_batch_table(&replicated));
+                } else {
+                    out.push_str(&format_batch_table(&runs));
+                }
                 out.push('\n');
                 out.push_str(&batch_samples_csv(&runs));
             }
@@ -523,6 +1098,257 @@ mod tests {
         let dir = std::env::temp_dir().join("surepath-report-tests");
         std::fs::create_dir_all(&dir).unwrap();
         dir.join(format!("{name}-{}.jsonl", std::process::id()))
+    }
+
+    fn rate_job(mechanism: &str, load: f64, seed: u64) -> JobSpec {
+        JobSpec {
+            campaign: "replicated".into(),
+            sides: vec![4, 4],
+            mechanism: Some(mechanism.into()),
+            traffic: Some("uniform".into()),
+            scenario: Some("none".into()),
+            load: Some(load),
+            seed,
+            ..JobSpec::default()
+        }
+    }
+
+    fn rate_result(accepted: f64, latency: f64) -> serde::Value {
+        serde_json::to_value(&RateMetrics {
+            offered_load: 0.3,
+            accepted_load: accepted,
+            generated_load: 0.3,
+            average_latency: latency,
+            max_latency: 200,
+            jain_generated: 0.99,
+            escape_fraction: 0.02,
+            average_hops: 2.0,
+            delivered_packets: 1000,
+            in_flight_at_end: 0,
+            stalled: false,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn replicated_points_group_seeds_and_summarise() {
+        let path = temp_store("replicated-points");
+        let _ = std::fs::remove_file(&path);
+        let mut store = ResultStore::open(&path).unwrap();
+        // One point, three replicas; a second point with a single replica.
+        for (seed, accepted) in [(1u64, 0.70), (2, 0.72), (3, 0.71)] {
+            store
+                .append_ok(&rate_job("polsp", 0.3, seed), rate_result(accepted, 80.0))
+                .unwrap();
+        }
+        store
+            .append_ok(&rate_job("omnisp", 0.3, 1), rate_result(0.69, 82.0))
+            .unwrap();
+
+        let points = replicated_rate_points(&store, Some("replicated"));
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].n, 3);
+        assert_eq!(points[0].mechanism, "PolSP");
+        assert!((points[0].accepted_load.mean - 0.71).abs() < 1e-12);
+        assert!(points[0].accepted_load.half_width() > 0.0);
+        assert_eq!(points[1].n, 1);
+
+        // The replicated table renders mean ± half-width per point; the full
+        // report picks it automatically for replicated campaigns.
+        let table = format_replicated_rate_table(&points);
+        assert!(table.contains("±"), "{table}");
+        assert!(table.contains("0.710"), "{table}");
+        let report = report_store(&store);
+        assert!(report.contains("±"), "{report}");
+        assert!(report.contains("n"), "{report}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn diff_of_a_store_against_itself_reports_no_regressions() {
+        let path = temp_store("self-diff");
+        let _ = std::fs::remove_file(&path);
+        let mut store = ResultStore::open(&path).unwrap();
+        for (seed, accepted) in [(1u64, 0.70), (2, 0.72), (3, 0.71)] {
+            store
+                .append_ok(&rate_job("polsp", 0.3, seed), rate_result(accepted, 80.0))
+                .unwrap();
+        }
+        let diff = diff_stores(&store, &store);
+        assert_eq!(diff.points.len(), 1);
+        assert_eq!(diff.significant(), 0);
+        assert!(!diff.has_regressions());
+        let text = format_store_diff(&diff);
+        assert!(
+            text.contains("no significant per-metric differences"),
+            "{text}"
+        );
+        assert!(text.contains("result: no regressions"), "{text}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn diff_flags_a_degraded_candidate_as_regression_and_a_gain_as_improvement() {
+        let path_a = temp_store("diff-base");
+        let path_b = temp_store("diff-cand");
+        let _ = std::fs::remove_file(&path_a);
+        let _ = std::fs::remove_file(&path_b);
+        let mut a = ResultStore::open(&path_a).unwrap();
+        let mut b = ResultStore::open(&path_b).unwrap();
+        for (seed, accepted) in [(1u64, 0.700), (2, 0.702), (3, 0.701)] {
+            a.append_ok(&rate_job("polsp", 0.3, seed), rate_result(accepted, 80.0))
+                .unwrap();
+            // The candidate lost throughput but improved latency.
+            b.append_ok(
+                &rate_job("polsp", 0.3, seed),
+                rate_result(accepted - 0.1, 60.0),
+            )
+            .unwrap();
+        }
+        let diff = diff_stores(&a, &b);
+        assert_eq!(diff.regressions(), 1, "accepted_load regressed");
+        assert_eq!(diff.improvements(), 1, "average_latency improved");
+        assert!(diff.has_regressions());
+        let text = format_store_diff(&diff);
+        assert!(text.contains("REGRESSION"), "{text}");
+        assert!(text.contains("improvement"), "{text}");
+        assert!(text.contains("accepted_load"), "{text}");
+        assert!(text.contains("result: 1 regression(s)"), "{text}");
+        let _ = std::fs::remove_file(&path_a);
+        let _ = std::fs::remove_file(&path_b);
+    }
+
+    #[test]
+    fn diff_with_single_replicas_never_reports_significance() {
+        // n = 1 per side: the CI is infinite, so even a large delta must not
+        // be called significant (the stats satellite's CLI-facing face).
+        let path_a = temp_store("diff-single-a");
+        let path_b = temp_store("diff-single-b");
+        let _ = std::fs::remove_file(&path_a);
+        let _ = std::fs::remove_file(&path_b);
+        let mut a = ResultStore::open(&path_a).unwrap();
+        let mut b = ResultStore::open(&path_b).unwrap();
+        a.append_ok(&rate_job("polsp", 0.3, 1), rate_result(0.9, 80.0))
+            .unwrap();
+        b.append_ok(&rate_job("polsp", 0.3, 1), rate_result(0.1, 300.0))
+            .unwrap();
+        let diff = diff_stores(&a, &b);
+        assert_eq!(diff.points.len(), 1);
+        assert_eq!(diff.significant(), 0);
+        assert!(!diff.has_regressions());
+        let _ = std::fs::remove_file(&path_a);
+        let _ = std::fs::remove_file(&path_b);
+    }
+
+    #[test]
+    fn diff_counts_unaligned_and_uncompared_points() {
+        let path_a = temp_store("diff-align-a");
+        let path_b = temp_store("diff-align-b");
+        let _ = std::fs::remove_file(&path_a);
+        let _ = std::fs::remove_file(&path_b);
+        let mut a = ResultStore::open(&path_a).unwrap();
+        let mut b = ResultStore::open(&path_b).unwrap();
+        // Shared point, a baseline-only point, a candidate-only point and a
+        // custom-kind point the engine cannot compare.
+        a.append_ok(&rate_job("polsp", 0.3, 1), rate_result(0.7, 80.0))
+            .unwrap();
+        b.append_ok(&rate_job("polsp", 0.3, 2), rate_result(0.7, 80.0))
+            .unwrap();
+        a.append_ok(&rate_job("polsp", 0.4, 1), rate_result(0.8, 90.0))
+            .unwrap();
+        b.append_ok(&rate_job("omnisp", 0.3, 1), rate_result(0.7, 85.0))
+            .unwrap();
+        let custom = JobSpec {
+            kind: "diameter".into(),
+            ..rate_job("polsp", 0.5, 1)
+        };
+        a.append_ok(&custom, serde_json::to_value(&3u64).unwrap())
+            .unwrap();
+        b.append_ok(&custom, serde_json::to_value(&3u64).unwrap())
+            .unwrap();
+        let diff = diff_stores(&a, &b);
+        assert_eq!(diff.points.len(), 1, "only the shared rate point compares");
+        assert_eq!(diff.baseline_only, 1);
+        assert_eq!(diff.candidate_only, 1);
+        assert_eq!(diff.uncompared, 1);
+        let text = format_store_diff(&diff);
+        assert!(
+            text.contains("compared 1 points (1 baseline-only, 1 candidate-only, 1 uncompared"),
+            "{text}"
+        );
+        let _ = std::fs::remove_file(&path_a);
+        let _ = std::fs::remove_file(&path_b);
+    }
+
+    #[test]
+    fn diff_treats_an_all_failed_candidate_point_as_a_regression() {
+        // A candidate whose jobs crash must not slip past the exit-code
+        // gate: failed-only points count as regressions, while points the
+        // candidate never attempted stay baseline-only (grid mismatch).
+        let path_a = temp_store("diff-failed-a");
+        let path_b = temp_store("diff-failed-b");
+        let _ = std::fs::remove_file(&path_a);
+        let _ = std::fs::remove_file(&path_b);
+        let mut a = ResultStore::open(&path_a).unwrap();
+        let mut b = ResultStore::open(&path_b).unwrap();
+        for seed in 1u64..=3 {
+            a.append_ok(&rate_job("polsp", 0.3, seed), rate_result(0.7, 80.0))
+                .unwrap();
+            b.append_failed(
+                &rate_job("polsp", 0.3, seed),
+                "routing change panicked".into(),
+            )
+            .unwrap();
+        }
+        // A point only the baseline has (candidate never attempted it).
+        a.append_ok(&rate_job("polsp", 0.4, 1), rate_result(0.8, 90.0))
+            .unwrap();
+        let diff = diff_stores(&a, &b);
+        assert_eq!(diff.candidate_failed.len(), 1);
+        assert_eq!(diff.baseline_only, 1, "unattempted points are tolerated");
+        assert!(diff.has_regressions(), "all-failed point fails the gate");
+        let text = format_store_diff(&diff);
+        assert!(text.contains("all FAILED"), "{text}");
+        assert!(text.contains("result: 1 regression(s)"), "{text}");
+        let _ = std::fs::remove_file(&path_a);
+        let _ = std::fs::remove_file(&path_b);
+    }
+
+    #[test]
+    fn replicated_batch_points_stay_nan_free_with_stalled_rows() {
+        let path = temp_store("replicated-batch");
+        let _ = std::fs::remove_file(&path);
+        let mut store = ResultStore::open(&path).unwrap();
+        let batch_job = |seed: u64| JobSpec {
+            campaign: "batch-rep".into(),
+            kind: "batch".into(),
+            packets_per_server: Some(10),
+            load: None,
+            ..rate_job("omnisp", 0.3, seed)
+        };
+        let mut ok = dummy_batch("OmniSP", 1000).metrics;
+        ok.average_latency = 150.0;
+        let mut stalled = dummy_batch("OmniSP", 5000).metrics;
+        stalled.stalled = true;
+        stalled.average_latency = f64::NAN; // no packet ever completed
+        store
+            .append_ok(&batch_job(1), serde_json::to_value(&ok).unwrap())
+            .unwrap();
+        store
+            .append_ok(&batch_job(2), serde_json::to_value(&stalled).unwrap())
+            .unwrap();
+
+        let points = replicated_batch_points(&store, Some("batch-rep"));
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].n, 2);
+        assert_eq!(points[0].stalled_replicas, 1);
+        assert_eq!(points[0].average_latency.n, 1, "NaN latency dropped");
+        assert!(points[0].average_latency.mean.is_finite());
+        assert!(points[0].completion_time.mean.is_finite());
+        let table = format_replicated_batch_table(&points);
+        assert!(table.contains("1 STALLED"), "{table}");
+        assert!(!table.contains("NaN"), "{table}");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

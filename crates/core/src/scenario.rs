@@ -359,28 +359,16 @@ mod tests {
         assert!(FaultScenario::parse("subgrid:5:13,0", &sides).is_err());
     }
 
+    // key()/parse() round-trips over *generated* scenarios and topologies
+    // live in the property suite (tests/properties.rs); `none` stays here as
+    // the one case the generators do not emit.
     #[test]
-    fn keys_round_trip_through_parse() {
-        let sides2 = vec![16usize, 16];
-        let sides3 = vec![8usize, 8, 8];
-        let cases: Vec<(FaultScenario, &[usize])> = vec![
-            (FaultScenario::None, &sides2),
-            (FaultScenario::Random { count: 30, seed: 7 }, &sides2),
-            (FaultScenario::row_2d(), &sides2),
-            (FaultScenario::subplane_2d(), &sides2),
-            (FaultScenario::cross_2d(), &sides2),
-            (FaultScenario::row_3d(), &sides3),
-            (FaultScenario::subcube_3d(), &sides3),
-            (FaultScenario::star_3d(), &sides3),
-        ];
-        for (scenario, sides) in cases {
-            let key = scenario.key();
-            assert_eq!(
-                FaultScenario::parse(&key, sides).unwrap(),
-                scenario,
-                "key `{key}` does not round-trip"
-            );
-        }
+    fn none_key_round_trips() {
+        let sides = vec![16usize, 16];
+        assert_eq!(
+            FaultScenario::parse(&FaultScenario::None.key(), &sides).unwrap(),
+            FaultScenario::None
+        );
     }
 
     #[test]

@@ -57,18 +57,46 @@ impl Summary {
         }
     }
 
+    /// Computes the summary of the *finite* observations in a slice,
+    /// silently dropping NaN and infinities. Stalled batch runs can report
+    /// non-finite latencies (no packet ever completed); aggregating them
+    /// through this keeps every downstream mean/CI NaN-free — the dropped
+    /// rows simply shrink `n`.
+    pub fn of_finite(values: &[f64]) -> Self {
+        let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+        Summary::of(&finite)
+    }
+
+    /// The same distribution under a linear rescale (e.g. a fraction summary
+    /// rendered as a percentage): every statistic multiplies by `factor`.
+    pub fn scaled(&self, factor: f64) -> Summary {
+        Summary {
+            n: self.n,
+            mean: self.mean * factor,
+            std_dev: self.std_dev * factor.abs(),
+            min: self.min * factor,
+            max: self.max * factor,
+        }
+    }
+
     /// Half-width of the ±2σ/√n interval around the mean (a pragmatic ~95 %
     /// confidence half-width for the small replication counts used here).
+    ///
+    /// With fewer than two observations the spread is unknown, so the
+    /// half-width is **infinite**: a single run can never be declared
+    /// significantly different from anything (see [`Summary::differs_from`]).
     pub fn half_width(&self) -> f64 {
         if self.n < 2 {
-            0.0
+            f64::INFINITY
         } else {
             2.0 * self.std_dev / (self.n as f64).sqrt()
         }
     }
 
     /// Whether another summary's mean lies outside this one's ±2σ/√n interval
-    /// (a cheap "the difference looks real" check).
+    /// (a cheap "the difference looks real" check). `false` whenever either
+    /// side has fewer than two observations — their half-width is infinite —
+    /// or a non-finite mean.
     pub fn differs_from(&self, other: &Summary) -> bool {
         (self.mean - other.mean).abs() > self.half_width() + other.half_width()
     }
@@ -137,10 +165,51 @@ mod tests {
         let one = Summary::of(&[7.0]);
         assert_eq!(one.n, 1);
         assert_eq!(one.std_dev, 0.0);
-        assert_eq!(one.half_width(), 0.0);
+        assert!(one.half_width().is_infinite(), "n=1 carries no spread info");
         let none = Summary::of(&[]);
         assert_eq!(none.n, 0);
         assert_eq!(none.mean, 0.0);
+        assert!(none.half_width().is_infinite());
+    }
+
+    #[test]
+    fn single_replica_is_never_significantly_different() {
+        // n = 1 means an infinite-width CI: even a huge mean separation must
+        // not be reported as significant, in either direction.
+        let one = Summary::of(&[1.0]);
+        let far = Summary::of(&[1000.0, 1000.1, 999.9]);
+        assert!(!one.differs_from(&far));
+        assert!(!far.differs_from(&one));
+        assert!(!one.differs_from(&Summary::of(&[-50.0])));
+        assert!(!Summary::of(&[]).differs_from(&far));
+    }
+
+    #[test]
+    fn identical_replicas_have_zero_variance_and_separate_cleanly() {
+        // Zero variance (a deterministic metric replicated across seeds that
+        // happen to agree): the CI collapses to a point, so any nonzero mean
+        // separation is significant and a zero separation is not.
+        let a = Summary::of(&[0.5, 0.5, 0.5]);
+        assert_eq!(a.std_dev, 0.0);
+        assert_eq!(a.half_width(), 0.0);
+        let b = Summary::of(&[0.5, 0.5, 0.5]);
+        assert!(!a.differs_from(&b), "identical replicas: no difference");
+        let c = Summary::of(&[0.500001, 0.500001, 0.500001]);
+        assert!(a.differs_from(&c), "zero-variance summaries separate");
+    }
+
+    #[test]
+    fn of_finite_drops_nan_and_infinite_observations() {
+        // Stalled batch rows can carry NaN latencies; aggregation must stay
+        // NaN-free and only shrink n.
+        let s = Summary::of_finite(&[1.0, f64::NAN, 3.0, f64::INFINITY]);
+        assert_eq!(s.n, 2);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!(s.mean.is_finite() && s.std_dev.is_finite());
+        let all_bad = Summary::of_finite(&[f64::NAN, f64::NEG_INFINITY]);
+        assert_eq!(all_bad.n, 0);
+        assert_eq!(all_bad.mean, 0.0, "empty aggregation stays finite");
+        assert!(!all_bad.differs_from(&s), "n=0 can never be significant");
     }
 
     #[test]

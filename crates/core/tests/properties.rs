@@ -1,0 +1,138 @@
+//! Property tests of the campaign-spec string grammars: every
+//! programmatically constructible [`FaultScenario`] and [`RootPlacement`]
+//! must round-trip through its canonical `key()` string and `parse()`, over
+//! *generated* topologies and coordinates — these replace the earlier
+//! hand-picked round-trip cases, which only covered the paper's six shapes.
+//!
+//! The vendored proptest has no dependent strategies (`prop_flat_map`), so
+//! coordinates are drawn as raw integers and reduced into range inside the
+//! test body — the distribution still covers every anchor of every generated
+//! topology.
+
+use proptest::prelude::*;
+use surepath_core::{FaultScenario, FaultShape, RootPlacement, RootPolicy};
+
+/// HyperX sides: 2 or 3 dimensions, each side in the simulable 2..=16 range.
+fn sides_strategy() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(2usize..=16, 2..=3)
+}
+
+/// Raw coordinate material, reduced modulo each side in the test body.
+/// Length 3 covers the widest generated topology; `zip` trims the rest.
+fn raw_coords() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(0usize..1024, 3..=3)
+}
+
+fn coords_within(sides: &[usize], raw: &[usize]) -> Vec<usize> {
+    sides.iter().zip(raw).map(|(&k, &r)| r % k).collect()
+}
+
+fn assert_round_trip(
+    scenario: FaultScenario,
+    sides: &[usize],
+) -> Result<(), proptest::TestCaseError> {
+    let key = scenario.key();
+    let reparsed = FaultScenario::parse(&key, sides);
+    prop_assert_eq!(
+        reparsed.as_ref(),
+        Ok(&scenario),
+        "key `{}` does not round-trip on {:?}: {:?}",
+        key,
+        sides,
+        reparsed
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn random_scenarios_round_trip(count in 0usize..5000, seed in 0u64..u64::MAX) {
+        let sides = vec![8usize, 8];
+        assert_round_trip(FaultScenario::Random { count, seed }, &sides)?;
+    }
+
+    #[test]
+    fn row_shapes_round_trip(sides in sides_strategy(), dim_raw in 0usize..64, raw in raw_coords()) {
+        let along_dim = dim_raw % sides.len();
+        let at = coords_within(&sides, &raw);
+        assert_round_trip(
+            FaultScenario::Shape(FaultShape::Row { along_dim, at }),
+            &sides,
+        )?;
+    }
+
+    #[test]
+    fn subgrid_shapes_round_trip(sides in sides_strategy(), size_raw in 0usize..64, raw in raw_coords()) {
+        // A subgrid must fit: pick a size within the smallest side, then an
+        // anchor leaving room for it in every dimension.
+        let min_side = *sides.iter().min().unwrap();
+        let size = 1 + size_raw % min_side;
+        let low: Vec<usize> = sides
+            .iter()
+            .zip(&raw)
+            .map(|(&k, &r)| r % (k - size + 1))
+            .collect();
+        assert_round_trip(
+            FaultScenario::Shape(FaultShape::Subgrid { low, size }),
+            &sides,
+        )?;
+    }
+
+    #[test]
+    fn cross_shapes_round_trip(sides in sides_strategy(), margin_raw in 0usize..64, raw in raw_coords()) {
+        // The cross margin must leave at least one faulty link per side.
+        let min_side = *sides.iter().min().unwrap();
+        let margin = margin_raw % min_side;
+        let center = coords_within(&sides, &raw);
+        assert_round_trip(
+            FaultScenario::Shape(FaultShape::Cross { center, margin }),
+            &sides,
+        )?;
+    }
+
+    #[test]
+    fn scenario_keys_are_rejected_on_topologies_that_cannot_hold_them(
+        sides in sides_strategy(),
+        raw in raw_coords(),
+    ) {
+        // A row anchored at exactly the side length lies outside the
+        // topology: the coordinate validator must reject the key rather than
+        // wrap or clamp it.
+        let mut at = coords_within(&sides, &raw);
+        at[0] = sides[0]; // first coordinate out of range
+        let scenario = FaultScenario::Shape(FaultShape::Row { along_dim: 0, at });
+        prop_assert!(FaultScenario::parse(&scenario.key(), &sides).is_err());
+    }
+
+    #[test]
+    fn switch_root_placements_round_trip(id in 0usize..1_000_000) {
+        let placement = RootPlacement::Switch(id);
+        prop_assert_eq!(RootPlacement::parse(&placement.key()), Ok(placement));
+    }
+
+    #[test]
+    fn policy_and_suggested_root_placements_round_trip(which in 0usize..4) {
+        let placement = match which {
+            0 => RootPlacement::Suggested,
+            1 => RootPlacement::Policy(RootPolicy::MaxAliveDegree),
+            2 => RootPlacement::Policy(RootPolicy::MinEccentricity),
+            _ => RootPlacement::Policy(RootPolicy::MinTotalDistance),
+        };
+        prop_assert_eq!(RootPlacement::parse(&placement.key()), Ok(placement));
+    }
+
+    #[test]
+    fn scenario_keys_are_canonical(sides in sides_strategy(), raw in raw_coords(), margin_raw in 0usize..64) {
+        // key() is a left inverse of parse() *and* parse(key()).key() is a
+        // fixed point: parsing a canonical key and re-keying changes nothing.
+        let min_side = *sides.iter().min().unwrap();
+        let margin = margin_raw % min_side;
+        let center = coords_within(&sides, &raw);
+        let scenario = FaultScenario::Shape(FaultShape::Cross { center, margin });
+        let key = scenario.key();
+        let reparsed = FaultScenario::parse(&key, &sides).unwrap();
+        prop_assert_eq!(reparsed.key(), key);
+    }
+}

@@ -45,6 +45,25 @@ pub fn job_fingerprint(job: &JobSpec) -> String {
     format!("{:016x}", fnv1a64(canonical_job_json(job).as_bytes()))
 }
 
+/// The canonical serialized form of the *grid point* a job belongs to: like
+/// [`canonical_job_json`] but with the `seed` field removed. Replicas of the
+/// same point (same campaign cell, different seeds) share this form.
+pub fn canonical_point_json(job: &JobSpec) -> String {
+    let mut value = serde::Serialize::serialize(job);
+    if let Value::Object(fields) = &mut value {
+        fields.retain(|(name, v)| name != "seed" && !matches!(v, Value::Null));
+    }
+    serde_json::to_string(&value).expect("job serializes")
+}
+
+/// The point fingerprint ("fingerprint minus seed"): the stable identity of
+/// a campaign grid point across its replicas. Reports group replica rows by
+/// this, and `--diff` aligns the rows of two stores by it — including stores
+/// written before `replicas` existed, where seeds were an explicit grid axis.
+pub fn point_fingerprint(job: &JobSpec) -> String {
+    format!("{:016x}", fnv1a64(canonical_point_json(job).as_bytes()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -117,6 +136,25 @@ mod tests {
         let mut modern = job(1);
         modern.vcs = None;
         assert_eq!(job_fingerprint(&legacy_job), job_fingerprint(&modern));
+    }
+
+    #[test]
+    fn point_fingerprints_identify_replicas_across_seeds() {
+        // Same point, different seeds: same point fingerprint, different job
+        // fingerprints.
+        assert_eq!(point_fingerprint(&job(1)), point_fingerprint(&job(2)));
+        assert_ne!(job_fingerprint(&job(1)), job_fingerprint(&job(2)));
+        // Any non-seed dimension still separates points.
+        let mut other = job(1);
+        other.load = Some(0.4);
+        assert_ne!(point_fingerprint(&other), point_fingerprint(&job(1)));
+        let mut other = job(1);
+        other.mechanism = Some("omnisp".into());
+        assert_ne!(point_fingerprint(&other), point_fingerprint(&job(1)));
+        // The canonical point form has no seed and no nulls.
+        let json = canonical_point_json(&job(7));
+        assert!(!json.contains("seed"), "{json}");
+        assert!(!json.contains("null"), "{json}");
     }
 
     #[test]

@@ -49,6 +49,6 @@ pub mod toml;
 
 pub use campaign::{run_campaign, CampaignOutcome};
 pub use executor::{default_threads, parallel_map, run_work_stealing, JobOutcome};
-pub use fingerprint::job_fingerprint;
+pub use fingerprint::{job_fingerprint, point_fingerprint};
 pub use spec::{load_spec_file, CampaignSpec, JobSpec, TopologySpec};
-pub use store::{merge_stores, MergeSummary, ResultStore, StoreRecord};
+pub use store::{group_replicas, merge_stores, MergeSummary, ResultStore, StoreRecord};

@@ -58,8 +58,15 @@ pub struct CampaignSpec {
     pub roots: Option<Vec<String>>,
     /// Offered loads in phits/cycle/server.
     pub loads: Option<Vec<f64>>,
-    /// Random seeds (default `[1]`).
+    /// Random seeds (default `[1]`). With `replicas` set, at most one seed
+    /// is allowed: it becomes the base of the derived replica seeds.
     pub seeds: Option<Vec<u64>>,
+    /// Replication factor: every grid point expands into this many jobs with
+    /// derived consecutive seeds (`base`, `base + 1`, …, where `base` is the
+    /// single `seeds` entry, default 1). Replication is an expansion-time
+    /// concept only — the expanded [`JobSpec`]s are indistinguishable from an
+    /// explicit seed grid, so fingerprints (and existing stores) stay valid.
+    pub replicas: Option<usize>,
     /// Virtual channels per port (`None` = mechanism default). Mutually
     /// exclusive with `vc_counts`.
     pub vcs: Option<usize>,
@@ -91,6 +98,7 @@ impl Default for CampaignSpec {
             roots: None,
             loads: None,
             seeds: None,
+            replicas: None,
             vcs: None,
             vc_counts: None,
             warmup: None,
@@ -248,6 +256,33 @@ impl CampaignSpec {
         if self.seeds.as_ref().is_some_and(Vec::is_empty) {
             return Err("campaign dimension `seeds` is present but empty".to_string());
         }
+        if let Some(seeds) = &self.seeds {
+            let mut seen = std::collections::HashSet::new();
+            for &seed in seeds {
+                if !seen.insert(seed) {
+                    return Err(format!(
+                        "campaign `{}`: duplicate seed {seed} in `seeds` (every grid row \
+                         would collide on its fingerprint)",
+                        self.name
+                    ));
+                }
+            }
+        }
+        if let Some(replicas) = self.replicas {
+            if replicas == 0 {
+                return Err(format!(
+                    "campaign `{}`: `replicas` must be at least 1",
+                    self.name
+                ));
+            }
+            if self.seeds.as_ref().is_some_and(|s| s.len() > 1) {
+                return Err(format!(
+                    "campaign `{}`: `replicas` cannot be combined with a multi-seed `seeds` \
+                     grid (ambiguous replication; give a single base seed or drop `seeds`)",
+                    self.name
+                ));
+            }
+        }
         if self.vc_counts.as_ref().is_some_and(Vec::is_empty) {
             return Err("campaign dimension `vc_counts` is present but empty".to_string());
         }
@@ -263,9 +298,24 @@ impl CampaignSpec {
         Ok(())
     }
 
+    /// The effective seed list of the grid: the derived consecutive replica
+    /// seeds when `replicas` is set, the explicit `seeds` grid (default
+    /// `[1]`) otherwise. The base replica seed is the single `seeds` entry,
+    /// so a store written with `seeds = [1]` stays fingerprint-valid for the
+    /// first replica after switching the spec to `replicas = N`.
+    pub fn replica_seeds(&self) -> Vec<u64> {
+        match self.replicas {
+            Some(n) => {
+                let base = self.seeds.as_ref().map_or(1, |s| s[0]);
+                (0..n as u64).map(|i| base.wrapping_add(i)).collect()
+            }
+            None => self.seeds.clone().unwrap_or_else(|| vec![1]),
+        }
+    }
+
     /// Expands the cross-product into the flat job list, in a deterministic
     /// order: topology, mechanism, traffic, scenario, root, VC budget, load,
-    /// seed (innermost).
+    /// seed (innermost; with `replicas`, the derived replica seeds).
     pub fn expand(&self) -> Result<Vec<JobSpec>, String> {
         self.validate()?;
         let none_str = [None];
@@ -287,7 +337,7 @@ impl CampaignSpec {
             Some(values) => values.iter().copied().map(Some).collect(),
             None => vec![None],
         };
-        let seeds = self.seeds.clone().unwrap_or_else(|| vec![1]);
+        let seeds = self.replica_seeds();
 
         let mut jobs = Vec::new();
         for topology in &self.topologies {
@@ -494,6 +544,76 @@ mod tests {
         let mut s = quick_spec();
         s.sample_window = Some(0);
         assert!(s.expand().is_err());
+    }
+
+    #[test]
+    fn replicas_expand_into_consecutive_derived_seeds() {
+        let spec = CampaignSpec {
+            seeds: None,
+            replicas: Some(3),
+            loads: Some(vec![0.2]),
+            scenarios: Some(vec!["none".into()]),
+            mechanisms: Some(vec!["polsp".into()]),
+            ..quick_spec()
+        };
+        let jobs = spec.expand().unwrap();
+        assert_eq!(jobs.len(), 3);
+        assert_eq!(
+            jobs.iter().map(|j| j.seed).collect::<Vec<_>>(),
+            vec![1, 2, 3],
+            "replica seeds derive from the default base seed 1"
+        );
+
+        // An explicit single seed becomes the replica base.
+        let based = CampaignSpec {
+            seeds: Some(vec![10]),
+            ..spec.clone()
+        };
+        let jobs = based.expand().unwrap();
+        assert_eq!(
+            jobs.iter().map(|j| j.seed).collect::<Vec<_>>(),
+            vec![10, 11, 12]
+        );
+
+        // The first replica of a `replicas` spec is the same job as the old
+        // single-seed grid point — existing stores stay fingerprint-valid.
+        let legacy = CampaignSpec {
+            replicas: None,
+            seeds: Some(vec![1]),
+            ..spec.clone()
+        };
+        assert_eq!(legacy.expand().unwrap()[0], spec.expand().unwrap()[0]);
+    }
+
+    #[test]
+    fn replicas_reject_multi_seed_grids_and_zero() {
+        let mut s = quick_spec();
+        s.replicas = Some(4);
+        // quick_spec has seeds = [1, 2, 3]: ambiguous replication.
+        let err = s.expand().unwrap_err();
+        assert!(err.contains("campaign `quick`"), "{err}");
+        assert!(err.contains("multi-seed"), "{err}");
+
+        let mut s = quick_spec();
+        s.seeds = Some(vec![7]);
+        s.replicas = Some(4);
+        assert!(s.expand().is_ok(), "a single base seed is fine");
+
+        let mut s = quick_spec();
+        s.seeds = None;
+        s.replicas = Some(0);
+        let err = s.expand().unwrap_err();
+        assert!(err.contains("campaign `quick`"), "{err}");
+        assert!(err.contains("at least 1"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_seeds_are_rejected_naming_the_spec() {
+        let mut s = quick_spec();
+        s.seeds = Some(vec![1, 2, 1]);
+        let err = s.expand().unwrap_err();
+        assert!(err.contains("campaign `quick`"), "{err}");
+        assert!(err.contains("duplicate seed 1"), "{err}");
     }
 
     #[test]

@@ -267,6 +267,34 @@ impl ResultStore {
     }
 }
 
+/// Groups records by their point fingerprint (job fingerprint minus the
+/// seed): each returned entry is one campaign grid point with all of its
+/// replica records, in the iteration order of `records` (first record of a
+/// point fixes the point's position, replicas keep their relative order).
+/// This is how report renderers and `--diff` recover the replication
+/// structure from a flat store — it works equally for stores written with
+/// the `replicas` dimension and for old stores with explicit seed grids.
+pub fn group_replicas<'a>(
+    records: impl IntoIterator<Item = &'a StoreRecord>,
+) -> Vec<(String, Vec<&'a StoreRecord>)> {
+    let mut order: Vec<String> = Vec::new();
+    let mut groups: HashMap<String, Vec<&StoreRecord>> = HashMap::new();
+    for record in records {
+        let point = crate::fingerprint::point_fingerprint(&record.job);
+        if !groups.contains_key(&point) {
+            order.push(point.clone());
+        }
+        groups.entry(point).or_default().push(record);
+    }
+    order
+        .into_iter()
+        .map(|point| {
+            let replicas = groups.remove(&point).expect("grouped above");
+            (point, replicas)
+        })
+        .collect()
+}
+
 /// What [`merge_stores`] did.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct MergeSummary {
@@ -557,6 +585,46 @@ mod tests {
         for p in [&shard_a, &shard_b, &out_ab, &out_ba] {
             let _ = std::fs::remove_file(p);
         }
+    }
+
+    #[test]
+    fn group_replicas_preserves_point_order_and_gathers_seeds() {
+        // Three points (loads), two replicas each, interleaved like a store
+        // in completion order.
+        let point = |load: f64, seed: u64| {
+            let mut j = job(seed);
+            j.load = Some(load);
+            StoreRecord {
+                fp: job_fingerprint(&j),
+                status: "ok".into(),
+                job: j,
+                result: Some(Value::Null),
+                error: None,
+            }
+        };
+        let records = vec![
+            point(0.1, 1),
+            point(0.2, 1),
+            point(0.1, 2),
+            point(0.3, 1),
+            point(0.2, 2),
+            point(0.3, 2),
+        ];
+        let groups = group_replicas(&records);
+        assert_eq!(groups.len(), 3);
+        for (_, replicas) in &groups {
+            assert_eq!(replicas.len(), 2);
+            assert_eq!(
+                replicas.iter().map(|r| r.job.seed).collect::<Vec<_>>(),
+                vec![1, 2]
+            );
+        }
+        // Point order follows the first appearance of each point.
+        let loads: Vec<f64> = groups
+            .iter()
+            .map(|(_, replicas)| replicas[0].job.load.unwrap())
+            .collect();
+        assert_eq!(loads, vec![0.1, 0.2, 0.3]);
     }
 
     #[test]

@@ -1,0 +1,22 @@
+//! Helpers shared by the repo-level integration suites.
+
+/// The executor thread count under test: `SUREPATH_TEST_THREADS` (CI runs
+/// the suites at 1 and 4 to cover both schedules), default 4.
+pub fn test_threads() -> usize {
+    std::env::var("SUREPATH_TEST_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4)
+}
+
+/// A per-suite temp-store path, namespaced by thread count and pid so the
+/// 1-thread and 4-thread CI runs (and parallel invocations) never collide.
+pub fn temp_store(suite: &str, name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(suite);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!(
+        "{name}-t{}-{}.jsonl",
+        test_threads(),
+        std::process::id()
+    ))
+}

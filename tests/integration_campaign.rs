@@ -48,10 +48,11 @@ fn tiny_batch_spec(name: &str) -> CampaignSpec {
     }
 }
 
+mod common;
+use common::test_threads;
+
 fn temp_store(name: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join("surepath-integration-campaign");
-    std::fs::create_dir_all(&dir).unwrap();
-    dir.join(format!("{name}-{}.jsonl", std::process::id()))
+    common::temp_store("surepath-integration-campaign", name)
 }
 
 #[test]
@@ -64,7 +65,7 @@ fn same_spec_same_seed_gives_byte_identical_stores() {
 
     // One worker vs. many: completion order differs wildly, bytes must not.
     let a = run_campaign(&spec, &path_serial, Some(1), true).unwrap();
-    let b = run_campaign(&spec, &path_parallel, Some(4), true).unwrap();
+    let b = run_campaign(&spec, &path_parallel, Some(test_threads()), true).unwrap();
     assert_eq!(a.executed, 8);
     assert_eq!(b.executed, 8);
     assert_eq!(a.failed + b.failed, 0);
@@ -97,7 +98,7 @@ fn interrupted_campaign_resumes_running_only_missing_jobs() {
     }
 
     let executed = AtomicUsize::new(0);
-    let outcome = runner::run_campaign(&spec, &path, Some(4), true, |job| {
+    let outcome = runner::run_campaign(&spec, &path, Some(test_threads()), true, |job| {
         executed.fetch_add(1, Ordering::Relaxed);
         run_job(job)
     })
@@ -113,7 +114,7 @@ fn interrupted_campaign_resumes_running_only_missing_jobs() {
     assert!(outcome.is_complete());
 
     // And a third run touches nothing at all.
-    let untouched = run_campaign(&spec, &path, Some(4), true).unwrap();
+    let untouched = run_campaign(&spec, &path, Some(test_threads()), true).unwrap();
     assert_eq!(untouched.skipped, 8);
     assert_eq!(untouched.executed, 0);
     let _ = std::fs::remove_file(&path);
@@ -127,7 +128,7 @@ fn a_panicking_job_is_isolated_and_the_campaign_completes() {
     let path = temp_store("panic");
     let _ = std::fs::remove_file(&path);
 
-    let outcome = runner::run_campaign(&spec, &path, Some(4), true, |job| {
+    let outcome = runner::run_campaign(&spec, &path, Some(test_threads()), true, |job| {
         if job_fingerprint(job) == poisoned {
             panic!("injected fault in job 3");
         }
@@ -159,7 +160,7 @@ fn batch_campaign_stores_are_byte_identical_across_thread_counts() {
     let _ = std::fs::remove_file(&path_parallel);
 
     let a = run_campaign(&spec, &path_serial, Some(1), true).unwrap();
-    let b = run_campaign(&spec, &path_parallel, Some(4), true).unwrap();
+    let b = run_campaign(&spec, &path_parallel, Some(test_threads()), true).unwrap();
     assert_eq!(a.executed, 8);
     assert_eq!(a.failed + b.failed, 0);
 
@@ -200,7 +201,7 @@ fn interrupted_batch_campaign_resumes_running_only_missing_jobs() {
     }
 
     let executed = AtomicUsize::new(0);
-    let outcome = runner::run_campaign(&spec, &path, Some(4), true, |job| {
+    let outcome = runner::run_campaign(&spec, &path, Some(test_threads()), true, |job| {
         executed.fetch_add(1, Ordering::Relaxed);
         run_job(job)
     })
@@ -216,7 +217,7 @@ fn interrupted_batch_campaign_resumes_running_only_missing_jobs() {
     assert!(outcome.is_complete());
 
     // And a third run touches nothing at all.
-    let untouched = run_campaign(&spec, &path, Some(4), true).unwrap();
+    let untouched = run_campaign(&spec, &path, Some(test_threads()), true).unwrap();
     assert_eq!(untouched.skipped, 8);
     assert_eq!(untouched.executed, 0);
     let _ = std::fs::remove_file(&path);

@@ -1,0 +1,136 @@
+//! Golden-store fixture tests: a tiny finalized JSONL store is checked in
+//! under `tests/fixtures/`, and the rendered `--report` (and the `--diff` of
+//! the store against itself) must match the committed snapshots **byte for
+//! byte**. This pins the exact output format across refactors and platforms
+//! — store contents are already byte-deterministic, so any diff here is a
+//! rendering change, which should be deliberate and reviewed.
+//!
+//! To regenerate after an intentional format change:
+//!
+//! ```text
+//! cargo test --test integration_golden -- --ignored regenerate_golden_fixtures
+//! ```
+
+use std::path::PathBuf;
+use surepath::core::{
+    diff_stores, format_store_diff, report_store, run_campaign, CampaignSpec, ResultStore,
+    TopologySpec,
+};
+
+fn fixtures_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn store_path() -> PathBuf {
+    fixtures_dir().join("golden_store.jsonl")
+}
+
+fn report_path() -> PathBuf {
+    fixtures_dir().join("golden_report.txt")
+}
+
+fn diff_path() -> PathBuf {
+    fixtures_dir().join("golden_diff.txt")
+}
+
+/// The rate campaign of the fixture: two mechanisms, three replicas each.
+fn golden_rate_spec() -> CampaignSpec {
+    CampaignSpec {
+        name: "golden".to_string(),
+        topologies: vec![TopologySpec {
+            sides: vec![4, 4],
+            concentration: None,
+        }],
+        mechanisms: Some(vec!["omnisp".into(), "polsp".into()]),
+        traffics: Some(vec!["uniform".into()]),
+        scenarios: Some(vec!["none".into()]),
+        loads: Some(vec![0.3]),
+        replicas: Some(3),
+        vcs: Some(4),
+        warmup: Some(100),
+        measure: Some(250),
+        ..CampaignSpec::default()
+    }
+}
+
+/// The batch campaign sharing the fixture store: two replicas per point.
+fn golden_batch_spec() -> CampaignSpec {
+    CampaignSpec {
+        name: "golden-batch".to_string(),
+        kind: Some("batch".into()),
+        loads: None,
+        replicas: Some(2),
+        packets_per_server: Some(10),
+        sample_window: Some(200),
+        ..golden_rate_spec()
+    }
+}
+
+#[test]
+fn golden_report_matches_committed_snapshot_byte_for_byte() {
+    let store = ResultStore::open_read_only(&store_path())
+        .expect("fixture store is committed under tests/fixtures/");
+    let rendered = report_store(&store);
+    let golden = std::fs::read_to_string(report_path()).expect("golden report committed");
+    assert_eq!(
+        rendered, golden,
+        "--report output drifted from tests/fixtures/golden_report.txt; if the \
+         format change is intentional, regenerate with \
+         `cargo test --test integration_golden -- --ignored regenerate_golden_fixtures`"
+    );
+    // The fixture really is replicated — the snapshot shows mean ± CI.
+    assert!(golden.contains('±'), "{golden}");
+}
+
+#[test]
+fn golden_self_diff_matches_committed_snapshot_and_reports_no_regressions() {
+    let store = ResultStore::open_read_only(&store_path()).expect("fixture store committed");
+    let diff = diff_stores(&store, &store);
+    assert!(!diff.has_regressions());
+    assert_eq!(diff.significant(), 0);
+    let rendered = format_store_diff(&diff);
+    let golden = std::fs::read_to_string(diff_path()).expect("golden diff committed");
+    assert_eq!(
+        rendered, golden,
+        "--diff output drifted from tests/fixtures/golden_diff.txt; regenerate \
+         if intentional (see module docs)"
+    );
+    assert!(golden.contains("result: no regressions"), "{golden}");
+}
+
+#[test]
+fn golden_store_reruns_are_fingerprint_complete() {
+    // The committed store must be complete for its specs: re-running the
+    // campaigns against a copy skips everything (nothing is re-simulated and
+    // the bytes do not change).
+    let copy =
+        std::env::temp_dir().join(format!("surepath-golden-copy-{}.jsonl", std::process::id()));
+    std::fs::copy(store_path(), &copy).unwrap();
+    for spec in [golden_rate_spec(), golden_batch_spec()] {
+        let outcome = run_campaign(&spec, &copy, Some(2), true).unwrap();
+        assert_eq!(outcome.executed, 0, "campaign `{}` re-ran jobs", spec.name);
+        assert!(outcome.is_complete());
+    }
+    assert_eq!(
+        std::fs::read(store_path()).unwrap(),
+        std::fs::read(&copy).unwrap(),
+        "re-finalizing a complete store must not change its bytes"
+    );
+    let _ = std::fs::remove_file(&copy);
+}
+
+/// Regenerates the fixture store and snapshots. Run explicitly (`--ignored`)
+/// after an intentional format change, then commit the updated files.
+#[test]
+#[ignore]
+fn regenerate_golden_fixtures() {
+    std::fs::create_dir_all(fixtures_dir()).unwrap();
+    let _ = std::fs::remove_file(store_path());
+    for spec in [golden_rate_spec(), golden_batch_spec()] {
+        let outcome = run_campaign(&spec, &store_path(), Some(2), true).unwrap();
+        assert!(outcome.is_complete(), "campaign `{}` failed", spec.name);
+    }
+    let store = ResultStore::open_read_only(&store_path()).unwrap();
+    std::fs::write(report_path(), report_store(&store)).unwrap();
+    std::fs::write(diff_path(), format_store_diff(&diff_stores(&store, &store))).unwrap();
+}
