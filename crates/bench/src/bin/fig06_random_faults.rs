@@ -148,22 +148,13 @@ fn main() {
         ),
     ];
 
-    for (name, campaign, _) in &networks {
-        let outcome = surepath_core::run_campaign(campaign, &store_path, opts.threads, false)
-            .unwrap_or_else(|e| {
-                eprintln!("campaign {name} failed: {e}");
-                std::process::exit(1);
-            });
-        eprintln!(
-            "{name}: {} points ({} skipped, {} executed, {} failed)",
-            outcome.total, outcome.skipped, outcome.executed, outcome.failed
-        );
-    }
-
-    let store = ResultStore::open_read_only(&store_path).unwrap_or_else(|e| {
-        eprintln!("cannot reopen store {}: {e}", store_path.display());
-        std::process::exit(1);
-    });
+    // Runs locally by default; `--distributed N` fans the same grids out to
+    // N TCP workers (the store is byte-identical either way).
+    let specs: Vec<surepath_core::CampaignSpec> = networks
+        .iter()
+        .map(|(_, campaign, _)| campaign.clone())
+        .collect();
+    let store = hyperx_bench::run_campaigns_to_store(&opts, "fig06", &specs);
     for (name, campaign, patterns) in &networks {
         render_network(name, &store, campaign, patterns, &steps, &mut csv);
     }

@@ -45,10 +45,14 @@ pub struct HarnessOptions {
     pub store: Option<String>,
     /// Worker thread count override (`--threads`).
     pub threads: Option<usize>,
+    /// Fan the campaigns out to this many TCP workers (`--distributed N`)
+    /// instead of the in-process pool. The store stays byte-identical either
+    /// way; this exercises (and scales on) the coordinator/worker path.
+    pub distributed: Option<usize>,
 }
 
-const HARNESS_USAGE: &str =
-    "usage: [--quick|--full] [--csv <path>] [--store <results.jsonl>] [--threads <n>]";
+const HARNESS_USAGE: &str = "usage: [--quick|--full] [--csv <path>] [--store <results.jsonl>] \
+     [--threads <n>] [--distributed <workers>]";
 
 impl HarnessOptions {
     /// Parses the options from `std::env::args`, exiting with a usage message
@@ -58,6 +62,7 @@ impl HarnessOptions {
         let mut csv = None;
         let mut store = None;
         let mut threads = None;
+        let mut distributed = None;
         let mut args = std::env::args().skip(1);
         let value = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
             args.next().unwrap_or_else(|| {
@@ -79,6 +84,14 @@ impl HarnessOptions {
                     }
                     threads = Some(n);
                 }
+                "--distributed" => {
+                    let n: usize = value(&mut args, "--distributed").parse().unwrap_or(0);
+                    if n == 0 {
+                        eprintln!("--distributed must be a positive worker count");
+                        std::process::exit(2);
+                    }
+                    distributed = Some(n);
+                }
                 "--help" | "-h" => {
                     println!("{HARNESS_USAGE}");
                     std::process::exit(0);
@@ -95,6 +108,7 @@ impl HarnessOptions {
             csv,
             store,
             threads,
+            distributed,
         }
     }
 
@@ -129,6 +143,12 @@ impl HarnessOptions {
 /// (skipping fingerprint-complete points, so interrupted runs resume) and
 /// reopens the store for rendering. Prints per-campaign outcomes on stderr
 /// and exits with a message if a campaign cannot run.
+///
+/// With `--distributed N` the campaigns fan out over the coordinator/worker
+/// TCP path instead of the in-process pool: N workers connect over
+/// loopback, each running the same simulation bridge. The resulting store
+/// is byte-identical either way — that is the distributed driver's
+/// determinism contract.
 pub fn run_campaigns_to_store(
     opts: &HarnessOptions,
     stem: &str,
@@ -136,15 +156,36 @@ pub fn run_campaigns_to_store(
 ) -> ResultStore {
     let store_path = opts.store_path(stem);
     for campaign in campaigns {
-        let outcome = surepath_core::run_campaign(campaign, &store_path, opts.threads, true)
-            .unwrap_or_else(|e| {
-                eprintln!("campaign `{}` failed: {e}", campaign.name);
-                std::process::exit(1);
-            });
-        eprintln!(
-            "{}: {} points ({} skipped, {} executed, {} failed)",
-            campaign.name, outcome.total, outcome.skipped, outcome.executed, outcome.failed
-        );
+        match opts.distributed {
+            None => {
+                let outcome =
+                    surepath_core::run_campaign(campaign, &store_path, opts.threads, true)
+                        .unwrap_or_else(|e| {
+                            eprintln!("campaign `{}` failed: {e}", campaign.name);
+                            std::process::exit(1);
+                        });
+                eprintln!(
+                    "{}: {} points ({} skipped, {} executed, {} failed)",
+                    campaign.name, outcome.total, outcome.skipped, outcome.executed, outcome.failed
+                );
+            }
+            Some(workers) => {
+                let outcome = run_campaign_distributed(campaign, &store_path, workers, opts)
+                    .unwrap_or_else(|e| {
+                        eprintln!("distributed campaign `{}` failed: {e}", campaign.name);
+                        std::process::exit(1);
+                    });
+                eprintln!(
+                    "{}: {} points ({} skipped, {} executed, {} failed) on {} workers",
+                    campaign.name,
+                    outcome.total,
+                    outcome.skipped,
+                    outcome.executed,
+                    outcome.failed,
+                    outcome.workers
+                );
+            }
+        }
     }
     eprintln!(
         "(campaign store: {}; rerun to resume/skip)",
@@ -154,6 +195,66 @@ pub fn run_campaigns_to_store(
         eprintln!("cannot reopen store {}: {e}", store_path.display());
         std::process::exit(1);
     })
+}
+
+/// The `--distributed` execution path: a loopback coordinator plus
+/// `workers` in-process worker threads, all running `run_job`. The
+/// coordinator's machinery (shard partitioning, leases, the manifest
+/// sidecar) is exactly what a multi-host run uses — only the transport
+/// distance differs.
+fn run_campaign_distributed(
+    campaign: &CampaignSpec,
+    store_path: &std::path::Path,
+    workers: usize,
+    opts: &HarnessOptions,
+) -> Result<surepath_dist::ServeOutcome, String> {
+    surepath_core::validate_campaign(campaign)?;
+    let jobs = campaign.expand()?;
+    let listener = std::net::TcpListener::bind("127.0.0.1:0")
+        .map_err(|e| format!("cannot bind a loopback coordinator: {e}"))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| format!("cannot resolve coordinator address: {e}"))?
+        .to_string();
+    let threads_each = opts
+        .threads
+        .unwrap_or_else(surepath_runner::default_threads)
+        .div_ceil(workers)
+        .max(1);
+    let handles: Vec<_> = (0..workers)
+        .map(|i| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                surepath_dist::run_worker(
+                    &addr,
+                    &format!("bench-worker-{i}"),
+                    &surepath_dist::WorkerOptions {
+                        threads: Some(threads_each),
+                        ..surepath_dist::WorkerOptions::default()
+                    },
+                    surepath_core::run_job,
+                )
+            })
+        })
+        .collect();
+    let outcome = surepath_dist::serve(
+        listener,
+        &campaign.name,
+        &jobs,
+        store_path,
+        &surepath_dist::ServeOptions {
+            quiet: true,
+            ..surepath_dist::ServeOptions::default()
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    for handle in handles {
+        handle
+            .join()
+            .map_err(|_| "worker thread panicked".to_string())?
+            .map_err(|e| format!("worker failed: {e}"))?;
+    }
+    Ok(outcome)
 }
 
 /// Renders a Figures-8/9-style fault-shape comparison from the store: one
@@ -367,6 +468,7 @@ mod tests {
             csv: None,
             store: None,
             threads: None,
+            distributed: None,
         };
         assert_eq!(
             opts.store_path("fig06"),

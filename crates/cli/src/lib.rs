@@ -65,9 +65,13 @@ impl Default for CliConfig {
 
 /// The usage string of the `campaign` subcommand.
 pub const CAMPAIGN_USAGE: &str = "usage: surepath campaign <spec.toml|spec.json> [options]
+       surepath campaign <spec> --serve <addr> | --spawn-local <n> [options]
+       surepath campaign --worker <addr> [--threads N] [--quiet]
        surepath campaign --report <store.jsonl>... [--merge <out.jsonl>] [--csv <out.csv>]
+                         [--plots <dir>] [--timings]
        surepath campaign --merge <out.jsonl> <store.jsonl>...
        surepath campaign --diff <baseline.jsonl> <candidate.jsonl>
+                         [--campaign <name>] [--csv <out.csv>]
   Runs (or resumes) a declarative experiment campaign: the spec's
   topology x mechanism x traffic x scenario x root x VCs x load x seed
   cross-product (with `replicas = N`, each point runs N seeds) is executed
@@ -80,6 +84,27 @@ pub const CAMPAIGN_USAGE: &str = "usage: surepath campaign <spec.toml|spec.json>
   --threads N          worker threads (default: all cores)
   --quiet              suppress per-job progress on stderr
   --dry-run            expand and validate the grid, run nothing
+  A global wall-clock budget (SUREPATH_DEADLINE_SECS env var or the spec's
+  `deadline_secs` field) stops dequeuing when exhausted, finalizes the
+  partial store cleanly and exits with code 3; re-running resumes the rest.
+
+  Distributed campaigns (coordinator/worker over TCP):
+  --serve ADDR         serve the spec's grid to workers connecting on ADDR
+                       (e.g. 0.0.0.0:7777); jobs partition by fingerprint
+                       prefix into shards, fast workers steal slow workers'
+                       tails, lost workers' leases are re-offered, and the
+                       finalized store is byte-identical to a local run
+  --worker ADDR        run jobs for the coordinator at ADDR until drained
+  --spawn-local N      serve on an ephemeral local port and fork N worker
+                       processes (single-machine scale-out and tests);
+                       --threads sets each worker's pool size (default:
+                       the machine's cores split across the N workers)
+  --lease-secs N       re-offer jobs not delivered within N seconds (60)
+  --shards N           static fingerprint-prefix partitions (8)
+  --chunk N            max jobs per worker fetch (8)
+  Assignments are journalled to <store>.manifest.jsonl so --report can tell
+  `missing` from `assigned elsewhere / in-flight`, and a restarted
+  coordinator re-offers only unfinished fingerprints.
 
   Store tooling (no simulation):
   --report             render figures/tables straight from the store(s):
@@ -92,7 +117,12 @@ pub const CAMPAIGN_USAGE: &str = "usage: surepath campaign <spec.toml|spec.json>
                        fingerprint minus seed): significant per-metric
                        deltas are tabulated and a regression (significant
                        delta in the worse direction) exits nonzero
-  --csv PATH           with --report: also write the data as CSV
+  --campaign NAME      with --diff: compare only this campaign's points
+  --csv PATH           with --report/--diff: also write the data as CSV
+  --plots DIR          with --report: write the core::plot SVG figures to
+                       DIR (one per campaign/kind)
+  --timings            with --report: print the slowest-jobs table from the
+                       <store>.timings.jsonl sidecar(s)
   --help               this message";
 
 /// The usage string printed by `--help` and on parse errors.
@@ -291,14 +321,48 @@ pub struct CampaignCliConfig {
     pub dry_run: bool,
 }
 
-/// What a `surepath campaign` invocation asks for: run a spec, or operate on
-/// existing result stores (report / merge) without simulating anything.
+/// What a `surepath campaign` invocation asks for: run a spec (locally or
+/// distributed), or operate on existing result stores (report / merge /
+/// diff) without simulating anything.
 #[derive(Clone, Debug, PartialEq)]
 pub enum CampaignCommand {
     /// Run (or resume) the campaign described by a spec file.
     Run(CampaignCliConfig),
+    /// Serve the spec's grid to TCP workers (`--serve` / `--spawn-local`).
+    Serve {
+        /// Path of the TOML/JSON campaign spec.
+        spec_path: String,
+        /// Result store path (`None` = `<spec>.results.jsonl`).
+        store: Option<String>,
+        /// The address to listen on (`--serve`; `--spawn-local` alone uses
+        /// an ephemeral loopback port).
+        addr: String,
+        /// Fork this many local worker processes (`--spawn-local`).
+        spawn_local: Option<usize>,
+        /// Executor threads **per spawned worker** (`--threads`; `None` =
+        /// split the machine's cores across the workers). Only meaningful
+        /// with `spawn_local` — the coordinator itself executes nothing.
+        threads: Option<usize>,
+        /// Lease duration in seconds before a job is re-offered.
+        lease_secs: u64,
+        /// Static fingerprint-prefix shard count (`None` = default).
+        shards: Option<usize>,
+        /// Max jobs per worker fetch (`None` = default).
+        chunk: Option<usize>,
+        /// Suppress per-job progress output.
+        quiet: bool,
+    },
+    /// Run jobs for a coordinator until its grid is drained (`--worker`).
+    Worker {
+        /// The coordinator's address.
+        addr: String,
+        /// Executor threads on this worker (`None` = all cores).
+        threads: Option<usize>,
+        /// Suppress progress output.
+        quiet: bool,
+    },
     /// Render figures/tables from one or more stores; optionally persist the
-    /// merged store and/or a CSV copy.
+    /// merged store, a CSV copy, SVG plots and/or the slowest-jobs table.
     Report {
         /// Input store shards (at least one).
         stores: Vec<String>,
@@ -306,6 +370,10 @@ pub enum CampaignCommand {
         merge: Option<String>,
         /// Where to write the CSV copy of the report data.
         csv: Option<String>,
+        /// Directory for the `core::plot` SVG artifacts (`--plots`).
+        plots: Option<String>,
+        /// Print the slowest-jobs table from the timings sidecar(s).
+        timings: bool,
     },
     /// Merge store shards into one store, nothing else.
     Merge {
@@ -322,6 +390,10 @@ pub enum CampaignCommand {
         baseline: String,
         /// The candidate store, judged against the baseline.
         candidate: String,
+        /// Compare only this campaign's points (`--campaign`).
+        campaign: Option<String>,
+        /// Also write the full per-metric comparison as CSV (`--csv`).
+        csv: Option<String>,
     },
 }
 
@@ -348,8 +420,17 @@ pub fn parse_campaign_args(args: &[String]) -> Result<CampaignCommand, String> {
     let mut dry_run = false;
     let mut report = false;
     let mut diff = false;
+    let mut timings = false;
     let mut merge: Option<String> = None;
     let mut csv: Option<String> = None;
+    let mut plots: Option<String> = None;
+    let mut campaign_filter: Option<String> = None;
+    let mut serve: Option<String> = None;
+    let mut worker: Option<String> = None;
+    let mut spawn_local: Option<usize> = None;
+    let mut lease_secs: Option<u64> = None;
+    let mut shards: Option<usize> = None;
+    let mut chunk: Option<usize> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |name: &str| -> Result<String, String> {
@@ -357,23 +438,34 @@ pub fn parse_campaign_args(args: &[String]) -> Result<CampaignCommand, String> {
                 .cloned()
                 .ok_or_else(|| format!("{name} requires a value"))
         };
+        let positive = |name: &str, raw: String| -> Result<usize, String> {
+            match raw.parse::<usize>() {
+                Ok(n) if n > 0 => Ok(n),
+                _ => Err(format!("{name} must be a positive integer")),
+            }
+        };
         match arg.as_str() {
             "--store" => store = Some(value("--store")?),
-            "--threads" => {
-                let n: usize = value("--threads")?
-                    .parse()
-                    .map_err(|_| "invalid --threads")?;
-                if n == 0 {
-                    return Err("--threads must be at least 1".to_string());
-                }
-                threads = Some(n);
-            }
+            "--threads" => threads = Some(positive("--threads", value("--threads")?)?),
             "--quiet" => quiet = true,
             "--dry-run" => dry_run = true,
             "--report" => report = true,
             "--diff" => diff = true,
+            "--timings" => timings = true,
             "--merge" => merge = Some(value("--merge")?),
             "--csv" => csv = Some(value("--csv")?),
+            "--plots" => plots = Some(value("--plots")?),
+            "--campaign" => campaign_filter = Some(value("--campaign")?),
+            "--serve" => serve = Some(value("--serve")?),
+            "--worker" => worker = Some(value("--worker")?),
+            "--spawn-local" => {
+                spawn_local = Some(positive("--spawn-local", value("--spawn-local")?)?)
+            }
+            "--lease-secs" => {
+                lease_secs = Some(positive("--lease-secs", value("--lease-secs")?)? as u64)
+            }
+            "--shards" => shards = Some(positive("--shards", value("--shards")?)?),
+            "--chunk" => chunk = Some(positive("--chunk", value("--chunk")?)?),
             "--help" | "-h" => return Err(CAMPAIGN_USAGE.to_string()),
             other if other.starts_with("--") => {
                 return Err(format!("unknown argument '{other}'\n{CAMPAIGN_USAGE}"))
@@ -381,16 +473,86 @@ pub fn parse_campaign_args(args: &[String]) -> Result<CampaignCommand, String> {
             positional => positionals.push(positional.to_string()),
         }
     }
+    let distributed_flags = serve.is_some()
+        || spawn_local.is_some()
+        || lease_secs.is_some()
+        || shards.is_some()
+        || chunk.is_some();
+    if let Some(addr) = worker {
+        if distributed_flags
+            || report
+            || diff
+            || dry_run
+            || timings
+            || store.is_some()
+            || merge.is_some()
+            || csv.is_some()
+            || plots.is_some()
+            || campaign_filter.is_some()
+            || !positionals.is_empty()
+        {
+            return Err("--worker only combines with --threads and --quiet".to_string());
+        }
+        return Ok(CampaignCommand::Worker {
+            addr,
+            threads,
+            quiet,
+        });
+    }
+    if serve.is_some() || spawn_local.is_some() {
+        if report
+            || diff
+            || dry_run
+            || timings
+            || merge.is_some()
+            || csv.is_some()
+            || plots.is_some()
+            || campaign_filter.is_some()
+        {
+            return Err(
+                "--serve/--spawn-local only combine with --store, --quiet, --lease-secs, \
+                 --shards and --chunk"
+                    .to_string(),
+            );
+        }
+        if threads.is_some() && spawn_local.is_none() {
+            return Err(
+                "--threads belongs to workers; the coordinator executes nothing \
+                 (use it with --worker or --spawn-local)"
+                    .to_string(),
+            );
+        }
+        if positionals.len() != 1 {
+            return Err(format!(
+                "--serve/--spawn-local need exactly one spec file\n{CAMPAIGN_USAGE}"
+            ));
+        }
+        // --spawn-local alone picks an ephemeral loopback port; worker
+        // children are told the resolved address after bind.
+        let addr = serve.unwrap_or_else(|| "127.0.0.1:0".to_string());
+        return Ok(CampaignCommand::Serve {
+            spec_path: positionals.pop().expect("checked above"),
+            store,
+            addr,
+            spawn_local,
+            threads,
+            lease_secs: lease_secs.unwrap_or(60),
+            shards,
+            chunk,
+            quiet,
+        });
+    }
     if diff {
         if report
             || store.is_some()
             || threads.is_some()
             || dry_run
             || quiet
+            || timings
             || merge.is_some()
-            || csv.is_some()
+            || plots.is_some()
         {
-            return Err("--diff takes exactly two stores and no other flags".to_string());
+            return Err("--diff takes exactly two stores, --campaign and --csv only".to_string());
         }
         if positionals.len() != 2 {
             return Err(format!(
@@ -402,11 +564,18 @@ pub fn parse_campaign_args(args: &[String]) -> Result<CampaignCommand, String> {
         return Ok(CampaignCommand::Diff {
             baseline,
             candidate,
+            campaign: campaign_filter,
+            csv,
         });
+    }
+    if campaign_filter.is_some() {
+        return Err("--campaign only applies to --diff".to_string());
     }
     if report {
         if store.is_some() || threads.is_some() || dry_run || quiet {
-            return Err("--report only combines with --merge and --csv".to_string());
+            return Err(
+                "--report only combines with --merge, --csv, --plots and --timings".to_string(),
+            );
         }
         if positionals.is_empty() {
             return Err(format!(
@@ -417,7 +586,15 @@ pub fn parse_campaign_args(args: &[String]) -> Result<CampaignCommand, String> {
             stores: positionals,
             merge,
             csv,
+            plots,
+            timings,
         });
+    }
+    if timings {
+        return Err("--timings only applies to --report".to_string());
+    }
+    if plots.is_some() {
+        return Err("--plots only applies to --report".to_string());
     }
     if let Some(output) = merge {
         if store.is_some() || threads.is_some() || dry_run || csv.is_some() || quiet {
@@ -434,7 +611,7 @@ pub fn parse_campaign_args(args: &[String]) -> Result<CampaignCommand, String> {
         });
     }
     if csv.is_some() {
-        return Err("--csv only applies to --report".to_string());
+        return Err("--csv only applies to --report and --diff".to_string());
     }
     if positionals.len() > 1 {
         return Err("campaign takes exactly one spec file".to_string());
@@ -461,25 +638,98 @@ fn require_stores_exist(paths: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Runs a parsed `campaign` subcommand, returning the text to print.
-pub fn run_campaign_command(cmd: &CampaignCommand) -> Result<String, String> {
+/// What a successfully executed `campaign` subcommand hands back to `main`:
+/// the text to print and the process exit code. Most commands exit 0; a run
+/// stopped by the global deadline exits [`EXIT_DEADLINE`] so schedulers can
+/// tell "budget exhausted, resume me" from success (0) and errors (2).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CommandOutput {
+    /// The summary to print on stdout.
+    pub text: String,
+    /// The process exit code.
+    pub exit_code: i32,
+}
+
+impl CommandOutput {
+    fn ok(text: String) -> Self {
+        CommandOutput { text, exit_code: 0 }
+    }
+}
+
+/// Exit code of a run stopped by the global deadline (partial store
+/// finalized; re-running resumes).
+pub const EXIT_DEADLINE: i32 = 3;
+
+/// Runs a parsed `campaign` subcommand, returning the text to print and the
+/// exit code.
+pub fn run_campaign_command(cmd: &CampaignCommand) -> Result<CommandOutput, String> {
     match cmd {
         CampaignCommand::Run(cfg) => run_campaign_cli(cfg),
+        CampaignCommand::Serve {
+            spec_path,
+            store,
+            addr,
+            spawn_local,
+            threads,
+            lease_secs,
+            shards,
+            chunk,
+            quiet,
+        } => run_serve(
+            spec_path,
+            store.as_deref(),
+            addr,
+            *spawn_local,
+            *threads,
+            *lease_secs,
+            *shards,
+            *chunk,
+            *quiet,
+        )
+        .map(CommandOutput::ok),
+        CampaignCommand::Worker {
+            addr,
+            threads,
+            quiet,
+        } => {
+            let worker_id = default_worker_id();
+            let outcome = surepath_dist::run_worker(
+                addr,
+                &worker_id,
+                &surepath_dist::WorkerOptions {
+                    threads: *threads,
+                    quiet: *quiet,
+                    ..surepath_dist::WorkerOptions::default()
+                },
+                surepath_core::run_job,
+            )
+            .map_err(|e| format!("worker failed: {e}"))?;
+            Ok(CommandOutput::ok(format!(
+                "worker `{worker_id}` drained: {} executed, {} failed",
+                outcome.executed, outcome.failed
+            )))
+        }
         CampaignCommand::Merge { output, inputs } => {
             require_stores_exist(inputs)?;
             let paths: Vec<std::path::PathBuf> =
                 inputs.iter().map(std::path::PathBuf::from).collect();
             let summary = surepath_runner::merge_stores(std::path::Path::new(output), &paths)
                 .map_err(|e| format!("merge failed: {e}"))?;
-            Ok(format!(
+            Ok(CommandOutput::ok(format!(
                 "merged {} stores: {} records read, {} written, {} duplicates dropped\nmerged store: {output}",
                 inputs.len(),
                 summary.read,
                 summary.written,
                 summary.duplicates
-            ))
+            )))
         }
-        CampaignCommand::Report { stores, merge, csv } => {
+        CampaignCommand::Report {
+            stores,
+            merge,
+            csv,
+            plots,
+            timings,
+        } => {
             require_stores_exist(stores)?;
             // With several shards (or an explicit --merge) the report runs
             // over the merged store; a single shard is read directly.
@@ -509,19 +759,58 @@ pub fn run_campaign_command(cmd: &CampaignCommand) -> Result<String, String> {
             let store = surepath_core::ResultStore::open_read_only(&store_path)
                 .map_err(|e| format!("cannot open store {}: {e}", store_path.display()))?;
             let mut out = surepath_core::report_store(&store);
+            // Shard manifests (distributed campaigns): label incomplete
+            // points as in-flight/assigned rather than leaving them to look
+            // missing. Reported per input store — each coordinator writes
+            // its own sidecar.
+            for input in stores {
+                let manifest_file = surepath_runner::manifest_path(std::path::Path::new(input));
+                if let Ok(manifest) = surepath_core::ShardManifest::open_read_only(&manifest_file) {
+                    out.push_str(&format!("[{input}] "));
+                    out.push_str(&surepath_core::format_manifest_status(&manifest, &store));
+                }
+            }
+            if *timings {
+                let mut records: Vec<surepath_core::TimingRecord> = Vec::new();
+                for input in stores {
+                    let sidecar = surepath_runner::timings_path(std::path::Path::new(input));
+                    if let Ok(mut loaded) = surepath_runner::load_timings(&sidecar) {
+                        records.append(&mut loaded);
+                    }
+                }
+                out.push_str("=== slowest jobs (wall-clock) ===\n");
+                out.push_str(&surepath_core::format_timings_table(&records, 15));
+            }
             if let Some(csv_path) = csv {
                 std::fs::write(csv_path, surepath_core::report_csv(&store))
                     .map_err(|e| format!("could not write {csv_path}: {e}"))?;
                 out.push_str(&format!("(CSV written to {csv_path})\n"));
             }
+            if let Some(dir) = plots {
+                let dir_path = std::path::Path::new(dir);
+                std::fs::create_dir_all(dir_path)
+                    .map_err(|e| format!("could not create {dir}: {e}"))?;
+                let charts = surepath_core::report_charts(&store);
+                if charts.is_empty() {
+                    out.push_str("(no plottable campaigns in the store)\n");
+                }
+                for (stem, svg) in &charts {
+                    let file = dir_path.join(format!("{stem}.svg"));
+                    std::fs::write(&file, svg)
+                        .map_err(|e| format!("could not write {}: {e}", file.display()))?;
+                    out.push_str(&format!("(plot written to {})\n", file.display()));
+                }
+            }
             if let Some(tmp) = temp_merge {
                 let _ = std::fs::remove_file(tmp);
             }
-            Ok(out)
+            Ok(CommandOutput::ok(out))
         }
         CampaignCommand::Diff {
             baseline,
             candidate,
+            campaign,
+            csv,
         } => {
             require_stores_exist(std::slice::from_ref(baseline))?;
             require_stores_exist(std::slice::from_ref(candidate))?;
@@ -529,32 +818,169 @@ pub fn run_campaign_command(cmd: &CampaignCommand) -> Result<String, String> {
                 surepath_core::ResultStore::open_read_only(std::path::Path::new(path))
                     .map_err(|e| format!("cannot open store {path}: {e}"))
             };
-            let diff = surepath_core::diff_stores(&open(baseline)?, &open(candidate)?);
-            let text = format!(
-                "diff: baseline {baseline} vs candidate {candidate}\n{}",
+            let diff = surepath_core::diff_stores_filtered(
+                &open(baseline)?,
+                &open(candidate)?,
+                campaign.as_deref(),
+            );
+            let mut text = format!(
+                "diff: baseline {baseline} vs candidate {candidate}{}\n{}",
+                match campaign {
+                    Some(name) => format!(" (campaign `{name}`)"),
+                    None => String::new(),
+                },
                 surepath_core::format_store_diff(&diff)
             );
+            if let Some(csv_path) = csv {
+                std::fs::write(csv_path, surepath_core::store_diff_csv(&diff))
+                    .map_err(|e| format!("could not write {csv_path}: {e}"))?;
+                text.push_str(&format!("(CSV written to {csv_path})\n"));
+            }
             // A regression is the command's failure mode: the caller (CI, a
             // before/after check) gets a nonzero exit code, with the full
             // table on stderr.
             if diff.has_regressions() {
                 Err(text)
             } else {
-                Ok(text)
+                Ok(CommandOutput::ok(text))
             }
         }
     }
 }
 
-/// Runs the `campaign` subcommand, returning the summary to print.
-pub fn run_campaign_cli(cfg: &CampaignCliConfig) -> Result<String, String> {
+/// A worker id unique among concurrent workers: host (when the environment
+/// names one) plus pid.
+fn default_worker_id() -> String {
+    let host = std::env::var("HOSTNAME").unwrap_or_else(|_| "worker".to_string());
+    format!("{host}:{}", std::process::id())
+}
+
+/// The `--serve` / `--spawn-local` path: validate + expand the spec, bind,
+/// optionally fork local worker processes, then coordinate until the grid
+/// is drained and the store is finalized.
+#[allow(clippy::too_many_arguments)]
+fn run_serve(
+    spec_path: &str,
+    store: Option<&str>,
+    addr: &str,
+    spawn_local: Option<usize>,
+    worker_threads: Option<usize>,
+    lease_secs: u64,
+    shards: Option<usize>,
+    chunk: Option<usize>,
+    quiet: bool,
+) -> Result<String, String> {
+    let spec = surepath_runner::load_spec_file(std::path::Path::new(spec_path))?;
+    surepath_core::validate_campaign(&spec)?;
+    let jobs = spec.expand()?;
+    let store_path = CampaignCliConfig {
+        spec_path: spec_path.to_string(),
+        store: store.map(str::to_string),
+        threads: None,
+        quiet,
+        dry_run: false,
+    }
+    .store_path();
+
+    let listener =
+        std::net::TcpListener::bind(addr).map_err(|e| format!("cannot listen on {addr}: {e}"))?;
+    let local_addr = listener
+        .local_addr()
+        .map_err(|e| format!("cannot resolve listen address: {e}"))?;
+    if !quiet {
+        eprintln!(
+            "[dist] serving campaign `{}` ({} jobs) on {local_addr}",
+            spec.name,
+            jobs.len()
+        );
+    }
+
+    // A fully complete store needs no workers: serve() will finalize and
+    // return immediately, and forked children would only find a closed port.
+    let pending = match surepath_runner::ResultStore::open_read_only(&store_path) {
+        Ok(existing) => jobs
+            .iter()
+            .filter(|job| !existing.is_complete(&surepath_runner::job_fingerprint(job)))
+            .count(),
+        Err(_) => jobs.len(),
+    };
+
+    // Fork the local workers *after* binding, so they have something to
+    // connect to (they also retry, covering the accept-loop startup).
+    let mut children = Vec::new();
+    if let Some(n) = spawn_local.filter(|_| pending > 0) {
+        let exe = std::env::current_exe()
+            .map_err(|e| format!("cannot locate the surepath binary: {e}"))?;
+        // --threads names each worker's pool size; the default splits the
+        // machine's cores across the workers instead of oversubscribing
+        // every one of them.
+        let threads_each =
+            worker_threads.unwrap_or_else(|| (surepath_runner::default_threads() / n).max(1));
+        for _ in 0..n {
+            let child = std::process::Command::new(&exe)
+                .arg("campaign")
+                .arg("--worker")
+                .arg(local_addr.to_string())
+                .arg("--threads")
+                .arg(threads_each.to_string())
+                .arg("--quiet")
+                .spawn()
+                .map_err(|e| format!("cannot spawn local worker: {e}"))?;
+            children.push(child);
+        }
+    }
+
+    let opts = surepath_dist::ServeOptions {
+        lease: std::time::Duration::from_secs(lease_secs),
+        quiet,
+        ..surepath_dist::ServeOptions::default()
+    };
+    let opts = surepath_dist::ServeOptions {
+        shards: shards.unwrap_or(opts.shards),
+        chunk: chunk.unwrap_or(opts.chunk),
+        ..opts
+    };
+    let outcome = surepath_dist::serve(listener, &spec.name, &jobs, &store_path, &opts)
+        .map_err(|e| format!("distributed campaign failed: {e}"))?;
+
+    let mut worker_failures = 0;
+    for mut child in children {
+        match child.wait() {
+            Ok(status) if status.success() => {}
+            _ => worker_failures += 1,
+        }
+    }
+    let mut summary = format!(
+        "distributed campaign `{}`: {} jobs total, {} skipped (already complete), {} executed, \
+         {} failed, {} worker(s), {} re-offered\nresults: {}\nmanifest: {}",
+        spec.name,
+        outcome.total,
+        outcome.skipped,
+        outcome.executed,
+        outcome.failed,
+        outcome.workers,
+        outcome.reoffered,
+        store_path.display(),
+        surepath_runner::manifest_path(&store_path).display(),
+    );
+    if worker_failures > 0 {
+        summary.push_str(&format!(
+            "\n(warning: {worker_failures} spawned worker(s) exited nonzero)"
+        ));
+    }
+    Ok(summary)
+}
+
+/// Runs the `campaign` subcommand, returning the summary to print and the
+/// exit code ([`EXIT_DEADLINE`] when the global deadline cut the run short).
+pub fn run_campaign_cli(cfg: &CampaignCliConfig) -> Result<CommandOutput, String> {
     let spec = surepath_runner::load_spec_file(std::path::Path::new(&cfg.spec_path))?;
     if cfg.dry_run {
         // The run path below validates on its own; only the dry run needs
         // the expansion here (for the counts).
         let jobs = spec.expand()?;
         surepath_core::validate_campaign(&spec)?;
-        return Ok(format!(
+        return Ok(CommandOutput::ok(format!(
             "campaign `{}`: {} jobs valid ({} topologies x {} mechanisms x {} traffics x {} scenarios x {} roots x {} VC budgets x {} loads x {} {}); dry run, nothing executed",
             spec.name,
             jobs.len(),
@@ -571,12 +997,12 @@ pub fn run_campaign_cli(cfg: &CampaignCliConfig) -> Result<String, String> {
             } else {
                 "seeds"
             },
-        ));
+        )));
     }
     let store_path = cfg.store_path();
     let outcome = surepath_core::run_campaign(&spec, &store_path, cfg.threads, cfg.quiet)
         .map_err(|e| format!("campaign failed: {e}"))?;
-    Ok(format!(
+    let mut text = format!(
         "campaign `{}`: {} jobs total, {} skipped (already complete), {} executed, {} failed\nresults: {}",
         spec.name,
         outcome.total,
@@ -584,7 +1010,14 @@ pub fn run_campaign_cli(cfg: &CampaignCliConfig) -> Result<String, String> {
         outcome.executed,
         outcome.failed,
         store_path.display()
-    ))
+    );
+    let exit_code = if outcome.deadline_hit {
+        text.push_str("\n(deadline hit: partial store finalized; re-run to resume the rest)");
+        EXIT_DEADLINE
+    } else {
+        0
+    };
+    Ok(CommandOutput { text, exit_code })
 }
 
 #[cfg(test)]
@@ -763,6 +1196,8 @@ mod tests {
                 stores: vec!["a.jsonl".into(), "b.jsonl".into()],
                 merge: None,
                 csv: None,
+                plots: None,
+                timings: false,
             }
         );
         assert_eq!(
@@ -779,6 +1214,8 @@ mod tests {
                 stores: vec!["a.jsonl".into()],
                 merge: Some("all.jsonl".into()),
                 csv: Some("out.csv".into()),
+                plots: None,
+                timings: false,
             }
         );
         assert_eq!(
@@ -796,6 +1233,8 @@ mod tests {
             stores: vec!["/nonexistent/store.jsonl".into()],
             merge: None,
             csv: None,
+            plots: None,
+            timings: false,
         })
         .unwrap_err();
         assert!(missing.contains("store not found"), "{missing}");
@@ -813,6 +1252,8 @@ mod tests {
             CampaignCommand::Diff {
                 baseline: "a.jsonl".into(),
                 candidate: "b.jsonl".into(),
+                campaign: None,
+                csv: None,
             }
         );
         // Exactly two stores, no other flags.
@@ -821,16 +1262,229 @@ mod tests {
         assert!(parse_campaign_args(&args(&["--diff", "a.jsonl", "b.jsonl", "c.jsonl"])).is_err());
         assert!(parse_campaign_args(&args(&["--diff", "a.jsonl", "b.jsonl", "--quiet"])).is_err());
         assert!(parse_campaign_args(&args(&["--diff", "--report", "a.jsonl", "b.jsonl"])).is_err());
+        assert_eq!(
+            parse_campaign_args(&args(&[
+                "--diff",
+                "a.jsonl",
+                "b.jsonl",
+                "--csv",
+                "x.csv",
+                "--campaign",
+                "fig06"
+            ]))
+            .unwrap(),
+            CampaignCommand::Diff {
+                baseline: "a.jsonl".into(),
+                candidate: "b.jsonl".into(),
+                campaign: Some("fig06".into()),
+                csv: Some("x.csv".into()),
+            }
+        );
         assert!(
-            parse_campaign_args(&args(&["--diff", "a.jsonl", "b.jsonl", "--csv", "x.csv"]))
-                .is_err()
+            parse_campaign_args(&args(&["--campaign", "fig06", "--report", "a.jsonl"])).is_err(),
+            "--campaign belongs to --diff"
         );
         let missing = run_campaign_command(&CampaignCommand::Diff {
             baseline: "/nonexistent/a.jsonl".into(),
             candidate: "/nonexistent/b.jsonl".into(),
+            campaign: None,
+            csv: None,
         })
         .unwrap_err();
         assert!(missing.contains("store not found"), "{missing}");
+    }
+
+    #[test]
+    fn distributed_args_parse_and_reject() {
+        assert_eq!(
+            parse_campaign_args(&args(&["grid.toml", "--serve", "0.0.0.0:7777", "--quiet"]))
+                .unwrap(),
+            CampaignCommand::Serve {
+                spec_path: "grid.toml".into(),
+                store: None,
+                addr: "0.0.0.0:7777".into(),
+                spawn_local: None,
+                threads: None,
+                lease_secs: 60,
+                shards: None,
+                chunk: None,
+                quiet: true,
+            }
+        );
+        assert_eq!(
+            parse_campaign_args(&args(&[
+                "grid.toml",
+                "--spawn-local",
+                "3",
+                "--store",
+                "out.jsonl",
+                "--lease-secs",
+                "5",
+                "--shards",
+                "4",
+                "--chunk",
+                "2",
+            ]))
+            .unwrap(),
+            CampaignCommand::Serve {
+                spec_path: "grid.toml".into(),
+                store: Some("out.jsonl".into()),
+                addr: "127.0.0.1:0".into(),
+                spawn_local: Some(3),
+                threads: None,
+                lease_secs: 5,
+                shards: Some(4),
+                chunk: Some(2),
+                quiet: false,
+            }
+        );
+        assert_eq!(
+            parse_campaign_args(&args(&["--worker", "host:7777", "--threads", "2"])).unwrap(),
+            CampaignCommand::Worker {
+                addr: "host:7777".into(),
+                threads: Some(2),
+                quiet: false,
+            }
+        );
+        // --threads with --spawn-local is each forked worker's pool size.
+        match parse_campaign_args(&args(&["g.toml", "--spawn-local", "2", "--threads", "4"]))
+            .unwrap()
+        {
+            CampaignCommand::Serve {
+                spawn_local,
+                threads,
+                ..
+            } => {
+                assert_eq!(spawn_local, Some(2));
+                assert_eq!(threads, Some(4));
+            }
+            other => panic!("expected Serve, got {other:?}"),
+        }
+        // Serve needs a spec; worker takes none; the modes do not mix.
+        assert!(parse_campaign_args(&args(&["--serve", "0.0.0.0:7777"])).is_err());
+        assert!(parse_campaign_args(&args(&["a.toml", "b.toml", "--spawn-local", "2"])).is_err());
+        assert!(parse_campaign_args(&args(&["a.toml", "--spawn-local", "0"])).is_err());
+        assert!(parse_campaign_args(&args(&["a.toml", "--worker", "h:1"])).is_err());
+        assert!(parse_campaign_args(&args(&["--worker", "h:1", "--report", "a.jsonl"])).is_err());
+        assert!(parse_campaign_args(&args(&["--worker", "h:1", "--serve", "h:2"])).is_err());
+        assert!(parse_campaign_args(&args(&["a.toml", "--serve", "h:1", "--dry-run"])).is_err());
+        assert!(
+            parse_campaign_args(&args(&["a.toml", "--serve", "h:1", "--threads", "2"])).is_err(),
+            "the coordinator executes nothing"
+        );
+        assert!(parse_campaign_args(&args(&["a.toml", "--lease-secs", "0"])).is_err());
+        // Report gains --plots/--timings; they stay report-only.
+        assert_eq!(
+            parse_campaign_args(&args(&[
+                "--report",
+                "a.jsonl",
+                "--plots",
+                "figs",
+                "--timings"
+            ]))
+            .unwrap(),
+            CampaignCommand::Report {
+                stores: vec!["a.jsonl".into()],
+                merge: None,
+                csv: None,
+                plots: Some("figs".into()),
+                timings: true,
+            }
+        );
+        assert!(parse_campaign_args(&args(&["a.toml", "--plots", "figs"])).is_err());
+        assert!(parse_campaign_args(&args(&["a.toml", "--timings"])).is_err());
+    }
+
+    #[test]
+    fn worker_command_drains_a_real_coordinator() {
+        // A coordinator served straight from dist; the CLI-level Worker
+        // command (with the real simulation bridge) must drain it.
+        let dir = std::env::temp_dir().join("surepath-cli-worker-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let pid = std::process::id();
+        let store_path = dir.join(format!("worker-{pid}.jsonl"));
+        for suffix in ["jsonl", "manifest.jsonl", "timings.jsonl"] {
+            let _ = std::fs::remove_file(store_path.with_extension(suffix));
+        }
+        let spec = surepath_core::CampaignSpec {
+            name: "cli-worker".into(),
+            topologies: vec![surepath_core::TopologySpec {
+                sides: vec![4, 4],
+                concentration: None,
+            }],
+            mechanisms: Some(vec!["polsp".into()]),
+            traffics: Some(vec!["uniform".into()]),
+            scenarios: Some(vec!["none".into()]),
+            loads: Some(vec![0.3]),
+            seeds: Some(vec![1, 2]),
+            warmup: Some(100),
+            measure: Some(250),
+            ..surepath_core::CampaignSpec::default()
+        };
+        let jobs = spec.expand().unwrap();
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = {
+            let (jobs, store_path) = (jobs.clone(), store_path.clone());
+            std::thread::spawn(move || {
+                surepath_dist::serve(
+                    listener,
+                    "cli-worker",
+                    &jobs,
+                    &store_path,
+                    &surepath_dist::ServeOptions {
+                        quiet: true,
+                        ..surepath_dist::ServeOptions::default()
+                    },
+                )
+            })
+        };
+        let output = run_campaign_command(&CampaignCommand::Worker {
+            addr,
+            threads: Some(2),
+            quiet: true,
+        })
+        .unwrap();
+        assert!(
+            output.text.contains("2 executed, 0 failed"),
+            "{}",
+            output.text
+        );
+        let outcome = server.join().unwrap().unwrap();
+        assert!(outcome.is_complete());
+
+        // The distributed store matches a plain local run byte for byte.
+        let local_path = dir.join(format!("worker-{pid}-local.jsonl"));
+        let _ = std::fs::remove_file(&local_path);
+        surepath_core::run_campaign(&spec, &local_path, Some(2), true).unwrap();
+        assert_eq!(
+            std::fs::read(&store_path).unwrap(),
+            std::fs::read(&local_path).unwrap(),
+            "distributed (real simulation) store must equal the local bytes"
+        );
+
+        // --report sees the manifest sidecar and the timings table.
+        let report = run_campaign_command(&CampaignCommand::Report {
+            stores: vec![store_path.to_string_lossy().into_owned()],
+            merge: None,
+            csv: None,
+            plots: None,
+            timings: true,
+        })
+        .unwrap()
+        .text;
+        assert!(
+            report.contains("2 assignment(s), 2 delivered, 0 in flight"),
+            "{report}"
+        );
+        assert!(report.contains("slowest jobs"), "{report}");
+        assert!(report.contains("2 timed jobs"), "{report}");
+
+        for suffix in ["jsonl", "manifest.jsonl", "timings.jsonl"] {
+            let _ = std::fs::remove_file(store_path.with_extension(suffix));
+        }
+        let _ = std::fs::remove_file(&local_path);
+        let _ = std::fs::remove_file(surepath_runner::timings_path(&local_path));
     }
 
     #[test]
@@ -869,7 +1523,8 @@ mod tests {
                 quiet: true,
                 dry_run: false,
             })
-            .unwrap();
+            .unwrap()
+            .text;
             assert!(summary.contains("3 jobs total"), "{summary}");
         }
         // Identical runs produce identical stores; the report shows mean ± CI.
@@ -881,8 +1536,11 @@ mod tests {
             stores: vec![store_a.to_string_lossy().into_owned()],
             merge: None,
             csv: None,
+            plots: None,
+            timings: false,
         })
-        .unwrap();
+        .unwrap()
+        .text;
         assert!(
             report.contains('±'),
             "replicated report shows CIs: {report}"
@@ -892,8 +1550,11 @@ mod tests {
         let diff = run_campaign_command(&CampaignCommand::Diff {
             baseline: store_a.to_string_lossy().into_owned(),
             candidate: store_b.to_string_lossy().into_owned(),
+            campaign: None,
+            csv: None,
         })
-        .unwrap();
+        .unwrap()
+        .text;
         assert!(diff.contains("result: no regressions"), "{diff}");
 
         // The dry run reports the replica dimension.
@@ -904,7 +1565,8 @@ mod tests {
             quiet: true,
             dry_run: true,
         })
-        .unwrap();
+        .unwrap()
+        .text;
         assert!(dry.contains("3 replicas"), "{dry}");
 
         for p in [&spec_path, &store_a, &store_b] {
@@ -963,8 +1625,11 @@ mod tests {
             ],
             merge: Some(merged.to_string_lossy().into_owned()),
             csv: Some(csv.to_string_lossy().into_owned()),
+            plots: None,
+            timings: false,
         })
-        .unwrap();
+        .unwrap()
+        .text;
         assert!(
             report.contains("campaign `sharded` / kind `rate`"),
             "{report}"
@@ -982,7 +1647,8 @@ mod tests {
                 shard_b.to_string_lossy().into_owned(),
             ],
         })
-        .unwrap();
+        .unwrap()
+        .text;
         assert!(summary.contains("2 written"), "{summary}");
 
         for p in [&spec_path, &shard_a, &shard_b, &merged, &csv] {
@@ -1021,13 +1687,15 @@ mod tests {
             quiet: true,
             dry_run: false,
         };
-        let summary = run_campaign_cli(&cfg).unwrap();
+        let output = run_campaign_cli(&cfg).unwrap();
+        assert_eq!(output.exit_code, 0);
+        let summary = output.text;
         assert!(summary.contains("4 jobs total"), "{summary}");
         assert!(summary.contains("4 executed"), "{summary}");
         assert!(summary.contains("0 failed"), "{summary}");
 
         // Second invocation: everything fingerprint-complete, nothing runs.
-        let resumed = run_campaign_cli(&cfg).unwrap();
+        let resumed = run_campaign_cli(&cfg).unwrap().text;
         assert!(resumed.contains("4 skipped"), "{resumed}");
         assert!(resumed.contains("0 executed"), "{resumed}");
 
@@ -1036,7 +1704,7 @@ mod tests {
             dry_run: true,
             ..cfg.clone()
         };
-        assert!(run_campaign_cli(&dry).unwrap().contains("dry run"));
+        assert!(run_campaign_cli(&dry).unwrap().text.contains("dry run"));
 
         let _ = std::fs::remove_file(&spec_path);
         let _ = std::fs::remove_file(&store_path);

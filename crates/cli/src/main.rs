@@ -17,6 +17,15 @@
 //! surepath campaign --report results/grid.jsonl            # render, no simulation
 //! surepath campaign --merge all.jsonl shard1.jsonl shard2.jsonl
 //! ```
+//!
+//! Distributed campaigns (one coordinator, any number of workers; the
+//! finalized store is byte-identical to a local run):
+//!
+//! ```text
+//! surepath campaign grid.toml --serve 0.0.0.0:7777      # terminal 1
+//! surepath campaign --worker coordinator-host:7777      # terminal 2..n
+//! surepath campaign grid.toml --spawn-local 4           # single-machine fan-out
+//! ```
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -24,7 +33,12 @@ fn main() {
         match surepath_cli::parse_campaign_args(&args[1..])
             .and_then(|cmd| surepath_cli::run_campaign_command(&cmd))
         {
-            Ok(summary) => println!("{summary}"),
+            Ok(output) => {
+                println!("{}", output.text);
+                if output.exit_code != 0 {
+                    std::process::exit(output.exit_code);
+                }
+            }
             Err(message) => {
                 eprintln!("{message}");
                 std::process::exit(2);

@@ -39,10 +39,12 @@ pub use experiment::{Experiment, RootPlacement, TrafficSpec};
 pub use plot::{throughput_chart, BarChart, BarGroup, LineChart, Series};
 pub use report::{
     batch_runs_from_store, batch_samples_csv, completion_ratio, csv_half_width, diff_stores,
-    format_batch_table, format_mean_hw, format_rate_table, format_replicated_batch_table,
-    format_replicated_rate_table, format_store_diff, rate_metrics_to_csv, rate_points_from_store,
-    replicated_batch_points, replicated_rate_points, report_csv, report_store, BatchRun,
-    MetricDiff, PointDiff, ReplicatedBatchPoint, ReplicatedStorePoint, ReportRow, StoreDiff,
+    diff_stores_filtered, format_batch_table, format_manifest_status, format_mean_hw,
+    format_rate_table, format_replicated_batch_table, format_replicated_rate_table,
+    format_store_diff, format_timings_table, rate_metrics_to_csv, rate_points_from_store,
+    replicated_batch_points, replicated_rate_points, report_charts, report_csv, report_store,
+    store_diff_csv, BatchRun, MetricDiff, PointDiff, ReplicatedBatchPoint, ReplicatedStorePoint,
+    ReportRow, StoreDiff,
 };
 pub use scenario::FaultScenario;
 pub use stats::{replicate, ReplicatedPoint, Summary};
@@ -56,4 +58,6 @@ pub use tables::{
 pub use hyperx_routing::{EscapePolicy, MechanismSpec, NetworkView, RoutingMechanism};
 pub use hyperx_sim::{BatchMetrics, RateMetrics, SimConfig};
 pub use hyperx_topology::{FaultSet, FaultShape, HyperX, RootPolicy, TopologyReport};
-pub use surepath_runner::{CampaignOutcome, CampaignSpec, JobSpec, ResultStore, TopologySpec};
+pub use surepath_runner::{
+    CampaignOutcome, CampaignSpec, JobSpec, ResultStore, ShardManifest, TimingRecord, TopologySpec,
+};

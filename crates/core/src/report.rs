@@ -10,7 +10,9 @@ use crate::sweep::SweepPoint;
 use hyperx_routing::MechanismSpec;
 use hyperx_sim::{BatchMetrics, RateMetrics};
 use serde::{Deserialize, Serialize};
-use surepath_runner::{group_replicas, JobSpec, ResultStore, StoreRecord};
+use surepath_runner::{
+    group_replicas, JobSpec, ResultStore, ShardManifest, StoreRecord, TimingRecord,
+};
 
 /// A generic row of a report table: a label and a set of named columns.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -670,11 +672,31 @@ fn point_label(job: &JobSpec) -> String {
 /// could not complete them at all), so crashing jobs cannot slip past the
 /// exit-code gate.
 pub fn diff_stores(baseline: &ResultStore, candidate: &ResultStore) -> StoreDiff {
-    fn group(store: &ResultStore) -> Vec<(String, Vec<&StoreRecord>)> {
-        group_replicas(store.records_in_order().filter(|r| r.status == "ok"))
+    diff_stores_filtered(baseline, candidate, None)
+}
+
+/// [`diff_stores`] restricted to one campaign: records of other campaigns
+/// (both stores) are ignored entirely — they neither compare nor count as
+/// baseline-only/candidate-only. `None` compares everything.
+pub fn diff_stores_filtered(
+    baseline: &ResultStore,
+    candidate: &ResultStore,
+    campaign: Option<&str>,
+) -> StoreDiff {
+    let wanted = |r: &&StoreRecord| campaign.is_none_or(|name| r.job.campaign == name);
+    fn group<'a>(
+        store: &'a ResultStore,
+        campaign: Option<&str>,
+    ) -> Vec<(String, Vec<&'a StoreRecord>)> {
+        group_replicas(
+            store
+                .records_in_order()
+                .filter(|r| r.status == "ok")
+                .filter(|r| campaign.is_none_or(|name| r.job.campaign == name)),
+        )
     }
-    let baseline_groups = group(baseline);
-    let candidate_groups = group(candidate);
+    let baseline_groups = group(baseline, campaign);
+    let candidate_groups = group(candidate, campaign);
     let candidate_index: std::collections::HashMap<&str, &Vec<&StoreRecord>> = candidate_groups
         .iter()
         .map(|(point, replicas)| (point.as_str(), replicas))
@@ -684,7 +706,7 @@ pub fn diff_stores(baseline: &ResultStore, candidate: &ResultStore) -> StoreDiff
     // mismatch, tolerated) from "the candidate ran it and every replica
     // failed" (a regression).
     let candidate_attempted: std::collections::HashSet<String> =
-        group_replicas(candidate.records_in_order())
+        group_replicas(candidate.records_in_order().filter(wanted))
             .into_iter()
             .map(|(point, _)| point)
             .collect();
@@ -837,6 +859,103 @@ pub fn format_store_diff(diff: &StoreDiff) -> String {
     out
 }
 
+/// Serializes a [`StoreDiff`] as CSV — **every** compared metric, not just
+/// the significant ones, so spreadsheet/plotting consumers see the full
+/// comparison surface. Half-width columns are empty when the CI is unknown
+/// (n < 2), matching [`csv_half_width`]'s contract.
+pub fn store_diff_csv(diff: &StoreDiff) -> String {
+    let mut out = String::from(
+        "point,campaign,kind,metric,baseline_n,baseline_mean,baseline_hw,candidate_n,candidate_mean,candidate_hw,delta,significant,regression\n",
+    );
+    for point in &diff.points {
+        for m in &point.metrics {
+            out.push_str(&format!(
+                "{},{},{},{},{},{:.6},{},{},{:.6},{},{:+.6},{},{}\n",
+                point.label.replace(',', ";"),
+                point.campaign.replace(',', ";"),
+                point.kind,
+                m.metric,
+                m.baseline.n,
+                m.baseline.mean,
+                csv_half_width(&m.baseline, 6),
+                m.candidate.n,
+                m.candidate.mean,
+                csv_half_width(&m.candidate, 6),
+                m.candidate.mean - m.baseline.mean,
+                m.significant,
+                m.regression
+            ));
+        }
+    }
+    for label in &diff.candidate_failed {
+        out.push_str(&format!(
+            "{},,,completion,,,,,,,,true,true\n",
+            label.replace(',', ";")
+        ));
+    }
+    out
+}
+
+/// Renders the slowest jobs of a timings sidecar as an aligned table: the
+/// `--report --timings` view. Jobs sort by wall-clock descending (ties by
+/// fingerprint so the output is deterministic); `top` bounds the row count.
+pub fn format_timings_table(records: &[TimingRecord], top: usize) -> String {
+    if records.is_empty() {
+        return "(no timing records)\n".to_string();
+    }
+    let mut sorted: Vec<&TimingRecord> = records.iter().collect();
+    sorted.sort_by(|a, b| b.millis.cmp(&a.millis).then(a.fp.cmp(&b.fp)));
+    let total_ms: u64 = records.iter().map(|r| r.millis).sum();
+    let rows: Vec<ReportRow> = sorted
+        .iter()
+        .take(top)
+        .map(|r| ReportRow {
+            label: r.label.clone(),
+            values: vec![
+                r.worker.clone(),
+                format!("{:.3}", r.millis as f64 / 1000.0),
+                format!("{:.1}", 100.0 * r.millis as f64 / total_ms.max(1) as f64),
+            ],
+        })
+        .collect();
+    let mut out = format_table(&["job", "worker", "seconds", "% of total"], &rows);
+    out.push_str(&format!(
+        "{} timed jobs, {:.1}s of wall-clock recorded\n",
+        records.len(),
+        total_ms as f64 / 1000.0
+    ));
+    out
+}
+
+/// Summarises a shard manifest against its store: how many fingerprints are
+/// assigned to workers but not yet complete — "in flight / assigned
+/// elsewhere", as opposed to *missing* (never assigned anywhere). This is
+/// what lets a `--report` over a mid-campaign distributed store label
+/// incomplete points honestly.
+pub fn format_manifest_status(manifest: &ShardManifest, store: &ResultStore) -> String {
+    let in_flight = manifest.in_flight(&|fp: &str| store.is_complete(fp));
+    let done = manifest
+        .records_in_order()
+        .filter(|r| store.is_complete(&r.fp))
+        .count();
+    let mut out = format!(
+        "manifest: {} assignment(s), {done} delivered, {} in flight\n",
+        manifest.len(),
+        in_flight.len()
+    );
+    const SHOWN: usize = 10;
+    for record in in_flight.iter().take(SHOWN) {
+        out.push_str(&format!(
+            "  in flight: {} (shard {}, assigned to `{}`)\n",
+            record.fp, record.shard, record.worker
+        ));
+    }
+    if in_flight.len() > SHOWN {
+        out.push_str(&format!("  ... and {} more\n", in_flight.len() - SHOWN));
+    }
+    out
+}
+
 /// Renders everything a store contains as a human-readable report, grouped
 /// by campaign and kind in the store's canonical order: rate campaigns as
 /// the figure tables, batch campaigns as completion-time lines plus their
@@ -906,6 +1025,118 @@ pub fn report_store(store: &ResultStore) -> String {
         out.push('\n');
     }
     out
+}
+
+/// A filesystem-safe artifact stem for a campaign/kind pair.
+fn chart_stem(campaign: &str, kind: &str) -> String {
+    let sanitize = |s: &str| -> String {
+        s.chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                    c
+                } else {
+                    '-'
+                }
+            })
+            .collect()
+    };
+    format!("{}_{}", sanitize(campaign), sanitize(kind))
+}
+
+/// Builds the `core::plot` SVG artifacts a store supports, one per
+/// (campaign, kind) group, straight from the stored records — the plotting
+/// face of [`report_store`] (ROADMAP "Richer reports"):
+///
+/// * `rate` campaigns become accepted-versus-offered line charts, one
+///   series per (mechanism, traffic, scenario) with replica means;
+/// * `batch` campaigns become throughput-over-time line charts, one series
+///   per run.
+///
+/// Returns `(file stem, svg document)` pairs in store order; kinds with
+/// nothing plottable are skipped. `--report --plots <dir>` writes each pair
+/// to `<dir>/<stem>.svg`.
+pub fn report_charts(store: &ResultStore) -> Vec<(String, String)> {
+    use crate::plot::{LineChart, Series};
+    let mut groups: Vec<(String, String)> = Vec::new();
+    for record in store.records_in_order() {
+        let key = (record.job.campaign.clone(), record.job.kind.clone());
+        if !groups.contains(&key) {
+            groups.push(key);
+        }
+    }
+    let mut charts = Vec::new();
+    for (campaign, kind) in &groups {
+        match kind.as_str() {
+            "rate" => {
+                let points = replicated_rate_points(store, Some(campaign));
+                if points.is_empty() {
+                    continue;
+                }
+                // One series per configuration; the qualifier collapses to
+                // the mechanism alone when the campaign has a single
+                // traffic/scenario combination (the figures 4/5 layout).
+                let multi = points.iter().any(|p| {
+                    (&p.traffic, &p.scenario) != (&points[0].traffic, &points[0].scenario)
+                });
+                let mut order: Vec<String> = Vec::new();
+                let mut series: std::collections::HashMap<String, Vec<(f64, f64)>> =
+                    std::collections::HashMap::new();
+                for p in &points {
+                    let name = if multi {
+                        format!("{} / {} / {}", p.mechanism, p.traffic, p.scenario)
+                    } else {
+                        p.mechanism.clone()
+                    };
+                    if !order.contains(&name) {
+                        order.push(name.clone());
+                    }
+                    series
+                        .entry(name)
+                        .or_default()
+                        .push((p.offered_load, p.accepted_load.mean));
+                }
+                let mut chart = LineChart::new(
+                    format!("campaign `{campaign}`"),
+                    "offered load",
+                    "accepted load",
+                )
+                .with_y_range(0.0, 1.0);
+                for name in order {
+                    let points = series.remove(&name).expect("grouped above");
+                    chart = chart.with_series(Series::new(name, points));
+                }
+                charts.push((chart_stem(campaign, kind), chart.to_svg()));
+            }
+            "batch" => {
+                let runs = batch_runs_from_store(store, Some(campaign));
+                let mut chart = LineChart::new(
+                    format!("campaign `{campaign}` (throughput over time)"),
+                    "cycle",
+                    "accepted load",
+                );
+                let mut any = false;
+                for run in &runs {
+                    let samples: Vec<(f64, f64)> = run
+                        .metrics
+                        .samples
+                        .iter()
+                        .map(|s| (s.cycle as f64, s.accepted_load))
+                        .collect();
+                    if samples.is_empty() {
+                        continue;
+                    }
+                    any = true;
+                    chart = chart.with_series(Series::new(batch_run_label(run, &runs), samples));
+                }
+                if any {
+                    charts.push((chart_stem(campaign, kind), chart.to_svg()));
+                }
+            }
+            // Custom kinds are rendered by their owning binaries.
+            _ => {}
+        }
+    }
+    charts
 }
 
 /// The CSV companion of [`report_store`]: rate points and batch samples of
@@ -1348,6 +1579,181 @@ mod tests {
         let table = format_replicated_batch_table(&points);
         assert!(table.contains("1 STALLED"), "{table}");
         assert!(!table.contains("NaN"), "{table}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn diff_campaign_filter_ignores_other_campaigns_entirely() {
+        let path_a = temp_store("diff-filter-a");
+        let path_b = temp_store("diff-filter-b");
+        let _ = std::fs::remove_file(&path_a);
+        let _ = std::fs::remove_file(&path_b);
+        let mut a = ResultStore::open(&path_a).unwrap();
+        let mut b = ResultStore::open(&path_b).unwrap();
+        let other = |seed: u64| JobSpec {
+            campaign: "other".into(),
+            ..rate_job("polsp", 0.3, seed)
+        };
+        for seed in 1u64..=3 {
+            a.append_ok(&rate_job("polsp", 0.3, seed), rate_result(0.7, 80.0))
+                .unwrap();
+            b.append_ok(&rate_job("polsp", 0.3, seed), rate_result(0.7, 80.0))
+                .unwrap();
+            // The `other` campaign regressed badly — it must not leak into a
+            // `replicated`-filtered diff, in the table or the counters.
+            a.append_ok(&other(seed), rate_result(0.9, 50.0)).unwrap();
+            b.append_ok(&other(seed), rate_result(0.1, 500.0)).unwrap();
+        }
+        let unfiltered = diff_stores(&a, &b);
+        assert!(unfiltered.has_regressions());
+        let filtered = diff_stores_filtered(&a, &b, Some("replicated"));
+        assert_eq!(filtered.points.len(), 1);
+        assert_eq!(filtered.candidate_only, 0);
+        assert!(!filtered.has_regressions());
+        let missing = diff_stores_filtered(&a, &b, Some("no-such-campaign"));
+        assert_eq!(missing.points.len(), 0);
+        let _ = std::fs::remove_file(&path_a);
+        let _ = std::fs::remove_file(&path_b);
+    }
+
+    #[test]
+    fn diff_csv_lists_every_metric_with_flags() {
+        let path_a = temp_store("diff-csv-a");
+        let path_b = temp_store("diff-csv-b");
+        let _ = std::fs::remove_file(&path_a);
+        let _ = std::fs::remove_file(&path_b);
+        let mut a = ResultStore::open(&path_a).unwrap();
+        let mut b = ResultStore::open(&path_b).unwrap();
+        for (seed, accepted) in [(1u64, 0.700), (2, 0.702), (3, 0.701)] {
+            a.append_ok(&rate_job("polsp", 0.3, seed), rate_result(accepted, 80.0))
+                .unwrap();
+            b.append_ok(
+                &rate_job("polsp", 0.3, seed),
+                rate_result(accepted - 0.1, 80.0),
+            )
+            .unwrap();
+        }
+        let csv = store_diff_csv(&diff_stores(&a, &b));
+        // Header + 4 rate metrics for the single compared point.
+        assert_eq!(csv.lines().count(), 5, "{csv}");
+        assert!(csv.starts_with("point,campaign,kind,metric,"), "{csv}");
+        assert!(csv.contains("accepted_load"), "{csv}");
+        assert!(csv.contains("jain_generated"), "{csv}");
+        // The regressed metric is flagged; an identical one is not.
+        let accepted_row = csv.lines().find(|l| l.contains("accepted_load")).unwrap();
+        assert!(accepted_row.ends_with("true,true"), "{accepted_row}");
+        let jain_row = csv.lines().find(|l| l.contains("jain_generated")).unwrap();
+        assert!(jain_row.ends_with("false,false"), "{jain_row}");
+        let _ = std::fs::remove_file(&path_a);
+        let _ = std::fs::remove_file(&path_b);
+    }
+
+    #[test]
+    fn timings_table_ranks_slowest_jobs_deterministically() {
+        let record = |fp: &str, millis: u64, worker: &str| TimingRecord {
+            fp: fp.into(),
+            label: format!("job-{fp}"),
+            millis,
+            worker: worker.into(),
+        };
+        let records = vec![
+            record("aa", 100, "local"),
+            record("bb", 900, "worker-1"),
+            record("cc", 500, "worker-2"),
+            record("dd", 500, "worker-1"),
+        ];
+        let table = format_timings_table(&records, 3);
+        let lines: Vec<&str> = table.lines().collect();
+        // Header, rule, 3 rows, summary.
+        assert_eq!(lines.len(), 6, "{table}");
+        assert!(lines[2].starts_with("job-bb"), "{table}");
+        // The 500ms tie breaks by fingerprint: cc before dd.
+        assert!(lines[3].starts_with("job-cc"), "{table}");
+        assert!(lines[4].starts_with("job-dd"), "{table}");
+        assert!(lines[5].contains("4 timed jobs"), "{table}");
+        assert!(table.contains("45.0"), "900/2000 ms = 45%: {table}");
+        assert_eq!(
+            format_timings_table(&[], 5),
+            "(no timing records)\n".to_string()
+        );
+    }
+
+    #[test]
+    fn manifest_status_reports_in_flight_against_the_store() {
+        let dir = std::env::temp_dir().join("surepath-report-manifest-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let pid = std::process::id();
+        let store_path = dir.join(format!("status-{pid}.jsonl"));
+        let manifest_path = dir.join(format!("status-{pid}.manifest.jsonl"));
+        let _ = std::fs::remove_file(&store_path);
+        let _ = std::fs::remove_file(&manifest_path);
+        let mut store = ResultStore::open(&store_path).unwrap();
+        let done_job = rate_job("polsp", 0.3, 1);
+        store.append_ok(&done_job, rate_result(0.7, 80.0)).unwrap();
+        let mut manifest = ShardManifest::open(&manifest_path).unwrap();
+        let done_fp = surepath_runner::job_fingerprint(&done_job);
+        manifest.record_assigned(&done_fp, 0, "w1").unwrap();
+        manifest.record_done(&done_fp, 0, "w1").unwrap();
+        manifest
+            .record_assigned("feedbeef00000000", 3, "w2")
+            .unwrap();
+        let status = format_manifest_status(&manifest, &store);
+        assert!(
+            status.contains("2 assignment(s), 1 delivered, 1 in flight"),
+            "{status}"
+        );
+        assert!(
+            status.contains("feedbeef00000000 (shard 3, assigned to `w2`)"),
+            "{status}"
+        );
+        let _ = std::fs::remove_file(&store_path);
+        let _ = std::fs::remove_file(&manifest_path);
+    }
+
+    #[test]
+    fn report_charts_render_rate_and_batch_campaigns_as_svg() {
+        let path = temp_store("charts");
+        let _ = std::fs::remove_file(&path);
+        let mut store = ResultStore::open(&path).unwrap();
+        // A two-mechanism rate sweep over two loads, with replicas.
+        for mechanism in ["polsp", "omnisp"] {
+            for load in [0.3, 0.6] {
+                for seed in 1u64..=2 {
+                    let mut job = rate_job(mechanism, load, seed);
+                    job.campaign = "fig-rate".into();
+                    store
+                        .append_ok(&job, rate_result(load * 0.9 + seed as f64 * 0.001, 80.0))
+                        .unwrap();
+                }
+            }
+        }
+        // A batch campaign with sampled throughput.
+        let batch_job = JobSpec {
+            campaign: "fig10".into(),
+            kind: "batch".into(),
+            sides: vec![4, 4],
+            mechanism: Some("omnisp".into()),
+            packets_per_server: Some(60),
+            ..JobSpec::default()
+        };
+        store
+            .append_ok(
+                &batch_job,
+                serde_json::to_value(&dummy_batch("OmniSP", 1500).metrics).unwrap(),
+            )
+            .unwrap();
+
+        let charts = report_charts(&store);
+        assert_eq!(charts.len(), 2, "one artifact per campaign/kind");
+        let (rate_stem, rate_svg) = &charts[0];
+        assert_eq!(rate_stem, "fig-rate_rate");
+        assert!(rate_svg.starts_with("<svg"));
+        assert_eq!(rate_svg.matches("<polyline").count(), 2, "two mechanisms");
+        assert!(rate_svg.contains("PolSP"), "{rate_stem}");
+        let (batch_stem, batch_svg) = &charts[1];
+        assert_eq!(batch_stem, "fig10_batch");
+        assert!(batch_svg.contains("throughput over time"));
+        assert!(batch_svg.contains("<polyline"));
         let _ = std::fs::remove_file(&path);
     }
 

@@ -1,0 +1,514 @@
+//! The campaign coordinator: expand once, serve shard queues over TCP,
+//! fold streamed results into one byte-deterministic store.
+//!
+//! The coordinator owns the three artefacts of a distributed run:
+//!
+//! * the **result store** (`ResultStore`) — records append in arrival order
+//!   while workers stream, then `finalize(&jobs)` rewrites the canonical
+//!   grid order, exactly like a local `run_campaign`. Same records, same
+//!   finalize: the finished store is **byte-identical to a local run**,
+//!   whatever the worker count, join order, or mid-run losses were;
+//! * the **shard manifest** (`<store>.manifest.jsonl`) — every lease and
+//!   every delivery is journalled, so `--report` can tell "missing" from
+//!   "assigned elsewhere / in-flight" and a coordinator restarted after a
+//!   crash re-offers only unfinished fingerprints;
+//! * the **timings sidecar** (`<store>.timings.jsonl`) — workers report
+//!   per-job wall-clock with each delivery; it never touches the store.
+//!
+//! Scheduling is [`ShardQueues`]: jobs partition statically by fingerprint
+//! prefix, workers drain their home shard first and steal from the most
+//! loaded sibling's tail. A worker that disconnects (or sits on a lease past
+//! its deadline) has its jobs re-offered; duplicate deliveries — a slow
+//! worker finishing after its lease was re-offered and re-run — are folded
+//! idempotently (results are deterministic functions of the job, so both
+//! copies carry the same bytes; `ok` is never downgraded).
+
+use crate::protocol::{write_message, Reply, Request};
+use std::collections::HashMap;
+use std::io::BufReader;
+use std::net::{TcpListener, TcpStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use surepath_runner::{
+    job_fingerprint, manifest_path, queue::shard_of_fingerprint, timings_path, JobSpec,
+    ResultStore, ShardManifest, ShardQueues, StoreRecord, TimingRecord, TimingsLog,
+};
+
+/// Tuning knobs of [`serve`].
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Static shard count (fingerprint-prefix partitions). More shards than
+    /// workers is fine — extra shards are drained by stealing; workers past
+    /// the shard count share home shards round-robin.
+    pub shards: usize,
+    /// Lease duration: a job not delivered within this window is re-offered.
+    pub lease: Duration,
+    /// Max jobs handed out per `Fetch`.
+    pub chunk: usize,
+    /// Suppress progress output on stderr.
+    pub quiet: bool,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            shards: 8,
+            lease: Duration::from_secs(60),
+            chunk: 8,
+            quiet: false,
+        }
+    }
+}
+
+/// What a finished distributed campaign looked like (the coordinator's
+/// analogue of `CampaignOutcome`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServeOutcome {
+    /// Total jobs in the expanded grid.
+    pub total: usize,
+    /// Jobs skipped because the store already had them.
+    pub skipped: usize,
+    /// Jobs executed by workers this run.
+    pub executed: usize,
+    /// Of the executed jobs, how many failed (error or panic on the worker).
+    pub failed: usize,
+    /// Distinct workers that introduced themselves.
+    pub workers: usize,
+    /// Jobs that were re-offered after a lost worker or an expired lease.
+    pub reoffered: usize,
+}
+
+impl ServeOutcome {
+    /// Whether every grid cell now has a successful result.
+    pub fn is_complete(&self) -> bool {
+        self.skipped + self.executed - self.failed == self.total
+    }
+}
+
+/// Everything the per-connection handler threads share.
+struct Shared {
+    /// The pending jobs (not complete in the store at serve start).
+    pending: Vec<JobSpec>,
+    /// Fingerprint → index into `pending`.
+    by_fp: HashMap<String, usize>,
+    /// Shard queues + leases over `pending` indices.
+    queues: ShardQueues,
+    store: ResultStore,
+    manifest: ShardManifest,
+    timings: TimingsLog,
+    /// Indices of `pending` jobs whose result has been folded in.
+    delivered: Vec<bool>,
+    delivered_count: usize,
+    failed: usize,
+    workers: usize,
+    reoffered: usize,
+    quiet: bool,
+}
+
+impl Shared {
+    fn is_done(&self) -> bool {
+        self.delivered_count == self.pending.len()
+    }
+}
+
+/// Reads one request off a connection whose socket has a short read
+/// timeout, treating each timeout as a poll tick rather than a failure:
+/// partially received lines accumulate across ticks (so a message split
+/// across TCP segments can never desync the stream), and `keep_waiting`
+/// decides whether to go on waiting — the handler passes "campaign not
+/// done yet". Returns `None` when the connection is gone (EOF, transport
+/// error, garbage) or `keep_waiting` says stop.
+fn read_request_polling(
+    reader: &mut BufReader<TcpStream>,
+    mut keep_waiting: impl FnMut() -> bool,
+) -> Option<Request> {
+    use std::io::BufRead as _;
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => return None, // clean EOF
+            // `read_line` returns only at the delimiter or EOF; a line
+            // without its newline is a connection that died mid-message.
+            Ok(_) if !line.ends_with('\n') => return None,
+            Ok(_) => return serde_json::from_str(line.trim_end()).ok(),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Poll tick; any bytes already read stay in `line`.
+                if !keep_waiting() {
+                    return None;
+                }
+            }
+            Err(_) => return None,
+        }
+    }
+}
+
+/// One worker connection, served to completion on its own thread.
+///
+/// Reads poll with a short timeout, but a timeout is **not** a verdict on
+/// the worker: a worker crunching a long job is legitimately silent for the
+/// whole job duration, so the handler just keeps waiting (the job's *lease*
+/// is what re-offers the work if the worker really is hung). The poll
+/// exists so the handler can notice campaign completion and exit instead of
+/// blocking the coordinator's shutdown on a worker that will never speak
+/// again. Only EOF / a transport error means the worker is gone — its
+/// leases re-offer immediately.
+fn handle_connection(stream: TcpStream, campaign: &str, shared: &Mutex<Shared>, chunk: usize) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = stream;
+
+    // Campaign completion does not end the conversation instantly: a worker
+    // sleeping through a Wait backoff still deserves its final `Drained`
+    // instead of a closed socket, so the handler lingers for a grace period
+    // after it first observes completion (workers back off 100ms; 1s is
+    // plenty) and only then stops waiting for silent peers.
+    let mut done_at: Option<Instant> = None;
+    let mut keep_waiting = move |shared: &Mutex<Shared>| -> bool {
+        if !shared.lock().expect("coordinator state").is_done() {
+            return true;
+        }
+        done_at.get_or_insert_with(Instant::now).elapsed() < Duration::from_secs(1)
+    };
+
+    // First message must be Hello; it names the worker for leases/manifest.
+    let worker = match read_request_polling(&mut reader, || keep_waiting(shared)) {
+        Some(Request::Hello { worker }) => worker,
+        Some(_) => {
+            let _ = write_message(
+                &mut writer,
+                &Reply::ProtocolError {
+                    message: "first message must be Hello".into(),
+                },
+            );
+            return;
+        }
+        None => return,
+    };
+    let shard = {
+        let mut shared = shared.lock().expect("coordinator state");
+        let shard = shared.workers % shared.queues.shards();
+        shared.workers += 1;
+        if !shared.quiet {
+            eprintln!("[dist] worker `{worker}` joined (home shard {shard})");
+        }
+        shard
+    };
+    if write_message(
+        &mut writer,
+        &Reply::Welcome {
+            campaign: campaign.to_string(),
+            shard,
+        },
+    )
+    .is_err()
+    {
+        return;
+    }
+
+    loop {
+        let request = match read_request_polling(&mut reader, || keep_waiting(shared)) {
+            Some(request) => request,
+            // EOF, a broken pipe, or campaign completion while the worker
+            // was silent. If the worker is really gone its leases re-offer
+            // immediately instead of waiting for the deadline; on
+            // completion there are no leases left to release.
+            None => {
+                let mut shared = shared.lock().expect("coordinator state");
+                let released = shared.queues.release_worker(&worker);
+                shared.reoffered += released;
+                if released > 0 && !shared.quiet {
+                    eprintln!("[dist] worker `{worker}` lost; re-offering {released} job(s)");
+                }
+                return;
+            }
+        };
+        let reply = match request {
+            Request::Hello { .. } => Reply::ProtocolError {
+                message: "duplicate Hello".into(),
+            },
+            Request::Fetch { max } => {
+                let mut shared = shared.lock().expect("coordinator state");
+                let now = Instant::now();
+                let reaped = shared.queues.reap_expired(now);
+                shared.reoffered += reaped;
+                if reaped > 0 && !shared.quiet {
+                    eprintln!("[dist] {reaped} lease(s) expired; re-offering");
+                }
+                // Both sides bound the batch: the worker's appetite and the
+                // coordinator's `--chunk` cap (small chunks keep expensive
+                // tails spread across workers).
+                let taken = shared
+                    .queues
+                    .pop_for(&worker, shard, max.clamp(1, chunk), now);
+                // A re-queued copy of a job that was meanwhile delivered by
+                // its original (slow) worker must not run again: release the
+                // fresh lease and drop it here.
+                let mut fresh = Vec::with_capacity(taken.len());
+                for idx in taken {
+                    if shared.delivered[idx] {
+                        shared.queues.complete(idx);
+                    } else {
+                        fresh.push(idx);
+                    }
+                }
+                if fresh.is_empty() {
+                    if shared.is_done() {
+                        Reply::Drained
+                    } else {
+                        // Everything is leased out elsewhere (or the dropped
+                        // duplicates emptied the batch): back off briefly.
+                        Reply::Wait { millis: 100 }
+                    }
+                } else {
+                    let mut jobs = Vec::with_capacity(fresh.len());
+                    for idx in &fresh {
+                        let job = shared.pending[*idx].clone();
+                        let fp = job_fingerprint(&job);
+                        let job_shard = shard_of_fingerprint(&fp, shared.queues.shards());
+                        let _ = shared.manifest.record_assigned(&fp, job_shard, &worker);
+                        jobs.push(job);
+                    }
+                    Reply::Assign { jobs }
+                }
+            }
+            Request::Deliver { record, millis } => {
+                let mut shared = shared.lock().expect("coordinator state");
+                match fold_delivery(&mut shared, &worker, record, millis) {
+                    Ok(()) => {
+                        if shared.is_done() {
+                            Reply::Drained
+                        } else {
+                            // No reply needed per delivery; but the protocol
+                            // is strict request/reply, so acknowledge with
+                            // the next state: more work or wait.
+                            Reply::Wait { millis: 0 }
+                        }
+                    }
+                    Err(message) => Reply::ProtocolError { message },
+                }
+            }
+        };
+        let done = matches!(reply, Reply::Drained);
+        if write_message(&mut writer, &reply).is_err() {
+            let mut shared = shared.lock().expect("coordinator state");
+            let released = shared.queues.release_worker(&worker);
+            shared.reoffered += released;
+            return;
+        }
+        if done {
+            return;
+        }
+    }
+}
+
+/// Folds one delivered record into store + manifest + timings. Duplicate
+/// and stale deliveries (lease expired, job re-offered and already
+/// delivered by someone else) are dropped idempotently.
+fn fold_delivery(
+    shared: &mut Shared,
+    worker: &str,
+    record: StoreRecord,
+    millis: u64,
+) -> Result<(), String> {
+    // Trust nothing: the fingerprint must match the job it claims to be.
+    let fp = job_fingerprint(&record.job);
+    if fp != record.fp {
+        return Err(format!(
+            "record fingerprint {} does not match its job ({fp})",
+            record.fp
+        ));
+    }
+    let Some(&idx) = shared.by_fp.get(&fp) else {
+        return Err(format!("job {fp} is not part of this campaign's grid"));
+    };
+    shared.queues.complete(idx);
+    if shared.delivered[idx] {
+        // A slow worker delivering after re-offer + re-delivery: results are
+        // deterministic per job, so the copy adds nothing. Drop it.
+        return Ok(());
+    }
+    let ok = record.status == "ok";
+    let append = if ok {
+        shared
+            .store
+            .append_ok(&record.job, record.result.unwrap_or(serde::Value::Null))
+    } else {
+        shared.store.append_failed(
+            &record.job,
+            record.error.unwrap_or_else(|| "unknown error".to_string()),
+        )
+    };
+    append.map_err(|e| format!("cannot persist result: {e}"))?;
+    let shard = shard_of_fingerprint(&fp, shared.queues.shards());
+    let _ = shared.manifest.record_done(&fp, shard, worker);
+    let _ = shared.timings.append(&TimingRecord {
+        fp,
+        label: record.job.label(),
+        millis,
+        worker: worker.to_string(),
+    });
+    shared.delivered[idx] = true;
+    shared.delivered_count += 1;
+    if !ok {
+        shared.failed += 1;
+    }
+    if !shared.quiet {
+        eprintln!(
+            "[dist] [{}/{}] {}  {} (worker `{worker}`, {millis} ms)",
+            shared.delivered_count,
+            shared.pending.len(),
+            if ok { "done" } else { "FAILED" },
+            record.job.label()
+        );
+    }
+    Ok(())
+}
+
+/// Serves the expanded `jobs` of a campaign named `campaign` to workers
+/// connecting on `listener`, folding results into the store at `store_path`
+/// until every pending job has a result, then finalizes the store in
+/// canonical grid order and returns.
+///
+/// Already-complete fingerprints are skipped (resume), assignments and
+/// deliveries are journalled to `<store>.manifest.jsonl`, and per-job
+/// wall-clock goes to `<store>.timings.jsonl`. The caller is responsible
+/// for having validated the jobs (the coordinator never executes one).
+pub fn serve(
+    listener: TcpListener,
+    campaign: &str,
+    jobs: &[JobSpec],
+    store_path: &Path,
+    opts: &ServeOptions,
+) -> std::io::Result<ServeOutcome> {
+    let store = ResultStore::open(store_path)?;
+    let manifest = ShardManifest::open(&manifest_path(store_path))?;
+    let timings = TimingsLog::open(&timings_path(store_path))?;
+
+    // Only unfinished fingerprints are (re-)offered — the resume contract.
+    let pending: Vec<JobSpec> = jobs
+        .iter()
+        .filter(|job| !store.is_complete(&job_fingerprint(job)))
+        .cloned()
+        .collect();
+    let skipped = jobs.len() - pending.len();
+    let total = jobs.len();
+
+    let mut queues = ShardQueues::new(opts.shards.max(1), opts.lease);
+    let mut by_fp = HashMap::new();
+    for (idx, job) in pending.iter().enumerate() {
+        let fp = job_fingerprint(job);
+        queues.push(shard_of_fingerprint(&fp, queues.shards()), idx);
+        by_fp.insert(fp, idx);
+    }
+
+    let pending_len = pending.len();
+    let shared = Arc::new(Mutex::new(Shared {
+        delivered: vec![false; pending_len],
+        pending,
+        by_fp,
+        queues,
+        store,
+        manifest,
+        timings,
+        delivered_count: 0,
+        failed: 0,
+        workers: 0,
+        reoffered: 0,
+        quiet: opts.quiet,
+    }));
+    if !opts.quiet && skipped > 0 {
+        eprintln!("[dist] [{skipped}/{total}] already complete in the store, skipping");
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let accept_shared = Arc::clone(&shared);
+    let accept_stop = Arc::clone(&stop);
+    let campaign_name = campaign.to_string();
+    let chunk = opts.chunk.max(1);
+    listener.set_nonblocking(true)?;
+    // The accept loop runs on its own thread so the main thread can watch
+    // for completion; handler threads are detached and guarded by the
+    // delivered flags (late deliveries after completion are no-ops).
+    let acceptor = std::thread::spawn(move || {
+        let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !accept_stop.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    // Blocking I/O per connection from here on.
+                    let _ = stream.set_nonblocking(false);
+                    let shared = Arc::clone(&accept_shared);
+                    let campaign = campaign_name.clone();
+                    handlers.push(std::thread::spawn(move || {
+                        handle_connection(stream, &campaign, &shared, chunk);
+                    }));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(_) => break,
+            }
+        }
+        for h in handlers {
+            let _ = h.join();
+        }
+    });
+
+    // Wait for the grid to drain.
+    loop {
+        {
+            let shared = shared.lock().expect("coordinator state");
+            if shared.is_done() {
+                break;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    stop.store(true, Ordering::SeqCst);
+    let _ = acceptor.join();
+
+    let mut shared = match Arc::try_unwrap(shared) {
+        Ok(mutex) => mutex.into_inner().expect("coordinator state"),
+        // A handler thread still holds a reference (it is about to exit) —
+        // fall back to working through the lock.
+        Err(arc) => {
+            let guard = arc.lock().expect("coordinator state");
+            return finalize_locked(guard, jobs, total, skipped);
+        }
+    };
+    shared.store.finalize(jobs)?;
+    Ok(ServeOutcome {
+        total,
+        skipped,
+        executed: shared.delivered_count,
+        failed: shared.failed,
+        workers: shared.workers,
+        reoffered: shared.reoffered,
+    })
+}
+
+/// The finalize path when a handler thread still shares the state.
+fn finalize_locked(
+    mut guard: std::sync::MutexGuard<'_, Shared>,
+    jobs: &[JobSpec],
+    total: usize,
+    skipped: usize,
+) -> std::io::Result<ServeOutcome> {
+    guard.store.finalize(jobs)?;
+    Ok(ServeOutcome {
+        total,
+        skipped,
+        executed: guard.delivered_count,
+        failed: guard.failed,
+        workers: guard.workers,
+        reoffered: guard.reoffered,
+    })
+}

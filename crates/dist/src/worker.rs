@@ -1,0 +1,256 @@
+//! The campaign worker: pull job batches over TCP, run them on the local
+//! work-stealing executor, stream store-format results back.
+//!
+//! The worker is domain-agnostic like the runner: the caller supplies the
+//! closure that turns one [`JobSpec`] into one JSON result (the CLI and the
+//! figure binaries pass `surepath_core::run_job`). Panics inside the
+//! closure are caught by the executor and delivered as `failed` records —
+//! exactly the semantics of a local campaign — so one crashing simulation
+//! costs one grid cell, not a worker.
+
+use crate::protocol::{read_message, write_message, Reply, Request};
+use serde::Value;
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+use surepath_runner::{job_fingerprint, run_work_stealing, JobOutcome, JobSpec, StoreRecord};
+
+/// Tuning knobs of [`run_worker`].
+#[derive(Clone, Debug)]
+pub struct WorkerOptions {
+    /// Executor threads on this worker (`None` = all cores).
+    pub threads: Option<usize>,
+    /// Jobs requested per `Fetch` (`None` = 2x the thread count, so the
+    /// executor always has a next job while results stream out).
+    pub chunk: Option<usize>,
+    /// How long to keep retrying the initial connection (the coordinator
+    /// may still be binding, or a `--spawn-local` parent may win the race).
+    pub connect_retry: Duration,
+    /// Suppress per-batch progress output.
+    pub quiet: bool,
+}
+
+impl Default for WorkerOptions {
+    fn default() -> Self {
+        WorkerOptions {
+            threads: None,
+            chunk: None,
+            connect_retry: Duration::from_secs(10),
+            quiet: true,
+        }
+    }
+}
+
+/// What a worker did before the coordinator drained it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WorkerOutcome {
+    /// Jobs executed on this worker.
+    pub executed: usize,
+    /// Of those, how many failed (error or panic).
+    pub failed: usize,
+}
+
+/// Connects to `addr`, retrying until `retry_for` elapses.
+fn connect_with_retry(addr: &str, retry_for: Duration) -> std::io::Result<TcpStream> {
+    let deadline = Instant::now() + retry_for;
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(e) if Instant::now() < deadline => {
+                let _ = e;
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(e) => {
+                return Err(std::io::Error::new(
+                    e.kind(),
+                    format!("cannot reach coordinator at {addr}: {e}"),
+                ))
+            }
+        }
+    }
+}
+
+/// Builds the store-format record for one executed job — the same record a
+/// local campaign would append, so the coordinator's store stays
+/// byte-identical to a local run's.
+fn record_for(job: &JobSpec, outcome: JobOutcome<Result<Value, String>>) -> StoreRecord {
+    let fp = job_fingerprint(job);
+    match outcome {
+        JobOutcome::Completed(Ok(result)) => StoreRecord {
+            fp,
+            status: "ok".to_string(),
+            job: job.clone(),
+            result: Some(result),
+            error: None,
+        },
+        JobOutcome::Completed(Err(error)) => StoreRecord {
+            fp,
+            status: "failed".to_string(),
+            job: job.clone(),
+            result: None,
+            error: Some(error),
+        },
+        JobOutcome::Panicked(message) => StoreRecord {
+            fp,
+            status: "failed".to_string(),
+            job: job.clone(),
+            result: None,
+            error: Some(format!("panic: {message}")),
+        },
+    }
+}
+
+/// Runs a worker against the coordinator at `addr` until the campaign is
+/// drained. `worker_id` names this worker in leases, manifests and timing
+/// records — it must be unique among concurrent workers (host + pid is the
+/// CLI's choice). Each fetched batch runs on the runner's work-stealing
+/// executor with `opts.threads` workers; results stream back one by one as
+/// they finish.
+pub fn run_worker<F>(
+    addr: &str,
+    worker_id: &str,
+    opts: &WorkerOptions,
+    job_fn: F,
+) -> std::io::Result<WorkerOutcome>
+where
+    F: Fn(&JobSpec) -> Result<Value, String> + Sync,
+{
+    let stream = connect_with_retry(addr, opts.connect_retry)?;
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+
+    write_message(
+        &mut writer,
+        &Request::Hello {
+            worker: worker_id.to_string(),
+        },
+    )?;
+    let welcome: Reply = read_message(&mut reader)?.ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "coordinator hung up during handshake",
+        )
+    })?;
+    let campaign = match welcome {
+        Reply::Welcome { campaign, .. } => campaign,
+        other => {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("expected Welcome, got {other:?}"),
+            ))
+        }
+    };
+
+    let threads = opts
+        .threads
+        .unwrap_or_else(surepath_runner::default_threads);
+    let chunk = opts.chunk.unwrap_or(threads.saturating_mul(2).max(1));
+    let mut executed = 0usize;
+    let mut failed = 0usize;
+    let mut drained = false;
+
+    while !drained {
+        write_message(&mut writer, &Request::Fetch { max: chunk })?;
+        let reply: Reply = match read_message(&mut reader)? {
+            Some(reply) => reply,
+            // The coordinator hangs up without Drained only when it (or the
+            // network) died, or it wrote this worker off: surface it — a
+            // silent success here would mask a half-finished campaign.
+            None => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "coordinator hung up before draining the campaign",
+                ))
+            }
+        };
+        match reply {
+            Reply::Assign { jobs } => {
+                if !opts.quiet {
+                    eprintln!(
+                        "[worker {worker_id}] {} job(s) of campaign `{campaign}`",
+                        jobs.len()
+                    );
+                }
+                // Results stream back from the executor's consumer callback
+                // as they finish; a delivery failure stops the pool (the
+                // coordinator is gone, nothing can be persisted).
+                let mut io_error: Option<std::io::Error> = None;
+                run_work_stealing(
+                    &jobs,
+                    threads,
+                    |_, job| {
+                        let started = Instant::now();
+                        let result = job_fn(job);
+                        (result, started.elapsed().as_millis() as u64)
+                    },
+                    |idx, outcome| {
+                        let (outcome, millis) = match outcome {
+                            JobOutcome::Completed((result, millis)) => {
+                                (JobOutcome::Completed(result), millis)
+                            }
+                            JobOutcome::Panicked(message) => (JobOutcome::Panicked(message), 0),
+                        };
+                        let record = record_for(&jobs[idx], outcome);
+                        executed += 1;
+                        if record.status != "ok" {
+                            failed += 1;
+                        }
+                        let sent = write_message(&mut writer, &Request::Deliver { record, millis });
+                        match sent.and_then(|()| read_message::<Reply>(&mut reader)) {
+                            Ok(Some(Reply::Drained)) => {
+                                drained = true;
+                                false
+                            }
+                            Ok(Some(Reply::ProtocolError { message })) => {
+                                io_error = Some(std::io::Error::new(
+                                    std::io::ErrorKind::InvalidData,
+                                    message,
+                                ));
+                                false
+                            }
+                            Ok(Some(_)) => true,
+                            Ok(None) => {
+                                // EOF instead of a delivery ack: the
+                                // coordinator is gone mid-batch. Not a clean
+                                // drain — report it.
+                                io_error = Some(std::io::Error::new(
+                                    std::io::ErrorKind::UnexpectedEof,
+                                    "coordinator hung up mid-delivery",
+                                ));
+                                false
+                            }
+                            Err(e) => {
+                                io_error = Some(e);
+                                false
+                            }
+                        }
+                    },
+                );
+                if let Some(e) = io_error {
+                    return Err(e);
+                }
+            }
+            Reply::Wait { millis } => {
+                std::thread::sleep(Duration::from_millis(millis.min(1_000)));
+            }
+            Reply::Drained => drained = true,
+            Reply::ProtocolError { message } => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    message,
+                ))
+            }
+            Reply::Welcome { .. } => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "unexpected second Welcome",
+                ))
+            }
+        }
+    }
+    if !opts.quiet {
+        eprintln!("[worker {worker_id}] drained: {executed} executed, {failed} failed");
+    }
+    Ok(WorkerOutcome { executed, failed })
+}

@@ -5,8 +5,10 @@ use crate::fingerprint::job_fingerprint;
 use crate::progress::ProgressReporter;
 use crate::spec::{CampaignSpec, JobSpec};
 use crate::store::ResultStore;
+use crate::timings::{timings_path, TimingRecord, TimingsLog};
 use serde::Value;
 use std::path::Path;
+use std::time::{Duration, Instant};
 
 /// What a finished campaign run looked like.
 #[derive(Clone, Debug, PartialEq)]
@@ -19,6 +21,9 @@ pub struct CampaignOutcome {
     pub executed: usize,
     /// Of the executed jobs, how many failed (error or panic).
     pub failed: usize,
+    /// Whether the global deadline stopped the run before the grid was
+    /// drained (the store was still finalized cleanly; re-running resumes).
+    pub deadline_hit: bool,
 }
 
 impl CampaignOutcome {
@@ -26,6 +31,40 @@ impl CampaignOutcome {
     pub fn is_complete(&self) -> bool {
         self.skipped + self.executed - self.failed == self.total
     }
+}
+
+/// Knobs of [`run_campaign_with`] beyond the spec itself.
+#[derive(Clone, Debug)]
+pub struct RunOptions {
+    /// Worker threads (`None` = all cores).
+    pub threads: Option<usize>,
+    /// Suppress per-job progress output.
+    pub quiet: bool,
+    /// Explicit wall-clock budget; `None` resolves `SUREPATH_DEADLINE_SECS`,
+    /// then the spec's `deadline_secs` field.
+    pub deadline: Option<Duration>,
+    /// Write per-job wall-clock to the `<store>.timings.jsonl` sidecar.
+    pub timings: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            threads: None,
+            quiet: false,
+            deadline: None,
+            timings: true,
+        }
+    }
+}
+
+/// The deadline from `SUREPATH_DEADLINE_SECS`, if set and parseable.
+pub fn deadline_from_env() -> Option<Duration> {
+    std::env::var("SUREPATH_DEADLINE_SECS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .filter(|&secs| secs > 0)
+        .map(Duration::from_secs)
 }
 
 /// Runs (or resumes) a campaign.
@@ -46,10 +85,47 @@ pub fn run_campaign<F>(
 where
     F: Fn(&JobSpec) -> Result<Value, String> + Sync,
 {
+    run_campaign_with(
+        spec,
+        store_path,
+        &RunOptions {
+            threads,
+            quiet,
+            ..RunOptions::default()
+        },
+        job_fn,
+    )
+}
+
+/// [`run_campaign`] with the full option set: an optional global deadline
+/// (stop dequeuing, finalize the partial store cleanly, report
+/// `deadline_hit` so callers can exit with a distinct code and a later run
+/// resumes the rest) and the per-job wall-clock sidecar.
+pub fn run_campaign_with<F>(
+    spec: &CampaignSpec,
+    store_path: &Path,
+    opts: &RunOptions,
+    job_fn: F,
+) -> std::io::Result<CampaignOutcome>
+where
+    F: Fn(&JobSpec) -> Result<Value, String> + Sync,
+{
     let jobs = spec
         .expand()
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
     let mut store = ResultStore::open(store_path)?;
+    let mut timings = if opts.timings {
+        Some(TimingsLog::open(&timings_path(store_path))?)
+    } else {
+        None
+    };
+    // Env beats the spec field: an operator reclaiming a machine overrides
+    // whatever budget the spec author wrote.
+    let deadline = opts
+        .deadline
+        .or_else(deadline_from_env)
+        .or(spec.deadline_secs.map(Duration::from_secs))
+        .map(|budget| Instant::now() + budget);
 
     let pending: Vec<JobSpec> = jobs
         .iter()
@@ -58,30 +134,55 @@ where
         .collect();
     let skipped = jobs.len() - pending.len();
 
-    let mut progress = ProgressReporter::new(jobs.len(), skipped, !quiet);
+    let mut progress = ProgressReporter::new(jobs.len(), skipped, !opts.quiet);
     let mut io_error: Option<std::io::Error> = None;
+    let mut deadline_hit = false;
     run_work_stealing(
         &pending,
-        threads.unwrap_or_else(crate::executor::default_threads),
-        |_, job| job_fn(job),
+        opts.threads
+            .unwrap_or_else(crate::executor::default_threads),
+        |_, job| {
+            let started = Instant::now();
+            let result = job_fn(job);
+            (result, started.elapsed().as_millis() as u64)
+        },
         |idx, outcome| {
             let job = &pending[idx];
-            let write_result = match outcome {
-                JobOutcome::Completed(Ok(result)) => {
+            let (write_result, millis) = match outcome {
+                JobOutcome::Completed((Ok(result), millis)) => {
                     progress.job_finished(&job.label(), true);
-                    store.append_ok(job, result)
+                    (store.append_ok(job, result), Some(millis))
                 }
-                JobOutcome::Completed(Err(error)) => {
+                JobOutcome::Completed((Err(error), millis)) => {
                     progress.job_finished(&job.label(), false);
-                    store.append_failed(job, error)
+                    (store.append_failed(job, error), Some(millis))
                 }
                 JobOutcome::Panicked(message) => {
                     progress.job_finished(&job.label(), false);
-                    store.append_failed(job, format!("panic: {message}"))
+                    (store.append_failed(job, format!("panic: {message}")), None)
                 }
             };
+            if let (Some(log), Some(millis)) = (&mut timings, millis) {
+                // Sidecar trouble is not worth losing simulation results
+                // over; the store write below is what gates continuation.
+                let _ = log.append(&TimingRecord {
+                    fp: job_fingerprint(job),
+                    label: job.label(),
+                    millis,
+                    worker: "local".to_string(),
+                });
+            }
             match write_result {
-                Ok(()) => true,
+                Ok(()) => {
+                    if deadline.is_some_and(|d| Instant::now() >= d) {
+                        // Budget exhausted: stop dequeuing. In-flight jobs
+                        // finish but are not persisted; the finalized
+                        // partial store resumes them next run.
+                        deadline_hit = true;
+                        return false;
+                    }
+                    true
+                }
                 Err(e) => {
                     // A store that cannot be written makes every further
                     // result unpersistable: stop the pool instead of burning
@@ -102,6 +203,7 @@ where
         skipped,
         executed,
         failed,
+        deadline_hit,
     })
 }
 
@@ -239,6 +341,120 @@ mod tests {
         assert_eq!(retry.skipped, 10);
         assert_eq!(retry.executed, 2);
         assert!(retry.is_complete());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn campaign_writes_the_timings_sidecar_by_default() {
+        let path = temp_store("timings");
+        let sidecar = crate::timings::timings_path(&path);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&sidecar);
+        let s = spec("timings");
+        run_campaign(&s, &path, Some(2), true, fake_result).unwrap();
+        let records = crate::timings::load_timings(&sidecar).unwrap();
+        assert_eq!(records.len(), 12, "one timing per executed job");
+        assert!(records.iter().all(|r| r.worker == "local"));
+        // The deterministic store never mentions wall-clock.
+        let store_text = std::fs::read_to_string(&path).unwrap();
+        assert!(!store_text.contains("millis"), "{store_text}");
+
+        // Opting out suppresses the sidecar.
+        let path2 = temp_store("timings-off");
+        let sidecar2 = crate::timings::timings_path(&path2);
+        let _ = std::fs::remove_file(&path2);
+        let _ = std::fs::remove_file(&sidecar2);
+        run_campaign_with(
+            &s,
+            &path2,
+            &RunOptions {
+                threads: Some(2),
+                quiet: true,
+                timings: false,
+                ..RunOptions::default()
+            },
+            fake_result,
+        )
+        .unwrap();
+        assert!(!sidecar2.exists());
+        for p in [&path, &sidecar, &path2] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn deadline_stops_dequeuing_finalizes_and_resumes() {
+        let path = temp_store("deadline");
+        let _ = std::fs::remove_file(&path);
+        let s = spec("deadline");
+        // A zero-length budget: the first completed job trips the deadline.
+        let outcome = run_campaign_with(
+            &s,
+            &path,
+            &RunOptions {
+                threads: Some(1),
+                quiet: true,
+                deadline: Some(std::time::Duration::ZERO),
+                timings: false,
+            },
+            fake_result,
+        )
+        .unwrap();
+        assert!(outcome.deadline_hit);
+        assert!(outcome.executed >= 1, "at least the in-flight job landed");
+        assert!(outcome.executed < outcome.total, "the grid was cut short");
+        assert!(!outcome.is_complete());
+
+        // The partial store was finalized cleanly: a later unbudgeted run
+        // resumes exactly the missing jobs and completes the grid.
+        let resumed = run_campaign(&s, &path, Some(2), true, fake_result).unwrap();
+        assert!(!resumed.deadline_hit);
+        assert_eq!(resumed.skipped, outcome.executed);
+        assert_eq!(resumed.executed, outcome.total - outcome.executed);
+        assert!(resumed.is_complete());
+
+        // The resumed store is byte-identical to a single uninterrupted run.
+        let clean = temp_store("deadline-clean");
+        let _ = std::fs::remove_file(&clean);
+        run_campaign(&s, &clean, Some(2), true, fake_result).unwrap();
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            std::fs::read(&clean).unwrap()
+        );
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&clean);
+    }
+
+    #[test]
+    fn spec_deadline_field_is_honoured() {
+        let path = temp_store("deadline-spec");
+        let _ = std::fs::remove_file(&path);
+        let s = CampaignSpec {
+            // u64 seconds; Duration::ZERO is not expressible in the spec, so
+            // use the smallest budget and a job that outlasts it.
+            deadline_secs: Some(1),
+            ..spec("deadline-spec")
+        };
+        let outcome = run_campaign_with(
+            &s,
+            &path,
+            &RunOptions {
+                threads: Some(1),
+                quiet: true,
+                timings: false,
+                ..RunOptions::default()
+            },
+            |job| {
+                std::thread::sleep(std::time::Duration::from_millis(150));
+                fake_result(job)
+            },
+        )
+        .unwrap();
+        assert!(
+            outcome.deadline_hit,
+            "1s budget, >100ms per job on 1 thread"
+        );
+        assert!(!outcome.is_complete());
         let _ = std::fs::remove_file(&path);
     }
 

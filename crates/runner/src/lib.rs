@@ -21,7 +21,14 @@
 //! * [`store`] — the append-only JSONL result store; every job is
 //!   fingerprinted and already-completed jobs are skipped on restart.
 //! * [`campaign`] — the driver tying the three together, with progress
-//!   reporting.
+//!   reporting, an optional global deadline and the timings sidecar.
+//! * [`queue`] — shard queues + leases: the scheduling core the distributed
+//!   driver (`surepath-dist`) builds on (static fingerprint-prefix
+//!   partitioning, work stealing across shards, lease expiry).
+//! * [`manifest`] — the `<store>.manifest.jsonl` shard-assignment sidecar:
+//!   distinguishes "missing" from "assigned elsewhere / in-flight".
+//! * [`timings`] — the `<store>.timings.jsonl` per-job wall-clock sidecar
+//!   (host observations never enter the deterministic store).
 //! * [`toml`] — a minimal TOML parser (the build environment has no crates.io
 //!   access, so the subset campaign specs need is implemented here).
 //!
@@ -42,13 +49,21 @@
 pub mod campaign;
 pub mod executor;
 pub mod fingerprint;
+pub mod manifest;
 pub mod progress;
+pub mod queue;
 pub mod spec;
 pub mod store;
+pub mod timings;
 pub mod toml;
 
-pub use campaign::{run_campaign, CampaignOutcome};
+pub use campaign::{
+    deadline_from_env, run_campaign, run_campaign_with, CampaignOutcome, RunOptions,
+};
 pub use executor::{default_threads, parallel_map, run_work_stealing, JobOutcome};
 pub use fingerprint::{job_fingerprint, point_fingerprint};
+pub use manifest::{manifest_path, ManifestRecord, ShardManifest};
+pub use queue::{shard_of_fingerprint, Lease, ShardQueues};
 pub use spec::{load_spec_file, CampaignSpec, JobSpec, TopologySpec};
 pub use store::{group_replicas, merge_stores, MergeSummary, ResultStore, StoreRecord};
+pub use timings::{load_timings, timings_path, TimingRecord, TimingsLog};

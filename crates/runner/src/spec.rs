@@ -81,6 +81,12 @@ pub struct CampaignSpec {
     pub packets_per_server: Option<u64>,
     /// Sampling window (cycles) of the batch throughput-over-time curve.
     pub sample_window: Option<u64>,
+    /// Optional global wall-clock budget in seconds: once exceeded, the
+    /// driver stops dequeuing, finalizes the partial store cleanly and
+    /// reports the deadline hit (re-running resumes the rest). The
+    /// `SUREPATH_DEADLINE_SECS` environment variable overrides this field.
+    /// Not a grid dimension — it never enters [`JobSpec`]s or fingerprints.
+    pub deadline_secs: Option<u64>,
 }
 
 impl Default for CampaignSpec {
@@ -105,6 +111,7 @@ impl Default for CampaignSpec {
             measure: None,
             packets_per_server: None,
             sample_window: None,
+            deadline_secs: None,
         }
     }
 }
@@ -294,6 +301,9 @@ impl CampaignSpec {
         }
         if self.sample_window == Some(0) {
             return Err("`sample_window` must be at least 1".to_string());
+        }
+        if self.deadline_secs == Some(0) {
+            return Err("`deadline_secs` must be at least 1".to_string());
         }
         Ok(())
     }

@@ -1,0 +1,130 @@
+//! Per-job wall-clock sidecar: the `<store>.timings.jsonl` companion file.
+//!
+//! Wall-clock durations are **observations about the host**, not about the
+//! experiment: they vary with load, hardware and worker count, so they must
+//! never enter the byte-deterministic result store. They still matter — a
+//! campaign planner wants to know which grid cells dominate the runtime —
+//! so every executed job appends one line here, and `--report --timings`
+//! renders the slowest-jobs table from it.
+//!
+//! The sidecar is append-only JSONL like the store, but is *not* rewritten
+//! on finalize: it is an accumulating log (resumed and distributed runs
+//! append to it), and consumers sort it themselves.
+
+use serde::{Deserialize, Serialize};
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// One timed job execution.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TimingRecord {
+    /// The job fingerprint.
+    pub fp: String,
+    /// The job's human label (see [`crate::spec::JobSpec::label`]).
+    pub label: String,
+    /// Wall-clock milliseconds the job took.
+    pub millis: u64,
+    /// Who executed it: `"local"` for in-process campaigns, the worker id
+    /// for distributed ones.
+    pub worker: String,
+}
+
+/// The timings sidecar path of a result store:
+/// `results/grid.jsonl` → `results/grid.timings.jsonl`.
+pub fn timings_path(store: &Path) -> PathBuf {
+    store.with_extension("timings.jsonl")
+}
+
+/// An append-only per-job timing log.
+#[derive(Debug)]
+pub struct TimingsLog {
+    writer: BufWriter<File>,
+}
+
+impl TimingsLog {
+    /// Opens (or creates) the log at `path` for appending.
+    pub fn open(path: &Path) -> std::io::Result<Self> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(TimingsLog {
+            writer: BufWriter::new(file),
+        })
+    }
+
+    /// Appends one timing record (flushed immediately).
+    pub fn append(&mut self, record: &TimingRecord) -> std::io::Result<()> {
+        let line = serde_json::to_string(record).expect("timing record serializes");
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+}
+
+/// Loads every parseable timing record from `path`, in file order.
+/// Unparseable lines (a truncated tail) are skipped.
+pub fn load_timings(path: &Path) -> std::io::Result<Vec<TimingRecord>> {
+    let text = std::fs::read_to_string(path)?;
+    Ok(text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .filter_map(|l| serde_json::from_str::<TimingRecord>(l).ok())
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_timings(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("surepath-runner-timings-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}.timings.jsonl", std::process::id()))
+    }
+
+    #[test]
+    fn timings_path_derives_from_the_store_path() {
+        assert_eq!(
+            timings_path(Path::new("results/grid.jsonl")),
+            PathBuf::from("results/grid.timings.jsonl")
+        );
+    }
+
+    #[test]
+    fn append_load_round_trips_and_tolerates_corruption() {
+        let path = temp_timings("round-trip");
+        let _ = std::fs::remove_file(&path);
+        let records = vec![
+            TimingRecord {
+                fp: "aaaa".into(),
+                label: "4x4 / polsp / seed=1".into(),
+                millis: 120,
+                worker: "local".into(),
+            },
+            TimingRecord {
+                fp: "bbbb".into(),
+                label: "4x4 / polsp / seed=2".into(),
+                millis: 95,
+                worker: "worker-2".into(),
+            },
+        ];
+        {
+            let mut log = TimingsLog::open(&path).unwrap();
+            for r in &records {
+                log.append(r).unwrap();
+            }
+        }
+        {
+            use std::io::Write as _;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"{\"fp\":\"cccc\",\"mil").unwrap();
+        }
+        let loaded = load_timings(&path).unwrap();
+        assert_eq!(loaded, records);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,91 @@
+//! Property tests of the shard-manifest sidecar: any generated sequence of
+//! assignment/delivery events must survive a write → reopen round trip with
+//! the same indexed state, `done` must stay terminal, and the fingerprint
+//! partition must be stable and total.
+
+use proptest::prelude::*;
+use std::path::PathBuf;
+use surepath_runner::manifest::{ManifestRecord, MANIFEST_ASSIGNED, MANIFEST_DONE};
+use surepath_runner::{shard_of_fingerprint, ShardManifest};
+
+fn temp_manifest(tag: u64) -> PathBuf {
+    let dir = std::env::temp_dir().join("surepath-runner-manifest-props");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("prop-{tag}-{}.manifest.jsonl", std::process::id()))
+}
+
+/// Raw event material, decoded into (job, worker, is-delivery) by
+/// [`decode`]. The vendored proptest has no tuple strategies, so one u64
+/// carries all three fields; the small job/worker universes make collisions
+/// — re-assignments, repeat deliveries — actually happen.
+fn events() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..u64::MAX, 0..=40)
+}
+
+fn decode(raw: u64) -> (u64, u64, bool) {
+    (raw % 12, (raw >> 4) % 5, (raw >> 8) % 2 == 1)
+}
+
+fn event_fp(job: u64) -> String {
+    format!("{:016x}", job.wrapping_mul(0x9e3779b97f4a7c15))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn manifest_round_trips_through_reopen(raw in events(), tag in 0u64..u64::MAX) {
+        let path = temp_manifest(tag);
+        let _ = std::fs::remove_file(&path);
+        let mut live = ShardManifest::open(&path).unwrap();
+        for &event in &raw {
+            let (job, worker, done) = decode(event);
+            let fp = event_fp(job);
+            let shard = shard_of_fingerprint(&fp, 4);
+            let worker = format!("w{worker}");
+            if done {
+                live.record_done(&fp, shard, &worker).unwrap();
+            } else {
+                live.record_assigned(&fp, shard, &worker).unwrap();
+            }
+        }
+        let live_records: Vec<ManifestRecord> =
+            live.records_in_order().cloned().collect();
+        drop(live);
+
+        // Reopen: identical index, identical order, no corruption.
+        let reopened = ShardManifest::open_read_only(&path).unwrap();
+        let reopened_records: Vec<ManifestRecord> =
+            reopened.records_in_order().cloned().collect();
+        prop_assert_eq!(&reopened_records, &live_records);
+        prop_assert_eq!(reopened.corrupt_lines, 0);
+
+        // Invariants of the indexed state: done is terminal, statuses are
+        // canonical, shards match the fingerprint partition.
+        for record in &reopened_records {
+            prop_assert!(
+                record.status == MANIFEST_ASSIGNED || record.status == MANIFEST_DONE,
+                "unexpected status {:?}",
+                record.status
+            );
+            prop_assert_eq!(record.shard, shard_of_fingerprint(&record.fp, 4));
+            if record.status == MANIFEST_DONE {
+                // Every event stream that delivered this fp keeps it done.
+                let fp_done = raw.iter().any(|&event| {
+                    let (job, _, done) = decode(event);
+                    done && event_fp(job) == record.fp
+                });
+                prop_assert!(fp_done, "done without a delivery event");
+            }
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fingerprint_sharding_is_total_and_stable(job in 0u64..u64::MAX, shards in 1usize..32) {
+        let fp = format!("{job:016x}");
+        let shard = shard_of_fingerprint(&fp, shards);
+        prop_assert!(shard < shards);
+        prop_assert_eq!(shard, shard_of_fingerprint(&fp, shards));
+    }
+}

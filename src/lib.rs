@@ -12,6 +12,8 @@
 //! * [`sim`] (`hyperx-sim`) — the cycle-level simulator.
 //! * [`runner`] (`surepath-runner`) — declarative campaign specs, the
 //!   work-stealing executor and the resumable JSONL result store.
+//! * [`dist`] (`surepath-dist`) — the distributed campaign driver:
+//!   coordinator/worker fan-out over TCP with shard manifests.
 //! * [`core`] (`surepath-core`) — experiments, scenarios, sweeps and the
 //!   campaign → experiment bridge.
 //! * [`cli`] (`surepath-cli`) — the `surepath` command line.
@@ -21,4 +23,5 @@ pub use hyperx_sim as sim;
 pub use hyperx_topology as topology;
 pub use surepath_cli as cli;
 pub use surepath_core as core;
+pub use surepath_dist as dist;
 pub use surepath_runner as runner;

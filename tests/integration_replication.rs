@@ -122,8 +122,11 @@ fn diff_against_itself_is_clean_and_a_degraded_candidate_regresses() {
     let cli_ok = run_campaign_command(&CampaignCommand::Diff {
         baseline: path.to_string_lossy().into_owned(),
         candidate: path.to_string_lossy().into_owned(),
+        campaign: None,
+        csv: None,
     })
-    .expect("self-diff must succeed");
+    .expect("self-diff must succeed")
+    .text;
     assert!(cli_ok.contains("result: no regressions"), "{cli_ok}");
 
     // A candidate store where one mechanism degraded (the simulated "routing
@@ -168,6 +171,8 @@ fn diff_against_itself_is_clean_and_a_degraded_candidate_regresses() {
     let cli_err = surepath_cli::run_campaign_command(&surepath_cli::CampaignCommand::Diff {
         baseline: path.to_string_lossy().into_owned(),
         candidate: degraded_path.to_string_lossy().into_owned(),
+        campaign: None,
+        csv: None,
     })
     .expect_err("a regression must fail the diff command");
     assert!(cli_err.contains("REGRESSION"), "{cli_err}");
