@@ -21,6 +21,8 @@
 //! fingerprint-complete point, and `surepath campaign --report <store>`
 //! reproduces the output without simulating.
 
+pub mod perf;
+
 use hyperx_routing::MechanismSpec;
 use surepath_core::{CampaignSpec, Experiment, ResultStore, TrafficSpec};
 

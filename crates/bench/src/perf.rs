@@ -1,0 +1,425 @@
+//! The engine perf harness behind `surepath bench`.
+//!
+//! Runs a **pinned micro-campaign matrix** (mechanism × offered load ×
+//! topology size) through the cycle-level engine twice per cell — once on
+//! the active-set scheduler, once on the frozen pre-refactor full-scan
+//! baseline (the `full-scan` feature of `hyperx-sim`) — and reports
+//! cycles/sec, packets/sec and the speedup per cell. Because both runs use
+//! the same seed, the harness also asserts the two schedulers produced
+//! byte-identical metrics, so every bench run doubles as an A/B
+//! equivalence check.
+//!
+//! The report serializes to `BENCH_ENGINE.json` in a stable schema
+//! ([`BENCH_SCHEMA`]) so successive PRs accumulate a perf trajectory:
+//! wall-clock numbers vary with the host, but the schema, the matrix and
+//! the headline ratios are comparable run over run.
+
+use hyperx_routing::MechanismSpec;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+use surepath_core::{Experiment, FaultScenario, RootPlacement, SimConfig, TrafficSpec};
+
+/// Schema identifier of the JSON report; bump on breaking layout changes.
+pub const BENCH_SCHEMA: &str = "surepath-bench-engine/v1";
+
+/// Loads at or below this value count as "low load" in the summary (the
+/// regime active-set scheduling targets: most of the network is idle).
+pub const LOW_LOAD_THRESHOLD: f64 = 0.15;
+
+/// One cell of the pinned matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchCell {
+    /// Routing mechanism under test.
+    pub mechanism: MechanismSpec,
+    /// HyperX sides.
+    pub sides: Vec<usize>,
+    /// Offered load in phits/cycle/server.
+    pub load: f64,
+}
+
+/// The pinned matrix plus the simulation windows of a bench run.
+#[derive(Clone, Debug)]
+pub struct BenchMatrix {
+    /// Human name of the matrix (`quick` / `full`).
+    pub mode: &'static str,
+    /// Warmup cycles per run.
+    pub warmup_cycles: u64,
+    /// Measured cycles per run.
+    pub measure_cycles: u64,
+    /// The cells, in a fixed order.
+    pub cells: Vec<BenchCell>,
+}
+
+impl BenchMatrix {
+    /// The pinned matrix at the given scale. The cells are deliberately
+    /// frozen — comparable across PRs — and span both regimes: low loads
+    /// (where the active set is small and the scheduling win dominates)
+    /// and saturation (where the win comes from the allocation-free inner
+    /// loop and the candidate cache).
+    pub fn pinned(quick: bool) -> Self {
+        let (sizes, loads, warmup, measure): (&[&[usize]], &[f64], u64, u64) = if quick {
+            (&[&[4, 4], &[8, 8]], &[0.05, 0.3, 0.7], 200, 1_000)
+        } else {
+            (&[&[8, 8], &[16, 16]], &[0.05, 0.3, 0.7], 500, 3_000)
+        };
+        let mechanisms = [
+            MechanismSpec::Minimal,
+            MechanismSpec::OmniSP,
+            MechanismSpec::PolSP,
+        ];
+        let mut cells = Vec::new();
+        for &sides in sizes {
+            for mechanism in mechanisms {
+                for &load in loads {
+                    cells.push(BenchCell {
+                        mechanism,
+                        sides: sides.to_vec(),
+                        load,
+                    });
+                }
+            }
+        }
+        BenchMatrix {
+            mode: if quick { "quick" } else { "full" },
+            warmup_cycles: warmup,
+            measure_cycles: measure,
+            cells,
+        }
+    }
+}
+
+/// Timing of one engine run over a cell.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct EngineTiming {
+    /// Wall-clock milliseconds of the run (best of `repeat`).
+    pub wall_ms: f64,
+    /// Simulated cycles per wall-clock second.
+    pub cycles_per_sec: f64,
+    /// Delivered packets (whole run, matching the timed span) per
+    /// wall-clock second.
+    pub packets_per_sec: f64,
+}
+
+/// One completed cell of the report.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CellResult {
+    /// Mechanism display name.
+    pub mechanism: String,
+    /// HyperX sides.
+    pub sides: Vec<usize>,
+    /// Offered load.
+    pub load: f64,
+    /// Simulated cycles per run (warmup + measurement).
+    pub cycles: u64,
+    /// Packets delivered in the measurement window.
+    pub delivered_packets: u64,
+    /// Active-set engine timing.
+    pub active: EngineTiming,
+    /// Frozen full-scan baseline timing.
+    pub full_scan: EngineTiming,
+    /// `active.cycles_per_sec / full_scan.cycles_per_sec`.
+    pub speedup: f64,
+    /// Whether both schedulers produced byte-identical metrics (they must).
+    pub metrics_identical: bool,
+}
+
+/// Aggregates of a bench run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BenchSummary {
+    /// Cells in the matrix.
+    pub cells: usize,
+    /// Cells that ran to completion (a panicking cell is dropped, so
+    /// `completed < cells` marks a broken matrix entry; CI asserts
+    /// equality).
+    pub completed: usize,
+    /// Geometric-mean speedup across all completed cells.
+    pub geomean_speedup: f64,
+    /// Geometric-mean speedup across the low-load cells
+    /// (load ≤ [`LOW_LOAD_THRESHOLD`]).
+    pub low_load_geomean_speedup: f64,
+    /// Smallest per-cell speedup.
+    pub min_speedup: f64,
+    /// Largest per-cell speedup.
+    pub max_speedup: f64,
+    /// Whether every cell's schedulers agreed byte for byte.
+    pub all_metrics_identical: bool,
+}
+
+/// The full JSON report of a bench run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// [`BENCH_SCHEMA`].
+    pub schema: String,
+    /// `quick` or `full`.
+    pub mode: String,
+    /// Warmup cycles per run.
+    pub warmup_cycles: u64,
+    /// Measured cycles per run.
+    pub measure_cycles: u64,
+    /// Timed repetitions per engine per cell (best is reported).
+    pub repeat: usize,
+    /// Per-cell results, matrix order.
+    pub cells: Vec<CellResult>,
+    /// Aggregates.
+    pub summary: BenchSummary,
+}
+
+/// Builds the experiment of one cell (uniform traffic, healthy network,
+/// paper Table 2 parameters, pinned seed).
+fn cell_experiment(cell: &BenchCell, warmup: u64, measure: u64) -> Experiment {
+    let dims = cell.sides.len();
+    let concentration = cell.sides[0];
+    let num_vcs = cell.mechanism.default_num_vcs(dims);
+    let mut sim = SimConfig::paper_defaults(concentration, num_vcs);
+    sim.warmup_cycles = warmup;
+    sim.measure_cycles = measure;
+    sim.seed = 1;
+    Experiment {
+        sides: cell.sides.clone(),
+        concentration,
+        mechanism: cell.mechanism,
+        num_vcs,
+        traffic: TrafficSpec::Uniform,
+        scenario: FaultScenario::None,
+        root: RootPlacement::Suggested,
+        sim,
+    }
+}
+
+/// Runs one engine over one cell `repeat` times, returning the best timing
+/// plus the serialized metrics of the first run (for the A/B comparison).
+fn time_engine(
+    experiment: &Experiment,
+    load: f64,
+    full_scan: bool,
+    repeat: usize,
+) -> (EngineTiming, u64, u64, String) {
+    let mut best_ms = f64::INFINITY;
+    let mut cycles = 0u64;
+    let mut delivered = 0u64;
+    let mut total_delivered = 0u64;
+    let mut metrics_json = String::new();
+    for rep in 0..repeat.max(1) {
+        let mut sim = experiment.build_simulator();
+        sim.set_full_scan(full_scan);
+        let started = Instant::now();
+        let metrics = sim.run_rate(load);
+        let elapsed = started.elapsed().as_secs_f64() * 1_000.0;
+        if rep == 0 {
+            cycles = sim.cycle();
+            delivered = metrics.delivered_packets;
+            // The wall clock covers warmup + measurement, so the rates use
+            // whole-run counts on both axes (measurement-window deliveries
+            // over whole-run time would understate throughput).
+            total_delivered = sim.total_delivered();
+            metrics_json = serde_json::to_string(&metrics).expect("metrics serialize");
+        }
+        best_ms = best_ms.min(elapsed);
+    }
+    let secs = (best_ms / 1_000.0).max(1e-9);
+    (
+        EngineTiming {
+            wall_ms: best_ms,
+            cycles_per_sec: cycles as f64 / secs,
+            packets_per_sec: total_delivered as f64 / secs,
+        },
+        cycles,
+        delivered,
+        metrics_json,
+    )
+}
+
+/// Runs the whole matrix, calling `progress` after each completed cell
+/// (`(done, total, &result)`).
+pub fn run_engine_bench(
+    matrix: &BenchMatrix,
+    repeat: usize,
+    mut progress: impl FnMut(usize, usize, &CellResult),
+) -> BenchReport {
+    let total = matrix.cells.len();
+    let mut cells = Vec::with_capacity(total);
+    for (i, cell) in matrix.cells.iter().enumerate() {
+        // A cell that panics (a bad future matrix entry, a mechanism that
+        // rejects the configuration) is dropped rather than killing the
+        // run: `summary.completed < summary.cells` then fails the CI gate.
+        let outcome = std::panic::catch_unwind(|| {
+            let experiment = cell_experiment(cell, matrix.warmup_cycles, matrix.measure_cycles);
+            let (active, cycles, delivered, active_json) =
+                time_engine(&experiment, cell.load, false, repeat);
+            let (full_scan, _, _, full_json) = time_engine(&experiment, cell.load, true, repeat);
+            CellResult {
+                mechanism: cell.mechanism.name().to_string(),
+                sides: cell.sides.clone(),
+                load: cell.load,
+                cycles,
+                delivered_packets: delivered,
+                speedup: active.cycles_per_sec / full_scan.cycles_per_sec.max(1e-9),
+                metrics_identical: active_json == full_json,
+                active,
+                full_scan,
+            }
+        });
+        let Ok(result) = outcome else {
+            continue;
+        };
+        progress(i + 1, total, &result);
+        cells.push(result);
+    }
+    let geomean = |values: &[f64]| -> f64 {
+        if values.is_empty() {
+            return 0.0;
+        }
+        (values.iter().map(|v| v.max(1e-12).ln()).sum::<f64>() / values.len() as f64).exp()
+    };
+    let speedups: Vec<f64> = cells.iter().map(|c| c.speedup).collect();
+    let low_load: Vec<f64> = cells
+        .iter()
+        .filter(|c| c.load <= LOW_LOAD_THRESHOLD)
+        .map(|c| c.speedup)
+        .collect();
+    let summary = BenchSummary {
+        cells: total,
+        completed: cells.len(),
+        geomean_speedup: geomean(&speedups),
+        low_load_geomean_speedup: geomean(&low_load),
+        min_speedup: speedups.iter().copied().fold(f64::INFINITY, f64::min),
+        max_speedup: speedups.iter().copied().fold(0.0, f64::max),
+        all_metrics_identical: cells.iter().all(|c| c.metrics_identical),
+    };
+    BenchReport {
+        schema: BENCH_SCHEMA.to_string(),
+        mode: matrix.mode.to_string(),
+        warmup_cycles: matrix.warmup_cycles,
+        measure_cycles: matrix.measure_cycles,
+        repeat: repeat.max(1),
+        cells,
+        summary,
+    }
+}
+
+/// Renders the report as the aligned table `surepath bench` prints.
+pub fn format_bench_report(report: &BenchReport) -> String {
+    use surepath_core::{format_table, ReportRow};
+    let header = [
+        "mechanism",
+        "sides",
+        "load",
+        "active Mcyc/s",
+        "full-scan Mcyc/s",
+        "speedup",
+        "identical",
+    ];
+    let rows: Vec<ReportRow> = report
+        .cells
+        .iter()
+        .map(|c| ReportRow {
+            label: c.mechanism.clone(),
+            values: vec![
+                c.sides
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect::<Vec<_>>()
+                    .join("x"),
+                format!("{:.2}", c.load),
+                format!("{:.3}", c.active.cycles_per_sec / 1e6),
+                format!("{:.3}", c.full_scan.cycles_per_sec / 1e6),
+                format!("{:.2}x", c.speedup),
+                if c.metrics_identical { "yes" } else { "NO" }.to_string(),
+            ],
+        })
+        .collect();
+    let mut out = format_table(&header, &rows);
+    out.push_str(&format!(
+        "geomean speedup {:.2}x (low-load cells {:.2}x, min {:.2}x, max {:.2}x) over {} cells\n",
+        report.summary.geomean_speedup,
+        report.summary.low_load_geomean_speedup,
+        report.summary.min_speedup,
+        report.summary.max_speedup,
+        report.summary.completed,
+    ));
+    if !report.summary.all_metrics_identical {
+        out.push_str("WARNING: scheduler metrics diverged — the A/B contract is broken\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pinned_matrix_is_stable_and_covers_both_regimes() {
+        let quick = BenchMatrix::pinned(true);
+        assert_eq!(quick.mode, "quick");
+        assert_eq!(quick.cells.len(), 18, "2 sizes x 3 mechanisms x 3 loads");
+        assert!(quick.cells.iter().any(|c| c.load <= LOW_LOAD_THRESHOLD));
+        assert!(quick.cells.iter().any(|c| c.load >= 0.7));
+        let full = BenchMatrix::pinned(false);
+        assert_eq!(full.mode, "full");
+        assert!(full.measure_cycles > quick.measure_cycles);
+    }
+
+    #[test]
+    fn tiny_bench_run_reports_identical_metrics_and_parses_back() {
+        // A minimal one-cell matrix: the report must round-trip through its
+        // JSON schema and the two schedulers must agree.
+        let matrix = BenchMatrix {
+            mode: "quick",
+            warmup_cycles: 50,
+            measure_cycles: 200,
+            cells: vec![BenchCell {
+                mechanism: MechanismSpec::PolSP,
+                sides: vec![4, 4],
+                load: 0.1,
+            }],
+        };
+        let mut calls = 0;
+        let report = run_engine_bench(&matrix, 1, |done, total, _| {
+            calls += 1;
+            assert_eq!(total, 1);
+            assert_eq!(done, 1);
+        });
+        assert_eq!(calls, 1);
+        assert_eq!(report.schema, BENCH_SCHEMA);
+        assert_eq!(report.summary.cells, 1);
+        assert_eq!(report.summary.completed, 1);
+        assert!(report.summary.all_metrics_identical);
+        assert!(report.cells[0].active.cycles_per_sec > 0.0);
+        assert!(report.cells[0].full_scan.wall_ms >= 0.0);
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        let parsed: BenchReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed.cells.len(), 1);
+        assert_eq!(parsed.summary.completed, 1);
+        let table = format_bench_report(&report);
+        assert!(table.contains("PolSP"), "{table}");
+        assert!(table.contains("geomean speedup"), "{table}");
+    }
+
+    #[test]
+    fn a_panicking_cell_is_dropped_and_counted_as_incomplete() {
+        // An out-of-range load makes run_rate assert; the run must survive,
+        // report the healthy cell and expose the loss via completed < cells.
+        let matrix = BenchMatrix {
+            mode: "quick",
+            warmup_cycles: 50,
+            measure_cycles: 100,
+            cells: vec![
+                BenchCell {
+                    mechanism: MechanismSpec::Minimal,
+                    sides: vec![4, 4],
+                    load: 1.5,
+                },
+                BenchCell {
+                    mechanism: MechanismSpec::Minimal,
+                    sides: vec![4, 4],
+                    load: 0.1,
+                },
+            ],
+        };
+        let report = run_engine_bench(&matrix, 1, |_, _, _| {});
+        assert_eq!(report.summary.cells, 2);
+        assert_eq!(report.summary.completed, 1);
+        assert_eq!(report.cells.len(), 1);
+        assert_eq!(report.cells[0].load, 0.1);
+    }
+}

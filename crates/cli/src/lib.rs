@@ -6,6 +6,9 @@
 //! JSON. Everything the figure binaries do can also be scripted through this
 //! front end, one point at a time.
 
+pub mod bench;
+pub use bench::{parse_bench_args, run_bench_command, BenchCliConfig, BENCH_USAGE};
+
 use hyperx_routing::MechanismSpec;
 use surepath_core::{Experiment, FaultScenario, RootPlacement, SimConfig, TrafficSpec};
 
@@ -68,7 +71,7 @@ pub const CAMPAIGN_USAGE: &str = "usage: surepath campaign <spec.toml|spec.json>
        surepath campaign <spec> --serve <addr> | --spawn-local <n> [options]
        surepath campaign --worker <addr> [--threads N] [--quiet]
        surepath campaign --report <store.jsonl>... [--merge <out.jsonl>] [--csv <out.csv>]
-                         [--plots <dir>] [--timings]
+                         [--plots <dir> [--gnuplot]] [--timings]
        surepath campaign --merge <out.jsonl> <store.jsonl>...
        surepath campaign --diff <baseline.jsonl> <candidate.jsonl>
                          [--campaign <name>] [--csv <out.csv>]
@@ -121,6 +124,9 @@ pub const CAMPAIGN_USAGE: &str = "usage: surepath campaign <spec.toml|spec.json>
   --csv PATH           with --report/--diff: also write the data as CSV
   --plots DIR          with --report: write the core::plot SVG figures to
                        DIR (one per campaign/kind)
+  --gnuplot            with --report --plots: also write Gnuplot artifacts
+                       (<stem>.gp + <stem>.dat, same data as the SVGs) to
+                       DIR; render with `gnuplot <stem>.gp`
   --timings            with --report: print the slowest-jobs table from the
                        <store>.timings.jsonl sidecar(s)
   --help               this message";
@@ -128,6 +134,7 @@ pub const CAMPAIGN_USAGE: &str = "usage: surepath campaign <spec.toml|spec.json>
 /// The usage string printed by `--help` and on parse errors.
 pub const USAGE: &str = "usage: surepath [options]
        surepath campaign <spec.toml|spec.json> [options]   (see `surepath campaign --help`)
+       surepath bench [--quick|--full] [options]           (see `surepath bench --help`)
   --sides KxKxK        HyperX sides (default 8x8x8)
   --concentration N    servers per switch (default: the first side)
   --mechanism NAME     minimal|valiant|omniwar|polarized|omnisp|polsp|dor|dal|omnisp-tree|polsp-tree
@@ -372,6 +379,9 @@ pub enum CampaignCommand {
         csv: Option<String>,
         /// Directory for the `core::plot` SVG artifacts (`--plots`).
         plots: Option<String>,
+        /// Also write Gnuplot `.gp` + `.dat` artifacts to the plots
+        /// directory (`--gnuplot`; requires `--plots`).
+        gnuplot: bool,
         /// Print the slowest-jobs table from the timings sidecar(s).
         timings: bool,
     },
@@ -421,6 +431,7 @@ pub fn parse_campaign_args(args: &[String]) -> Result<CampaignCommand, String> {
     let mut report = false;
     let mut diff = false;
     let mut timings = false;
+    let mut gnuplot = false;
     let mut merge: Option<String> = None;
     let mut csv: Option<String> = None;
     let mut plots: Option<String> = None;
@@ -452,6 +463,7 @@ pub fn parse_campaign_args(args: &[String]) -> Result<CampaignCommand, String> {
             "--report" => report = true,
             "--diff" => diff = true,
             "--timings" => timings = true,
+            "--gnuplot" => gnuplot = true,
             "--merge" => merge = Some(value("--merge")?),
             "--csv" => csv = Some(value("--csv")?),
             "--plots" => plots = Some(value("--plots")?),
@@ -484,6 +496,7 @@ pub fn parse_campaign_args(args: &[String]) -> Result<CampaignCommand, String> {
             || diff
             || dry_run
             || timings
+            || gnuplot
             || store.is_some()
             || merge.is_some()
             || csv.is_some()
@@ -504,6 +517,7 @@ pub fn parse_campaign_args(args: &[String]) -> Result<CampaignCommand, String> {
             || diff
             || dry_run
             || timings
+            || gnuplot
             || merge.is_some()
             || csv.is_some()
             || plots.is_some()
@@ -549,6 +563,7 @@ pub fn parse_campaign_args(args: &[String]) -> Result<CampaignCommand, String> {
             || dry_run
             || quiet
             || timings
+            || gnuplot
             || merge.is_some()
             || plots.is_some()
         {
@@ -574,8 +589,12 @@ pub fn parse_campaign_args(args: &[String]) -> Result<CampaignCommand, String> {
     if report {
         if store.is_some() || threads.is_some() || dry_run || quiet {
             return Err(
-                "--report only combines with --merge, --csv, --plots and --timings".to_string(),
+                "--report only combines with --merge, --csv, --plots, --gnuplot and --timings"
+                    .to_string(),
             );
+        }
+        if gnuplot && plots.is_none() {
+            return Err("--gnuplot needs --plots <dir> to write into".to_string());
         }
         if positionals.is_empty() {
             return Err(format!(
@@ -587,11 +606,15 @@ pub fn parse_campaign_args(args: &[String]) -> Result<CampaignCommand, String> {
             merge,
             csv,
             plots,
+            gnuplot,
             timings,
         });
     }
     if timings {
         return Err("--timings only applies to --report".to_string());
+    }
+    if gnuplot {
+        return Err("--gnuplot only applies to --report --plots".to_string());
     }
     if plots.is_some() {
         return Err("--plots only applies to --report".to_string());
@@ -728,6 +751,7 @@ pub fn run_campaign_command(cmd: &CampaignCommand) -> Result<CommandOutput, Stri
             merge,
             csv,
             plots,
+            gnuplot,
             timings,
         } => {
             require_stores_exist(stores)?;
@@ -799,6 +823,23 @@ pub fn run_campaign_command(cmd: &CampaignCommand) -> Result<CommandOutput, Stri
                     std::fs::write(&file, svg)
                         .map_err(|e| format!("could not write {}: {e}", file.display()))?;
                     out.push_str(&format!("(plot written to {})\n", file.display()));
+                }
+                if *gnuplot {
+                    // Same extraction path as the SVGs (core::report), so
+                    // the .gp/.dat artifacts always agree with the charts.
+                    for artifact in surepath_core::report_gnuplot(&store) {
+                        let gp = dir_path.join(format!("{}.gp", artifact.stem));
+                        let dat = dir_path.join(format!("{}.dat", artifact.stem));
+                        std::fs::write(&gp, &artifact.script)
+                            .map_err(|e| format!("could not write {}: {e}", gp.display()))?;
+                        std::fs::write(&dat, &artifact.data)
+                            .map_err(|e| format!("could not write {}: {e}", dat.display()))?;
+                        out.push_str(&format!(
+                            "(gnuplot script written to {}; data to {})\n",
+                            gp.display(),
+                            dat.display()
+                        ));
+                    }
                 }
             }
             if let Some(tmp) = temp_merge {
@@ -1197,6 +1238,7 @@ mod tests {
                 merge: None,
                 csv: None,
                 plots: None,
+                gnuplot: false,
                 timings: false,
             }
         );
@@ -1215,6 +1257,7 @@ mod tests {
                 merge: Some("all.jsonl".into()),
                 csv: Some("out.csv".into()),
                 plots: None,
+                gnuplot: false,
                 timings: false,
             }
         );
@@ -1234,6 +1277,7 @@ mod tests {
             merge: None,
             csv: None,
             plots: None,
+            gnuplot: false,
             timings: false,
         })
         .unwrap_err();
@@ -1388,11 +1432,42 @@ mod tests {
                 merge: None,
                 csv: None,
                 plots: Some("figs".into()),
+                gnuplot: false,
                 timings: true,
             }
         );
         assert!(parse_campaign_args(&args(&["a.toml", "--plots", "figs"])).is_err());
         assert!(parse_campaign_args(&args(&["a.toml", "--timings"])).is_err());
+    }
+
+    #[test]
+    fn gnuplot_flag_parses_and_rejects() {
+        assert_eq!(
+            parse_campaign_args(&args(&[
+                "--report",
+                "a.jsonl",
+                "--plots",
+                "figs",
+                "--gnuplot"
+            ]))
+            .unwrap(),
+            CampaignCommand::Report {
+                stores: vec!["a.jsonl".into()],
+                merge: None,
+                csv: None,
+                plots: Some("figs".into()),
+                gnuplot: true,
+                timings: false,
+            }
+        );
+        // --gnuplot needs --plots (a directory to write into) and --report.
+        assert!(parse_campaign_args(&args(&["--report", "a.jsonl", "--gnuplot"])).is_err());
+        assert!(parse_campaign_args(&args(&["a.toml", "--gnuplot"])).is_err());
+        assert!(
+            parse_campaign_args(&args(&["--diff", "a.jsonl", "b.jsonl", "--gnuplot"])).is_err()
+        );
+        assert!(parse_campaign_args(&args(&["--worker", "h:1", "--gnuplot"])).is_err());
+        assert!(parse_campaign_args(&args(&["a.toml", "--serve", "h:1", "--gnuplot"])).is_err());
     }
 
     #[test]
@@ -1469,6 +1544,7 @@ mod tests {
             merge: None,
             csv: None,
             plots: None,
+            gnuplot: false,
             timings: true,
         })
         .unwrap()
@@ -1537,6 +1613,7 @@ mod tests {
             merge: None,
             csv: None,
             plots: None,
+            gnuplot: false,
             timings: false,
         })
         .unwrap()
@@ -1626,6 +1703,7 @@ mod tests {
             merge: Some(merged.to_string_lossy().into_owned()),
             csv: Some(csv.to_string_lossy().into_owned()),
             plots: None,
+            gnuplot: false,
             timings: false,
         })
         .unwrap()

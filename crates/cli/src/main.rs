@@ -26,9 +26,34 @@
 //! surepath campaign --worker coordinator-host:7777      # terminal 2..n
 //! surepath campaign grid.toml --spawn-local 4           # single-machine fan-out
 //! ```
+//!
+//! Engine perf harness (active-set scheduler vs the frozen full-scan
+//! baseline; writes `BENCH_ENGINE.json`):
+//!
+//! ```text
+//! surepath bench --quick
+//! surepath bench --full --repeat 3 --out BENCH_ENGINE.json
+//! ```
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("bench") {
+        match surepath_cli::parse_bench_args(&args[1..])
+            .and_then(|cfg| surepath_cli::run_bench_command(&cfg))
+        {
+            Ok(output) => {
+                println!("{}", output.text);
+                if output.exit_code != 0 {
+                    std::process::exit(output.exit_code);
+                }
+            }
+            Err(message) => {
+                eprintln!("{message}");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
     if args.first().map(String::as_str) == Some("campaign") {
         match surepath_cli::parse_campaign_args(&args[1..])
             .and_then(|cmd| surepath_cli::run_campaign_command(&cmd))

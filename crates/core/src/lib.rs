@@ -41,10 +41,10 @@ pub use report::{
     batch_runs_from_store, batch_samples_csv, completion_ratio, csv_half_width, diff_stores,
     diff_stores_filtered, format_batch_table, format_manifest_status, format_mean_hw,
     format_rate_table, format_replicated_batch_table, format_replicated_rate_table,
-    format_store_diff, format_timings_table, rate_metrics_to_csv, rate_points_from_store,
-    replicated_batch_points, replicated_rate_points, report_charts, report_csv, report_store,
-    store_diff_csv, BatchRun, MetricDiff, PointDiff, ReplicatedBatchPoint, ReplicatedStorePoint,
-    ReportRow, StoreDiff,
+    format_store_diff, format_table, format_timings_table, rate_metrics_to_csv,
+    rate_points_from_store, replicated_batch_points, replicated_rate_points, report_charts,
+    report_csv, report_gnuplot, report_store, store_diff_csv, BatchRun, GnuplotArtifact,
+    MetricDiff, PointDiff, ReplicatedBatchPoint, ReplicatedStorePoint, ReportRow, StoreDiff,
 };
 pub use scenario::FaultScenario;
 pub use stats::{replicate, ReplicatedPoint, Summary};

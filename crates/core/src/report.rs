@@ -964,13 +964,7 @@ pub fn format_manifest_status(manifest: &ShardManifest, store: &ResultStore) -> 
 /// store, no simulation.
 pub fn report_store(store: &ResultStore) -> String {
     let mut out = String::new();
-    let mut groups: Vec<(String, String)> = Vec::new();
-    for record in store.records_in_order() {
-        let key = (record.job.campaign.clone(), record.job.kind.clone());
-        if !groups.contains(&key) {
-            groups.push(key);
-        }
-    }
+    let groups = store_groups(store);
     if groups.is_empty() {
         out.push_str("store is empty\n");
         return out;
@@ -1043,6 +1037,129 @@ fn chart_stem(campaign: &str, kind: &str) -> String {
     format!("{}_{}", sanitize(campaign), sanitize(kind))
 }
 
+/// The (campaign, kind) groups of a store, in first-seen store order.
+fn store_groups(store: &ResultStore) -> Vec<(String, String)> {
+    let mut groups: Vec<(String, String)> = Vec::new();
+    for record in store.records_in_order() {
+        let key = (record.job.campaign.clone(), record.job.kind.clone());
+        if !groups.contains(&key) {
+            groups.push(key);
+        }
+    }
+    groups
+}
+
+/// The plottable line series of one (campaign, kind) group: the shared
+/// data-extraction path behind `--plots` (SVG via [`report_charts`]) and
+/// `--gnuplot` (scripts via [`report_gnuplot`]), so the two artifact
+/// families can never drift apart.
+struct ChartData {
+    /// Chart title.
+    title: String,
+    /// X-axis label.
+    x_label: &'static str,
+    /// Y-axis label.
+    y_label: &'static str,
+    /// Clamp the y axis to `[0, 1]` (rate charts: loads are normalised).
+    unit_y: bool,
+    /// `(series name, (x, y) points)` in deterministic first-seen order.
+    series: Vec<(String, Vec<(f64, f64)>)>,
+}
+
+/// Extracts the chart of one (campaign, kind) group, or `None` when the
+/// group has nothing plottable (custom kinds, empty campaigns).
+fn chart_data(store: &ResultStore, campaign: &str, kind: &str) -> Option<ChartData> {
+    match kind {
+        "rate" => {
+            let points = replicated_rate_points(store, Some(campaign));
+            if points.is_empty() {
+                return None;
+            }
+            // One series per configuration; the qualifier collapses to
+            // the mechanism alone when the campaign has a single
+            // traffic/scenario combination (the figures 4/5 layout). A
+            // campaign spanning several topologies additionally qualifies by
+            // sides — otherwise one series would fold both topologies into a
+            // self-overlapping line.
+            let multi = points
+                .iter()
+                .any(|p| (&p.traffic, &p.scenario) != (&points[0].traffic, &points[0].scenario));
+            let multi_topology = points.iter().any(|p| p.job.sides != points[0].job.sides);
+            let sides_label = |p: &ReplicatedStorePoint| {
+                p.job
+                    .sides
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect::<Vec<_>>()
+                    .join("x")
+            };
+            let mut order: Vec<String> = Vec::new();
+            let mut by_name: std::collections::HashMap<String, Vec<(f64, f64)>> =
+                std::collections::HashMap::new();
+            for p in &points {
+                let mut name = if multi {
+                    format!("{} / {} / {}", p.mechanism, p.traffic, p.scenario)
+                } else {
+                    p.mechanism.clone()
+                };
+                if multi_topology {
+                    name = format!("{} / {}", sides_label(p), name);
+                }
+                if !order.contains(&name) {
+                    order.push(name.clone());
+                }
+                by_name
+                    .entry(name)
+                    .or_default()
+                    .push((p.offered_load, p.accepted_load.mean));
+            }
+            Some(ChartData {
+                title: format!("campaign `{campaign}`"),
+                x_label: "offered load",
+                y_label: "accepted load",
+                unit_y: true,
+                series: order
+                    .into_iter()
+                    .map(|name| {
+                        let points = by_name.remove(&name).expect("grouped above");
+                        (name, points)
+                    })
+                    .collect(),
+            })
+        }
+        "batch" => {
+            let runs = batch_runs_from_store(store, Some(campaign));
+            let series: Vec<(String, Vec<(f64, f64)>)> = runs
+                .iter()
+                .filter_map(|run| {
+                    let samples: Vec<(f64, f64)> = run
+                        .metrics
+                        .samples
+                        .iter()
+                        .map(|s| (s.cycle as f64, s.accepted_load))
+                        .collect();
+                    if samples.is_empty() {
+                        return None;
+                    }
+                    Some((batch_run_label(run, &runs), samples))
+                })
+                .collect();
+            if series.is_empty() {
+                return None;
+            }
+            Some(ChartData {
+                title: format!("campaign `{campaign}` (throughput over time)"),
+                x_label: "cycle",
+                y_label: "accepted load",
+                unit_y: false,
+                series,
+            })
+        }
+        // Custom kinds are rendered by their owning binaries.
+        _ => None,
+    }
+}
+
 /// Builds the `core::plot` SVG artifacts a store supports, one per
 /// (campaign, kind) group, straight from the stored records — the plotting
 /// face of [`report_store`] (ROADMAP "Richer reports"):
@@ -1057,86 +1174,91 @@ fn chart_stem(campaign: &str, kind: &str) -> String {
 /// to `<dir>/<stem>.svg`.
 pub fn report_charts(store: &ResultStore) -> Vec<(String, String)> {
     use crate::plot::{LineChart, Series};
-    let mut groups: Vec<(String, String)> = Vec::new();
-    for record in store.records_in_order() {
-        let key = (record.job.campaign.clone(), record.job.kind.clone());
-        if !groups.contains(&key) {
-            groups.push(key);
-        }
-    }
     let mut charts = Vec::new();
-    for (campaign, kind) in &groups {
-        match kind.as_str() {
-            "rate" => {
-                let points = replicated_rate_points(store, Some(campaign));
-                if points.is_empty() {
-                    continue;
-                }
-                // One series per configuration; the qualifier collapses to
-                // the mechanism alone when the campaign has a single
-                // traffic/scenario combination (the figures 4/5 layout).
-                let multi = points.iter().any(|p| {
-                    (&p.traffic, &p.scenario) != (&points[0].traffic, &points[0].scenario)
-                });
-                let mut order: Vec<String> = Vec::new();
-                let mut series: std::collections::HashMap<String, Vec<(f64, f64)>> =
-                    std::collections::HashMap::new();
-                for p in &points {
-                    let name = if multi {
-                        format!("{} / {} / {}", p.mechanism, p.traffic, p.scenario)
-                    } else {
-                        p.mechanism.clone()
-                    };
-                    if !order.contains(&name) {
-                        order.push(name.clone());
-                    }
-                    series
-                        .entry(name)
-                        .or_default()
-                        .push((p.offered_load, p.accepted_load.mean));
-                }
-                let mut chart = LineChart::new(
-                    format!("campaign `{campaign}`"),
-                    "offered load",
-                    "accepted load",
-                )
-                .with_y_range(0.0, 1.0);
-                for name in order {
-                    let points = series.remove(&name).expect("grouped above");
-                    chart = chart.with_series(Series::new(name, points));
-                }
-                charts.push((chart_stem(campaign, kind), chart.to_svg()));
-            }
-            "batch" => {
-                let runs = batch_runs_from_store(store, Some(campaign));
-                let mut chart = LineChart::new(
-                    format!("campaign `{campaign}` (throughput over time)"),
-                    "cycle",
-                    "accepted load",
-                );
-                let mut any = false;
-                for run in &runs {
-                    let samples: Vec<(f64, f64)> = run
-                        .metrics
-                        .samples
-                        .iter()
-                        .map(|s| (s.cycle as f64, s.accepted_load))
-                        .collect();
-                    if samples.is_empty() {
-                        continue;
-                    }
-                    any = true;
-                    chart = chart.with_series(Series::new(batch_run_label(run, &runs), samples));
-                }
-                if any {
-                    charts.push((chart_stem(campaign, kind), chart.to_svg()));
-                }
-            }
-            // Custom kinds are rendered by their owning binaries.
-            _ => {}
+    for (campaign, kind) in store_groups(store) {
+        let Some(data) = chart_data(store, &campaign, &kind) else {
+            continue;
+        };
+        let mut chart = LineChart::new(data.title, data.x_label, data.y_label);
+        if data.unit_y {
+            chart = chart.with_y_range(0.0, 1.0);
         }
+        for (name, points) in data.series {
+            chart = chart.with_series(Series::new(name, points));
+        }
+        charts.push((chart_stem(&campaign, &kind), chart.to_svg()));
     }
     charts
+}
+
+/// One Gnuplot artifact pair of a store group: `<stem>.gp` (the script) and
+/// `<stem>.dat` (whitespace-separated series blocks the script indexes).
+#[derive(Clone, Debug, PartialEq)]
+pub struct GnuplotArtifact {
+    /// Filesystem-safe artifact stem (shared with the SVG of the group).
+    pub stem: String,
+    /// The `.gp` script; running `gnuplot <stem>.gp` in the artifact
+    /// directory renders `<stem>.svg`.
+    pub script: String,
+    /// The `.dat` data file: one `index` block per series, two blank lines
+    /// between blocks.
+    pub data: String,
+}
+
+/// Builds Gnuplot scripts + data files for everything a store can plot,
+/// from exactly the same extracted series as [`report_charts`] — the
+/// `--report --plots <dir> --gnuplot` artifacts (ROADMAP "Richer reports":
+/// Gnuplot script emission). Deterministic: byte-identical stores produce
+/// byte-identical artifacts.
+pub fn report_gnuplot(store: &ResultStore) -> Vec<GnuplotArtifact> {
+    let mut artifacts = Vec::new();
+    for (campaign, kind) in store_groups(store) {
+        let Some(chart) = chart_data(store, &campaign, &kind) else {
+            continue;
+        };
+        let stem = chart_stem(&campaign, &kind);
+        // Gnuplot titles live inside double quotes; keep names printable.
+        let quote = |s: &str| s.replace('"', "'");
+        let mut data = String::new();
+        for (i, (name, points)) in chart.series.iter().enumerate() {
+            if i > 0 {
+                data.push_str("\n\n");
+            }
+            data.push_str(&format!("# series {i}: {name}\n"));
+            for (x, y) in points {
+                data.push_str(&format!("{x:.6} {y:.6}\n"));
+            }
+        }
+        let mut script = format!(
+            "# Generated by `surepath campaign --report --plots <dir> --gnuplot`.\n\
+             # Render with: gnuplot {stem}.gp  (writes {stem}.svg)\n\
+             set title \"{}\"\n\
+             set xlabel \"{}\"\n\
+             set ylabel \"{}\"\n",
+            quote(&chart.title),
+            chart.x_label,
+            chart.y_label
+        );
+        if chart.unit_y {
+            script.push_str("set yrange [0:1]\n");
+        }
+        script.push_str("set key outside right\nset grid\nset terminal svg size 900,560 dynamic\n");
+        script.push_str(&format!("set output \"{stem}.svg\"\n"));
+        script.push_str("plot \\\n");
+        for (i, (name, _)) in chart.series.iter().enumerate() {
+            script.push_str(&format!(
+                "  \"{stem}.dat\" index {i} using 1:2 with linespoints title \"{}\"{}\n",
+                quote(name),
+                if i + 1 < chart.series.len() {
+                    ", \\"
+                } else {
+                    ""
+                }
+            ));
+        }
+        artifacts.push(GnuplotArtifact { stem, script, data });
+    }
+    artifacts
 }
 
 /// The CSV companion of [`report_store`]: rate points and batch samples of
@@ -1392,6 +1514,59 @@ mod tests {
         let report = report_store(&store);
         assert!(report.contains("±"), "{report}");
         assert!(report.contains("n"), "{report}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn gnuplot_artifacts_share_the_chart_extraction_and_are_deterministic() {
+        let path = temp_store("gnuplot");
+        let _ = std::fs::remove_file(&path);
+        let mut store = ResultStore::open(&path).unwrap();
+        for (mech, accepted) in [("polsp", 0.70), ("omnisp", 0.65)] {
+            for load in [0.2, 0.4] {
+                store
+                    .append_ok(&rate_job(mech, load, 1), rate_result(accepted, 80.0))
+                    .unwrap();
+            }
+        }
+        let charts = report_charts(&store);
+        let artifacts = report_gnuplot(&store);
+        assert_eq!(artifacts.len(), 1);
+        assert_eq!(
+            charts
+                .iter()
+                .map(|(stem, _)| stem.clone())
+                .collect::<Vec<_>>(),
+            artifacts.iter().map(|a| a.stem.clone()).collect::<Vec<_>>(),
+            "gnuplot artifacts mirror the SVG charts one to one"
+        );
+        let a = &artifacts[0];
+        // Two series (PolSP, OmniSP) -> two indexed data blocks, and the
+        // script plots both from the .dat file and targets the shared stem.
+        assert_eq!(a.data.matches("# series").count(), 2, "{}", a.data);
+        assert!(a.data.contains("0.200000 0.700000"), "{}", a.data);
+        assert!(a.script.contains(&format!("\"{}.dat\" index 0", a.stem)));
+        assert!(a.script.contains(&format!("\"{}.dat\" index 1", a.stem)));
+        assert!(a.script.contains(&format!("set output \"{}.svg\"", a.stem)));
+        assert!(a.script.contains("title \"PolSP\""), "{}", a.script);
+        assert!(a.script.contains("set yrange [0:1]"), "rate charts clamp y");
+        // Deterministic: a second extraction is byte-identical.
+        assert_eq!(report_gnuplot(&store), artifacts);
+
+        // A second topology splits the series (qualified by sides) instead
+        // of folding into a self-overlapping line.
+        let mut wide = rate_job("polsp", 0.2, 1);
+        wide.sides = vec![8, 8];
+        store.append_ok(&wide, rate_result(0.72, 85.0)).unwrap();
+        let split = report_gnuplot(&store);
+        assert_eq!(
+            split[0].data.matches("# series").count(),
+            3,
+            "{}",
+            split[0].data
+        );
+        assert!(split[0].data.contains("4x4 / PolSP"), "{}", split[0].data);
+        assert!(split[0].data.contains("8x8 / PolSP"), "{}", split[0].data);
         let _ = std::fs::remove_file(&path);
     }
 

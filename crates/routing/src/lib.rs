@@ -73,6 +73,21 @@ pub trait RouteAlgorithm: Send + Sync {
     fn max_route_hops(&self) -> usize;
 }
 
+/// Reusable scratch space for candidate computation.
+///
+/// Mechanisms wrap a [`RouteAlgorithm`] and need an intermediate
+/// [`RouteCandidate`] list per query; the simulator's allocator asks for
+/// candidates for every head packet of every active switch every cycle, so
+/// allocating that list per call dominated the low-load profile. Callers on
+/// the hot path hold one `RouteScratch` and pass it down through
+/// [`RoutingMechanism::candidates_into`]; the buffer is cleared, never
+/// shrunk, so steady state performs zero allocations.
+#[derive(Debug, Default)]
+pub struct RouteScratch {
+    /// Intermediate route list produced by the base routing algorithm.
+    pub routes: Vec<RouteCandidate>,
+}
+
 /// A routing mechanism: routing algorithm + VC management, the unit the
 /// simulator plugs in (one of the rows of Table 4).
 pub trait RoutingMechanism: Send + Sync {
@@ -89,8 +104,27 @@ pub trait RoutingMechanism: Send + Sync {
     /// Initializes the per-packet routing state.
     fn init_packet(&self, source: usize, dest: usize, rng: &mut dyn RngCore) -> PacketState;
 
-    /// Appends the candidate output requests for the packet at `current`.
-    fn candidates(&self, state: &PacketState, current: usize, out: &mut Vec<Candidate>);
+    /// Appends the candidate output requests for the packet at `current`,
+    /// using caller-provided scratch for the intermediate route list — the
+    /// allocation-free form the simulator's hot loop calls.
+    ///
+    /// Must be a pure function of `(state, current)`: the simulator caches
+    /// the result per head packet and the A/B scan-equivalence contract
+    /// depends on recomputation yielding identical candidates.
+    fn candidates_into(
+        &self,
+        state: &PacketState,
+        current: usize,
+        scratch: &mut RouteScratch,
+        out: &mut Vec<Candidate>,
+    );
+
+    /// Convenience form of [`RoutingMechanism::candidates_into`] that
+    /// allocates fresh scratch; fine for tests and one-off queries.
+    fn candidates(&self, state: &PacketState, current: usize, out: &mut Vec<Candidate>) {
+        let mut scratch = RouteScratch::default();
+        self.candidates_into(state, current, &mut scratch, out);
+    }
 
     /// Updates per-packet state after the packet takes `cand` from `current` to `next`.
     fn note_hop(&self, state: &mut PacketState, current: usize, next: usize, cand: &Candidate);

@@ -99,14 +99,20 @@ impl RoutingMechanism for LadderMechanism {
         self.algo.init(source, dest, rng)
     }
 
-    fn candidates(&self, state: &PacketState, current: usize, out: &mut Vec<Candidate>) {
+    fn candidates_into(
+        &self,
+        state: &PacketState,
+        current: usize,
+        scratch: &mut crate::RouteScratch,
+        out: &mut Vec<Candidate>,
+    ) {
         let Some(vcs) = self.step.vcs_for_hop(state.hops, self.num_vcs) else {
             // Ladder exhausted: the mechanism can no longer move this packet.
             return;
         };
-        let mut routes = Vec::new();
-        self.algo.candidates(state, current, &mut routes);
-        out.extend(routes.into_iter().map(|r| Candidate {
+        scratch.routes.clear();
+        self.algo.candidates(state, current, &mut scratch.routes);
+        out.extend(scratch.routes.iter().map(|r| Candidate {
             port: r.port,
             vcs,
             penalty: r.penalty,

@@ -112,12 +112,18 @@ impl RoutingMechanism for SurePathMechanism {
         self.algo.init(source, dest, rng)
     }
 
-    fn candidates(&self, state: &PacketState, current: usize, out: &mut Vec<Candidate>) {
+    fn candidates_into(
+        &self,
+        state: &PacketState,
+        current: usize,
+        scratch: &mut crate::RouteScratch,
+        out: &mut Vec<Candidate>,
+    ) {
         if !state.in_escape {
-            let mut routes = Vec::new();
-            self.algo.candidates(state, current, &mut routes);
+            scratch.routes.clear();
+            self.algo.candidates(state, current, &mut scratch.routes);
             let vcs = self.routing_vcs();
-            out.extend(routes.into_iter().map(|r| Candidate {
+            out.extend(scratch.routes.iter().map(|r| Candidate {
                 port: r.port,
                 vcs,
                 penalty: r.penalty,

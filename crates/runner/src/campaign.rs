@@ -1,11 +1,11 @@
 //! The campaign driver: spec → jobs → executor → store.
 
-use crate::executor::{run_work_stealing, JobOutcome};
+use crate::executor::{run_work_stealing_chunked, ChunkOptions, JobOutcome};
 use crate::fingerprint::job_fingerprint;
 use crate::progress::ProgressReporter;
 use crate::spec::{CampaignSpec, JobSpec};
 use crate::store::ResultStore;
-use crate::timings::{timings_path, TimingRecord, TimingsLog};
+use crate::timings::{load_timings, timings_path, TimingRecord, TimingsLog};
 use serde::Value;
 use std::path::Path;
 use std::time::{Duration, Instant};
@@ -137,10 +137,26 @@ where
     let mut progress = ProgressReporter::new(jobs.len(), skipped, !opts.quiet);
     let mut io_error: Option<std::io::Error> = None;
     let mut deadline_hit = false;
-    run_work_stealing(
+    // Adaptive chunking: tiny jobs amortise per-job dispatch overhead. The
+    // cost estimate is seeded from the timings sidecar of a previous run
+    // (resumed campaigns start with the right chunk size immediately) and
+    // tracks the workload as jobs finish. Results still stream per job and
+    // the store is finalized in canonical order, so store bytes are
+    // unaffected by the chunk size.
+    let chunking = ChunkOptions {
+        initial_estimate_millis: load_timings(&timings_path(store_path))
+            .ok()
+            .filter(|records| !records.is_empty())
+            .map(|records| {
+                records.iter().map(|r| r.millis as f64).sum::<f64>() / records.len() as f64
+            }),
+        ..ChunkOptions::default()
+    };
+    run_work_stealing_chunked(
         &pending,
         opts.threads
             .unwrap_or_else(crate::executor::default_threads),
+        &chunking,
         |_, job| {
             let started = Instant::now();
             let result = job_fn(job);
@@ -378,6 +394,44 @@ mod tests {
         .unwrap();
         assert!(!sidecar2.exists());
         for p in [&path, &sidecar, &path2] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn chunk_seeding_from_the_sidecar_leaves_store_bytes_unchanged() {
+        // First run: no sidecar, chunk = 1 until samples arrive. Second run:
+        // the sidecar seeds the estimate, so workers pull whole chunks of
+        // these microsecond jobs from the start. The stores must agree byte
+        // for byte — chunking only changes dispatch granularity.
+        let path_a = temp_store("chunk-seed-a");
+        let path_b = temp_store("chunk-seed-b");
+        let sidecar_a = crate::timings::timings_path(&path_a);
+        let sidecar_b = crate::timings::timings_path(&path_b);
+        for p in [&path_a, &path_b, &sidecar_a, &sidecar_b] {
+            let _ = std::fs::remove_file(p);
+        }
+        let s = spec("chunk-seed");
+        run_campaign(&s, &path_a, Some(4), true, fake_result).unwrap();
+        // Prime b's sidecar with a cheap estimate (1 ms/job -> whole chunks
+        // of these microsecond jobs from the first pull), then run b fresh.
+        {
+            let mut log = crate::timings::TimingsLog::open(&sidecar_b).unwrap();
+            log.append(&TimingRecord {
+                fp: "seed".into(),
+                label: "prior run".into(),
+                millis: 1,
+                worker: "local".into(),
+            })
+            .unwrap();
+        }
+        run_campaign(&s, &path_b, Some(4), true, fake_result).unwrap();
+        assert_eq!(
+            std::fs::read(&path_a).unwrap(),
+            std::fs::read(&path_b).unwrap(),
+            "a seeded chunk estimate must not change store bytes"
+        );
+        for p in [&path_a, &path_b, &sidecar_a, &sidecar_b] {
             let _ = std::fs::remove_file(p);
         }
     }

@@ -23,8 +23,10 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// What happened to one job.
 #[derive(Clone, Debug, PartialEq)]
@@ -63,6 +65,80 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// Adaptive chunk sizing for very cheap jobs.
+///
+/// A campaign of tiny jobs (fig01-style quick cells that simulate for a few
+/// milliseconds) pays a queue lock, a steal scan and a channel send **per
+/// job** — dispatch overhead comparable to the work itself. With chunking a
+/// worker grabs several jobs per queue visit, sized so a chunk is worth
+/// roughly [`ChunkOptions::target_millis`] of work according to a moving
+/// estimate of per-job wall-clock. Expensive jobs (estimate ≥ target) keep
+/// chunk = 1, preserving stealability; cheap jobs amortise dispatch.
+///
+/// The estimate starts from [`ChunkOptions::initial_estimate_millis`]
+/// (callers seed it from the `<store>.timings.jsonl` sidecar of a previous
+/// run) and is updated as an exponentially weighted moving average as jobs
+/// finish. Results still flow to `on_complete` one by one, so store bytes
+/// are unaffected — chunking only changes how workers pull work.
+#[derive(Clone, Debug)]
+pub struct ChunkOptions {
+    /// Target wall-clock per chunk in milliseconds.
+    pub target_millis: u64,
+    /// Hard cap on jobs per chunk (keeps stealing effective and bounds the
+    /// work lost when a run is cancelled mid-chunk).
+    pub max_chunk: usize,
+    /// Seed for the per-job wall-clock estimate; `None` starts at chunk = 1
+    /// until the first measurements arrive.
+    pub initial_estimate_millis: Option<f64>,
+}
+
+impl Default for ChunkOptions {
+    fn default() -> Self {
+        ChunkOptions {
+            target_millis: 25,
+            max_chunk: 32,
+            initial_estimate_millis: None,
+        }
+    }
+}
+
+/// EWMA weight of each new per-job sample.
+const ESTIMATE_ALPHA: f64 = 0.2;
+
+/// The moving per-job wall-clock estimate, shared across workers as f64
+/// bits in an atomic. Zero means "no estimate yet". Updates race benignly —
+/// the estimate is a scheduling heuristic, never a correctness input.
+struct JobCostEstimate(AtomicU64);
+
+impl JobCostEstimate {
+    fn new(initial_millis: Option<f64>) -> Self {
+        JobCostEstimate(AtomicU64::new(
+            initial_millis
+                .filter(|m| m.is_finite() && *m > 0.0)
+                .map_or(0, f64::to_bits),
+        ))
+    }
+
+    fn record(&self, millis: f64) {
+        let old = f64::from_bits(self.0.load(Ordering::Relaxed));
+        let new = if old > 0.0 {
+            old * (1.0 - ESTIMATE_ALPHA) + millis * ESTIMATE_ALPHA
+        } else {
+            millis
+        };
+        self.0.store(new.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Jobs per chunk under `opts`, given the current estimate.
+    fn chunk_size(&self, opts: &ChunkOptions) -> usize {
+        let estimate = f64::from_bits(self.0.load(Ordering::Relaxed));
+        if estimate <= 0.0 {
+            return 1;
+        }
+        ((opts.target_millis as f64 / estimate) as usize).clamp(1, opts.max_chunk)
+    }
+}
+
 /// Runs `worker` over every item on a work-stealing pool of `threads`
 /// workers, invoking `on_complete(index, outcome)` on the calling thread as
 /// jobs finish (in completion order, not index order).
@@ -72,8 +148,39 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// new ones. Callers that cannot make use of further results (e.g. the
 /// store's disk is full) use this to avoid burning hours of simulation that
 /// could never be persisted.
-pub fn run_work_stealing<I, T, F, C>(items: &[I], threads: usize, worker: F, mut on_complete: C)
+pub fn run_work_stealing<I, T, F, C>(items: &[I], threads: usize, worker: F, on_complete: C)
 where
+    I: Sync,
+    T: Send,
+    F: Fn(usize, &I) -> T + Sync,
+    C: FnMut(usize, JobOutcome<T>) -> bool,
+{
+    // A chunk cap of 1 disables chunking (and its timing overhead is two
+    // Instant reads per job — negligible against any real simulation).
+    run_work_stealing_chunked(
+        items,
+        threads,
+        &ChunkOptions {
+            max_chunk: 1,
+            ..ChunkOptions::default()
+        },
+        worker,
+        on_complete,
+    );
+}
+
+/// [`run_work_stealing`] with adaptive chunking: workers pull up to
+/// [`JobCostEstimate::chunk_size`] jobs per queue visit (see
+/// [`ChunkOptions`]). Results are still delivered per job; only dispatch
+/// granularity changes, so anything derived from job results — the result
+/// store included — is byte-identical to unchunked execution.
+pub fn run_work_stealing_chunked<I, T, F, C>(
+    items: &[I],
+    threads: usize,
+    chunking: &ChunkOptions,
+    worker: F,
+    mut on_complete: C,
+) where
     I: Sync,
     T: Send,
     F: Fn(usize, &I) -> T + Sync,
@@ -83,6 +190,7 @@ where
         return;
     }
     let threads = threads.clamp(1, items.len());
+    let estimate = JobCostEstimate::new(chunking.initial_estimate_millis);
 
     // Round-robin initial distribution across per-worker deques.
     let queues: Vec<Mutex<VecDeque<usize>>> = (0..threads)
@@ -95,10 +203,20 @@ where
         })
         .collect();
 
-    let pop_next = |own: usize| -> Option<usize> {
+    let pop_chunk = |own: usize, chunk: &mut Vec<usize>| {
+        let want = estimate.chunk_size(chunking);
         // Own deque first (front: cache-friendly FIFO of the initial share)…
-        if let Some(idx) = queues[own].lock().expect("queue lock").pop_front() {
-            return Some(idx);
+        {
+            let mut queue = queues[own].lock().expect("queue lock");
+            while chunk.len() < want {
+                match queue.pop_front() {
+                    Some(idx) => chunk.push(idx),
+                    None => break,
+                }
+            }
+        }
+        if !chunk.is_empty() {
+            return;
         }
         // …then steal from the back of a sibling's deque, preferring the most
         // loaded one. Every queue is attempted: a single measured victim can
@@ -108,9 +226,18 @@ where
         // safe termination condition.)
         let mut victims: Vec<usize> = (0..queues.len()).filter(|&w| w != own).collect();
         victims.sort_by_key(|&w| std::cmp::Reverse(queues[w].lock().expect("queue lock").len()));
-        victims
-            .into_iter()
-            .find_map(|w| queues[w].lock().expect("queue lock").pop_back())
+        for w in victims {
+            let mut queue = queues[w].lock().expect("queue lock");
+            while chunk.len() < want {
+                match queue.pop_back() {
+                    Some(idx) => chunk.push(idx),
+                    None => break,
+                }
+            }
+            if !chunk.is_empty() {
+                return;
+            }
+        }
     };
 
     std::thread::scope(|scope| {
@@ -119,17 +246,29 @@ where
             let sender = sender.clone();
             let worker = &worker;
             let items_ref = items;
-            let pop_next = &pop_next;
+            let pop_chunk = &pop_chunk;
+            let estimate = &estimate;
             scope.spawn(move || {
-                while let Some(idx) = pop_next(w) {
-                    let outcome =
-                        match catch_unwind(AssertUnwindSafe(|| worker(idx, &items_ref[idx]))) {
-                            Ok(value) => JobOutcome::Completed(value),
-                            Err(payload) => JobOutcome::Panicked(panic_message(payload)),
-                        };
-                    if sender.send((idx, outcome)).is_err() {
-                        // Consumer hung up; nothing useful left to do.
+                let mut chunk: Vec<usize> = Vec::new();
+                'outer: loop {
+                    chunk.clear();
+                    pop_chunk(w, &mut chunk);
+                    if chunk.is_empty() {
                         break;
+                    }
+                    for &idx in &chunk {
+                        let started = Instant::now();
+                        let outcome =
+                            match catch_unwind(AssertUnwindSafe(|| worker(idx, &items_ref[idx]))) {
+                                Ok(value) => JobOutcome::Completed(value),
+                                Err(payload) => JobOutcome::Panicked(panic_message(payload)),
+                            };
+                        estimate.record(started.elapsed().as_secs_f64() * 1_000.0);
+                        if sender.send((idx, outcome)).is_err() {
+                            // Consumer hung up; nothing useful left to do
+                            // (the rest of the chunk is abandoned too).
+                            break 'outer;
+                        }
                     }
                 }
             });
@@ -320,6 +459,109 @@ mod tests {
         assert!(
             total < 200,
             "cancellation must not run the whole grid (ran {total})"
+        );
+    }
+
+    #[test]
+    fn chunk_size_follows_the_cost_estimate() {
+        let opts = ChunkOptions {
+            target_millis: 20,
+            max_chunk: 16,
+            initial_estimate_millis: None,
+        };
+        let est = JobCostEstimate::new(None);
+        assert_eq!(est.chunk_size(&opts), 1, "no estimate yet -> no chunking");
+        let est = JobCostEstimate::new(Some(0.5));
+        assert_eq!(est.chunk_size(&opts), 16, "40 jobs' worth caps at max");
+        let est = JobCostEstimate::new(Some(5.0));
+        assert_eq!(est.chunk_size(&opts), 4);
+        let est = JobCostEstimate::new(Some(500.0));
+        assert_eq!(est.chunk_size(&opts), 1, "expensive jobs stay stealable");
+        // Bad seeds are ignored rather than poisoning the estimate.
+        let est = JobCostEstimate::new(Some(f64::NAN));
+        assert_eq!(est.chunk_size(&opts), 1);
+        let est = JobCostEstimate::new(Some(-3.0));
+        assert_eq!(est.chunk_size(&opts), 1);
+    }
+
+    #[test]
+    fn estimate_moves_towards_new_samples() {
+        let est = JobCostEstimate::new(None);
+        est.record(10.0);
+        let opts = ChunkOptions {
+            target_millis: 20,
+            max_chunk: 32,
+            initial_estimate_millis: None,
+        };
+        assert_eq!(est.chunk_size(&opts), 2, "first sample is adopted as-is");
+        for _ in 0..60 {
+            est.record(1.0);
+        }
+        assert!(
+            est.chunk_size(&opts) >= 16,
+            "the EWMA converges to the cheap-job regime"
+        );
+    }
+
+    #[test]
+    fn chunked_execution_runs_every_job_exactly_once() {
+        // A pre-seeded cheap estimate makes workers pull whole chunks; every
+        // job must still run exactly once and deliver its own result.
+        let items: Vec<usize> = (0..193).collect();
+        let opts = ChunkOptions {
+            target_millis: 50,
+            max_chunk: 8,
+            initial_estimate_millis: Some(0.01),
+        };
+        let executed = AtomicUsize::new(0);
+        let mut seen = vec![false; items.len()];
+        run_work_stealing_chunked(
+            &items,
+            4,
+            &opts,
+            |_, &v| {
+                executed.fetch_add(1, Ordering::Relaxed);
+                v * 3
+            },
+            |idx, outcome| {
+                assert!(!seen[idx], "job {idx} completed twice");
+                seen[idx] = true;
+                assert_eq!(outcome, JobOutcome::Completed(items[idx] * 3));
+                true
+            },
+        );
+        assert_eq!(executed.load(Ordering::Relaxed), items.len());
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn chunked_cancellation_abandons_the_rest_of_the_chunk() {
+        let items: Vec<usize> = (0..400).collect();
+        let opts = ChunkOptions {
+            target_millis: 100,
+            max_chunk: 16,
+            initial_estimate_millis: Some(0.01),
+        };
+        let executed = AtomicUsize::new(0);
+        let mut delivered = 0;
+        run_work_stealing_chunked(
+            &items,
+            2,
+            &opts,
+            |_, &v| {
+                executed.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(std::time::Duration::from_micros(200));
+                v
+            },
+            |_, _| {
+                delivered += 1;
+                delivered < 5
+            },
+        );
+        assert_eq!(delivered, 5);
+        assert!(
+            executed.load(Ordering::Relaxed) < 400,
+            "cancellation must not run the whole grid"
         );
     }
 

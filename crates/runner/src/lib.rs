@@ -60,7 +60,10 @@ pub mod toml;
 pub use campaign::{
     deadline_from_env, run_campaign, run_campaign_with, CampaignOutcome, RunOptions,
 };
-pub use executor::{default_threads, parallel_map, run_work_stealing, JobOutcome};
+pub use executor::{
+    default_threads, parallel_map, run_work_stealing, run_work_stealing_chunked, ChunkOptions,
+    JobOutcome,
+};
 pub use fingerprint::{job_fingerprint, point_fingerprint};
 pub use manifest::{manifest_path, ManifestRecord, ShardManifest};
 pub use queue::{shard_of_fingerprint, Lease, ShardQueues};
