@@ -20,7 +20,10 @@ use std::time::Instant;
 use surepath_core::{Experiment, FaultScenario, RootPlacement, SimConfig, TrafficSpec};
 
 /// Schema identifier of the JSON report; bump on breaking layout changes.
-pub const BENCH_SCHEMA: &str = "surepath-bench-engine/v1";
+/// v2 added the per-cell `latency_p99` field (from the engine's log-bucketed
+/// latency histogram), so tail latency accumulates a trajectory across PRs
+/// alongside throughput.
+pub const BENCH_SCHEMA: &str = "surepath-bench-engine/v2";
 
 /// Loads at or below this value count as "low load" in the summary (the
 /// regime active-set scheduling targets: most of the network is idle).
@@ -113,6 +116,9 @@ pub struct CellResult {
     pub cycles: u64,
     /// Packets delivered in the measurement window.
     pub delivered_packets: u64,
+    /// p99 end-to-end latency (cycles) of the measurement window, from the
+    /// active-set run's histogram; `None` when nothing was delivered.
+    pub latency_p99: Option<u64>,
     /// Active-set engine timing.
     pub active: EngineTiming,
     /// Frozen full-scan baseline timing.
@@ -193,11 +199,12 @@ fn time_engine(
     load: f64,
     full_scan: bool,
     repeat: usize,
-) -> (EngineTiming, u64, u64, String) {
+) -> (EngineTiming, u64, u64, Option<u64>, String) {
     let mut best_ms = f64::INFINITY;
     let mut cycles = 0u64;
     let mut delivered = 0u64;
     let mut total_delivered = 0u64;
+    let mut latency_p99 = None;
     let mut metrics_json = String::new();
     for rep in 0..repeat.max(1) {
         let mut sim = experiment.build_simulator();
@@ -212,6 +219,10 @@ fn time_engine(
             // whole-run counts on both axes (measurement-window deliveries
             // over whole-run time would understate throughput).
             total_delivered = sim.total_delivered();
+            latency_p99 = metrics
+                .latency_hist
+                .as_ref()
+                .and_then(|h| h.value_at_quantile(0.99));
             metrics_json = serde_json::to_string(&metrics).expect("metrics serialize");
         }
         best_ms = best_ms.min(elapsed);
@@ -225,6 +236,7 @@ fn time_engine(
         },
         cycles,
         delivered,
+        latency_p99,
         metrics_json,
     )
 }
@@ -244,15 +256,16 @@ pub fn run_engine_bench(
         // run: `summary.completed < summary.cells` then fails the CI gate.
         let outcome = std::panic::catch_unwind(|| {
             let experiment = cell_experiment(cell, matrix.warmup_cycles, matrix.measure_cycles);
-            let (active, cycles, delivered, active_json) =
+            let (active, cycles, delivered, latency_p99, active_json) =
                 time_engine(&experiment, cell.load, false, repeat);
-            let (full_scan, _, _, full_json) = time_engine(&experiment, cell.load, true, repeat);
+            let (full_scan, _, _, _, full_json) = time_engine(&experiment, cell.load, true, repeat);
             CellResult {
                 mechanism: cell.mechanism.name().to_string(),
                 sides: cell.sides.clone(),
                 load: cell.load,
                 cycles,
                 delivered_packets: delivered,
+                latency_p99,
                 speedup: active.cycles_per_sec / full_scan.cycles_per_sec.max(1e-9),
                 metrics_identical: active_json == full_json,
                 active,
@@ -307,6 +320,7 @@ pub fn format_bench_report(report: &BenchReport) -> String {
         "active Mcyc/s",
         "full-scan Mcyc/s",
         "speedup",
+        "p99 lat",
         "identical",
     ];
     let rows: Vec<ReportRow> = report
@@ -324,6 +338,8 @@ pub fn format_bench_report(report: &BenchReport) -> String {
                 format!("{:.3}", c.active.cycles_per_sec / 1e6),
                 format!("{:.3}", c.full_scan.cycles_per_sec / 1e6),
                 format!("{:.2}x", c.speedup),
+                c.latency_p99
+                    .map_or_else(|| "-".to_string(), |v| v.to_string()),
                 if c.metrics_identical { "yes" } else { "NO" }.to_string(),
             ],
         })

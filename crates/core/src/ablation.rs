@@ -341,13 +341,14 @@ mod tests {
             accepted_load: 0.7,
             generated_load: 0.9,
             average_latency: 120.0,
-            max_latency: 400,
+            max_latency: Some(400),
             jain_generated: 0.99,
             escape_fraction: 0.04,
             average_hops: 2.1,
             delivered_packets: 999,
             in_flight_at_end: 1,
             stalled: false,
+            latency_hist: None,
         };
         let base = JobSpec {
             campaign: "study".into(),

@@ -47,7 +47,10 @@ pub use report::{
     MetricDiff, PointDiff, ReplicatedBatchPoint, ReplicatedStorePoint, ReportRow, StoreDiff,
 };
 pub use scenario::FaultScenario;
-pub use stats::{replicate, ReplicatedPoint, Summary};
+pub use stats::{
+    compare_tail_percentiles, percentile_level, replicate, PercentileLevel, ReplicatedPoint,
+    Summary, LATENCY_PERCENTILES,
+};
 pub use sweep::{paper_load_grid, quick_load_grid, sweep_loads, sweep_mechanisms, SweepPoint};
 pub use tables::{
     format_mechanism_table, mechanism_table, topology_table, topology_table_from_reports,
@@ -56,7 +59,7 @@ pub use tables::{
 
 // Re-exports for downstream convenience.
 pub use hyperx_routing::{EscapePolicy, MechanismSpec, NetworkView, RoutingMechanism};
-pub use hyperx_sim::{BatchMetrics, RateMetrics, SimConfig};
+pub use hyperx_sim::{BatchMetrics, LatencyHistogram, RateMetrics, SimConfig};
 pub use hyperx_topology::{FaultSet, FaultShape, HyperX, RootPolicy, TopologyReport};
 pub use surepath_runner::{
     CampaignOutcome, CampaignSpec, JobSpec, ResultStore, ShardManifest, TimingRecord, TopologySpec,

@@ -37,6 +37,9 @@ pub struct Series {
     pub name: String,
     /// Data points in plotting order.
     pub points: Vec<(f64, f64)>,
+    /// Explicit stroke colour (e.g. the cold→hot percentile ramp of latency
+    /// charts); palette-by-index when `None`.
+    pub color: Option<String>,
 }
 
 impl Series {
@@ -45,7 +48,14 @@ impl Series {
         Series {
             name: name.into(),
             points,
+            color: None,
         }
+    }
+
+    /// Fixes the stroke colour (builder style).
+    pub fn with_color(mut self, color: impl Into<String>) -> Self {
+        self.color = Some(color.into());
+        self
     }
 }
 
@@ -172,7 +182,7 @@ impl LineChart {
 
         // Series polylines and legend.
         for (i, s) in self.series.iter().enumerate() {
-            let colour = PALETTE[i % PALETTE.len()];
+            let colour = s.color.as_deref().unwrap_or(PALETTE[i % PALETTE.len()]);
             let pts: Vec<String> = s
                 .points
                 .iter()

@@ -57,7 +57,7 @@ pub fn format_table(header: &[&str], rows: &[ReportRow]) -> String {
 /// Formats sweep points as the table the figure binaries print: one row per
 /// (mechanism, traffic, scenario, load) with the three paper metrics.
 pub fn format_rate_table(points: &[SweepPoint]) -> String {
-    let header = [
+    let mut header = vec![
         "mechanism",
         "traffic",
         "scenario",
@@ -67,11 +67,17 @@ pub fn format_rate_table(points: &[SweepPoint]) -> String {
         "jain",
         "escape%",
     ];
+    // Percentile columns appear only when at least one point carries a
+    // histogram, so reports of pre-histogram stores render byte-identically.
+    let with_tail = points.iter().any(|p| p.metrics.latency_hist.is_some());
+    if with_tail {
+        header.extend(crate::stats::LATENCY_PERCENTILES.iter().map(|l| l.label));
+        header.push("max");
+    }
     let rows: Vec<ReportRow> = points
         .iter()
-        .map(|p| ReportRow {
-            label: p.mechanism.clone(),
-            values: vec![
+        .map(|p| {
+            let mut values = vec![
                 p.traffic.clone(),
                 p.scenario.clone(),
                 format!("{:.2}", p.offered_load),
@@ -79,20 +85,58 @@ pub fn format_rate_table(points: &[SweepPoint]) -> String {
                 format!("{:.1}", p.metrics.average_latency),
                 format!("{:.3}", p.metrics.jain_generated),
                 format!("{:.1}", 100.0 * p.metrics.escape_fraction),
-            ],
+            ];
+            if with_tail {
+                values.extend(latency_percentile_cells(
+                    p.metrics.latency_hist.as_ref(),
+                    p.metrics.max_latency,
+                ));
+            }
+            ReportRow {
+                label: p.mechanism.clone(),
+                values,
+            }
         })
         .collect();
     format_table(&header, &rows)
 }
 
+/// The p50/p99/p99.9/max table cells of one result: a dash for anything
+/// absent (pre-histogram results, or nothing delivered).
+fn latency_percentile_cells(
+    hist: Option<&hyperx_sim::LatencyHistogram>,
+    max_latency: Option<u64>,
+) -> Vec<String> {
+    let mut cells: Vec<String> = crate::stats::LATENCY_PERCENTILES
+        .iter()
+        .map(|level| {
+            hist.and_then(|h| h.value_at_quantile(level.q))
+                // Quantiles report bucket upper bounds (≤ 1/16 above the true
+                // value); never print one beyond the exact observed maximum.
+                .map(|v| max_latency.map_or(v, |m| v.min(m)))
+                .map_or_else(|| "-".to_string(), |v| v.to_string())
+        })
+        .collect();
+    cells.push(max_latency.map_or_else(|| "-".to_string(), |v| v.to_string()));
+    cells
+}
+
 /// Serializes sweep points as CSV (with a header line), ready for plotting.
 pub fn rate_metrics_to_csv(points: &[SweepPoint]) -> String {
     let mut out = String::from(
-        "mechanism,traffic,scenario,offered_load,accepted_load,generated_load,average_latency,jain_generated,escape_fraction,average_hops,delivered_packets,stalled\n",
+        "mechanism,traffic,scenario,offered_load,accepted_load,generated_load,average_latency,latency_p50,latency_p99,latency_p999,max_latency,jain_generated,escape_fraction,average_hops,delivered_packets,stalled\n",
     );
     for p in points {
+        let percentile = |q: f64| -> String {
+            p.metrics
+                .latency_hist
+                .as_ref()
+                .and_then(|h| h.value_at_quantile(q))
+                .map(|v| p.metrics.max_latency.map_or(v, |m| v.min(m)))
+                .map_or_else(String::new, |v| v.to_string())
+        };
         out.push_str(&format!(
-            "{},{},{},{:.4},{:.6},{:.6},{:.3},{:.5},{:.5},{:.3},{},{}\n",
+            "{},{},{},{:.4},{:.6},{:.6},{:.3},{},{},{},{},{:.5},{:.5},{:.3},{},{}\n",
             p.mechanism,
             p.traffic.replace(',', ";"),
             p.scenario.replace(',', ";"),
@@ -100,6 +144,12 @@ pub fn rate_metrics_to_csv(points: &[SweepPoint]) -> String {
             p.metrics.accepted_load,
             p.metrics.generated_load,
             p.metrics.average_latency,
+            percentile(0.50),
+            percentile(0.99),
+            percentile(0.999),
+            p.metrics
+                .max_latency
+                .map_or_else(String::new, |v| v.to_string()),
             p.metrics.jain_generated,
             p.metrics.escape_fraction,
             p.metrics.average_hops,
@@ -228,12 +278,21 @@ fn batch_run_label(run: &BatchRun, runs: &[BatchRun]) -> String {
 pub fn format_batch_table(runs: &[BatchRun]) -> String {
     let mut out = String::new();
     for run in runs {
+        // The percentile suffix appears only for histogram-bearing results,
+        // keeping pre-histogram store renders byte-identical.
+        let tail = run
+            .metrics
+            .latency_hist
+            .as_ref()
+            .map(format_latency_tail_suffix)
+            .unwrap_or_default();
         out.push_str(&format!(
-            "{}: completion time {} cycles, {} packets delivered, average latency {:.1} cycles{}\n",
+            "{}: completion time {} cycles, {} packets delivered, average latency {:.1} cycles{}{}\n",
             batch_run_label(run, runs),
             run.metrics.completion_time,
             run.metrics.delivered_packets,
             run.metrics.average_latency,
+            tail,
             if run.metrics.stalled {
                 " (STALLED)"
             } else {
@@ -242,6 +301,23 @@ pub fn format_batch_table(runs: &[BatchRun]) -> String {
         ));
     }
     out
+}
+
+/// The `, p50/p99/p99.9 a/b/c` suffix of a batch completion line; empty when
+/// the histogram recorded nothing.
+fn format_latency_tail_suffix(hist: &hyperx_sim::LatencyHistogram) -> String {
+    let cells: Vec<String> = crate::stats::LATENCY_PERCENTILES
+        .iter()
+        .filter_map(|level| hist.value_at_quantile(level.q).map(|v| v.to_string()))
+        .collect();
+    if cells.is_empty() {
+        return String::new();
+    }
+    let labels: Vec<&str> = crate::stats::LATENCY_PERCENTILES
+        .iter()
+        .map(|l| l.label)
+        .collect();
+    format!(", {} {}", labels.join("/"), cells.join("/"))
 }
 
 /// Serializes the throughput-over-time series of batch runs as CSV
@@ -306,6 +382,29 @@ pub struct ReplicatedStorePoint {
     pub jain_generated: Summary,
     /// Escape-fraction summary across replicas.
     pub escape_fraction: Summary,
+    /// The replicas' histograms merged by exact count addition (never
+    /// averaged percentiles); `None` when no replica carried one.
+    pub latency_hist: Option<hyperx_sim::LatencyHistogram>,
+    /// Largest latency over all replicas; `None` when nothing was delivered
+    /// or the store predates max-latency tracking.
+    pub max_latency: Option<u64>,
+}
+
+/// Merges per-replica histograms (exact count addition) and takes the max of
+/// per-replica maxima. Both stay `None` when no replica carries them, so
+/// pre-histogram stores keep rendering exactly as before.
+fn merge_replica_tails(
+    hists: impl Iterator<Item = Option<hyperx_sim::LatencyHistogram>>,
+    maxima: impl Iterator<Item = Option<u64>>,
+) -> (Option<hyperx_sim::LatencyHistogram>, Option<u64>) {
+    let mut merged: Option<hyperx_sim::LatencyHistogram> = None;
+    for hist in hists.flatten() {
+        match &mut merged {
+            Some(m) => m.merge(&hist),
+            None => merged = Some(hist),
+        }
+    }
+    (merged, maxima.flatten().max())
 }
 
 /// Reconstructs the `rate` grid points of a campaign from a result store,
@@ -337,6 +436,10 @@ pub fn replicated_rate_points(
             let collect = |f: fn(&RateMetrics) -> f64| -> Summary {
                 Summary::of_finite(&runs.iter().map(f).collect::<Vec<_>>())
             };
+            let (latency_hist, max_latency) = merge_replica_tails(
+                runs.iter().map(|m| m.latency_hist.clone()),
+                runs.iter().map(|m| m.max_latency),
+            );
             Some(ReplicatedStorePoint {
                 point,
                 offered_load: job.load.unwrap_or(runs[0].offered_load),
@@ -348,6 +451,8 @@ pub fn replicated_rate_points(
                 average_latency: collect(|m| m.average_latency),
                 jain_generated: collect(|m| m.jain_generated),
                 escape_fraction: collect(|m| m.escape_fraction),
+                latency_hist,
+                max_latency,
                 job,
             })
         })
@@ -380,6 +485,9 @@ pub struct ReplicatedBatchPoint {
     pub average_latency: Summary,
     /// How many replicas hit the stall watchdog.
     pub stalled_replicas: usize,
+    /// The replicas' histograms merged by exact count addition; `None` when
+    /// no replica carried one.
+    pub latency_hist: Option<hyperx_sim::LatencyHistogram>,
 }
 
 /// The batch analogue of [`replicated_rate_points`].
@@ -417,6 +525,11 @@ pub fn replicated_batch_points(
                 delivered_packets: collect(|m| m.delivered_packets as f64),
                 average_latency: collect(|m| m.average_latency),
                 stalled_replicas: runs.iter().filter(|m| m.stalled).count(),
+                latency_hist: merge_replica_tails(
+                    runs.iter().map(|m| m.latency_hist.clone()),
+                    std::iter::empty(),
+                )
+                .0,
                 job,
             })
         })
@@ -457,7 +570,7 @@ pub fn csv_half_width(summary: &Summary, decimals: usize) -> String {
 /// face of [`format_rate_table`], which `--report` uses whenever a campaign
 /// has more than one replica per point.
 pub fn format_replicated_rate_table(points: &[ReplicatedStorePoint]) -> String {
-    let header = [
+    let mut header = vec![
         "mechanism",
         "traffic",
         "scenario",
@@ -468,11 +581,18 @@ pub fn format_replicated_rate_table(points: &[ReplicatedStorePoint]) -> String {
         "jain",
         "escape%",
     ];
+    // Quantiles come from the replicas' *merged* histogram (exact count
+    // addition), never from averaging per-replica percentiles. Columns are
+    // gated on histogram presence so legacy stores render unchanged.
+    let with_tail = points.iter().any(|p| p.latency_hist.is_some());
+    if with_tail {
+        header.extend(crate::stats::LATENCY_PERCENTILES.iter().map(|l| l.label));
+        header.push("max");
+    }
     let rows: Vec<ReportRow> = points
         .iter()
-        .map(|p| ReportRow {
-            label: p.mechanism.clone(),
-            values: vec![
+        .map(|p| {
+            let mut values = vec![
                 p.traffic.clone(),
                 p.scenario.clone(),
                 format!("{:.2}", p.offered_load),
@@ -481,7 +601,17 @@ pub fn format_replicated_rate_table(points: &[ReplicatedStorePoint]) -> String {
                 format_mean_hw(&p.average_latency, 1),
                 format_mean_hw(&p.jain_generated, 3),
                 format_mean_hw(&p.escape_fraction.scaled(100.0), 1),
-            ],
+            ];
+            if with_tail {
+                values.extend(latency_percentile_cells(
+                    p.latency_hist.as_ref(),
+                    p.max_latency,
+                ));
+            }
+            ReportRow {
+                label: p.mechanism.clone(),
+                values,
+            }
         })
         .collect();
     format_table(&header, &rows)
@@ -498,12 +628,18 @@ pub fn format_replicated_batch_table(points: &[ReplicatedBatchPoint]) -> String 
         } else {
             p.mechanism.clone()
         };
+        let tail = p
+            .latency_hist
+            .as_ref()
+            .map(format_latency_tail_suffix)
+            .unwrap_or_default();
         out.push_str(&format!(
-            "{}: completion time {} cycles, {} packets delivered, average latency {} cycles (n={}{})\n",
+            "{}: completion time {} cycles, {} packets delivered, average latency {} cycles{} (n={}{})\n",
             label,
             format_mean_hw(&p.completion_time, 0),
             format_mean_hw(&p.delivered_packets, 0),
             format_mean_hw(&p.average_latency, 1),
+            tail,
             p.n,
             if p.stalled_replicas > 0 {
                 format!(", {} STALLED", p.stalled_replicas)
@@ -602,17 +738,27 @@ impl StoreDiff {
 /// The metrics `--diff` compares per job kind, with the direction that
 /// counts as better. `stalled` enters as a 0/1 indicator per replica, so a
 /// mechanism that starts stalling shows up as a regression of its mean.
+/// The `latency_p*` entries are derived from the stored histogram (see
+/// [`metric_value`]) and gate CI on tail regressions the mean can hide;
+/// for pre-histogram stores they summarise to n = 0, which is never
+/// significant, so old diffs are unaffected.
 fn diff_metrics(kind: &str) -> &'static [(&'static str, bool, usize)] {
     match kind {
         "rate" => &[
             ("accepted_load", true, 3),
             ("average_latency", false, 1),
+            ("latency_p50", false, 0),
+            ("latency_p99", false, 0),
+            ("latency_p999", false, 0),
             ("jain_generated", true, 3),
             ("stalled", false, 2),
         ],
         "batch" => &[
             ("completion_time", false, 0),
             ("average_latency", false, 1),
+            ("latency_p50", false, 0),
+            ("latency_p99", false, 0),
+            ("latency_p999", false, 0),
             ("delivered_packets", true, 0),
             ("stalled", false, 2),
         ],
@@ -621,8 +767,17 @@ fn diff_metrics(kind: &str) -> &'static [(&'static str, bool, usize)] {
 }
 
 /// A stored result's metric as f64 (booleans count 0/1), if present.
+/// `latency_p*` keys are derived per replica from the result's serialized
+/// histogram — each replica contributes its own quantile observation, and
+/// the [`Summary`]-level CI-overlap test in `crate::stats` does the rest.
 fn metric_value(record: &StoreRecord, metric: &str) -> Option<f64> {
-    let value = &record.result.as_ref()?[metric];
+    let result = record.result.as_ref()?;
+    if let Some(level) = crate::stats::percentile_level(metric) {
+        let hist: hyperx_sim::LatencyHistogram =
+            serde::Deserialize::deserialize(result.get("latency_hist")?).ok()?;
+        return hist.value_at_quantile(level.q).map(|v| v as f64);
+    }
+    let value = &result[metric];
     value
         .as_f64()
         .or_else(|| value.as_bool().map(|b| if b { 1.0 } else { 0.0 }))
@@ -924,6 +1079,20 @@ pub fn format_timings_table(records: &[TimingRecord], top: usize) -> String {
         records.len(),
         total_ms as f64 / 1000.0
     ));
+    // Nearest-rank percentiles over *all* timed jobs (not just the top rows):
+    // the distribution summary that replaces eyeballing the slowest-N list.
+    let mut millis: Vec<u64> = records.iter().map(|r| r.millis).collect();
+    millis.sort_unstable();
+    let at = |q: f64| {
+        let rank = ((q * millis.len() as f64).ceil() as usize).clamp(1, millis.len());
+        millis[rank - 1] as f64 / 1000.0
+    };
+    out.push_str(&format!(
+        "job wall-clock percentiles: p50 {:.3}s, p99 {:.3}s, max {:.3}s\n",
+        at(0.50),
+        at(0.99),
+        millis[millis.len() - 1] as f64 / 1000.0
+    ));
     out
 }
 
@@ -1053,7 +1222,15 @@ fn store_groups(store: &ResultStore) -> Vec<(String, String)> {
 /// data-extraction path behind `--plots` (SVG via [`report_charts`]) and
 /// `--gnuplot` (scripts via [`report_gnuplot`]), so the two artifact
 /// families can never drift apart.
+/// One chart series: `(name, (x, y) points, stroke colour override)`. A
+/// `Some` colour pins the series to the cold→hot percentile ramp; `None`
+/// takes the palette by index.
+type ChartSeries = (String, Vec<(f64, f64)>, Option<&'static str>);
+
 struct ChartData {
+    /// Artifact stem suffix distinguishing chart variants of one group
+    /// (empty for the primary chart, `_latency` for the percentile variant).
+    stem_suffix: &'static str,
     /// Chart title.
     title: String,
     /// X-axis label.
@@ -1062,18 +1239,26 @@ struct ChartData {
     y_label: &'static str,
     /// Clamp the y axis to `[0, 1]` (rate charts: loads are normalised).
     unit_y: bool,
-    /// `(series name, (x, y) points)` in deterministic first-seen order.
-    series: Vec<(String, Vec<(f64, f64)>)>,
+    /// Series in deterministic first-seen order.
+    series: Vec<ChartSeries>,
 }
 
-/// Extracts the chart of one (campaign, kind) group, or `None` when the
-/// group has nothing plottable (custom kinds, empty campaigns).
-fn chart_data(store: &ResultStore, campaign: &str, kind: &str) -> Option<ChartData> {
+/// Stroke colours of the latency-percentile series, cold→hot, aligned with
+/// [`crate::stats::LATENCY_PERCENTILES`]: the body is cool blue, the deep
+/// tail is hot red (the lithos perf-suite convention).
+const PERCENTILE_COLORS: [&str; 3] = ["#1f77b4", "#ff7f0e", "#d62728"];
+
+/// Extracts the charts of one (campaign, kind) group, empty when the group
+/// has nothing plottable (custom kinds, empty campaigns). Rate campaigns
+/// yield the classic accepted-versus-offered chart plus — whenever the store
+/// carries histograms — a latency-percentile variant with one cold→hot
+/// series triple per configuration.
+fn chart_datas(store: &ResultStore, campaign: &str, kind: &str) -> Vec<ChartData> {
     match kind {
         "rate" => {
             let points = replicated_rate_points(store, Some(campaign));
             if points.is_empty() {
-                return None;
+                return Vec::new();
             }
             // One series per configuration; the qualifier collapses to
             // the mechanism alone when the campaign has a single
@@ -1093,10 +1278,7 @@ fn chart_data(store: &ResultStore, campaign: &str, kind: &str) -> Option<ChartDa
                     .collect::<Vec<_>>()
                     .join("x")
             };
-            let mut order: Vec<String> = Vec::new();
-            let mut by_name: std::collections::HashMap<String, Vec<(f64, f64)>> =
-                std::collections::HashMap::new();
-            for p in &points {
+            let series_name = |p: &ReplicatedStorePoint| {
                 let mut name = if multi {
                     format!("{} / {} / {}", p.mechanism, p.traffic, p.scenario)
                 } else {
@@ -1105,6 +1287,13 @@ fn chart_data(store: &ResultStore, campaign: &str, kind: &str) -> Option<ChartDa
                 if multi_topology {
                     name = format!("{} / {}", sides_label(p), name);
                 }
+                name
+            };
+            let mut order: Vec<String> = Vec::new();
+            let mut by_name: std::collections::HashMap<String, Vec<(f64, f64)>> =
+                std::collections::HashMap::new();
+            for p in &points {
+                let name = series_name(p);
                 if !order.contains(&name) {
                     order.push(name.clone());
                 }
@@ -1113,23 +1302,60 @@ fn chart_data(store: &ResultStore, campaign: &str, kind: &str) -> Option<ChartDa
                     .or_default()
                     .push((p.offered_load, p.accepted_load.mean));
             }
-            Some(ChartData {
+            let mut charts = vec![ChartData {
+                stem_suffix: "",
                 title: format!("campaign `{campaign}`"),
                 x_label: "offered load",
                 y_label: "accepted load",
                 unit_y: true,
                 series: order
-                    .into_iter()
+                    .iter()
                     .map(|name| {
-                        let points = by_name.remove(&name).expect("grouped above");
-                        (name, points)
+                        let points = by_name.remove(name).expect("grouped above");
+                        (name.clone(), points, None)
                     })
                     .collect(),
-            })
+            }];
+            // The percentile variant: per configuration, one series per tail
+            // level from the replicas' merged histogram. Only emitted when
+            // the store carries histograms, so legacy stores keep producing
+            // exactly the artifacts they always did.
+            if points.iter().any(|p| p.latency_hist.is_some()) {
+                let mut series = Vec::new();
+                for name in &order {
+                    for (level, color) in crate::stats::LATENCY_PERCENTILES
+                        .iter()
+                        .zip(PERCENTILE_COLORS)
+                    {
+                        let pts: Vec<(f64, f64)> = points
+                            .iter()
+                            .filter(|p| &series_name(p) == name)
+                            .filter_map(|p| {
+                                let q = p.latency_hist.as_ref()?.value_at_quantile(level.q)?;
+                                Some((p.offered_load, q as f64))
+                            })
+                            .collect();
+                        if !pts.is_empty() {
+                            series.push((format!("{name} {}", level.label), pts, Some(color)));
+                        }
+                    }
+                }
+                if !series.is_empty() {
+                    charts.push(ChartData {
+                        stem_suffix: "_latency",
+                        title: format!("campaign `{campaign}` (latency percentiles)"),
+                        x_label: "offered load",
+                        y_label: "latency (cycles)",
+                        unit_y: false,
+                        series,
+                    });
+                }
+            }
+            charts
         }
         "batch" => {
             let runs = batch_runs_from_store(store, Some(campaign));
-            let series: Vec<(String, Vec<(f64, f64)>)> = runs
+            let series: Vec<ChartSeries> = runs
                 .iter()
                 .filter_map(|run| {
                     let samples: Vec<(f64, f64)> = run
@@ -1141,22 +1367,23 @@ fn chart_data(store: &ResultStore, campaign: &str, kind: &str) -> Option<ChartDa
                     if samples.is_empty() {
                         return None;
                     }
-                    Some((batch_run_label(run, &runs), samples))
+                    Some((batch_run_label(run, &runs), samples, None))
                 })
                 .collect();
             if series.is_empty() {
-                return None;
+                return Vec::new();
             }
-            Some(ChartData {
+            vec![ChartData {
+                stem_suffix: "",
                 title: format!("campaign `{campaign}` (throughput over time)"),
                 x_label: "cycle",
                 y_label: "accepted load",
                 unit_y: false,
                 series,
-            })
+            }]
         }
         // Custom kinds are rendered by their owning binaries.
-        _ => None,
+        _ => Vec::new(),
     }
 }
 
@@ -1176,17 +1403,21 @@ pub fn report_charts(store: &ResultStore) -> Vec<(String, String)> {
     use crate::plot::{LineChart, Series};
     let mut charts = Vec::new();
     for (campaign, kind) in store_groups(store) {
-        let Some(data) = chart_data(store, &campaign, &kind) else {
-            continue;
-        };
-        let mut chart = LineChart::new(data.title, data.x_label, data.y_label);
-        if data.unit_y {
-            chart = chart.with_y_range(0.0, 1.0);
+        for data in chart_datas(store, &campaign, &kind) {
+            let stem = format!("{}{}", chart_stem(&campaign, &kind), data.stem_suffix);
+            let mut chart = LineChart::new(data.title, data.x_label, data.y_label);
+            if data.unit_y {
+                chart = chart.with_y_range(0.0, 1.0);
+            }
+            for (name, points, color) in data.series {
+                let mut series = Series::new(name, points);
+                if let Some(color) = color {
+                    series = series.with_color(color);
+                }
+                chart = chart.with_series(series);
+            }
+            charts.push((stem, chart.to_svg()));
         }
-        for (name, points) in data.series {
-            chart = chart.with_series(Series::new(name, points));
-        }
-        charts.push((chart_stem(&campaign, &kind), chart.to_svg()));
     }
     charts
 }
@@ -1213,50 +1444,55 @@ pub struct GnuplotArtifact {
 pub fn report_gnuplot(store: &ResultStore) -> Vec<GnuplotArtifact> {
     let mut artifacts = Vec::new();
     for (campaign, kind) in store_groups(store) {
-        let Some(chart) = chart_data(store, &campaign, &kind) else {
-            continue;
-        };
-        let stem = chart_stem(&campaign, &kind);
-        // Gnuplot titles live inside double quotes; keep names printable.
-        let quote = |s: &str| s.replace('"', "'");
-        let mut data = String::new();
-        for (i, (name, points)) in chart.series.iter().enumerate() {
-            if i > 0 {
-                data.push_str("\n\n");
-            }
-            data.push_str(&format!("# series {i}: {name}\n"));
-            for (x, y) in points {
-                data.push_str(&format!("{x:.6} {y:.6}\n"));
-            }
-        }
-        let mut script = format!(
-            "# Generated by `surepath campaign --report --plots <dir> --gnuplot`.\n\
-             # Render with: gnuplot {stem}.gp  (writes {stem}.svg)\n\
-             set title \"{}\"\n\
-             set xlabel \"{}\"\n\
-             set ylabel \"{}\"\n",
-            quote(&chart.title),
-            chart.x_label,
-            chart.y_label
-        );
-        if chart.unit_y {
-            script.push_str("set yrange [0:1]\n");
-        }
-        script.push_str("set key outside right\nset grid\nset terminal svg size 900,560 dynamic\n");
-        script.push_str(&format!("set output \"{stem}.svg\"\n"));
-        script.push_str("plot \\\n");
-        for (i, (name, _)) in chart.series.iter().enumerate() {
-            script.push_str(&format!(
-                "  \"{stem}.dat\" index {i} using 1:2 with linespoints title \"{}\"{}\n",
-                quote(name),
-                if i + 1 < chart.series.len() {
-                    ", \\"
-                } else {
-                    ""
+        for chart in chart_datas(store, &campaign, &kind) {
+            let stem = format!("{}{}", chart_stem(&campaign, &kind), chart.stem_suffix);
+            // Gnuplot titles live inside double quotes; keep names printable.
+            let quote = |s: &str| s.replace('"', "'");
+            let mut data = String::new();
+            for (i, (name, points, _)) in chart.series.iter().enumerate() {
+                if i > 0 {
+                    data.push_str("\n\n");
                 }
-            ));
+                data.push_str(&format!("# series {i}: {name}\n"));
+                for (x, y) in points {
+                    data.push_str(&format!("{x:.6} {y:.6}\n"));
+                }
+            }
+            let mut script = format!(
+                "# Generated by `surepath campaign --report --plots <dir> --gnuplot`.\n\
+                 # Render with: gnuplot {stem}.gp  (writes {stem}.svg)\n\
+                 set title \"{}\"\n\
+                 set xlabel \"{}\"\n\
+                 set ylabel \"{}\"\n",
+                quote(&chart.title),
+                chart.x_label,
+                chart.y_label
+            );
+            if chart.unit_y {
+                script.push_str("set yrange [0:1]\n");
+            }
+            script.push_str(
+                "set key outside right\nset grid\nset terminal svg size 900,560 dynamic\n",
+            );
+            script.push_str(&format!("set output \"{stem}.svg\"\n"));
+            script.push_str("plot \\\n");
+            for (i, (name, _, color)) in chart.series.iter().enumerate() {
+                let style = match color {
+                    Some(c) => format!("lc rgb \"{c}\" "),
+                    None => String::new(),
+                };
+                script.push_str(&format!(
+                    "  \"{stem}.dat\" index {i} using 1:2 with linespoints {style}title \"{}\"{}\n",
+                    quote(name),
+                    if i + 1 < chart.series.len() {
+                        ", \\"
+                    } else {
+                        ""
+                    }
+                ));
+            }
+            artifacts.push(GnuplotArtifact { stem, script, data });
         }
-        artifacts.push(GnuplotArtifact { stem, script, data });
     }
     artifacts
 }
@@ -1316,13 +1552,14 @@ mod tests {
                 accepted_load: accepted,
                 generated_load: load,
                 average_latency: 80.0,
-                max_latency: 200,
+                max_latency: Some(200),
                 jain_generated: 0.999,
                 escape_fraction: 0.02,
                 average_hops: 2.0,
                 delivered_packets: 1000,
                 in_flight_at_end: 5,
                 stalled: false,
+                latency_hist: None,
             },
         }
     }
@@ -1395,6 +1632,7 @@ mod tests {
                 ],
                 average_latency: 150.0,
                 stalled: false,
+                latency_hist: None,
             },
         }
     }
@@ -1472,15 +1710,143 @@ mod tests {
             accepted_load: accepted,
             generated_load: 0.3,
             average_latency: latency,
-            max_latency: 200,
+            max_latency: Some(200),
             jain_generated: 0.99,
             escape_fraction: 0.02,
             average_hops: 2.0,
             delivered_packets: 1000,
             in_flight_at_end: 0,
             stalled: false,
+            latency_hist: None,
         })
         .unwrap()
+    }
+
+    /// A rate result whose histogram holds 98 body samples near 100 cycles
+    /// and 2 tail samples at `tail` — the mean fields stay fixed regardless,
+    /// so shifting `tail` moves p99 while every mean metric stays flat.
+    fn rate_result_with_tail(tail: u64) -> serde::Value {
+        let mut hist = hyperx_sim::LatencyHistogram::new();
+        for i in 0..98u64 {
+            hist.record(100 + (i % 7));
+        }
+        hist.record(tail);
+        hist.record(tail);
+        serde_json::to_value(&RateMetrics {
+            offered_load: 0.3,
+            accepted_load: 0.7,
+            generated_load: 0.3,
+            average_latency: 80.0,
+            max_latency: Some(tail),
+            jain_generated: 0.99,
+            escape_fraction: 0.02,
+            average_hops: 2.0,
+            delivered_packets: 100,
+            in_flight_at_end: 0,
+            stalled: false,
+            latency_hist: Some(hist),
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn diff_gates_on_injected_p99_regression_while_means_stay_flat() {
+        let path_a = temp_store("diff-tail-a");
+        let path_b = temp_store("diff-tail-b");
+        let _ = std::fs::remove_file(&path_a);
+        let _ = std::fs::remove_file(&path_b);
+        let mut a = ResultStore::open(&path_a).unwrap();
+        let mut b = ResultStore::open(&path_b).unwrap();
+        for seed in 1u64..=3 {
+            a.append_ok(&rate_job("polsp", 0.3, seed), rate_result_with_tail(200))
+                .unwrap();
+            b.append_ok(&rate_job("polsp", 0.3, seed), rate_result_with_tail(1_600))
+                .unwrap();
+        }
+        let diff = diff_stores(&a, &b);
+        assert!(diff.has_regressions(), "tail shift must gate CI");
+        let metrics = &diff.points[0].metrics;
+        let by_name = |name: &str| metrics.iter().find(|m| m.metric == name).unwrap();
+        // Every mean metric is identical between the stores...
+        assert!(!by_name("accepted_load").significant);
+        assert!(!by_name("average_latency").significant);
+        assert!(!by_name("latency_p50").significant, "body unchanged");
+        // ...only the tail percentiles flag the regression.
+        assert!(by_name("latency_p99").regression);
+        assert!(by_name("latency_p999").regression);
+        // And the reversed diff reports it as an improvement, not a regression.
+        let reversed = diff_stores(&b, &a);
+        assert!(!reversed.has_regressions());
+        assert!(reversed.improvements() > 0);
+        let _ = std::fs::remove_file(&path_a);
+        let _ = std::fs::remove_file(&path_b);
+    }
+
+    #[test]
+    fn rate_tables_gate_percentile_columns_on_histogram_presence() {
+        // Histogram-free points (a legacy store) render the classic header.
+        let legacy = vec![dummy_point("OmniSP", 0.5, 0.48)];
+        let table = format_rate_table(&legacy);
+        assert!(!table.contains("p99"), "{table}");
+        // A histogram-bearing point gains p50/p99/p99.9/max columns.
+        let mut rich = dummy_point("OmniSP", 0.5, 0.48);
+        let mut hist = hyperx_sim::LatencyHistogram::new();
+        for v in [10u64, 12, 14, 200] {
+            hist.record(v);
+        }
+        rich.metrics.latency_hist = Some(hist);
+        let table = format_rate_table(&[rich.clone()]);
+        for column in ["p50", "p99", "p99.9", "max"] {
+            assert!(table.contains(column), "missing {column}: {table}");
+        }
+        // A histogram-free row in a mixed table renders dashes.
+        let table = format_rate_table(&[rich, dummy_point("PolSP", 0.5, 0.47)]);
+        assert!(table.lines().last().unwrap().contains('-'), "{table}");
+    }
+
+    #[test]
+    fn replica_groups_merge_histograms_before_quantiling() {
+        let path = temp_store("replicated-hist");
+        let _ = std::fs::remove_file(&path);
+        let mut store = ResultStore::open(&path).unwrap();
+        // Replica 1 holds the body, replica 2 the tail: the true merged p50
+        // sits in the body, but an average of per-replica p50s would not.
+        let result = |values: &[u64], max: u64| {
+            let mut hist = hyperx_sim::LatencyHistogram::new();
+            for &v in values {
+                hist.record(v);
+            }
+            let mut v = rate_result(0.7, 80.0);
+            let serde::Value::Object(entries) = &mut v else {
+                unreachable!()
+            };
+            for (key, value) in entries.iter_mut() {
+                if key == "latency_hist" {
+                    *value = serde::Serialize::serialize(&hist);
+                }
+                if key == "max_latency" {
+                    *value = serde_json::to_value(&max).unwrap();
+                }
+            }
+            v
+        };
+        store
+            .append_ok(&rate_job("polsp", 0.3, 1), result(&[10, 10, 10], 10))
+            .unwrap();
+        store
+            .append_ok(&rate_job("polsp", 0.3, 2), result(&[1_000], 1_000))
+            .unwrap();
+        let points = replicated_rate_points(&store, None);
+        assert_eq!(points.len(), 1);
+        let merged = points[0].latency_hist.as_ref().unwrap();
+        assert_eq!(merged.count(), 4);
+        // Merged p50 = 2nd of [10,10,10,1000] = 10; averaging per-replica
+        // p50s would have given ~500-ish. Max is the max over replicas.
+        assert_eq!(merged.value_at_quantile(0.5), Some(10));
+        assert_eq!(points[0].max_latency, Some(1_000));
+        let table = format_replicated_rate_table(&points);
+        assert!(table.contains("p99"), "{table}");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]
@@ -1809,11 +2175,13 @@ mod tests {
             .unwrap();
         }
         let csv = store_diff_csv(&diff_stores(&a, &b));
-        // Header + 4 rate metrics for the single compared point.
-        assert_eq!(csv.lines().count(), 5, "{csv}");
+        // Header + 7 rate metrics (4 scalar + 3 derived percentiles) for the
+        // single compared point.
+        assert_eq!(csv.lines().count(), 8, "{csv}");
         assert!(csv.starts_with("point,campaign,kind,metric,"), "{csv}");
         assert!(csv.contains("accepted_load"), "{csv}");
         assert!(csv.contains("jain_generated"), "{csv}");
+        assert!(csv.contains("latency_p99"), "{csv}");
         // The regressed metric is flagged; an identical one is not.
         let accepted_row = csv.lines().find(|l| l.contains("accepted_load")).unwrap();
         assert!(accepted_row.ends_with("true,true"), "{accepted_row}");
@@ -1839,13 +2207,19 @@ mod tests {
         ];
         let table = format_timings_table(&records, 3);
         let lines: Vec<&str> = table.lines().collect();
-        // Header, rule, 3 rows, summary.
-        assert_eq!(lines.len(), 6, "{table}");
+        // Header, rule, 3 rows, summary, percentile line.
+        assert_eq!(lines.len(), 7, "{table}");
         assert!(lines[2].starts_with("job-bb"), "{table}");
         // The 500ms tie breaks by fingerprint: cc before dd.
         assert!(lines[3].starts_with("job-cc"), "{table}");
         assert!(lines[4].starts_with("job-dd"), "{table}");
         assert!(lines[5].contains("4 timed jobs"), "{table}");
+        // Nearest-rank over all 4 jobs (100/500/500/900): p50 is the 2nd
+        // slowest-sorted value, p99 and max the slowest.
+        assert_eq!(
+            lines[6], "job wall-clock percentiles: p50 0.500s, p99 0.900s, max 0.900s",
+            "{table}"
+        );
         assert!(table.contains("45.0"), "900/2000 ms = 45%: {table}");
         assert_eq!(
             format_timings_table(&[], 5),
@@ -1952,13 +2326,14 @@ mod tests {
             accepted_load: 0.29,
             generated_load: 0.3,
             average_latency: 88.0,
-            max_latency: 301,
+            max_latency: Some(301),
             jain_generated: 0.999,
             escape_fraction: 0.01,
             average_hops: 1.9,
             delivered_packets: 4242,
             in_flight_at_end: 3,
             stalled: false,
+            latency_hist: None,
         };
         store
             .append_ok(&rate_job, serde_json::to_value(&rate_metrics).unwrap())

@@ -102,6 +102,72 @@ impl Summary {
     }
 }
 
+/// One latency percentile surfaced across `--report`, `--diff` and the chart
+/// emitters: the derived-metric key used in diff rows/CSV, the column label,
+/// and the quantile.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PercentileLevel {
+    /// Derived-metric key (`latency_p99`), stable across report and diff.
+    pub key: &'static str,
+    /// Human column label (`p99`).
+    pub label: &'static str,
+    /// The quantile in `[0, 1]`.
+    pub q: f64,
+}
+
+/// The tail percentiles the observability layer reports, coldest first.
+/// Ordering matters: chart series colors ramp cold→hot along this list.
+pub const LATENCY_PERCENTILES: [PercentileLevel; 3] = [
+    PercentileLevel {
+        key: "latency_p50",
+        label: "p50",
+        q: 0.50,
+    },
+    PercentileLevel {
+        key: "latency_p99",
+        label: "p99",
+        q: 0.99,
+    },
+    PercentileLevel {
+        key: "latency_p999",
+        label: "p99.9",
+        q: 0.999,
+    },
+];
+
+/// The percentile level behind a derived-metric key, if `key` is one.
+pub fn percentile_level(key: &str) -> Option<PercentileLevel> {
+    LATENCY_PERCENTILES.iter().copied().find(|l| l.key == key)
+}
+
+/// Per-percentile tail comparison: summarises each side's per-replica
+/// percentile observations and applies the same conservative CI-overlap test
+/// `--diff` uses for means. Returns `(level, baseline, candidate, differs)`
+/// per level — `differs` is what gates CI on a tail regression even when the
+/// means stay flat.
+pub fn compare_tail_percentiles(
+    baseline: &[&hyperx_sim::LatencyHistogram],
+    candidate: &[&hyperx_sim::LatencyHistogram],
+) -> Vec<(PercentileLevel, Summary, Summary, bool)> {
+    let side = |hists: &[&hyperx_sim::LatencyHistogram], q: f64| -> Summary {
+        let values: Vec<f64> = hists
+            .iter()
+            .filter_map(|h| h.value_at_quantile(q))
+            .map(|v| v as f64)
+            .collect();
+        Summary::of(&values)
+    };
+    LATENCY_PERCENTILES
+        .iter()
+        .map(|&level| {
+            let b = side(baseline, level.q);
+            let c = side(candidate, level.q);
+            let differs = b.differs_from(&c);
+            (level, b, c, differs)
+        })
+        .collect()
+}
+
 /// Replicated metrics of one experiment point across seeds.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ReplicatedPoint {
@@ -241,5 +307,48 @@ mod tests {
     fn replicate_rejects_empty_seed_list() {
         let e = Experiment::quick_2d(MechanismSpec::PolSP, TrafficSpec::Uniform);
         let _ = replicate(&e, 0.3, &[]);
+    }
+
+    #[test]
+    fn percentile_levels_resolve_by_key_and_ramp_upward() {
+        assert_eq!(percentile_level("latency_p99").unwrap().q, 0.99);
+        assert!(percentile_level("accepted_load").is_none());
+        assert!(LATENCY_PERCENTILES.windows(2).all(|w| w[0].q < w[1].q));
+    }
+
+    #[test]
+    fn tail_comparison_flags_a_shifted_tail_even_with_flat_means() {
+        use hyperx_sim::LatencyHistogram;
+        // Baseline and candidate share the same mean-ish body; the candidate
+        // moves its worst 2% of samples out by 8×. Three replicas per side,
+        // deterministic per replica, so the percentile CIs collapse to points.
+        let build = |tail: u64| {
+            let mut h = LatencyHistogram::new();
+            for i in 0..98 {
+                h.record(100 + (i % 7));
+            }
+            h.record(tail);
+            h.record(tail);
+            h
+        };
+        let base: Vec<LatencyHistogram> = (0..3).map(|_| build(200)).collect();
+        let cand: Vec<LatencyHistogram> = (0..3).map(|_| build(1_600)).collect();
+        let base_refs: Vec<&LatencyHistogram> = base.iter().collect();
+        let cand_refs: Vec<&LatencyHistogram> = cand.iter().collect();
+        let rows = compare_tail_percentiles(&base_refs, &cand_refs);
+        assert_eq!(rows.len(), LATENCY_PERCENTILES.len());
+        let by_key = |k: &str| rows.iter().find(|(l, ..)| l.key == k).unwrap();
+        let (_, b50, c50, p50_differs) = by_key("latency_p50");
+        assert_eq!(b50.mean, c50.mean, "body unchanged");
+        assert!(!*p50_differs);
+        let (_, b99, c99, p99_differs) = by_key("latency_p99");
+        assert!(*p99_differs, "tail shift must gate");
+        assert!(c99.mean > b99.mean);
+    }
+
+    #[test]
+    fn tail_comparison_with_empty_sides_is_never_significant() {
+        let rows = compare_tail_percentiles(&[], &[]);
+        assert!(rows.iter().all(|(_, b, c, d)| b.n == 0 && c.n == 0 && !d));
     }
 }

@@ -68,5 +68,7 @@ pub use fingerprint::{job_fingerprint, point_fingerprint};
 pub use manifest::{manifest_path, ManifestRecord, ShardManifest};
 pub use queue::{shard_of_fingerprint, Lease, ShardQueues};
 pub use spec::{load_spec_file, CampaignSpec, JobSpec, TopologySpec};
-pub use store::{group_replicas, merge_stores, MergeSummary, ResultStore, StoreRecord};
+pub use store::{
+    group_replicas, merge_stores, MergeSummary, ResultStore, StoreRecord, STORE_SCHEMA_VERSION,
+};
 pub use timings::{load_timings, timings_path, TimingRecord, TimingsLog};

@@ -18,6 +18,19 @@
 //! in canonical grid order (atomically, via a temp file + rename). Since
 //! record contents are deterministic, two runs of the same spec produce
 //! **byte-identical** stores, whatever the thread scheduling was.
+//!
+//! # Schema versioning
+//!
+//! The record line layout above is [`STORE_SCHEMA_VERSION`] and evolves
+//! additively: new payload fields (e.g. the `latency_hist` sparse histogram
+//! a result may carry since schema 1 rev "latency observatory") appear as
+//! extra keys, and readers treat an absent key as `None`. Payloads that need
+//! their own evolution carry an embedded version tag — the latency histogram
+//! serializes as `{"v":1,"b":[[bucket,count],...]}` and readers reject
+//! unknown `"v"` values instead of misdecoding. Both rules together mean a
+//! store written before a field existed still loads, reports and diffs
+//! exactly as it always did, while rewriting *never* reorders or rewrites
+//! old records' bytes.
 
 use crate::fingerprint::job_fingerprint;
 use crate::spec::JobSpec;
@@ -26,6 +39,11 @@ use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
+
+/// Version of the store's record line layout (see the module docs: the
+/// layout evolves additively, so this only bumps on a breaking change that
+/// old readers could not ignore).
+pub const STORE_SCHEMA_VERSION: u32 = 1;
 
 /// One stored record.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]

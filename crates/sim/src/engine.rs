@@ -386,6 +386,7 @@ impl Simulator {
             samples,
             average_latency,
             stalled: self.stalled,
+            latency_hist: Some(self.counters.latency_hist.clone()),
         }
     }
 
@@ -529,6 +530,7 @@ impl Simulator {
                         let lat = packet.latency_at(self.cycle);
                         self.counters.latency_sum += lat;
                         self.counters.latency_max = self.counters.latency_max.max(lat);
+                        self.counters.latency_hist.record(lat);
                         self.counters.hop_sum += packet.state.hops as u64;
                         self.counters.escape_hop_sum += packet.escape_hops as u64;
                         if packet.escape_hops > 0 {

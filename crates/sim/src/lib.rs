@@ -30,7 +30,9 @@ pub mod traffic;
 
 pub use config::SimConfig;
 pub use engine::Simulator;
-pub use metrics::{jain_index, BatchMetrics, MeasuredCounters, RateMetrics, ThroughputSample};
+pub use metrics::{
+    jain_index, BatchMetrics, LatencyHistogram, MeasuredCounters, RateMetrics, ThroughputSample,
+};
 pub use packet::{Packet, PacketId};
 pub use server::GenerationMode;
 pub use traffic::{

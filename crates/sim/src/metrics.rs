@@ -1,6 +1,7 @@
-//! Performance metrics: accepted throughput, message latency, Jain fairness.
+//! Performance metrics: accepted throughput, message latency (mean and
+//! log-bucketed percentiles), Jain fairness.
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Error, Number, Serialize, Value};
 
 /// Jain's fairness index over a set of per-server loads:
 /// `(Σ xᵢ)² / (n · Σ xᵢ²)`. A value of 1.0 means perfect equity; the paper
@@ -16,6 +17,204 @@ pub fn jain_index(loads: &[f64]) -> f64 {
         return 1.0;
     }
     (sum * sum) / (loads.len() as f64 * sq_sum)
+}
+
+/// Version tag embedded in every serialized histogram (`"v"` field). Readers
+/// reject tags they do not understand instead of silently misdecoding.
+pub const HISTOGRAM_FORMAT_VERSION: u64 = 1;
+
+/// Log₂ of the number of linear sub-buckets per power-of-two range.
+const SUB_BITS: u32 = 4;
+/// Linear sub-buckets per power-of-two range (16 → ≤ 6.25% relative error).
+const SUB_BUCKETS: usize = 1 << SUB_BITS;
+
+/// A fixed-size, log-bucketed latency histogram (HdrHistogram-style).
+///
+/// Values 0..16 get exact unit buckets; beyond that, each power-of-two range
+/// `[2ᵏ, 2ᵏ⁺¹)` is split into 16 linear sub-buckets, bounding relative
+/// quantile error at 1/16. The full `u64` domain fits in 976 buckets, so the
+/// structure is a flat array: recording is two integer increments with zero
+/// allocation, safe for the engine hot path.
+///
+/// Merging is exact per-bucket count addition, which makes it associative and
+/// commutative: folding per-replica or per-worker histograms in any order
+/// yields the same counts, so quantiles of a merged histogram equal quantiles
+/// of a single run over the union of samples. This is what lets `--report`
+/// merge replica groups *before* quantiling (never averaging percentiles) and
+/// lets the distributed fold stay byte-identical to a local run.
+#[derive(Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: [u64; Self::NUM_BUCKETS],
+    total: u64,
+}
+
+impl LatencyHistogram {
+    /// Number of buckets covering the full `u64` value domain.
+    pub const NUM_BUCKETS: usize = (64 - SUB_BITS as usize) * SUB_BUCKETS + SUB_BUCKETS;
+
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: [0; Self::NUM_BUCKETS],
+            total: 0,
+        }
+    }
+
+    /// The bucket index of `value`. Monotone: `a <= b` implies
+    /// `bucket_index(a) <= bucket_index(b)`.
+    fn bucket_index(value: u64) -> usize {
+        if value < SUB_BUCKETS as u64 {
+            return value as usize;
+        }
+        let msb = 63 - value.leading_zeros();
+        let shift = msb - SUB_BITS;
+        let sub = ((value >> shift) as usize) & (SUB_BUCKETS - 1);
+        (msb - SUB_BITS + 1) as usize * SUB_BUCKETS + sub
+    }
+
+    /// The largest value that maps to bucket `index` (quantiles report this
+    /// upper bound, a conservative estimate within 1/16 of the true value).
+    fn bucket_high(index: usize) -> u64 {
+        if index < SUB_BUCKETS {
+            return index as u64;
+        }
+        let major = index / SUB_BUCKETS;
+        let sub = (index % SUB_BUCKETS) as u64;
+        let shift = (major - 1) as u32;
+        ((SUB_BUCKETS as u64 + sub) << shift) | ((1u64 << shift) - 1)
+    }
+
+    /// Records one observation. O(1), no allocation.
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::bucket_index(value)] += 1;
+        self.total += 1;
+    }
+
+    /// Total number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether no observations have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Adds every count of `other` into `self` (exact count addition).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+    }
+
+    /// The upper bound of the bucket holding the observation at quantile `q`
+    /// (nearest-rank), or `None` if the histogram is empty. Monotone in `q`;
+    /// `q` is clamped to `[0, 1]`.
+    pub fn value_at_quantile(&self, q: f64) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (index, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return Some(Self::bucket_high(index));
+            }
+        }
+        None
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The flat array is mostly zeros; print only occupied buckets.
+        let mut map = f.debug_map();
+        for (index, &count) in self.counts.iter().enumerate() {
+            if count > 0 {
+                map.entry(&Self::bucket_high(index), &count);
+            }
+        }
+        map.finish()
+    }
+}
+
+/// Compact sparse encoding: `{"v":1,"b":[[index,count],...]}` with occupied
+/// buckets in ascending index order. Ascending order makes the bytes a
+/// function of the counts alone, so serialize∘deserialize∘serialize is the
+/// identity on bytes and merged stores re-serialize deterministically.
+impl Serialize for LatencyHistogram {
+    fn serialize(&self) -> Value {
+        let buckets: Vec<Value> = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &count)| count > 0)
+            .map(|(index, &count)| {
+                Value::Array(vec![
+                    Value::Number(Number::UInt(index as u64)),
+                    Value::Number(Number::UInt(count)),
+                ])
+            })
+            .collect();
+        Value::Object(vec![
+            (
+                "v".to_string(),
+                Value::Number(Number::UInt(HISTOGRAM_FORMAT_VERSION)),
+            ),
+            ("b".to_string(), Value::Array(buckets)),
+        ])
+    }
+}
+
+impl Deserialize for LatencyHistogram {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let version = value
+            .get("v")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| Error::missing_field("v"))?;
+        if version != HISTOGRAM_FORMAT_VERSION {
+            return Err(Error::custom(format!(
+                "unsupported latency histogram version {version} (this build reads \
+                 version {HISTOGRAM_FORMAT_VERSION})"
+            )));
+        }
+        let Some(Value::Array(buckets)) = value.get("b") else {
+            return Err(Error::missing_field("b"));
+        };
+        let mut hist = LatencyHistogram::new();
+        for entry in buckets {
+            let Value::Array(pair) = entry else {
+                return Err(Error::type_mismatch("[index, count] pair", entry));
+            };
+            let (index, count) = match pair.as_slice() {
+                [index, count] => (
+                    index
+                        .as_u64()
+                        .ok_or_else(|| Error::type_mismatch("bucket index", index))?,
+                    count
+                        .as_u64()
+                        .ok_or_else(|| Error::type_mismatch("bucket count", count))?,
+                ),
+                _ => return Err(Error::custom("histogram bucket entry is not a pair")),
+            };
+            if index as usize >= Self::NUM_BUCKETS {
+                return Err(Error::custom(format!(
+                    "histogram bucket index {index} out of range"
+                )));
+            }
+            hist.counts[index as usize] += count;
+            hist.total += count;
+        }
+        Ok(hist)
+    }
 }
 
 /// Counters accumulated during the measurement window of a simulation.
@@ -41,6 +240,8 @@ pub struct MeasuredCounters {
     pub hop_sum: u64,
     /// Total escape hops of delivered packets.
     pub escape_hop_sum: u64,
+    /// Log-bucketed end-to-end latency histogram of delivered packets.
+    pub latency_hist: LatencyHistogram,
 }
 
 impl MeasuredCounters {
@@ -65,8 +266,9 @@ pub struct RateMetrics {
     pub generated_load: f64,
     /// Average end-to-end message latency in cycles.
     pub average_latency: f64,
-    /// Maximum observed latency in cycles.
-    pub max_latency: u64,
+    /// Maximum observed latency in cycles; `None` when nothing was delivered
+    /// (a bare 0 would read as a perfect latency).
+    pub max_latency: Option<u64>,
     /// Jain fairness index of the per-server generated load.
     pub jain_generated: f64,
     /// Fraction of delivered packets that used the escape subnetwork.
@@ -79,6 +281,9 @@ pub struct RateMetrics {
     pub in_flight_at_end: u64,
     /// Whether the stall watchdog fired (deadlock or undeliverable packets).
     pub stalled: bool,
+    /// Latency histogram of delivered packets. `None` only for results loaded
+    /// from stores written before histograms existed; new runs always record.
+    pub latency_hist: Option<LatencyHistogram>,
 }
 
 impl RateMetrics {
@@ -125,13 +330,14 @@ impl RateMetrics {
             accepted_load,
             generated_load,
             average_latency,
-            max_latency: counters.latency_max,
+            max_latency: (counters.delivered_packets > 0).then_some(counters.latency_max),
             jain_generated: jain_index(&per_server_loads),
             escape_fraction,
             average_hops,
             delivered_packets: counters.delivered_packets,
             in_flight_at_end,
             stalled,
+            latency_hist: Some(counters.latency_hist.clone()),
         }
     }
 }
@@ -160,6 +366,9 @@ pub struct BatchMetrics {
     pub average_latency: f64,
     /// Whether the stall watchdog fired before completion.
     pub stalled: bool,
+    /// Latency histogram over all delivered packets. `None` only for results
+    /// loaded from stores written before histograms existed.
+    pub latency_hist: Option<LatencyHistogram>,
 }
 
 #[cfg(test)]
@@ -205,7 +414,7 @@ mod tests {
         assert!((m.accepted_load - 0.4).abs() < 1e-12);
         assert!((m.generated_load - 0.48).abs() < 1e-12);
         assert!((m.average_latency - 50.0).abs() < 1e-12);
-        assert_eq!(m.max_latency, 90);
+        assert_eq!(m.max_latency, Some(90));
         assert!((m.jain_generated - 1.0).abs() < 1e-12);
         assert!((m.average_hops - 2.0).abs() < 1e-12);
         assert_eq!(m.in_flight_at_end, 2);
@@ -219,6 +428,98 @@ mod tests {
         assert_eq!(m.accepted_load, 0.0);
         assert_eq!(m.average_latency, 0.0);
         assert_eq!(m.escape_fraction, 0.0);
+        // No deliveries: the maximum is absent, not a misleading zero.
+        assert_eq!(m.max_latency, None);
+        assert!(m.latency_hist.unwrap().is_empty());
         assert!(m.stalled);
+    }
+
+    #[test]
+    fn histogram_buckets_are_monotone_and_exhaustive() {
+        let mut samples: Vec<u64> = (0..64)
+            .map(|s| 1u64 << s)
+            .flat_map(|p| [p - 1, p, p.saturating_add(1), p.saturating_add(p / 3)])
+            .collect();
+        samples.sort_unstable();
+        let mut prev = 0;
+        for value in samples {
+            let index = LatencyHistogram::bucket_index(value);
+            assert!(index < LatencyHistogram::NUM_BUCKETS);
+            assert!(index >= prev, "bucket index not monotone at {value}");
+            assert!(LatencyHistogram::bucket_high(index) >= value);
+            prev = index;
+        }
+        assert_eq!(LatencyHistogram::bucket_index(u64::MAX), 975);
+        assert_eq!(LatencyHistogram::bucket_high(975), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_small_values_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in 0..16 {
+            h.record(v);
+        }
+        for (q, expect) in [(0.0, 0), (0.5, 7), (1.0, 15)] {
+            assert_eq!(h.value_at_quantile(q), Some(expect));
+        }
+    }
+
+    #[test]
+    fn histogram_quantile_error_is_bounded() {
+        let mut h = LatencyHistogram::new();
+        for v in [100u64, 1_000, 10_000, 1_000_000] {
+            h.record(v);
+        }
+        // Each reported quantile is the bucket's upper bound: ≥ the true
+        // value and within 1/16 relative error.
+        for (q, truth) in [(0.25, 100.0), (0.5, 1_000.0), (0.75, 10_000.0)] {
+            let got = h.value_at_quantile(q).unwrap() as f64;
+            assert!(
+                got >= truth && got <= truth * (1.0 + 1.0 / 16.0),
+                "{q} {got}"
+            );
+        }
+        assert_eq!(h.value_at_quantile(0.0), h.value_at_quantile(0.25));
+        assert!(LatencyHistogram::new().value_at_quantile(0.5).is_none());
+    }
+
+    #[test]
+    fn histogram_merge_is_count_addition() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut combined = LatencyHistogram::new();
+        for v in [3u64, 17, 900, 40_000] {
+            a.record(v);
+            combined.record(v);
+        }
+        for v in [5u64, 17, 1_000_000] {
+            b.record(v);
+            combined.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, combined);
+        assert_eq!(a.count(), 7);
+    }
+
+    #[test]
+    fn histogram_serializes_sparse_and_round_trips() {
+        let mut h = LatencyHistogram::new();
+        for v in [0u64, 0, 300, 300, 300, u64::MAX] {
+            h.record(v);
+        }
+        let json = serde_json::to_string(&h).unwrap();
+        // Sparse: three occupied buckets, version-tagged. 300 lands in
+        // bucket 82 = (msb 8 − 3)·16 + sub 2, whose range is [288, 303].
+        assert_eq!(json, r#"{"v":1,"b":[[0,2],[82,3],[975,1]]}"#);
+        let back: LatencyHistogram = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, h);
+        assert_eq!(serde_json::to_string(&back).unwrap(), json);
+    }
+
+    #[test]
+    fn histogram_rejects_unknown_versions_and_bad_buckets() {
+        assert!(serde_json::from_str::<LatencyHistogram>(r#"{"v":2,"b":[]}"#).is_err());
+        assert!(serde_json::from_str::<LatencyHistogram>(r#"{"v":1,"b":[[976,1]]}"#).is_err());
+        assert!(serde_json::from_str::<LatencyHistogram>(r#"{"v":1,"b":[[1]]}"#).is_err());
     }
 }

@@ -1,0 +1,95 @@
+//! Property tests of [`LatencyHistogram`]: the algebraic laws the report and
+//! distributed layers rely on. Merging is exact count addition, so it must be
+//! associative and commutative; quantiles must be monotone in `q`; the sparse
+//! JSON encoding must round-trip byte-identically (the store is
+//! byte-deterministic); and merging per-replica histograms must yield the
+//! same percentiles as recording every sample into one histogram — the
+//! property that makes "merge replicas, then quantile" equal to a single
+//! local run.
+//!
+//! The vendored proptest has no dependent strategies (`prop_flat_map`), so
+//! latency samples are drawn as raw `u64`s; a mix of small exact values and
+//! wide-range values keeps both the linear and logarithmic bucket regions
+//! exercised.
+
+use hyperx_sim::LatencyHistogram;
+use proptest::prelude::*;
+
+/// Latency samples spanning the exact (< 16) and bucketed ranges.
+fn samples() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..1 << 40, 0..=64)
+}
+
+fn hist_of(values: &[u64]) -> LatencyHistogram {
+    let mut h = LatencyHistogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn merge_is_commutative(a in samples(), b in samples()) {
+        let mut ab = hist_of(&a);
+        ab.merge(&hist_of(&b));
+        let mut ba = hist_of(&b);
+        ba.merge(&hist_of(&a));
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn merge_is_associative(a in samples(), b in samples(), c in samples()) {
+        // (a ∪ b) ∪ c
+        let mut left = hist_of(&a);
+        left.merge(&hist_of(&b));
+        left.merge(&hist_of(&c));
+        // a ∪ (b ∪ c)
+        let mut bc = hist_of(&b);
+        bc.merge(&hist_of(&c));
+        let mut right = hist_of(&a);
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q(values in samples(), raw_qs in prop::collection::vec(0u32..=1000, 2..=8)) {
+        let h = hist_of(&values);
+        let mut qs: Vec<f64> = raw_qs.iter().map(|&r| f64::from(r) / 1000.0).collect();
+        qs.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        let quantiles: Vec<Option<u64>> = qs.iter().map(|&q| h.value_at_quantile(q)).collect();
+        if values.is_empty() {
+            prop_assert!(quantiles.iter().all(Option::is_none));
+        } else {
+            for pair in quantiles.windows(2) {
+                prop_assert!(pair[0].unwrap() <= pair[1].unwrap(), "{:?}", quantiles);
+            }
+        }
+    }
+
+    #[test]
+    fn serialization_round_trips_byte_identically(values in samples()) {
+        let h = hist_of(&values);
+        let json = serde_json::to_string(&h).unwrap();
+        let back: LatencyHistogram = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(&back, &h);
+        prop_assert_eq!(serde_json::to_string(&back).unwrap(), json);
+    }
+
+    #[test]
+    fn merged_replicas_quantile_like_a_single_run(a in samples(), b in samples(), c in samples()) {
+        // Per-replica histograms merged together...
+        let mut merged = hist_of(&a);
+        merged.merge(&hist_of(&b));
+        merged.merge(&hist_of(&c));
+        // ...must equal one histogram fed every sample (so percentiles match).
+        let combined: Vec<u64> = a.iter().chain(&b).chain(&c).copied().collect();
+        let single = hist_of(&combined);
+        prop_assert_eq!(&merged, &single);
+        for q in [0.5, 0.99, 0.999, 1.0] {
+            prop_assert_eq!(merged.value_at_quantile(q), single.value_at_quantile(q));
+        }
+    }
+}

@@ -33,6 +33,14 @@ fn diff_path() -> PathBuf {
     fixtures_dir().join("golden_diff.txt")
 }
 
+fn store_v2_path() -> PathBuf {
+    fixtures_dir().join("golden_store_v2.jsonl")
+}
+
+fn report_v2_path() -> PathBuf {
+    fixtures_dir().join("golden_report_v2.txt")
+}
+
 /// The rate campaign of the fixture: two mechanisms, three replicas each.
 fn golden_rate_spec() -> CampaignSpec {
     CampaignSpec {
@@ -62,6 +70,18 @@ fn golden_batch_spec() -> CampaignSpec {
         replicas: Some(2),
         packets_per_server: Some(10),
         sample_window: Some(200),
+        ..golden_rate_spec()
+    }
+}
+
+/// The v2 fixture campaign: same grid as the legacy fixture, but recorded
+/// *after* latency histograms landed, so every result carries `latency_hist`
+/// and the report grows the percentile columns. The legacy `golden_store.jsonl`
+/// is deliberately kept pre-histogram — it pins that old stores still render
+/// byte-identically.
+fn golden_v2_spec() -> CampaignSpec {
+    CampaignSpec {
+        name: "golden-v2".to_string(),
         ..golden_rate_spec()
     }
 }
@@ -99,6 +119,29 @@ fn golden_self_diff_matches_committed_snapshot_and_reports_no_regressions() {
 }
 
 #[test]
+fn golden_v2_report_renders_percentiles_and_matches_snapshot() {
+    let store = ResultStore::open_read_only(&store_v2_path())
+        .expect("v2 fixture store is committed under tests/fixtures/");
+    let rendered = report_store(&store);
+    let golden = std::fs::read_to_string(report_v2_path()).expect("v2 golden report committed");
+    assert_eq!(
+        rendered, golden,
+        "--report output drifted from tests/fixtures/golden_report_v2.txt; if the \
+         format change is intentional, regenerate with \
+         `cargo test --test integration_golden -- --ignored regenerate_golden_v2_fixtures`"
+    );
+    // The store carries histograms and the report surfaces the tail columns.
+    let raw = std::fs::read_to_string(store_v2_path()).unwrap();
+    assert!(
+        raw.contains("latency_hist"),
+        "v2 store must embed histograms"
+    );
+    for column in ["p50", "p99", "p99.9"] {
+        assert!(golden.contains(column), "missing `{column}` in:\n{golden}");
+    }
+}
+
+#[test]
 fn golden_store_reruns_are_fingerprint_complete() {
     // The committed store must be complete for its specs: re-running the
     // campaigns against a copy skips everything (nothing is re-simulated and
@@ -133,4 +176,16 @@ fn regenerate_golden_fixtures() {
     let store = ResultStore::open_read_only(&store_path()).unwrap();
     std::fs::write(report_path(), report_store(&store)).unwrap();
     std::fs::write(diff_path(), format_store_diff(&diff_stores(&store, &store))).unwrap();
+}
+
+/// Regenerates the histogram-era fixture store and report snapshot.
+#[test]
+#[ignore]
+fn regenerate_golden_v2_fixtures() {
+    std::fs::create_dir_all(fixtures_dir()).unwrap();
+    let _ = std::fs::remove_file(store_v2_path());
+    let outcome = run_campaign(&golden_v2_spec(), &store_v2_path(), Some(2), true).unwrap();
+    assert!(outcome.is_complete(), "v2 fixture campaign failed");
+    let store = ResultStore::open_read_only(&store_v2_path()).unwrap();
+    std::fs::write(report_v2_path(), report_store(&store)).unwrap();
 }

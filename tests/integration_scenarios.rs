@@ -120,9 +120,16 @@ fn mechanism_sweep_covers_the_whole_lineup_and_serializes() {
     // CSV fields are numeric where expected.
     for line in csv.lines().skip(1) {
         let fields: Vec<&str> = line.split(',').collect();
-        assert_eq!(fields.len(), 12);
+        assert_eq!(fields.len(), 16);
         assert!(fields[3].parse::<f64>().is_ok());
         assert!(fields[4].parse::<f64>().is_ok());
+        // The percentile columns are populated (freshly-run points always
+        // carry a histogram) and ramp monotonically up to the max.
+        let p50: u64 = fields[7].parse().unwrap();
+        let p99: u64 = fields[8].parse().unwrap();
+        let p999: u64 = fields[9].parse().unwrap();
+        let max: u64 = fields[10].parse().unwrap();
+        assert!(p50 <= p99 && p99 <= p999 && p999 <= max, "{line}");
     }
 }
 
