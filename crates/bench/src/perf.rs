@@ -15,6 +15,7 @@
 //! the headline ratios are comparable run over run.
 
 use hyperx_routing::MechanismSpec;
+use hyperx_sim::RngContract;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 use surepath_core::{Experiment, FaultScenario, RootPlacement, SimConfig, TrafficSpec};
@@ -22,8 +23,11 @@ use surepath_core::{Experiment, FaultScenario, RootPlacement, SimConfig, Traffic
 /// Schema identifier of the JSON report; bump on breaking layout changes.
 /// v2 added the per-cell `latency_p99` field (from the engine's log-bucketed
 /// latency histogram), so tail latency accumulates a trajectory across PRs
-/// alongside throughput.
-pub const BENCH_SCHEMA: &str = "surepath-bench-engine/v2";
+/// alongside throughput. v3 added the `rng_cells` matrix — rate-mode cells
+/// comparing RNG contract v1 (per-server Bernoulli scan) against v2 (the
+/// counting sampler) — plus the matching `rng_*` summary fields; the main
+/// matrix now runs under contract v2 on both engines.
+pub const BENCH_SCHEMA: &str = "surepath-bench-engine/v3";
 
 /// Loads at or below this value count as "low load" in the summary (the
 /// regime active-set scheduling targets: most of the network is idle).
@@ -51,6 +55,10 @@ pub struct BenchMatrix {
     pub measure_cycles: u64,
     /// The cells, in a fixed order.
     pub cells: Vec<BenchCell>,
+    /// The RNG-contract cells: rate-mode points timed under contract v1
+    /// (per-server Bernoulli scan) and contract v2 (counting sampler) with
+    /// a v2 full-scan cross-check. Pinned like `cells`.
+    pub rng_cells: Vec<BenchCell>,
 }
 
 impl BenchMatrix {
@@ -58,7 +66,9 @@ impl BenchMatrix {
     /// frozen — comparable across PRs — and span both regimes: low loads
     /// (where the active set is small and the scheduling win dominates)
     /// and saturation (where the win comes from the allocation-free inner
-    /// loop and the candidate cache).
+    /// loop and the candidate cache). The RNG-contract cells fix one
+    /// mechanism (PolSP, the paper's headline) and sweep size × load, since
+    /// the counting sampler's win is a property of generation, not routing.
     pub fn pinned(quick: bool) -> Self {
         let (sizes, loads, warmup, measure): (&[&[usize]], &[f64], u64, u64) = if quick {
             (&[&[4, 4], &[8, 8]], &[0.05, 0.3, 0.7], 200, 1_000)
@@ -71,6 +81,7 @@ impl BenchMatrix {
             MechanismSpec::PolSP,
         ];
         let mut cells = Vec::new();
+        let mut rng_cells = Vec::new();
         for &sides in sizes {
             for mechanism in mechanisms {
                 for &load in loads {
@@ -79,6 +90,13 @@ impl BenchMatrix {
                         sides: sides.to_vec(),
                         load,
                     });
+                    if mechanism == MechanismSpec::PolSP {
+                        rng_cells.push(BenchCell {
+                            mechanism,
+                            sides: sides.to_vec(),
+                            load,
+                        });
+                    }
                 }
             }
         }
@@ -87,7 +105,20 @@ impl BenchMatrix {
             warmup_cycles: warmup,
             measure_cycles: measure,
             cells,
+            rng_cells,
         }
+    }
+
+    /// The side lengths of the largest topology in the matrix (by server
+    /// count): the cell the RNG-contract acceptance gate keys on.
+    pub fn largest_sides(&self) -> Vec<usize> {
+        self.cells
+            .iter()
+            .chain(&self.rng_cells)
+            .map(|c| &c.sides)
+            .max_by_key(|sides| sides.iter().product::<usize>() * sides[0])
+            .cloned()
+            .unwrap_or_default()
     }
 }
 
@@ -129,6 +160,36 @@ pub struct CellResult {
     pub metrics_identical: bool,
 }
 
+/// One completed RNG-contract cell: the same rate-mode point timed under
+/// contract v1 (per-server Bernoulli full scan — draw order is the
+/// contract) and contract v2 (binomial count + without-replacement sample
+/// over the active set), plus a v2 full-scan run for the byte-identity
+/// cross-check. All three runs share the seed; v1 and v2 are *different
+/// RNG streams* by design, so their metrics are compared statistically in
+/// the engine's test suite, not byte for byte here.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RngCellResult {
+    /// Mechanism display name.
+    pub mechanism: String,
+    /// HyperX sides.
+    pub sides: Vec<usize>,
+    /// Offered load.
+    pub load: f64,
+    /// Simulated cycles per run (warmup + measurement).
+    pub cycles: u64,
+    /// Contract v1 timing (active-set engine; generation scans by contract).
+    pub v1: EngineTiming,
+    /// Contract v2 timing (active-set engine, counting sampler).
+    pub v2: EngineTiming,
+    /// Contract v2 on the frozen full-scan engine (the A/B reference).
+    pub v2_full_scan: EngineTiming,
+    /// `v2.cycles_per_sec / v1.cycles_per_sec` — the counting sampler's win.
+    pub speedup_v2_over_v1: f64,
+    /// Whether the v2 active-set and v2 full-scan runs produced
+    /// byte-identical metrics (they must: same contract, same draws).
+    pub v2_scan_identical: bool,
+}
+
 /// Aggregates of a bench run.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct BenchSummary {
@@ -149,6 +210,20 @@ pub struct BenchSummary {
     pub max_speedup: f64,
     /// Whether every cell's schedulers agreed byte for byte.
     pub all_metrics_identical: bool,
+    /// RNG-contract cells in the matrix.
+    pub rng_cells: usize,
+    /// RNG-contract cells that ran to completion.
+    pub rng_completed: usize,
+    /// Geometric-mean v2-over-v1 speedup across all RNG-contract cells.
+    pub rng_geomean_speedup: f64,
+    /// Geometric-mean v2-over-v1 speedup across the low-load RNG-contract
+    /// cells on the matrix's **largest** topology — the regime the counting
+    /// sampler targets (most servers idle, v1 still scans them all). The
+    /// acceptance gate: ≥ 2× here.
+    pub rng_low_load_largest_speedup: f64,
+    /// Whether every RNG-contract cell's v2 active-set and v2 full-scan
+    /// runs agreed byte for byte.
+    pub all_rng_scan_identical: bool,
 }
 
 /// The full JSON report of a bench run.
@@ -166,13 +241,15 @@ pub struct BenchReport {
     pub repeat: usize,
     /// Per-cell results, matrix order.
     pub cells: Vec<CellResult>,
+    /// Per-cell RNG-contract results, matrix order.
+    pub rng_cells: Vec<RngCellResult>,
     /// Aggregates.
     pub summary: BenchSummary,
 }
 
 /// Builds the experiment of one cell (uniform traffic, healthy network,
-/// paper Table 2 parameters, pinned seed).
-fn cell_experiment(cell: &BenchCell, warmup: u64, measure: u64) -> Experiment {
+/// paper Table 2 parameters, pinned seed) under the given RNG contract.
+fn cell_experiment(cell: &BenchCell, warmup: u64, measure: u64, rng: RngContract) -> Experiment {
     let dims = cell.sides.len();
     let concentration = cell.sides[0];
     let num_vcs = cell.mechanism.default_num_vcs(dims);
@@ -180,6 +257,7 @@ fn cell_experiment(cell: &BenchCell, warmup: u64, measure: u64) -> Experiment {
     sim.warmup_cycles = warmup;
     sim.measure_cycles = measure;
     sim.seed = 1;
+    sim.rng_contract = rng;
     Experiment {
         sides: cell.sides.clone(),
         concentration,
@@ -241,21 +319,28 @@ fn time_engine(
     )
 }
 
-/// Runs the whole matrix, calling `progress` after each completed cell
-/// (`(done, total, &result)`).
+/// Runs the whole matrix — the scheduler A/B cells, then the RNG-contract
+/// cells — calling `progress` after each completed cell. For RNG-contract
+/// cells the `CellResult` handed to `progress` is a synthetic view (v1 as
+/// the baseline timing, v2 as the candidate) so one callback covers both.
 pub fn run_engine_bench(
     matrix: &BenchMatrix,
     repeat: usize,
     mut progress: impl FnMut(usize, usize, &CellResult),
 ) -> BenchReport {
-    let total = matrix.cells.len();
-    let mut cells = Vec::with_capacity(total);
+    let total = matrix.cells.len() + matrix.rng_cells.len();
+    let mut cells = Vec::with_capacity(matrix.cells.len());
     for (i, cell) in matrix.cells.iter().enumerate() {
         // A cell that panics (a bad future matrix entry, a mechanism that
         // rejects the configuration) is dropped rather than killing the
         // run: `summary.completed < summary.cells` then fails the CI gate.
         let outcome = std::panic::catch_unwind(|| {
-            let experiment = cell_experiment(cell, matrix.warmup_cycles, matrix.measure_cycles);
+            let experiment = cell_experiment(
+                cell,
+                matrix.warmup_cycles,
+                matrix.measure_cycles,
+                RngContract::V2Counting,
+            );
             let (active, cycles, delivered, latency_p99, active_json) =
                 time_engine(&experiment, cell.load, false, repeat);
             let (full_scan, _, _, _, full_json) = time_engine(&experiment, cell.load, true, repeat);
@@ -278,6 +363,47 @@ pub fn run_engine_bench(
         progress(i + 1, total, &result);
         cells.push(result);
     }
+    let mut rng_cells = Vec::with_capacity(matrix.rng_cells.len());
+    for (i, cell) in matrix.rng_cells.iter().enumerate() {
+        let outcome = std::panic::catch_unwind(|| {
+            let v1_experiment = cell_experiment(
+                cell,
+                matrix.warmup_cycles,
+                matrix.measure_cycles,
+                RngContract::V1PerServer,
+            );
+            let v2_experiment = cell_experiment(
+                cell,
+                matrix.warmup_cycles,
+                matrix.measure_cycles,
+                RngContract::V2Counting,
+            );
+            let (v1, cycles, _, _, _) = time_engine(&v1_experiment, cell.load, false, repeat);
+            let (v2, _, _, _, v2_json) = time_engine(&v2_experiment, cell.load, false, repeat);
+            let (v2_full_scan, _, _, _, full_json) =
+                time_engine(&v2_experiment, cell.load, true, repeat);
+            RngCellResult {
+                mechanism: cell.mechanism.name().to_string(),
+                sides: cell.sides.clone(),
+                load: cell.load,
+                cycles,
+                speedup_v2_over_v1: v2.cycles_per_sec / v1.cycles_per_sec.max(1e-9),
+                v2_scan_identical: v2_json == full_json,
+                v1,
+                v2,
+                v2_full_scan,
+            }
+        });
+        let Ok(result) = outcome else {
+            continue;
+        };
+        progress(
+            matrix.cells.len() + i + 1,
+            total,
+            &rng_progress_view(&result),
+        );
+        rng_cells.push(result);
+    }
     let geomean = |values: &[f64]| -> f64 {
         if values.is_empty() {
             return 0.0;
@@ -290,14 +416,26 @@ pub fn run_engine_bench(
         .filter(|c| c.load <= LOW_LOAD_THRESHOLD)
         .map(|c| c.speedup)
         .collect();
+    let largest = matrix.largest_sides();
+    let rng_speedups: Vec<f64> = rng_cells.iter().map(|c| c.speedup_v2_over_v1).collect();
+    let rng_low_load_largest: Vec<f64> = rng_cells
+        .iter()
+        .filter(|c| c.load <= LOW_LOAD_THRESHOLD && c.sides == largest)
+        .map(|c| c.speedup_v2_over_v1)
+        .collect();
     let summary = BenchSummary {
-        cells: total,
+        cells: matrix.cells.len(),
         completed: cells.len(),
         geomean_speedup: geomean(&speedups),
         low_load_geomean_speedup: geomean(&low_load),
         min_speedup: speedups.iter().copied().fold(f64::INFINITY, f64::min),
         max_speedup: speedups.iter().copied().fold(0.0, f64::max),
         all_metrics_identical: cells.iter().all(|c| c.metrics_identical),
+        rng_cells: matrix.rng_cells.len(),
+        rng_completed: rng_cells.len(),
+        rng_geomean_speedup: geomean(&rng_speedups),
+        rng_low_load_largest_speedup: geomean(&rng_low_load_largest),
+        all_rng_scan_identical: rng_cells.iter().all(|c| c.v2_scan_identical),
     };
     BenchReport {
         schema: BENCH_SCHEMA.to_string(),
@@ -306,7 +444,26 @@ pub fn run_engine_bench(
         measure_cycles: matrix.measure_cycles,
         repeat: repeat.max(1),
         cells,
+        rng_cells,
         summary,
+    }
+}
+
+/// The synthetic [`CellResult`] view of an RNG-contract cell handed to the
+/// progress callback: v1 plays the baseline slot, v2 the candidate, and
+/// `speedup` carries the v2-over-v1 ratio.
+fn rng_progress_view(cell: &RngCellResult) -> CellResult {
+    CellResult {
+        mechanism: format!("{} [rng v1→v2]", cell.mechanism),
+        sides: cell.sides.clone(),
+        load: cell.load,
+        cycles: cell.cycles,
+        delivered_packets: 0,
+        latency_p99: None,
+        active: cell.v2.clone(),
+        full_scan: cell.v1.clone(),
+        speedup: cell.speedup_v2_over_v1,
+        metrics_identical: cell.v2_scan_identical,
     }
 }
 
@@ -356,6 +513,50 @@ pub fn format_bench_report(report: &BenchReport) -> String {
     if !report.summary.all_metrics_identical {
         out.push_str("WARNING: scheduler metrics diverged — the A/B contract is broken\n");
     }
+    if !report.rng_cells.is_empty() {
+        let rng_header = [
+            "mechanism",
+            "sides",
+            "load",
+            "v1 Mcyc/s",
+            "v2 Mcyc/s",
+            "v2/v1",
+            "v2 scan identical",
+        ];
+        let rng_rows: Vec<ReportRow> = report
+            .rng_cells
+            .iter()
+            .map(|c| ReportRow {
+                label: c.mechanism.clone(),
+                values: vec![
+                    c.sides
+                        .iter()
+                        .map(|s| s.to_string())
+                        .collect::<Vec<_>>()
+                        .join("x"),
+                    format!("{:.2}", c.load),
+                    format!("{:.3}", c.v1.cycles_per_sec / 1e6),
+                    format!("{:.3}", c.v2.cycles_per_sec / 1e6),
+                    format!("{:.2}x", c.speedup_v2_over_v1),
+                    if c.v2_scan_identical { "yes" } else { "NO" }.to_string(),
+                ],
+            })
+            .collect();
+        out.push_str("\nRNG contract cells (v1 per-server scan vs v2 counting sampler):\n");
+        out.push_str(&format_table(&rng_header, &rng_rows));
+        out.push_str(&format!(
+            "rng geomean speedup {:.2}x (low-load largest-topology {:.2}x) over {} cells\n",
+            report.summary.rng_geomean_speedup,
+            report.summary.rng_low_load_largest_speedup,
+            report.summary.rng_completed,
+        ));
+        if !report.summary.all_rng_scan_identical {
+            out.push_str(
+                "WARNING: v2 active-set and v2 full-scan metrics diverged — \
+                 the RNG contract is broken\n",
+            );
+        }
+    }
     out
 }
 
@@ -370,45 +571,71 @@ mod tests {
         assert_eq!(quick.cells.len(), 18, "2 sizes x 3 mechanisms x 3 loads");
         assert!(quick.cells.iter().any(|c| c.load <= LOW_LOAD_THRESHOLD));
         assert!(quick.cells.iter().any(|c| c.load >= 0.7));
+        assert_eq!(quick.rng_cells.len(), 6, "2 sizes x 3 loads, PolSP only");
+        assert!(quick
+            .rng_cells
+            .iter()
+            .all(|c| c.mechanism == MechanismSpec::PolSP));
+        assert!(quick
+            .rng_cells
+            .iter()
+            .any(|c| c.load <= LOW_LOAD_THRESHOLD && c.sides == quick.largest_sides()));
+        assert_eq!(quick.largest_sides(), vec![8, 8]);
         let full = BenchMatrix::pinned(false);
         assert_eq!(full.mode, "full");
         assert!(full.measure_cycles > quick.measure_cycles);
+        assert_eq!(full.largest_sides(), vec![16, 16]);
     }
 
     #[test]
     fn tiny_bench_run_reports_identical_metrics_and_parses_back() {
-        // A minimal one-cell matrix: the report must round-trip through its
-        // JSON schema and the two schedulers must agree.
+        // A minimal matrix — one scheduler A/B cell, one RNG-contract cell:
+        // the report must round-trip through its JSON schema, the two
+        // schedulers must agree, and the v2 active/full-scan pair must too.
+        let cell = BenchCell {
+            mechanism: MechanismSpec::PolSP,
+            sides: vec![4, 4],
+            load: 0.1,
+        };
         let matrix = BenchMatrix {
             mode: "quick",
             warmup_cycles: 50,
             measure_cycles: 200,
-            cells: vec![BenchCell {
-                mechanism: MechanismSpec::PolSP,
-                sides: vec![4, 4],
-                load: 0.1,
-            }],
+            cells: vec![cell.clone()],
+            rng_cells: vec![cell],
         };
         let mut calls = 0;
         let report = run_engine_bench(&matrix, 1, |done, total, _| {
             calls += 1;
-            assert_eq!(total, 1);
-            assert_eq!(done, 1);
+            assert_eq!(total, 2);
+            assert_eq!(done, calls);
         });
-        assert_eq!(calls, 1);
+        assert_eq!(calls, 2);
         assert_eq!(report.schema, BENCH_SCHEMA);
         assert_eq!(report.summary.cells, 1);
         assert_eq!(report.summary.completed, 1);
         assert!(report.summary.all_metrics_identical);
         assert!(report.cells[0].active.cycles_per_sec > 0.0);
         assert!(report.cells[0].full_scan.wall_ms >= 0.0);
+        // The RNG-contract cell: v2 active-set and v2 full-scan byte-agree,
+        // and the low-load largest-topology aggregate covers this one cell.
+        assert_eq!(report.summary.rng_cells, 1);
+        assert_eq!(report.summary.rng_completed, 1);
+        assert!(report.summary.all_rng_scan_identical);
+        assert!(report.rng_cells[0].v2_scan_identical);
+        assert!(report.rng_cells[0].v1.cycles_per_sec > 0.0);
+        assert!(report.rng_cells[0].speedup_v2_over_v1 > 0.0);
+        assert!(report.summary.rng_low_load_largest_speedup > 0.0);
         let json = serde_json::to_string_pretty(&report).unwrap();
         let parsed: BenchReport = serde_json::from_str(&json).unwrap();
         assert_eq!(parsed.cells.len(), 1);
+        assert_eq!(parsed.rng_cells.len(), 1);
         assert_eq!(parsed.summary.completed, 1);
         let table = format_bench_report(&report);
         assert!(table.contains("PolSP"), "{table}");
         assert!(table.contains("geomean speedup"), "{table}");
+        assert!(table.contains("RNG contract cells"), "{table}");
+        assert!(table.contains("rng geomean speedup"), "{table}");
     }
 
     #[test]
@@ -431,6 +658,7 @@ mod tests {
                     load: 0.1,
                 },
             ],
+            rng_cells: vec![],
         };
         let report = run_engine_bench(&matrix, 1, |_, _, _| {});
         assert_eq!(report.summary.cells, 2);

@@ -16,9 +16,10 @@ pub const BENCH_USAGE: &str =
     "usage: surepath bench [--quick|--full] [--out <path>] [--repeat N] [--quiet]
   Benchmarks the cycle-level engine over a pinned matrix (mechanism x load
   x topology size), comparing the active-set scheduler against the frozen
-  pre-refactor full-scan baseline. Both engines run the same seeds, so the
-  bench doubles as an A/B equivalence check: diverging metrics fail the
-  command.
+  pre-refactor full-scan baseline, plus a second matrix comparing RNG
+  contract v1 (per-server Bernoulli scan) against v2 (counting sampler).
+  Paired engines run the same seeds, so the bench doubles as an A/B
+  equivalence check: diverging metrics fail the command.
 
   --quick              small topologies and short windows (default)
   --full               larger topologies and longer windows
@@ -106,14 +107,19 @@ pub fn run_bench_command(cfg: &BenchCliConfig) -> Result<CommandOutput, String> 
     std::fs::write(&cfg.out, json).map_err(|e| format!("could not write {}: {e}", cfg.out))?;
     let mut text = format_bench_report(&report);
     text.push_str(&format!("(report written to {})\n", cfg.out));
-    if report.summary.all_metrics_identical {
-        Ok(CommandOutput { text, exit_code: 0 })
-    } else {
-        Err(format!(
+    if !report.summary.all_metrics_identical {
+        return Err(format!(
             "{text}scheduler divergence: active-set and full-scan metrics differ — \
              the refactor's determinism contract is broken"
-        ))
+        ));
     }
+    if !report.summary.all_rng_scan_identical {
+        return Err(format!(
+            "{text}RNG contract divergence: v2 active-set and v2 full-scan metrics \
+             differ — the counting sampler's determinism contract is broken"
+        ));
+    }
+    Ok(CommandOutput { text, exit_code: 0 })
 }
 
 #[cfg(test)]

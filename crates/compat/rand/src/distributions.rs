@@ -1,0 +1,327 @@
+//! Non-uniform distributions. Currently: [`Binomial`], the counting sampler
+//! behind the simulator's RNG contract v2.
+
+use crate::{RngCore, SampleStandard};
+
+/// How far the inverse-transform walk may run before the draw is retried,
+/// following the convention of `rand_distr`'s BINV implementation. With the
+/// chunk means this crate uses (≤ ~10) the retry probability is negligible
+/// (the walk length is a binomial tail ~100 standard deviations out).
+const BINV_MAX_X: u64 = 110;
+
+/// The binomial distribution `Binomial(n, p)`: the number of successes in
+/// `n` independent Bernoulli trials of probability `p`.
+///
+/// Sampling is **exact** (inverse transform over the true pmf, not a normal
+/// approximation) and **deterministic across platforms**: the setup and the
+/// per-draw walk use only IEEE-754 multiplications, divisions, additions and
+/// comparisons — no `exp`/`ln`, whose libm implementations vary by platform.
+/// Exactness for large `n·p` comes from decomposition instead of BTPE
+/// rejection: `Binomial(n, p)` is the sum of independent binomials over any
+/// partition of the `n` trials, so the sampler splits `n` into chunks of
+/// `min(n, ⌊10/p⌋)` trials (each chunk mean ≤ ~10, so its `q^chunk` setup
+/// constant stays far from underflow) and draws each chunk with the classic
+/// BINV inverse-transform walk:
+///
+/// ```text
+/// r ← q^n;  u ~ U[0,1);  x ← 0
+/// while u > r:  u -= r;  x += 1;  r *= (n+1-x)/x · p/q
+/// return x
+/// ```
+///
+/// Cost per draw is `O(n·p)` uniform-free arithmetic plus one uniform draw
+/// per chunk — independent of `n` at fixed mean, which is the property the
+/// simulator's rate-mode generation relies on.
+#[derive(Clone, Copy, Debug)]
+pub struct Binomial {
+    n: u64,
+    /// Sample `n - X` with success probability `1 - p` when `p > 1/2`, so
+    /// the walk always runs on the small side.
+    flipped: bool,
+    kind: Kind,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Kind {
+    /// Degenerate: `p ∈ {0, 1}` (after flipping) or `n = 0`.
+    Constant(u64),
+    Chunked {
+        /// `p' / q'` (after flipping).
+        s: f64,
+        /// Number of full chunks.
+        full_chunks: u64,
+        /// `q'^chunk`.
+        r0_chunk: f64,
+        /// `(chunk + 1) · s`.
+        a_chunk: f64,
+        /// Trials in the remainder chunk (0 if `chunk` divides `n`).
+        rem: u64,
+        /// `q'^rem`.
+        r0_rem: f64,
+        /// `(rem + 1) · s`.
+        a_rem: f64,
+    },
+}
+
+impl Binomial {
+    /// Builds a sampler for `Binomial(n, p)`.
+    ///
+    /// # Panics
+    /// Panics unless `p` is a probability (`0 ≤ p ≤ 1`).
+    pub fn new(n: u64, p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "Binomial: p = {p} is not a probability"
+        );
+        let flipped = p > 0.5;
+        let p_eff = if flipped { 1.0 - p } else { p };
+        if n == 0 || p_eff == 0.0 {
+            return Binomial {
+                n,
+                flipped,
+                kind: Kind::Constant(0),
+            };
+        }
+        // Chunk size keeps each chunk's mean ≤ ~10 so q^chunk never
+        // underflows (q^chunk ≥ e^(-10/(1-p')) ≥ e^-20 for p' ≤ 1/2).
+        let chunk = ((10.0 / p_eff).floor()).clamp(1.0, n as f64) as u64;
+        let q = 1.0 - p_eff;
+        let s = p_eff / q;
+        let full_chunks = n / chunk;
+        let rem = n % chunk;
+        Binomial {
+            n,
+            flipped,
+            kind: Kind::Chunked {
+                s,
+                full_chunks,
+                r0_chunk: pow_u64(q, chunk),
+                a_chunk: (chunk + 1) as f64 * s,
+                rem,
+                r0_rem: pow_u64(q, rem),
+                a_rem: (rem + 1) as f64 * s,
+            },
+        }
+    }
+
+    /// The number of trials `n`.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Draws one value in `[0, n]`.
+    pub fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        let successes = match self.kind {
+            Kind::Constant(k) => k,
+            Kind::Chunked {
+                s,
+                full_chunks,
+                r0_chunk,
+                a_chunk,
+                rem,
+                r0_rem,
+                a_rem,
+            } => {
+                let mut total = 0;
+                for _ in 0..full_chunks {
+                    total += binv(rng, r0_chunk, a_chunk, s);
+                }
+                if rem > 0 {
+                    total += binv(rng, r0_rem, a_rem, s);
+                }
+                total
+            }
+        };
+        if self.flipped {
+            self.n - successes
+        } else {
+            successes
+        }
+    }
+}
+
+/// `base^exp` by binary exponentiation: the deterministic, multiply-only
+/// power the setup constants are defined with.
+fn pow_u64(base: f64, mut exp: u64) -> f64 {
+    let mut result = 1.0;
+    let mut b = base;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            result *= b;
+        }
+        b *= b;
+        exp >>= 1;
+    }
+    result
+}
+
+/// One BINV inverse-transform walk: consumes exactly one uniform draw per
+/// attempt (retries only on the astronomically unlikely `x > BINV_MAX_X`).
+fn binv<R: RngCore + ?Sized>(rng: &mut R, r0: f64, a: f64, s: f64) -> u64 {
+    loop {
+        let mut r = r0;
+        let mut u = f64::sample(rng);
+        let mut x = 0u64;
+        while u > r {
+            u -= r;
+            x += 1;
+            if x > BINV_MAX_X {
+                break;
+            }
+            r *= a / x as f64 - s;
+        }
+        if x <= BINV_MAX_X {
+            return x;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::mock::StepRng;
+
+    /// A SplitMix64 generator for statistical checks (no dependency on
+    /// rand_chacha from inside this crate).
+    struct Mix(u64);
+
+    impl RngCore for Mix {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let bytes = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&bytes[..chunk.len()]);
+            }
+        }
+        fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), crate::Error> {
+            self.fill_bytes(dest);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let mut rng = Mix(1);
+        assert_eq!(Binomial::new(0, 0.3).sample(&mut rng), 0);
+        assert_eq!(Binomial::new(100, 0.0).sample(&mut rng), 0);
+        assert_eq!(Binomial::new(100, 1.0).sample(&mut rng), 100);
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let mut rng = Mix(7);
+        for &(n, p) in &[(1u64, 0.5), (10, 0.01), (1000, 0.003), (50, 0.97)] {
+            let b = Binomial::new(n, p);
+            for _ in 0..500 {
+                assert!(b.sample(&mut rng) <= n);
+            }
+        }
+    }
+
+    #[test]
+    fn mean_tracks_np_at_simulator_scales() {
+        // The operating point of rate-mode generation: n = servers,
+        // p = load / packet_length.
+        for &(n, p, seed) in &[
+            (4096u64, 0.05 / 16.0, 11u64),
+            (4096, 0.7 / 16.0, 12),
+            (256, 1.0 / 16.0, 13),
+            (64, 0.9, 14),
+        ] {
+            let b = Binomial::new(n, p);
+            let mut rng = Mix(seed);
+            let draws = 4000;
+            let sum: u64 = (0..draws).map(|_| b.sample(&mut rng)).sum();
+            let mean = sum as f64 / draws as f64;
+            let expect = n as f64 * p;
+            let sigma = (n as f64 * p * (1.0 - p) / draws as f64).sqrt();
+            assert!(
+                (mean - expect).abs() < 6.0 * sigma + 1e-9,
+                "n={n} p={p}: mean {mean} vs expected {expect} (σ̂ {sigma})"
+            );
+        }
+    }
+
+    #[test]
+    fn variance_tracks_npq() {
+        let b = Binomial::new(2048, 0.01);
+        let mut rng = Mix(99);
+        let draws = 6000;
+        let samples: Vec<f64> = (0..draws).map(|_| b.sample(&mut rng) as f64).collect();
+        let mean = samples.iter().sum::<f64>() / draws as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / draws as f64;
+        let expect = 2048.0 * 0.01 * 0.99;
+        assert!(
+            (var - expect).abs() < 0.15 * expect,
+            "variance {var} vs expected {expect}"
+        );
+    }
+
+    #[test]
+    fn flipped_side_matches_complement() {
+        // Binomial(n, p) and n - Binomial(n, 1-p) are the same distribution;
+        // the sampler flips internally, so both directions must land near np.
+        let n = 500u64;
+        for &p in &[0.6, 0.85, 0.99] {
+            let b = Binomial::new(n, p);
+            let mut rng = Mix(5);
+            let draws = 3000;
+            let mean = (0..draws).map(|_| b.sample(&mut rng)).sum::<u64>() as f64 / draws as f64;
+            let expect = n as f64 * p;
+            let sigma = (n as f64 * p * (1.0 - p) / draws as f64).sqrt();
+            assert!((mean - expect).abs() < 6.0 * sigma + 1e-9);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_a_fixed_generator() {
+        let b = Binomial::new(4096, 0.025);
+        let a: Vec<u64> = {
+            let mut rng = Mix(42);
+            (0..32).map(|_| b.sample(&mut rng)).collect()
+        };
+        let c: Vec<u64> = {
+            let mut rng = Mix(42);
+            (0..32).map(|_| b.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn zero_probability_consumes_no_randomness() {
+        // StepRng panics on an empty range only through use; a constant
+        // sampler must not touch the generator at all, so interleaving it
+        // with real draws must not shift the stream.
+        let mut rng = StepRng::new(3, 7);
+        let first = rng.next_u64();
+        let b = Binomial::new(1000, 0.0);
+        let _ = b.sample(&mut rng);
+        let second = rng.next_u64();
+        assert_eq!(second, first + 7);
+    }
+
+    #[test]
+    fn pow_u64_matches_repeated_multiplication() {
+        for &(base, exp) in &[(0.5f64, 10u64), (0.99, 137), (0.999968, 3200)] {
+            let mut manual = 1.0;
+            for _ in 0..exp {
+                manual *= base;
+            }
+            let fast = pow_u64(base, exp);
+            assert!(
+                (manual - fast).abs() <= manual * 1e-12,
+                "{base}^{exp}: {fast} vs {manual}"
+            );
+        }
+        assert_eq!(pow_u64(0.25, 0), 1.0);
+    }
+}

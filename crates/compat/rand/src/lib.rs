@@ -3,11 +3,13 @@
 //! The build environment cannot reach crates.io, so this crate reimplements
 //! the slice of `rand` the workspace uses: the [`RngCore`] / [`SeedableRng`]
 //! traits, the [`Rng`] extension trait (`gen`, `gen_range`, `gen_bool`),
-//! [`seq::SliceRandom`] (`shuffle`, `choose`), [`rngs::mock::StepRng`] and a
-//! [`thread_rng`]. Statistical quality matches the original for the purposes
-//! of this simulator (the default generator is ChaCha8, vendored separately
-//! as `rand_chacha`).
+//! [`seq::SliceRandom`] (`shuffle`, `choose`), [`rngs::mock::StepRng`], a
+//! [`thread_rng`], and [`distributions::Binomial`] (an exact, cross-platform
+//! deterministic counting sampler). Statistical quality matches the original
+//! for the purposes of this simulator (the default generator is ChaCha8,
+//! vendored separately as `rand_chacha`).
 
+pub mod distributions;
 pub mod rngs;
 pub mod seq;
 

@@ -22,7 +22,7 @@
 use crate::experiment::{Experiment, RootPlacement, TrafficSpec};
 use crate::scenario::FaultScenario;
 use hyperx_routing::MechanismSpec;
-use hyperx_sim::SimConfig;
+use hyperx_sim::{RngContract, SimConfig};
 use serde::Value;
 use std::path::Path;
 use surepath_runner::{job_fingerprint, CampaignOutcome, CampaignSpec, JobSpec};
@@ -76,6 +76,14 @@ pub fn job_experiment(job: &JobSpec) -> Result<Experiment, String> {
         sim: SimConfig::paper_defaults(concentration, num_vcs),
     };
     experiment.sim.servers_per_switch = concentration;
+    // An absent `rng` means contract v1: every store written before the
+    // contract was versioned ran v1, and re-running its jobs must stay
+    // byte-identical.
+    experiment.sim.rng_contract = match job.rng.as_deref() {
+        None | Some("v1") => RngContract::V1PerServer,
+        Some("v2") => RngContract::V2Counting,
+        Some(other) => return Err(format!("unknown RNG contract '{other}'")),
+    };
     experiment = experiment.with_seed(job.seed);
     if let (Some(warmup), Some(measure)) = (job.warmup, job.measure) {
         experiment = experiment.with_windows(warmup, measure);
@@ -222,6 +230,32 @@ mod tests {
         assert_eq!(e.sim.seed, 11);
         assert_eq!(e.sim.warmup_cycles, 150);
         assert_eq!(e.sim.measure_cycles, 400);
+    }
+
+    #[test]
+    fn job_rng_contract_maps_absent_to_v1() {
+        // Legacy jobs (no rng field) must re-run under the contract that
+        // produced their stores: v1.
+        let e = job_experiment(&tiny_job()).unwrap();
+        assert_eq!(e.sim.rng_contract, RngContract::V1PerServer);
+
+        let mut j = tiny_job();
+        j.rng = Some("v1".into());
+        assert_eq!(
+            job_experiment(&j).unwrap().sim.rng_contract,
+            RngContract::V1PerServer
+        );
+
+        let mut j = tiny_job();
+        j.rng = Some("v2".into());
+        assert_eq!(
+            job_experiment(&j).unwrap().sim.rng_contract,
+            RngContract::V2Counting
+        );
+
+        let mut j = tiny_job();
+        j.rng = Some("v7".into());
+        assert!(job_experiment(&j).unwrap_err().contains("v7"));
     }
 
     #[test]

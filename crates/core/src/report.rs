@@ -701,6 +701,13 @@ pub struct StoreDiff {
     /// failed**: the candidate could not even complete these jobs, which is
     /// worse than any metric delta and counts as a regression.
     pub candidate_failed: Vec<String>,
+    /// Warnings for point pairs that are the same experiment under
+    /// **different RNG contract versions** (e.g. baseline `rng=v1`,
+    /// candidate `rng=v2`). Their metrics come from different draw-order
+    /// distributions, so the diff refuses to compare them metric by metric —
+    /// but it also refuses to pass them off as grid mismatches: each pair is
+    /// surfaced as an explicit per-point warning. Never a regression.
+    pub rng_mismatch: Vec<String>,
 }
 
 impl StoreDiff {
@@ -813,6 +820,10 @@ fn point_label(job: &JobSpec) -> String {
     if let Some(packets) = job.packets_per_server {
         parts.push(format!("packets={packets}"));
     }
+    // Absent = contract v1: legacy labels stay byte-identical.
+    if let Some(rng) = &job.rng {
+        parts.push(format!("rng={rng}"));
+    }
     parts.join(" / ")
 }
 
@@ -870,20 +881,47 @@ pub fn diff_stores_filtered(
         .map(|(point, _)| point.as_str())
         .collect();
 
-    let mut diff = StoreDiff {
-        candidate_only: candidate_groups
-            .iter()
-            .filter(|(point, _)| !baseline_points.contains(point.as_str()))
-            .count(),
-        ..StoreDiff::default()
-    };
+    // Candidate points absent from the baseline, indexed by the *rng-blind*
+    // point fingerprint: an unmatched baseline point that shares this key
+    // with one of them is the same experiment under a different RNG contract
+    // — a warning, not a pair of grid mismatches. (Equal blind keys with
+    // unequal plain keys can only mean the `rng` field differs.)
+    let mut candidate_unmatched: Vec<(String, &StoreRecord, bool)> = candidate_groups
+        .iter()
+        .filter(|(point, _)| !baseline_points.contains(point.as_str()))
+        .map(|(_, replicas)| {
+            (
+                surepath_runner::point_fingerprint_ignoring_rng(&replicas[0].job),
+                replicas[0],
+                false,
+            )
+        })
+        .collect();
+    let rng_name = |job: &JobSpec| job.rng.clone().unwrap_or_else(|| "v1".into());
+
+    let mut diff = StoreDiff::default();
     for (point, baseline_replicas) in &baseline_groups {
         let Some(candidate_replicas) = candidate_index.get(point.as_str()) else {
             if candidate_attempted.contains(point.as_str()) {
                 diff.candidate_failed
                     .push(point_label(&baseline_replicas[0].job));
             } else {
-                diff.baseline_only += 1;
+                let blind =
+                    surepath_runner::point_fingerprint_ignoring_rng(&baseline_replicas[0].job);
+                if let Some((_, peer, consumed)) = candidate_unmatched
+                    .iter_mut()
+                    .find(|(key, _, consumed)| !*consumed && *key == blind)
+                {
+                    *consumed = true;
+                    diff.rng_mismatch.push(format!(
+                        "{}: baseline rng={}, candidate rng={}",
+                        point_label(&baseline_replicas[0].job),
+                        rng_name(&baseline_replicas[0].job),
+                        rng_name(&peer.job),
+                    ));
+                } else {
+                    diff.baseline_only += 1;
+                }
             }
             continue;
         };
@@ -930,6 +968,10 @@ pub fn diff_stores_filtered(
             metrics,
         });
     }
+    diff.candidate_only = candidate_unmatched
+        .iter()
+        .filter(|(_, _, consumed)| !consumed)
+        .count();
     diff
 }
 
@@ -989,6 +1031,12 @@ pub fn format_store_diff(diff: &StoreDiff) -> String {
     } else {
         out.push_str(&format_table(&header, &rows));
     }
+    for warning in &diff.rng_mismatch {
+        out.push_str(&format!(
+            "warning: RNG contract mismatch — {warning}: metrics come from \
+             different draw-order distributions; not compared\n"
+        ));
+    }
     out.push_str(&format!(
         "compared {} points ({} baseline-only, {} candidate-only, {} uncompared kinds, {} candidate-failed)\n",
         diff.points.len(),
@@ -1045,6 +1093,12 @@ pub fn store_diff_csv(diff: &StoreDiff) -> String {
     for label in &diff.candidate_failed {
         out.push_str(&format!(
             "{},,,completion,,,,,,,,true,true\n",
+            label.replace(',', ";")
+        ));
+    }
+    for label in &diff.rng_mismatch {
+        out.push_str(&format!(
+            "{},,,rng_mismatch,,,,,,,,false,false\n",
             label.replace(',', ";")
         ));
     }
@@ -1778,6 +1832,55 @@ mod tests {
         let reversed = diff_stores(&b, &a);
         assert!(!reversed.has_regressions());
         assert!(reversed.improvements() > 0);
+        let _ = std::fs::remove_file(&path_a);
+        let _ = std::fs::remove_file(&path_b);
+    }
+
+    #[test]
+    fn diff_warns_on_rng_contract_mismatch_without_comparing_or_failing() {
+        let path_a = temp_store("diff-rng-a");
+        let path_b = temp_store("diff-rng-b");
+        let _ = std::fs::remove_file(&path_a);
+        let _ = std::fs::remove_file(&path_b);
+        let mut a = ResultStore::open(&path_a).unwrap();
+        let mut b = ResultStore::open(&path_b).unwrap();
+        // Same experiment under different RNG contracts: baseline a legacy
+        // (rng absent = v1) store, candidate an explicit v2 store — with
+        // wildly different metrics that would scream "regression" if the
+        // diff engine dared to compare them.
+        for seed in 1u64..=3 {
+            a.append_ok(&rate_job("polsp", 0.3, seed), rate_result(0.70, 80.0))
+                .unwrap();
+            let mut v2 = rate_job("polsp", 0.3, seed);
+            v2.rng = Some("v2".into());
+            b.append_ok(&v2, rate_result(0.30, 400.0)).unwrap();
+        }
+        // A genuinely unmatched baseline point must still count as
+        // baseline-only, not get swallowed by the mismatch pairing.
+        a.append_ok(&rate_job("polsp", 0.5, 1), rate_result(0.65, 90.0))
+            .unwrap();
+        let diff = diff_stores(&a, &b);
+        assert!(diff.points.is_empty(), "mismatched contracts never compare");
+        assert_eq!(diff.rng_mismatch.len(), 1, "{:?}", diff.rng_mismatch);
+        assert!(
+            diff.rng_mismatch[0].contains("baseline rng=v1, candidate rng=v2"),
+            "{:?}",
+            diff.rng_mismatch
+        );
+        assert_eq!(diff.baseline_only, 1);
+        assert_eq!(diff.candidate_only, 0, "the paired point is accounted for");
+        assert!(!diff.has_regressions(), "a warning is not a regression");
+        let text = format_store_diff(&diff);
+        assert!(text.contains("warning: RNG contract mismatch"), "{text}");
+        assert!(text.contains("not compared"), "{text}");
+        assert!(text.contains("result: no regressions"), "{text}");
+        let csv = store_diff_csv(&diff);
+        assert!(csv.contains("rng_mismatch"), "{csv}");
+        assert!(!csv.contains("true,true"), "{csv}");
+        // Same-contract stores stay byte-identical in behaviour: no warning.
+        let clean = diff_stores(&a, &a);
+        assert!(clean.rng_mismatch.is_empty());
+        assert!(!format_store_diff(&clean).contains("RNG contract"));
         let _ = std::fs::remove_file(&path_a);
         let _ = std::fs::remove_file(&path_b);
     }

@@ -64,6 +64,20 @@ pub fn point_fingerprint(job: &JobSpec) -> String {
     format!("{:016x}", fnv1a64(canonical_point_json(job).as_bytes()))
 }
 
+/// The point fingerprint with the RNG contract *also* removed: two points
+/// that differ only in `rng` share this value. `--diff` uses it to recognise
+/// "same experiment, different RNG contract" pairs and warn that their
+/// metrics come from different draw-order distributions instead of silently
+/// listing both sides as missing.
+pub fn point_fingerprint_ignoring_rng(job: &JobSpec) -> String {
+    let mut value = serde::Serialize::serialize(job);
+    if let Value::Object(fields) = &mut value {
+        fields.retain(|(name, v)| name != "seed" && name != "rng" && !matches!(v, Value::Null));
+    }
+    let json = serde_json::to_string(&value).expect("job serializes");
+    format!("{:016x}", fnv1a64(json.as_bytes()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -155,6 +169,38 @@ mod tests {
         let json = canonical_point_json(&job(7));
         assert!(!json.contains("seed"), "{json}");
         assert!(!json.contains("null"), "{json}");
+    }
+
+    #[test]
+    fn rng_contract_changes_fingerprints_only_when_set() {
+        // None = v1: identical to a job predating the field, so every legacy
+        // store fingerprint survives the refactor untouched.
+        let legacy = r#"{"campaign":"c","kind":"rate","sides":[4,4],"concentration":4,"mechanism":"polsp","traffic":"uniform","scenario":"none","load":0.3,"seed":1,"warmup":100,"measure":200}"#;
+        let legacy_job: JobSpec = serde_json::from_str(legacy).unwrap();
+        assert_eq!(job_fingerprint(&legacy_job), job_fingerprint(&job(1)));
+        assert_eq!(point_fingerprint(&legacy_job), point_fingerprint(&job(1)));
+
+        // Some("v2") fingerprints differently — a v2 store never collides
+        // with a v1 store of the same grid.
+        let mut v2 = job(1);
+        v2.rng = Some("v2".into());
+        assert_ne!(job_fingerprint(&v2), job_fingerprint(&job(1)));
+        assert_ne!(point_fingerprint(&v2), point_fingerprint(&job(1)));
+
+        // But the rng-blind point fingerprint pairs them up (the --diff
+        // mismatch warning keys on this).
+        assert_eq!(
+            point_fingerprint_ignoring_rng(&v2),
+            point_fingerprint_ignoring_rng(&job(1))
+        );
+        // And it remains the plain point fingerprint for rng-free jobs with
+        // respect to every *other* dimension.
+        let mut other = job(1);
+        other.load = Some(0.4);
+        assert_ne!(
+            point_fingerprint_ignoring_rng(&other),
+            point_fingerprint_ignoring_rng(&job(1))
+        );
     }
 
     #[test]

@@ -64,7 +64,7 @@ pub use executor::{
     default_threads, parallel_map, run_work_stealing, run_work_stealing_chunked, ChunkOptions,
     JobOutcome,
 };
-pub use fingerprint::{job_fingerprint, point_fingerprint};
+pub use fingerprint::{job_fingerprint, point_fingerprint, point_fingerprint_ignoring_rng};
 pub use manifest::{manifest_path, ManifestRecord, ShardManifest};
 pub use queue::{shard_of_fingerprint, Lease, ShardQueues};
 pub use spec::{load_spec_file, CampaignSpec, JobSpec, TopologySpec};

@@ -81,6 +81,13 @@ pub struct CampaignSpec {
     pub packets_per_server: Option<u64>,
     /// Sampling window (cycles) of the batch throughput-over-time curve.
     pub sample_window: Option<u64>,
+    /// RNG determinism contract of rate-mode generation: `"v1"` (per-server
+    /// Bernoulli trials, the pre-versioning contract) or `"v2"` (the
+    /// counting sampler). `None` means v1 — every store written before the
+    /// contract was versioned ran v1, and `None` keeps those fingerprints
+    /// (and byte-identical re-runs) valid. Not a grid dimension: one
+    /// campaign runs under one contract.
+    pub rng: Option<String>,
     /// Optional global wall-clock budget in seconds: once exceeded, the
     /// driver stops dequeuing, finalizes the partial store cleanly and
     /// reports the deadline hit (re-running resumes the rest). The
@@ -111,6 +118,7 @@ impl Default for CampaignSpec {
             measure: None,
             packets_per_server: None,
             sample_window: None,
+            rng: None,
             deadline_secs: None,
         }
     }
@@ -118,7 +126,11 @@ impl Default for CampaignSpec {
 
 /// One fully instantiated cell of the campaign grid. Serialized verbatim
 /// into the result store; its canonical JSON is what gets fingerprinted.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+/// `Serialize` is manual (below): it mirrors the derive field for field,
+/// except `rng: None` is omitted entirely — the field did not exist when
+/// pre-contract stores were written, and re-finalizing such a store under
+/// a newer binary must not change its bytes.
+#[derive(Clone, Debug, PartialEq, Deserialize)]
 pub struct JobSpec {
     /// Owning campaign name.
     pub campaign: String,
@@ -150,6 +162,12 @@ pub struct JobSpec {
     pub packets_per_server: Option<u64>,
     /// Throughput sampling window in cycles (batch jobs).
     pub sample_window: Option<u64>,
+    /// RNG determinism contract (`"v1"` / `"v2"`; `None` = v1, the contract
+    /// every pre-versioning store ran under). `None` is dropped from the
+    /// canonical JSON, so legacy fingerprints are untouched; `"v2"` jobs
+    /// fingerprint differently — deliberately, because their byte streams
+    /// are from a different distribution draw order.
+    pub rng: Option<String>,
 }
 
 impl Default for JobSpec {
@@ -172,7 +190,49 @@ impl Default for JobSpec {
             measure: None,
             packets_per_server: None,
             sample_window: None,
+            rng: None,
         }
+    }
+}
+
+impl Serialize for JobSpec {
+    /// Mirrors the derived impl — declaration order, one entry per field —
+    /// except `rng` is **omitted** (not `null`) when unset. Store records
+    /// embed this JSON verbatim, so an always-present `"rng":null` would
+    /// change the bytes of every record a legacy store rewrites on
+    /// finalize; omission keeps pre-contract stores byte-stable while
+    /// `"rng":"v2"` still serializes (and fingerprints) when set.
+    fn serialize(&self) -> serde::Value {
+        let mut fields: Vec<(String, serde::Value)> = vec![
+            ("campaign".into(), Serialize::serialize(&self.campaign)),
+            ("kind".into(), Serialize::serialize(&self.kind)),
+            ("sides".into(), Serialize::serialize(&self.sides)),
+            (
+                "concentration".into(),
+                Serialize::serialize(&self.concentration),
+            ),
+            ("mechanism".into(), Serialize::serialize(&self.mechanism)),
+            ("traffic".into(), Serialize::serialize(&self.traffic)),
+            ("scenario".into(), Serialize::serialize(&self.scenario)),
+            ("root".into(), Serialize::serialize(&self.root)),
+            ("load".into(), Serialize::serialize(&self.load)),
+            ("seed".into(), Serialize::serialize(&self.seed)),
+            ("vcs".into(), Serialize::serialize(&self.vcs)),
+            ("warmup".into(), Serialize::serialize(&self.warmup)),
+            ("measure".into(), Serialize::serialize(&self.measure)),
+            (
+                "packets_per_server".into(),
+                Serialize::serialize(&self.packets_per_server),
+            ),
+            (
+                "sample_window".into(),
+                Serialize::serialize(&self.sample_window),
+            ),
+        ];
+        if self.rng.is_some() {
+            fields.push(("rng".into(), Serialize::serialize(&self.rng)));
+        }
+        serde::Value::Object(fields)
     }
 }
 
@@ -205,6 +265,9 @@ impl JobSpec {
         }
         if let Some(p) = self.packets_per_server {
             parts.push(format!("packets={p}"));
+        }
+        if let Some(r) = &self.rng {
+            parts.push(format!("rng={r}"));
         }
         parts.push(format!("seed={}", self.seed));
         parts.join(" / ")
@@ -305,6 +368,14 @@ impl CampaignSpec {
         if self.deadline_secs == Some(0) {
             return Err("`deadline_secs` must be at least 1".to_string());
         }
+        if let Some(rng) = &self.rng {
+            if rng != "v1" && rng != "v2" {
+                return Err(format!(
+                    "campaign `{}`: unknown RNG contract `{rng}` (expected `v1` or `v2`)",
+                    self.name
+                ));
+            }
+        }
         Ok(())
     }
 
@@ -374,6 +445,7 @@ impl CampaignSpec {
                                             measure: self.measure,
                                             packets_per_server: self.packets_per_server,
                                             sample_window: self.sample_window,
+                                            rng: self.rng.clone(),
                                         });
                                     }
                                 }
@@ -615,6 +687,55 @@ mod tests {
         let err = s.expand().unwrap_err();
         assert!(err.contains("campaign `quick`"), "{err}");
         assert!(err.contains("at least 1"), "{err}");
+    }
+
+    #[test]
+    fn rng_contract_reaches_every_job_and_is_validated() {
+        let spec = CampaignSpec {
+            rng: Some("v2".to_string()),
+            ..quick_spec()
+        };
+        let jobs = spec.expand().unwrap();
+        assert!(jobs.iter().all(|j| j.rng.as_deref() == Some("v2")));
+        assert!(jobs[0].label().contains("rng=v2"), "{}", jobs[0].label());
+
+        // Absent = v1 (the pre-versioning contract): no rng in the jobs, so
+        // legacy stores keep their fingerprints.
+        let legacy = quick_spec().expand().unwrap();
+        assert!(legacy.iter().all(|j| j.rng.is_none()));
+        assert!(!legacy[0].label().contains("rng="));
+
+        let mut bad = quick_spec();
+        bad.rng = Some("v3".to_string());
+        let err = bad.expand().unwrap_err();
+        assert!(err.contains("unknown RNG contract `v3`"), "{err}");
+    }
+
+    #[test]
+    fn job_serialization_omits_unset_rng_entirely() {
+        // Store records embed the job JSON verbatim: an unset contract must
+        // serialize exactly as it did before the field existed (no
+        // `"rng":null`), or re-finalizing a legacy store changes its bytes.
+        let job = JobSpec {
+            campaign: "c".into(),
+            sides: vec![4, 4],
+            ..JobSpec::default()
+        };
+        let json = serde_json::to_string(&Serialize::serialize(&job)).unwrap();
+        assert!(!json.contains("rng"), "{json}");
+        assert!(json.contains("\"sample_window\":null"), "{json}");
+
+        let mut v2 = job.clone();
+        v2.rng = Some("v2".into());
+        let json = serde_json::to_string(&Serialize::serialize(&v2)).unwrap();
+        assert!(json.ends_with("\"rng\":\"v2\"}"), "{json}");
+
+        // And both shapes round-trip through Deserialize.
+        let back: JobSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, v2);
+        let legacy_json = serde_json::to_string(&Serialize::serialize(&job)).unwrap();
+        let back: JobSpec = serde_json::from_str(&legacy_json).unwrap();
+        assert_eq!(back, job);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Simulation configuration (Table 2 of the paper).
 
+use crate::rng_contract::RngContract;
 use serde::{Deserialize, Serialize};
 
 /// Parameters of the cycle-level simulation.
@@ -37,6 +38,11 @@ pub struct SimConfig {
     /// If no packet moves for this many cycles while packets are in flight the
     /// simulator reports a stall (deadlock or undeliverable packets).
     pub watchdog_cycles: u64,
+    /// Which versioned sequence of rate-mode generation draws the engine
+    /// makes (see [`crate::rng_contract`]). New work defaults to v2 (the
+    /// counting sampler); pin [`RngContract::V1PerServer`] to reproduce
+    /// fixtures and stores produced before the contract was versioned.
+    pub rng_contract: RngContract,
 }
 
 impl SimConfig {
@@ -57,6 +63,7 @@ impl SimConfig {
             measure_cycles: 10_000,
             seed: 1,
             watchdog_cycles: 50_000,
+            rng_contract: RngContract::V2Counting,
         }
     }
 
@@ -132,6 +139,23 @@ mod tests {
         assert!(q.measure_cycles < p.measure_cycles);
         assert_eq!(q.packet_length, p.packet_length);
         assert_eq!(q.input_buffer_packets, p.input_buffer_packets);
+    }
+
+    #[test]
+    fn rng_contract_defaults_v2_new_v1_for_legacy_payloads() {
+        assert_eq!(SimConfig::default().rng_contract, RngContract::V2Counting);
+        // A config serialized before the contract was versioned carries no
+        // `rng_contract` field and must deserialize as v1 — the contract it
+        // actually ran under.
+        let serde::Value::Object(entries) = SimConfig::default().serialize() else {
+            panic!("SimConfig must serialize as an object");
+        };
+        let legacy: Vec<_> = entries
+            .into_iter()
+            .filter(|(k, _)| k != "rng_contract")
+            .collect();
+        let parsed = SimConfig::deserialize(&serde::Value::Object(legacy)).unwrap();
+        assert_eq!(parsed.rng_contract, RngContract::V1PerServer);
     }
 
     #[test]

@@ -24,6 +24,7 @@ pub mod config;
 pub mod engine;
 pub mod metrics;
 pub mod packet;
+pub mod rng_contract;
 pub mod server;
 pub mod switch;
 pub mod traffic;
@@ -34,6 +35,7 @@ pub use metrics::{
     jain_index, BatchMetrics, LatencyHistogram, MeasuredCounters, RateMetrics, ThroughputSample,
 };
 pub use packet::{Packet, PacketId};
+pub use rng_contract::RngContract;
 pub use server::GenerationMode;
 pub use traffic::{
     DimensionComplementReverse, HotspotIncast, NeighbourShift, RandomServerPermutation,

@@ -1,0 +1,194 @@
+//! The versioned RNG determinism contract of rate-mode generation.
+//!
+//! A *contract version* pins the exact sequence of RNG draws the simulator
+//! makes per cycle, so that a `(config, seed)` pair reproduces byte-identical
+//! metrics forever — across refactors, schedulers and machines. Two versions
+//! exist:
+//!
+//! * **v1 (`V1PerServer`)** — the original contract: one Bernoulli trial per
+//!   server per cycle, in ascending server order. The draw *order* is the
+//!   contract, which forces generation to scan every server every cycle —
+//!   O(n_servers) even when almost nobody injects.
+//! * **v2 (`V2Counting`)** — the counting-sampler contract: per cycle, one
+//!   `k ~ Binomial(n_servers, p)` draw (see [`rand::distributions::Binomial`])
+//!   followed by a without-replacement sample of the `k` injecting servers
+//!   ([`sample_without_replacement`]), their destination/routing draws then
+//!   happening in ascending server order. Generation cost is O(k) — it scales
+//!   with *traffic*, not network size — and the per-cycle injector marginals
+//!   are exactly those of v1 (each server injects with probability `p`,
+//!   pairwise without replacement within the cycle like v1's independent
+//!   trials in expectation), so v1 and v2 agree *statistically* while their
+//!   byte streams differ.
+//!
+//! Old fixtures and stores were produced under v1; anything that replays them
+//! must pin `V1PerServer`. New work defaults to `V2Counting`.
+
+use serde::{Deserialize, Serialize, Value};
+
+/// Which versioned sequence of rate-mode generation draws the engine makes.
+///
+/// Serialized as the strings `"v1"` / `"v2"`; a serialized config from before
+/// the field existed deserializes as [`RngContract::V1PerServer`], because
+/// that is the contract it ran under.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RngContract {
+    /// One Bernoulli trial per server per cycle, ascending server order
+    /// (the frozen pre-v2 contract; requires a full per-cycle server scan).
+    V1PerServer,
+    /// One binomial arrival-count draw per cycle, then a without-replacement
+    /// sample of the injecting servers (O(traffic) generation).
+    V2Counting,
+}
+
+impl RngContract {
+    /// The stable wire/CLI key of this version (`"v1"` / `"v2"`).
+    pub fn key(self) -> &'static str {
+        match self {
+            RngContract::V1PerServer => "v1",
+            RngContract::V2Counting => "v2",
+        }
+    }
+
+    /// Parses a wire/CLI key.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "v1" => Ok(RngContract::V1PerServer),
+            "v2" => Ok(RngContract::V2Counting),
+            other => Err(format!(
+                "unknown RNG contract `{other}` (expected `v1` or `v2`)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for RngContract {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
+impl Serialize for RngContract {
+    fn serialize(&self) -> Value {
+        Value::String(self.key().to_string())
+    }
+}
+
+impl Deserialize for RngContract {
+    fn deserialize(value: &Value) -> Result<Self, serde::Error> {
+        let Value::String(s) = value else {
+            return Err(serde::Error::type_mismatch("string", value));
+        };
+        RngContract::parse(s).map_err(serde::Error::custom)
+    }
+
+    fn deserialize_missing() -> Option<Self> {
+        // Configs serialized before the contract was versioned ran v1.
+        Some(RngContract::V1PerServer)
+    }
+}
+
+/// Samples `k` distinct indices uniformly from `[0, n)` into `out` (sorted
+/// ascending), using Floyd's algorithm: exactly `k` `gen_range` draws, no
+/// allocation, membership tracked in the caller's `stamp` array by writing
+/// `stamp_value` (the caller guarantees no entry already holds it — the
+/// engine stamps with `cycle + 1`, which is unique per cycle and never needs
+/// clearing).
+///
+/// This is part of the v2 contract: the draw count and order are fixed
+/// (Floyd's `j = n-k .. n-1` loop), so the byte stream is pinned.
+///
+/// # Panics
+/// Panics if `k > n` or `stamp` is shorter than `n`.
+pub fn sample_without_replacement<R: rand::RngCore + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    k: usize,
+    stamp: &mut [u64],
+    stamp_value: u64,
+    out: &mut Vec<usize>,
+) {
+    use rand::Rng;
+    assert!(k <= n, "cannot sample {k} distinct values from {n}");
+    assert!(stamp.len() >= n, "stamp array shorter than the domain");
+    out.clear();
+    for j in (n - k)..n {
+        let t = rng.gen_range(0..j + 1);
+        // Floyd: if t was already picked, j itself cannot have been (it
+        // enters the candidate range only now), so picking j keeps every
+        // k-subset equally likely.
+        let pick = if stamp[t] == stamp_value { j } else { t };
+        debug_assert_ne!(stamp[pick], stamp_value);
+        stamp[pick] = stamp_value;
+        out.push(pick);
+    }
+    out.sort_unstable();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn keys_roundtrip() {
+        for c in [RngContract::V1PerServer, RngContract::V2Counting] {
+            assert_eq!(RngContract::parse(c.key()).unwrap(), c);
+            assert_eq!(format!("{c}"), c.key());
+        }
+        assert!(RngContract::parse("v3").is_err());
+    }
+
+    #[test]
+    fn serde_roundtrip_and_missing_field_defaults_to_v1() {
+        let v = RngContract::V2Counting.serialize();
+        assert_eq!(
+            RngContract::deserialize(&v).unwrap(),
+            RngContract::V2Counting
+        );
+        assert_eq!(
+            RngContract::deserialize_missing(),
+            Some(RngContract::V1PerServer)
+        );
+        assert!(RngContract::deserialize(&Value::String("v9".into())).is_err());
+    }
+
+    #[test]
+    fn sample_is_sorted_distinct_and_in_range() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let n = 100;
+        let mut stamp = vec![0u64; n];
+        let mut out = Vec::new();
+        for round in 1..=200u64 {
+            let k = (round as usize * 7) % (n + 1);
+            sample_without_replacement(&mut rng, n, k, &mut stamp, round, &mut out);
+            assert_eq!(out.len(), k);
+            assert!(out.windows(2).all(|w| w[0] < w[1]), "sorted and distinct");
+            assert!(out.iter().all(|&s| s < n));
+        }
+    }
+
+    #[test]
+    fn full_sample_is_the_whole_domain() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let n = 37;
+        let mut stamp = vec![0u64; n];
+        let mut out = Vec::new();
+        sample_without_replacement(&mut rng, n, n, &mut stamp, 1, &mut out);
+        assert_eq!(out, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_sample_draws_nothing() {
+        // k = 0 must consume no randomness: the stream continues as if the
+        // call never happened.
+        let mut a = ChaCha8Rng::seed_from_u64(5);
+        let mut b = ChaCha8Rng::seed_from_u64(5);
+        let mut stamp = vec![0u64; 8];
+        let mut out = vec![99];
+        sample_without_replacement(&mut a, 8, 0, &mut stamp, 1, &mut out);
+        assert!(out.is_empty());
+        use rand::RngCore;
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}
