@@ -69,7 +69,8 @@ impl Default for CliConfig {
 /// The usage string of the `campaign` subcommand.
 pub const CAMPAIGN_USAGE: &str = "usage: surepath campaign <spec.toml|spec.json> [options]
        surepath campaign <spec> --serve <addr> | --spawn-local <n> [options]
-       surepath campaign --worker <addr> [--threads N] [--quiet]
+       surepath campaign --worker <addr> [--threads N] [--reconnect-retries N]
+                         [--backoff-ms N] [--quiet]
        surepath campaign --report <store.jsonl>... [--merge <out.jsonl>] [--csv <out.csv>]
                          [--plots <dir> [--gnuplot]] [--timings]
        surepath campaign --merge <out.jsonl> <store.jsonl>...
@@ -97,7 +98,17 @@ pub const CAMPAIGN_USAGE: &str = "usage: surepath campaign <spec.toml|spec.json>
                        prefix into shards, fast workers steal slow workers'
                        tails, lost workers' leases are re-offered, and the
                        finalized store is byte-identical to a local run
-  --worker ADDR        run jobs for the coordinator at ADDR until drained
+  --worker ADDR        run jobs for the coordinator at ADDR until drained;
+                       transport failures trigger auto-reconnect with capped
+                       exponential backoff, and the campaign fingerprint in
+                       the handshake gates resumption (a different campaign
+                       on the same address aborts loudly)
+  --reconnect-retries N  consecutive failed reconnect attempts before the
+                       worker gives up (8; the counter resets whenever a
+                       reconnect succeeds)
+  --backoff-ms N       initial reconnect backoff in milliseconds (100);
+                       doubles per attempt, capped, with deterministic
+                       per-worker jitter
   --spawn-local N      serve on an ephemeral local port and fork N worker
                        processes (single-machine scale-out and tests);
                        --threads sets each worker's pool size (default:
@@ -365,6 +376,12 @@ pub enum CampaignCommand {
         addr: String,
         /// Executor threads on this worker (`None` = all cores).
         threads: Option<usize>,
+        /// Consecutive failed reconnect attempts before giving up
+        /// (`--reconnect-retries`; `None` = the policy default).
+        reconnect_retries: Option<usize>,
+        /// Initial reconnect backoff in milliseconds (`--backoff-ms`;
+        /// `None` = the policy default).
+        backoff_ms: Option<u64>,
         /// Suppress progress output.
         quiet: bool,
     },
@@ -442,6 +459,8 @@ pub fn parse_campaign_args(args: &[String]) -> Result<CampaignCommand, String> {
     let mut lease_secs: Option<u64> = None;
     let mut shards: Option<usize> = None;
     let mut chunk: Option<usize> = None;
+    let mut reconnect_retries: Option<usize> = None;
+    let mut backoff_ms: Option<u64> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |name: &str| -> Result<String, String> {
@@ -478,6 +497,15 @@ pub fn parse_campaign_args(args: &[String]) -> Result<CampaignCommand, String> {
             }
             "--shards" => shards = Some(positive("--shards", value("--shards")?)?),
             "--chunk" => chunk = Some(positive("--chunk", value("--chunk")?)?),
+            "--reconnect-retries" => {
+                reconnect_retries = Some(positive(
+                    "--reconnect-retries",
+                    value("--reconnect-retries")?,
+                )?)
+            }
+            "--backoff-ms" => {
+                backoff_ms = Some(positive("--backoff-ms", value("--backoff-ms")?)? as u64)
+            }
             "--help" | "-h" => return Err(CAMPAIGN_USAGE.to_string()),
             other if other.starts_with("--") => {
                 return Err(format!("unknown argument '{other}'\n{CAMPAIGN_USAGE}"))
@@ -504,13 +532,22 @@ pub fn parse_campaign_args(args: &[String]) -> Result<CampaignCommand, String> {
             || campaign_filter.is_some()
             || !positionals.is_empty()
         {
-            return Err("--worker only combines with --threads and --quiet".to_string());
+            return Err(
+                "--worker only combines with --threads, --reconnect-retries, --backoff-ms \
+                 and --quiet"
+                    .to_string(),
+            );
         }
         return Ok(CampaignCommand::Worker {
             addr,
             threads,
+            reconnect_retries,
+            backoff_ms,
             quiet,
         });
+    }
+    if reconnect_retries.is_some() || backoff_ms.is_some() {
+        return Err("--reconnect-retries/--backoff-ms only apply to --worker".to_string());
     }
     if serve.is_some() || spawn_local.is_some() {
         if report
@@ -713,22 +750,35 @@ pub fn run_campaign_command(cmd: &CampaignCommand) -> Result<CommandOutput, Stri
         CampaignCommand::Worker {
             addr,
             threads,
+            reconnect_retries,
+            backoff_ms,
             quiet,
         } => {
             let worker_id = default_worker_id();
+            let defaults = surepath_dist::ReconnectPolicy::default();
+            let reconnect = surepath_dist::ReconnectPolicy::with(
+                reconnect_retries.unwrap_or(defaults.retries),
+                backoff_ms.unwrap_or(defaults.initial_backoff.as_millis() as u64),
+            );
             let outcome = surepath_dist::run_worker(
                 addr,
                 &worker_id,
                 &surepath_dist::WorkerOptions {
                     threads: *threads,
+                    reconnect,
                     quiet: *quiet,
                     ..surepath_dist::WorkerOptions::default()
                 },
                 surepath_core::run_job,
             )
             .map_err(|e| format!("worker failed: {e}"))?;
+            let reconnects = if outcome.reconnects > 0 {
+                format!(", {} reconnect(s)", outcome.reconnects)
+            } else {
+                String::new()
+            };
             Ok(CommandOutput::ok(format!(
-                "worker `{worker_id}` drained: {} executed, {} failed",
+                "worker `{worker_id}` drained: {} executed, {} failed{reconnects}",
                 outcome.executed, outcome.failed
             )))
         }
@@ -1387,8 +1437,37 @@ mod tests {
             CampaignCommand::Worker {
                 addr: "host:7777".into(),
                 threads: Some(2),
+                reconnect_retries: None,
+                backoff_ms: None,
                 quiet: false,
             }
+        );
+        // Reconnect tuning rides on --worker and nothing else.
+        assert_eq!(
+            parse_campaign_args(&args(&[
+                "--worker",
+                "host:7777",
+                "--reconnect-retries",
+                "3",
+                "--backoff-ms",
+                "250"
+            ]))
+            .unwrap(),
+            CampaignCommand::Worker {
+                addr: "host:7777".into(),
+                threads: None,
+                reconnect_retries: Some(3),
+                backoff_ms: Some(250),
+                quiet: false,
+            }
+        );
+        assert!(parse_campaign_args(&args(&["a.toml", "--reconnect-retries", "3"])).is_err());
+        assert!(
+            parse_campaign_args(&args(&["a.toml", "--serve", "h:1", "--backoff-ms", "50"]))
+                .is_err()
+        );
+        assert!(
+            parse_campaign_args(&args(&["--worker", "h:1", "--reconnect-retries", "0"])).is_err()
         );
         // --threads with --spawn-local is each forked worker's pool size.
         match parse_campaign_args(&args(&["g.toml", "--spawn-local", "2", "--threads", "4"]))
@@ -1517,6 +1596,8 @@ mod tests {
         let output = run_campaign_command(&CampaignCommand::Worker {
             addr,
             threads: Some(2),
+            reconnect_retries: None,
+            backoff_ms: None,
             quiet: true,
         })
         .unwrap();

@@ -23,8 +23,9 @@
 //! idempotently (results are deterministic functions of the job, so both
 //! copies carry the same bytes; `ok` is never downgraded).
 
-use crate::protocol::{write_message, Reply, Request};
-use std::collections::HashMap;
+use crate::protocol::{write_message, Reply, Request, DRAIN_LINGER_MILLIS, WAIT_BACKOFF_MILLIS};
+use crate::session::{campaign_fingerprint, session_nonce};
+use std::collections::{HashMap, HashSet};
 use std::io::BufReader;
 use std::net::{TcpListener, TcpStream};
 use std::path::Path;
@@ -49,6 +50,12 @@ pub struct ServeOptions {
     pub chunk: usize,
     /// Suppress progress output on stderr.
     pub quiet: bool,
+    /// Stop serving after this many deliveries even if the grid is not
+    /// drained (`None` = serve to completion). The partial store is
+    /// finalized cleanly and a later `serve` on the same path resumes the
+    /// rest — this is the fault-injection hook the crash/restart tests use
+    /// to emulate a coordinator dying mid-campaign inside one process.
+    pub stop_after_deliveries: Option<usize>,
 }
 
 impl Default for ServeOptions {
@@ -58,6 +65,7 @@ impl Default for ServeOptions {
             lease: Duration::from_secs(60),
             chunk: 8,
             quiet: false,
+            stop_after_deliveries: None,
         }
     }
 }
@@ -78,6 +86,12 @@ pub struct ServeOutcome {
     pub workers: usize,
     /// Jobs that were re-offered after a lost worker or an expired lease.
     pub reoffered: usize,
+    /// Connections beyond each worker's first — the auto-reconnects this
+    /// coordinator served (session resumes after network failures).
+    pub reconnects: usize,
+    /// Whether `stop_after_deliveries` cut the run short (the store is
+    /// partial but finalized; re-serving resumes).
+    pub stopped: bool,
 }
 
 impl ServeOutcome {
@@ -93,7 +107,10 @@ struct Shared {
     pending: Vec<JobSpec>,
     /// Fingerprint → index into `pending`.
     by_fp: HashMap<String, usize>,
-    /// Shard queues + leases over `pending` indices.
+    /// Shard queues + leases over `pending` indices. Leases are keyed by
+    /// *connection name* (`worker#N`), not worker id: a reconnecting
+    /// worker's new leases must never be released by its dead connection's
+    /// late cleanup.
     queues: ShardQueues,
     store: ResultStore,
     manifest: ShardManifest,
@@ -102,8 +119,20 @@ struct Shared {
     delivered: Vec<bool>,
     delivered_count: usize,
     failed: usize,
-    workers: usize,
+    /// Every worker id that ever introduced itself.
+    worker_ids: HashSet<String>,
+    /// Worker id → (connection name, home shard) currently speaking for it.
+    live_conns: HashMap<String, (String, usize)>,
+    /// Live connections homed per shard (drives least-loaded assignment).
+    home_counts: Vec<usize>,
+    /// Monotonic connection counter (uniquifies lease names).
+    connections: usize,
     reoffered: usize,
+    reconnects: usize,
+    /// Mirror of `ServeOptions::stop_after_deliveries`.
+    stop_budget: Option<usize>,
+    /// `stop_after_deliveries` tripped: stop serving, finalize partial.
+    stopped: bool,
     quiet: bool,
 }
 
@@ -111,6 +140,59 @@ impl Shared {
     fn is_done(&self) -> bool {
         self.delivered_count == self.pending.len()
     }
+
+    /// Whether handlers should wind down: grid drained or stop tripped.
+    fn is_over(&self) -> bool {
+        self.is_done() || self.stopped
+    }
+
+    /// Releases every lease `conn` holds back to its shard queue,
+    /// journalling each reclaim, and forgets the connection's home-shard
+    /// slot. Safe against reconnect races: lease names are unique per
+    /// connection, so a dead connection can only ever release its own.
+    fn reclaim_connection(&mut self, worker: &str, conn: &str, home_shard: usize) -> usize {
+        let released = self.queues.release_worker(conn);
+        for &idx in &released {
+            let fp = job_fingerprint(&self.pending[idx]);
+            let shard = shard_of_fingerprint(&fp, self.queues.shards());
+            let _ = self.manifest.record_reclaimed(&fp, shard, worker);
+        }
+        self.reoffered += released.len();
+        // The home-shard slot is freed exactly once per connection: a dead
+        // connection's own (late) cleanup after a re-Hello already reclaimed
+        // it must not decrement a second time.
+        if self.live_conns.get(worker).map(|(c, _)| c.as_str()) == Some(conn) {
+            self.live_conns.remove(worker);
+            self.home_counts[home_shard] = self.home_counts[home_shard].saturating_sub(1);
+        }
+        released.len()
+    }
+
+    /// The home shard for a joining connection: the one with the fewest
+    /// live connections homed on it, ties broken by the lowest shard index
+    /// — deterministic, and immune to the join-counter drift a
+    /// reconnecting fleet would otherwise accumulate.
+    fn least_loaded_shard(&self) -> usize {
+        self.home_counts
+            .iter()
+            .enumerate()
+            .min_by_key(|&(idx, &count)| (count, idx))
+            .map(|(idx, _)| idx)
+            .unwrap_or(0)
+    }
+}
+
+/// What one polled read produced. A malformed frame is deliberately *not*
+/// collapsed into "connection gone": a worker speaking garbage deserves a
+/// `ProtocolError` naming the offending line, a dead worker deserves
+/// silence — the two must stay distinguishable end to end.
+enum ReadOutcome {
+    /// A well-formed request (boxed: `Deliver` dwarfs the other variants).
+    Request(Box<Request>),
+    /// EOF, a transport error, or `keep_waiting` said stop.
+    Disconnected,
+    /// A complete line arrived but did not parse; carries the line.
+    Malformed(String),
 }
 
 /// Reads one request off a connection whose socket has a short read
@@ -118,32 +200,53 @@ impl Shared {
 /// partially received lines accumulate across ticks (so a message split
 /// across TCP segments can never desync the stream), and `keep_waiting`
 /// decides whether to go on waiting — the handler passes "campaign not
-/// done yet". Returns `None` when the connection is gone (EOF, transport
-/// error, garbage) or `keep_waiting` says stop.
+/// done yet".
 fn read_request_polling(
     reader: &mut BufReader<TcpStream>,
     mut keep_waiting: impl FnMut() -> bool,
-) -> Option<Request> {
+) -> ReadOutcome {
     use std::io::BufRead as _;
     let mut line = String::new();
     loop {
         match reader.read_line(&mut line) {
-            Ok(0) => return None, // clean EOF
+            Ok(0) => return ReadOutcome::Disconnected, // clean EOF
             // `read_line` returns only at the delimiter or EOF; a line
             // without its newline is a connection that died mid-message.
-            Ok(_) if !line.ends_with('\n') => return None,
-            Ok(_) => return serde_json::from_str(line.trim_end()).ok(),
+            Ok(_) if !line.ends_with('\n') => return ReadOutcome::Disconnected,
+            Ok(_) => {
+                let trimmed = line.trim_end();
+                return match serde_json::from_str(trimmed) {
+                    Ok(request) => ReadOutcome::Request(request),
+                    Err(_) => ReadOutcome::Malformed(trimmed.to_string()),
+                };
+            }
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
             {
                 // Poll tick; any bytes already read stay in `line`.
                 if !keep_waiting() {
-                    return None;
+                    return ReadOutcome::Disconnected;
                 }
             }
-            Err(_) => return None,
+            Err(_) => return ReadOutcome::Disconnected,
         }
+    }
+}
+
+/// The `ProtocolError` reply for a frame that did not parse: names the
+/// offending line (clipped — it may be arbitrary garbage) so the worker's
+/// error message is actionable.
+fn malformed_reply(line: &str) -> Reply {
+    const CLIP: usize = 120;
+    let shown: String = line.chars().take(CLIP).collect();
+    let ellipsis = if line.chars().count() > CLIP {
+        "…"
+    } else {
+        ""
+    };
+    Reply::ProtocolError {
+        message: format!("malformed frame: `{shown}{ellipsis}` is not a valid request"),
     }
 }
 
@@ -157,7 +260,14 @@ fn read_request_polling(
 /// blocking the coordinator's shutdown on a worker that will never speak
 /// again. Only EOF / a transport error means the worker is gone — its
 /// leases re-offer immediately.
-fn handle_connection(stream: TcpStream, campaign: &str, shared: &Mutex<Shared>, chunk: usize) {
+fn handle_connection(
+    stream: TcpStream,
+    campaign: &str,
+    fingerprint: &str,
+    session: &str,
+    shared: &Mutex<Shared>,
+    chunk: usize,
+) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
     let mut reader = BufReader::new(match stream.try_clone() {
@@ -169,68 +279,141 @@ fn handle_connection(stream: TcpStream, campaign: &str, shared: &Mutex<Shared>, 
     // Campaign completion does not end the conversation instantly: a worker
     // sleeping through a Wait backoff still deserves its final `Drained`
     // instead of a closed socket, so the handler lingers for a grace period
-    // after it first observes completion (workers back off 100ms; 1s is
-    // plenty) and only then stops waiting for silent peers.
+    // after it first observes completion ([`DRAIN_LINGER_MILLIS`], sized
+    // against the workers' [`WAIT_BACKOFF_MILLIS`]) and only then stops
+    // waiting for silent peers.
     let mut done_at: Option<Instant> = None;
     let mut keep_waiting = move |shared: &Mutex<Shared>| -> bool {
-        if !shared.lock().expect("coordinator state").is_done() {
+        if !shared.lock().expect("coordinator state").is_over() {
             return true;
         }
-        done_at.get_or_insert_with(Instant::now).elapsed() < Duration::from_secs(1)
+        done_at.get_or_insert_with(Instant::now).elapsed()
+            < Duration::from_millis(DRAIN_LINGER_MILLIS)
     };
 
     // First message must be Hello; it names the worker for leases/manifest.
-    let worker = match read_request_polling(&mut reader, || keep_waiting(shared)) {
-        Some(Request::Hello { worker }) => worker,
-        Some(_) => {
-            let _ = write_message(
-                &mut writer,
-                &Reply::ProtocolError {
-                    message: "first message must be Hello".into(),
-                },
-            );
+    let (worker, resumed_session) = match read_request_polling(&mut reader, || keep_waiting(shared))
+    {
+        ReadOutcome::Request(request) => match *request {
+            Request::Hello { worker, session } => (worker, session),
+            _ => {
+                let _ = write_message(
+                    &mut writer,
+                    &Reply::ProtocolError {
+                        message: "first message must be Hello".into(),
+                    },
+                );
+                return;
+            }
+        },
+        ReadOutcome::Malformed(line) => {
+            let _ = write_message(&mut writer, &malformed_reply(&line));
             return;
         }
-        None => return,
+        ReadOutcome::Disconnected => return,
     };
-    let shard = {
+    // The connection name keys this connection's leases; the worker id
+    // keys manifest/timing rows. Keeping them separate is what makes
+    // re-Hello reclaim safe: releasing `worker#3` can never touch the
+    // leases `worker#4` (the same worker, reconnected) holds.
+    let (conn, shard) = {
         let mut shared = shared.lock().expect("coordinator state");
-        let shard = shared.workers % shared.queues.shards();
-        shared.workers += 1;
-        if !shared.quiet {
-            eprintln!("[dist] worker `{worker}` joined (home shard {shard})");
+        shared.connections += 1;
+        let conn = format!("{worker}#{}", shared.connections);
+        // A previous connection still speaking for this worker id is dead
+        // weight (the worker would not re-Hello otherwise): reclaim its
+        // leases now instead of waiting for EOF detection or lease expiry.
+        if let Some((old_conn, old_shard)) = shared.live_conns.get(&worker).cloned() {
+            let released = shared.reclaim_connection(&worker, &old_conn, old_shard);
+            if released > 0 && !shared.quiet {
+                eprintln!(
+                    "[dist] worker `{worker}` re-introduced itself; reclaimed {released} \
+                     lease(s) from its previous connection"
+                );
+            }
         }
-        shard
+        let shard = shared.least_loaded_shard();
+        shared.home_counts[shard] += 1;
+        shared
+            .live_conns
+            .insert(worker.clone(), (conn.clone(), shard));
+        let fresh = shared.worker_ids.insert(worker.clone());
+        let resumed = resumed_session.as_deref() == Some(session);
+        if !fresh {
+            shared.reconnects += 1;
+        }
+        if !shared.quiet {
+            eprintln!(
+                "[dist] worker `{worker}` {} (home shard {shard})",
+                if fresh {
+                    "joined"
+                } else if resumed {
+                    "reconnected (same session)"
+                } else {
+                    "reconnected"
+                }
+            );
+        }
+        (conn, shard)
     };
     if write_message(
         &mut writer,
         &Reply::Welcome {
             campaign: campaign.to_string(),
             shard,
+            session: session.to_string(),
+            fingerprint: fingerprint.to_string(),
         },
     )
     .is_err()
     {
+        let mut shared = shared.lock().expect("coordinator state");
+        shared.reclaim_connection(&worker, &conn, shard);
         return;
     }
 
     loop {
         let request = match read_request_polling(&mut reader, || keep_waiting(shared)) {
-            Some(request) => request,
+            ReadOutcome::Request(request) => *request,
+            // A complete but unparseable line: the peer is alive but not
+            // speaking the protocol. Name the offending frame, then close —
+            // its leases re-offer like any other lost connection.
+            ReadOutcome::Malformed(line) => {
+                let _ = write_message(&mut writer, &malformed_reply(&line));
+                let mut shared = shared.lock().expect("coordinator state");
+                let released = shared.reclaim_connection(&worker, &conn, shard);
+                if !shared.quiet {
+                    eprintln!(
+                        "[dist] worker `{worker}` sent a malformed frame; closing \
+                         ({released} lease(s) re-offered)"
+                    );
+                }
+                return;
+            }
             // EOF, a broken pipe, or campaign completion while the worker
             // was silent. If the worker is really gone its leases re-offer
             // immediately instead of waiting for the deadline; on
             // completion there are no leases left to release.
-            None => {
+            ReadOutcome::Disconnected => {
                 let mut shared = shared.lock().expect("coordinator state");
-                let released = shared.queues.release_worker(&worker);
-                shared.reoffered += released;
+                let released = shared.reclaim_connection(&worker, &conn, shard);
                 if released > 0 && !shared.quiet {
                     eprintln!("[dist] worker `{worker}` lost; re-offering {released} job(s)");
                 }
                 return;
             }
         };
+        // Crash emulation: once the stop hook has tripped, this coordinator
+        // behaves like a killed process — connections sever without a
+        // goodbye, so workers exercise their real reconnect path instead of
+        // receiving a polite `Drained` no crashed process could send.
+        {
+            let mut shared = shared.lock().expect("coordinator state");
+            if shared.stopped {
+                shared.reclaim_connection(&worker, &conn, shard);
+                return;
+            }
+        }
         let reply = match request {
             Request::Hello { .. } => Reply::ProtocolError {
                 message: "duplicate Hello".into(),
@@ -248,7 +431,7 @@ fn handle_connection(stream: TcpStream, campaign: &str, shared: &Mutex<Shared>, 
                 // tails spread across workers).
                 let taken = shared
                     .queues
-                    .pop_for(&worker, shard, max.clamp(1, chunk), now);
+                    .pop_for(&conn, shard, max.clamp(1, chunk), now);
                 // A re-queued copy of a job that was meanwhile delivered by
                 // its original (slow) worker must not run again: release the
                 // fresh lease and drop it here.
@@ -266,7 +449,9 @@ fn handle_connection(stream: TcpStream, campaign: &str, shared: &Mutex<Shared>, 
                     } else {
                         // Everything is leased out elsewhere (or the dropped
                         // duplicates emptied the batch): back off briefly.
-                        Reply::Wait { millis: 100 }
+                        Reply::Wait {
+                            millis: WAIT_BACKOFF_MILLIS,
+                        }
                     }
                 } else {
                     let mut jobs = Vec::with_capacity(fresh.len());
@@ -284,6 +469,17 @@ fn handle_connection(stream: TcpStream, campaign: &str, shared: &Mutex<Shared>, 
                 let mut shared = shared.lock().expect("coordinator state");
                 match fold_delivery(&mut shared, &worker, record, millis) {
                     Ok(()) => {
+                        if let Some(budget) = shared.stop_budget {
+                            if shared.delivered_count >= budget {
+                                shared.stopped = true;
+                            }
+                        }
+                        if shared.stopped {
+                            // The delivery that tripped the budget is safely
+                            // folded; now "crash" — sever without an ack.
+                            shared.reclaim_connection(&worker, &conn, shard);
+                            return;
+                        }
                         if shared.is_done() {
                             Reply::Drained
                         } else {
@@ -300,11 +496,12 @@ fn handle_connection(stream: TcpStream, campaign: &str, shared: &Mutex<Shared>, 
         let done = matches!(reply, Reply::Drained);
         if write_message(&mut writer, &reply).is_err() {
             let mut shared = shared.lock().expect("coordinator state");
-            let released = shared.queues.release_worker(&worker);
-            shared.reoffered += released;
+            shared.reclaim_connection(&worker, &conn, shard);
             return;
         }
         if done {
+            let mut shared = shared.lock().expect("coordinator state");
+            shared.reclaim_connection(&worker, &conn, shard);
             return;
         }
     }
@@ -411,6 +608,7 @@ pub fn serve(
     }
 
     let pending_len = pending.len();
+    let shard_count = queues.shards();
     let shared = Arc::new(Mutex::new(Shared {
         delivered: vec![false; pending_len],
         pending,
@@ -421,8 +619,14 @@ pub fn serve(
         timings,
         delivered_count: 0,
         failed: 0,
-        workers: 0,
+        worker_ids: HashSet::new(),
+        live_conns: HashMap::new(),
+        home_counts: vec![0; shard_count],
+        connections: 0,
         reoffered: 0,
+        reconnects: 0,
+        stop_budget: opts.stop_after_deliveries,
+        stopped: false,
         quiet: opts.quiet,
     }));
     if !opts.quiet && skipped > 0 {
@@ -433,6 +637,11 @@ pub fn serve(
     let accept_shared = Arc::clone(&shared);
     let accept_stop = Arc::clone(&stop);
     let campaign_name = campaign.to_string();
+    // The session nonce and campaign fingerprint are fixed for the lifetime
+    // of this serve: every Welcome quotes them, so a reconnecting worker can
+    // tell "coordinator restarted, same campaign" from "different campaign".
+    let session = session_nonce();
+    let fingerprint = campaign_fingerprint(campaign, jobs);
     let chunk = opts.chunk.max(1);
     listener.set_nonblocking(true)?;
     // The accept loop runs on its own thread so the main thread can watch
@@ -447,8 +656,17 @@ pub fn serve(
                     let _ = stream.set_nonblocking(false);
                     let shared = Arc::clone(&accept_shared);
                     let campaign = campaign_name.clone();
+                    let session = session.clone();
+                    let fingerprint = fingerprint.clone();
                     handlers.push(std::thread::spawn(move || {
-                        handle_connection(stream, &campaign, &shared, chunk);
+                        handle_connection(
+                            stream,
+                            &campaign,
+                            &fingerprint,
+                            &session,
+                            &shared,
+                            chunk,
+                        );
                     }));
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -462,11 +680,11 @@ pub fn serve(
         }
     });
 
-    // Wait for the grid to drain.
+    // Wait for the grid to drain (or the stop hook to trip).
     loop {
         {
             let shared = shared.lock().expect("coordinator state");
-            if shared.is_done() {
+            if shared.is_over() {
                 break;
             }
         }
@@ -485,14 +703,7 @@ pub fn serve(
         }
     };
     shared.store.finalize(jobs)?;
-    Ok(ServeOutcome {
-        total,
-        skipped,
-        executed: shared.delivered_count,
-        failed: shared.failed,
-        workers: shared.workers,
-        reoffered: shared.reoffered,
-    })
+    Ok(outcome_of(&shared, total, skipped))
 }
 
 /// The finalize path when a handler thread still shares the state.
@@ -503,12 +714,18 @@ fn finalize_locked(
     skipped: usize,
 ) -> std::io::Result<ServeOutcome> {
     guard.store.finalize(jobs)?;
-    Ok(ServeOutcome {
+    Ok(outcome_of(&guard, total, skipped))
+}
+
+fn outcome_of(shared: &Shared, total: usize, skipped: usize) -> ServeOutcome {
+    ServeOutcome {
         total,
         skipped,
-        executed: guard.delivered_count,
-        failed: guard.failed,
-        workers: guard.workers,
-        reoffered: guard.reoffered,
-    })
+        executed: shared.delivered_count,
+        failed: shared.failed,
+        workers: shared.worker_ids.len(),
+        reoffered: shared.reoffered,
+        reconnects: shared.reconnects,
+        stopped: shared.stopped,
+    }
 }

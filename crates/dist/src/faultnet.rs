@@ -1,0 +1,602 @@
+//! Seeded socket fault injection for distributed-campaign tests.
+//!
+//! Reproducing network failure by hand — pulling cables, killing processes
+//! at the right instant — makes for tests that flake or prove nothing. This
+//! module makes failure *schedulable*: [`FaultyStream`] wraps any
+//! `Read + Write` transport and perturbs it according to a ChaCha8-seeded
+//! [`FaultPlan`] — injected delays, partial writes, mid-frame truncations,
+//! connection drops — so a test names a seed and gets the exact same
+//! ordeal every run.
+//!
+//! [`FaultyProxy`] puts that to work against real sockets: it listens on a
+//! loopback port, forwards every accepted connection to an upstream
+//! address through a `FaultyStream`, and severs *both* sides whenever the
+//! plan injects a drop. Pointing a worker at the proxy instead of the
+//! coordinator exercises the whole fault path end to end — the worker sees
+//! resets and reconnects through its backoff schedule, the coordinator
+//! sees EOFs and reclaims leases — while the store must still come out
+//! byte-identical to a fault-free run.
+
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// What faults to inject and how often. Rates are per-mille (0–1000) per
+/// I/O operation, evaluated in the order drop → truncate → partial →
+/// delay, so the sum must stay ≤ 1000 for the tail to mean "no fault".
+#[derive(Clone, Debug)]
+pub struct FaultConfig {
+    /// Seed of the fault schedule. Same seed, same config, same sequence
+    /// of operations → the exact same faults.
+    pub seed: u64,
+    /// Chance an operation drops the connection outright (subsequent
+    /// operations fail with `ConnectionReset`).
+    pub drop_per_mille: u32,
+    /// Chance a write delivers only half its buffer *and then* drops — a
+    /// mid-frame truncation, the nastiest failure a line protocol faces.
+    /// On reads this acts like a drop (a reader cannot truncate the peer).
+    pub truncate_per_mille: u32,
+    /// Chance a write delivers only part of its buffer (benign: the caller
+    /// must handle short writes, the peer must reassemble split frames).
+    pub partial_per_mille: u32,
+    /// Chance an operation stalls for a seeded delay first.
+    pub delay_per_mille: u32,
+    /// Upper bound on an injected delay, in milliseconds.
+    pub max_delay_ms: u64,
+    /// Operations to pass through untouched before faults may start —
+    /// lets a handshake complete so tests target the steady state.
+    pub grace_ops: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            seed: 0,
+            drop_per_mille: 5,
+            truncate_per_mille: 5,
+            partial_per_mille: 50,
+            delay_per_mille: 50,
+            max_delay_ms: 20,
+            grace_ops: 8,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// A config that injects nothing — a passthrough control.
+    pub fn none(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            drop_per_mille: 0,
+            truncate_per_mille: 0,
+            partial_per_mille: 0,
+            delay_per_mille: 0,
+            max_delay_ms: 0,
+            grace_ops: 0,
+        }
+    }
+}
+
+/// One fault decision.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Pass the operation through untouched.
+    None,
+    /// Stall for the given duration first, then pass through.
+    Delay(Duration),
+    /// Deliver only part of the buffer (short read/write).
+    Partial,
+    /// Deliver half the buffer, then drop the connection.
+    Truncate,
+    /// Drop the connection before the operation.
+    Drop,
+}
+
+/// The seeded schedule: a stream of [`Fault`] decisions, one per I/O
+/// operation. Deterministic given `(config, seed)`.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    config: FaultConfig,
+    rng: ChaCha8Rng,
+    ops: u64,
+}
+
+impl FaultPlan {
+    pub fn new(config: FaultConfig) -> Self {
+        let rng = ChaCha8Rng::seed_from_u64(config.seed);
+        FaultPlan {
+            config,
+            rng,
+            ops: 0,
+        }
+    }
+
+    /// The next decision in the schedule. Draws exactly one value per call
+    /// (plus one for a delay's duration), so schedules depend only on call
+    /// order, never on buffer contents or sizes.
+    pub fn next_fault(&mut self) -> Fault {
+        self.ops += 1;
+        // The draw happens even inside the grace window so the post-grace
+        // schedule does not depend on how long the handshake was.
+        let roll = self.rng.next_u32() % 1000;
+        let delay_roll = self.rng.next_u64();
+        if self.ops <= self.config.grace_ops {
+            return Fault::None;
+        }
+        let c = &self.config;
+        let mut bound = c.drop_per_mille;
+        if roll < bound {
+            return Fault::Drop;
+        }
+        bound += c.truncate_per_mille;
+        if roll < bound {
+            return Fault::Truncate;
+        }
+        bound += c.partial_per_mille;
+        if roll < bound {
+            return Fault::Partial;
+        }
+        bound += c.delay_per_mille;
+        if roll < bound && c.max_delay_ms > 0 {
+            return Fault::Delay(Duration::from_millis(delay_roll % (c.max_delay_ms + 1)));
+        }
+        Fault::None
+    }
+}
+
+fn dropped_error() -> std::io::Error {
+    std::io::Error::new(
+        std::io::ErrorKind::ConnectionReset,
+        "connection dropped by fault injection",
+    )
+}
+
+/// A `Read + Write` transport perturbed by a [`FaultPlan`]. Once the plan
+/// drops the connection every further operation fails with
+/// `ConnectionReset`, like a real severed socket.
+pub struct FaultyStream<S> {
+    inner: S,
+    plan: FaultPlan,
+    dropped: bool,
+}
+
+impl<S> FaultyStream<S> {
+    pub fn new(inner: S, plan: FaultPlan) -> Self {
+        FaultyStream {
+            inner,
+            plan,
+            dropped: false,
+        }
+    }
+
+    /// Whether the plan has severed this stream.
+    pub fn is_dropped(&self) -> bool {
+        self.dropped
+    }
+
+    /// The wrapped transport (for shutdown after a drop).
+    pub fn get_ref(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: Read> Read for FaultyStream<S> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.dropped {
+            return Err(dropped_error());
+        }
+        match self.plan.next_fault() {
+            Fault::Drop | Fault::Truncate => {
+                // A reader cannot truncate what the peer sent; both mean
+                // "the connection died under us".
+                self.dropped = true;
+                Err(dropped_error())
+            }
+            Fault::Delay(d) => {
+                std::thread::sleep(d);
+                self.inner.read(buf)
+            }
+            Fault::Partial => {
+                let cap = (buf.len() / 7).max(1).min(buf.len());
+                self.inner.read(&mut buf[..cap])
+            }
+            Fault::None => self.inner.read(buf),
+        }
+    }
+}
+
+impl<S: Write> Write for FaultyStream<S> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        if self.dropped {
+            return Err(dropped_error());
+        }
+        match self.plan.next_fault() {
+            Fault::Drop => {
+                self.dropped = true;
+                Err(dropped_error())
+            }
+            Fault::Truncate => {
+                // Half the frame goes out, then the line dies: the peer
+                // holds a prefix with no newline and must treat it as a
+                // dead connection, never as a message.
+                let half = (buf.len() / 2).max(1).min(buf.len());
+                let sent = self.inner.write(&buf[..half]);
+                let _ = self.inner.flush();
+                self.dropped = true;
+                match sent {
+                    Ok(_) => Err(dropped_error()),
+                    Err(e) => Err(e),
+                }
+            }
+            Fault::Delay(d) => {
+                std::thread::sleep(d);
+                self.inner.write(buf)
+            }
+            Fault::Partial => {
+                let part = (buf.len() / 2).max(1).min(buf.len());
+                self.inner.write(&buf[..part])
+            }
+            Fault::None => self.inner.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        if self.dropped {
+            return Err(dropped_error());
+        }
+        self.inner.flush()
+    }
+}
+
+/// A loopback TCP proxy that forwards to `upstream` through fault-injected
+/// streams. Every accepted connection gets its own schedule (the config
+/// seed XOR a connection counter), and an injected drop severs both sides
+/// so worker and coordinator each observe the failure.
+pub struct FaultyProxy {
+    /// The address workers should dial instead of the coordinator.
+    pub addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    drops: Arc<AtomicUsize>,
+    connections: Arc<AtomicUsize>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl FaultyProxy {
+    /// Binds a fresh loopback port and starts proxying to `upstream`.
+    pub fn start(upstream: &str, config: FaultConfig) -> std::io::Result<FaultyProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let drops = Arc::new(AtomicUsize::new(0));
+        let connections = Arc::new(AtomicUsize::new(0));
+        let upstream = upstream.to_string();
+        let accept_stop = Arc::clone(&stop);
+        let accept_drops = Arc::clone(&drops);
+        let accept_conns = Arc::clone(&connections);
+        let handle = std::thread::spawn(move || {
+            let mut pumps: Vec<std::thread::JoinHandle<()>> = Vec::new();
+            while !accept_stop.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((client, _)) => {
+                        let conn = accept_conns.fetch_add(1, Ordering::SeqCst) as u64;
+                        let mut cfg = config.clone();
+                        cfg.seed ^= conn.rotate_left(17).wrapping_mul(0x9e3779b97f4a7c15);
+                        match TcpStream::connect(&upstream) {
+                            Ok(server) => {
+                                let drops = Arc::clone(&accept_drops);
+                                pumps.push(std::thread::spawn(move || {
+                                    pump_connection(client, server, cfg, &drops);
+                                }));
+                            }
+                            Err(_) => {
+                                // Upstream is down (coordinator restarting):
+                                // refuse by closing; the worker's backoff
+                                // loop handles it.
+                                let _ = client.shutdown(Shutdown::Both);
+                            }
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+            for p in pumps {
+                let _ = p.join();
+            }
+        });
+        Ok(FaultyProxy {
+            addr,
+            stop,
+            drops,
+            connections,
+            handle: Some(handle),
+        })
+    }
+
+    /// Connection drops injected so far (across all connections).
+    pub fn drops(&self) -> usize {
+        self.drops.load(Ordering::SeqCst)
+    }
+
+    /// Connections accepted so far.
+    pub fn connections(&self) -> usize {
+        self.connections.load(Ordering::SeqCst)
+    }
+
+    /// Stops accepting and joins the proxy thread. Existing pumps wind
+    /// down as their connections close.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for FaultyProxy {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Pumps bytes both ways between `client` and `server`, the client side
+/// wrapped in fault injection. The first injected drop (or a real error /
+/// EOF on either side) shuts both sockets down.
+fn pump_connection(client: TcpStream, server: TcpStream, config: FaultConfig, drops: &AtomicUsize) {
+    let c2s_plan = FaultPlan::new(config.clone());
+    let mut s2c_cfg = config;
+    s2c_cfg.seed = s2c_cfg.seed.rotate_left(32) ^ 0x5bd1_e995;
+    let s2c_plan = FaultPlan::new(s2c_cfg);
+
+    let client_read = match client.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let server_read = match server.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    // Each pump thread gets its own clones of both sockets so it can sever
+    // the whole connection (TcpStream clones share the one OS socket).
+    let (sever_client_a, sever_server_a, sever_client_b, sever_server_b) = match (
+        client.try_clone(),
+        server.try_clone(),
+        client.try_clone(),
+        server.try_clone(),
+    ) {
+        (Ok(a), Ok(b), Ok(c), Ok(d)) => (a, b, c, d),
+        _ => return,
+    };
+    let sever_c2s = move || {
+        let _ = sever_client_a.shutdown(Shutdown::Both);
+        let _ = sever_server_a.shutdown(Shutdown::Both);
+    };
+    let sever_s2c = move || {
+        let _ = sever_client_b.shutdown(Shutdown::Both);
+        let _ = sever_server_b.shutdown(Shutdown::Both);
+    };
+
+    let conn_drops = Arc::new(AtomicUsize::new(0));
+    let drops_c2s = Arc::clone(&conn_drops);
+    let drops_s2c = Arc::clone(&conn_drops);
+    let c2s = std::thread::spawn(move || {
+        let mut faulty = FaultyStream::new(client_read, c2s_plan);
+        let mut out = server;
+        let _ = pump(&mut faulty, &mut out);
+        if faulty.is_dropped() {
+            drops_c2s.fetch_add(1, Ordering::SeqCst);
+        }
+        sever_c2s();
+    });
+    let s2c = std::thread::spawn(move || {
+        let mut input = server_read;
+        let mut faulty = FaultyStream::new(client, s2c_plan);
+        let _ = pump(&mut input, &mut faulty);
+        if faulty.is_dropped() {
+            drops_s2c.fetch_add(1, Ordering::SeqCst);
+        }
+        sever_s2c();
+    });
+    let _ = c2s.join();
+    let _ = s2c.join();
+    // One severed connection counts once, however many pumps noticed.
+    drops.fetch_add(conn_drops.load(Ordering::SeqCst).min(1), Ordering::SeqCst);
+}
+
+/// Copies bytes from `src` to `dst` until EOF or error, honouring short
+/// writes (fault-injected partials included).
+fn pump(src: &mut impl Read, dst: &mut impl Write) -> std::io::Result<()> {
+    let mut buf = [0u8; 4096];
+    loop {
+        let n = src.read(&mut buf)?;
+        if n == 0 {
+            return Ok(());
+        }
+        let mut written = 0;
+        while written < n {
+            let w = dst.write(&buf[written..n])?;
+            if w == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "proxy wrote zero bytes",
+                ));
+            }
+            written += w;
+        }
+        dst.flush()?;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::VecDeque;
+
+    /// An in-memory transport: writes append, reads drain.
+    #[derive(Default)]
+    struct Loopback {
+        buf: VecDeque<u8>,
+    }
+
+    impl Read for Loopback {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            let n = buf.len().min(self.buf.len());
+            for slot in buf.iter_mut().take(n) {
+                *slot = self.buf.pop_front().unwrap();
+            }
+            Ok(n)
+        }
+    }
+
+    impl Write for Loopback {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.buf.extend(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn schedule(config: FaultConfig, ops: usize) -> Vec<Fault> {
+        let mut plan = FaultPlan::new(config);
+        (0..ops).map(|_| plan.next_fault()).collect()
+    }
+
+    #[test]
+    fn schedules_are_seed_deterministic_and_seed_sensitive() {
+        let config = FaultConfig {
+            seed: 42,
+            ..FaultConfig::default()
+        };
+        assert_eq!(schedule(config.clone(), 200), schedule(config.clone(), 200));
+        let other = FaultConfig {
+            seed: 43,
+            ..config.clone()
+        };
+        assert_ne!(schedule(config, 200), schedule(other, 200));
+    }
+
+    #[test]
+    fn grace_window_passes_operations_through_untouched() {
+        let config = FaultConfig {
+            seed: 7,
+            drop_per_mille: 1000,
+            grace_ops: 5,
+            ..FaultConfig::default()
+        };
+        let faults = schedule(config, 7);
+        assert!(faults[..5].iter().all(|f| *f == Fault::None), "{faults:?}");
+        assert_eq!(faults[5], Fault::Drop);
+        assert_eq!(faults[6], Fault::Drop);
+    }
+
+    #[test]
+    fn zero_rates_never_perturb_the_stream() {
+        let mut s = FaultyStream::new(Loopback::default(), FaultPlan::new(FaultConfig::none(1)));
+        s.write_all(b"hello faultnet\n").unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        assert_eq!(out, "hello faultnet\n");
+        assert!(!s.is_dropped());
+    }
+
+    #[test]
+    fn a_drop_is_sticky_like_a_severed_socket() {
+        let config = FaultConfig {
+            seed: 3,
+            drop_per_mille: 1000,
+            grace_ops: 0,
+            ..FaultConfig::default()
+        };
+        let mut s = FaultyStream::new(Loopback::default(), FaultPlan::new(config));
+        let err = s.write(b"doomed").unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::ConnectionReset);
+        assert!(s.is_dropped());
+        let err = s.read(&mut [0u8; 8]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::ConnectionReset);
+    }
+
+    #[test]
+    fn truncation_delivers_a_prefix_then_severs() {
+        let config = FaultConfig {
+            seed: 9,
+            truncate_per_mille: 1000,
+            drop_per_mille: 0,
+            grace_ops: 0,
+            ..FaultConfig::default()
+        };
+        let mut s = FaultyStream::new(Loopback::default(), FaultPlan::new(config));
+        let err = s.write(b"{\"Fetch\":{\"max\":8}}\n").unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::ConnectionReset);
+        // Half the frame made it out — a mid-frame cut, no newline.
+        assert_eq!(s.get_ref().buf.len(), 10);
+        assert!(!s.get_ref().buf.contains(&b'\n'));
+    }
+
+    #[test]
+    fn partial_writes_deliver_short_counts_not_errors() {
+        let config = FaultConfig {
+            seed: 11,
+            partial_per_mille: 1000,
+            drop_per_mille: 0,
+            truncate_per_mille: 0,
+            grace_ops: 0,
+            ..FaultConfig::default()
+        };
+        let mut s = FaultyStream::new(Loopback::default(), FaultPlan::new(config));
+        let n = s.write(b"0123456789").unwrap();
+        assert_eq!(n, 5, "half the buffer");
+        assert!(!s.is_dropped());
+        // write_all completes by looping over short writes.
+        let mut s = FaultyStream::new(
+            Loopback::default(),
+            FaultPlan::new(FaultConfig {
+                seed: 11,
+                partial_per_mille: 1000,
+                drop_per_mille: 0,
+                truncate_per_mille: 0,
+                grace_ops: 0,
+                ..FaultConfig::default()
+            }),
+        );
+        s.write_all(b"0123456789").unwrap();
+        assert_eq!(s.get_ref().buf.len(), 10);
+    }
+
+    #[test]
+    fn proxy_passes_bytes_through_with_a_fault_free_plan() {
+        // A trivial upstream echo server: read a line, write it back.
+        let upstream = TcpListener::bind("127.0.0.1:0").unwrap();
+        let upstream_addr = upstream.local_addr().unwrap();
+        let echo = std::thread::spawn(move || {
+            if let Ok((mut stream, _)) = upstream.accept() {
+                let mut buf = [0u8; 64];
+                if let Ok(n) = stream.read(&mut buf) {
+                    let _ = stream.write_all(&buf[..n]);
+                }
+            }
+        });
+        let proxy = FaultyProxy::start(&upstream_addr.to_string(), FaultConfig::none(1)).unwrap();
+        let mut client = TcpStream::connect(proxy.addr).unwrap();
+        client.write_all(b"ping\n").unwrap();
+        let mut reply = [0u8; 5];
+        client.read_exact(&mut reply).unwrap();
+        assert_eq!(&reply, b"ping\n");
+        assert_eq!(proxy.connections(), 1);
+        assert_eq!(proxy.drops(), 0);
+        drop(client);
+        echo.join().unwrap();
+        proxy.stop();
+    }
+}

@@ -17,7 +17,13 @@
 //!   workers' jobs are re-offered;
 //! * [`worker`] — [`run_worker`]: pulls batches, runs them on the runner's
 //!   work-stealing executor (panic isolation included), streams
-//!   store-format records back with per-job wall-clock.
+//!   store-format records back with per-job wall-clock; transport failures
+//!   send it through [`session::ReconnectPolicy`]'s backoff loop and it
+//!   resumes the campaign (the fingerprint in `Welcome` gates resumption).
+//!
+//! Two supporting modules: [`session`] (campaign fingerprint, session
+//! nonce, reconnect policy) and [`faultnet`] (seeded socket fault
+//! injection — the test harness that proves the fault tolerance).
 //!
 //! Like `surepath-runner`, this crate is **domain-agnostic**: the caller
 //! supplies the closure that turns one job into one JSON result
@@ -50,9 +56,13 @@
 //! ```
 
 pub mod coordinator;
+pub mod faultnet;
 pub mod protocol;
+pub mod session;
 pub mod worker;
 
 pub use coordinator::{serve, ServeOptions, ServeOutcome};
+pub use faultnet::{Fault, FaultConfig, FaultPlan, FaultyProxy, FaultyStream};
 pub use protocol::{read_message, write_message, Reply, Request};
+pub use session::{campaign_fingerprint, is_transient, session_nonce, ReconnectPolicy};
 pub use worker::{run_worker, WorkerOptions, WorkerOutcome};

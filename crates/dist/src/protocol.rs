@@ -20,6 +20,19 @@ use serde::{Deserialize, Serialize};
 use std::io::{BufRead, Write};
 use surepath_runner::{JobSpec, StoreRecord};
 
+/// How long a worker backs off after a `Wait` reply before its next
+/// `Fetch`, in milliseconds. The coordinator quotes this value in `Wait`
+/// replies; [`DRAIN_LINGER_MILLIS`] is derived from it — change them
+/// together.
+pub const WAIT_BACKOFF_MILLIS: u64 = 100;
+
+/// How long the coordinator keeps a silent connection open after the
+/// campaign completes, so a worker sleeping through a `Wait` backoff still
+/// gets its final `Drained` instead of a closed socket. Must comfortably
+/// exceed [`WAIT_BACKOFF_MILLIS`] (10x here): a worker that slept the full
+/// backoff plus scheduling noise must still find the connection alive.
+pub const DRAIN_LINGER_MILLIS: u64 = WAIT_BACKOFF_MILLIS * 10;
+
 /// What a worker sends to the coordinator.
 // `Deliver` dwarfs the other variants (it carries a whole store record);
 // boxing it would complicate the derived wire format for no win — requests
@@ -33,6 +46,11 @@ pub enum Request {
         /// keys leases and manifest rows; two concurrent workers must not
         /// share one.
         worker: String,
+        /// The session nonce from a previous `Welcome`, if this is a
+        /// reconnect (`None` on a fresh connection). Purely diagnostic: the
+        /// coordinator reclaims stale leases by worker id either way, but
+        /// the nonce lets both sides log "resumed session" vs "joined".
+        session: Option<String>,
     },
     /// Ask for up to `max` jobs.
     Fetch {
@@ -60,6 +78,15 @@ pub enum Reply {
         campaign: String,
         /// The worker's home shard index.
         shard: usize,
+        /// This coordinator process's session nonce. A reconnecting worker
+        /// seeing a new nonce knows the coordinator restarted (informational
+        /// — the campaign fingerprint is what gates resumption).
+        session: String,
+        /// Fingerprint of the campaign grid being served (name + every job
+        /// fingerprint). A reconnecting worker that sees a different value
+        /// is talking to a *different campaign* and must abort loudly
+        /// instead of folding foreign results.
+        fingerprint: String,
     },
     /// Answer to `Fetch`/`Deliver`: jobs to run.
     Assign {
@@ -129,6 +156,11 @@ mod tests {
         let requests = vec![
             Request::Hello {
                 worker: "host:1234".into(),
+                session: None,
+            },
+            Request::Hello {
+                worker: "host:1234".into(),
+                session: Some("sess-1".into()),
             },
             Request::Fetch { max: 8 },
             Request::Deliver {
@@ -146,7 +178,7 @@ mod tests {
         for r in &requests {
             write_message(&mut buf, r).unwrap();
         }
-        assert_eq!(buf.iter().filter(|&&b| b == b'\n').count(), 3);
+        assert_eq!(buf.iter().filter(|&&b| b == b'\n').count(), 4);
         let mut reader = BufReader::new(buf.as_slice());
         for expected in &requests {
             let got: Request = read_message(&mut reader).unwrap().unwrap();
@@ -161,6 +193,8 @@ mod tests {
             Reply::Welcome {
                 campaign: "fig06".into(),
                 shard: 3,
+                session: "pid-1234-0".into(),
+                fingerprint: "cafe0000cafe0000".into(),
             },
             Reply::Assign {
                 jobs: vec![job(1), job(2)],

@@ -7,8 +7,22 @@
 //! closure are caught by the executor and delivered as `failed` records —
 //! exactly the semantics of a local campaign — so one crashing simulation
 //! costs one grid cell, not a worker.
+//!
+//! The worker also survives the *coordinator* failing: any transport error
+//! mid-campaign (EOF, reset, broken pipe) sends it into a reconnect loop
+//! driven by [`ReconnectPolicy`] — capped exponential backoff with
+//! deterministic jitter — where it re-dials, re-Hellos with its stable
+//! `worker_id`, and resumes. The campaign fingerprint in `Welcome` gates
+//! resumption: a restarted coordinator serving the *same* grid is resumed
+//! silently, while a different campaign on the same address aborts loudly
+//! instead of folding foreign results. Batches interrupted mid-delivery are
+//! re-offered by the coordinator (re-Hello reclaims the dead connection's
+//! leases), and duplicate deliveries fold idempotently, so the finished
+//! store stays byte-identical to a local run across any kill/restart
+//! sequence.
 
 use crate::protocol::{read_message, write_message, Reply, Request};
+use crate::session::{is_transient, ReconnectPolicy};
 use serde::Value;
 use std::io::BufReader;
 use std::net::TcpStream;
@@ -26,6 +40,8 @@ pub struct WorkerOptions {
     /// How long to keep retrying the initial connection (the coordinator
     /// may still be binding, or a `--spawn-local` parent may win the race).
     pub connect_retry: Duration,
+    /// The re-dial plan after a transport failure mid-campaign.
+    pub reconnect: ReconnectPolicy,
     /// Suppress per-batch progress output.
     pub quiet: bool,
 }
@@ -36,6 +52,7 @@ impl Default for WorkerOptions {
             threads: None,
             chunk: None,
             connect_retry: Duration::from_secs(10),
+            reconnect: ReconnectPolicy::default(),
             quiet: true,
         }
     }
@@ -44,27 +61,41 @@ impl Default for WorkerOptions {
 /// What a worker did before the coordinator drained it.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct WorkerOutcome {
-    /// Jobs executed on this worker.
+    /// Jobs executed on this worker (re-runs after a reconnect count again:
+    /// this measures work done here, not distinct grid cells).
     pub executed: usize,
     /// Of those, how many failed (error or panic).
     pub failed: usize,
+    /// Successful reconnects after a transport failure mid-campaign.
+    pub reconnects: usize,
 }
 
-/// Connects to `addr`, retrying until `retry_for` elapses.
+/// Connects to `addr`, retrying **transient** failures (refused, reset,
+/// unreachable, timed out — see [`is_transient`]) until `retry_for`
+/// elapses; anything else fails fast, because retrying cannot cure a bad
+/// address or a permission error. The deadline is exact: the last attempt
+/// fires at or before it, never after (the pre-attempt sleep is clamped to
+/// the time remaining).
 fn connect_with_retry(addr: &str, retry_for: Duration) -> std::io::Result<TcpStream> {
     let deadline = Instant::now() + retry_for;
     loop {
         match TcpStream::connect(addr) {
             Ok(stream) => return Ok(stream),
-            Err(e) if Instant::now() < deadline => {
-                let _ = e;
-                std::thread::sleep(Duration::from_millis(50));
-            }
-            Err(e) => {
+            Err(e) if !is_transient(e.kind()) => {
                 return Err(std::io::Error::new(
                     e.kind(),
                     format!("cannot reach coordinator at {addr}: {e}"),
                 ))
+            }
+            Err(e) => {
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(std::io::Error::new(
+                        e.kind(),
+                        format!("cannot reach coordinator at {addr}: {e}"),
+                    ));
+                }
+                std::thread::sleep((deadline - now).min(Duration::from_millis(50)));
             }
         }
     }
@@ -100,12 +131,28 @@ fn record_for(job: &JobSpec, outcome: JobOutcome<Result<Value, String>>) -> Stor
     }
 }
 
+/// Per-campaign state that survives reconnects.
+struct Session {
+    executed: usize,
+    failed: usize,
+    reconnects: usize,
+    /// The session nonce from the last `Welcome` (sent back in the next
+    /// `Hello` so both sides can log resume-vs-restart).
+    nonce: Option<String>,
+    /// The campaign fingerprint from the first `Welcome`. Every later
+    /// `Welcome` must match — a mismatch means the address now serves a
+    /// different campaign and the worker must abort, not resume.
+    fingerprint: Option<String>,
+}
+
 /// Runs a worker against the coordinator at `addr` until the campaign is
 /// drained. `worker_id` names this worker in leases, manifests and timing
 /// records — it must be unique among concurrent workers (host + pid is the
 /// CLI's choice). Each fetched batch runs on the runner's work-stealing
 /// executor with `opts.threads` workers; results stream back one by one as
-/// they finish.
+/// they finish. Transport failures trigger the reconnect loop described in
+/// the module docs; only a non-transient error, a campaign-fingerprint
+/// mismatch, or an exhausted [`ReconnectPolicy`] make the worker give up.
 pub fn run_worker<F>(
     addr: &str,
     worker_id: &str,
@@ -115,7 +162,93 @@ pub fn run_worker<F>(
 where
     F: Fn(&JobSpec) -> Result<Value, String> + Sync,
 {
-    let stream = connect_with_retry(addr, opts.connect_retry)?;
+    let threads = opts
+        .threads
+        .unwrap_or_else(surepath_runner::default_threads);
+    let chunk = opts.chunk.unwrap_or(threads.saturating_mul(2).max(1));
+    let mut session = Session {
+        executed: 0,
+        failed: 0,
+        reconnects: 0,
+        nonce: None,
+        fingerprint: None,
+    };
+    let mut attempt = 0usize;
+
+    loop {
+        let welcomed_before = session.nonce.is_some();
+        let reconnects_before = session.reconnects;
+        match run_session(addr, worker_id, opts, &job_fn, threads, chunk, &mut session) {
+            Ok(()) => {
+                if !opts.quiet {
+                    eprintln!(
+                        "[worker {worker_id}] drained: {} executed, {} failed",
+                        session.executed, session.failed
+                    );
+                }
+                return Ok(WorkerOutcome {
+                    executed: session.executed,
+                    failed: session.failed,
+                    reconnects: session.reconnects,
+                });
+            }
+            Err(e) if is_transient(e.kind()) => {
+                // A session that got as far as a Welcome proves the link
+                // works: reset the counter so only *consecutive* failed
+                // attempts count against the retry budget.
+                let welcomed = session.reconnects > reconnects_before
+                    || (!welcomed_before && session.nonce.is_some());
+                if welcomed {
+                    attempt = 0;
+                }
+                attempt += 1;
+                if attempt > opts.reconnect.retries {
+                    return Err(std::io::Error::new(
+                        e.kind(),
+                        format!(
+                            "giving up after {} reconnect attempt(s): {e}",
+                            opts.reconnect.retries
+                        ),
+                    ));
+                }
+                let delay = opts.reconnect.delay(attempt, worker_id);
+                if !opts.quiet {
+                    eprintln!(
+                        "[worker {worker_id}] connection lost ({e}); reconnect attempt \
+                         {attempt}/{} in {delay:?}",
+                        opts.reconnect.retries
+                    );
+                }
+                std::thread::sleep(delay);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// One connection's worth of campaign work: dial, handshake, then fetch /
+/// execute / deliver until `Drained`. `Ok(())` means the campaign drained;
+/// any transport error bubbles up for [`run_worker`]'s reconnect loop.
+#[allow(clippy::too_many_arguments)]
+fn run_session<F>(
+    addr: &str,
+    worker_id: &str,
+    opts: &WorkerOptions,
+    job_fn: &F,
+    threads: usize,
+    chunk: usize,
+    session: &mut Session,
+) -> std::io::Result<()>
+where
+    F: Fn(&JobSpec) -> Result<Value, String> + Sync,
+{
+    let reconnecting = session.nonce.is_some();
+    let retry_for = if reconnecting {
+        Duration::ZERO
+    } else {
+        opts.connect_retry
+    };
+    let stream = connect_with_retry(addr, retry_for)?;
     let _ = stream.set_nodelay(true);
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
@@ -124,6 +257,7 @@ where
         &mut writer,
         &Request::Hello {
             worker: worker_id.to_string(),
+            session: session.nonce.clone(),
         },
     )?;
     let welcome: Reply = read_message(&mut reader)?.ok_or_else(|| {
@@ -133,7 +267,35 @@ where
         )
     })?;
     let campaign = match welcome {
-        Reply::Welcome { campaign, .. } => campaign,
+        Reply::Welcome {
+            campaign,
+            session: nonce,
+            fingerprint,
+            ..
+        } => {
+            // The fingerprint is the resume gate: same grid resumes, a
+            // different grid on the same address is a fatal mix-up.
+            if let Some(expected) = &session.fingerprint {
+                if expected != &fingerprint {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!(
+                            "coordinator at {addr} now serves a different campaign \
+                             (fingerprint {fingerprint}, expected {expected}); aborting"
+                        ),
+                    ));
+                }
+            }
+            session.fingerprint = Some(fingerprint);
+            if reconnecting {
+                session.reconnects += 1;
+                if !opts.quiet {
+                    eprintln!("[worker {worker_id}] reconnected, resuming `{campaign}`");
+                }
+            }
+            session.nonce = Some(nonce);
+            campaign
+        }
         other => {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::InvalidData,
@@ -142,21 +304,14 @@ where
         }
     };
 
-    let threads = opts
-        .threads
-        .unwrap_or_else(surepath_runner::default_threads);
-    let chunk = opts.chunk.unwrap_or(threads.saturating_mul(2).max(1));
-    let mut executed = 0usize;
-    let mut failed = 0usize;
     let mut drained = false;
-
     while !drained {
         write_message(&mut writer, &Request::Fetch { max: chunk })?;
         let reply: Reply = match read_message(&mut reader)? {
             Some(reply) => reply,
-            // The coordinator hangs up without Drained only when it (or the
-            // network) died, or it wrote this worker off: surface it — a
-            // silent success here would mask a half-finished campaign.
+            // The coordinator hung up without Drained: it (or the network)
+            // died. Surface as a transport error — the reconnect loop will
+            // re-dial; a half-finished campaign must never look drained.
             None => {
                 return Err(std::io::Error::new(
                     std::io::ErrorKind::UnexpectedEof,
@@ -174,8 +329,10 @@ where
                 }
                 // Results stream back from the executor's consumer callback
                 // as they finish; a delivery failure stops the pool (the
-                // coordinator is gone, nothing can be persisted).
+                // batch's leases are reclaimed when this worker re-Hellos).
                 let mut io_error: Option<std::io::Error> = None;
+                let executed = &mut session.executed;
+                let failed = &mut session.failed;
                 run_work_stealing(
                     &jobs,
                     threads,
@@ -192,9 +349,9 @@ where
                             JobOutcome::Panicked(message) => (JobOutcome::Panicked(message), 0),
                         };
                         let record = record_for(&jobs[idx], outcome);
-                        executed += 1;
+                        *executed += 1;
                         if record.status != "ok" {
-                            failed += 1;
+                            *failed += 1;
                         }
                         let sent = write_message(&mut writer, &Request::Deliver { record, millis });
                         match sent.and_then(|()| read_message::<Reply>(&mut reader)) {
@@ -212,8 +369,7 @@ where
                             Ok(Some(_)) => true,
                             Ok(None) => {
                                 // EOF instead of a delivery ack: the
-                                // coordinator is gone mid-batch. Not a clean
-                                // drain — report it.
+                                // coordinator is gone mid-batch.
                                 io_error = Some(std::io::Error::new(
                                     std::io::ErrorKind::UnexpectedEof,
                                     "coordinator hung up mid-delivery",
@@ -249,8 +405,31 @@ where
             }
         }
     }
-    if !opts.quiet {
-        eprintln!("[worker {worker_id}] drained: {executed} executed, {failed} failed");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connect_with_retry_respects_the_deadline_exactly() {
+        // Port 1 on loopback refuses immediately (transient), so the retry
+        // loop spins until the deadline — which it must not overshoot by
+        // more than one 50ms sleep plus scheduling noise.
+        let started = Instant::now();
+        let err = connect_with_retry("127.0.0.1:1", Duration::from_millis(200)).unwrap_err();
+        let elapsed = started.elapsed();
+        assert!(is_transient(err.kind()), "{err}");
+        assert!(elapsed >= Duration::from_millis(200), "{elapsed:?}");
+        assert!(elapsed < Duration::from_secs(2), "{elapsed:?}");
     }
-    Ok(WorkerOutcome { executed, failed })
+
+    #[test]
+    fn connect_with_retry_with_zero_window_tries_exactly_once() {
+        let started = Instant::now();
+        let err = connect_with_retry("127.0.0.1:1", Duration::ZERO).unwrap_err();
+        assert!(is_transient(err.kind()), "{err}");
+        assert!(started.elapsed() < Duration::from_millis(500));
+    }
 }

@@ -220,6 +220,7 @@ fn killed_worker(addr: &str, max: usize) -> usize {
         &mut writer,
         &Request::Hello {
             worker: "doomed".into(),
+            session: None,
         },
     )
     .unwrap();
@@ -307,6 +308,7 @@ fn expired_leases_are_reoffered_while_the_connection_stays_open() {
         &mut hung_writer,
         &Request::Hello {
             worker: "hung".into(),
+            session: None,
         },
     )
     .unwrap();
@@ -381,6 +383,7 @@ fn manifest_distinguishes_in_flight_from_missing() {
         &mut writer,
         &Request::Hello {
             worker: "manual".into(),
+            session: None,
         },
     )
     .unwrap();
@@ -435,5 +438,258 @@ fn manifest_distinguishes_in_flight_from_missing() {
     finisher.join().unwrap().unwrap();
     assert!(outcome.is_complete());
     assert!(outcome.reoffered >= 3, "{outcome:?}");
+    clean(&path);
+}
+
+/// Fetch/deliver in a loop over a manual connection until `Drained`,
+/// returning every job label this connection executed.
+fn drain_via_client(
+    reader: &mut std::io::BufReader<TcpStream>,
+    writer: &mut TcpStream,
+    max: usize,
+) -> Vec<String> {
+    let mut ran = Vec::new();
+    loop {
+        write_message(writer, &Request::Fetch { max }).unwrap();
+        match read_message::<Reply>(reader).unwrap().unwrap() {
+            Reply::Assign { jobs } => {
+                for job in jobs {
+                    ran.push(job.label());
+                    write_message(
+                        writer,
+                        &Request::Deliver {
+                            record: surepath_runner::StoreRecord {
+                                fp: job_fingerprint(&job),
+                                status: "ok".into(),
+                                job: job.clone(),
+                                result: Some(fake_result(&job).unwrap()),
+                                error: None,
+                            },
+                            millis: 1,
+                        },
+                    )
+                    .unwrap();
+                    match read_message::<Reply>(reader).unwrap().unwrap() {
+                        Reply::Drained => return ran,
+                        Reply::Wait { .. } => {}
+                        other => panic!("unexpected delivery ack {other:?}"),
+                    }
+                }
+            }
+            Reply::Wait { millis } => std::thread::sleep(Duration::from_millis(millis.max(10))),
+            Reply::Drained => return ran,
+            other => panic!("unexpected fetch reply {other:?}"),
+        }
+    }
+}
+
+/// The re-Hello reclaim contract: when a worker id re-introduces itself,
+/// its previous connection's leases are reclaimed *immediately* (no lease
+/// expiry involved — the lease here is 10 minutes), already-delivered jobs
+/// are never re-offered (the `delivered[idx]` dedup), and the store still
+/// comes out byte-identical.
+#[test]
+fn re_hello_reclaims_the_old_connections_leases_without_double_running() {
+    let s = spec("dist-rehello");
+    let path = temp_store("dist-rehello");
+    clean(&path);
+    let jobs = s.expand().unwrap();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let opts = ServeOptions {
+        lease: Duration::from_secs(600), // reclaim must not depend on expiry
+        quiet: true,
+        ..ServeOptions::default()
+    };
+    let server = {
+        let (name, jobs, path, opts) = (s.name.clone(), jobs.clone(), path.clone(), opts);
+        std::thread::spawn(move || serve(listener, &name, &jobs, &path, &opts))
+    };
+
+    // Connection 1: hello as `phoenix`, lease a batch, deliver two jobs,
+    // then go silent with the socket still open (a half-dead worker).
+    let stream1 = TcpStream::connect(&addr).unwrap();
+    let mut reader1 = std::io::BufReader::new(stream1.try_clone().unwrap());
+    let mut writer1 = stream1.try_clone().unwrap();
+    write_message(
+        &mut writer1,
+        &Request::Hello {
+            worker: "phoenix".into(),
+            session: None,
+        },
+    )
+    .unwrap();
+    let (nonce1, fingerprint1) = match read_message::<Reply>(&mut reader1).unwrap().unwrap() {
+        Reply::Welcome {
+            session,
+            fingerprint,
+            ..
+        } => (session, fingerprint),
+        other => panic!("expected Welcome, got {other:?}"),
+    };
+    write_message(&mut writer1, &Request::Fetch { max: 6 }).unwrap();
+    let batch = match read_message::<Reply>(&mut reader1).unwrap().unwrap() {
+        Reply::Assign { jobs } => jobs,
+        other => panic!("expected an assignment, got {other:?}"),
+    };
+    assert!(batch.len() >= 3, "need a few leases to strand");
+    let mut delivered_labels = Vec::new();
+    for job in batch.iter().take(2) {
+        delivered_labels.push(job.label());
+        write_message(
+            &mut writer1,
+            &Request::Deliver {
+                record: surepath_runner::StoreRecord {
+                    fp: job_fingerprint(job),
+                    status: "ok".into(),
+                    job: job.clone(),
+                    result: Some(fake_result(job).unwrap()),
+                    error: None,
+                },
+                millis: 1,
+            },
+        )
+        .unwrap();
+        let _: Reply = read_message(&mut reader1).unwrap().unwrap();
+    }
+
+    // Connection 2: the same worker id re-Hellos (as after a reconnect),
+    // quoting the session nonce it learned. The coordinator must hand back
+    // the stranded leases right away and never re-offer the delivered two.
+    let stream2 = TcpStream::connect(&addr).unwrap();
+    let mut reader2 = std::io::BufReader::new(stream2.try_clone().unwrap());
+    let mut writer2 = stream2;
+    write_message(
+        &mut writer2,
+        &Request::Hello {
+            worker: "phoenix".into(),
+            session: Some(nonce1.clone()),
+        },
+    )
+    .unwrap();
+    match read_message::<Reply>(&mut reader2).unwrap().unwrap() {
+        Reply::Welcome {
+            session,
+            fingerprint,
+            ..
+        } => {
+            assert_eq!(session, nonce1, "same coordinator process, same nonce");
+            assert_eq!(fingerprint, fingerprint1, "same campaign grid");
+        }
+        other => panic!("expected Welcome, got {other:?}"),
+    }
+    let ran = drain_via_client(&mut reader2, &mut writer2, 24);
+    assert_eq!(ran.len(), 22, "everything except the two already delivered");
+    for label in &delivered_labels {
+        assert!(
+            !ran.contains(label),
+            "job `{label}` was double-run after the re-Hello reclaim"
+        );
+    }
+
+    let outcome = server.join().unwrap().unwrap();
+    drop(stream1);
+    assert!(outcome.is_complete());
+    assert_eq!(outcome.workers, 1, "one worker id across two connections");
+    assert_eq!(outcome.reconnects, 1, "the re-Hello counted as a reconnect");
+    assert_eq!(
+        outcome.reoffered,
+        batch.len() - 2,
+        "exactly the stranded leases were reclaimed"
+    );
+    assert_eq!(
+        std::fs::read(&path).unwrap(),
+        local_store_bytes(&s, "dist-rehello-local"),
+        "reclaim + dedup must not perturb the final bytes"
+    );
+    clean(&path);
+}
+
+/// A malformed frame is a protocol violation, not a silent disconnect: the
+/// coordinator names the offending line in a `ProtocolError`, closes the
+/// connection, and re-offers the connection's leases.
+#[test]
+fn garbage_frames_get_a_protocol_error_naming_the_line() {
+    use std::io::{BufRead, Write};
+
+    let s = spec("dist-garbage");
+    let path = temp_store("dist-garbage");
+    clean(&path);
+    let jobs = s.expand().unwrap();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let server = {
+        let (name, jobs, path) = (s.name.clone(), jobs.clone(), path.clone());
+        std::thread::spawn(move || serve(listener, &name, &jobs, &path, &quiet_opts()))
+    };
+
+    // Garbage as the very first frame: ProtocolError, then EOF.
+    {
+        let stream = TcpStream::connect(&addr).unwrap();
+        let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        writer.write_all(b"HELO I AM NOT JSON\n").unwrap();
+        writer.flush().unwrap();
+        match read_message::<Reply>(&mut reader).unwrap().unwrap() {
+            Reply::ProtocolError { message } => {
+                assert!(message.contains("malformed frame"), "{message}");
+                assert!(message.contains("HELO I AM NOT JSON"), "{message}");
+            }
+            other => panic!("expected ProtocolError, got {other:?}"),
+        }
+        let mut rest = String::new();
+        assert_eq!(reader.read_line(&mut rest).unwrap(), 0, "connection closed");
+    }
+
+    // Garbage mid-conversation, with leases held: same error, and the
+    // leases re-offer so a healthy worker can still finish everything.
+    let taken = {
+        let stream = TcpStream::connect(&addr).unwrap();
+        let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        write_message(
+            &mut writer,
+            &Request::Hello {
+                worker: "babbler".into(),
+                session: None,
+            },
+        )
+        .unwrap();
+        let _: Reply = read_message(&mut reader).unwrap().unwrap();
+        write_message(&mut writer, &Request::Fetch { max: 5 }).unwrap();
+        let taken = match read_message::<Reply>(&mut reader).unwrap().unwrap() {
+            Reply::Assign { jobs } => jobs.len(),
+            other => panic!("expected an assignment, got {other:?}"),
+        };
+        writer.write_all(b"{\"Fetch\":{\"max\":}}\n").unwrap();
+        writer.flush().unwrap();
+        match read_message::<Reply>(&mut reader).unwrap().unwrap() {
+            Reply::ProtocolError { message } => {
+                assert!(message.contains("malformed frame"), "{message}");
+                assert!(message.contains("{\"Fetch\":{\"max\":}}"), "{message}");
+            }
+            other => panic!("expected ProtocolError, got {other:?}"),
+        }
+        let mut rest = String::new();
+        assert_eq!(reader.read_line(&mut rest).unwrap(), 0, "connection closed");
+        taken
+    };
+    assert!(taken > 0);
+
+    let finisher = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            run_worker(&addr, "finisher", &WorkerOptions::default(), fake_result)
+        })
+    };
+    let outcome = server.join().unwrap().unwrap();
+    finisher.join().unwrap().unwrap();
+    assert!(outcome.is_complete());
+    assert!(outcome.reoffered >= taken, "{outcome:?}");
+    assert_eq!(
+        std::fs::read(&path).unwrap(),
+        local_store_bytes(&s, "dist-garbage-local"),
+        "a babbling client must not perturb the final bytes"
+    );
     clean(&path);
 }

@@ -22,6 +22,10 @@ use std::path::{Path, PathBuf};
 pub const MANIFEST_ASSIGNED: &str = "assigned";
 /// See [`MANIFEST_ASSIGNED`].
 pub const MANIFEST_DONE: &str = "done";
+/// A lease taken back before delivery — the worker's connection died or it
+/// re-introduced itself (re-Hello) while the lease was still live. The job
+/// is back in its shard queue; a later `assigned` line supersedes this.
+pub const MANIFEST_RECLAIMED: &str = "reclaimed";
 
 /// One manifest line: a job fingerprint's latest assignment.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -177,6 +181,22 @@ impl ShardManifest {
         })
     }
 
+    /// Records that `fp`'s lease to `worker` was taken back undelivered
+    /// (disconnect or re-Hello reclaim) and the job re-queued on `shard`.
+    pub fn record_reclaimed(
+        &mut self,
+        fp: &str,
+        shard: usize,
+        worker: &str,
+    ) -> std::io::Result<()> {
+        self.append(ManifestRecord {
+            fp: fp.to_string(),
+            shard,
+            worker: worker.to_string(),
+            status: MANIFEST_RECLAIMED.to_string(),
+        })
+    }
+
     /// The latest record for a fingerprint, if any.
     pub fn record(&self, fp: &str) -> Option<&ManifestRecord> {
         self.records.get(fp)
@@ -247,6 +267,35 @@ mod tests {
         let mut m = ShardManifest::open(&path).unwrap();
         m.record_assigned("aaaa", 0, "w9").unwrap();
         assert_eq!(m.record("aaaa").unwrap().status, MANIFEST_DONE);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn reclaimed_supersedes_assigned_but_never_done() {
+        let path = temp_manifest("reclaimed");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut m = ShardManifest::open(&path).unwrap();
+            m.record_assigned("aaaa", 0, "w1").unwrap();
+            m.record_assigned("bbbb", 0, "w1").unwrap();
+            m.record_done("bbbb", 0, "w1").unwrap();
+            // The worker's connection died: `aaaa` is reclaimed, `bbbb` was
+            // already delivered and must stay done.
+            m.record_reclaimed("aaaa", 0, "w1").unwrap();
+            m.record_reclaimed("bbbb", 0, "w1").unwrap();
+        }
+        let m = ShardManifest::open(&path).unwrap();
+        assert_eq!(m.record("aaaa").unwrap().status, MANIFEST_RECLAIMED);
+        assert_eq!(m.record("bbbb").unwrap().status, MANIFEST_DONE);
+        // A reclaimed job is not in flight (it sits in a queue, unassigned).
+        let nothing_complete = |_: &str| false;
+        assert!(m.in_flight(&nothing_complete).is_empty());
+        // A re-offer puts it back in flight under the new worker.
+        let mut m = ShardManifest::open(&path).unwrap();
+        m.record_assigned("aaaa", 0, "w2").unwrap();
+        let in_flight = m.in_flight(&nothing_complete);
+        assert_eq!(in_flight.len(), 1);
+        assert_eq!(in_flight[0].worker, "w2");
         let _ = std::fs::remove_file(&path);
     }
 

@@ -103,21 +103,25 @@ impl ShardQueues {
         expired.len()
     }
 
-    /// Returns every lease held by `worker` to its shard queue — the
-    /// disconnect path: a dropped connection re-offers immediately, without
-    /// waiting for the deadline.
-    pub fn release_worker(&mut self, worker: &str) -> usize {
-        let held: Vec<usize> = self
+    /// Returns every lease held by `worker` to its shard queue and reports
+    /// which job indices were released (sorted, so callers journal them
+    /// deterministically). This is both the disconnect path — a dropped
+    /// connection re-offers immediately, without waiting for the deadline —
+    /// and the re-Hello reclaim path: a worker reconnecting after a network
+    /// failure gets its dead connection's leases freed at handshake time.
+    pub fn release_worker(&mut self, worker: &str) -> Vec<usize> {
+        let mut held: Vec<usize> = self
             .leases
             .iter()
             .filter(|(_, lease)| lease.worker == worker)
             .map(|(&job, _)| job)
             .collect();
+        held.sort_unstable();
         for job in &held {
             let lease = self.leases.remove(job).expect("collected above");
             self.queues[lease.shard].push_front(*job);
         }
-        held.len()
+        held
     }
 
     /// Pops up to `max` jobs for `worker` (preferring its own shard's front,
@@ -237,7 +241,7 @@ mod tests {
         q.push(0, 3);
         let now = Instant::now();
         assert_eq!(q.pop_for("dead", 0, 2, now), vec![1, 2]);
-        assert_eq!(q.release_worker("dead"), 2);
+        assert_eq!(q.release_worker("dead"), vec![1, 2]);
         assert_eq!(q.outstanding(), 0);
         // Re-offered jobs come back before the untouched tail.
         let next = q.pop_for("alive", 0, 3, now);

@@ -5,7 +5,9 @@
 
 use proptest::prelude::*;
 use std::path::PathBuf;
-use surepath_runner::manifest::{ManifestRecord, MANIFEST_ASSIGNED, MANIFEST_DONE};
+use surepath_runner::manifest::{
+    ManifestRecord, MANIFEST_ASSIGNED, MANIFEST_DONE, MANIFEST_RECLAIMED,
+};
 use surepath_runner::{shard_of_fingerprint, ShardManifest};
 
 fn temp_manifest(tag: u64) -> PathBuf {
@@ -14,16 +16,17 @@ fn temp_manifest(tag: u64) -> PathBuf {
     dir.join(format!("prop-{tag}-{}.manifest.jsonl", std::process::id()))
 }
 
-/// Raw event material, decoded into (job, worker, is-delivery) by
-/// [`decode`]. The vendored proptest has no tuple strategies, so one u64
-/// carries all three fields; the small job/worker universes make collisions
-/// — re-assignments, repeat deliveries — actually happen.
+/// Raw event material, decoded into (job, worker, kind) by [`decode`] —
+/// kind 0 = assigned, 1 = done, 2 = reclaimed. The vendored proptest has no
+/// tuple strategies, so one u64 carries all three fields; the small
+/// job/worker universes make collisions — re-assignments, repeat
+/// deliveries, reclaim-after-done replays — actually happen.
 fn events() -> impl Strategy<Value = Vec<u64>> {
     prop::collection::vec(0u64..u64::MAX, 0..=40)
 }
 
-fn decode(raw: u64) -> (u64, u64, bool) {
-    (raw % 12, (raw >> 4) % 5, (raw >> 8) % 2 == 1)
+fn decode(raw: u64) -> (u64, u64, u64) {
+    (raw % 12, (raw >> 4) % 5, (raw >> 8) % 3)
 }
 
 fn event_fp(job: u64) -> String {
@@ -39,14 +42,14 @@ proptest! {
         let _ = std::fs::remove_file(&path);
         let mut live = ShardManifest::open(&path).unwrap();
         for &event in &raw {
-            let (job, worker, done) = decode(event);
+            let (job, worker, kind) = decode(event);
             let fp = event_fp(job);
             let shard = shard_of_fingerprint(&fp, 4);
             let worker = format!("w{worker}");
-            if done {
-                live.record_done(&fp, shard, &worker).unwrap();
-            } else {
-                live.record_assigned(&fp, shard, &worker).unwrap();
+            match kind {
+                1 => live.record_done(&fp, shard, &worker).unwrap(),
+                2 => live.record_reclaimed(&fp, shard, &worker).unwrap(),
+                _ => live.record_assigned(&fp, shard, &worker).unwrap(),
             }
         }
         let live_records: Vec<ManifestRecord> =
@@ -64,18 +67,24 @@ proptest! {
         // canonical, shards match the fingerprint partition.
         for record in &reopened_records {
             prop_assert!(
-                record.status == MANIFEST_ASSIGNED || record.status == MANIFEST_DONE,
+                record.status == MANIFEST_ASSIGNED
+                    || record.status == MANIFEST_DONE
+                    || record.status == MANIFEST_RECLAIMED,
                 "unexpected status {:?}",
                 record.status
             );
             prop_assert_eq!(record.shard, shard_of_fingerprint(&record.fp, 4));
+            let fp_done = raw.iter().any(|&event| {
+                let (job, _, kind) = decode(event);
+                kind == 1 && event_fp(job) == record.fp
+            });
             if record.status == MANIFEST_DONE {
                 // Every event stream that delivered this fp keeps it done.
-                let fp_done = raw.iter().any(|&event| {
-                    let (job, _, done) = decode(event);
-                    done && event_fp(job) == record.fp
-                });
                 prop_assert!(fp_done, "done without a delivery event");
+            } else {
+                // And `done` is terminal: no later assign/reclaim replay may
+                // have downgraded a delivered fingerprint.
+                prop_assert!(!fp_done, "a delivered fingerprint was downgraded");
             }
         }
         let _ = std::fs::remove_file(&path);

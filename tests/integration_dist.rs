@@ -153,6 +153,7 @@ fn killed_worker_mid_campaign_still_yields_identical_bytes() {
             &mut writer,
             &Request::Hello {
                 worker: "victim".into(),
+                session: None,
             },
         )
         .unwrap();

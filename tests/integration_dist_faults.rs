@@ -1,0 +1,314 @@
+//! Fault-injection scenario matrix for distributed campaigns, against the
+//! *real* simulator: every scenario perturbs the coordinator/worker
+//! conversation — flapping links that sever connections mid-frame, a
+//! coordinator that dies mid-campaign and restarts, a campaign swap under a
+//! reconnecting worker — and every surviving store is byte-compared against
+//! a fault-free local run. The seeded [`FaultyProxy`] makes the failure
+//! schedules reproducible: a given seed always injects the same ordeal.
+
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::time::Duration;
+use surepath::core::{run_campaign, run_job, CampaignSpec, TopologySpec};
+use surepath::dist::{
+    run_worker, serve, FaultConfig, FaultyProxy, ReconnectPolicy, ServeOptions, WorkerOptions,
+};
+
+mod common;
+use common::test_threads;
+
+fn tiny_spec(name: &str) -> CampaignSpec {
+    CampaignSpec {
+        name: name.to_string(),
+        topologies: vec![TopologySpec {
+            sides: vec![4, 4],
+            concentration: None,
+        }],
+        mechanisms: Some(vec!["omnisp".into(), "polsp".into()]),
+        traffics: Some(vec!["uniform".into()]),
+        scenarios: Some(vec!["none".into(), "random:6:5".into()]),
+        loads: Some(vec![0.3]),
+        seeds: Some(vec![1, 2]),
+        vcs: Some(4),
+        warmup: Some(100),
+        measure: Some(250),
+        ..CampaignSpec::default()
+    }
+}
+
+fn temp_store(name: &str) -> PathBuf {
+    common::temp_store("surepath-integration-dist-faults", name)
+}
+
+fn clean(path: &std::path::Path) {
+    for suffix in ["jsonl", "manifest.jsonl", "timings.jsonl"] {
+        let _ = std::fs::remove_file(path.with_extension(suffix));
+    }
+}
+
+/// A local single-process run of the same spec: the byte ground truth.
+fn local_bytes(spec: &CampaignSpec, name: &str) -> Vec<u8> {
+    let path = temp_store(name);
+    clean(&path);
+    run_campaign(spec, &path, Some(test_threads()), true).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    clean(&path);
+    bytes
+}
+
+fn worker_opts() -> WorkerOptions {
+    WorkerOptions {
+        threads: Some(2),
+        // Generous budget: flapping links fail many attempts in a row only
+        // if the coordinator stays gone; the counter resets per Welcome.
+        reconnect: ReconnectPolicy::with(20, 50),
+        ..WorkerOptions::default()
+    }
+}
+
+fn quiet_serve() -> ServeOptions {
+    ServeOptions {
+        quiet: true,
+        ..ServeOptions::default()
+    }
+}
+
+/// Binds `addr`, retrying briefly: after a coordinator "restart" the old
+/// listener has just closed and the kernel may not have released the port
+/// yet.
+fn bind_with_retry(addr: &str) -> TcpListener {
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        match TcpListener::bind(addr) {
+            Ok(listener) => return listener,
+            Err(e) if std::time::Instant::now() < deadline => {
+                let _ = e;
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(e) => panic!("cannot rebind {addr}: {e}"),
+        }
+    }
+}
+
+/// Scenario: a flapping link. The worker talks to the coordinator only
+/// through a fault proxy that severs every connection a fixed number of
+/// operations in (half the time with a mid-frame truncation, so partial
+/// frames hit the coordinator's reader). The worker must reconnect through
+/// its backoff schedule until the grid drains; the coordinator must reclaim
+/// each severed connection's leases at the re-Hello; and the final store
+/// must match the fault-free local bytes.
+#[test]
+fn flapping_link_worker_reconnects_until_the_campaign_drains() {
+    let spec = tiny_spec("dist-fault-flap");
+    let jobs = spec.expand().unwrap();
+    let path = temp_store("flap");
+    clean(&path);
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let coord_addr = listener.local_addr().unwrap().to_string();
+    let server = {
+        let (name, jobs, path) = (spec.name.clone(), jobs.clone(), path.clone());
+        std::thread::spawn(move || serve(listener, &name, &jobs, &path, &quiet_serve()))
+    };
+
+    // Every connection survives exactly 10 operations per direction, then
+    // the next one severs it — as a clean drop or a mid-frame truncation.
+    // The grace floor guarantees forward progress each session, so the
+    // campaign terminates however often the link flaps.
+    let proxy = FaultyProxy::start(
+        &coord_addr,
+        FaultConfig {
+            seed: 0xF1A9,
+            drop_per_mille: 500,
+            truncate_per_mille: 500,
+            partial_per_mille: 0,
+            delay_per_mille: 0,
+            max_delay_ms: 0,
+            grace_ops: 10,
+        },
+    )
+    .unwrap();
+    let proxy_addr = proxy.addr.to_string();
+
+    let worker =
+        std::thread::spawn(move || run_worker(&proxy_addr, "flappy", &worker_opts(), run_job));
+    let outcome = server.join().unwrap().unwrap();
+    let worker_outcome = worker.join().unwrap().unwrap();
+
+    assert!(outcome.is_complete(), "{outcome:?}");
+    assert!(
+        worker_outcome.reconnects >= 1,
+        "the link flapped, the worker must have reconnected: {worker_outcome:?}"
+    );
+    assert!(
+        outcome.reconnects >= 1,
+        "the coordinator saw the re-Hellos: {outcome:?}"
+    );
+    assert!(proxy.drops() >= 1, "the proxy injected at least one drop");
+    assert!(
+        proxy.connections() >= 2,
+        "reconnects dialed fresh connections"
+    );
+    proxy.stop();
+
+    let bytes = std::fs::read(&path).unwrap();
+    clean(&path);
+    assert_eq!(
+        bytes,
+        local_bytes(&spec, "flap-local"),
+        "a flapping link must not perturb the final bytes"
+    );
+}
+
+/// Scenario: the coordinator dies mid-campaign and restarts on the same
+/// address. The first serve stops (crash emulation: connections sever
+/// without a goodbye), workers enter their reconnect loop, a second serve
+/// on the same port resumes the unfinished fingerprints, and the workers
+/// drain it with zero manual intervention. The final store must match the
+/// fault-free local bytes.
+#[test]
+fn coordinator_restart_resumes_and_workers_auto_reconnect() {
+    let spec = tiny_spec("dist-fault-restart");
+    let jobs = spec.expand().unwrap();
+    let path = temp_store("restart");
+    clean(&path);
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+
+    // First serve: "crashes" after four deliveries.
+    let first = {
+        let (name, jobs, path) = (spec.name.clone(), jobs.clone(), path.clone());
+        std::thread::spawn(move || {
+            serve(
+                listener,
+                &name,
+                &jobs,
+                &path,
+                &ServeOptions {
+                    stop_after_deliveries: Some(4),
+                    quiet: true,
+                    ..ServeOptions::default()
+                },
+            )
+        })
+    };
+    let workers: Vec<_> = (0..2)
+        .map(|i| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                run_worker(&addr, &format!("survivor-{i}"), &worker_opts(), run_job)
+            })
+        })
+        .collect();
+
+    let first_outcome = first.join().unwrap().unwrap();
+    assert!(first_outcome.stopped, "{first_outcome:?}");
+    assert!(!first_outcome.is_complete(), "{first_outcome:?}");
+    assert!(
+        first_outcome.executed >= 4,
+        "the budget deliveries landed before the crash: {first_outcome:?}"
+    );
+
+    // Restart on the same port while the workers are mid-backoff. They must
+    // find it, re-Hello, and drain the rest — no manual intervention.
+    let listener = bind_with_retry(&addr);
+    let second = {
+        let (name, jobs, path) = (spec.name.clone(), jobs.clone(), path.clone());
+        std::thread::spawn(move || serve(listener, &name, &jobs, &path, &quiet_serve()))
+    };
+    let second_outcome = second.join().unwrap().unwrap();
+    let worker_outcomes: Vec<_> = workers
+        .into_iter()
+        .map(|w| w.join().unwrap().unwrap())
+        .collect();
+
+    assert!(second_outcome.is_complete(), "{second_outcome:?}");
+    assert!(
+        second_outcome.skipped >= 4,
+        "the restart resumed, not re-ran, the crashed run's results: {second_outcome:?}"
+    );
+    assert!(
+        worker_outcomes.iter().any(|w| w.reconnects >= 1),
+        "at least one worker rode through the restart: {worker_outcomes:?}"
+    );
+
+    let bytes = std::fs::read(&path).unwrap();
+    clean(&path);
+    assert_eq!(
+        bytes,
+        local_bytes(&spec, "restart-local"),
+        "a coordinator crash + resume must not perturb the final bytes"
+    );
+}
+
+/// Scenario: the address a worker reconnects to now serves a *different*
+/// campaign. The fingerprint in `Welcome` must make the worker abort
+/// loudly instead of folding foreign results — and the foreign campaign's
+/// store must come out untouched by the confused worker.
+#[test]
+fn reconnecting_worker_aborts_when_the_campaign_changed_under_it() {
+    let spec_a = tiny_spec("dist-fault-swap-a");
+    let jobs_a = spec_a.expand().unwrap();
+    let path_a = temp_store("swap-a");
+    clean(&path_a);
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+
+    // Campaign A "crashes" after two deliveries...
+    let first = {
+        let (name, jobs, path) = (spec_a.name.clone(), jobs_a.clone(), path_a.clone());
+        std::thread::spawn(move || {
+            serve(
+                listener,
+                &name,
+                &jobs,
+                &path,
+                &ServeOptions {
+                    stop_after_deliveries: Some(2),
+                    quiet: true,
+                    ..ServeOptions::default()
+                },
+            )
+        })
+    };
+    let worker = {
+        let addr = addr.clone();
+        std::thread::spawn(move || run_worker(&addr, "loyalist", &worker_opts(), run_job))
+    };
+    let first_outcome = first.join().unwrap().unwrap();
+    assert!(first_outcome.stopped);
+
+    // ...and campaign B (a different grid) takes over the port.
+    let mut spec_b = tiny_spec("dist-fault-swap-b");
+    spec_b.seeds = Some(vec![7]);
+    let jobs_b = spec_b.expand().unwrap();
+    let path_b = temp_store("swap-b");
+    clean(&path_b);
+    let listener = bind_with_retry(&addr);
+    let second = {
+        let (name, jobs, path) = (spec_b.name.clone(), jobs_b.clone(), path_b.clone());
+        std::thread::spawn(move || serve(listener, &name, &jobs, &path, &quiet_serve()))
+    };
+
+    // The worker reconnects, sees a foreign fingerprint, and aborts loudly.
+    let err = worker.join().unwrap().unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "{err}");
+    assert!(
+        err.to_string().contains("different campaign"),
+        "the abort names the mix-up: {err}"
+    );
+
+    // Campaign B still drains cleanly with an honest worker, byte-identical
+    // to its own local run.
+    let finisher = std::thread::spawn(move || run_worker(&addr, "honest", &worker_opts(), run_job));
+    let second_outcome = second.join().unwrap().unwrap();
+    finisher.join().unwrap().unwrap();
+    assert!(second_outcome.is_complete(), "{second_outcome:?}");
+    let bytes_b = std::fs::read(&path_b).unwrap();
+    clean(&path_a);
+    clean(&path_b);
+    assert_eq!(
+        bytes_b,
+        local_bytes(&spec_b, "swap-b-local"),
+        "the foreign worker's abort left campaign B's bytes clean"
+    );
+}
