@@ -15,7 +15,7 @@
 //! the headline ratios are comparable run over run.
 
 use hyperx_routing::MechanismSpec;
-use hyperx_sim::RngContract;
+use hyperx_sim::{PacketTracer, RngContract};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 use surepath_core::{Experiment, FaultScenario, RootPlacement, SimConfig, TrafficSpec};
@@ -26,8 +26,11 @@ use surepath_core::{Experiment, FaultScenario, RootPlacement, SimConfig, Traffic
 /// alongside throughput. v3 added the `rng_cells` matrix — rate-mode cells
 /// comparing RNG contract v1 (per-server Bernoulli scan) against v2 (the
 /// counting sampler) — plus the matching `rng_*` summary fields; the main
-/// matrix now runs under contract v2 on both engines.
-pub const BENCH_SCHEMA: &str = "surepath-bench-engine/v3";
+/// matrix now runs under contract v2 on both engines. v4 added the
+/// `obs_cells` matrix — the observability-overhead pair timing the engine
+/// with its counters (always on; branch-free `u64` adds) against the same
+/// run with the packet tracer attached — plus the `obs_*` summary fields.
+pub const BENCH_SCHEMA: &str = "surepath-bench-engine/v4";
 
 /// Loads at or below this value count as "low load" in the summary (the
 /// regime active-set scheduling targets: most of the network is idle).
@@ -59,6 +62,10 @@ pub struct BenchMatrix {
     /// (per-server Bernoulli scan) and contract v2 (counting sampler) with
     /// a v2 full-scan cross-check. Pinned like `cells`.
     pub rng_cells: Vec<BenchCell>,
+    /// The observability-overhead cells: rate-mode points timed with the
+    /// engine's counters (always on) against the same run with the packet
+    /// tracer attached. Pinned like `cells`.
+    pub obs_cells: Vec<BenchCell>,
 }
 
 impl BenchMatrix {
@@ -100,12 +107,17 @@ impl BenchMatrix {
                 }
             }
         }
+        // The observability pair fixes one mechanism (PolSP, the paper's
+        // headline — also the mechanism with the most counter traffic) and
+        // spans the size x load grid, like the RNG cells.
+        let obs_cells = rng_cells.clone();
         BenchMatrix {
             mode: if quick { "quick" } else { "full" },
             warmup_cycles: warmup,
             measure_cycles: measure,
             cells,
             rng_cells,
+            obs_cells,
         }
     }
 
@@ -190,6 +202,43 @@ pub struct RngCellResult {
     pub v2_scan_identical: bool,
 }
 
+/// One completed observability-overhead cell: the same rate-mode point
+/// timed in the engine's production configuration (counter registry on —
+/// it always is; the counters are branch-free unconditional `u64` adds, so
+/// this leg *is* the pre-observability configuration) and with the packet
+/// tracer attached. Both runs share the seed and must produce byte-identical
+/// metrics — tracing is an observation, never a perturbation — so every
+/// bench run re-proves the zero-perturbation contract under timing.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ObsCellResult {
+    /// Mechanism display name.
+    pub mechanism: String,
+    /// HyperX sides.
+    pub sides: Vec<usize>,
+    /// Offered load.
+    pub load: f64,
+    /// Simulated cycles per run (warmup + measurement).
+    pub cycles: u64,
+    /// Trace events the tracer captured in the traced run.
+    pub trace_events: u64,
+    /// Counters on, tracer off (the production default).
+    pub plain: EngineTiming,
+    /// Counters on, packet tracer attached.
+    pub traced: EngineTiming,
+    /// `plain.cycles_per_sec` over the matching main-matrix cell's
+    /// active-set timing — the tracing-off cost against the pre-observability
+    /// baseline (~1.0: the counters are unconditional adds on both sides, so
+    /// this is a regression canary, not a measured feature cost). `1.0` when
+    /// the main matrix has no matching cell.
+    pub plain_vs_baseline: f64,
+    /// `traced.cycles_per_sec / plain.cycles_per_sec` — what attaching the
+    /// tracer costs.
+    pub traced_vs_plain: f64,
+    /// Whether the plain and traced runs produced byte-identical metrics
+    /// (they must: the tracer never touches RNG or scheduling state).
+    pub metrics_identical: bool,
+}
+
 /// Aggregates of a bench run.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct BenchSummary {
@@ -224,6 +273,20 @@ pub struct BenchSummary {
     /// Whether every RNG-contract cell's v2 active-set and v2 full-scan
     /// runs agreed byte for byte.
     pub all_rng_scan_identical: bool,
+    /// Observability-overhead cells in the matrix.
+    pub obs_cells: usize,
+    /// Observability-overhead cells that ran to completion.
+    pub obs_completed: usize,
+    /// Geometric mean of `plain_vs_baseline` — the tracing-off cycles/sec
+    /// cost against the main matrix (the acceptance gate: ≥ 0.98, i.e. the
+    /// observability layer costs at most 2% with counters on, tracing off).
+    pub obs_plain_vs_baseline: f64,
+    /// Geometric mean of `traced_vs_plain` — what attaching the tracer
+    /// costs.
+    pub obs_traced_vs_plain: f64,
+    /// Whether every observability cell's plain and traced runs agreed byte
+    /// for byte.
+    pub all_obs_metrics_identical: bool,
 }
 
 /// The full JSON report of a bench run.
@@ -243,6 +306,8 @@ pub struct BenchReport {
     pub cells: Vec<CellResult>,
     /// Per-cell RNG-contract results, matrix order.
     pub rng_cells: Vec<RngCellResult>,
+    /// Per-cell observability-overhead results, matrix order.
+    pub obs_cells: Vec<ObsCellResult>,
     /// Aggregates.
     pub summary: BenchSummary,
 }
@@ -319,6 +384,54 @@ fn time_engine(
     )
 }
 
+/// Runs the active-set engine over one cell `repeat` times, optionally with
+/// the packet tracer attached, returning the best timing, the cycle count,
+/// the trace-event count (captured + dropped), and the serialized metrics
+/// of the first run (for the zero-perturbation A/B comparison).
+fn time_engine_obs(
+    experiment: &Experiment,
+    load: f64,
+    traced: bool,
+    repeat: usize,
+) -> (EngineTiming, u64, u64, String) {
+    let mut best_ms = f64::INFINITY;
+    let mut cycles = 0u64;
+    let mut total_delivered = 0u64;
+    let mut events = 0u64;
+    let mut metrics_json = String::new();
+    for rep in 0..repeat.max(1) {
+        let mut sim = experiment.build_simulator();
+        if traced {
+            sim.set_tracer(Some(PacketTracer::with_capacity(
+                PacketTracer::DEFAULT_CAPACITY,
+            )));
+        }
+        let started = Instant::now();
+        let metrics = sim.run_rate(load);
+        let elapsed = started.elapsed().as_secs_f64() * 1_000.0;
+        if rep == 0 {
+            cycles = sim.cycle();
+            total_delivered = sim.total_delivered();
+            events = sim
+                .take_tracer()
+                .map_or(0, |t| t.events().len() as u64 + t.dropped());
+            metrics_json = serde_json::to_string(&metrics).expect("metrics serialize");
+        }
+        best_ms = best_ms.min(elapsed);
+    }
+    let secs = (best_ms / 1_000.0).max(1e-9);
+    (
+        EngineTiming {
+            wall_ms: best_ms,
+            cycles_per_sec: cycles as f64 / secs,
+            packets_per_sec: total_delivered as f64 / secs,
+        },
+        cycles,
+        events,
+        metrics_json,
+    )
+}
+
 /// Runs the whole matrix — the scheduler A/B cells, then the RNG-contract
 /// cells — calling `progress` after each completed cell. For RNG-contract
 /// cells the `CellResult` handed to `progress` is a synthetic view (v1 as
@@ -328,7 +441,7 @@ pub fn run_engine_bench(
     repeat: usize,
     mut progress: impl FnMut(usize, usize, &CellResult),
 ) -> BenchReport {
-    let total = matrix.cells.len() + matrix.rng_cells.len();
+    let total = matrix.cells.len() + matrix.rng_cells.len() + matrix.obs_cells.len();
     let mut cells = Vec::with_capacity(matrix.cells.len());
     for (i, cell) in matrix.cells.iter().enumerate() {
         // A cell that panics (a bad future matrix entry, a mechanism that
@@ -404,6 +517,54 @@ pub fn run_engine_bench(
         );
         rng_cells.push(result);
     }
+    let mut obs_cells = Vec::with_capacity(matrix.obs_cells.len());
+    for (i, cell) in matrix.obs_cells.iter().enumerate() {
+        // The tracing-off leg is judged against the matching main-matrix
+        // cell (same mechanism/sides/load, active-set engine) — the closest
+        // thing to a pre-observability baseline a single binary offers.
+        let baseline_cps = cells
+            .iter()
+            .find(|c| {
+                c.mechanism == cell.mechanism.name() && c.sides == cell.sides && c.load == cell.load
+            })
+            .map(|c| c.active.cycles_per_sec);
+        let outcome = std::panic::catch_unwind(|| {
+            let experiment = cell_experiment(
+                cell,
+                matrix.warmup_cycles,
+                matrix.measure_cycles,
+                RngContract::V2Counting,
+            );
+            // Millisecond-scale quick cells are noisy; a best-of-3 floor
+            // keeps the overhead ratios meaningful even at --repeat 1.
+            let reps = repeat.max(3);
+            let (plain, cycles, _, plain_json) =
+                time_engine_obs(&experiment, cell.load, false, reps);
+            let (traced, _, trace_events, traced_json) =
+                time_engine_obs(&experiment, cell.load, true, reps);
+            ObsCellResult {
+                mechanism: cell.mechanism.name().to_string(),
+                sides: cell.sides.clone(),
+                load: cell.load,
+                cycles,
+                trace_events,
+                plain_vs_baseline: baseline_cps.map_or(1.0, |b| plain.cycles_per_sec / b.max(1e-9)),
+                traced_vs_plain: traced.cycles_per_sec / plain.cycles_per_sec.max(1e-9),
+                metrics_identical: plain_json == traced_json,
+                plain,
+                traced,
+            }
+        });
+        let Ok(result) = outcome else {
+            continue;
+        };
+        progress(
+            matrix.cells.len() + matrix.rng_cells.len() + i + 1,
+            total,
+            &obs_progress_view(&result),
+        );
+        obs_cells.push(result);
+    }
     let geomean = |values: &[f64]| -> f64 {
         if values.is_empty() {
             return 0.0;
@@ -436,6 +597,21 @@ pub fn run_engine_bench(
         rng_geomean_speedup: geomean(&rng_speedups),
         rng_low_load_largest_speedup: geomean(&rng_low_load_largest),
         all_rng_scan_identical: rng_cells.iter().all(|c| c.v2_scan_identical),
+        obs_cells: matrix.obs_cells.len(),
+        obs_completed: obs_cells.len(),
+        obs_plain_vs_baseline: geomean(
+            &obs_cells
+                .iter()
+                .map(|c| c.plain_vs_baseline)
+                .collect::<Vec<_>>(),
+        ),
+        obs_traced_vs_plain: geomean(
+            &obs_cells
+                .iter()
+                .map(|c| c.traced_vs_plain)
+                .collect::<Vec<_>>(),
+        ),
+        all_obs_metrics_identical: obs_cells.iter().all(|c| c.metrics_identical),
     };
     BenchReport {
         schema: BENCH_SCHEMA.to_string(),
@@ -445,6 +621,7 @@ pub fn run_engine_bench(
         repeat: repeat.max(1),
         cells,
         rng_cells,
+        obs_cells,
         summary,
     }
 }
@@ -464,6 +641,24 @@ fn rng_progress_view(cell: &RngCellResult) -> CellResult {
         full_scan: cell.v1.clone(),
         speedup: cell.speedup_v2_over_v1,
         metrics_identical: cell.v2_scan_identical,
+    }
+}
+
+/// The synthetic [`CellResult`] view of an observability cell handed to the
+/// progress callback: the plain run plays the baseline slot, the traced run
+/// the candidate, and `speedup` carries the traced-over-plain ratio.
+fn obs_progress_view(cell: &ObsCellResult) -> CellResult {
+    CellResult {
+        mechanism: format!("{} [obs trace]", cell.mechanism),
+        sides: cell.sides.clone(),
+        load: cell.load,
+        cycles: cell.cycles,
+        delivered_packets: 0,
+        latency_p99: None,
+        active: cell.traced.clone(),
+        full_scan: cell.plain.clone(),
+        speedup: cell.traced_vs_plain,
+        metrics_identical: cell.metrics_identical,
     }
 }
 
@@ -557,6 +752,55 @@ pub fn format_bench_report(report: &BenchReport) -> String {
             );
         }
     }
+    if !report.obs_cells.is_empty() {
+        let obs_header = [
+            "mechanism",
+            "sides",
+            "load",
+            "plain Mcyc/s",
+            "traced Mcyc/s",
+            "traced/plain",
+            "vs baseline",
+            "events",
+            "identical",
+        ];
+        let obs_rows: Vec<ReportRow> = report
+            .obs_cells
+            .iter()
+            .map(|c| ReportRow {
+                label: c.mechanism.clone(),
+                values: vec![
+                    c.sides
+                        .iter()
+                        .map(|s| s.to_string())
+                        .collect::<Vec<_>>()
+                        .join("x"),
+                    format!("{:.2}", c.load),
+                    format!("{:.3}", c.plain.cycles_per_sec / 1e6),
+                    format!("{:.3}", c.traced.cycles_per_sec / 1e6),
+                    format!("{:.2}x", c.traced_vs_plain),
+                    format!("{:.2}x", c.plain_vs_baseline),
+                    c.trace_events.to_string(),
+                    if c.metrics_identical { "yes" } else { "NO" }.to_string(),
+                ],
+            })
+            .collect();
+        out.push_str("\nObservability overhead cells (counters on / + packet tracer):\n");
+        out.push_str(&format_table(&obs_header, &obs_rows));
+        out.push_str(&format!(
+            "obs tracing-off vs baseline {:.3}x (geomean; >=0.98 is the <=2% gate), \
+             traced vs plain {:.3}x over {} cells\n",
+            report.summary.obs_plain_vs_baseline,
+            report.summary.obs_traced_vs_plain,
+            report.summary.obs_completed,
+        ));
+        if !report.summary.all_obs_metrics_identical {
+            out.push_str(
+                "WARNING: plain and traced metrics diverged — \
+                 the zero-perturbation contract is broken\n",
+            );
+        }
+    }
     out
 }
 
@@ -580,6 +824,20 @@ mod tests {
             .rng_cells
             .iter()
             .any(|c| c.load <= LOW_LOAD_THRESHOLD && c.sides == quick.largest_sides()));
+        assert_eq!(quick.obs_cells.len(), 6, "2 sizes x 3 loads, PolSP only");
+        assert!(quick
+            .obs_cells
+            .iter()
+            .all(|c| c.mechanism == MechanismSpec::PolSP));
+        assert!(
+            quick.obs_cells.iter().all(|obs| quick
+                .cells
+                .iter()
+                .any(|c| c.mechanism == obs.mechanism
+                    && c.sides == obs.sides
+                    && c.load == obs.load)),
+            "every obs cell has a main-matrix baseline cell"
+        );
         assert_eq!(quick.largest_sides(), vec![8, 8]);
         let full = BenchMatrix::pinned(false);
         assert_eq!(full.mode, "full");
@@ -602,15 +860,16 @@ mod tests {
             warmup_cycles: 50,
             measure_cycles: 200,
             cells: vec![cell.clone()],
-            rng_cells: vec![cell],
+            rng_cells: vec![cell.clone()],
+            obs_cells: vec![cell],
         };
         let mut calls = 0;
         let report = run_engine_bench(&matrix, 1, |done, total, _| {
             calls += 1;
-            assert_eq!(total, 2);
+            assert_eq!(total, 3);
             assert_eq!(done, calls);
         });
-        assert_eq!(calls, 2);
+        assert_eq!(calls, 3);
         assert_eq!(report.schema, BENCH_SCHEMA);
         assert_eq!(report.summary.cells, 1);
         assert_eq!(report.summary.completed, 1);
@@ -626,16 +885,31 @@ mod tests {
         assert!(report.rng_cells[0].v1.cycles_per_sec > 0.0);
         assert!(report.rng_cells[0].speedup_v2_over_v1 > 0.0);
         assert!(report.summary.rng_low_load_largest_speedup > 0.0);
+        // The observability cell: the plain and traced runs byte-agree (the
+        // zero-perturbation contract under timing), the tracer actually
+        // captured lifecycles, and both overhead ratios are populated.
+        assert_eq!(report.summary.obs_cells, 1);
+        assert_eq!(report.summary.obs_completed, 1);
+        assert!(report.summary.all_obs_metrics_identical);
+        assert!(report.obs_cells[0].metrics_identical);
+        assert!(report.obs_cells[0].trace_events > 0);
+        assert!(report.obs_cells[0].plain.cycles_per_sec > 0.0);
+        assert!(report.obs_cells[0].traced_vs_plain > 0.0);
+        assert!(report.summary.obs_plain_vs_baseline > 0.0);
+        assert!(report.summary.obs_traced_vs_plain > 0.0);
         let json = serde_json::to_string_pretty(&report).unwrap();
         let parsed: BenchReport = serde_json::from_str(&json).unwrap();
         assert_eq!(parsed.cells.len(), 1);
         assert_eq!(parsed.rng_cells.len(), 1);
+        assert_eq!(parsed.obs_cells.len(), 1);
         assert_eq!(parsed.summary.completed, 1);
         let table = format_bench_report(&report);
         assert!(table.contains("PolSP"), "{table}");
         assert!(table.contains("geomean speedup"), "{table}");
         assert!(table.contains("RNG contract cells"), "{table}");
         assert!(table.contains("rng geomean speedup"), "{table}");
+        assert!(table.contains("Observability overhead cells"), "{table}");
+        assert!(table.contains("traced vs plain"), "{table}");
     }
 
     #[test]
@@ -659,6 +933,7 @@ mod tests {
                 },
             ],
             rng_cells: vec![],
+            obs_cells: vec![],
         };
         let report = run_engine_bench(&matrix, 1, |_, _, _| {});
         assert_eq!(report.summary.cells, 2);

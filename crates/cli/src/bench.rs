@@ -17,9 +17,11 @@ pub const BENCH_USAGE: &str =
   Benchmarks the cycle-level engine over a pinned matrix (mechanism x load
   x topology size), comparing the active-set scheduler against the frozen
   pre-refactor full-scan baseline, plus a second matrix comparing RNG
-  contract v1 (per-server Bernoulli scan) against v2 (counting sampler).
-  Paired engines run the same seeds, so the bench doubles as an A/B
-  equivalence check: diverging metrics fail the command.
+  contract v1 (per-server Bernoulli scan) against v2 (counting sampler),
+  plus a third timing the observability layer (the always-on counter
+  registry vs the same run with the packet tracer attached). Paired engines
+  run the same seeds, so the bench doubles as an A/B equivalence check:
+  diverging metrics fail the command.
 
   --quick              small topologies and short windows (default)
   --full               larger topologies and longer windows
@@ -117,6 +119,12 @@ pub fn run_bench_command(cfg: &BenchCliConfig) -> Result<CommandOutput, String> 
         return Err(format!(
             "{text}RNG contract divergence: v2 active-set and v2 full-scan metrics \
              differ — the counting sampler's determinism contract is broken"
+        ));
+    }
+    if !report.summary.all_obs_metrics_identical {
+        return Err(format!(
+            "{text}observability divergence: plain and traced metrics differ — \
+             the zero-perturbation contract is broken"
         ));
     }
     Ok(CommandOutput { text, exit_code: 0 })

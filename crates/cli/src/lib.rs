@@ -88,6 +88,10 @@ pub const CAMPAIGN_USAGE: &str = "usage: surepath campaign <spec.toml|spec.json>
   --threads N          worker threads (default: all cores)
   --quiet              suppress per-job progress on stderr
   --dry-run            expand and validate the grid, run nothing
+  --trace              also record packet lifecycles (inject/grant/hop/
+                       deliver/block) to <store>.trace.jsonl; the store
+                       bytes are identical with and without it (render
+                       with `surepath trace <store>`)
   A global wall-clock budget (SUREPATH_DEADLINE_SECS env var or the spec's
   `deadline_secs` field) stops dequeuing when exhausted, finalizes the
   partial store cleanly and exits with code 3; re-running resumes the rest.
@@ -116,6 +120,11 @@ pub const CAMPAIGN_USAGE: &str = "usage: surepath campaign <spec.toml|spec.json>
   --lease-secs N       re-offer jobs not delivered within N seconds (60)
   --shards N           static fingerprint-prefix partitions (8)
   --chunk N            max jobs per worker fetch (8)
+  --metrics-addr ADDR  with --serve/--spawn-local: also serve live fleet
+                       metrics (Prometheus text format) on ADDR — jobs
+                       pending/leased per shard, worker liveness,
+                       reconnects, lease reclaims; read-only, no effect
+                       on scheduling or the store
   Assignments are journalled to <store>.manifest.jsonl so --report can tell
   `missing` from `assigned elsewhere / in-flight`, and a restarted
   coordinator re-offers only unfinished fingerprints.
@@ -139,12 +148,17 @@ pub const CAMPAIGN_USAGE: &str = "usage: surepath campaign <spec.toml|spec.json>
                        (<stem>.gp + <stem>.dat, same data as the SVGs) to
                        DIR; render with `gnuplot <stem>.gp`
   --timings            with --report: print the slowest-jobs table from the
-                       <store>.timings.jsonl sidecar(s)
+                       <store>.timings.jsonl sidecar(s); a missing sidecar
+                       warns instead of failing the report
+  --counters           with --report: print the merged engine-counter table
+                       (allocator, candidate cache, escape usage, RNG draws)
+                       per campaign/kind
   --help               this message";
 
 /// The usage string printed by `--help` and on parse errors.
 pub const USAGE: &str = "usage: surepath [options]
        surepath campaign <spec.toml|spec.json> [options]   (see `surepath campaign --help`)
+       surepath trace <store.jsonl>                        (see `surepath trace --help`)
        surepath bench [--quick|--full] [options]           (see `surepath bench --help`)
   --sides KxKxK        HyperX sides (default 8x8x8)
   --concentration N    servers per switch (default: the first side)
@@ -337,6 +351,9 @@ pub struct CampaignCliConfig {
     pub quiet: bool,
     /// Validate and expand only; run nothing.
     pub dry_run: bool,
+    /// Record packet lifecycles to the `<store>.trace.jsonl` sidecar
+    /// (`--trace`). The store bytes are identical either way.
+    pub trace: bool,
 }
 
 /// What a `surepath campaign` invocation asks for: run a spec (locally or
@@ -367,6 +384,9 @@ pub enum CampaignCommand {
         shards: Option<usize>,
         /// Max jobs per worker fetch (`None` = default).
         chunk: Option<usize>,
+        /// Serve live fleet metrics (Prometheus text format) on this
+        /// address (`--metrics-addr`). Read-only; `None` = no endpoint.
+        metrics_addr: Option<String>,
         /// Suppress per-job progress output.
         quiet: bool,
     },
@@ -401,6 +421,9 @@ pub enum CampaignCommand {
         gnuplot: bool,
         /// Print the slowest-jobs table from the timings sidecar(s).
         timings: bool,
+        /// Print the merged engine-counter table per campaign/kind
+        /// (`--counters`).
+        counters: bool,
     },
     /// Merge store shards into one store, nothing else.
     Merge {
@@ -448,7 +471,10 @@ pub fn parse_campaign_args(args: &[String]) -> Result<CampaignCommand, String> {
     let mut report = false;
     let mut diff = false;
     let mut timings = false;
+    let mut counters = false;
+    let mut trace = false;
     let mut gnuplot = false;
+    let mut metrics_addr: Option<String> = None;
     let mut merge: Option<String> = None;
     let mut csv: Option<String> = None;
     let mut plots: Option<String> = None;
@@ -482,7 +508,10 @@ pub fn parse_campaign_args(args: &[String]) -> Result<CampaignCommand, String> {
             "--report" => report = true,
             "--diff" => diff = true,
             "--timings" => timings = true,
+            "--counters" => counters = true,
+            "--trace" => trace = true,
             "--gnuplot" => gnuplot = true,
+            "--metrics-addr" => metrics_addr = Some(value("--metrics-addr")?),
             "--merge" => merge = Some(value("--merge")?),
             "--csv" => csv = Some(value("--csv")?),
             "--plots" => plots = Some(value("--plots")?),
@@ -524,7 +553,10 @@ pub fn parse_campaign_args(args: &[String]) -> Result<CampaignCommand, String> {
             || diff
             || dry_run
             || timings
+            || counters
+            || trace
             || gnuplot
+            || metrics_addr.is_some()
             || store.is_some()
             || merge.is_some()
             || csv.is_some()
@@ -554,6 +586,8 @@ pub fn parse_campaign_args(args: &[String]) -> Result<CampaignCommand, String> {
             || diff
             || dry_run
             || timings
+            || counters
+            || trace
             || gnuplot
             || merge.is_some()
             || csv.is_some()
@@ -562,7 +596,7 @@ pub fn parse_campaign_args(args: &[String]) -> Result<CampaignCommand, String> {
         {
             return Err(
                 "--serve/--spawn-local only combine with --store, --quiet, --lease-secs, \
-                 --shards and --chunk"
+                 --shards, --chunk and --metrics-addr"
                     .to_string(),
             );
         }
@@ -590,8 +624,12 @@ pub fn parse_campaign_args(args: &[String]) -> Result<CampaignCommand, String> {
             lease_secs: lease_secs.unwrap_or(60),
             shards,
             chunk,
+            metrics_addr,
             quiet,
         });
+    }
+    if metrics_addr.is_some() {
+        return Err("--metrics-addr only applies to --serve/--spawn-local".to_string());
     }
     if diff {
         if report
@@ -600,6 +638,8 @@ pub fn parse_campaign_args(args: &[String]) -> Result<CampaignCommand, String> {
             || dry_run
             || quiet
             || timings
+            || counters
+            || trace
             || gnuplot
             || merge.is_some()
             || plots.is_some()
@@ -624,9 +664,10 @@ pub fn parse_campaign_args(args: &[String]) -> Result<CampaignCommand, String> {
         return Err("--campaign only applies to --diff".to_string());
     }
     if report {
-        if store.is_some() || threads.is_some() || dry_run || quiet {
+        if store.is_some() || threads.is_some() || dry_run || quiet || trace {
             return Err(
-                "--report only combines with --merge, --csv, --plots, --gnuplot and --timings"
+                "--report only combines with --merge, --csv, --plots, --gnuplot, --timings \
+                 and --counters"
                     .to_string(),
             );
         }
@@ -645,10 +686,14 @@ pub fn parse_campaign_args(args: &[String]) -> Result<CampaignCommand, String> {
             plots,
             gnuplot,
             timings,
+            counters,
         });
     }
     if timings {
         return Err("--timings only applies to --report".to_string());
+    }
+    if counters {
+        return Err("--counters only applies to --report".to_string());
     }
     if gnuplot {
         return Err("--gnuplot only applies to --report --plots".to_string());
@@ -657,7 +702,7 @@ pub fn parse_campaign_args(args: &[String]) -> Result<CampaignCommand, String> {
         return Err("--plots only applies to --report".to_string());
     }
     if let Some(output) = merge {
-        if store.is_some() || threads.is_some() || dry_run || csv.is_some() || quiet {
+        if store.is_some() || threads.is_some() || dry_run || csv.is_some() || quiet || trace {
             return Err("--merge (without --report) only takes input stores".to_string());
         }
         if positionals.is_empty() {
@@ -676,6 +721,9 @@ pub fn parse_campaign_args(args: &[String]) -> Result<CampaignCommand, String> {
     if positionals.len() > 1 {
         return Err("campaign takes exactly one spec file".to_string());
     }
+    if dry_run && trace {
+        return Err("--dry-run executes nothing, so --trace records nothing".to_string());
+    }
     Ok(CampaignCommand::Run(CampaignCliConfig {
         spec_path: positionals
             .pop()
@@ -684,7 +732,17 @@ pub fn parse_campaign_args(args: &[String]) -> Result<CampaignCommand, String> {
         threads,
         quiet,
         dry_run,
+        trace,
     }))
+}
+
+/// Whether a path names a store *sidecar* (timings/manifest/trace) rather
+/// than a result store. Sidecars share the `.jsonl` suffix, so shell globs
+/// hand them to `--report` by accident; they must never be parsed as stores.
+fn is_sidecar_path(path: &str) -> bool {
+    [".timings.jsonl", ".manifest.jsonl", ".trace.jsonl"]
+        .iter()
+        .any(|suffix| path.ends_with(suffix))
 }
 
 /// Rejects input store paths that do not exist — opening them would
@@ -734,6 +792,7 @@ pub fn run_campaign_command(cmd: &CampaignCommand) -> Result<CommandOutput, Stri
             lease_secs,
             shards,
             chunk,
+            metrics_addr,
             quiet,
         } => run_serve(
             spec_path,
@@ -744,6 +803,7 @@ pub fn run_campaign_command(cmd: &CampaignCommand) -> Result<CommandOutput, Stri
             *lease_secs,
             *shards,
             *chunk,
+            metrics_addr.as_deref(),
             *quiet,
         )
         .map(CommandOutput::ok),
@@ -803,8 +863,34 @@ pub fn run_campaign_command(cmd: &CampaignCommand) -> Result<CommandOutput, Stri
             plots,
             gnuplot,
             timings,
+            counters,
         } => {
-            require_stores_exist(stores)?;
+            // Sidecar files (timings/manifest/trace) ride next to stores and
+            // share the .jsonl suffix; a glob like `results/*.jsonl` sweeps
+            // them in. They are observations, not results — skip them with a
+            // warning instead of parsing them as (empty-looking) stores.
+            let mut preamble = String::new();
+            let stores: Vec<String> = stores
+                .iter()
+                .filter(|path| {
+                    if is_sidecar_path(path) {
+                        preamble.push_str(&format!(
+                            "(skipping sidecar {path} — timings/manifest/trace files are not \
+                             result stores)\n"
+                        ));
+                        false
+                    } else {
+                        true
+                    }
+                })
+                .cloned()
+                .collect();
+            if stores.is_empty() {
+                return Err(format!(
+                    "{preamble}--report needs at least one result store (sidecars don't count)"
+                ));
+            }
+            require_stores_exist(&stores)?;
             // With several shards (or an explicit --merge) the report runs
             // over the merged store; a single shard is read directly.
             let (store_path, temp_merge) = match (merge, stores.len()) {
@@ -832,24 +918,36 @@ pub fn run_campaign_command(cmd: &CampaignCommand) -> Result<CommandOutput, Stri
             // write access and must not create files.
             let store = surepath_core::ResultStore::open_read_only(&store_path)
                 .map_err(|e| format!("cannot open store {}: {e}", store_path.display()))?;
-            let mut out = surepath_core::report_store(&store);
+            let mut out = preamble;
+            out.push_str(&surepath_core::report_store(&store));
             // Shard manifests (distributed campaigns): label incomplete
             // points as in-flight/assigned rather than leaving them to look
             // missing. Reported per input store — each coordinator writes
             // its own sidecar.
-            for input in stores {
+            for input in &stores {
                 let manifest_file = surepath_runner::manifest_path(std::path::Path::new(input));
                 if let Ok(manifest) = surepath_core::ShardManifest::open_read_only(&manifest_file) {
                     out.push_str(&format!("[{input}] "));
                     out.push_str(&surepath_core::format_manifest_status(&manifest, &store));
                 }
             }
+            if *counters {
+                out.push_str(&surepath_core::format_counters_report(&store));
+            }
             if *timings {
+                // Timings are best-effort observations: a missing or
+                // truncated sidecar degrades the table, it does not fail the
+                // report (archived stores routinely travel without them).
                 let mut records: Vec<surepath_core::TimingRecord> = Vec::new();
-                for input in stores {
+                for input in &stores {
                     let sidecar = surepath_runner::timings_path(std::path::Path::new(input));
-                    if let Ok(mut loaded) = surepath_runner::load_timings(&sidecar) {
-                        records.append(&mut loaded);
+                    match surepath_runner::load_timings(&sidecar) {
+                        Ok(mut loaded) => records.append(&mut loaded),
+                        Err(_) => out.push_str(&format!(
+                            "(warning: no timings sidecar at {} — timed jobs from {input} \
+                             are missing from the table)\n",
+                            sidecar.display()
+                        )),
                     }
                 }
                 out.push_str("=== slowest jobs (wall-clock) ===\n");
@@ -959,6 +1057,7 @@ fn run_serve(
     lease_secs: u64,
     shards: Option<usize>,
     chunk: Option<usize>,
+    metrics_addr: Option<&str>,
     quiet: bool,
 ) -> Result<String, String> {
     let spec = surepath_runner::load_spec_file(std::path::Path::new(spec_path))?;
@@ -970,6 +1069,7 @@ fn run_serve(
         threads: None,
         quiet,
         dry_run: false,
+        trace: false,
     }
     .store_path();
 
@@ -1024,6 +1124,7 @@ fn run_serve(
     let opts = surepath_dist::ServeOptions {
         lease: std::time::Duration::from_secs(lease_secs),
         quiet,
+        metrics_addr: metrics_addr.map(str::to_string),
         ..surepath_dist::ServeOptions::default()
     };
     let opts = surepath_dist::ServeOptions {
@@ -1091,8 +1192,12 @@ pub fn run_campaign_cli(cfg: &CampaignCliConfig) -> Result<CommandOutput, String
         )));
     }
     let store_path = cfg.store_path();
-    let outcome = surepath_core::run_campaign(&spec, &store_path, cfg.threads, cfg.quiet)
-        .map_err(|e| format!("campaign failed: {e}"))?;
+    let outcome = if cfg.trace {
+        surepath_core::run_campaign_traced(&spec, &store_path, cfg.threads, cfg.quiet)
+    } else {
+        surepath_core::run_campaign(&spec, &store_path, cfg.threads, cfg.quiet)
+    }
+    .map_err(|e| format!("campaign failed: {e}"))?;
     let mut text = format!(
         "campaign `{}`: {} jobs total, {} skipped (already complete), {} executed, {} failed\nresults: {}",
         spec.name,
@@ -1102,6 +1207,13 @@ pub fn run_campaign_cli(cfg: &CampaignCliConfig) -> Result<CommandOutput, String
         outcome.failed,
         store_path.display()
     );
+    if cfg.trace {
+        text.push_str(&format!(
+            "\ntrace: {} (render with `surepath trace {}`)",
+            surepath_runner::trace_path(&store_path).display(),
+            store_path.display()
+        ));
+    }
     let exit_code = if outcome.deadline_hit {
         text.push_str("\n(deadline hit: partial store finalized; re-run to resume the rest)");
         EXIT_DEADLINE
@@ -1109,6 +1221,69 @@ pub fn run_campaign_cli(cfg: &CampaignCliConfig) -> Result<CommandOutput, String
         0
     };
     Ok(CommandOutput { text, exit_code })
+}
+
+/// The usage string of the `trace` subcommand.
+pub const TRACE_USAGE: &str = "usage: surepath trace <store.jsonl>
+  Renders the packet-trace sidecar (<store>.trace.jsonl, recorded by
+  `surepath campaign <spec> --trace`) as per-job lifecycle summaries: a
+  latency breakdown of delivered packets bucketed by hop count, plus an
+  escape-tree usage summary. Pass either the store or the sidecar path.
+  Read-only — nothing is simulated and nothing is written.
+  --help               this message";
+
+/// Runs the `trace` subcommand: load the packet-trace sidecar next to a
+/// store and render the per-hop latency / escape-usage breakdown.
+pub fn run_trace_command(args: &[String]) -> Result<CommandOutput, String> {
+    let mut input: Option<String> = None;
+    for arg in args {
+        match arg.as_str() {
+            "--help" | "-h" => return Err(TRACE_USAGE.to_string()),
+            other if other.starts_with("--") => {
+                return Err(format!("unknown argument '{other}'\n{TRACE_USAGE}"))
+            }
+            positional => {
+                if input.replace(positional.to_string()).is_some() {
+                    return Err(format!("trace takes exactly one store\n{TRACE_USAGE}"));
+                }
+            }
+        }
+    }
+    let input = input.ok_or_else(|| format!("missing store\n{TRACE_USAGE}"))?;
+    // Accept the sidecar itself, too: `surepath trace x.trace.jsonl` renders
+    // the same file as `surepath trace x.jsonl`.
+    let (store_file, sidecar) = match input.strip_suffix(".trace.jsonl") {
+        Some(stem) => (
+            std::path::PathBuf::from(format!("{stem}.jsonl")),
+            std::path::PathBuf::from(&input),
+        ),
+        None => {
+            let store = std::path::PathBuf::from(&input);
+            let sidecar = surepath_runner::trace_path(&store);
+            (store, sidecar)
+        }
+    };
+    if !sidecar.is_file() {
+        return Err(format!(
+            "no trace sidecar at {} — record one with `surepath campaign <spec> --trace`",
+            sidecar.display()
+        ));
+    }
+    let records = surepath_runner::load_trace(&sidecar)
+        .map_err(|e| format!("cannot read {}: {e}", sidecar.display()))?;
+    // Job labels come from the store when it is readable; a sidecar that
+    // travelled without its store still renders (fingerprint labels).
+    let store = surepath_core::ResultStore::open_read_only(&store_file).ok();
+    let mut out = format!(
+        "trace: {} record(s) from {}\n",
+        records.len(),
+        sidecar.display()
+    );
+    out.push_str(&surepath_core::format_trace_report(
+        &records,
+        store.as_ref(),
+    ));
+    Ok(CommandOutput::ok(out))
 }
 
 #[cfg(test)]
@@ -1290,6 +1465,7 @@ mod tests {
                 plots: None,
                 gnuplot: false,
                 timings: false,
+                counters: false,
             }
         );
         assert_eq!(
@@ -1309,6 +1485,7 @@ mod tests {
                 plots: None,
                 gnuplot: false,
                 timings: false,
+                counters: false,
             }
         );
         assert_eq!(
@@ -1329,6 +1506,7 @@ mod tests {
             plots: None,
             gnuplot: false,
             timings: false,
+            counters: false,
         })
         .unwrap_err();
         assert!(missing.contains("store not found"), "{missing}");
@@ -1402,6 +1580,7 @@ mod tests {
                 lease_secs: 60,
                 shards: None,
                 chunk: None,
+                metrics_addr: None,
                 quiet: true,
             }
         );
@@ -1429,6 +1608,7 @@ mod tests {
                 lease_secs: 5,
                 shards: Some(4),
                 chunk: Some(2),
+                metrics_addr: None,
                 quiet: false,
             }
         );
@@ -1513,6 +1693,7 @@ mod tests {
                 plots: Some("figs".into()),
                 gnuplot: false,
                 timings: true,
+                counters: false,
             }
         );
         assert!(parse_campaign_args(&args(&["a.toml", "--plots", "figs"])).is_err());
@@ -1537,6 +1718,7 @@ mod tests {
                 plots: Some("figs".into()),
                 gnuplot: true,
                 timings: false,
+                counters: false,
             }
         );
         // --gnuplot needs --plots (a directory to write into) and --report.
@@ -1627,6 +1809,7 @@ mod tests {
             plots: None,
             gnuplot: false,
             timings: true,
+            counters: false,
         })
         .unwrap()
         .text;
@@ -1679,6 +1862,7 @@ mod tests {
                 threads: Some(2),
                 quiet: true,
                 dry_run: false,
+                trace: false,
             })
             .unwrap()
             .text;
@@ -1696,6 +1880,7 @@ mod tests {
             plots: None,
             gnuplot: false,
             timings: false,
+            counters: false,
         })
         .unwrap()
         .text;
@@ -1722,6 +1907,7 @@ mod tests {
             threads: None,
             quiet: true,
             dry_run: true,
+            trace: false,
         })
         .unwrap()
         .text;
@@ -1772,6 +1958,7 @@ mod tests {
                 threads: Some(2),
                 quiet: true,
                 dry_run: false,
+                trace: false,
             })
             .unwrap();
         }
@@ -1786,6 +1973,7 @@ mod tests {
             plots: None,
             gnuplot: false,
             timings: false,
+            counters: false,
         })
         .unwrap()
         .text;
@@ -1845,6 +2033,7 @@ mod tests {
             threads: Some(2),
             quiet: true,
             dry_run: false,
+            trace: false,
         };
         let output = run_campaign_cli(&cfg).unwrap();
         assert_eq!(output.exit_code, 0);
@@ -1867,6 +2056,190 @@ mod tests {
 
         let _ = std::fs::remove_file(&spec_path);
         let _ = std::fs::remove_file(&store_path);
+    }
+
+    #[test]
+    fn observability_flags_parse_and_reject() {
+        // --trace rides on a plain run.
+        assert!(parse_run(&["grid.toml", "--trace"]).unwrap().trace);
+        assert!(!parse_run(&["grid.toml"]).unwrap().trace);
+        // --counters rides on --report.
+        match parse_campaign_args(&args(&["--report", "a.jsonl", "--counters"])).unwrap() {
+            CampaignCommand::Report { counters, .. } => assert!(counters),
+            other => panic!("expected Report, got {other:?}"),
+        }
+        // --metrics-addr rides on --serve / --spawn-local.
+        match parse_campaign_args(&args(&[
+            "g.toml",
+            "--serve",
+            "h:1",
+            "--metrics-addr",
+            "127.0.0.1:9100",
+        ]))
+        .unwrap()
+        {
+            CampaignCommand::Serve { metrics_addr, .. } => {
+                assert_eq!(metrics_addr.as_deref(), Some("127.0.0.1:9100"))
+            }
+            other => panic!("expected Serve, got {other:?}"),
+        }
+        // Each flag stays in its lane.
+        assert!(parse_campaign_args(&args(&["--report", "a.jsonl", "--trace"])).is_err());
+        assert!(parse_campaign_args(&args(&["g.toml", "--serve", "h:1", "--trace"])).is_err());
+        assert!(parse_campaign_args(&args(&["--worker", "h:1", "--trace"])).is_err());
+        assert!(parse_campaign_args(&args(&["--diff", "a.jsonl", "b.jsonl", "--trace"])).is_err());
+        assert!(parse_campaign_args(&args(&["g.toml", "--counters"])).is_err());
+        assert!(
+            parse_campaign_args(&args(&["--diff", "a.jsonl", "b.jsonl", "--counters"])).is_err()
+        );
+        assert!(parse_campaign_args(&args(&["--worker", "h:1", "--counters"])).is_err());
+        assert!(parse_campaign_args(&args(&["g.toml", "--metrics-addr", "h:9100"])).is_err());
+        assert!(
+            parse_campaign_args(&args(&["--worker", "h:1", "--metrics-addr", "h:9100"])).is_err()
+        );
+        assert!(
+            parse_campaign_args(&args(&["--report", "a.jsonl", "--metrics-addr", "h:9100"]))
+                .is_err()
+        );
+        assert!(
+            parse_campaign_args(&args(&["g.toml", "--dry-run", "--trace"])).is_err(),
+            "a dry run executes nothing, so there is nothing to trace"
+        );
+    }
+
+    #[test]
+    fn traced_campaign_keeps_store_bytes_and_renders_everywhere() {
+        let dir = std::env::temp_dir().join("surepath-cli-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let pid = std::process::id();
+        let spec_path = dir.join(format!("trace-{pid}.toml"));
+        let plain = dir.join(format!("trace-{pid}-plain.jsonl"));
+        let traced = dir.join(format!("trace-{pid}-traced.jsonl"));
+        let sidecar = surepath_runner::trace_path(&traced);
+        for p in [&plain, &traced, &sidecar] {
+            let _ = std::fs::remove_file(p);
+        }
+        std::fs::write(
+            &spec_path,
+            r#"
+                name = "traced"
+                mechanisms = ["polsp"]
+                traffics = ["uniform"]
+                scenarios = ["none"]
+                loads = [0.3]
+                seeds = [1]
+                warmup = 100
+                measure = 250
+
+                [[topologies]]
+                sides = [4, 4]
+            "#,
+        )
+        .unwrap();
+        let run = |store: &std::path::Path, trace: bool| {
+            run_campaign_cli(&CampaignCliConfig {
+                spec_path: spec_path.to_string_lossy().into_owned(),
+                store: Some(store.to_string_lossy().into_owned()),
+                threads: Some(1),
+                quiet: true,
+                dry_run: false,
+                trace,
+            })
+            .unwrap()
+            .text
+        };
+        run(&plain, false);
+        let summary = run(&traced, true);
+        assert!(summary.contains("trace:"), "{summary}");
+        // The zero-perturbation contract, end to end through the CLI: the
+        // traced store is byte-identical, the sidecar is extra.
+        assert_eq!(
+            std::fs::read(&plain).unwrap(),
+            std::fs::read(&traced).unwrap(),
+            "tracing must not change the store bytes"
+        );
+        assert!(sidecar.is_file(), "trace sidecar written");
+
+        // `surepath trace` renders the sidecar, by store path or directly.
+        for input in [&traced, &sidecar] {
+            let rendered = run_trace_command(&[input.to_string_lossy().into_owned()])
+                .unwrap()
+                .text;
+            assert!(rendered.contains("=== trace: job"), "{rendered}");
+            assert!(rendered.contains("packet(s) injected"), "{rendered}");
+            assert!(rendered.contains("avg latency"), "{rendered}");
+        }
+        let missing = run_trace_command(&[plain.to_string_lossy().into_owned()]).unwrap_err();
+        assert!(missing.contains("no trace sidecar"), "{missing}");
+
+        // --report --counters prints the merged engine-counter table.
+        let report = run_campaign_command(&CampaignCommand::Report {
+            stores: vec![traced.to_string_lossy().into_owned()],
+            merge: None,
+            csv: None,
+            plots: None,
+            gnuplot: false,
+            timings: false,
+            counters: true,
+        })
+        .unwrap()
+        .text;
+        assert!(report.contains("=== counters:"), "{report}");
+        assert!(report.contains("alloc_requests"), "{report}");
+
+        // Sidecar paths handed to --report (e.g. by a shell glob) are
+        // skipped with a warning, never parsed as stores.
+        let report = run_campaign_command(&CampaignCommand::Report {
+            stores: vec![
+                traced.to_string_lossy().into_owned(),
+                sidecar.to_string_lossy().into_owned(),
+            ],
+            merge: None,
+            csv: None,
+            plots: None,
+            gnuplot: false,
+            timings: false,
+            counters: false,
+        })
+        .unwrap()
+        .text;
+        assert!(report.contains("skipping sidecar"), "{report}");
+        assert!(report.contains("campaign `traced`"), "{report}");
+        let only_sidecars = run_campaign_command(&CampaignCommand::Report {
+            stores: vec![sidecar.to_string_lossy().into_owned()],
+            merge: None,
+            csv: None,
+            plots: None,
+            gnuplot: false,
+            timings: false,
+            counters: false,
+        })
+        .unwrap_err();
+        assert!(
+            only_sidecars.contains("sidecars don't count"),
+            "{only_sidecars}"
+        );
+
+        // --timings warns (instead of failing) when the sidecar is gone.
+        let _ = std::fs::remove_file(surepath_runner::timings_path(&traced));
+        let report = run_campaign_command(&CampaignCommand::Report {
+            stores: vec![traced.to_string_lossy().into_owned()],
+            merge: None,
+            csv: None,
+            plots: None,
+            gnuplot: false,
+            timings: true,
+            counters: false,
+        })
+        .unwrap()
+        .text;
+        assert!(report.contains("warning: no timings sidecar"), "{report}");
+        assert!(report.contains("slowest jobs"), "{report}");
+
+        for p in [&spec_path, &plain, &traced, &sidecar] {
+            let _ = std::fs::remove_file(p);
+        }
+        let _ = std::fs::remove_file(surepath_runner::timings_path(&plain));
     }
 
     #[test]

@@ -54,6 +54,21 @@ fn main() {
         }
         return;
     }
+    if args.first().map(String::as_str) == Some("trace") {
+        match surepath_cli::run_trace_command(&args[1..]) {
+            Ok(output) => {
+                println!("{}", output.text);
+                if output.exit_code != 0 {
+                    std::process::exit(output.exit_code);
+                }
+            }
+            Err(message) => {
+                eprintln!("{message}");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
     if args.first().map(String::as_str) == Some("campaign") {
         match surepath_cli::parse_campaign_args(&args[1..])
             .and_then(|cmd| surepath_cli::run_campaign_command(&cmd))

@@ -22,10 +22,13 @@
 use crate::experiment::{Experiment, RootPlacement, TrafficSpec};
 use crate::scenario::FaultScenario;
 use hyperx_routing::MechanismSpec;
-use hyperx_sim::{RngContract, SimConfig};
+use hyperx_sim::{PacketTracer, RngContract, SimConfig};
 use serde::Value;
 use std::path::Path;
-use surepath_runner::{job_fingerprint, CampaignOutcome, CampaignSpec, JobSpec};
+use std::sync::Mutex;
+use surepath_runner::{
+    job_fingerprint, trace_path, CampaignOutcome, CampaignSpec, JobSpec, TraceLog, TraceRecord,
+};
 
 /// Default batch throughput-sampling window (cycles) when a batch job does
 /// not carry its own, matching the CLI `--batch` default.
@@ -92,27 +95,46 @@ pub fn job_experiment(job: &JobSpec) -> Result<Experiment, String> {
 }
 
 /// Executes one simulation job, without the diagnostic context wrapper.
-fn run_job_inner(job: &JobSpec) -> Result<Value, String> {
-    match job.kind.as_str() {
+/// Returns the result value and, if `tracer` was supplied, the tracer back
+/// with its recorded events.
+///
+/// The simulator is built here (rather than through [`Experiment::run_rate`])
+/// so the engine's counter registry survives the run: its serialization is
+/// attached to the result as a sibling `counters` key. Counters are
+/// observations of a deterministic run, so the key is itself deterministic —
+/// and the engine's zero-perturbation contract guarantees the value is
+/// byte-identical whether a tracer was attached or not.
+fn run_job_inner(
+    job: &JobSpec,
+    tracer: Option<PacketTracer>,
+) -> Result<(Value, Option<PacketTracer>), String> {
+    let experiment = job_experiment(job)?;
+    let mut sim = experiment.build_simulator();
+    sim.set_tracer(tracer);
+    let mut value = match job.kind.as_str() {
         "rate" => {
-            let experiment = job_experiment(job)?;
             let load = job.load.ok_or("rate jobs need a load")?;
-            let metrics = experiment.run_rate(load);
-            serde_json::to_value(&metrics).map_err(|e| e.to_string())
+            let metrics = sim.run_rate(load);
+            serde_json::to_value(&metrics).map_err(|e| e.to_string())?
         }
         "batch" => {
-            let experiment = job_experiment(job)?;
             let packets = job
                 .packets_per_server
                 .ok_or("batch jobs need packets_per_server")?;
             let window = job.sample_window.unwrap_or(DEFAULT_SAMPLE_WINDOW);
             // BatchMetrics serializes whole: completion time, delivered
             // packets, the throughput-over-time samples and the stalled flag.
-            let metrics = experiment.run_batch(packets, window);
-            serde_json::to_value(&metrics).map_err(|e| e.to_string())
+            let metrics = sim.run_batch(packets, window);
+            serde_json::to_value(&metrics).map_err(|e| e.to_string())?
         }
-        other => Err(format!("unknown job kind '{other}'")),
+        other => return Err(format!("unknown job kind '{other}'")),
+    };
+    let counters = serde_json::to_value(sim.obs()).map_err(|e| e.to_string())?;
+    match &mut value {
+        Value::Object(fields) => fields.push(("counters".to_string(), counters)),
+        _ => return Err("simulation metrics serialize to an object".to_string()),
     }
+    Ok((value, sim.take_tracer()))
 }
 
 /// Executes one campaign job. Understands kind `"rate"` (open-loop
@@ -125,14 +147,43 @@ fn run_job_inner(job: &JobSpec) -> Result<Value, String> {
 /// in a store — or a bad campaign TOML — is diagnosable from the message
 /// alone.
 pub fn run_job(job: &JobSpec) -> Result<Value, String> {
-    run_job_inner(job).map_err(|e| {
-        format!(
-            "job `{}` (campaign `{}`, fp {}): {e}",
-            job.label(),
-            job.campaign,
-            job_fingerprint(job)
-        )
-    })
+    run_job_inner(job, None)
+        .map(|(value, _)| value)
+        .map_err(|e| job_error_context(job, e))
+}
+
+/// Executes one campaign job with packet tracing enabled: like [`run_job`],
+/// but also returns the recorded lifecycle events as store-agnostic
+/// [`TraceRecord`]s tagged with the job's fingerprint. The result value is
+/// byte-identical to the untraced one (the zero-perturbation contract).
+pub fn run_job_traced(job: &JobSpec, capacity: usize) -> Result<(Value, Vec<TraceRecord>), String> {
+    let (value, tracer) = run_job_inner(job, Some(PacketTracer::with_capacity(capacity)))
+        .map_err(|e| job_error_context(job, e))?;
+    let fp = job_fingerprint(job);
+    let records = tracer
+        .map(|mut t| t.take_events())
+        .unwrap_or_default()
+        .iter()
+        .map(|e| TraceRecord {
+            fp: fp.clone(),
+            packet: e.packet,
+            cycle: e.cycle,
+            event: e.kind.name().to_string(),
+            switch: e.switch,
+            hops: e.hops,
+            escape_hops: e.escape_hops,
+        })
+        .collect();
+    Ok((value, records))
+}
+
+fn job_error_context(job: &JobSpec, e: String) -> String {
+    format!(
+        "job `{}` (campaign `{}`, fp {}): {e}",
+        job.label(),
+        job.campaign,
+        job_fingerprint(job)
+    )
 }
 
 /// Checks every job of a campaign before running anything, so a typo in a
@@ -184,6 +235,34 @@ pub fn run_campaign(
     validate_campaign(spec)
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
     surepath_runner::run_campaign(spec, store_path, threads, quiet, run_job)
+}
+
+/// [`run_campaign`] with packet tracing: every executed job also streams its
+/// lifecycle events to the `<store>.trace.jsonl` sidecar. The store itself is
+/// byte-identical to an untraced run — traces are observations and ride next
+/// to the store, never inside it. Sidecar record order follows job completion
+/// order (each record carries its job's fingerprint for grouping).
+pub fn run_campaign_traced(
+    spec: &CampaignSpec,
+    store_path: &Path,
+    threads: Option<usize>,
+    quiet: bool,
+) -> std::io::Result<CampaignOutcome> {
+    validate_campaign(spec)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
+    let log = Mutex::new(TraceLog::open(&trace_path(store_path))?);
+    surepath_runner::run_campaign(spec, store_path, threads, quiet, |job| {
+        let (value, records) = run_job_traced(job, PacketTracer::DEFAULT_CAPACITY)?;
+        // One lock per job, not per event: jobs append their whole batch
+        // atomically, so lifecycles are contiguous within the sidecar.
+        if let Ok(mut log) = log.lock() {
+            for record in &records {
+                let _ = log.append(record);
+            }
+            let _ = log.flush();
+        }
+        Ok(value)
+    })
 }
 
 #[cfg(test)]
@@ -329,6 +408,34 @@ mod tests {
     }
 
     #[test]
+    fn results_carry_engine_counters() {
+        for job in [tiny_job(), tiny_batch_job()] {
+            let result = run_job(&job).unwrap();
+            let counters = &result["counters"];
+            assert_eq!(counters["v"].as_u64(), Some(1), "{}", job.kind);
+            let slots = counters["c"].as_array().unwrap();
+            assert!(!slots.is_empty(), "{} jobs populate counters", job.kind);
+        }
+    }
+
+    #[test]
+    fn traced_runs_produce_identical_result_bytes_plus_lifecycles() {
+        let job = tiny_job();
+        let untraced = run_job(&job).unwrap();
+        let (traced, records) = run_job_traced(&job, 1 << 20).unwrap();
+        // The zero-perturbation contract, observed at the store layer.
+        assert_eq!(
+            serde_json::to_string(&untraced).unwrap(),
+            serde_json::to_string(&traced).unwrap()
+        );
+        assert!(!records.is_empty());
+        let fp = job_fingerprint(&job);
+        assert!(records.iter().all(|r| r.fp == fp));
+        assert_eq!(records[0].event, "inject");
+        assert!(records.iter().any(|r| r.event == "deliver"));
+    }
+
+    #[test]
     fn run_job_is_deterministic_per_seed() {
         let a = run_job(&tiny_job()).unwrap();
         let b = run_job(&tiny_job()).unwrap();
@@ -415,5 +522,49 @@ mod tests {
         assert_eq!(outcome.failed, 0);
         assert!(outcome.is_complete());
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn traced_campaigns_write_identical_stores_plus_a_sidecar() {
+        let spec = CampaignSpec {
+            name: "trace-bridge".into(),
+            topologies: vec![TopologySpec {
+                sides: vec![4, 4],
+                concentration: Some(4),
+            }],
+            mechanisms: Some(vec!["polsp".into()]),
+            traffics: Some(vec!["uniform".into()]),
+            scenarios: Some(vec!["none".into()]),
+            loads: Some(vec![0.2, 0.4]),
+            seeds: Some(vec![7]),
+            warmup: Some(100),
+            measure: Some(300),
+            ..CampaignSpec::default()
+        };
+        let dir = std::env::temp_dir().join("surepath-core-traced-campaign");
+        std::fs::create_dir_all(&dir).unwrap();
+        let pid = std::process::id();
+        let plain = dir.join(format!("plain-{pid}.jsonl"));
+        let traced = dir.join(format!("traced-{pid}.jsonl"));
+        let sidecar = trace_path(&traced);
+        for p in [&plain, &traced, &sidecar] {
+            let _ = std::fs::remove_file(p);
+        }
+        run_campaign(&spec, &plain, Some(2), true).unwrap();
+        let outcome = run_campaign_traced(&spec, &traced, Some(2), true).unwrap();
+        assert!(outcome.is_complete());
+        assert_eq!(
+            std::fs::read(&plain).unwrap(),
+            std::fs::read(&traced).unwrap(),
+            "tracing must not change store bytes"
+        );
+        let records = surepath_runner::load_trace(&sidecar).unwrap();
+        assert!(!records.is_empty());
+        let jobs = spec.expand().unwrap();
+        let fps: Vec<String> = jobs.iter().map(job_fingerprint).collect();
+        assert!(records.iter().all(|r| fps.contains(&r.fp)));
+        for p in [&plain, &traced, &sidecar] {
+            let _ = std::fs::remove_file(p);
+        }
     }
 }

@@ -33,18 +33,20 @@ pub use ablation::{
     root_placement_study, vc_count_study, AblationPoint,
 };
 pub use campaign::{
-    job_experiment, run_campaign, run_job, validate_campaign, DEFAULT_SAMPLE_WINDOW,
+    job_experiment, run_campaign, run_campaign_traced, run_job, run_job_traced, validate_campaign,
+    DEFAULT_SAMPLE_WINDOW,
 };
 pub use experiment::{Experiment, RootPlacement, TrafficSpec};
 pub use plot::{throughput_chart, BarChart, BarGroup, LineChart, Series};
 pub use report::{
     batch_runs_from_store, batch_samples_csv, completion_ratio, csv_half_width, diff_stores,
-    diff_stores_filtered, format_batch_table, format_manifest_status, format_mean_hw,
-    format_rate_table, format_replicated_batch_table, format_replicated_rate_table,
-    format_store_diff, format_table, format_timings_table, rate_metrics_to_csv,
-    rate_points_from_store, replicated_batch_points, replicated_rate_points, report_charts,
-    report_csv, report_gnuplot, report_store, store_diff_csv, BatchRun, GnuplotArtifact,
-    MetricDiff, PointDiff, ReplicatedBatchPoint, ReplicatedStorePoint, ReportRow, StoreDiff,
+    diff_stores_filtered, format_batch_table, format_counters_report, format_manifest_status,
+    format_mean_hw, format_rate_table, format_replicated_batch_table, format_replicated_rate_table,
+    format_store_diff, format_table, format_timings_table, format_trace_report,
+    rate_metrics_to_csv, rate_points_from_store, replicated_batch_points, replicated_rate_points,
+    report_charts, report_csv, report_gnuplot, report_store, store_diff_csv, BatchRun,
+    GnuplotArtifact, MetricDiff, PointDiff, ReplicatedBatchPoint, ReplicatedStorePoint, ReportRow,
+    StoreDiff,
 };
 pub use scenario::FaultScenario;
 pub use stats::{

@@ -8,10 +8,10 @@ use crate::scenario::FaultScenario;
 use crate::stats::Summary;
 use crate::sweep::SweepPoint;
 use hyperx_routing::MechanismSpec;
-use hyperx_sim::{BatchMetrics, RateMetrics};
+use hyperx_sim::{BatchMetrics, Counter, CounterRegistry, RateMetrics};
 use serde::{Deserialize, Serialize};
 use surepath_runner::{
-    group_replicas, JobSpec, ResultStore, ShardManifest, StoreRecord, TimingRecord,
+    group_replicas, JobSpec, ResultStore, ShardManifest, StoreRecord, TimingRecord, TraceRecord,
 };
 
 /// A generic row of a report table: a label and a set of named columns.
@@ -1175,6 +1175,183 @@ pub fn format_manifest_status(manifest: &ShardManifest, store: &ResultStore) -> 
     }
     if in_flight.len() > SHOWN {
         out.push_str(&format!("  ... and {} more\n", in_flight.len() - SHOWN));
+    }
+    out
+}
+
+/// Renders the engine counters of a store as per-campaign tables: one
+/// column per mechanism (first-seen store order), one row per counter slot,
+/// each cell the **exact-addition merge** of every successful record's
+/// `counters` field — the same algebra the distributed fold uses, so a
+/// folded store reports identical numbers to a local run. The
+/// `--report --counters` view. Pre-observability records (no `counters`
+/// field) contribute nothing; groups where no record carries counters are
+/// skipped with a note.
+pub fn format_counters_report(store: &ResultStore) -> String {
+    let mut out = String::new();
+    let groups = store_groups(store);
+    if groups.is_empty() {
+        out.push_str("store is empty\n");
+        return out;
+    }
+    for (campaign, kind) in &groups {
+        out.push_str(&format!(
+            "=== counters: campaign `{campaign}` / kind `{kind}` ===\n"
+        ));
+        // Mechanism display names in first-seen order, each with its merge.
+        let mut mechanisms: Vec<String> = Vec::new();
+        let mut merged: Vec<CounterRegistry> = Vec::new();
+        let mut jobs_with_counters = 0usize;
+        for record in store
+            .records_in_order()
+            .filter(|r| r.status == "ok" && &r.job.campaign == campaign && &r.job.kind == kind)
+        {
+            let Some(counters) = record.result.as_ref().and_then(|v| v.get("counters")) else {
+                continue;
+            };
+            let Ok(registry) = CounterRegistry::deserialize(counters) else {
+                continue;
+            };
+            jobs_with_counters += 1;
+            let (mechanism, _, _) = display_names(&record.job);
+            match mechanisms.iter().position(|m| m == &mechanism) {
+                Some(i) => merged[i].merge(&registry),
+                None => {
+                    mechanisms.push(mechanism);
+                    merged.push(registry);
+                }
+            }
+        }
+        if mechanisms.is_empty() {
+            out.push_str("(no counters recorded — store predates the observability schema)\n\n");
+            continue;
+        }
+        let mut header: Vec<&str> = vec!["counter"];
+        header.extend(mechanisms.iter().map(String::as_str));
+        let rows: Vec<ReportRow> = Counter::ALL
+            .iter()
+            .map(|&counter| ReportRow {
+                label: counter.name().to_string(),
+                values: merged.iter().map(|r| r.get(counter).to_string()).collect(),
+            })
+            .collect();
+        out.push_str(&format_table(&header, &rows));
+        out.push_str(&format!(
+            "counters merged from {jobs_with_counters} job(s)\n\n"
+        ));
+    }
+    out
+}
+
+/// Renders a packet-trace sidecar as per-job lifecycle summaries: a per-hop
+/// latency breakdown (delivered packets bucketed by hop count, with average
+/// end-to-end latency and cycles/hop) and an escape-usage summary. The
+/// `surepath trace <store>` view. When `store` is given, job fingerprints
+/// resolve to human labels.
+pub fn format_trace_report(records: &[TraceRecord], store: Option<&ResultStore>) -> String {
+    if records.is_empty() {
+        return "(no trace records)\n".to_string();
+    }
+    let mut out = String::new();
+    // Jobs in first-seen sidecar order.
+    let mut fps: Vec<&str> = Vec::new();
+    for r in records {
+        if !fps.contains(&r.fp.as_str()) {
+            fps.push(&r.fp);
+        }
+    }
+    for fp in fps {
+        let job: Vec<&TraceRecord> = records.iter().filter(|r| r.fp == fp).collect();
+        let label = store
+            .and_then(|s| {
+                s.records_in_order()
+                    .find(|r| r.fp == fp)
+                    .map(|r| format!("`{}`", r.job.label()))
+            })
+            .unwrap_or_else(|| format!("fp {fp}"));
+        out.push_str(&format!("=== trace: job {label} ===\n"));
+
+        // Lifecycle accounting: inject cycle per packet, then stats at the
+        // packet's deliver event.
+        let mut injected: Vec<(u64, u64)> = Vec::new(); // (packet, inject cycle)
+                                                        // Per hop-count buckets over delivered packets:
+                                                        // (hops, packets, total latency, escape users, total escape hops).
+        let mut buckets: Vec<(u64, u64, u64, u64, u64)> = Vec::new();
+        let mut delivered = 0u64;
+        let mut blocks = 0u64;
+        for r in &job {
+            match r.event.as_str() {
+                "inject" => injected.push((r.packet, r.cycle)),
+                "block" => blocks += 1,
+                "deliver" => {
+                    let Some(&(_, inject_cycle)) = injected.iter().find(|(p, _)| *p == r.packet)
+                    else {
+                        // Inject fell outside the trace buffer: skip the
+                        // packet rather than invent a latency.
+                        continue;
+                    };
+                    delivered += 1;
+                    let latency = r.cycle.saturating_sub(inject_cycle);
+                    let bucket = match buckets.iter_mut().find(|b| b.0 == r.hops) {
+                        Some(b) => b,
+                        None => {
+                            buckets.push((r.hops, 0, 0, 0, 0));
+                            buckets.last_mut().expect("just pushed")
+                        }
+                    };
+                    bucket.1 += 1;
+                    bucket.2 += latency;
+                    if r.escape_hops > 0 {
+                        bucket.3 += 1;
+                        bucket.4 += r.escape_hops;
+                    }
+                }
+                _ => {}
+            }
+        }
+        out.push_str(&format!(
+            "{} event(s): {} packet(s) injected, {} delivered with a traced \
+             lifecycle, {} allocation block(s)\n",
+            job.len(),
+            injected.len(),
+            delivered,
+            blocks
+        ));
+        if delivered > 0 {
+            buckets.sort_by_key(|b| b.0);
+            let rows: Vec<ReportRow> = buckets
+                .iter()
+                .map(|&(hops, packets, latency, _, _)| ReportRow {
+                    label: hops.to_string(),
+                    values: vec![
+                        packets.to_string(),
+                        format!("{:.1}", latency as f64 / packets as f64),
+                        format!(
+                            "{:.1}",
+                            latency as f64 / packets as f64 / hops.max(1) as f64
+                        ),
+                    ],
+                })
+                .collect();
+            out.push_str(&format_table(
+                &["hops", "packets", "avg latency", "avg cycles/hop"],
+                &rows,
+            ));
+            let escape_users: u64 = buckets.iter().map(|b| b.3).sum();
+            let escape_hops: u64 = buckets.iter().map(|b| b.4).sum();
+            if escape_users > 0 {
+                out.push_str(&format!(
+                    "escape usage: {escape_users}/{delivered} delivered packet(s) took the \
+                     escape tree ({:.1} escape hop(s) each on average)\n",
+                    escape_hops as f64 / escape_users as f64
+                ));
+            } else {
+                out.push_str(&format!(
+                    "escape usage: 0/{delivered} delivered packet(s) took the escape tree\n"
+                ));
+            }
+        }
+        out.push('\n');
     }
     out
 }
@@ -2501,6 +2678,147 @@ mod tests {
         assert!(csv.contains("campaign,mechanism,traffic,scenario,seed,cycle,accepted_load"));
         assert!(csv.contains("fig-rate,PolSP,Uniform,Healthy,"), "{csv}");
         assert!(csv.contains("fig10,OmniSP,"), "{csv}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// A rate result carrying a `counters` sibling key, as `run_job` writes.
+    fn rate_result_with_counters(requests: u64, grants: u64) -> serde::Value {
+        let mut registry = CounterRegistry::new();
+        registry.add(Counter::AllocRequests, requests);
+        registry.add(Counter::AllocGrants, grants);
+        let mut value = rate_result(0.5, 90.0);
+        if let serde::Value::Object(fields) = &mut value {
+            fields.push((
+                "counters".to_string(),
+                serde_json::to_value(&registry).unwrap(),
+            ));
+        }
+        value
+    }
+
+    #[test]
+    fn counters_report_merges_by_exact_addition_per_mechanism() {
+        let path = temp_store("counters-report");
+        let _ = std::fs::remove_file(&path);
+        let mut store = ResultStore::open(&path).unwrap();
+        store
+            .append_ok(
+                &rate_job("polsp", 0.3, 1),
+                rate_result_with_counters(100, 90),
+            )
+            .unwrap();
+        store
+            .append_ok(
+                &rate_job("polsp", 0.3, 2),
+                rate_result_with_counters(50, 40),
+            )
+            .unwrap();
+        store
+            .append_ok(&rate_job("omnisp", 0.3, 1), rate_result_with_counters(7, 5))
+            .unwrap();
+        // A pre-observability record merges as nothing, not as an error.
+        store
+            .append_ok(&rate_job("minimal", 0.3, 1), rate_result(0.4, 100.0))
+            .unwrap();
+        let report = format_counters_report(&store);
+        assert!(
+            report.contains("campaign `replicated` / kind `rate`"),
+            "{report}"
+        );
+        // PolSP column: 100 + 50 requests, 90 + 40 grants.
+        let requests_row = report
+            .lines()
+            .find(|l| l.starts_with("alloc_requests"))
+            .unwrap();
+        assert!(requests_row.contains("150"), "{requests_row}");
+        assert!(requests_row.contains('7'), "{requests_row}");
+        let grants_row = report
+            .lines()
+            .find(|l| l.starts_with("alloc_grants"))
+            .unwrap();
+        assert!(grants_row.contains("130"), "{grants_row}");
+        assert!(report.contains("merged from 3 job(s)"), "{report}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn counters_report_notes_pre_observability_stores() {
+        let path = temp_store("counters-report-legacy");
+        let _ = std::fs::remove_file(&path);
+        let mut store = ResultStore::open(&path).unwrap();
+        store
+            .append_ok(&rate_job("polsp", 0.3, 1), rate_result(0.4, 100.0))
+            .unwrap();
+        let report = format_counters_report(&store);
+        assert!(report.contains("no counters recorded"), "{report}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    fn trace_record(fp: &str, packet: u64, cycle: u64, event: &str, hops: u64) -> TraceRecord {
+        TraceRecord {
+            fp: fp.into(),
+            packet,
+            cycle,
+            event: event.into(),
+            switch: 0,
+            hops,
+            escape_hops: if event == "deliver" && packet == 1 {
+                2
+            } else {
+                0
+            },
+        }
+    }
+
+    #[test]
+    fn trace_report_breaks_latency_down_by_hop_count() {
+        let records = vec![
+            trace_record("aaaa", 0, 10, "inject", 0),
+            trace_record("aaaa", 1, 12, "inject", 0),
+            trace_record("aaaa", 0, 20, "grant", 0),
+            trace_record("aaaa", 0, 25, "block", 1),
+            trace_record("aaaa", 0, 110, "deliver", 2),
+            trace_record("aaaa", 1, 212, "deliver", 4),
+            // A deliver whose inject fell outside the buffer: skipped.
+            trace_record("aaaa", 99, 300, "deliver", 3),
+            trace_record("bbbb", 5, 7, "inject", 0),
+        ];
+        let report = format_trace_report(&records, None);
+        assert!(report.contains("=== trace: job fp aaaa ==="), "{report}");
+        assert!(report.contains("=== trace: job fp bbbb ==="), "{report}");
+        assert!(
+            report.contains("2 packet(s) injected, 2 delivered"),
+            "{report}"
+        );
+        assert!(report.contains("1 allocation block(s)"), "{report}");
+        // Packet 0: latency 100 over 2 hops; packet 1: latency 200 over 4.
+        let hop2 = report.lines().find(|l| l.starts_with("2  ")).unwrap();
+        assert!(hop2.contains("100.0") && hop2.contains("50.0"), "{hop2}");
+        let hop4 = report.lines().find(|l| l.starts_with("4  ")).unwrap();
+        assert!(hop4.contains("200.0") && hop4.contains("50.0"), "{hop4}");
+        assert!(
+            report.contains("escape usage: 1/2 delivered packet(s)"),
+            "{report}"
+        );
+        assert!(report.contains("2.0 escape hop(s)"), "{report}");
+        assert_eq!(format_trace_report(&[], None), "(no trace records)\n");
+    }
+
+    #[test]
+    fn trace_report_labels_jobs_through_the_store() {
+        let path = temp_store("trace-report-labels");
+        let _ = std::fs::remove_file(&path);
+        let mut store = ResultStore::open(&path).unwrap();
+        let job = rate_job("polsp", 0.3, 1);
+        store.append_ok(&job, rate_result(0.5, 90.0)).unwrap();
+        let fp = surepath_runner::job_fingerprint(&job);
+        let records = vec![
+            trace_record(&fp, 0, 10, "inject", 0),
+            trace_record(&fp, 0, 110, "deliver", 2),
+        ];
+        let report = format_trace_report(&records, Some(&store));
+        assert!(report.contains(&format!("`{}`", job.label())), "{report}");
+        assert!(!report.contains(&format!("fp {fp}")), "{report}");
         let _ = std::fs::remove_file(&path);
     }
 }

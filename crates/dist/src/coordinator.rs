@@ -33,8 +33,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use surepath_runner::{
-    job_fingerprint, manifest_path, queue::shard_of_fingerprint, timings_path, JobSpec,
-    ResultStore, ShardManifest, ShardQueues, StoreRecord, TimingRecord, TimingsLog,
+    job_fingerprint, log_info, log_warn, manifest_path, queue::shard_of_fingerprint, timings_path,
+    JobSpec, ResultStore, ShardManifest, ShardQueues, StoreRecord, TimingRecord, TimingsLog,
 };
 
 /// Tuning knobs of [`serve`].
@@ -56,6 +56,11 @@ pub struct ServeOptions {
     /// rest — this is the fault-injection hook the crash/restart tests use
     /// to emulate a coordinator dying mid-campaign inside one process.
     pub stop_after_deliveries: Option<usize>,
+    /// Bind address of the read-only live-metrics endpoint (`None` = off).
+    /// Every accepted connection receives one Prometheus-style text snapshot
+    /// of fleet state over plain HTTP and is closed — no request parsing, no
+    /// auth, no mutation path.
+    pub metrics_addr: Option<String>,
 }
 
 impl Default for ServeOptions {
@@ -66,6 +71,7 @@ impl Default for ServeOptions {
             chunk: 8,
             quiet: false,
             stop_after_deliveries: None,
+            metrics_addr: None,
         }
     }
 }
@@ -180,6 +186,76 @@ impl Shared {
             .map(|(idx, _)| idx)
             .unwrap_or(0)
     }
+}
+
+/// Renders one Prometheus-style text snapshot of fleet state: overall job
+/// accounting, per-shard queue depth and outstanding leases, worker
+/// liveness, reconnects and lease reclaims. Read-only — the metrics thread
+/// takes the state lock for the duration of this render and nothing else.
+fn render_metrics(shared: &Shared) -> String {
+    let mut out = String::new();
+    let total = shared.pending.len();
+    out.push_str("# TYPE surepath_jobs_total gauge\n");
+    out.push_str(&format!("surepath_jobs_total {total}\n"));
+    out.push_str("# TYPE surepath_jobs_delivered gauge\n");
+    out.push_str(&format!(
+        "surepath_jobs_delivered {}\n",
+        shared.delivered_count
+    ));
+    out.push_str("# TYPE surepath_jobs_failed gauge\n");
+    out.push_str(&format!("surepath_jobs_failed {}\n", shared.failed));
+    out.push_str("# TYPE surepath_jobs_pending gauge\n");
+    for (shard, queued) in shared.queues.queued_per_shard().iter().enumerate() {
+        out.push_str(&format!(
+            "surepath_jobs_pending{{shard=\"{shard}\"}} {queued}\n"
+        ));
+    }
+    out.push_str("# TYPE surepath_jobs_leased gauge\n");
+    for (shard, leased) in shared.queues.leased_per_shard().iter().enumerate() {
+        out.push_str(&format!(
+            "surepath_jobs_leased{{shard=\"{shard}\"}} {leased}\n"
+        ));
+    }
+    out.push_str("# TYPE surepath_workers_live gauge\n");
+    out.push_str(&format!(
+        "surepath_workers_live {}\n",
+        shared.live_conns.len()
+    ));
+    out.push_str("# TYPE surepath_workers_total gauge\n");
+    out.push_str(&format!(
+        "surepath_workers_total {}\n",
+        shared.worker_ids.len()
+    ));
+    out.push_str("# TYPE surepath_reconnects_total counter\n");
+    out.push_str(&format!(
+        "surepath_reconnects_total {}\n",
+        shared.reconnects
+    ));
+    out.push_str("# TYPE surepath_lease_reclaims_total counter\n");
+    out.push_str(&format!(
+        "surepath_lease_reclaims_total {}\n",
+        shared.reoffered
+    ));
+    out
+}
+
+/// Answers one metrics connection: best-effort drain of whatever request the
+/// client sent (so well-behaved HTTP clients are not reset mid-send), then
+/// one HTTP/1.0 response carrying `body`, then close. Errors are swallowed —
+/// a misbehaving scraper must never disturb the campaign.
+fn answer_metrics_request(mut stream: TcpStream, body: &str) {
+    use std::io::{Read as _, Write as _};
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut scratch = [0u8; 1024];
+    let _ = stream.read(&mut scratch);
+    let response = format!(
+        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
 }
 
 /// What one polled read produced. A malformed frame is deliberately *not*
@@ -326,8 +402,9 @@ fn handle_connection(
         if let Some((old_conn, old_shard)) = shared.live_conns.get(&worker).cloned() {
             let released = shared.reclaim_connection(&worker, &old_conn, old_shard);
             if released > 0 && !shared.quiet {
-                eprintln!(
-                    "[dist] worker `{worker}` re-introduced itself; reclaimed {released} \
+                log_warn!(
+                    "dist",
+                    "worker `{worker}` re-introduced itself; reclaimed {released} \
                      lease(s) from its previous connection"
                 );
             }
@@ -343,8 +420,9 @@ fn handle_connection(
             shared.reconnects += 1;
         }
         if !shared.quiet {
-            eprintln!(
-                "[dist] worker `{worker}` {} (home shard {shard})",
+            log_info!(
+                "dist",
+                "worker `{worker}` {} (home shard {shard})",
                 if fresh {
                     "joined"
                 } else if resumed {
@@ -383,8 +461,9 @@ fn handle_connection(
                 let mut shared = shared.lock().expect("coordinator state");
                 let released = shared.reclaim_connection(&worker, &conn, shard);
                 if !shared.quiet {
-                    eprintln!(
-                        "[dist] worker `{worker}` sent a malformed frame; closing \
+                    log_warn!(
+                        "dist",
+                        "worker `{worker}` sent a malformed frame; closing \
                          ({released} lease(s) re-offered)"
                     );
                 }
@@ -398,7 +477,10 @@ fn handle_connection(
                 let mut shared = shared.lock().expect("coordinator state");
                 let released = shared.reclaim_connection(&worker, &conn, shard);
                 if released > 0 && !shared.quiet {
-                    eprintln!("[dist] worker `{worker}` lost; re-offering {released} job(s)");
+                    log_warn!(
+                        "dist",
+                        "worker `{worker}` lost; re-offering {released} job(s)"
+                    );
                 }
                 return;
             }
@@ -424,7 +506,7 @@ fn handle_connection(
                 let reaped = shared.queues.reap_expired(now);
                 shared.reoffered += reaped;
                 if reaped > 0 && !shared.quiet {
-                    eprintln!("[dist] {reaped} lease(s) expired; re-offering");
+                    log_warn!("dist", "{reaped} lease(s) expired; re-offering");
                 }
                 // Both sides bound the batch: the worker's appetite and the
                 // coordinator's `--chunk` cap (small chunks keep expensive
@@ -559,8 +641,9 @@ fn fold_delivery(
         shared.failed += 1;
     }
     if !shared.quiet {
-        eprintln!(
-            "[dist] [{}/{}] {}  {} (worker `{worker}`, {millis} ms)",
+        log_info!(
+            "dist",
+            "[{}/{}] {}  {} (worker `{worker}`, {millis} ms)",
             shared.delivered_count,
             shared.pending.len(),
             if ok { "done" } else { "FAILED" },
@@ -630,10 +713,50 @@ pub fn serve(
         quiet: opts.quiet,
     }));
     if !opts.quiet && skipped > 0 {
-        eprintln!("[dist] [{skipped}/{total}] already complete in the store, skipping");
+        log_info!(
+            "dist",
+            "[{skipped}/{total}] already complete in the store, skipping"
+        );
     }
 
     let stop = Arc::new(AtomicBool::new(false));
+
+    // The live-metrics endpoint: its own listener, its own thread, read-only
+    // over the shared state. It serves snapshots until the campaign ends.
+    let metrics_thread = match &opts.metrics_addr {
+        Some(addr) => {
+            let metrics_listener = TcpListener::bind(addr)?;
+            if !opts.quiet {
+                log_info!(
+                    "dist",
+                    "metrics endpoint listening on {}",
+                    metrics_listener.local_addr()?
+                );
+            }
+            metrics_listener.set_nonblocking(true)?;
+            let metrics_shared = Arc::clone(&shared);
+            let metrics_stop = Arc::clone(&stop);
+            Some(std::thread::spawn(move || {
+                while !metrics_stop.load(Ordering::SeqCst) {
+                    match metrics_listener.accept() {
+                        Ok((stream, _)) => {
+                            let body = {
+                                let shared = metrics_shared.lock().expect("coordinator state");
+                                render_metrics(&shared)
+                            };
+                            answer_metrics_request(stream, &body);
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            }))
+        }
+        None => None,
+    };
+
     let accept_shared = Arc::clone(&shared);
     let accept_stop = Arc::clone(&stop);
     let campaign_name = campaign.to_string();
@@ -692,6 +815,9 @@ pub fn serve(
     }
     stop.store(true, Ordering::SeqCst);
     let _ = acceptor.join();
+    if let Some(handle) = metrics_thread {
+        let _ = handle.join();
+    }
 
     let mut shared = match Arc::try_unwrap(shared) {
         Ok(mutex) => mutex.into_inner().expect("coordinator state"),

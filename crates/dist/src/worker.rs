@@ -27,7 +27,10 @@ use serde::Value;
 use std::io::BufReader;
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
-use surepath_runner::{job_fingerprint, run_work_stealing, JobOutcome, JobSpec, StoreRecord};
+use surepath_runner::{
+    job_fingerprint, log_debug, log_info, log_warn, run_work_stealing, JobOutcome, JobSpec,
+    StoreRecord,
+};
 
 /// Tuning knobs of [`run_worker`].
 #[derive(Clone, Debug)]
@@ -181,9 +184,11 @@ where
         match run_session(addr, worker_id, opts, &job_fn, threads, chunk, &mut session) {
             Ok(()) => {
                 if !opts.quiet {
-                    eprintln!(
-                        "[worker {worker_id}] drained: {} executed, {} failed",
-                        session.executed, session.failed
+                    log_info!(
+                        &format!("worker {worker_id}"),
+                        "drained: {} executed, {} failed",
+                        session.executed,
+                        session.failed
                     );
                 }
                 return Ok(WorkerOutcome {
@@ -213,9 +218,9 @@ where
                 }
                 let delay = opts.reconnect.delay(attempt, worker_id);
                 if !opts.quiet {
-                    eprintln!(
-                        "[worker {worker_id}] connection lost ({e}); reconnect attempt \
-                         {attempt}/{} in {delay:?}",
+                    log_warn!(
+                        &format!("worker {worker_id}"),
+                        "connection lost ({e}); reconnect attempt {attempt}/{} in {delay:?}",
                         opts.reconnect.retries
                     );
                 }
@@ -290,7 +295,10 @@ where
             if reconnecting {
                 session.reconnects += 1;
                 if !opts.quiet {
-                    eprintln!("[worker {worker_id}] reconnected, resuming `{campaign}`");
+                    log_info!(
+                        &format!("worker {worker_id}"),
+                        "reconnected, resuming `{campaign}`"
+                    );
                 }
             }
             session.nonce = Some(nonce);
@@ -322,8 +330,9 @@ where
         match reply {
             Reply::Assign { jobs } => {
                 if !opts.quiet {
-                    eprintln!(
-                        "[worker {worker_id}] {} job(s) of campaign `{campaign}`",
+                    log_debug!(
+                        &format!("worker {worker_id}"),
+                        "{} job(s) of campaign `{campaign}`",
                         jobs.len()
                     );
                 }

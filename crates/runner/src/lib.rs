@@ -29,6 +29,10 @@
 //!   distinguishes "missing" from "assigned elsewhere / in-flight".
 //! * [`timings`] — the `<store>.timings.jsonl` per-job wall-clock sidecar
 //!   (host observations never enter the deterministic store).
+//! * [`trace`] — the `<store>.trace.jsonl` packet-lifecycle sidecar (same
+//!   rule: observations ride next to the store, never inside it).
+//! * [`obs`] — leveled stderr event logging (`SUREPATH_LOG` filter, human or
+//!   JSONL format) behind the `log_error!`…`log_debug!` macros.
 //! * [`toml`] — a minimal TOML parser (the build environment has no crates.io
 //!   access, so the subset campaign specs need is implemented here).
 //!
@@ -50,12 +54,14 @@ pub mod campaign;
 pub mod executor;
 pub mod fingerprint;
 pub mod manifest;
+pub mod obs;
 pub mod progress;
 pub mod queue;
 pub mod spec;
 pub mod store;
 pub mod timings;
 pub mod toml;
+pub mod trace;
 
 pub use campaign::{
     deadline_from_env, run_campaign, run_campaign_with, CampaignOutcome, RunOptions,
@@ -72,3 +78,4 @@ pub use store::{
     group_replicas, merge_stores, MergeSummary, ResultStore, StoreRecord, STORE_SCHEMA_VERSION,
 };
 pub use timings::{load_timings, timings_path, TimingRecord, TimingsLog};
+pub use trace::{load_trace, trace_path, TraceLog, TraceRecord};

@@ -1,0 +1,258 @@
+//! Leveled, machine-parseable event logging for the whole workspace.
+//!
+//! Replaces the ad-hoc `eprintln!` calls of the distributed layer with one
+//! log funnel: every event has a **level**, a **target** (the subsystem —
+//! `"dist"`, `"worker 3"`, `"coordinator"`), and a message. Two output
+//! formats, both to stderr:
+//!
+//! * human (default): `[{target}] {message}` — byte-identical to the old
+//!   `eprintln!` lines, so existing log greps keep working;
+//! * JSONL (`SUREPATH_LOG_FORMAT=json`): `{"level":…,"target":…,"msg":…}`
+//!   per line, grep- and jq-able.
+//!
+//! Filtering is controlled by `SUREPATH_LOG`, in the spirit of `env_logger`:
+//! `off` silences everything; a bare level (`error|warn|info|debug`) sets
+//! the default; comma-separated `target=level` directives override it per
+//! subsystem by **longest prefix** (`worker=debug` matches `worker 3`).
+//! Unset means `info`. The filter is parsed once per process.
+//!
+//! Logging is observation-only and writes to stderr exclusively — nothing
+//! here can reach a result store, so the byte-determinism contract is
+//! untouched by construction.
+
+use std::io::Write;
+use std::sync::OnceLock;
+
+/// Event severity, ordered from most to least severe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// A failure the process could not hide (protocol errors, lost stores).
+    Error,
+    /// Something degraded but survivable (lease expiry, reconnect attempts).
+    Warn,
+    /// Normal lifecycle events (worker joins, fold progress).
+    Info,
+    /// High-volume diagnostics.
+    Debug,
+}
+
+impl Level {
+    /// Stable lowercase name (used in the JSON format and `SUREPATH_LOG`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+
+    fn parse(text: &str) -> Option<Level> {
+        match text.trim().to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+}
+
+/// A parsed `SUREPATH_LOG` filter. `None` thresholds mean "off".
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Filter {
+    default: Option<Level>,
+    /// `(target-prefix, threshold)` directives; longest matching prefix wins.
+    directives: Vec<(String, Option<Level>)>,
+}
+
+impl Filter {
+    /// Parses a filter spec: `off`, a bare level, or comma-separated
+    /// `target=level` directives mixed with at most one bare default level.
+    /// Unrecognized pieces are ignored (a typo'd filter must never crash a
+    /// campaign); an empty spec means the `info` default.
+    pub fn parse(spec: &str) -> Filter {
+        let mut filter = Filter {
+            default: Some(Level::Info),
+            directives: Vec::new(),
+        };
+        for piece in spec.split(',') {
+            let piece = piece.trim();
+            if piece.is_empty() {
+                continue;
+            }
+            match piece.split_once('=') {
+                Some((target, level)) => {
+                    let threshold = if level.trim().eq_ignore_ascii_case("off") {
+                        None
+                    } else {
+                        match Level::parse(level) {
+                            Some(l) => Some(l),
+                            None => continue,
+                        }
+                    };
+                    filter
+                        .directives
+                        .push((target.trim().to_string(), threshold));
+                }
+                None if piece.eq_ignore_ascii_case("off") => filter.default = None,
+                None => {
+                    if let Some(level) = Level::parse(piece) {
+                        filter.default = Some(level);
+                    }
+                }
+            }
+        }
+        // Longest prefix first, so the first match during lookup wins.
+        filter
+            .directives
+            .sort_by(|a, b| b.0.len().cmp(&a.0.len()).then_with(|| a.0.cmp(&b.0)));
+        filter
+    }
+
+    /// Whether an event at `level` for `target` passes the filter.
+    pub fn enabled(&self, level: Level, target: &str) -> bool {
+        let threshold = self
+            .directives
+            .iter()
+            .find(|(prefix, _)| target.starts_with(prefix.as_str()))
+            .map(|(_, threshold)| *threshold)
+            .unwrap_or(self.default);
+        match threshold {
+            Some(max) => level <= max,
+            None => false,
+        }
+    }
+}
+
+/// Output formats.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Format {
+    Human,
+    Json,
+}
+
+struct Config {
+    filter: Filter,
+    format: Format,
+}
+
+fn config() -> &'static Config {
+    static CONFIG: OnceLock<Config> = OnceLock::new();
+    CONFIG.get_or_init(|| Config {
+        filter: Filter::parse(&std::env::var("SUREPATH_LOG").unwrap_or_default()),
+        format: match std::env::var("SUREPATH_LOG_FORMAT").as_deref() {
+            Ok("json") => Format::Json,
+            _ => Format::Human,
+        },
+    })
+}
+
+/// Emits one event to stderr if the process filter allows it. Prefer the
+/// [`log_error!`](crate::log_error)/[`log_warn!`](crate::log_warn)/
+/// [`log_info!`](crate::log_info)/[`log_debug!`](crate::log_debug) macros.
+pub fn log(level: Level, target: &str, message: std::fmt::Arguments<'_>) {
+    let config = config();
+    if !config.filter.enabled(level, target) {
+        return;
+    }
+    let mut stderr = std::io::stderr().lock();
+    // A failed stderr write (closed pipe) must never take the process down.
+    let _ = match config.format {
+        Format::Human => writeln!(stderr, "[{target}] {message}"),
+        Format::Json => writeln!(
+            stderr,
+            "{{\"level\":{},\"target\":{},\"msg\":{}}}",
+            serde_json::to_string(level.name()).unwrap(),
+            serde_json::to_string(target).unwrap(),
+            serde_json::to_string(&message.to_string()).unwrap()
+        ),
+    };
+}
+
+/// Logs an error-level event: `log_error!("dist", "lost {n} stores")`.
+#[macro_export]
+macro_rules! log_error {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::obs::log($crate::obs::Level::Error, $target, format_args!($($arg)*))
+    };
+}
+
+/// Logs a warn-level event.
+#[macro_export]
+macro_rules! log_warn {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::obs::log($crate::obs::Level::Warn, $target, format_args!($($arg)*))
+    };
+}
+
+/// Logs an info-level event.
+#[macro_export]
+macro_rules! log_info {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::obs::log($crate::obs::Level::Info, $target, format_args!($($arg)*))
+    };
+}
+
+/// Logs a debug-level event.
+#[macro_export]
+macro_rules! log_debug {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::obs::log($crate::obs::Level::Debug, $target, format_args!($($arg)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_filter_is_info() {
+        let f = Filter::parse("");
+        assert!(f.enabled(Level::Error, "dist"));
+        assert!(f.enabled(Level::Info, "dist"));
+        assert!(!f.enabled(Level::Debug, "dist"));
+    }
+
+    #[test]
+    fn off_silences_everything() {
+        let f = Filter::parse("off");
+        assert!(!f.enabled(Level::Error, "dist"));
+        assert!(!f.enabled(Level::Debug, "worker 1"));
+    }
+
+    #[test]
+    fn bare_level_sets_the_default() {
+        let f = Filter::parse("warn");
+        assert!(f.enabled(Level::Warn, "dist"));
+        assert!(!f.enabled(Level::Info, "dist"));
+        let f = Filter::parse("debug");
+        assert!(f.enabled(Level::Debug, "anything"));
+    }
+
+    #[test]
+    fn directives_override_by_longest_prefix() {
+        let f = Filter::parse("warn,worker=debug,coordinator=off");
+        // `worker=debug` matches any worker-N target by prefix.
+        assert!(f.enabled(Level::Debug, "worker 3"));
+        assert!(!f.enabled(Level::Error, "coordinator"));
+        // Everything else falls back to the bare default.
+        assert!(f.enabled(Level::Warn, "dist"));
+        assert!(!f.enabled(Level::Info, "dist"));
+    }
+
+    #[test]
+    fn unparseable_pieces_are_ignored_not_fatal() {
+        let f = Filter::parse("nonsense,worker=verbose,=,info");
+        assert!(f.enabled(Level::Info, "worker 1"));
+        assert!(!f.enabled(Level::Debug, "worker 1"));
+    }
+
+    #[test]
+    fn level_names_round_trip() {
+        for level in [Level::Error, Level::Warn, Level::Info, Level::Debug] {
+            assert_eq!(Level::parse(level.name()), Some(level));
+        }
+        assert_eq!(Level::parse("verbose"), None);
+    }
+}

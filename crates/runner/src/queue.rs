@@ -82,6 +82,21 @@ impl ShardQueues {
         self.leases.len()
     }
 
+    /// Jobs still queued, per shard (for live metrics reporting).
+    pub fn queued_per_shard(&self) -> Vec<usize> {
+        self.queues.iter().map(VecDeque::len).collect()
+    }
+
+    /// Outstanding leases, per shard (for live metrics reporting).
+    pub fn leased_per_shard(&self) -> Vec<usize> {
+        let shards = self.queues.len();
+        let mut counts = vec![0usize; shards];
+        for lease in self.leases.values() {
+            counts[lease.shard % shards] += 1;
+        }
+        counts
+    }
+
     /// Whether no work remains: every queue empty and no lease outstanding.
     pub fn is_drained(&self) -> bool {
         self.queued() == 0 && self.leases.is_empty()

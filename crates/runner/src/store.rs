@@ -31,6 +31,20 @@
 //! store written before a field existed still loads, reports and diffs
 //! exactly as it always did, while rewriting *never* reorders or rewrites
 //! old records' bytes.
+//!
+//! The engine-counter field (schema 1 rev "observability") follows both
+//! rules: an `ok` result may carry a `counters` key — the sparse
+//! `{"v":1,"c":[[slot,count],...]}` encoding of `hyperx_sim`'s
+//! `CounterRegistry`, occupied slots ascending so the bytes are a function
+//! of the counts alone — and `--report --counters` merges the registries
+//! by exact addition, skipping records without the key. Pre-observability
+//! stores therefore report, diff and merge unchanged, and a mixed-era
+//! merged store stays byte-deterministic.
+//!
+//! Observability sidecars (`<store>.timings.jsonl`, `<store>.manifest.jsonl`,
+//! `<store>.trace.jsonl`) live *next to* the store, never inside it: the
+//! store file holds results only, which is what keeps its bytes identical
+//! with tracing on or off.
 
 use crate::fingerprint::job_fingerprint;
 use crate::spec::JobSpec;

@@ -1,0 +1,146 @@
+//! Packet-trace sidecar: the `<store>.trace.jsonl` companion file.
+//!
+//! Like the timings sidecar, trace events are **observations** riding next
+//! to the store, never inside it: the deterministic store stays
+//! byte-identical whether tracing ran or not (the zero-perturbation
+//! contract), and the sidecar itself is an accumulating append-only log
+//! whose record order depends on job completion order. Each record carries
+//! the owning job's fingerprint, so renderers group lifecycles per job
+//! regardless of interleaving.
+//!
+//! The runner stays domain-agnostic: a [`TraceRecord`] is just "job fp +
+//! packet + cycle + named lifecycle stage"; `surepath-core` converts the
+//! engine's typed trace events into these records.
+
+use serde::{Deserialize, Serialize};
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// One packet-lifecycle event of one job.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// The owning job's fingerprint.
+    pub fp: String,
+    /// Packet id within that job's simulation.
+    pub packet: u64,
+    /// Simulation cycle of the event.
+    pub cycle: u64,
+    /// Lifecycle stage name: `inject`, `grant`, `hop`, `deliver`, `block`.
+    pub event: String,
+    /// The switch involved.
+    pub switch: u64,
+    /// Switch-to-switch hops taken so far.
+    pub hops: u64,
+    /// Escape-tree hops taken so far.
+    pub escape_hops: u64,
+}
+
+/// The trace sidecar path of a result store:
+/// `results/grid.jsonl` → `results/grid.trace.jsonl`.
+pub fn trace_path(store: &Path) -> PathBuf {
+    store.with_extension("trace.jsonl")
+}
+
+/// An append-only packet-trace log.
+#[derive(Debug)]
+pub struct TraceLog {
+    writer: BufWriter<File>,
+}
+
+impl TraceLog {
+    /// Opens (or creates) the log at `path` for appending.
+    pub fn open(path: &Path) -> std::io::Result<Self> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(TraceLog {
+            writer: BufWriter::new(file),
+        })
+    }
+
+    /// Appends one trace record (buffered; call [`TraceLog::flush`] after a
+    /// job's batch — traces are high-volume, flushing per record would make
+    /// the sidecar the hot path).
+    pub fn append(&mut self, record: &TraceRecord) -> std::io::Result<()> {
+        let line = serde_json::to_string(record).expect("trace record serializes");
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")
+    }
+
+    /// Flushes buffered records to disk.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        self.writer.flush()
+    }
+}
+
+/// Loads every parseable trace record from `path`, in file order.
+/// Unparseable lines (a truncated tail) are skipped.
+pub fn load_trace(path: &Path) -> std::io::Result<Vec<TraceRecord>> {
+    let text = std::fs::read_to_string(path)?;
+    Ok(text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .filter_map(|l| serde_json::from_str::<TraceRecord>(l).ok())
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_trace(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("surepath-runner-trace-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}.trace.jsonl", std::process::id()))
+    }
+
+    fn record(packet: u64, cycle: u64, event: &str) -> TraceRecord {
+        TraceRecord {
+            fp: "aaaa".into(),
+            packet,
+            cycle,
+            event: event.into(),
+            switch: 3,
+            hops: 1,
+            escape_hops: 0,
+        }
+    }
+
+    #[test]
+    fn trace_path_derives_from_the_store_path() {
+        assert_eq!(
+            trace_path(Path::new("results/grid.jsonl")),
+            PathBuf::from("results/grid.trace.jsonl")
+        );
+    }
+
+    #[test]
+    fn append_load_round_trips_and_tolerates_corruption() {
+        let path = temp_trace("round-trip");
+        let _ = std::fs::remove_file(&path);
+        let records = vec![
+            record(0, 10, "inject"),
+            record(0, 40, "grant"),
+            record(0, 90, "deliver"),
+        ];
+        {
+            let mut log = TraceLog::open(&path).unwrap();
+            for r in &records {
+                log.append(r).unwrap();
+            }
+            log.flush().unwrap();
+        }
+        {
+            use std::io::Write as _;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"{\"fp\":\"cccc\",\"pack").unwrap();
+        }
+        let loaded = load_trace(&path).unwrap();
+        assert_eq!(loaded, records);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -17,6 +17,7 @@
 
 use crate::config::SimConfig;
 use crate::metrics::{BatchMetrics, MeasuredCounters, RateMetrics, ThroughputSample};
+use crate::obs::{Counter, CounterRegistry, PacketTracer, TraceEvent, TraceEventKind};
 use crate::packet::Packet;
 use crate::rng_contract::{sample_without_replacement, RngContract};
 use crate::server::{GenerationMode, ServerState};
@@ -188,6 +189,12 @@ pub struct Simulator {
     /// Scratch: the head packet's candidate list, copied out of the per-VC
     /// cache so the borrow on the switch ends before scoring.
     cand_scratch: Vec<Candidate>,
+    /// Fixed-slot observability counters: plain `u64` adds on the hot path,
+    /// never fed back into any scheduling decision (zero-perturbation).
+    obs: CounterRegistry,
+    /// Optional packet-lifecycle tracer. `None` reduces every hook to one
+    /// branch; enabling it must not change RNG draws or metrics bytes.
+    tracer: Option<PacketTracer>,
     /// A/B baseline: when true, `step` runs the legacy exhaustive-scan
     /// scheduler (only settable under cfg(test) or the `full-scan` feature).
     #[cfg_attr(not(any(test, feature = "full-scan")), allow(dead_code))]
@@ -283,6 +290,8 @@ impl Simulator {
             in_grants: vec![0; num_ports],
             route_scratch: RouteScratch::default(),
             cand_scratch: Vec::new(),
+            obs: CounterRegistry::new(),
+            tracer: None,
             full_scan: false,
         }
     }
@@ -321,6 +330,23 @@ impl Simulator {
     /// conservation tests.
     pub fn packets_in_switches(&self) -> usize {
         self.switches.iter().map(|s| s.buffered_packets()).sum()
+    }
+
+    /// The engine's observability counters (reset when measurement begins).
+    pub fn obs(&self) -> &CounterRegistry {
+        &self.obs
+    }
+
+    /// Installs (or removes) the packet-lifecycle tracer. Tracing is
+    /// observation-only: enabling it never changes RNG draw order, metrics
+    /// bytes, or store bytes — see the `obs_equivalence` tests.
+    pub fn set_tracer(&mut self, tracer: Option<PacketTracer>) {
+        self.tracer = tracer;
+    }
+
+    /// Takes the tracer (and its recorded events) out of the simulator.
+    pub fn take_tracer(&mut self) -> Option<PacketTracer> {
+        self.tracer.take()
     }
 
     /// Runs an open-loop (rate mode) experiment at `offered_load`
@@ -428,6 +454,7 @@ impl Simulator {
 
     fn begin_measurement(&mut self) {
         self.counters = MeasuredCounters::new(self.layout.num_servers());
+        self.obs.reset();
         self.measuring = true;
         self.window_delivered_phits = 0;
     }
@@ -465,10 +492,11 @@ impl Simulator {
         }
         if self.progress_this_cycle {
             self.last_progress = self.cycle;
-        } else if self.packets_alive > 0
-            && self.cycle - self.last_progress >= self.cfg.watchdog_cycles
-        {
-            self.stalled = true;
+        } else if self.packets_alive > 0 {
+            self.obs.incr(Counter::BlockedCycles);
+            if self.cycle - self.last_progress >= self.cfg.watchdog_cycles {
+                self.stalled = true;
+            }
         }
         self.cycle += 1;
     }
@@ -507,6 +535,13 @@ impl Simulator {
                 self.generate_and_inject_server(server, packet_length);
             }
         }
+        // The frozen scheduler visits every switch in both stages; counting
+        // those visits keeps the active-set occupancy counters comparable
+        // across schedulers.
+        self.obs
+            .add(Counter::AllocSwitchVisits, self.switches.len() as u64);
+        self.obs
+            .add(Counter::XmitSwitchVisits, self.switches.len() as u64);
         for switch in 0..self.switches.len() {
             let requests = self.collect_requests_full(switch);
             self.apply_grants_full(switch, requests);
@@ -542,6 +577,16 @@ impl Simulator {
                     vc,
                     packet,
                 } => {
+                    if let Some(tracer) = &mut self.tracer {
+                        tracer.record(TraceEvent {
+                            cycle: self.cycle,
+                            packet: packet.id,
+                            kind: TraceEventKind::Hop,
+                            switch: switch as u64,
+                            hops: packet.state.hops as u64,
+                            escape_hops: packet.escape_hops as u64,
+                        });
+                    }
                     let input = &mut self.switches[switch].inputs[port][vc];
                     debug_assert!(input.inflight > 0, "arrival without a reservation");
                     input.inflight -= 1;
@@ -558,6 +603,16 @@ impl Simulator {
                     self.packets_alive -= 1;
                     self.total_delivered += 1;
                     self.progress_this_cycle = true;
+                    if let Some(tracer) = &mut self.tracer {
+                        tracer.record(TraceEvent {
+                            cycle: self.cycle,
+                            packet: packet.id,
+                            kind: TraceEventKind::Deliver,
+                            switch: packet.dst_switch as u64,
+                            hops: packet.state.hops as u64,
+                            escape_hops: packet.escape_hops as u64,
+                        });
+                    }
                     if self.measuring {
                         self.counters.delivered_packets += 1;
                         self.counters.delivered_phits += self.cfg.packet_length;
@@ -674,6 +729,7 @@ impl Simulator {
         }
         let binomial = self.binomial_cache.as_ref().unwrap().1;
         let k = binomial.sample(&mut self.rng) as usize;
+        self.obs.incr(Counter::BinomialDraws);
         sample_without_replacement(
             &mut self.rng,
             n,
@@ -744,6 +800,16 @@ impl Simulator {
             }
             if let GenerationMode::Batch { .. } = self.generation {
                 self.servers[server].remaining_quota -= 1;
+            }
+            if let Some(tracer) = &mut self.tracer {
+                tracer.record(TraceEvent {
+                    cycle: self.cycle,
+                    packet: packet.id,
+                    kind: TraceEventKind::Inject,
+                    switch: src_switch as u64,
+                    hops: 0,
+                    escape_hops: 0,
+                });
             }
             self.servers[server].source_queue.push_back(packet);
         } else if self.measuring {
@@ -839,6 +905,7 @@ impl Simulator {
                 {
                     let vc_state = &mut self.switches[switch].inputs[in_port][in_vc];
                     if vc_state.cached_for != Some(head_id) {
+                        self.obs.incr(Counter::CandCacheMisses);
                         vc_state.cached_for = Some(head_id);
                         let cache = &mut vc_state.cached_candidates;
                         cache.clear();
@@ -848,6 +915,8 @@ impl Simulator {
                             &mut self.route_scratch,
                             cache,
                         );
+                    } else {
+                        self.obs.incr(Counter::CandCacheHits);
                     }
                 }
                 self.cand_scratch.clear();
@@ -911,6 +980,7 @@ impl Simulator {
         if requests.is_empty() {
             return;
         }
+        self.obs.add(Counter::AllocRequests, requests.len() as u64);
         // Random tie-break, then lowest score first per output port.
         let mut keyed = std::mem::take(&mut self.keyed_scratch);
         keyed.clear();
@@ -940,11 +1010,15 @@ impl Simulator {
         for &(_, _, idx) in &keyed {
             let req = requests[idx];
             if out_grants[req.out_port] >= speedup || in_grants[req.in_port] >= speedup {
+                self.obs.incr(Counter::AllocConflicts);
+                self.trace_block(switch, &req);
                 continue;
             }
             if !self.switches[switch].outputs[req.out_port]
                 .staging_has_room(self.cfg.output_buffer_packets, 0)
             {
+                self.obs.incr(Counter::AllocConflicts);
+                self.trace_block(switch, &req);
                 continue;
             }
             // Re-check (and reserve) the downstream slot for network hops.
@@ -956,6 +1030,8 @@ impl Simulator {
                 let free = self.switches[next_switch].inputs[next_input_port][req.out_vc]
                     .free_slots(self.cfg.input_buffer_packets);
                 if free == 0 {
+                    self.obs.incr(Counter::AllocConflicts);
+                    self.trace_block(switch, &req);
                     continue;
                 }
                 self.switches[next_switch].inputs[next_input_port][req.out_vc].inflight += 1;
@@ -976,8 +1052,20 @@ impl Simulator {
                         .note_hop(&mut packet.state, switch, next_switch, cand);
                     if cand.enters_escape() {
                         packet.escape_hops += 1;
+                        self.obs.incr(Counter::EscapeGrants);
                     }
                 }
+            }
+            self.obs.incr(Counter::AllocGrants);
+            if let Some(tracer) = &mut self.tracer {
+                tracer.record(TraceEvent {
+                    cycle: self.cycle,
+                    packet: packet.id,
+                    kind: TraceEventKind::Grant,
+                    switch: switch as u64,
+                    hops: packet.state.hops as u64,
+                    escape_hops: packet.escape_hops as u64,
+                });
             }
             self.switches[switch].outputs[req.out_port]
                 .staging
@@ -997,6 +1085,32 @@ impl Simulator {
         self.in_grants = in_grants;
     }
 
+    /// Records a `Block` trace event for the head packet behind a denied
+    /// request. Pure observation: runs only when a tracer is installed and
+    /// reads nothing that feeds back into scheduling.
+    fn trace_block(&mut self, switch: usize, req: &Request) {
+        if self.tracer.is_none() {
+            return;
+        }
+        let Some(head) = self.switches[switch].inputs[req.in_port][req.in_vc]
+            .queue
+            .front()
+        else {
+            return;
+        };
+        let event = TraceEvent {
+            cycle: self.cycle,
+            packet: head.id,
+            kind: TraceEventKind::Block,
+            switch: switch as u64,
+            hops: head.state.hops as u64,
+            escape_hops: head.escape_hops as u64,
+        };
+        if let Some(tracer) = &mut self.tracer {
+            tracer.record(event);
+        }
+    }
+
     /// Allocation stage: visits only the switches with buffered input
     /// packets, in ascending switch order (the same order the exhaustive
     /// scan grants in, so the RNG tie-break sequence is identical). Switches
@@ -1004,6 +1118,8 @@ impl Simulator {
     fn allocate(&mut self) {
         self.alloc_active.merge_added();
         let mut active = std::mem::take(&mut self.alloc_active.list);
+        self.obs
+            .add(Counter::AllocSwitchVisits, active.len() as u64);
         let mut keep = 0;
         for k in 0..active.len() {
             let switch = active[k];
@@ -1029,6 +1145,7 @@ impl Simulator {
     fn transmit(&mut self) {
         self.xmit_active.merge_added();
         let mut active = std::mem::take(&mut self.xmit_active.list);
+        self.obs.add(Counter::XmitSwitchVisits, active.len() as u64);
         let mut keep = 0;
         for k in 0..active.len() {
             let switch = active[k];
@@ -1184,6 +1301,7 @@ impl Simulator {
         if requests.is_empty() {
             return;
         }
+        self.obs.add(Counter::AllocRequests, requests.len() as u64);
         let mut keyed: Vec<(u64, u32, usize)> = requests
             .iter()
             .enumerate()
@@ -1202,11 +1320,15 @@ impl Simulator {
         for (_, _, idx) in keyed {
             let req = requests[idx];
             if out_grants[req.out_port] >= speedup || in_grants[req.in_port] >= speedup {
+                self.obs.incr(Counter::AllocConflicts);
+                self.trace_block(switch, &req);
                 continue;
             }
             if !self.switches[switch].outputs[req.out_port]
                 .staging_has_room(self.cfg.output_buffer_packets, 0)
             {
+                self.obs.incr(Counter::AllocConflicts);
+                self.trace_block(switch, &req);
                 continue;
             }
             if let OutputKind::Network {
@@ -1217,6 +1339,8 @@ impl Simulator {
                 let free = self.switches[next_switch].inputs[next_input_port][req.out_vc]
                     .free_slots(self.cfg.input_buffer_packets);
                 if free == 0 {
+                    self.obs.incr(Counter::AllocConflicts);
+                    self.trace_block(switch, &req);
                     continue;
                 }
                 self.switches[next_switch].inputs[next_input_port][req.out_vc].inflight += 1;
@@ -1236,8 +1360,20 @@ impl Simulator {
                         .note_hop(&mut packet.state, switch, next_switch, cand);
                     if cand.enters_escape() {
                         packet.escape_hops += 1;
+                        self.obs.incr(Counter::EscapeGrants);
                     }
                 }
+            }
+            self.obs.incr(Counter::AllocGrants);
+            if let Some(tracer) = &mut self.tracer {
+                tracer.record(TraceEvent {
+                    cycle: self.cycle,
+                    packet: packet.id,
+                    kind: TraceEventKind::Grant,
+                    switch: switch as u64,
+                    hops: packet.state.hops as u64,
+                    escape_hops: packet.escape_hops as u64,
+                });
             }
             self.switches[switch].outputs[req.out_port]
                 .staging
@@ -1558,6 +1694,119 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    /// The zero-perturbation contract of the observability layer: counters
+    /// and the tracer observe the engine without changing it, so metrics
+    /// bytes, generated/delivered totals and RNG draw order are identical
+    /// with the tracer installed or absent — across mechanisms, loads,
+    /// contracts and both schedulers. A/B tested exactly like the
+    /// `full-scan` scheduler contract above.
+    mod obs_equivalence {
+        use super::*;
+        use crate::obs::{Counter, PacketTracer, TraceEventKind};
+
+        fn rate_bytes(traced: bool, contract: RngContract, load: f64) -> String {
+            let mut cfg = SimConfig::quick(2, 4);
+            cfg.warmup_cycles = 200;
+            cfg.measure_cycles = 600;
+            cfg.seed = 21;
+            cfg.rng_contract = contract;
+            let mut sim = build_sim(MechanismSpec::PolSP, cfg);
+            if traced {
+                sim.set_tracer(Some(PacketTracer::with_capacity(1 << 16)));
+            }
+            let metrics = sim.run_rate(load);
+            format!(
+                "{metrics:?}|gen={}|del={}",
+                sim.total_generated(),
+                sim.total_delivered()
+            )
+        }
+
+        #[test]
+        fn tracing_does_not_perturb_rate_metrics_or_rng() {
+            for contract in [RngContract::V1PerServer, RngContract::V2Counting] {
+                for load in [0.1, 0.6] {
+                    let off = rate_bytes(false, contract, load);
+                    let on = rate_bytes(true, contract, load);
+                    assert_eq!(off, on, "tracer perturbed load {load} ({contract})");
+                }
+            }
+        }
+
+        #[test]
+        fn tracing_does_not_perturb_batch_mode() {
+            let mut results = Vec::new();
+            for traced in [false, true] {
+                let mut cfg = SimConfig::quick(2, 4);
+                cfg.seed = 9;
+                let mut sim = build_sim(MechanismSpec::OmniSP, cfg);
+                if traced {
+                    sim.set_tracer(Some(PacketTracer::with_capacity(1 << 16)));
+                }
+                let metrics = sim.run_batch(4, 100);
+                results.push(format!("{metrics:?}"));
+            }
+            assert_eq!(results[0], results[1]);
+        }
+
+        #[test]
+        fn traced_run_yields_complete_lifecycles() {
+            let mut cfg = SimConfig::quick(2, 4);
+            cfg.warmup_cycles = 0;
+            cfg.measure_cycles = 500;
+            cfg.seed = 2;
+            let mut sim = build_sim(MechanismSpec::OmniSP, cfg);
+            sim.set_tracer(Some(PacketTracer::with_capacity(1 << 16)));
+            let _ = sim.run_rate(0.3);
+            let tracer = sim.take_tracer().expect("tracer was installed");
+            assert_eq!(tracer.dropped(), 0);
+            let events = tracer.events();
+            assert!(!events.is_empty());
+            // A delivered packet's lifecycle reads inject → … → deliver in
+            // nondecreasing cycle order, with at least one grant and hop.
+            let delivered = events
+                .iter()
+                .find(|e| e.kind == TraceEventKind::Deliver)
+                .expect("something was delivered");
+            let life: Vec<_> = events
+                .iter()
+                .filter(|e| e.packet == delivered.packet)
+                .collect();
+            assert_eq!(life.first().unwrap().kind, TraceEventKind::Inject);
+            assert_eq!(life.last().unwrap().kind, TraceEventKind::Deliver);
+            assert!(life.iter().any(|e| e.kind == TraceEventKind::Grant));
+            assert!(life.iter().any(|e| e.kind == TraceEventKind::Hop));
+            assert!(life.windows(2).all(|w| w[0].cycle <= w[1].cycle));
+        }
+
+        #[test]
+        fn counters_populate_and_are_deterministic() {
+            let run = || {
+                let mut cfg = SimConfig::quick(2, 4);
+                cfg.warmup_cycles = 100;
+                cfg.measure_cycles = 600;
+                cfg.seed = 4;
+                cfg.rng_contract = RngContract::V2Counting;
+                let mut sim = build_sim(MechanismSpec::PolSP, cfg);
+                let _ = sim.run_rate(0.5);
+                sim.obs().clone()
+            };
+            let a = run();
+            let b = run();
+            assert_eq!(a, b, "counters must be a pure function of the run");
+            assert!(a.get(Counter::AllocRequests) > 0);
+            assert!(a.get(Counter::AllocGrants) > 0);
+            assert!(a.get(Counter::CandCacheMisses) > 0);
+            assert!(a.get(Counter::AllocSwitchVisits) > 0);
+            assert!(a.get(Counter::BinomialDraws) > 0);
+            assert!(
+                a.get(Counter::AllocRequests)
+                    >= a.get(Counter::AllocGrants) + a.get(Counter::AllocConflicts),
+                "every request is granted, denied, or superseded"
+            );
         }
     }
 

@@ -23,6 +23,7 @@
 pub mod config;
 pub mod engine;
 pub mod metrics;
+pub mod obs;
 pub mod packet;
 pub mod rng_contract;
 pub mod server;
@@ -34,6 +35,7 @@ pub use engine::Simulator;
 pub use metrics::{
     jain_index, BatchMetrics, LatencyHistogram, MeasuredCounters, RateMetrics, ThroughputSample,
 };
+pub use obs::{Counter, CounterRegistry, PacketTracer, TraceEvent, TraceEventKind};
 pub use packet::{Packet, PacketId};
 pub use rng_contract::RngContract;
 pub use server::GenerationMode;

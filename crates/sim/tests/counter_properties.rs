@@ -1,0 +1,81 @@
+//! Property tests of [`CounterRegistry`]: the algebraic laws `--report
+//! --counters` and the distributed fold rely on. Merging is exact per-slot
+//! addition, so it must be associative and commutative with the zero
+//! registry as identity; and the sparse `{"v":1,"c":[[slot,count],...]}`
+//! encoding must round-trip byte-identically, because counter fields ride
+//! inside byte-deterministic stores.
+
+use hyperx_sim::{Counter, CounterRegistry};
+use proptest::prelude::*;
+
+/// Per-slot counts (one value per counter slot; zero slots stay sparse).
+fn slot_values() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..1 << 32, Counter::COUNT)
+}
+
+fn registry_of(values: &[u64]) -> CounterRegistry {
+    let mut r = CounterRegistry::new();
+    for (counter, &n) in Counter::ALL.iter().zip(values) {
+        r.add(*counter, n);
+    }
+    r
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn merge_is_commutative(a in slot_values(), b in slot_values()) {
+        let mut ab = registry_of(&a);
+        ab.merge(&registry_of(&b));
+        let mut ba = registry_of(&b);
+        ba.merge(&registry_of(&a));
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn merge_is_associative(a in slot_values(), b in slot_values(), c in slot_values()) {
+        // (a ∪ b) ∪ c
+        let mut left = registry_of(&a);
+        left.merge(&registry_of(&b));
+        left.merge(&registry_of(&c));
+        // a ∪ (b ∪ c)
+        let mut bc = registry_of(&b);
+        bc.merge(&registry_of(&c));
+        let mut right = registry_of(&a);
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn zero_registry_is_the_merge_identity(a in slot_values()) {
+        let mut merged = registry_of(&a);
+        merged.merge(&CounterRegistry::new());
+        prop_assert_eq!(&merged, &registry_of(&a));
+        let mut from_zero = CounterRegistry::new();
+        from_zero.merge(&registry_of(&a));
+        prop_assert_eq!(&from_zero, &registry_of(&a));
+    }
+
+    #[test]
+    fn serialization_round_trips_byte_identically(a in slot_values()) {
+        let r = registry_of(&a);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: CounterRegistry = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(&back, &r);
+        prop_assert_eq!(serde_json::to_string(&back).unwrap(), json);
+    }
+
+    #[test]
+    fn merged_bytes_equal_sum_bytes(a in slot_values(), b in slot_values()) {
+        // Serializing a merge must equal serializing the slot-wise sum: the
+        // property that keeps replica-group aggregation byte-deterministic.
+        let mut merged = registry_of(&a);
+        merged.merge(&registry_of(&b));
+        let summed: Vec<u64> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        prop_assert_eq!(
+            serde_json::to_string(&merged).unwrap(),
+            serde_json::to_string(&registry_of(&summed)).unwrap()
+        );
+    }
+}

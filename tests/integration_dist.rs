@@ -189,3 +189,102 @@ fn killed_worker_mid_campaign_still_yields_identical_bytes() {
         "a worker killed mid-campaign must not perturb the final bytes"
     );
 }
+
+#[test]
+fn metrics_endpoint_serves_live_fleet_state_without_perturbing_bytes() {
+    let spec = tiny_spec("dist-int-metrics");
+    let jobs = spec.expand().unwrap();
+    let path = temp_store("metrics");
+    clean(&path);
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    // Reserve a port for the metrics endpoint (bind-then-drop: the tiny
+    // reuse window is harmless on loopback in a test).
+    let metrics_addr = {
+        let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+        probe.local_addr().unwrap().to_string()
+    };
+    let server = {
+        let (name, jobs, path, metrics_addr) = (
+            spec.name.clone(),
+            jobs.clone(),
+            path.clone(),
+            metrics_addr.clone(),
+        );
+        std::thread::spawn(move || {
+            serve(
+                listener,
+                &name,
+                &jobs,
+                &path,
+                &ServeOptions {
+                    quiet: true,
+                    metrics_addr: Some(metrics_addr),
+                    ..ServeOptions::default()
+                },
+            )
+        })
+    };
+
+    // Scrape before any worker joins: the whole grid is pending.
+    let scrape = || -> String {
+        use std::io::{Read as _, Write as _};
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            match std::net::TcpStream::connect(&metrics_addr) {
+                Ok(mut stream) => {
+                    let _ = stream.write_all(b"GET /metrics HTTP/1.0\r\n\r\n");
+                    let mut body = String::new();
+                    stream.read_to_string(&mut body).unwrap();
+                    return body;
+                }
+                Err(e) if std::time::Instant::now() < deadline => {
+                    let _ = e;
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                }
+                Err(e) => panic!("metrics endpoint never came up: {e}"),
+            }
+        }
+    };
+    let before = scrape();
+    assert!(before.starts_with("HTTP/1.0 200 OK"), "{before}");
+    assert!(before.contains("surepath_jobs_delivered 0"), "{before}");
+    assert!(
+        before.contains(&format!("surepath_jobs_total {}", jobs.len())),
+        "{before}"
+    );
+    assert!(before.contains("surepath_workers_live 0"), "{before}");
+    assert!(
+        before.contains("surepath_jobs_pending{shard=\"0\"}"),
+        "{before}"
+    );
+    assert!(
+        before.contains("surepath_lease_reclaims_total 0"),
+        "{before}"
+    );
+
+    let worker = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            run_worker(
+                &addr,
+                "metrics-worker",
+                &WorkerOptions {
+                    threads: Some(2),
+                    ..WorkerOptions::default()
+                },
+                run_job,
+            )
+        })
+    };
+    let outcome = server.join().unwrap().unwrap();
+    worker.join().unwrap().unwrap();
+    assert!(outcome.is_complete());
+    let bytes = std::fs::read(&path).unwrap();
+    clean(&path);
+    assert_eq!(
+        bytes,
+        local_bytes(&spec, "metrics-local"),
+        "a scraped campaign must still produce the local bytes"
+    );
+}

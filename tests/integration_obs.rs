@@ -1,0 +1,171 @@
+//! End-to-end tests of the observability layer's zero-perturbation
+//! contract against the *real* simulator: a campaign run with packet
+//! tracing enabled must produce a result store **byte-identical** to the
+//! untraced run — at one thread, at four, and through the distributed
+//! coordinator/worker fold — with the lifecycles landing in a sidecar the
+//! report layer can render.
+//!
+//! The sim crate's own tests prove the contract at the engine level (RNG
+//! draw order, metrics Debug strings); these runs prove it end to end,
+//! where serialization, fingerprinting, store finalization and the
+//! counters result field are all part of what byte-equality verifies.
+
+use std::net::TcpListener;
+use std::path::PathBuf;
+use surepath::core::{
+    format_counters_report, format_trace_report, run_campaign, run_campaign_traced, run_job,
+    CampaignSpec, ResultStore, TopologySpec,
+};
+use surepath::dist::{run_worker, serve, ServeOptions, WorkerOptions};
+use surepath::runner::{load_trace, trace_path};
+
+mod common;
+
+fn tiny_spec(name: &str) -> CampaignSpec {
+    CampaignSpec {
+        name: name.to_string(),
+        topologies: vec![TopologySpec {
+            sides: vec![4, 4],
+            concentration: None,
+        }],
+        mechanisms: Some(vec!["omnisp".into(), "polsp".into()]),
+        traffics: Some(vec!["uniform".into()]),
+        scenarios: Some(vec!["none".into(), "random:6:5".into()]),
+        loads: Some(vec![0.3]),
+        seeds: Some(vec![1, 2]),
+        vcs: Some(4),
+        warmup: Some(100),
+        measure: Some(250),
+        ..CampaignSpec::default()
+    }
+}
+
+fn temp_store(name: &str) -> PathBuf {
+    common::temp_store("surepath-integration-obs", name)
+}
+
+fn clean(path: &std::path::Path) {
+    for suffix in ["jsonl", "manifest.jsonl", "timings.jsonl", "trace.jsonl"] {
+        let _ = std::fs::remove_file(path.with_extension(suffix));
+    }
+}
+
+#[test]
+fn traced_stores_match_untraced_stores_at_one_and_four_threads() {
+    let spec = tiny_spec("obs-int-threads");
+    let mut baseline: Option<Vec<u8>> = None;
+    for threads in [1usize, 4] {
+        let plain_path = temp_store(&format!("plain-{threads}"));
+        let traced_path = temp_store(&format!("traced-{threads}"));
+        clean(&plain_path);
+        clean(&traced_path);
+        run_campaign(&spec, &plain_path, Some(threads), true).unwrap();
+        run_campaign_traced(&spec, &traced_path, Some(threads), true).unwrap();
+        let plain = std::fs::read(&plain_path).unwrap();
+        let traced = std::fs::read(&traced_path).unwrap();
+        assert_eq!(
+            plain, traced,
+            "tracing must not change the store bytes at {threads} thread(s)"
+        );
+        // The store is also stable across thread counts — tracing at any
+        // parallelism reproduces the single-thread bytes.
+        match &baseline {
+            Some(bytes) => assert_eq!(bytes, &traced, "threads={threads}"),
+            None => baseline = Some(traced),
+        }
+        // The lifecycles land in the sidecar, not the store.
+        let records = load_trace(&trace_path(&traced_path)).unwrap();
+        assert!(!records.is_empty(), "trace sidecar has events");
+        assert!(records.iter().any(|r| r.event == "inject"));
+        assert!(records.iter().any(|r| r.event == "deliver"));
+        clean(&plain_path);
+        clean(&traced_path);
+    }
+}
+
+#[test]
+fn distributed_fold_reproduces_the_traced_local_store() {
+    // The composition of both contracts: a 3-worker distributed fold (no
+    // tracing) and a traced local run must agree byte for byte, because
+    // neither distribution nor tracing may perturb results — counters
+    // included, since they ride inside the result records.
+    let spec = tiny_spec("obs-int-dist");
+    let local_path = temp_store("dist-local-traced");
+    clean(&local_path);
+    run_campaign_traced(&spec, &local_path, Some(2), true).unwrap();
+    let local = std::fs::read(&local_path).unwrap();
+
+    let dist_path = temp_store("dist-folded");
+    clean(&dist_path);
+    let jobs = spec.expand().unwrap();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let handles: Vec<_> = (0..3)
+        .map(|i| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                run_worker(
+                    &addr,
+                    &format!("obs-worker-{i}"),
+                    &WorkerOptions {
+                        threads: Some(2),
+                        quiet: true,
+                        ..WorkerOptions::default()
+                    },
+                    run_job,
+                )
+            })
+        })
+        .collect();
+    let outcome = serve(
+        listener,
+        &spec.name,
+        &jobs,
+        &dist_path,
+        &ServeOptions {
+            quiet: true,
+            ..ServeOptions::default()
+        },
+    )
+    .unwrap();
+    for handle in handles {
+        handle.join().unwrap().unwrap();
+    }
+    assert!(outcome.is_complete(), "{outcome:?}");
+    assert_eq!(
+        std::fs::read(&dist_path).unwrap(),
+        local,
+        "3-worker distributed fold must reproduce the traced local bytes"
+    );
+    clean(&local_path);
+    clean(&dist_path);
+}
+
+#[test]
+fn trace_sidecar_renders_and_counters_report_merges() {
+    let spec = tiny_spec("obs-int-render");
+    let store_path = temp_store("render");
+    clean(&store_path);
+    run_campaign_traced(&spec, &store_path, Some(2), true).unwrap();
+
+    let store = ResultStore::open_read_only(&store_path).unwrap();
+    let records = load_trace(&trace_path(&store_path)).unwrap();
+    let rendered = format_trace_report(&records, Some(&store));
+    assert!(rendered.contains("=== trace: job"), "{rendered}");
+    assert!(rendered.contains("packet(s) injected"), "{rendered}");
+    assert!(rendered.contains("avg latency"), "{rendered}");
+    assert!(rendered.contains("escape usage:"), "{rendered}");
+    // Labels resolve through the store, not raw fingerprints.
+    assert!(
+        rendered.contains("=== trace: job `4x4 / polsp"),
+        "{rendered}"
+    );
+    assert!(!rendered.contains("fp "), "{rendered}");
+
+    let counters = format_counters_report(&store);
+    assert!(counters.contains("=== counters:"), "{counters}");
+    assert!(counters.contains("alloc_requests"), "{counters}");
+    assert!(counters.contains("OmniSP"), "{counters}");
+    assert!(counters.contains("PolSP"), "{counters}");
+    clean(&store_path);
+}
