@@ -2,11 +2,11 @@
 //!
 //! Runs a **pinned micro-campaign matrix** (mechanism × offered load ×
 //! topology size) through the cycle-level engine twice per cell — once on
-//! the active-set scheduler, once on the frozen pre-refactor full-scan
-//! baseline (the `full-scan` feature of `hyperx-sim`) — and reports
-//! cycles/sec, packets/sec and the speedup per cell. Because both runs use
-//! the same seed, the harness also asserts the two schedulers produced
-//! byte-identical metrics, so every bench run doubles as an A/B
+//! the struct-of-arrays (SoA) v5 engine, once on the frozen v4
+//! pointer-per-switch baseline (the `full-scan` feature of `hyperx-sim`) —
+//! and reports cycles/sec, packets/sec and the speedup per cell. Because
+//! both runs use the same seed, the harness also asserts the two layouts
+//! produced byte-identical metrics, so every bench run doubles as an A/B
 //! equivalence check.
 //!
 //! The report serializes to `BENCH_ENGINE.json` in a stable schema
@@ -15,7 +15,7 @@
 //! the headline ratios are comparable run over run.
 
 use hyperx_routing::MechanismSpec;
-use hyperx_sim::{PacketTracer, RngContract};
+use hyperx_sim::{PacketTracer, RngContract, SimulatorV4};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 use surepath_core::{Experiment, FaultScenario, RootPlacement, SimConfig, TrafficSpec};
@@ -30,7 +30,15 @@ use surepath_core::{Experiment, FaultScenario, RootPlacement, SimConfig, Traffic
 /// `obs_cells` matrix — the observability-overhead pair timing the engine
 /// with its counters (always on; branch-free `u64` adds) against the same
 /// run with the packet tracer attached — plus the `obs_*` summary fields.
-pub const BENCH_SCHEMA: &str = "surepath-bench-engine/v4";
+/// v5 re-bases the A/B: the main matrix now compares the struct-of-arrays
+/// engine (`soa`) against the frozen v4 pointer-per-switch layout (`v4`,
+/// both on the active-set scheduler), the RNG cross-check runs contract v2
+/// on the v4 engine (`v2_v4`), and a new `partition_cells` matrix times the
+/// SoA engine at 1/2/4 intra-simulation partitions on the largest pinned
+/// topology, byte-comparing every partition count against P=1. The report
+/// records `available_parallelism` so scaling numbers are interpretable on
+/// single-core runners.
+pub const BENCH_SCHEMA: &str = "surepath-bench-engine/v5";
 
 /// Loads at or below this value count as "low load" in the summary (the
 /// regime active-set scheduling targets: most of the network is idle).
@@ -47,6 +55,16 @@ pub struct BenchCell {
     pub load: f64,
 }
 
+/// One cell of the partition-scaling matrix: a [`BenchCell`] pinned to an
+/// intra-simulation partition count.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PartitionBenchCell {
+    /// The rate-mode point.
+    pub cell: BenchCell,
+    /// `SimConfig::partitions` of the run.
+    pub partitions: usize,
+}
+
 /// The pinned matrix plus the simulation windows of a bench run.
 #[derive(Clone, Debug)]
 pub struct BenchMatrix {
@@ -60,12 +78,16 @@ pub struct BenchMatrix {
     pub cells: Vec<BenchCell>,
     /// The RNG-contract cells: rate-mode points timed under contract v1
     /// (per-server Bernoulli scan) and contract v2 (counting sampler) with
-    /// a v2 full-scan cross-check. Pinned like `cells`.
+    /// a v2 run on the frozen v4 engine as cross-check. Pinned like `cells`.
     pub rng_cells: Vec<BenchCell>,
     /// The observability-overhead cells: rate-mode points timed with the
     /// engine's counters (always on) against the same run with the packet
     /// tracer attached. Pinned like `cells`.
     pub obs_cells: Vec<BenchCell>,
+    /// The partition-scaling cells: one rate-mode point on the largest
+    /// pinned topology, timed at 1, 2 and 4 intra-simulation partitions.
+    /// Every partition count must byte-match the P=1 metrics.
+    pub partition_cells: Vec<PartitionBenchCell>,
 }
 
 impl BenchMatrix {
@@ -111,6 +133,25 @@ impl BenchMatrix {
         // headline — also the mechanism with the most counter traffic) and
         // spans the size x load grid, like the RNG cells.
         let obs_cells = rng_cells.clone();
+        // The partition sweep pins one point — the largest topology at a
+        // mid load, so the parallel phases have real work — and exists to
+        // track the scaling trajectory and the byte-identity gate, not to
+        // re-sweep the grid.
+        let largest = sizes
+            .iter()
+            .max_by_key(|sides| sides.iter().product::<usize>() * sides[0])
+            .expect("pinned matrix has sizes");
+        let partition_cells = [1usize, 2, 4]
+            .iter()
+            .map(|&partitions| PartitionBenchCell {
+                cell: BenchCell {
+                    mechanism: MechanismSpec::PolSP,
+                    sides: largest.to_vec(),
+                    load: 0.3,
+                },
+                partitions,
+            })
+            .collect();
         BenchMatrix {
             mode: if quick { "quick" } else { "full" },
             warmup_cycles: warmup,
@@ -118,11 +159,13 @@ impl BenchMatrix {
             cells,
             rng_cells,
             obs_cells,
+            partition_cells,
         }
     }
 
     /// The side lengths of the largest topology in the matrix (by server
-    /// count): the cell the RNG-contract acceptance gate keys on.
+    /// count): the cell the RNG-contract and partition-scaling acceptance
+    /// gates key on.
     pub fn largest_sides(&self) -> Vec<usize> {
         self.cells
             .iter()
@@ -146,7 +189,9 @@ pub struct EngineTiming {
     pub packets_per_sec: f64,
 }
 
-/// One completed cell of the report.
+/// One completed cell of the report: the same rate-mode point on the
+/// struct-of-arrays engine and the frozen v4 pointer-per-switch layout,
+/// both on the active-set scheduler and the same seed.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct CellResult {
     /// Mechanism display name.
@@ -160,25 +205,25 @@ pub struct CellResult {
     /// Packets delivered in the measurement window.
     pub delivered_packets: u64,
     /// p99 end-to-end latency (cycles) of the measurement window, from the
-    /// active-set run's histogram; `None` when nothing was delivered.
+    /// SoA run's histogram; `None` when nothing was delivered.
     pub latency_p99: Option<u64>,
-    /// Active-set engine timing.
-    pub active: EngineTiming,
-    /// Frozen full-scan baseline timing.
-    pub full_scan: EngineTiming,
-    /// `active.cycles_per_sec / full_scan.cycles_per_sec`.
+    /// Struct-of-arrays (v5) engine timing.
+    pub soa: EngineTiming,
+    /// Frozen v4 pointer-per-switch baseline timing.
+    pub v4: EngineTiming,
+    /// `soa.cycles_per_sec / v4.cycles_per_sec`.
     pub speedup: f64,
-    /// Whether both schedulers produced byte-identical metrics (they must).
+    /// Whether both layouts produced byte-identical metrics (they must).
     pub metrics_identical: bool,
 }
 
 /// One completed RNG-contract cell: the same rate-mode point timed under
 /// contract v1 (per-server Bernoulli full scan — draw order is the
 /// contract) and contract v2 (binomial count + without-replacement sample
-/// over the active set), plus a v2 full-scan run for the byte-identity
-/// cross-check. All three runs share the seed; v1 and v2 are *different
-/// RNG streams* by design, so their metrics are compared statistically in
-/// the engine's test suite, not byte for byte here.
+/// over the active set), plus a v2 run on the frozen v4 engine for the
+/// byte-identity cross-check. All three runs share the seed; v1 and v2 are
+/// *different RNG streams* by design, so their metrics are compared
+/// statistically in the engine's test suite, not byte for byte here.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct RngCellResult {
     /// Mechanism display name.
@@ -189,17 +234,17 @@ pub struct RngCellResult {
     pub load: f64,
     /// Simulated cycles per run (warmup + measurement).
     pub cycles: u64,
-    /// Contract v1 timing (active-set engine; generation scans by contract).
+    /// Contract v1 timing (SoA engine; generation scans by contract).
     pub v1: EngineTiming,
-    /// Contract v2 timing (active-set engine, counting sampler).
+    /// Contract v2 timing (SoA engine, counting sampler).
     pub v2: EngineTiming,
-    /// Contract v2 on the frozen full-scan engine (the A/B reference).
-    pub v2_full_scan: EngineTiming,
+    /// Contract v2 on the frozen v4 engine (the A/B reference).
+    pub v2_v4: EngineTiming,
     /// `v2.cycles_per_sec / v1.cycles_per_sec` — the counting sampler's win.
     pub speedup_v2_over_v1: f64,
-    /// Whether the v2 active-set and v2 full-scan runs produced
-    /// byte-identical metrics (they must: same contract, same draws).
-    pub v2_scan_identical: bool,
+    /// Whether the v2 SoA and v2 v4-layout runs produced byte-identical
+    /// metrics (they must: same contract, same draws).
+    pub v2_v4_identical: bool,
 }
 
 /// One completed observability-overhead cell: the same rate-mode point
@@ -225,8 +270,8 @@ pub struct ObsCellResult {
     pub plain: EngineTiming,
     /// Counters on, packet tracer attached.
     pub traced: EngineTiming,
-    /// `plain.cycles_per_sec` over the matching main-matrix cell's
-    /// active-set timing — the tracing-off cost against the pre-observability
+    /// `plain.cycles_per_sec` over the matching main-matrix cell's SoA
+    /// timing — the tracing-off cost against the pre-observability
     /// baseline (~1.0: the counters are unconditional adds on both sides, so
     /// this is a regression canary, not a measured feature cost). `1.0` when
     /// the main matrix has no matching cell.
@@ -239,6 +284,32 @@ pub struct ObsCellResult {
     pub metrics_identical: bool,
 }
 
+/// One completed partition-scaling cell: the SoA engine over the same
+/// rate-mode point at a fixed partition count. The engine's determinism
+/// contract makes the metrics byte-identical for every partition count, so
+/// each cell is also a gate: `metrics_identical` compares against the P=1
+/// run of the same sweep.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PartitionCellResult {
+    /// Mechanism display name.
+    pub mechanism: String,
+    /// HyperX sides.
+    pub sides: Vec<usize>,
+    /// Offered load.
+    pub load: f64,
+    /// Simulated cycles per run (warmup + measurement).
+    pub cycles: u64,
+    /// Intra-simulation partition count of this run.
+    pub partitions: usize,
+    /// SoA engine timing at this partition count.
+    pub timing: EngineTiming,
+    /// `timing.cycles_per_sec` over the P=1 cell's — the scaling win
+    /// (1.0 for the P=1 cell itself).
+    pub speedup_vs_p1: f64,
+    /// Whether this run's metrics byte-match the P=1 run (they must).
+    pub metrics_identical: bool,
+}
+
 /// Aggregates of a bench run.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct BenchSummary {
@@ -248,7 +319,8 @@ pub struct BenchSummary {
     /// `completed < cells` marks a broken matrix entry; CI asserts
     /// equality).
     pub completed: usize,
-    /// Geometric-mean speedup across all completed cells.
+    /// Geometric-mean SoA-over-v4 speedup across all completed cells (the
+    /// layout acceptance gate: ≥ 1.15× single-threaded).
     pub geomean_speedup: f64,
     /// Geometric-mean speedup across the low-load cells
     /// (load ≤ [`LOW_LOAD_THRESHOLD`]).
@@ -257,7 +329,7 @@ pub struct BenchSummary {
     pub min_speedup: f64,
     /// Largest per-cell speedup.
     pub max_speedup: f64,
-    /// Whether every cell's schedulers agreed byte for byte.
+    /// Whether every cell's layouts agreed byte for byte.
     pub all_metrics_identical: bool,
     /// RNG-contract cells in the matrix.
     pub rng_cells: usize,
@@ -270,9 +342,9 @@ pub struct BenchSummary {
     /// sampler targets (most servers idle, v1 still scans them all). The
     /// acceptance gate: ≥ 2× here.
     pub rng_low_load_largest_speedup: f64,
-    /// Whether every RNG-contract cell's v2 active-set and v2 full-scan
-    /// runs agreed byte for byte.
-    pub all_rng_scan_identical: bool,
+    /// Whether every RNG-contract cell's v2 SoA and v2 v4-layout runs
+    /// agreed byte for byte.
+    pub all_rng_v4_identical: bool,
     /// Observability-overhead cells in the matrix.
     pub obs_cells: usize,
     /// Observability-overhead cells that ran to completion.
@@ -287,6 +359,17 @@ pub struct BenchSummary {
     /// Whether every observability cell's plain and traced runs agreed byte
     /// for byte.
     pub all_obs_metrics_identical: bool,
+    /// Partition-scaling cells in the matrix.
+    pub partition_cells: usize,
+    /// Partition-scaling cells that ran to completion.
+    pub partition_completed: usize,
+    /// `speedup_vs_p1` of the P=4 cell (0.0 when it did not run). The
+    /// scaling acceptance gate — ≥ 2× — applies only when
+    /// `available_parallelism` ≥ 4; on smaller hosts the number documents
+    /// the (expected ~1×) single-core behaviour.
+    pub partition_speedup_p4: f64,
+    /// Whether every partition count's metrics byte-matched the P=1 run.
+    pub all_partition_metrics_identical: bool,
 }
 
 /// The full JSON report of a bench run.
@@ -302,12 +385,17 @@ pub struct BenchReport {
     pub measure_cycles: u64,
     /// Timed repetitions per engine per cell (best is reported).
     pub repeat: usize,
+    /// `std::thread::available_parallelism()` of the host — the context the
+    /// partition-scaling numbers (and their gate) must be read in.
+    pub available_parallelism: usize,
     /// Per-cell results, matrix order.
     pub cells: Vec<CellResult>,
     /// Per-cell RNG-contract results, matrix order.
     pub rng_cells: Vec<RngCellResult>,
     /// Per-cell observability-overhead results, matrix order.
     pub obs_cells: Vec<ObsCellResult>,
+    /// Per-cell partition-scaling results, matrix order.
+    pub partition_cells: Vec<PartitionCellResult>,
     /// Aggregates.
     pub summary: BenchSummary,
 }
@@ -335,14 +423,17 @@ fn cell_experiment(cell: &BenchCell, warmup: u64, measure: u64, rng: RngContract
     }
 }
 
-/// Runs one engine over one cell `repeat` times, returning the best timing
-/// plus the serialized metrics of the first run (for the A/B comparison).
-fn time_engine(
+/// Runs the SoA engine over one cell `repeat` times at the given partition
+/// count, returning the best timing plus the serialized metrics of the
+/// first run (for the A/B comparisons).
+fn time_soa(
     experiment: &Experiment,
     load: f64,
-    full_scan: bool,
+    partitions: usize,
     repeat: usize,
 ) -> (EngineTiming, u64, u64, Option<u64>, String) {
+    let mut experiment = experiment.clone();
+    experiment.sim.partitions = partitions;
     let mut best_ms = f64::INFINITY;
     let mut cycles = 0u64;
     let mut delivered = 0u64;
@@ -351,7 +442,6 @@ fn time_engine(
     let mut metrics_json = String::new();
     for rep in 0..repeat.max(1) {
         let mut sim = experiment.build_simulator();
-        sim.set_full_scan(full_scan);
         let started = Instant::now();
         let metrics = sim.run_rate(load);
         let elapsed = started.elapsed().as_secs_f64() * 1_000.0;
@@ -384,7 +474,41 @@ fn time_engine(
     )
 }
 
-/// Runs the active-set engine over one cell `repeat` times, optionally with
+/// Runs the frozen v4-layout engine over one cell `repeat` times (same
+/// seed, same mechanism/traffic/config inputs as the SoA runs), returning
+/// the best timing and the serialized metrics of the first run.
+fn time_v4(experiment: &Experiment, load: f64, repeat: usize) -> (EngineTiming, u64, String) {
+    let mut best_ms = f64::INFINITY;
+    let mut cycles = 0u64;
+    let mut total_delivered = 0u64;
+    let mut metrics_json = String::new();
+    for rep in 0..repeat.max(1) {
+        let view = experiment.build_view();
+        let (mechanism, pattern, cfg) = experiment.simulator_parts(&view);
+        let mut sim = SimulatorV4::new(view, mechanism, pattern, cfg);
+        let started = Instant::now();
+        let metrics = sim.run_rate(load);
+        let elapsed = started.elapsed().as_secs_f64() * 1_000.0;
+        if rep == 0 {
+            cycles = sim.cycle();
+            total_delivered = sim.total_delivered();
+            metrics_json = serde_json::to_string(&metrics).expect("metrics serialize");
+        }
+        best_ms = best_ms.min(elapsed);
+    }
+    let secs = (best_ms / 1_000.0).max(1e-9);
+    (
+        EngineTiming {
+            wall_ms: best_ms,
+            cycles_per_sec: cycles as f64 / secs,
+            packets_per_sec: total_delivered as f64 / secs,
+        },
+        cycles,
+        metrics_json,
+    )
+}
+
+/// Runs the SoA engine over one cell `repeat` times, optionally with
 /// the packet tracer attached, returning the best timing, the cycle count,
 /// the trace-event count (captured + dropped), and the serialized metrics
 /// of the first run (for the zero-perturbation A/B comparison).
@@ -432,16 +556,21 @@ fn time_engine_obs(
     )
 }
 
-/// Runs the whole matrix — the scheduler A/B cells, then the RNG-contract
-/// cells — calling `progress` after each completed cell. For RNG-contract
-/// cells the `CellResult` handed to `progress` is a synthetic view (v1 as
-/// the baseline timing, v2 as the candidate) so one callback covers both.
+/// Runs the whole matrix — the layout A/B cells, the RNG-contract cells,
+/// the observability pairs, then the partition-scaling sweep — calling
+/// `progress` after each completed cell. For non-main cells the
+/// `CellResult` handed to `progress` is a synthetic view (baseline timing
+/// in the `v4` slot, candidate in `soa`) so one callback covers all four
+/// matrices.
 pub fn run_engine_bench(
     matrix: &BenchMatrix,
     repeat: usize,
     mut progress: impl FnMut(usize, usize, &CellResult),
 ) -> BenchReport {
-    let total = matrix.cells.len() + matrix.rng_cells.len() + matrix.obs_cells.len();
+    let total = matrix.cells.len()
+        + matrix.rng_cells.len()
+        + matrix.obs_cells.len()
+        + matrix.partition_cells.len();
     let mut cells = Vec::with_capacity(matrix.cells.len());
     for (i, cell) in matrix.cells.iter().enumerate() {
         // A cell that panics (a bad future matrix entry, a mechanism that
@@ -454,9 +583,9 @@ pub fn run_engine_bench(
                 matrix.measure_cycles,
                 RngContract::V2Counting,
             );
-            let (active, cycles, delivered, latency_p99, active_json) =
-                time_engine(&experiment, cell.load, false, repeat);
-            let (full_scan, _, _, _, full_json) = time_engine(&experiment, cell.load, true, repeat);
+            let (soa, cycles, delivered, latency_p99, soa_json) =
+                time_soa(&experiment, cell.load, 1, repeat);
+            let (v4, _, v4_json) = time_v4(&experiment, cell.load, repeat);
             CellResult {
                 mechanism: cell.mechanism.name().to_string(),
                 sides: cell.sides.clone(),
@@ -464,10 +593,10 @@ pub fn run_engine_bench(
                 cycles,
                 delivered_packets: delivered,
                 latency_p99,
-                speedup: active.cycles_per_sec / full_scan.cycles_per_sec.max(1e-9),
-                metrics_identical: active_json == full_json,
-                active,
-                full_scan,
+                speedup: soa.cycles_per_sec / v4.cycles_per_sec.max(1e-9),
+                metrics_identical: soa_json == v4_json,
+                soa,
+                v4,
             }
         });
         let Ok(result) = outcome else {
@@ -491,20 +620,19 @@ pub fn run_engine_bench(
                 matrix.measure_cycles,
                 RngContract::V2Counting,
             );
-            let (v1, cycles, _, _, _) = time_engine(&v1_experiment, cell.load, false, repeat);
-            let (v2, _, _, _, v2_json) = time_engine(&v2_experiment, cell.load, false, repeat);
-            let (v2_full_scan, _, _, _, full_json) =
-                time_engine(&v2_experiment, cell.load, true, repeat);
+            let (v1, cycles, _, _, _) = time_soa(&v1_experiment, cell.load, 1, repeat);
+            let (v2, _, _, _, v2_json) = time_soa(&v2_experiment, cell.load, 1, repeat);
+            let (v2_v4, _, v4_json) = time_v4(&v2_experiment, cell.load, repeat);
             RngCellResult {
                 mechanism: cell.mechanism.name().to_string(),
                 sides: cell.sides.clone(),
                 load: cell.load,
                 cycles,
                 speedup_v2_over_v1: v2.cycles_per_sec / v1.cycles_per_sec.max(1e-9),
-                v2_scan_identical: v2_json == full_json,
+                v2_v4_identical: v2_json == v4_json,
                 v1,
                 v2,
-                v2_full_scan,
+                v2_v4,
             }
         });
         let Ok(result) = outcome else {
@@ -520,14 +648,14 @@ pub fn run_engine_bench(
     let mut obs_cells = Vec::with_capacity(matrix.obs_cells.len());
     for (i, cell) in matrix.obs_cells.iter().enumerate() {
         // The tracing-off leg is judged against the matching main-matrix
-        // cell (same mechanism/sides/load, active-set engine) — the closest
+        // cell (same mechanism/sides/load, SoA engine) — the closest
         // thing to a pre-observability baseline a single binary offers.
         let baseline_cps = cells
             .iter()
             .find(|c| {
                 c.mechanism == cell.mechanism.name() && c.sides == cell.sides && c.load == cell.load
             })
-            .map(|c| c.active.cycles_per_sec);
+            .map(|c| c.soa.cycles_per_sec);
         let outcome = std::panic::catch_unwind(|| {
             let experiment = cell_experiment(
                 cell,
@@ -565,6 +693,59 @@ pub fn run_engine_bench(
         );
         obs_cells.push(result);
     }
+    let mut partition_cells = Vec::with_capacity(matrix.partition_cells.len());
+    // The P=1 run anchors both comparisons: every other partition count's
+    // speedup and byte-identity are judged against it.
+    let mut p1: Option<(EngineTiming, String)> = None;
+    for (i, pcell) in matrix.partition_cells.iter().enumerate() {
+        let baseline = p1.clone();
+        let outcome = std::panic::catch_unwind(|| {
+            let experiment = cell_experiment(
+                &pcell.cell,
+                matrix.warmup_cycles,
+                matrix.measure_cycles,
+                RngContract::V2Counting,
+            );
+            // Partition dispatch overhead is per cycle; a best-of-3 floor
+            // keeps the quick-mode scaling ratios meaningful.
+            let reps = repeat.max(3);
+            let (timing, cycles, _, _, json) =
+                time_soa(&experiment, pcell.cell.load, pcell.partitions, reps);
+            let (speedup_vs_p1, metrics_identical) = match &baseline {
+                Some((p1_timing, p1_json)) => (
+                    timing.cycles_per_sec / p1_timing.cycles_per_sec.max(1e-9),
+                    json == *p1_json,
+                ),
+                // The first (P=1) cell is its own reference.
+                None => (1.0, true),
+            };
+            (
+                PartitionCellResult {
+                    mechanism: pcell.cell.mechanism.name().to_string(),
+                    sides: pcell.cell.sides.clone(),
+                    load: pcell.cell.load,
+                    cycles,
+                    partitions: pcell.partitions,
+                    timing,
+                    speedup_vs_p1,
+                    metrics_identical,
+                },
+                json,
+            )
+        });
+        let Ok((result, json)) = outcome else {
+            continue;
+        };
+        if p1.is_none() {
+            p1 = Some((result.timing.clone(), json));
+        }
+        progress(
+            matrix.cells.len() + matrix.rng_cells.len() + matrix.obs_cells.len() + i + 1,
+            total,
+            &partition_progress_view(&result),
+        );
+        partition_cells.push(result);
+    }
     let geomean = |values: &[f64]| -> f64 {
         if values.is_empty() {
             return 0.0;
@@ -596,7 +777,7 @@ pub fn run_engine_bench(
         rng_completed: rng_cells.len(),
         rng_geomean_speedup: geomean(&rng_speedups),
         rng_low_load_largest_speedup: geomean(&rng_low_load_largest),
-        all_rng_scan_identical: rng_cells.iter().all(|c| c.v2_scan_identical),
+        all_rng_v4_identical: rng_cells.iter().all(|c| c.v2_v4_identical),
         obs_cells: matrix.obs_cells.len(),
         obs_completed: obs_cells.len(),
         obs_plain_vs_baseline: geomean(
@@ -612,6 +793,13 @@ pub fn run_engine_bench(
                 .collect::<Vec<_>>(),
         ),
         all_obs_metrics_identical: obs_cells.iter().all(|c| c.metrics_identical),
+        partition_cells: matrix.partition_cells.len(),
+        partition_completed: partition_cells.len(),
+        partition_speedup_p4: partition_cells
+            .iter()
+            .find(|c| c.partitions == 4)
+            .map_or(0.0, |c| c.speedup_vs_p1),
+        all_partition_metrics_identical: partition_cells.iter().all(|c| c.metrics_identical),
     };
     BenchReport {
         schema: BENCH_SCHEMA.to_string(),
@@ -619,9 +807,11 @@ pub fn run_engine_bench(
         warmup_cycles: matrix.warmup_cycles,
         measure_cycles: matrix.measure_cycles,
         repeat: repeat.max(1),
+        available_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
         cells,
         rng_cells,
         obs_cells,
+        partition_cells,
         summary,
     }
 }
@@ -637,10 +827,10 @@ fn rng_progress_view(cell: &RngCellResult) -> CellResult {
         cycles: cell.cycles,
         delivered_packets: 0,
         latency_p99: None,
-        active: cell.v2.clone(),
-        full_scan: cell.v1.clone(),
+        soa: cell.v2.clone(),
+        v4: cell.v1.clone(),
         speedup: cell.speedup_v2_over_v1,
-        metrics_identical: cell.v2_scan_identical,
+        metrics_identical: cell.v2_v4_identical,
     }
 }
 
@@ -655,9 +845,27 @@ fn obs_progress_view(cell: &ObsCellResult) -> CellResult {
         cycles: cell.cycles,
         delivered_packets: 0,
         latency_p99: None,
-        active: cell.traced.clone(),
-        full_scan: cell.plain.clone(),
+        soa: cell.traced.clone(),
+        v4: cell.plain.clone(),
         speedup: cell.traced_vs_plain,
+        metrics_identical: cell.metrics_identical,
+    }
+}
+
+/// The synthetic [`CellResult`] view of a partition-scaling cell handed to
+/// the progress callback: the candidate slot carries this partition count's
+/// timing, `speedup` the vs-P=1 ratio.
+fn partition_progress_view(cell: &PartitionCellResult) -> CellResult {
+    CellResult {
+        mechanism: format!("{} [P={}]", cell.mechanism, cell.partitions),
+        sides: cell.sides.clone(),
+        load: cell.load,
+        cycles: cell.cycles,
+        delivered_packets: 0,
+        latency_p99: None,
+        soa: cell.timing.clone(),
+        v4: cell.timing.clone(),
+        speedup: cell.speedup_vs_p1,
         metrics_identical: cell.metrics_identical,
     }
 }
@@ -669,8 +877,8 @@ pub fn format_bench_report(report: &BenchReport) -> String {
         "mechanism",
         "sides",
         "load",
-        "active Mcyc/s",
-        "full-scan Mcyc/s",
+        "soa Mcyc/s",
+        "v4 Mcyc/s",
         "speedup",
         "p99 lat",
         "identical",
@@ -687,8 +895,8 @@ pub fn format_bench_report(report: &BenchReport) -> String {
                     .collect::<Vec<_>>()
                     .join("x"),
                 format!("{:.2}", c.load),
-                format!("{:.3}", c.active.cycles_per_sec / 1e6),
-                format!("{:.3}", c.full_scan.cycles_per_sec / 1e6),
+                format!("{:.3}", c.soa.cycles_per_sec / 1e6),
+                format!("{:.3}", c.v4.cycles_per_sec / 1e6),
                 format!("{:.2}x", c.speedup),
                 c.latency_p99
                     .map_or_else(|| "-".to_string(), |v| v.to_string()),
@@ -706,7 +914,7 @@ pub fn format_bench_report(report: &BenchReport) -> String {
         report.summary.completed,
     ));
     if !report.summary.all_metrics_identical {
-        out.push_str("WARNING: scheduler metrics diverged — the A/B contract is broken\n");
+        out.push_str("WARNING: layout metrics diverged — the SoA A/B contract is broken\n");
     }
     if !report.rng_cells.is_empty() {
         let rng_header = [
@@ -716,7 +924,7 @@ pub fn format_bench_report(report: &BenchReport) -> String {
             "v1 Mcyc/s",
             "v2 Mcyc/s",
             "v2/v1",
-            "v2 scan identical",
+            "v2 v4 identical",
         ];
         let rng_rows: Vec<ReportRow> = report
             .rng_cells
@@ -733,7 +941,7 @@ pub fn format_bench_report(report: &BenchReport) -> String {
                     format!("{:.3}", c.v1.cycles_per_sec / 1e6),
                     format!("{:.3}", c.v2.cycles_per_sec / 1e6),
                     format!("{:.2}x", c.speedup_v2_over_v1),
-                    if c.v2_scan_identical { "yes" } else { "NO" }.to_string(),
+                    if c.v2_v4_identical { "yes" } else { "NO" }.to_string(),
                 ],
             })
             .collect();
@@ -745,9 +953,9 @@ pub fn format_bench_report(report: &BenchReport) -> String {
             report.summary.rng_low_load_largest_speedup,
             report.summary.rng_completed,
         ));
-        if !report.summary.all_rng_scan_identical {
+        if !report.summary.all_rng_v4_identical {
             out.push_str(
-                "WARNING: v2 active-set and v2 full-scan metrics diverged — \
+                "WARNING: v2 SoA and v2 v4-layout metrics diverged — \
                  the RNG contract is broken\n",
             );
         }
@@ -801,6 +1009,51 @@ pub fn format_bench_report(report: &BenchReport) -> String {
             );
         }
     }
+    if !report.partition_cells.is_empty() {
+        let part_header = [
+            "mechanism",
+            "sides",
+            "load",
+            "P",
+            "Mcyc/s",
+            "vs P=1",
+            "identical",
+        ];
+        let part_rows: Vec<ReportRow> = report
+            .partition_cells
+            .iter()
+            .map(|c| ReportRow {
+                label: c.mechanism.clone(),
+                values: vec![
+                    c.sides
+                        .iter()
+                        .map(|s| s.to_string())
+                        .collect::<Vec<_>>()
+                        .join("x"),
+                    format!("{:.2}", c.load),
+                    c.partitions.to_string(),
+                    format!("{:.3}", c.timing.cycles_per_sec / 1e6),
+                    format!("{:.2}x", c.speedup_vs_p1),
+                    if c.metrics_identical { "yes" } else { "NO" }.to_string(),
+                ],
+            })
+            .collect();
+        out.push_str("\nPartition scaling cells (SoA engine, largest pinned topology):\n");
+        out.push_str(&format_table(&part_header, &part_rows));
+        out.push_str(&format!(
+            "partition P=4 speedup {:.2}x over {} cells ({} hardware threads; \
+             the >=2x gate applies at >=4)\n",
+            report.summary.partition_speedup_p4,
+            report.summary.partition_completed,
+            report.available_parallelism,
+        ));
+        if !report.summary.all_partition_metrics_identical {
+            out.push_str(
+                "WARNING: partitioned metrics diverged from P=1 — \
+                 the partition-invariance contract is broken\n",
+            );
+        }
+    }
     out
 }
 
@@ -839,17 +1092,35 @@ mod tests {
             "every obs cell has a main-matrix baseline cell"
         );
         assert_eq!(quick.largest_sides(), vec![8, 8]);
+        // The partition sweep pins P = 1, 2, 4 on the largest topology.
+        assert_eq!(
+            quick
+                .partition_cells
+                .iter()
+                .map(|c| c.partitions)
+                .collect::<Vec<_>>(),
+            vec![1, 2, 4]
+        );
+        assert!(quick
+            .partition_cells
+            .iter()
+            .all(|c| c.cell.sides == quick.largest_sides()));
         let full = BenchMatrix::pinned(false);
         assert_eq!(full.mode, "full");
         assert!(full.measure_cycles > quick.measure_cycles);
         assert_eq!(full.largest_sides(), vec![16, 16]);
+        assert!(full
+            .partition_cells
+            .iter()
+            .all(|c| c.cell.sides == vec![16, 16]));
     }
 
     #[test]
     fn tiny_bench_run_reports_identical_metrics_and_parses_back() {
-        // A minimal matrix — one scheduler A/B cell, one RNG-contract cell:
+        // A minimal matrix — one cell per sub-matrix (two for partitions):
         // the report must round-trip through its JSON schema, the two
-        // schedulers must agree, and the v2 active/full-scan pair must too.
+        // layouts must agree byte for byte, the v2 SoA/v4 pair must too,
+        // and every partition count must byte-match P=1.
         let cell = BenchCell {
             mechanism: MechanismSpec::PolSP,
             sides: vec![4, 4],
@@ -861,27 +1132,38 @@ mod tests {
             measure_cycles: 200,
             cells: vec![cell.clone()],
             rng_cells: vec![cell.clone()],
-            obs_cells: vec![cell],
+            obs_cells: vec![cell.clone()],
+            partition_cells: vec![
+                PartitionBenchCell {
+                    cell: cell.clone(),
+                    partitions: 1,
+                },
+                PartitionBenchCell {
+                    cell,
+                    partitions: 2,
+                },
+            ],
         };
         let mut calls = 0;
         let report = run_engine_bench(&matrix, 1, |done, total, _| {
             calls += 1;
-            assert_eq!(total, 3);
+            assert_eq!(total, 5);
             assert_eq!(done, calls);
         });
-        assert_eq!(calls, 3);
+        assert_eq!(calls, 5);
         assert_eq!(report.schema, BENCH_SCHEMA);
+        assert!(report.available_parallelism >= 1);
         assert_eq!(report.summary.cells, 1);
         assert_eq!(report.summary.completed, 1);
         assert!(report.summary.all_metrics_identical);
-        assert!(report.cells[0].active.cycles_per_sec > 0.0);
-        assert!(report.cells[0].full_scan.wall_ms >= 0.0);
-        // The RNG-contract cell: v2 active-set and v2 full-scan byte-agree,
+        assert!(report.cells[0].soa.cycles_per_sec > 0.0);
+        assert!(report.cells[0].v4.wall_ms >= 0.0);
+        // The RNG-contract cell: v2 on the SoA and v4 engines byte-agree,
         // and the low-load largest-topology aggregate covers this one cell.
         assert_eq!(report.summary.rng_cells, 1);
         assert_eq!(report.summary.rng_completed, 1);
-        assert!(report.summary.all_rng_scan_identical);
-        assert!(report.rng_cells[0].v2_scan_identical);
+        assert!(report.summary.all_rng_v4_identical);
+        assert!(report.rng_cells[0].v2_v4_identical);
         assert!(report.rng_cells[0].v1.cycles_per_sec > 0.0);
         assert!(report.rng_cells[0].speedup_v2_over_v1 > 0.0);
         assert!(report.summary.rng_low_load_largest_speedup > 0.0);
@@ -897,11 +1179,22 @@ mod tests {
         assert!(report.obs_cells[0].traced_vs_plain > 0.0);
         assert!(report.summary.obs_plain_vs_baseline > 0.0);
         assert!(report.summary.obs_traced_vs_plain > 0.0);
+        // The partition sweep: P=2 byte-matches P=1 (the invariance gate),
+        // and the P=4 summary slot reports 0 because P=4 did not run here.
+        assert_eq!(report.summary.partition_cells, 2);
+        assert_eq!(report.summary.partition_completed, 2);
+        assert!(report.summary.all_partition_metrics_identical);
+        assert!(report
+            .partition_cells
+            .iter()
+            .all(|c| c.metrics_identical && c.timing.cycles_per_sec > 0.0));
+        assert_eq!(report.summary.partition_speedup_p4, 0.0);
         let json = serde_json::to_string_pretty(&report).unwrap();
         let parsed: BenchReport = serde_json::from_str(&json).unwrap();
         assert_eq!(parsed.cells.len(), 1);
         assert_eq!(parsed.rng_cells.len(), 1);
         assert_eq!(parsed.obs_cells.len(), 1);
+        assert_eq!(parsed.partition_cells.len(), 2);
         assert_eq!(parsed.summary.completed, 1);
         let table = format_bench_report(&report);
         assert!(table.contains("PolSP"), "{table}");
@@ -910,6 +1203,8 @@ mod tests {
         assert!(table.contains("rng geomean speedup"), "{table}");
         assert!(table.contains("Observability overhead cells"), "{table}");
         assert!(table.contains("traced vs plain"), "{table}");
+        assert!(table.contains("Partition scaling cells"), "{table}");
+        assert!(table.contains("hardware threads"), "{table}");
     }
 
     #[test]
@@ -934,6 +1229,7 @@ mod tests {
             ],
             rng_cells: vec![],
             obs_cells: vec![],
+            partition_cells: vec![],
         };
         let report = run_engine_bench(&matrix, 1, |_, _, _| {});
         assert_eq!(report.summary.cells, 2);

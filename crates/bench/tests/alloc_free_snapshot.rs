@@ -1,0 +1,87 @@
+//! Micro-assert: deriving a metrics snapshot from the engine's counters is
+//! allocation-free.
+//!
+//! `RateMetrics::from_counters` moves the 976-bucket latency histogram out
+//! of the counters (`std::mem::take` on an inline array) instead of cloning
+//! it, and streams the Jain index over the per-server counts instead of
+//! materialising a load vector. This test pins that property with a counting
+//! global allocator: any future clone, `to_vec` or boxed histogram in the
+//! snapshot path fails here before it shows up in the bench numbers.
+//!
+//! Lives in its own integration-test binary because a `#[global_allocator]`
+//! is process-wide.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use hyperx_sim::{MeasuredCounters, RateMetrics};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+#[test]
+fn metrics_snapshot_does_not_allocate() {
+    // A populated counter set: per-server generation counts plus a latency
+    // histogram with records spread across its bucket range.
+    let servers = 512;
+    let mut counters = MeasuredCounters::new(servers);
+    counters.cycles = 10_000;
+    counters.delivered_packets = 40_000;
+    counters.delivered_phits = 640_000;
+    counters.latency_sum = 3_200_000;
+    counters.latency_max = 9_751;
+    counters.delivered_via_escape = 1_024;
+    counters.hop_sum = 120_000;
+    counters.escape_hop_sum = 2_048;
+    for (i, count) in counters.generated_per_server.iter_mut().enumerate() {
+        *count = (i as u64 * 7) % 97;
+    }
+    for lat in (1..2_000).step_by(13) {
+        counters.latency_hist.record(lat);
+    }
+    counters.latency_hist.record(9_751);
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let metrics = RateMetrics::from_counters(0.5, 16, servers, &mut counters, 37, false);
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+
+    assert_eq!(
+        after - before,
+        0,
+        "RateMetrics::from_counters must not allocate: the histogram moves \
+         via mem::take and the Jain index streams over the counters"
+    );
+    // The histogram really moved: the snapshot has the records, the
+    // counters are left with an empty (taken) histogram.
+    let hist = metrics
+        .latency_hist
+        .expect("snapshot carries the histogram");
+    assert!(hist.count() > 0);
+    assert!(counters.latency_hist.is_empty());
+    assert_eq!(metrics.delivered_packets, 40_000);
+}

@@ -1,12 +1,13 @@
 //! The `surepath bench` subcommand: the engine perf harness.
 //!
 //! Runs the pinned micro-campaign matrix of `hyperx_bench::perf` (mechanism
-//! × load × size), printing cycles/sec, packets/sec and the active-set vs
-//! full-scan speedup per cell, and writes the machine-readable report to
-//! `BENCH_ENGINE.json` (stable schema) so the repo accumulates a perf
-//! trajectory across PRs. Scheduler divergence — the two engines producing
-//! different metrics for the same seed — is a hard error, so every bench
-//! run is also an A/B equivalence check.
+//! × load × size), printing cycles/sec, packets/sec and the SoA-engine vs
+//! frozen-v4-layout speedup per cell, and writes the machine-readable report
+//! to `BENCH_ENGINE.json` (stable schema) so the repo accumulates a perf
+//! trajectory across PRs. Layout divergence — the two engines producing
+//! different metrics for the same seed — is a hard error, as is a
+//! partitioned run diverging from P=1, so every bench run is also an A/B
+//! equivalence check.
 
 use crate::CommandOutput;
 use hyperx_bench::perf::{format_bench_report, run_engine_bench, BenchMatrix};
@@ -15,13 +16,15 @@ use hyperx_bench::perf::{format_bench_report, run_engine_bench, BenchMatrix};
 pub const BENCH_USAGE: &str =
     "usage: surepath bench [--quick|--full] [--out <path>] [--repeat N] [--quiet]
   Benchmarks the cycle-level engine over a pinned matrix (mechanism x load
-  x topology size), comparing the active-set scheduler against the frozen
-  pre-refactor full-scan baseline, plus a second matrix comparing RNG
+  x topology size), comparing the struct-of-arrays engine against the
+  frozen v4 pointer-per-switch layout, plus a second matrix comparing RNG
   contract v1 (per-server Bernoulli scan) against v2 (counting sampler),
   plus a third timing the observability layer (the always-on counter
-  registry vs the same run with the packet tracer attached). Paired engines
-  run the same seeds, so the bench doubles as an A/B equivalence check:
-  diverging metrics fail the command.
+  registry vs the same run with the packet tracer attached), plus a
+  partition-scaling sweep (the SoA engine at 1/2/4 intra-simulation
+  partitions on the largest pinned topology). Paired runs share seeds, so
+  the bench doubles as an A/B equivalence check: diverging metrics fail
+  the command.
 
   --quick              small topologies and short windows (default)
   --full               larger topologies and longer windows
@@ -85,7 +88,7 @@ pub fn parse_bench_args(args: &[String]) -> Result<BenchCliConfig, String> {
 }
 
 /// Runs the bench, writes the JSON report and returns the table to print.
-/// Scheduler divergence is an error (nonzero exit).
+/// Any metrics divergence between paired runs is an error (nonzero exit).
 pub fn run_bench_command(cfg: &BenchCliConfig) -> Result<CommandOutput, String> {
     let matrix = BenchMatrix::pinned(cfg.quick);
     let quiet = cfg.quiet;
@@ -111,13 +114,13 @@ pub fn run_bench_command(cfg: &BenchCliConfig) -> Result<CommandOutput, String> 
     text.push_str(&format!("(report written to {})\n", cfg.out));
     if !report.summary.all_metrics_identical {
         return Err(format!(
-            "{text}scheduler divergence: active-set and full-scan metrics differ — \
+            "{text}layout divergence: SoA and v4-layout metrics differ — \
              the refactor's determinism contract is broken"
         ));
     }
-    if !report.summary.all_rng_scan_identical {
+    if !report.summary.all_rng_v4_identical {
         return Err(format!(
-            "{text}RNG contract divergence: v2 active-set and v2 full-scan metrics \
+            "{text}RNG contract divergence: v2 SoA and v2 v4-layout metrics \
              differ — the counting sampler's determinism contract is broken"
         ));
     }
@@ -125,6 +128,12 @@ pub fn run_bench_command(cfg: &BenchCliConfig) -> Result<CommandOutput, String> 
         return Err(format!(
             "{text}observability divergence: plain and traced metrics differ — \
              the zero-perturbation contract is broken"
+        ));
+    }
+    if !report.summary.all_partition_metrics_identical {
+        return Err(format!(
+            "{text}partition divergence: partitioned metrics differ from P=1 — \
+             the partition-invariance contract is broken"
         ));
     }
     Ok(CommandOutput { text, exit_code: 0 })

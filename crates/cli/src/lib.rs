@@ -69,8 +69,8 @@ impl Default for CliConfig {
 /// The usage string of the `campaign` subcommand.
 pub const CAMPAIGN_USAGE: &str = "usage: surepath campaign <spec.toml|spec.json> [options]
        surepath campaign <spec> --serve <addr> | --spawn-local <n> [options]
-       surepath campaign --worker <addr> [--threads N] [--reconnect-retries N]
-                         [--backoff-ms N] [--quiet]
+       surepath campaign --worker <addr> [--threads N] [--partitions N]
+                         [--reconnect-retries N] [--backoff-ms N] [--quiet]
        surepath campaign --report <store.jsonl>... [--merge <out.jsonl>] [--csv <out.csv>]
                          [--plots <dir> [--gnuplot]] [--timings]
        surepath campaign --merge <out.jsonl> <store.jsonl>...
@@ -86,6 +86,9 @@ pub const CAMPAIGN_USAGE: &str = "usage: surepath campaign <spec.toml|spec.json>
   Run options:
   --store PATH         result store (default: <spec>.results.jsonl)
   --threads N          worker threads (default: all cores)
+  --partitions N       intra-simulation engine partitions per job (default:
+                       the spec's `partitions`, else 1); run tuning only —
+                       results are byte-identical for every value
   --quiet              suppress per-job progress on stderr
   --dry-run            expand and validate the grid, run nothing
   --trace              also record packet lifecycles (inject/grant/hop/
@@ -347,6 +350,10 @@ pub struct CampaignCliConfig {
     pub store: Option<String>,
     /// Worker threads (`None` = all cores).
     pub threads: Option<usize>,
+    /// Intra-simulation engine partitions per job (`--partitions`; `None` =
+    /// the spec's `partitions` field, else 1). Run tuning only — the store
+    /// bytes are identical for every value.
+    pub partitions: Option<usize>,
     /// Suppress per-job progress output.
     pub quiet: bool,
     /// Validate and expand only; run nothing.
@@ -378,6 +385,10 @@ pub enum CampaignCommand {
         /// split the machine's cores across the workers). Only meaningful
         /// with `spawn_local` — the coordinator itself executes nothing.
         threads: Option<usize>,
+        /// Engine partitions per job on each spawned worker
+        /// (`--partitions`). Run tuning only; forwarded to the forked
+        /// worker processes.
+        partitions: Option<usize>,
         /// Lease duration in seconds before a job is re-offered.
         lease_secs: u64,
         /// Static fingerprint-prefix shard count (`None` = default).
@@ -396,6 +407,9 @@ pub enum CampaignCommand {
         addr: String,
         /// Executor threads on this worker (`None` = all cores).
         threads: Option<usize>,
+        /// Intra-simulation engine partitions per job (`None` = 1). Run
+        /// tuning only — result bytes are identical for every value.
+        partitions: Option<usize>,
         /// Consecutive failed reconnect attempts before giving up
         /// (`--reconnect-retries`; `None` = the policy default).
         reconnect_retries: Option<usize>,
@@ -466,6 +480,7 @@ pub fn parse_campaign_args(args: &[String]) -> Result<CampaignCommand, String> {
     let mut positionals: Vec<String> = Vec::new();
     let mut store = None;
     let mut threads = None;
+    let mut partitions = None;
     let mut quiet = false;
     let mut dry_run = false;
     let mut report = false;
@@ -503,6 +518,7 @@ pub fn parse_campaign_args(args: &[String]) -> Result<CampaignCommand, String> {
         match arg.as_str() {
             "--store" => store = Some(value("--store")?),
             "--threads" => threads = Some(positive("--threads", value("--threads")?)?),
+            "--partitions" => partitions = Some(positive("--partitions", value("--partitions")?)?),
             "--quiet" => quiet = true,
             "--dry-run" => dry_run = true,
             "--report" => report = true,
@@ -565,14 +581,15 @@ pub fn parse_campaign_args(args: &[String]) -> Result<CampaignCommand, String> {
             || !positionals.is_empty()
         {
             return Err(
-                "--worker only combines with --threads, --reconnect-retries, --backoff-ms \
-                 and --quiet"
+                "--worker only combines with --threads, --partitions, --reconnect-retries, \
+                 --backoff-ms and --quiet"
                     .to_string(),
             );
         }
         return Ok(CampaignCommand::Worker {
             addr,
             threads,
+            partitions,
             reconnect_retries,
             backoff_ms,
             quiet,
@@ -600,10 +617,10 @@ pub fn parse_campaign_args(args: &[String]) -> Result<CampaignCommand, String> {
                     .to_string(),
             );
         }
-        if threads.is_some() && spawn_local.is_none() {
+        if (threads.is_some() || partitions.is_some()) && spawn_local.is_none() {
             return Err(
-                "--threads belongs to workers; the coordinator executes nothing \
-                 (use it with --worker or --spawn-local)"
+                "--threads/--partitions belong to workers; the coordinator executes nothing \
+                 (use them with --worker or --spawn-local)"
                     .to_string(),
             );
         }
@@ -621,6 +638,7 @@ pub fn parse_campaign_args(args: &[String]) -> Result<CampaignCommand, String> {
             addr,
             spawn_local,
             threads,
+            partitions,
             lease_secs: lease_secs.unwrap_or(60),
             shards,
             chunk,
@@ -635,6 +653,7 @@ pub fn parse_campaign_args(args: &[String]) -> Result<CampaignCommand, String> {
         if report
             || store.is_some()
             || threads.is_some()
+            || partitions.is_some()
             || dry_run
             || quiet
             || timings
@@ -664,7 +683,8 @@ pub fn parse_campaign_args(args: &[String]) -> Result<CampaignCommand, String> {
         return Err("--campaign only applies to --diff".to_string());
     }
     if report {
-        if store.is_some() || threads.is_some() || dry_run || quiet || trace {
+        if store.is_some() || threads.is_some() || partitions.is_some() || dry_run || quiet || trace
+        {
             return Err(
                 "--report only combines with --merge, --csv, --plots, --gnuplot, --timings \
                  and --counters"
@@ -702,7 +722,14 @@ pub fn parse_campaign_args(args: &[String]) -> Result<CampaignCommand, String> {
         return Err("--plots only applies to --report".to_string());
     }
     if let Some(output) = merge {
-        if store.is_some() || threads.is_some() || dry_run || csv.is_some() || quiet || trace {
+        if store.is_some()
+            || threads.is_some()
+            || partitions.is_some()
+            || dry_run
+            || csv.is_some()
+            || quiet
+            || trace
+        {
             return Err("--merge (without --report) only takes input stores".to_string());
         }
         if positionals.is_empty() {
@@ -730,6 +757,7 @@ pub fn parse_campaign_args(args: &[String]) -> Result<CampaignCommand, String> {
             .ok_or_else(|| format!("missing spec file\n{CAMPAIGN_USAGE}"))?,
         store,
         threads,
+        partitions,
         quiet,
         dry_run,
         trace,
@@ -789,6 +817,7 @@ pub fn run_campaign_command(cmd: &CampaignCommand) -> Result<CommandOutput, Stri
             addr,
             spawn_local,
             threads,
+            partitions,
             lease_secs,
             shards,
             chunk,
@@ -800,6 +829,7 @@ pub fn run_campaign_command(cmd: &CampaignCommand) -> Result<CommandOutput, Stri
             addr,
             *spawn_local,
             *threads,
+            *partitions,
             *lease_secs,
             *shards,
             *chunk,
@@ -810,6 +840,7 @@ pub fn run_campaign_command(cmd: &CampaignCommand) -> Result<CommandOutput, Stri
         CampaignCommand::Worker {
             addr,
             threads,
+            partitions,
             reconnect_retries,
             backoff_ms,
             quiet,
@@ -820,6 +851,14 @@ pub fn run_campaign_command(cmd: &CampaignCommand) -> Result<CommandOutput, Stri
                 reconnect_retries.unwrap_or(defaults.retries),
                 backoff_ms.unwrap_or(defaults.initial_backoff.as_millis() as u64),
             );
+            // Partitions and the view cache tune execution only: the result
+            // bytes a worker folds into the coordinator's store are
+            // byte-identical for every setting.
+            let views = surepath_core::ViewCache::new();
+            let tuning = surepath_core::RunTuning {
+                partitions: partitions.unwrap_or(1),
+                views: Some(&views),
+            };
             let outcome = surepath_dist::run_worker(
                 addr,
                 &worker_id,
@@ -829,7 +868,7 @@ pub fn run_campaign_command(cmd: &CampaignCommand) -> Result<CommandOutput, Stri
                     quiet: *quiet,
                     ..surepath_dist::WorkerOptions::default()
                 },
-                surepath_core::run_job,
+                |job| surepath_core::run_job_tuned(job, &tuning),
             )
             .map_err(|e| format!("worker failed: {e}"))?;
             let reconnects = if outcome.reconnects > 0 {
@@ -1054,6 +1093,7 @@ fn run_serve(
     addr: &str,
     spawn_local: Option<usize>,
     worker_threads: Option<usize>,
+    worker_partitions: Option<usize>,
     lease_secs: u64,
     shards: Option<usize>,
     chunk: Option<usize>,
@@ -1067,6 +1107,7 @@ fn run_serve(
         spec_path: spec_path.to_string(),
         store: store.map(str::to_string),
         threads: None,
+        partitions: None,
         quiet,
         dry_run: false,
         trace: false,
@@ -1107,13 +1148,22 @@ fn run_serve(
         // every one of them.
         let threads_each =
             worker_threads.unwrap_or_else(|| (surepath_runner::default_threads() / n).max(1));
+        // Workers inherit the engine partition count from --partitions or
+        // the spec's `partitions` field (run tuning: the folded store is
+        // byte-identical either way).
+        let partitions_each = worker_partitions.or(spec.partitions);
         for _ in 0..n {
-            let child = std::process::Command::new(&exe)
+            let mut command = std::process::Command::new(&exe);
+            command
                 .arg("campaign")
                 .arg("--worker")
                 .arg(local_addr.to_string())
                 .arg("--threads")
-                .arg(threads_each.to_string())
+                .arg(threads_each.to_string());
+            if let Some(partitions) = partitions_each {
+                command.arg("--partitions").arg(partitions.to_string());
+            }
+            let child = command
                 .arg("--quiet")
                 .spawn()
                 .map_err(|e| format!("cannot spawn local worker: {e}"))?;
@@ -1192,6 +1242,12 @@ pub fn run_campaign_cli(cfg: &CampaignCliConfig) -> Result<CommandOutput, String
         )));
     }
     let store_path = cfg.store_path();
+    // --partitions overrides the spec's run-tuning field; either way the
+    // store bytes are independent of the value.
+    let mut spec = spec;
+    if cfg.partitions.is_some() {
+        spec.partitions = cfg.partitions;
+    }
     let outcome = if cfg.trace {
         surepath_core::run_campaign_traced(&spec, &store_path, cfg.threads, cfg.quiet)
     } else {
@@ -1577,6 +1633,7 @@ mod tests {
                 addr: "0.0.0.0:7777".into(),
                 spawn_local: None,
                 threads: None,
+                partitions: None,
                 lease_secs: 60,
                 shards: None,
                 chunk: None,
@@ -1605,6 +1662,7 @@ mod tests {
                 addr: "127.0.0.1:0".into(),
                 spawn_local: Some(3),
                 threads: None,
+                partitions: None,
                 lease_secs: 5,
                 shards: Some(4),
                 chunk: Some(2),
@@ -1617,6 +1675,7 @@ mod tests {
             CampaignCommand::Worker {
                 addr: "host:7777".into(),
                 threads: Some(2),
+                partitions: None,
                 reconnect_retries: None,
                 backoff_ms: None,
                 quiet: false,
@@ -1636,6 +1695,7 @@ mod tests {
             CampaignCommand::Worker {
                 addr: "host:7777".into(),
                 threads: None,
+                partitions: None,
                 reconnect_retries: Some(3),
                 backoff_ms: Some(250),
                 quiet: false,
@@ -1778,6 +1838,7 @@ mod tests {
         let output = run_campaign_command(&CampaignCommand::Worker {
             addr,
             threads: Some(2),
+            partitions: Some(2),
             reconnect_retries: None,
             backoff_ms: None,
             quiet: true,
@@ -1860,6 +1921,7 @@ mod tests {
                 spec_path: spec_path.to_string_lossy().into_owned(),
                 store: Some(store.to_string_lossy().into_owned()),
                 threads: Some(2),
+                partitions: None,
                 quiet: true,
                 dry_run: false,
                 trace: false,
@@ -1905,6 +1967,7 @@ mod tests {
             spec_path: spec_path.to_string_lossy().into_owned(),
             store: None,
             threads: None,
+            partitions: None,
             quiet: true,
             dry_run: true,
             trace: false,
@@ -1956,6 +2019,7 @@ mod tests {
                 spec_path: spec_path.to_string_lossy().into_owned(),
                 store: Some(shard.to_string_lossy().into_owned()),
                 threads: Some(2),
+                partitions: None,
                 quiet: true,
                 dry_run: false,
                 trace: false,
@@ -2031,6 +2095,7 @@ mod tests {
             spec_path: spec_path.to_string_lossy().into_owned(),
             store: Some(store_path.to_string_lossy().into_owned()),
             threads: Some(2),
+            partitions: None,
             quiet: true,
             dry_run: false,
             trace: false,
@@ -2141,6 +2206,7 @@ mod tests {
                 spec_path: spec_path.to_string_lossy().into_owned(),
                 store: Some(store.to_string_lossy().into_owned()),
                 threads: Some(1),
+                partitions: None,
                 quiet: true,
                 dry_run: false,
                 trace,

@@ -21,11 +21,12 @@
 
 use crate::experiment::{Experiment, RootPlacement, TrafficSpec};
 use crate::scenario::FaultScenario;
-use hyperx_routing::MechanismSpec;
+use hyperx_routing::{MechanismSpec, NetworkView};
 use hyperx_sim::{PacketTracer, RngContract, SimConfig};
 use serde::Value;
+use std::collections::HashMap;
 use std::path::Path;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use surepath_runner::{
     job_fingerprint, trace_path, CampaignOutcome, CampaignSpec, JobSpec, TraceLog, TraceRecord,
 };
@@ -33,6 +34,62 @@ use surepath_runner::{
 /// Default batch throughput-sampling window (cycles) when a batch job does
 /// not carry its own, matching the CLI `--batch` default.
 pub const DEFAULT_SAMPLE_WINDOW: u64 = 1_000;
+
+/// A campaign-scoped cache of built network views.
+///
+/// A [`NetworkView`] is the expensive part of simulator construction
+/// (topology build, fault application, distance tables) and is immutable
+/// during a run, while campaign grids typically sweep mechanisms, loads and
+/// seeds over a handful of topology/scenario pairs. Executor threads share
+/// one cache per campaign: the first job of each distinct
+/// (sides, scenario, root) key builds the view, every later job clones the
+/// `Arc`. Views are observations of the job description alone, so sharing
+/// them cannot perturb results.
+#[derive(Default)]
+pub struct ViewCache {
+    views: Mutex<HashMap<String, Arc<NetworkView>>>,
+}
+
+impl ViewCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct views currently cached.
+    pub fn len(&self) -> usize {
+        self.views.lock().map(|v| v.len()).unwrap_or(0)
+    }
+
+    /// Whether the cache holds no views yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The view of `experiment`, built on first use. `key` must capture
+    /// every job field the view depends on (sides, scenario, root) —
+    /// [`view_cache_key`] derives it from a [`JobSpec`].
+    fn get_or_build(&self, key: String, experiment: &Experiment) -> Arc<NetworkView> {
+        if let Some(view) = self.views.lock().ok().and_then(|v| v.get(&key).cloned()) {
+            return view;
+        }
+        // Built outside the lock: view construction dominates small jobs,
+        // and two threads racing the same key just build it twice (both
+        // results are identical; the second insert wins harmlessly).
+        let view = experiment.build_view();
+        if let Ok(mut views) = self.views.lock() {
+            views.insert(key, view.clone());
+        }
+        view
+    }
+}
+
+/// The cache key of a job's network view: exactly the fields
+/// [`Experiment::build_view`] reads. Mechanism, traffic, load and seed do
+/// not shape the view, so jobs differing only in those share one entry.
+fn view_cache_key(job: &JobSpec) -> String {
+    format!("{:?}|{:?}|{:?}", job.sides, job.scenario, job.root)
+}
 
 /// Builds the [`Experiment`] described by a campaign job.
 pub fn job_experiment(job: &JobSpec) -> Result<Experiment, String> {
@@ -107,9 +164,18 @@ pub fn job_experiment(job: &JobSpec) -> Result<Experiment, String> {
 fn run_job_inner(
     job: &JobSpec,
     tracer: Option<PacketTracer>,
+    tuning: &RunTuning<'_>,
 ) -> Result<(Value, Option<PacketTracer>), String> {
-    let experiment = job_experiment(job)?;
-    let mut sim = experiment.build_simulator();
+    let mut experiment = job_experiment(job)?;
+    // Partitions are run tuning, never part of the job: the engine's
+    // byte-identity contract makes the result bytes independent of the
+    // value, so it stays out of fingerprints and stores.
+    experiment.sim.partitions = tuning.partitions.max(1);
+    let view = match tuning.views {
+        Some(cache) => cache.get_or_build(view_cache_key(job), &experiment),
+        None => experiment.build_view(),
+    };
+    let mut sim = experiment.build_simulator_with_view(view);
     sim.set_tracer(tracer);
     let mut value = match job.kind.as_str() {
         "rate" => {
@@ -147,7 +213,25 @@ fn run_job_inner(
 /// in a store — or a bad campaign TOML — is diagnosable from the message
 /// alone.
 pub fn run_job(job: &JobSpec) -> Result<Value, String> {
-    run_job_inner(job, None)
+    run_job_tuned(job, &RunTuning::default())
+}
+
+/// Execution knobs that tune *how* a job runs without changing *what* it
+/// computes: every combination produces byte-identical results, so none of
+/// these enter fingerprints or stores.
+#[derive(Default)]
+pub struct RunTuning<'a> {
+    /// Intra-simulation partition count ([`SimConfig::partitions`]);
+    /// `0` and `1` both mean sequential.
+    pub partitions: usize,
+    /// Shared view cache; `None` builds each job's view from scratch.
+    pub views: Option<&'a ViewCache>,
+}
+
+/// [`run_job`] with explicit execution tuning (partition count, shared view
+/// cache). Results are byte-identical to [`run_job`] for every tuning.
+pub fn run_job_tuned(job: &JobSpec, tuning: &RunTuning<'_>) -> Result<Value, String> {
+    run_job_inner(job, None, tuning)
         .map(|(value, _)| value)
         .map_err(|e| job_error_context(job, e))
 }
@@ -157,7 +241,16 @@ pub fn run_job(job: &JobSpec) -> Result<Value, String> {
 /// [`TraceRecord`]s tagged with the job's fingerprint. The result value is
 /// byte-identical to the untraced one (the zero-perturbation contract).
 pub fn run_job_traced(job: &JobSpec, capacity: usize) -> Result<(Value, Vec<TraceRecord>), String> {
-    let (value, tracer) = run_job_inner(job, Some(PacketTracer::with_capacity(capacity)))
+    run_job_traced_tuned(job, capacity, &RunTuning::default())
+}
+
+/// [`run_job_traced`] with explicit execution tuning.
+pub fn run_job_traced_tuned(
+    job: &JobSpec,
+    capacity: usize,
+    tuning: &RunTuning<'_>,
+) -> Result<(Value, Vec<TraceRecord>), String> {
+    let (value, tracer) = run_job_inner(job, Some(PacketTracer::with_capacity(capacity)), tuning)
         .map_err(|e| job_error_context(job, e))?;
     let fp = job_fingerprint(job);
     let records = tracer
@@ -234,7 +327,17 @@ pub fn run_campaign(
 ) -> std::io::Result<CampaignOutcome> {
     validate_campaign(spec)
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
-    surepath_runner::run_campaign(spec, store_path, threads, quiet, run_job)
+    // One view cache and one partition count for the whole campaign:
+    // `spec.partitions` is run tuning (see `CampaignSpec`), so the store
+    // bytes are identical whatever value it holds.
+    let views = ViewCache::new();
+    let tuning = RunTuning {
+        partitions: spec.partitions.unwrap_or(1),
+        views: Some(&views),
+    };
+    surepath_runner::run_campaign(spec, store_path, threads, quiet, |job| {
+        run_job_tuned(job, &tuning)
+    })
 }
 
 /// [`run_campaign`] with packet tracing: every executed job also streams its
@@ -251,8 +354,13 @@ pub fn run_campaign_traced(
     validate_campaign(spec)
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
     let log = Mutex::new(TraceLog::open(&trace_path(store_path))?);
+    let views = ViewCache::new();
+    let tuning = RunTuning {
+        partitions: spec.partitions.unwrap_or(1),
+        views: Some(&views),
+    };
     surepath_runner::run_campaign(spec, store_path, threads, quiet, |job| {
-        let (value, records) = run_job_traced(job, PacketTracer::DEFAULT_CAPACITY)?;
+        let (value, records) = run_job_traced_tuned(job, PacketTracer::DEFAULT_CAPACITY, &tuning)?;
         // One lock per job, not per event: jobs append their whole batch
         // atomically, so lifecycles are contiguous within the sidecar.
         if let Ok(mut log) = log.lock() {
@@ -433,6 +541,38 @@ mod tests {
         assert!(records.iter().all(|r| r.fp == fp));
         assert_eq!(records[0].event, "inject");
         assert!(records.iter().any(|r| r.event == "deliver"));
+    }
+
+    #[test]
+    fn tuned_runs_are_byte_identical_and_share_views() {
+        // The tuning knobs change how a job runs, never what it computes:
+        // every partition count over a shared view cache must reproduce the
+        // untuned bytes exactly. This is the store-level face of the
+        // engine's partition-invariance contract.
+        let plain = run_job(&tiny_job()).unwrap();
+        let plain_batch = run_job(&tiny_batch_job()).unwrap();
+        let views = ViewCache::new();
+        for partitions in [1, 2, 4] {
+            let tuning = RunTuning {
+                partitions,
+                views: Some(&views),
+            };
+            let tuned = run_job_tuned(&tiny_job(), &tuning).unwrap();
+            assert_eq!(
+                serde_json::to_string(&plain).unwrap(),
+                serde_json::to_string(&tuned).unwrap(),
+                "rate job at {partitions} partitions"
+            );
+            let tuned_batch = run_job_tuned(&tiny_batch_job(), &tuning).unwrap();
+            assert_eq!(
+                serde_json::to_string(&plain_batch).unwrap(),
+                serde_json::to_string(&tuned_batch).unwrap(),
+                "batch job at {partitions} partitions"
+            );
+        }
+        // Both jobs share sides/scenario/root, so one view served all runs.
+        assert_eq!(views.len(), 1);
+        assert!(!views.is_empty());
     }
 
     #[test]

@@ -324,14 +324,43 @@ impl Experiment {
 
     /// Builds the simulator ready to run.
     pub fn build_simulator(&self) -> Simulator {
-        let view = self.build_view();
+        self.build_simulator_with_view(self.build_view())
+    }
+
+    /// Builds the simulator over an already-built network view. The view is
+    /// the expensive part of simulator construction (topology, fault
+    /// application, distance tables), and it is immutable during a run —
+    /// campaigns whose jobs share a topology/scenario pair pass one `Arc`
+    /// here instead of rebuilding the view per job.
+    ///
+    /// `view` must describe the same topology/faults/root this experiment
+    /// would build ([`Experiment::build_view`]); passing a mismatched view is
+    /// a logic error.
+    pub fn build_simulator_with_view(&self, view: Arc<NetworkView>) -> Simulator {
+        let (mechanism, pattern, sim_cfg) = self.simulator_parts(&view);
+        Simulator::new(view, mechanism, pattern, sim_cfg)
+    }
+
+    /// The non-view constructor inputs of a simulator over `view`: the
+    /// routing mechanism, the traffic pattern and the completed simulator
+    /// configuration. Shared by [`Experiment::build_simulator_with_view`]
+    /// and harnesses that feed the exact same inputs to an alternative
+    /// engine build (e.g. the bench's frozen v4-layout baseline).
+    pub fn simulator_parts(
+        &self,
+        view: &Arc<NetworkView>,
+    ) -> (
+        Box<dyn hyperx_routing::RoutingMechanism>,
+        Box<dyn TrafficPattern>,
+        SimConfig,
+    ) {
         let mechanism = self.mechanism.build(view.clone(), self.num_vcs);
         let layout = ServerLayout::new(view.hyperx(), self.concentration);
         let pattern = self.traffic.build(&layout, self.sim.seed);
         let mut sim_cfg = self.sim.clone();
         sim_cfg.servers_per_switch = self.concentration;
         sim_cfg.num_vcs = self.num_vcs;
-        Simulator::new(view, mechanism, pattern, sim_cfg)
+        (mechanism, pattern, sim_cfg)
     }
 
     /// Runs the open-loop experiment at the given offered load.

@@ -33,7 +33,8 @@ pub use ablation::{
     root_placement_study, vc_count_study, AblationPoint,
 };
 pub use campaign::{
-    job_experiment, run_campaign, run_campaign_traced, run_job, run_job_traced, validate_campaign,
+    job_experiment, run_campaign, run_campaign_traced, run_job, run_job_traced,
+    run_job_traced_tuned, run_job_tuned, validate_campaign, RunTuning, ViewCache,
     DEFAULT_SAMPLE_WINDOW,
 };
 pub use experiment::{Experiment, RootPlacement, TrafficSpec};

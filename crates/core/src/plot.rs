@@ -501,7 +501,7 @@ mod tests {
             c.cycles = 100;
             c.delivered_phits = (accepted * 100.0) as u64;
             c.delivered_packets = 1;
-            RateMetrics::from_counters(offered, 16, 1, &c, 0, false)
+            RateMetrics::from_counters(offered, 16, 1, &mut c, 0, false)
         };
         let points = vec![
             SweepPoint {

@@ -94,6 +94,12 @@ pub struct CampaignSpec {
     /// `SUREPATH_DEADLINE_SECS` environment variable overrides this field.
     /// Not a grid dimension — it never enters [`JobSpec`]s or fingerprints.
     pub deadline_secs: Option<u64>,
+    /// Intra-simulation partition count of the engine (`SimConfig::
+    /// partitions`): how many contiguous switch ranges each simulation steps
+    /// in parallel. Run tuning only — results are byte-identical for every
+    /// value, so it never enters [`JobSpec`]s or fingerprints, and stores
+    /// written at different partition counts compare equal byte for byte.
+    pub partitions: Option<usize>,
 }
 
 impl Default for CampaignSpec {
@@ -120,6 +126,7 @@ impl Default for CampaignSpec {
             sample_window: None,
             rng: None,
             deadline_secs: None,
+            partitions: None,
         }
     }
 }
@@ -367,6 +374,9 @@ impl CampaignSpec {
         }
         if self.deadline_secs == Some(0) {
             return Err("`deadline_secs` must be at least 1".to_string());
+        }
+        if self.partitions == Some(0) {
+            return Err("`partitions` must be at least 1".to_string());
         }
         if let Some(rng) = &self.rng {
             if rng != "v1" && rng != "v2" {
@@ -687,6 +697,23 @@ mod tests {
         let err = s.expand().unwrap_err();
         assert!(err.contains("campaign `quick`"), "{err}");
         assert!(err.contains("at least 1"), "{err}");
+    }
+
+    #[test]
+    fn partitions_knob_validates_but_never_reaches_jobs() {
+        let mut s = quick_spec();
+        s.partitions = Some(0);
+        let err = s.validate().unwrap_err();
+        assert!(err.contains("`partitions` must be at least 1"), "{err}");
+
+        // Partitions are run tuning: the expanded jobs (and therefore the
+        // fingerprints and store bytes) are identical for every value.
+        let mut p1 = quick_spec();
+        p1.partitions = Some(1);
+        let mut p4 = quick_spec();
+        p4.partitions = Some(4);
+        assert_eq!(p1.expand().unwrap(), p4.expand().unwrap());
+        assert_eq!(p1.expand().unwrap(), quick_spec().expand().unwrap());
     }
 
     #[test]

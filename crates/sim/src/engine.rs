@@ -1,4 +1,5 @@
-//! The cycle-level simulation engine.
+//! The cycle-level simulation engine (v5: data-oriented storage with
+//! deterministic intra-simulation parallelism).
 //!
 //! The simulator is packet-granular with phit-accurate timing:
 //!
@@ -14,34 +15,63 @@
 //! * credits are modelled by reserving a downstream buffer slot at grant time
 //!   and releasing it when the packet arrives, which is what a credit-based
 //!   VCT implementation guarantees.
+//!
+//! # Layout (v5)
+//!
+//! Engine state is struct-of-arrays instead of the v4 per-switch structs:
+//! packets live in a [`PacketArena`] (parallel field arrays plus a free list,
+//! `u32` indices instead of owned values move through queues), input VC FIFOs
+//! and output staging buffers are flat ring buffers indexed by precomputed
+//! strides (`slot = (switch·num_ports + port)·num_vcs + vc`), per-port
+//! occupancy is a maintained counter instead of a per-request sum over VCs,
+//! and all per-step scratch lives in one reusable [`StepArena`]. The frozen
+//! v4 engine is kept in [`crate::engine_v4`] and the `layout_equivalence`
+//! tests prove the two byte-identical (RNG draw order, metrics bytes,
+//! counters, traces).
+//!
+//! # Parallelism
+//!
+//! With `SimConfig::partitions = P > 1` the engine splits switches into `P`
+//! contiguous ranges and steps the two data-parallel phase parts on a
+//! persistent [`WorkerPool`] with a cycle barrier:
+//!
+//! * **allocation** prefills the per-VC candidate caches in parallel
+//!   (candidate lists are pure functions of `(packet state, switch)`, and
+//!   heads cannot change during allocation), then runs the score + grant
+//!   sweep sequentially — RNG tie-break draws stay in the exact v4 order;
+//! * **transmission** runs fully parallel with per-partition event buffers;
+//!   every transmitted packet arrives at the same future cycle, so appending
+//!   the buffers in ascending partition order reproduces the sequential
+//!   event-wheel order exactly.
+//!
+//! Everything else (event processing, generation/injection, grants) is
+//! sequential, so RNG draw order, metrics bytes, counters and store bytes
+//! are byte-identical for every `P` — enforced by the `partition_invariance`
+//! tests here, the integration suite, and `surepath bench`.
 
 use crate::config::SimConfig;
 use crate::metrics::{BatchMetrics, MeasuredCounters, RateMetrics, ThroughputSample};
 use crate::obs::{Counter, CounterRegistry, PacketTracer, TraceEvent, TraceEventKind};
-use crate::packet::Packet;
+use crate::pool::WorkerPool;
 use crate::rng_contract::{sample_without_replacement, RngContract};
-use crate::server::{GenerationMode, ServerState};
-use crate::switch::{OutputKind, StagedPacket, SwitchState};
+use crate::server::GenerationMode;
+use crate::switch::OutputKind;
 use crate::traffic::{ServerLayout, TrafficPattern};
-use hyperx_routing::{Candidate, NetworkView, RouteScratch, RoutingMechanism};
+use hyperx_routing::{Candidate, NetworkView, PacketState, RouteScratch, RoutingMechanism};
 use rand::distributions::Binomial;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
-/// A timed event travelling between switches or towards a server.
-#[derive(Debug)]
-enum Event {
-    /// A packet finishes crossing a link and lands in an input VC.
-    Arrival {
-        switch: usize,
-        port: usize,
-        vc: usize,
-        packet: Packet,
-    },
+/// A timed event travelling between switches or towards a server. Compact:
+/// packets are arena indices, the input VC is a precomputed flat slot.
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// A packet finishes crossing a link and lands in input VC `slot`.
+    Arrival { slot: u32, packet: u32 },
     /// A packet finishes its ejection link and is consumed by its server.
-    Delivery { packet: Packet },
+    Delivery { packet: u32 },
 }
 
 /// One output request produced by a head packet.
@@ -123,17 +153,197 @@ impl ActiveSet {
     }
 }
 
-/// The cycle-level simulator.
+/// Packet storage as parallel field arrays plus a free list. Queues and
+/// events move `u32` indices; delivered packets return their slot to the
+/// free list, so the arena's high-water mark is the peak in-flight count.
+#[derive(Debug, Default)]
+struct PacketArena {
+    id: Vec<u64>,
+    src_server: Vec<u32>,
+    dst_server: Vec<u32>,
+    dst_switch: Vec<u32>,
+    created_at: Vec<u64>,
+    injected_at: Vec<u64>,
+    state: Vec<PacketState>,
+    escape_hops: Vec<u16>,
+    free: Vec<u32>,
+}
+
+impl PacketArena {
+    #[allow(clippy::too_many_arguments)]
+    fn alloc(
+        &mut self,
+        id: u64,
+        src_server: usize,
+        dst_server: usize,
+        dst_switch: usize,
+        created_at: u64,
+        state: PacketState,
+    ) -> u32 {
+        if let Some(idx) = self.free.pop() {
+            let i = idx as usize;
+            self.id[i] = id;
+            self.src_server[i] = src_server as u32;
+            self.dst_server[i] = dst_server as u32;
+            self.dst_switch[i] = dst_switch as u32;
+            self.created_at[i] = created_at;
+            self.injected_at[i] = 0;
+            self.state[i] = state;
+            self.escape_hops[i] = 0;
+            idx
+        } else {
+            self.id.push(id);
+            self.src_server.push(src_server as u32);
+            self.dst_server.push(dst_server as u32);
+            self.dst_switch.push(dst_switch as u32);
+            self.created_at.push(created_at);
+            self.injected_at.push(0);
+            self.state.push(state);
+            self.escape_hops.push(0);
+            (self.id.len() - 1) as u32
+        }
+    }
+
+    fn release(&mut self, idx: u32) {
+        self.free.push(idx);
+    }
+}
+
+/// All per-step scratch of the sequential phases, folded into one reusable
+/// arena: request lists, sort keys, grant counters, routing scratch and the
+/// v2 sampler's output. No allocations at steady state.
+#[derive(Debug, Default)]
+struct StepArena {
+    /// Requests of the switch being allocated.
+    requests: Vec<Request>,
+    /// `(score, tie-break, request index)` sort keys.
+    keyed: Vec<(u64, u32, usize)>,
+    /// Per-output grants of the switch being allocated.
+    out_grants: Vec<usize>,
+    /// Per-input grants of the switch being allocated.
+    in_grants: Vec<usize>,
+    /// Intermediate route lists of candidate computation.
+    route: RouteScratch,
+    /// Rate contract v2 scratch: this cycle's sampled injectors.
+    sampled: Vec<usize>,
+    /// Partition cut points into an active list (parallel phases).
+    seg: Vec<usize>,
+}
+
+/// Read-only state shared by all partitions of a parallel transmit.
+struct XmitShared<'a> {
+    stg_pkt: &'a [u32],
+    stg_vc: &'a [u16],
+    stg_ready: &'a [u64],
+    out_kind: &'a [OutputKind],
+    cycle: u64,
+    packet_length: u64,
+    cap_out: usize,
+    num_ports: usize,
+    num_vcs: usize,
+}
+
+/// One partition's mutable view of a parallel transmit: disjoint slices of
+/// the per-port/per-switch arrays plus a private event buffer.
+struct XmitTask<'a> {
+    sw_base: usize,
+    port_base: usize,
+    /// This partition's segment of the transmit active list.
+    seg: &'a mut [usize],
+    /// Switches retained in `seg[..kept]` after the sweep.
+    kept: usize,
+    member: &'a mut [bool],
+    stg_head: &'a mut [u16],
+    stg_len: &'a mut [u16],
+    link_busy: &'a mut [u64],
+    staged_count: &'a mut [u32],
+    events: Vec<Ev>,
+    progress: bool,
+}
+
+/// Read-only state shared by all partitions of a parallel candidate prefill.
+struct PrefillShared<'a> {
+    in_q: &'a [u32],
+    in_head: &'a [u16],
+    in_len: &'a [u16],
+    pkt_id: &'a [u64],
+    pkt_dst_switch: &'a [u32],
+    pkt_state: &'a [PacketState],
+    mechanism: &'a dyn RoutingMechanism,
+    cycle: u64,
+    cap_in: usize,
+    num_ports: usize,
+    num_vcs: usize,
+}
+
+/// One partition's mutable view of a parallel candidate prefill: disjoint
+/// slot-range slices of the cache arrays plus a private routing scratch.
+struct PrefillTask<'a> {
+    slot_base: usize,
+    /// This partition's segment of the allocation active list.
+    seg: &'a [usize],
+    cached_for: &'a mut [u64],
+    cache_fresh: &'a mut [u64],
+    cand_cache: &'a mut [Vec<Candidate>],
+    route: RouteScratch,
+}
+
+/// Sentinel for "no packet cached" in `cached_for` (packet ids start at 0).
+const NO_PACKET: u64 = u64::MAX;
+
+/// The cycle-level simulator (see the module docs for the v5 layout).
 pub struct Simulator {
     cfg: SimConfig,
     view: Arc<NetworkView>,
     mechanism: Box<dyn RoutingMechanism>,
     pattern: Box<dyn TrafficPattern>,
     layout: ServerLayout,
-    switches: Vec<SwitchState>,
-    servers: Vec<ServerState>,
+    // --- geometry (cached off cfg/topology; fixed after `new`) ---
+    radix: usize,
+    num_ports: usize,
+    num_vcs: usize,
+    cap_in: usize,
+    cap_out: usize,
+    cap_src: usize,
+    // --- packet storage ---
+    pkt: PacketArena,
+    // --- input VC state, indexed by `slot = (switch·num_ports + port)·num_vcs + vc` ---
+    /// Ring storage: `in_q[slot·cap_in ..][..cap_in]`.
+    in_q: Vec<u32>,
+    in_head: Vec<u16>,
+    in_len: Vec<u16>,
+    /// Granted-but-not-arrived reservations (consumed credits).
+    in_flight: Vec<u16>,
+    /// Candidate-cache key: the head packet id the cache was computed for.
+    cached_for: Vec<u64>,
+    cand_cache: Vec<Vec<Candidate>>,
+    /// Cycle stamp (`cycle + 1`) marking a cache entry computed by this
+    /// cycle's parallel prefill — the sequential sweep counts it as the miss
+    /// the v4 engine would have taken inline.
+    cache_fresh: Vec<u64>,
+    // --- output port state, indexed by `flat = switch·num_ports + port` ---
+    out_kind: Vec<OutputKind>,
+    /// Staging ring storage: `stg_*[flat·cap_out ..][..cap_out]`.
+    stg_pkt: Vec<u32>,
+    stg_vc: Vec<u16>,
+    stg_ready: Vec<u64>,
+    stg_head: Vec<u16>,
+    stg_len: Vec<u16>,
+    link_busy: Vec<u64>,
+    /// Occupancy (buffered + in-flight over all VCs) of the *input* port at
+    /// this flat location — maintained incrementally so the allocation `Q`
+    /// term is O(1) instead of a sum over VCs.
+    port_occ: Vec<u32>,
+    // --- server state ---
+    /// Source-queue ring storage: `srv_q[server·cap_src ..][..cap_src]`.
+    srv_q: Vec<u32>,
+    srv_head: Vec<u16>,
+    srv_len: Vec<u16>,
+    srv_busy: Vec<u64>,
+    srv_quota: Vec<u64>,
+    // --- time, randomness, bookkeeping ---
     /// Event wheel indexed by `cycle % wheel.len()`.
-    wheel: Vec<Vec<Event>>,
+    wheel: Vec<Vec<Ev>>,
     rng: ChaCha8Rng,
     cycle: u64,
     next_packet_id: u64,
@@ -147,7 +357,6 @@ pub struct Simulator {
     last_progress: u64,
     progress_this_cycle: bool,
     stalled: bool,
-    radix: usize,
     /// Delivered phits since the last batch sample (Figure 10 curve).
     window_delivered_phits: u64,
     /// Switches with at least one buffered input packet: the only switches
@@ -171,34 +380,29 @@ pub struct Simulator {
     /// Rate contract v2: per-server cycle stamp marking membership in this
     /// cycle's sampled injector set (`cycle + 1`; never needs clearing).
     sampled_at: Vec<u64>,
-    /// Rate contract v2 scratch: this cycle's sampled injectors.
-    sampled_scratch: Vec<usize>,
     /// Rate contract v2: the counting sampler, rebuilt when the per-trial
     /// probability changes (i.e. when the offered load changes).
     binomial_cache: Option<(f64, Binomial)>,
-    /// Scratch: requests of the switch being allocated.
-    req_scratch: Vec<Request>,
-    /// Scratch: `(score, tie-break, request index)` sort keys.
-    keyed_scratch: Vec<(u64, u32, usize)>,
-    /// Scratch: per-output grants of the switch being allocated.
-    out_grants: Vec<usize>,
-    /// Scratch: per-input grants of the switch being allocated.
-    in_grants: Vec<usize>,
-    /// Scratch: intermediate route lists of candidate computation.
-    route_scratch: RouteScratch,
-    /// Scratch: the head packet's candidate list, copied out of the per-VC
-    /// cache so the borrow on the switch ends before scoring.
-    cand_scratch: Vec<Candidate>,
+    /// All sequential-phase scratch, folded into one arena.
+    step: StepArena,
     /// Fixed-slot observability counters: plain `u64` adds on the hot path,
     /// never fed back into any scheduling decision (zero-perturbation).
     obs: CounterRegistry,
     /// Optional packet-lifecycle tracer. `None` reduces every hook to one
     /// branch; enabling it must not change RNG draws or metrics bytes.
     tracer: Option<PacketTracer>,
-    /// A/B baseline: when true, `step` runs the legacy exhaustive-scan
-    /// scheduler (only settable under cfg(test) or the `full-scan` feature).
-    #[cfg_attr(not(any(test, feature = "full-scan")), allow(dead_code))]
-    full_scan: bool,
+    // --- partitioning ---
+    /// Contiguous switch partitions stepped in parallel (1 = sequential).
+    partitions: usize,
+    /// Partition boundaries: partition `p` owns switches
+    /// `part_bounds[p] .. part_bounds[p + 1]`.
+    part_bounds: Vec<usize>,
+    /// Persistent workers (`partitions - 1`; the caller participates).
+    pool: Option<WorkerPool>,
+    /// Reusable per-partition transmit event buffers.
+    part_events: Vec<Vec<Ev>>,
+    /// Reusable per-partition routing scratch for the candidate prefill.
+    part_routes: Vec<RouteScratch>,
 }
 
 impl Simulator {
@@ -225,41 +429,80 @@ impl Simulator {
         let layout = ServerLayout::new(hx, cfg.servers_per_switch);
         let radix = hx.switch_radix();
         let num_ports = radix + cfg.servers_per_switch;
-        let switches = (0..hx.num_switches())
-            .map(|s| {
-                let mut kinds = Vec::with_capacity(num_ports);
-                for p in 0..radix {
-                    kinds.push(match view.network().neighbor(s, p) {
-                        Some(nb) => OutputKind::Network {
-                            next_switch: nb.switch,
-                            next_input_port: nb.reverse_port,
-                        },
-                        None => OutputKind::Dead,
-                    });
-                }
-                for o in 0..cfg.servers_per_switch {
-                    kinds.push(OutputKind::Ejection {
-                        server: layout.server_at(s, o),
-                    });
-                }
-                SwitchState::new(num_ports, cfg.num_vcs, kinds)
-            })
-            .collect();
-        let servers = (0..layout.num_servers())
-            .map(|_| ServerState::new(u64::MAX))
-            .collect();
-        let wheel_len = (cfg.packet_length + cfg.link_latency + cfg.crossbar_latency + 4) as usize;
-        let counters = MeasuredCounters::new(layout.num_servers());
         let num_switches = hx.num_switches();
         let num_servers = layout.num_servers();
+        let num_vcs = cfg.num_vcs;
+        let (cap_in, cap_out, cap_src) = (
+            cfg.input_buffer_packets,
+            cfg.output_buffer_packets,
+            cfg.source_queue_packets,
+        );
+        assert!(
+            cap_in <= u16::MAX as usize
+                && cap_out <= u16::MAX as usize
+                && cap_src <= u16::MAX as usize,
+            "buffer capacities must fit the ring-index width"
+        );
+        let mut out_kind = Vec::with_capacity(num_switches * num_ports);
+        for s in 0..num_switches {
+            for p in 0..radix {
+                out_kind.push(match view.network().neighbor(s, p) {
+                    Some(nb) => OutputKind::Network {
+                        next_switch: nb.switch,
+                        next_input_port: nb.reverse_port,
+                    },
+                    None => OutputKind::Dead,
+                });
+            }
+            for o in 0..cfg.servers_per_switch {
+                out_kind.push(OutputKind::Ejection {
+                    server: layout.server_at(s, o),
+                });
+            }
+        }
+        let nslots = num_switches * num_ports * num_vcs;
+        let nports = num_switches * num_ports;
+        let wheel_len = (cfg.packet_length + cfg.link_latency + cfg.crossbar_latency + 4) as usize;
+        let counters = MeasuredCounters::new(num_servers);
+        let partitions = cfg.partitions.clamp(1, num_switches);
+        let chunk = num_switches.div_ceil(partitions);
+        let part_bounds: Vec<usize> = (0..=partitions)
+            .map(|p| (p * chunk).min(num_switches))
+            .collect();
         Simulator {
             rng: ChaCha8Rng::seed_from_u64(cfg.seed),
             cfg,
             view,
             mechanism,
             pattern,
-            switches,
-            servers,
+            layout,
+            radix,
+            num_ports,
+            num_vcs,
+            cap_in,
+            cap_out,
+            cap_src,
+            pkt: PacketArena::default(),
+            in_q: vec![0; nslots * cap_in],
+            in_head: vec![0; nslots],
+            in_len: vec![0; nslots],
+            in_flight: vec![0; nslots],
+            cached_for: vec![NO_PACKET; nslots],
+            cand_cache: (0..nslots).map(|_| Vec::new()).collect(),
+            cache_fresh: vec![0; nslots],
+            out_kind,
+            stg_pkt: vec![0; nports * cap_out],
+            stg_vc: vec![0; nports * cap_out],
+            stg_ready: vec![0; nports * cap_out],
+            stg_head: vec![0; nports],
+            stg_len: vec![0; nports],
+            link_busy: vec![0; nports],
+            port_occ: vec![0; nports],
+            srv_q: vec![0; num_servers * cap_src],
+            srv_head: vec![0; num_servers],
+            srv_len: vec![0; num_servers],
+            srv_busy: vec![0; num_servers],
+            srv_quota: vec![u64::MAX; num_servers],
             wheel: (0..wheel_len).map(|_| Vec::new()).collect(),
             cycle: 0,
             next_packet_id: 0,
@@ -272,8 +515,6 @@ impl Simulator {
             last_progress: 0,
             progress_this_cycle: false,
             stalled: false,
-            radix,
-            layout,
             window_delivered_phits: 0,
             alloc_active: ActiveSet::new(num_switches),
             xmit_active: ActiveSet::new(num_switches),
@@ -282,17 +523,15 @@ impl Simulator {
             server_live: ActiveSet::new(num_servers),
             server_live_dirty: true,
             sampled_at: vec![0; num_servers],
-            sampled_scratch: Vec::new(),
             binomial_cache: None,
-            req_scratch: Vec::new(),
-            keyed_scratch: Vec::new(),
-            out_grants: vec![0; num_ports],
-            in_grants: vec![0; num_ports],
-            route_scratch: RouteScratch::default(),
-            cand_scratch: Vec::new(),
+            step: StepArena::default(),
             obs: CounterRegistry::new(),
             tracer: None,
-            full_scan: false,
+            pool: (partitions > 1).then(|| WorkerPool::new(partitions - 1)),
+            partitions,
+            part_bounds,
+            part_events: (0..partitions).map(|_| Vec::new()).collect(),
+            part_routes: (0..partitions).map(|_| RouteScratch::default()).collect(),
         }
     }
 
@@ -326,10 +565,18 @@ impl Simulator {
         self.stalled
     }
 
+    /// The number of switch partitions stepped in parallel (1 = sequential;
+    /// clamped to the switch count).
+    pub fn partitions(&self) -> usize {
+        self.partitions
+    }
+
     /// Sum of packets buffered inside switches (inputs + staging), used by
     /// conservation tests.
     pub fn packets_in_switches(&self) -> usize {
-        self.switches.iter().map(|s| s.buffered_packets()).sum()
+        let inputs: u64 = self.in_len.iter().map(|&l| l as u64).sum();
+        let staged: u64 = self.stg_len.iter().map(|&l| l as u64).sum();
+        (inputs + staged) as usize
     }
 
     /// The engine's observability counters (reset when measurement begins).
@@ -372,7 +619,7 @@ impl Simulator {
             offered_load,
             self.cfg.packet_length,
             self.layout.num_servers(),
-            &self.counters,
+            &mut self.counters,
             self.packets_alive,
             self.stalled,
         )
@@ -385,8 +632,8 @@ impl Simulator {
     pub fn run_batch(&mut self, packets_per_server: u64, sample_window: u64) -> BatchMetrics {
         assert!(packets_per_server > 0 && sample_window > 0);
         self.generation = GenerationMode::Batch { packets_per_server };
-        for server in &mut self.servers {
-            server.remaining_quota = packets_per_server;
+        for quota in &mut self.srv_quota {
+            *quota = packets_per_server;
         }
         self.server_live_dirty = true;
         self.begin_measurement();
@@ -430,7 +677,9 @@ impl Simulator {
             samples,
             average_latency,
             stalled: self.stalled,
-            latency_hist: Some(self.counters.latency_hist.clone()),
+            // Move, don't clone: the histogram is 976 buckets and the run is
+            // over — `begin_measurement` rebuilds the counters anyway.
+            latency_hist: Some(std::mem::take(&mut self.counters.latency_hist)),
         }
     }
 
@@ -441,8 +690,8 @@ impl Simulator {
         self.generation = GenerationMode::Batch {
             packets_per_server: 0,
         };
-        for server in &mut self.servers {
-            server.remaining_quota = 0;
+        for quota in &mut self.srv_quota {
+            *quota = 0;
         }
         self.server_live_dirty = true;
         let deadline = self.cycle + max_cycles;
@@ -461,22 +710,15 @@ impl Simulator {
 
     /// Advances the simulation by one cycle.
     ///
-    /// The scheduler is **active-set based**: allocation only visits switches
+    /// The scheduler is **active-set based** (allocation only visits switches
     /// with buffered input packets, transmission only visits switches with
-    /// staged packets, and generation (batch mode, and rate mode under
-    /// [`RngContract::V2Counting`]) only visits servers with remaining work —
-    /// so a cycle's cost scales with live traffic, not network size. (Rate
-    /// mode under the frozen [`RngContract::V1PerServer`] still scans every
-    /// server: its per-server draw order is the contract.) The observable
-    /// behaviour (RNG draw order, metrics, event timing) is identical to the
-    /// exhaustive scan; see [`Simulator::set_full_scan`] and the A/B
-    /// equivalence tests.
+    /// staged packets, generation only visits live servers) and, with
+    /// `partitions > 1`, steps the candidate prefill and the transmit stage
+    /// in parallel across switch partitions. The observable behaviour (RNG
+    /// draw order, metrics, counters, traces, event timing) is identical to
+    /// the sequential v4 engine for every partition count; see the
+    /// `layout_equivalence` and `partition_invariance` tests.
     pub fn step(&mut self) {
-        #[cfg(any(test, feature = "full-scan"))]
-        if self.full_scan {
-            self.step_full_scan();
-            return;
-        }
         self.progress_this_cycle = false;
         self.process_events();
         self.generate_and_inject();
@@ -485,7 +727,7 @@ impl Simulator {
         self.finish_step();
     }
 
-    /// Measurement, watchdog and cycle bookkeeping shared by both schedulers.
+    /// Measurement, watchdog and cycle bookkeeping.
     fn finish_step(&mut self) {
         if self.measuring {
             self.counters.cycles += 1;
@@ -501,62 +743,53 @@ impl Simulator {
         self.cycle += 1;
     }
 
-    /// Switches `step` to the legacy exhaustive-scan scheduler (the
-    /// pre-active-set engine, kept as a frozen baseline). Only for A/B
-    /// equivalence tests and `surepath bench`; call it before the first
-    /// `step`.
-    #[cfg(any(test, feature = "full-scan"))]
-    pub fn set_full_scan(&mut self, enabled: bool) {
-        self.full_scan = enabled;
+    // --- flat-index helpers -------------------------------------------------
+
+    /// Flat input-VC slot of `(switch, port, vc)`.
+    #[inline]
+    fn slot(&self, switch: usize, port: usize, vc: usize) -> usize {
+        (switch * self.num_ports + port) * self.num_vcs + vc
     }
 
-    /// One cycle of the frozen pre-refactor scheduler: exhaustive scans over
-    /// every switch and port, per-cycle `Vec` allocations included — this is
-    /// the baseline `surepath bench` measures the active-set engine against,
-    /// so it must stay faithful to the original, not get optimised.
-    #[cfg(any(test, feature = "full-scan"))]
-    fn step_full_scan(&mut self) {
-        self.progress_this_cycle = false;
-        self.process_events();
-        let packet_length = self.cfg.packet_length;
-        if let (GenerationMode::Rate { offered_load }, RngContract::V2Counting) =
-            (self.generation, self.cfg.rng_contract)
-        {
-            // Contract v2 under the frozen scheduler: the same counting
-            // draws, but the per-server visit is an exhaustive scan — an
-            // independent implementation the active-set sweep is proven
-            // byte-identical against.
-            self.sample_injectors_v2(offered_load);
-            for server in 0..self.layout.num_servers() {
-                self.rate_v2_server_body(server, packet_length);
-            }
-        } else {
-            for server in 0..self.layout.num_servers() {
-                self.generate_and_inject_server(server, packet_length);
-            }
+    /// Head packet (arena index) of input ring `slot`; caller checks `in_len`.
+    #[inline]
+    fn in_front(&self, slot: usize) -> usize {
+        debug_assert!(self.in_len[slot] > 0);
+        self.in_q[slot * self.cap_in + self.in_head[slot] as usize] as usize
+    }
+
+    #[inline]
+    fn in_push(&mut self, slot: usize, packet: u32) {
+        debug_assert!((self.in_len[slot] as usize) < self.cap_in);
+        let mut pos = self.in_head[slot] as usize + self.in_len[slot] as usize;
+        if pos >= self.cap_in {
+            pos -= self.cap_in;
         }
-        // The frozen scheduler visits every switch in both stages; counting
-        // those visits keeps the active-set occupancy counters comparable
-        // across schedulers.
-        self.obs
-            .add(Counter::AllocSwitchVisits, self.switches.len() as u64);
-        self.obs
-            .add(Counter::XmitSwitchVisits, self.switches.len() as u64);
-        for switch in 0..self.switches.len() {
-            let requests = self.collect_requests_full(switch);
-            self.apply_grants_full(switch, requests);
-        }
-        for switch in 0..self.switches.len() {
-            self.transmit_switch(switch);
-        }
-        self.finish_step();
+        self.in_q[slot * self.cap_in + pos] = packet;
+        self.in_len[slot] += 1;
+    }
+
+    #[inline]
+    fn in_pop(&mut self, slot: usize) -> usize {
+        let packet = self.in_front(slot);
+        let next = self.in_head[slot] as usize + 1;
+        self.in_head[slot] = if next == self.cap_in { 0 } else { next as u16 };
+        self.in_len[slot] -= 1;
+        packet
+    }
+
+    /// Free slots of input ring `slot` under the credit protocol.
+    #[inline]
+    fn in_free(&self, slot: usize) -> usize {
+        self.cap_in
+            .saturating_sub(self.in_len[slot] as usize + self.in_flight[slot] as usize)
     }
 
     fn wheel_slot(&self, cycle: u64) -> usize {
         (cycle % self.wheel.len() as u64) as usize
     }
 
-    fn schedule(&mut self, cycle: u64, event: Event) {
+    fn schedule(&mut self, cycle: u64, event: Ev) {
         debug_assert!(cycle > self.cycle, "events must be scheduled in the future");
         debug_assert!(
             cycle - self.cycle < self.wheel.len() as u64,
@@ -566,67 +799,66 @@ impl Simulator {
         self.wheel[slot].push(event);
     }
 
+    // --- phases -------------------------------------------------------------
+
     fn process_events(&mut self) {
-        let slot = self.wheel_slot(self.cycle);
-        let events = std::mem::take(&mut self.wheel[slot]);
+        let wheel_slot = self.wheel_slot(self.cycle);
+        let events = std::mem::take(&mut self.wheel[wheel_slot]);
         for event in events {
             match event {
-                Event::Arrival {
-                    switch,
-                    port,
-                    vc,
-                    packet,
-                } => {
+                Ev::Arrival { slot, packet } => {
+                    let slot = slot as usize;
+                    let p = packet as usize;
+                    let switch = slot / (self.num_ports * self.num_vcs);
                     if let Some(tracer) = &mut self.tracer {
                         tracer.record(TraceEvent {
                             cycle: self.cycle,
-                            packet: packet.id,
+                            packet: self.pkt.id[p],
                             kind: TraceEventKind::Hop,
                             switch: switch as u64,
-                            hops: packet.state.hops as u64,
-                            escape_hops: packet.escape_hops as u64,
+                            hops: self.pkt.state[p].hops as u64,
+                            escape_hops: self.pkt.escape_hops[p] as u64,
                         });
                     }
-                    let input = &mut self.switches[switch].inputs[port][vc];
-                    debug_assert!(input.inflight > 0, "arrival without a reservation");
-                    input.inflight -= 1;
-                    debug_assert!(
-                        input.queue.len() < self.cfg.input_buffer_packets,
-                        "input VC overflow: the reservation protocol is broken"
-                    );
-                    input.queue.push_back(packet);
+                    debug_assert!(self.in_flight[slot] > 0, "arrival without a reservation");
+                    self.in_flight[slot] -= 1;
+                    // `port_occ` counts buffered + in-flight, so an arrival
+                    // (in-flight → buffered) leaves it unchanged.
+                    self.in_push(slot, packet);
                     self.input_occupancy[switch] += 1;
                     self.alloc_active.insert(switch);
                     self.progress_this_cycle = true;
                 }
-                Event::Delivery { packet } => {
+                Ev::Delivery { packet } => {
+                    let p = packet as usize;
                     self.packets_alive -= 1;
                     self.total_delivered += 1;
                     self.progress_this_cycle = true;
                     if let Some(tracer) = &mut self.tracer {
                         tracer.record(TraceEvent {
                             cycle: self.cycle,
-                            packet: packet.id,
+                            packet: self.pkt.id[p],
                             kind: TraceEventKind::Deliver,
-                            switch: packet.dst_switch as u64,
-                            hops: packet.state.hops as u64,
-                            escape_hops: packet.escape_hops as u64,
+                            switch: self.pkt.dst_switch[p] as u64,
+                            hops: self.pkt.state[p].hops as u64,
+                            escape_hops: self.pkt.escape_hops[p] as u64,
                         });
                     }
                     if self.measuring {
                         self.counters.delivered_packets += 1;
                         self.counters.delivered_phits += self.cfg.packet_length;
-                        let lat = packet.latency_at(self.cycle);
+                        let lat = self.cycle.saturating_sub(self.pkt.created_at[p]);
                         self.counters.latency_sum += lat;
                         self.counters.latency_max = self.counters.latency_max.max(lat);
                         self.counters.latency_hist.record(lat);
-                        self.counters.hop_sum += packet.state.hops as u64;
-                        self.counters.escape_hop_sum += packet.escape_hops as u64;
-                        if packet.escape_hops > 0 {
+                        self.counters.hop_sum += self.pkt.state[p].hops as u64;
+                        self.counters.escape_hop_sum += self.pkt.escape_hops[p] as u64;
+                        if self.pkt.escape_hops[p] > 0 {
                             self.counters.delivered_via_escape += 1;
                         }
                         self.window_delivered_phits += self.cfg.packet_length;
                     }
+                    self.pkt.release(packet);
                 }
             }
         }
@@ -651,7 +883,7 @@ impl Simulator {
                 RngContract::V2Counting => {
                     self.sample_injectors_v2(offered_load);
                     self.sweep_live_servers(packet_length, Self::rate_v2_server_body, |sim, s| {
-                        !sim.servers[s].source_queue.is_empty()
+                        sim.srv_len[s] > 0
                     });
                 }
             },
@@ -666,10 +898,15 @@ impl Simulator {
                 self.sweep_live_servers(
                     packet_length,
                     Self::generate_and_inject_server,
-                    |sim, s| !sim.servers[s].is_drained(),
+                    |sim, s| !sim.server_drained(s),
                 );
             }
         }
+    }
+
+    /// Whether `server` has neither queued packets nor remaining batch quota.
+    fn server_drained(&self, server: usize) -> bool {
+        self.srv_len[server] == 0 && self.srv_quota[server] == 0
     }
 
     /// Rebuilds the live-server set from scratch (after batch quotas are
@@ -679,7 +916,7 @@ impl Simulator {
         self.server_live.list.clear();
         self.server_live.added.clear();
         for s in 0..self.layout.num_servers() {
-            if !self.servers[s].is_drained() {
+            if !self.server_drained(s) {
                 self.server_live.member[s] = true;
                 self.server_live.list.push(s);
             }
@@ -736,10 +973,10 @@ impl Simulator {
             k,
             &mut self.sampled_at,
             self.cycle + 1,
-            &mut self.sampled_scratch,
+            &mut self.step.sampled,
         );
-        for i in 0..self.sampled_scratch.len() {
-            let server = self.sampled_scratch[i];
+        for i in 0..self.step.sampled.len() {
+            let server = self.step.sampled[i];
             self.server_live.insert(server);
         }
     }
@@ -755,13 +992,13 @@ impl Simulator {
     }
 
     /// Generation + injection of one server: the per-server body shared by
-    /// both schedulers, batch mode and rate contract v1.
+    /// batch mode and rate contract v1.
     fn generate_and_inject_server(&mut self, server: usize, packet_length: u64) {
         let wants_packet = match self.generation {
             GenerationMode::Rate { offered_load } => {
                 offered_load > 0.0 && self.rng.gen::<f64>() < offered_load / packet_length as f64
             }
-            GenerationMode::Batch { .. } => self.servers[server].remaining_quota > 0,
+            GenerationMode::Batch { .. } => self.srv_quota[server] > 0,
         };
         if wants_packet {
             self.admit_packet(server);
@@ -776,7 +1013,7 @@ impl Simulator {
     /// Bernoulli success against a full queue: in both contracts this is
     /// what depresses the Jain index at saturation.
     fn admit_packet(&mut self, server: usize) {
-        if self.servers[server].source_queue.len() < self.cfg.source_queue_packets {
+        if (self.srv_len[server] as usize) < self.cap_src {
             let dst = self.pattern.destination(server, &mut self.rng);
             debug_assert!(dst < self.layout.num_servers());
             let src_switch = self.layout.server_switch(server);
@@ -784,14 +1021,10 @@ impl Simulator {
             let state = self
                 .mechanism
                 .init_packet(src_switch, dst_switch, &mut self.rng);
-            let packet = Packet::new(
-                self.next_packet_id,
-                server,
-                dst,
-                dst_switch,
-                self.cycle,
-                state,
-            );
+            let id = self.next_packet_id;
+            let packet = self
+                .pkt
+                .alloc(id, server, dst, dst_switch, self.cycle, state);
             self.next_packet_id += 1;
             self.packets_alive += 1;
             self.total_generated += 1;
@@ -799,19 +1032,24 @@ impl Simulator {
                 self.counters.generated_per_server[server] += 1;
             }
             if let GenerationMode::Batch { .. } = self.generation {
-                self.servers[server].remaining_quota -= 1;
+                self.srv_quota[server] -= 1;
             }
             if let Some(tracer) = &mut self.tracer {
                 tracer.record(TraceEvent {
                     cycle: self.cycle,
-                    packet: packet.id,
+                    packet: id,
                     kind: TraceEventKind::Inject,
                     switch: src_switch as u64,
                     hops: 0,
                     escape_hops: 0,
                 });
             }
-            self.servers[server].source_queue.push_back(packet);
+            let mut pos = self.srv_head[server] as usize + self.srv_len[server] as usize;
+            if pos >= self.cap_src {
+                pos -= self.cap_src;
+            }
+            self.srv_q[server * self.cap_src + pos] = packet;
+            self.srv_len[server] += 1;
         } else if self.measuring {
             self.counters.generation_blocked += 1;
         }
@@ -820,28 +1058,28 @@ impl Simulator {
     /// Injection of `server`'s head packet over its server-to-switch link
     /// (no randomness: every server has a dedicated switch input port).
     fn inject_server(&mut self, server: usize, packet_length: u64) {
-        if self.servers[server].injection_busy_until > self.cycle
-            || self.servers[server].source_queue.is_empty()
-        {
+        if self.srv_busy[server] > self.cycle || self.srv_len[server] == 0 {
             return;
         }
         let sw = self.layout.server_switch(server);
         let in_port = self.radix + self.layout.server_offset(server);
-        let vc = 0usize;
-        if self.switches[sw].inputs[in_port][vc].free_slots(self.cfg.input_buffer_packets) == 0 {
+        let slot = self.slot(sw, in_port, 0);
+        if self.in_free(slot) == 0 {
             return;
         }
-        let mut packet = self.servers[server].source_queue.pop_front().unwrap();
-        packet.injected_at = self.cycle;
-        self.switches[sw].inputs[in_port][vc].inflight += 1;
-        self.servers[server].injection_busy_until = self.cycle + packet_length;
+        let packet = self.srv_q[server * self.cap_src + self.srv_head[server] as usize];
+        let next = self.srv_head[server] as usize + 1;
+        self.srv_head[server] = if next == self.cap_src { 0 } else { next as u16 };
+        self.srv_len[server] -= 1;
+        self.pkt.injected_at[packet as usize] = self.cycle;
+        self.in_flight[slot] += 1;
+        self.port_occ[sw * self.num_ports + in_port] += 1;
+        self.srv_busy[server] = self.cycle + packet_length;
         let arrive = self.cycle + packet_length + self.cfg.link_latency;
         self.schedule(
             arrive,
-            Event::Arrival {
-                switch: sw,
-                port: in_port,
-                vc,
+            Ev::Arrival {
+                slot: slot as u32,
                 packet,
             },
         );
@@ -850,18 +1088,21 @@ impl Simulator {
 
     /// The `Q` term of the paper's allocation rule, in packets: output staging
     /// occupancy plus the consumed credits of every VC of the requested port,
-    /// counting the requested VC twice.
+    /// counting the requested VC twice. The all-VC sum is the maintained
+    /// `port_occ` counter — O(1) instead of a per-request VC loop.
     fn request_q(&self, switch: usize, out_port: usize, out_vc: usize) -> u64 {
-        let out = &self.switches[switch].outputs[out_port];
-        let staging = out.staging.len() as u64;
-        match out.kind {
+        let flat = switch * self.num_ports + out_port;
+        let staging = self.stg_len[flat] as u64;
+        match self.out_kind[flat] {
             OutputKind::Network {
                 next_switch,
                 next_input_port,
             } => {
-                let port = &self.switches[next_switch].inputs[next_input_port];
-                let all: u64 = port.iter().map(|vc| vc.occupancy() as u64).sum();
-                staging + all + port[out_vc].occupancy() as u64
+                let dflat = next_switch * self.num_ports + next_input_port;
+                let dslot = dflat * self.num_vcs + out_vc;
+                staging
+                    + self.port_occ[dflat] as u64
+                    + (self.in_len[dslot] + self.in_flight[dslot]) as u64
             }
             OutputKind::Ejection { .. } => staging * 2,
             OutputKind::Dead => u64::MAX / 2,
@@ -871,20 +1112,26 @@ impl Simulator {
     /// Fills `out` with the requests of `switch`'s head packets, reusing the
     /// per-VC candidate cache (candidate lists are pure functions of the
     /// head packet's routing state, so a blocked head's list is computed
-    /// once, not once per cycle) and the simulator's scratch buffers — no
-    /// allocations at steady state.
+    /// once, not once per cycle). With `partitions > 1` the cache was
+    /// prefilled in parallel; entries stamped `cache_fresh == cycle + 1`
+    /// count as the misses the sequential engine would have taken inline,
+    /// keeping the hit/miss counters byte-identical for every partition
+    /// count.
     fn collect_requests_into(&mut self, switch: usize, out: &mut Vec<Request>) {
-        let num_ports = self.switches[switch].inputs.len();
-        for in_port in 0..num_ports {
-            for in_vc in 0..self.cfg.num_vcs {
-                let Some(head) = self.switches[switch].inputs[in_port][in_vc].queue.front() else {
+        for in_port in 0..self.num_ports {
+            for in_vc in 0..self.num_vcs {
+                let slot = self.slot(switch, in_port, in_vc);
+                if self.in_len[slot] == 0 {
                     continue;
-                };
+                }
+                let head = self.in_front(slot);
                 // Ejection: the packet has reached its destination switch.
-                if head.dst_switch == switch {
-                    let out_port = self.radix + self.layout.server_offset(head.dst_server);
-                    let output = &self.switches[switch].outputs[out_port];
-                    if output.staging_has_room(self.cfg.output_buffer_packets, 0) {
+                if self.pkt.dst_switch[head] as usize == switch {
+                    let out_port = self.radix
+                        + self
+                            .layout
+                            .server_offset(self.pkt.dst_server[head] as usize);
+                    if (self.stg_len[switch * self.num_ports + out_port] as usize) < self.cap_out {
                         out.push(Request {
                             in_port,
                             in_vc,
@@ -896,55 +1143,54 @@ impl Simulator {
                     }
                     continue;
                 }
-                let (head_id, head_state) = (head.id, head.state);
+                let head_id = self.pkt.id[head];
                 // Routing: compute (or reuse) the head's candidate list. The
                 // cache is keyed by packet id and invalidated whenever the
                 // head is popped, and candidate lists are pure functions of
                 // (state, switch), so reuse is observably identical to
                 // recomputation.
-                {
-                    let vc_state = &mut self.switches[switch].inputs[in_port][in_vc];
-                    if vc_state.cached_for != Some(head_id) {
-                        self.obs.incr(Counter::CandCacheMisses);
-                        vc_state.cached_for = Some(head_id);
-                        let cache = &mut vc_state.cached_candidates;
-                        cache.clear();
-                        self.mechanism.candidates_into(
-                            &head_state,
-                            switch,
-                            &mut self.route_scratch,
-                            cache,
-                        );
-                    } else {
-                        self.obs.incr(Counter::CandCacheHits);
-                    }
+                if self.cache_fresh[slot] == self.cycle + 1 {
+                    // Prefilled this cycle: the sequential engine would have
+                    // computed it here, so it counts as a miss.
+                    debug_assert_eq!(self.cached_for[slot], head_id);
+                    self.obs.incr(Counter::CandCacheMisses);
+                } else if self.cached_for[slot] == head_id {
+                    self.obs.incr(Counter::CandCacheHits);
+                } else {
+                    self.obs.incr(Counter::CandCacheMisses);
+                    self.cached_for[slot] = head_id;
+                    let state = self.pkt.state[head];
+                    let cache = &mut self.cand_cache[slot];
+                    cache.clear();
+                    self.mechanism
+                        .candidates_into(&state, switch, &mut self.step.route, cache);
                 }
-                self.cand_scratch.clear();
-                self.cand_scratch.extend_from_slice(
-                    &self.switches[switch].inputs[in_port][in_vc].cached_candidates,
-                );
-                // Single request to the best candidate that satisfies flow control.
+                // Single request to the best candidate that satisfies flow
+                // control. Candidates are `Copy` and scoring only reads
+                // other arrays, so the cache is consumed in place — no
+                // copy-out scratch.
                 let mut best: Option<Request> = None;
-                for cand in &self.cand_scratch {
-                    let output = &self.switches[switch].outputs[cand.port];
+                for ci in 0..self.cand_cache[slot].len() {
+                    let cand = self.cand_cache[slot][ci];
+                    let flat = switch * self.num_ports + cand.port;
                     let OutputKind::Network {
                         next_switch,
                         next_input_port,
-                    } = output.kind
+                    } = self.out_kind[flat]
                     else {
                         continue;
                     };
-                    if !output.staging_has_room(self.cfg.output_buffer_packets, 0) {
+                    if (self.stg_len[flat] as usize) >= self.cap_out {
                         continue;
                     }
                     // Pick the VC of the allowed range with the most free space.
+                    let dbase = (next_switch * self.num_ports + next_input_port) * self.num_vcs;
                     let mut chosen: Option<(usize, usize)> = None; // (free, vc)
                     for vc in cand.vcs.iter() {
-                        if vc >= self.cfg.num_vcs {
+                        if vc >= self.num_vcs {
                             continue;
                         }
-                        let free = self.switches[next_switch].inputs[next_input_port][vc]
-                            .free_slots(self.cfg.input_buffer_packets);
+                        let free = self.in_free(dbase + vc);
                         if free > 0 && chosen.is_none_or(|(best_free, _)| free > best_free) {
                             chosen = Some((free, vc));
                         }
@@ -961,7 +1207,7 @@ impl Simulator {
                             out_port: cand.port,
                             out_vc: vc,
                             score,
-                            candidate: Some(*cand),
+                            candidate: Some(cand),
                         });
                     }
                 }
@@ -974,15 +1220,15 @@ impl Simulator {
 
     /// Applies the allocation rule to `requests`: random tie-break, then
     /// lowest score first, up to `crossbar_speedup` grants per output and
-    /// input port. Reuses the simulator's scratch sort keys and grant
-    /// counters — no allocations at steady state.
+    /// input port. Always sequential — the RNG draws here are the draw-order
+    /// contract — and allocation-free at steady state.
     fn apply_grants(&mut self, switch: usize, requests: &[Request]) {
         if requests.is_empty() {
             return;
         }
         self.obs.add(Counter::AllocRequests, requests.len() as u64);
         // Random tie-break, then lowest score first per output port.
-        let mut keyed = std::mem::take(&mut self.keyed_scratch);
+        let mut keyed = std::mem::take(&mut self.step.keyed);
         keyed.clear();
         {
             let rng = &mut self.rng;
@@ -994,14 +1240,13 @@ impl Simulator {
             );
         }
         keyed.sort_unstable();
-        let num_ports = self.switches[switch].outputs.len();
         let speedup = self.cfg.crossbar_speedup;
-        let mut out_grants = std::mem::take(&mut self.out_grants);
-        let mut in_grants = std::mem::take(&mut self.in_grants);
+        let mut out_grants = std::mem::take(&mut self.step.out_grants);
+        let mut in_grants = std::mem::take(&mut self.step.in_grants);
         out_grants.clear();
-        out_grants.resize(num_ports, 0);
+        out_grants.resize(self.num_ports, 0);
         in_grants.clear();
-        in_grants.resize(num_ports, 0);
+        in_grants.resize(self.num_ports, 0);
         let crossbar_time = self.cfg.crossbar_latency
             + self
                 .cfg
@@ -1009,14 +1254,13 @@ impl Simulator {
                 .div_ceil(self.cfg.crossbar_speedup as u64);
         for &(_, _, idx) in &keyed {
             let req = requests[idx];
+            let flat_out = switch * self.num_ports + req.out_port;
             if out_grants[req.out_port] >= speedup || in_grants[req.in_port] >= speedup {
                 self.obs.incr(Counter::AllocConflicts);
                 self.trace_block(switch, &req);
                 continue;
             }
-            if !self.switches[switch].outputs[req.out_port]
-                .staging_has_room(self.cfg.output_buffer_packets, 0)
-            {
+            if (self.stg_len[flat_out] as usize) >= self.cap_out {
                 self.obs.incr(Counter::AllocConflicts);
                 self.trace_block(switch, &req);
                 continue;
@@ -1025,33 +1269,32 @@ impl Simulator {
             if let OutputKind::Network {
                 next_switch,
                 next_input_port,
-            } = self.switches[switch].outputs[req.out_port].kind
+            } = self.out_kind[flat_out]
             {
-                let free = self.switches[next_switch].inputs[next_input_port][req.out_vc]
-                    .free_slots(self.cfg.input_buffer_packets);
-                if free == 0 {
+                let dflat = next_switch * self.num_ports + next_input_port;
+                let dslot = dflat * self.num_vcs + req.out_vc;
+                if self.in_free(dslot) == 0 {
                     self.obs.incr(Counter::AllocConflicts);
                     self.trace_block(switch, &req);
                     continue;
                 }
-                self.switches[next_switch].inputs[next_input_port][req.out_vc].inflight += 1;
+                self.in_flight[dslot] += 1;
+                self.port_occ[dflat] += 1;
             }
             // Commit: move the packet from the input VC to the output staging buffer.
-            let input = &mut self.switches[switch].inputs[req.in_port][req.in_vc];
-            let mut packet = input
-                .queue
-                .pop_front()
-                .expect("granted request without a head packet");
-            input.invalidate_cache();
+            let slot = self.slot(switch, req.in_port, req.in_vc);
+            let packet = self.in_pop(slot);
+            self.cached_for[slot] = NO_PACKET;
             self.input_occupancy[switch] -= 1;
+            self.port_occ[switch * self.num_ports + req.in_port] -= 1;
             if let Some(cand) = &req.candidate {
-                if let OutputKind::Network { next_switch, .. } =
-                    self.switches[switch].outputs[req.out_port].kind
-                {
+                if let OutputKind::Network { next_switch, .. } = self.out_kind[flat_out] {
+                    let mut state = self.pkt.state[packet];
                     self.mechanism
-                        .note_hop(&mut packet.state, switch, next_switch, cand);
+                        .note_hop(&mut state, switch, next_switch, cand);
+                    self.pkt.state[packet] = state;
                     if cand.enters_escape() {
-                        packet.escape_hops += 1;
+                        self.pkt.escape_hops[packet] += 1;
                         self.obs.incr(Counter::EscapeGrants);
                     }
                 }
@@ -1060,29 +1303,31 @@ impl Simulator {
             if let Some(tracer) = &mut self.tracer {
                 tracer.record(TraceEvent {
                     cycle: self.cycle,
-                    packet: packet.id,
+                    packet: self.pkt.id[packet],
                     kind: TraceEventKind::Grant,
                     switch: switch as u64,
-                    hops: packet.state.hops as u64,
-                    escape_hops: packet.escape_hops as u64,
+                    hops: self.pkt.state[packet].hops as u64,
+                    escape_hops: self.pkt.escape_hops[packet] as u64,
                 });
             }
-            self.switches[switch].outputs[req.out_port]
-                .staging
-                .push_back(StagedPacket {
-                    packet,
-                    dst_vc: req.out_vc,
-                    ready_at: self.cycle + crossbar_time,
-                });
+            let mut pos = self.stg_head[flat_out] as usize + self.stg_len[flat_out] as usize;
+            if pos >= self.cap_out {
+                pos -= self.cap_out;
+            }
+            let g = flat_out * self.cap_out + pos;
+            self.stg_pkt[g] = packet as u32;
+            self.stg_vc[g] = req.out_vc as u16;
+            self.stg_ready[g] = self.cycle + crossbar_time;
+            self.stg_len[flat_out] += 1;
             self.staged_count[switch] += 1;
             self.xmit_active.insert(switch);
             out_grants[req.out_port] += 1;
             in_grants[req.in_port] += 1;
             self.progress_this_cycle = true;
         }
-        self.keyed_scratch = keyed;
-        self.out_grants = out_grants;
-        self.in_grants = in_grants;
+        self.step.keyed = keyed;
+        self.step.out_grants = out_grants;
+        self.step.in_grants = in_grants;
     }
 
     /// Records a `Block` trace event for the head packet behind a denied
@@ -1092,19 +1337,18 @@ impl Simulator {
         if self.tracer.is_none() {
             return;
         }
-        let Some(head) = self.switches[switch].inputs[req.in_port][req.in_vc]
-            .queue
-            .front()
-        else {
+        let slot = self.slot(switch, req.in_port, req.in_vc);
+        if self.in_len[slot] == 0 {
             return;
-        };
+        }
+        let head = self.in_front(slot);
         let event = TraceEvent {
             cycle: self.cycle,
-            packet: head.id,
+            packet: self.pkt.id[head],
             kind: TraceEventKind::Block,
             switch: switch as u64,
-            hops: head.state.hops as u64,
-            escape_hops: head.escape_hops as u64,
+            hops: self.pkt.state[head].hops as u64,
+            escape_hops: self.pkt.escape_hops[head] as u64,
         };
         if let Some(tracer) = &mut self.tracer {
             tracer.record(event);
@@ -1113,21 +1357,28 @@ impl Simulator {
 
     /// Allocation stage: visits only the switches with buffered input
     /// packets, in ascending switch order (the same order the exhaustive
-    /// scan grants in, so the RNG tie-break sequence is identical). Switches
-    /// whose inputs drained are dropped from the active set.
+    /// scan grants in, so the RNG tie-break sequence is identical). With
+    /// `partitions > 1` the pure candidate computation runs in parallel
+    /// first; the score + grant sweep is always sequential. Switches whose
+    /// inputs drained are dropped from the active set.
     fn allocate(&mut self) {
         self.alloc_active.merge_added();
+        self.obs.add(
+            Counter::AllocSwitchVisits,
+            self.alloc_active.list.len() as u64,
+        );
+        if self.partitions > 1 && !self.alloc_active.list.is_empty() {
+            self.prefill_candidates();
+        }
         let mut active = std::mem::take(&mut self.alloc_active.list);
-        self.obs
-            .add(Counter::AllocSwitchVisits, active.len() as u64);
         let mut keep = 0;
         for k in 0..active.len() {
             let switch = active[k];
-            let mut requests = std::mem::take(&mut self.req_scratch);
+            let mut requests = std::mem::take(&mut self.step.requests);
             requests.clear();
             self.collect_requests_into(switch, &mut requests);
             self.apply_grants(switch, &requests);
-            self.req_scratch = requests;
+            self.step.requests = requests;
             if self.input_occupancy[switch] > 0 {
                 active[keep] = switch;
                 keep += 1;
@@ -1139,13 +1390,98 @@ impl Simulator {
         self.alloc_active.list = active;
     }
 
+    /// Computes the candidate lists of every non-ejection head packet, in
+    /// parallel across switch partitions. Sound because heads cannot change
+    /// during allocation (a grant pops only the granting switch's own
+    /// inputs; arrivals happened earlier in `process_events`) and candidate
+    /// lists are pure functions of `(packet state, switch)` — no RNG, no
+    /// counters, no scheduling state is touched.
+    fn prefill_candidates(&mut self) {
+        let slots_per_switch = self.num_ports * self.num_vcs;
+        let mut cuts = std::mem::take(&mut self.step.seg);
+        cuts.clear();
+        for b in 1..=self.partitions {
+            cuts.push(
+                self.alloc_active
+                    .list
+                    .partition_point(|&s| s < self.part_bounds[b]),
+            );
+        }
+        let mut tasks: Vec<Mutex<PrefillTask>> = Vec::with_capacity(self.partitions);
+        {
+            let active = &self.alloc_active.list;
+            let mut cached_rest: &mut [u64] = &mut self.cached_for;
+            let mut fresh_rest: &mut [u64] = &mut self.cache_fresh;
+            let mut cache_rest: &mut [Vec<Candidate>] = &mut self.cand_cache;
+            let mut seg_from = 0;
+            let mut sw_base = 0;
+            for (pi, route) in self.part_routes.iter_mut().enumerate() {
+                let sw_end = self.part_bounds[pi + 1];
+                let n_slots = (sw_end - sw_base) * slots_per_switch;
+                let (cached_for, rest) = cached_rest.split_at_mut(n_slots);
+                cached_rest = rest;
+                let (cache_fresh, rest) = fresh_rest.split_at_mut(n_slots);
+                fresh_rest = rest;
+                let (cand_cache, rest) = cache_rest.split_at_mut(n_slots);
+                cache_rest = rest;
+                tasks.push(Mutex::new(PrefillTask {
+                    slot_base: sw_base * slots_per_switch,
+                    seg: &active[seg_from..cuts[pi]],
+                    cached_for,
+                    cache_fresh,
+                    cand_cache,
+                    route: std::mem::take(route),
+                }));
+                seg_from = cuts[pi];
+                sw_base = sw_end;
+            }
+            let shared = PrefillShared {
+                in_q: &self.in_q,
+                in_head: &self.in_head,
+                in_len: &self.in_len,
+                pkt_id: &self.pkt.id,
+                pkt_dst_switch: &self.pkt.dst_switch,
+                pkt_state: &self.pkt.state,
+                mechanism: self.mechanism.as_ref(),
+                cycle: self.cycle,
+                cap_in: self.cap_in,
+                num_ports: self.num_ports,
+                num_vcs: self.num_vcs,
+            };
+            let body = |t: usize| {
+                let mut task = tasks[t].lock().unwrap();
+                run_prefill_task(&mut task, &shared);
+            };
+            self.pool
+                .as_ref()
+                .expect("partitions > 1 without a pool")
+                .run(self.partitions, &body);
+        }
+        for (pi, cell) in tasks.into_iter().enumerate() {
+            self.part_routes[pi] = cell.into_inner().unwrap().route;
+        }
+        self.step.seg = cuts;
+    }
+
     /// Transmit stage: visits only the switches with staged packets, in
     /// ascending switch order so the event wheel receives arrivals in the
-    /// same order the exhaustive scan would schedule them.
+    /// same order a sequential sweep would schedule them. With
+    /// `partitions > 1` the sweep runs in parallel with per-partition event
+    /// buffers merged in ascending partition order — byte-identical because
+    /// every packet transmitted this cycle arrives at the same future cycle.
     fn transmit(&mut self) {
         self.xmit_active.merge_added();
+        self.obs.add(
+            Counter::XmitSwitchVisits,
+            self.xmit_active.list.len() as u64,
+        );
+        if self.partitions > 1 {
+            if !self.xmit_active.list.is_empty() {
+                self.transmit_parallel();
+            }
+            return;
+        }
         let mut active = std::mem::take(&mut self.xmit_active.list);
-        self.obs.add(Counter::XmitSwitchVisits, active.len() as u64);
         let mut keep = 0;
         for k in 0..active.len() {
             let switch = active[k];
@@ -1162,51 +1498,47 @@ impl Simulator {
     }
 
     /// Puts the ready staged packets of one switch onto their links; the
-    /// per-switch transmit body shared by both schedulers.
+    /// sequential (`partitions == 1`) transmit body.
     fn transmit_switch(&mut self, switch: usize) {
         let packet_length = self.cfg.packet_length;
         let link_latency = self.cfg.link_latency;
-        for port in 0..self.switches[switch].outputs.len() {
-            let out = &self.switches[switch].outputs[port];
-            if out.link_busy_until > self.cycle {
+        for port in 0..self.num_ports {
+            let flat = switch * self.num_ports + port;
+            if self.link_busy[flat] > self.cycle {
                 continue;
             }
-            let Some(head) = out.staging.front() else {
-                continue;
-            };
-            if head.ready_at > self.cycle {
+            if self.stg_len[flat] == 0 {
                 continue;
             }
-            let kind = out.kind;
-            let staged = self.switches[switch].outputs[port]
-                .staging
-                .pop_front()
-                .unwrap();
+            let head = self.stg_head[flat] as usize;
+            let g = flat * self.cap_out + head;
+            if self.stg_ready[g] > self.cycle {
+                continue;
+            }
+            let next = head + 1;
+            self.stg_head[flat] = if next == self.cap_out { 0 } else { next as u16 };
+            self.stg_len[flat] -= 1;
             self.staged_count[switch] -= 1;
-            self.switches[switch].outputs[port].link_busy_until = self.cycle + packet_length;
+            self.link_busy[flat] = self.cycle + packet_length;
+            let packet = self.stg_pkt[g];
             let arrive = self.cycle + packet_length + link_latency;
-            match kind {
+            match self.out_kind[flat] {
                 OutputKind::Network {
                     next_switch,
                     next_input_port,
                 } => {
+                    let dslot = (next_switch * self.num_ports + next_input_port) * self.num_vcs
+                        + self.stg_vc[g] as usize;
                     self.schedule(
                         arrive,
-                        Event::Arrival {
-                            switch: next_switch,
-                            port: next_input_port,
-                            vc: staged.dst_vc,
-                            packet: staged.packet,
+                        Ev::Arrival {
+                            slot: dslot as u32,
+                            packet,
                         },
                     );
                 }
                 OutputKind::Ejection { .. } => {
-                    self.schedule(
-                        arrive,
-                        Event::Delivery {
-                            packet: staged.packet,
-                        },
-                    );
+                    self.schedule(arrive, Ev::Delivery { packet });
                 }
                 OutputKind::Dead => unreachable!("dead ports never receive grants"),
             }
@@ -1214,695 +1546,209 @@ impl Simulator {
         }
     }
 
-    /// The frozen pre-refactor request collection: exhaustive port/VC scan
-    /// with per-cycle allocations and no candidate cache. This is the
-    /// baseline `surepath bench` measures against — keep it faithful to the
-    /// original, do not optimise it.
-    #[cfg(any(test, feature = "full-scan"))]
-    fn collect_requests_full(&self, switch: usize) -> Vec<Request> {
-        let mut requests = Vec::new();
-        let num_ports = self.switches[switch].inputs.len();
-        let mut scratch: Vec<Candidate> = Vec::new();
-        for in_port in 0..num_ports {
-            for in_vc in 0..self.cfg.num_vcs {
-                let Some(head) = self.switches[switch].inputs[in_port][in_vc].queue.front() else {
-                    continue;
-                };
-                if head.dst_switch == switch {
-                    let out_port = self.radix + self.layout.server_offset(head.dst_server);
-                    let out = &self.switches[switch].outputs[out_port];
-                    if out.staging_has_room(self.cfg.output_buffer_packets, 0) {
-                        requests.push(Request {
-                            in_port,
-                            in_vc,
-                            out_port,
-                            out_vc: 0,
-                            score: self.request_q(switch, out_port, 0) * self.cfg.packet_length,
-                            candidate: None,
-                        });
-                    }
-                    continue;
-                }
-                scratch.clear();
-                self.mechanism.candidates(&head.state, switch, &mut scratch);
-                let mut best: Option<Request> = None;
-                for cand in &scratch {
-                    let out = &self.switches[switch].outputs[cand.port];
-                    let OutputKind::Network {
-                        next_switch,
-                        next_input_port,
-                    } = out.kind
-                    else {
-                        continue;
-                    };
-                    if !out.staging_has_room(self.cfg.output_buffer_packets, 0) {
-                        continue;
-                    }
-                    let mut chosen: Option<(usize, usize)> = None; // (free, vc)
-                    for vc in cand.vcs.iter() {
-                        if vc >= self.cfg.num_vcs {
-                            continue;
-                        }
-                        let free = self.switches[next_switch].inputs[next_input_port][vc]
-                            .free_slots(self.cfg.input_buffer_packets);
-                        if free > 0 && chosen.is_none_or(|(best_free, _)| free > best_free) {
-                            chosen = Some((free, vc));
-                        }
-                    }
-                    let Some((_, vc)) = chosen else {
-                        continue;
-                    };
-                    let score = self.request_q(switch, cand.port, vc) * self.cfg.packet_length
-                        + cand.penalty as u64;
-                    if best.as_ref().is_none_or(|b| score < b.score) {
-                        best = Some(Request {
-                            in_port,
-                            in_vc,
-                            out_port: cand.port,
-                            out_vc: vc,
-                            score,
-                            candidate: Some(*cand),
-                        });
-                    }
-                }
-                if let Some(req) = best {
-                    requests.push(req);
-                }
+    /// The parallel transmit sweep: each partition walks its segment of the
+    /// active list against its own slices of the staging/link arrays,
+    /// buffering events privately; buffers are then appended to the event
+    /// wheel in ascending partition order, which — because every packet
+    /// transmitted this cycle arrives at `cycle + packet_length +
+    /// link_latency` — reproduces the sequential push order exactly.
+    fn transmit_parallel(&mut self) {
+        let mut active = std::mem::take(&mut self.xmit_active.list);
+        let num_ports = self.num_ports;
+        let mut cuts = std::mem::take(&mut self.step.seg);
+        cuts.clear();
+        for b in 1..=self.partitions {
+            cuts.push(active.partition_point(|&s| s < self.part_bounds[b]));
+        }
+        let mut tasks: Vec<Mutex<XmitTask>> = Vec::with_capacity(self.partitions);
+        {
+            let mut active_rest: &mut [usize] = &mut active;
+            let mut member_rest: &mut [bool] = &mut self.xmit_active.member;
+            let mut head_rest: &mut [u16] = &mut self.stg_head;
+            let mut len_rest: &mut [u16] = &mut self.stg_len;
+            let mut busy_rest: &mut [u64] = &mut self.link_busy;
+            let mut count_rest: &mut [u32] = &mut self.staged_count;
+            let mut seg_from = 0;
+            let mut sw_base = 0;
+            for (pi, events) in self.part_events.iter_mut().enumerate() {
+                let sw_end = self.part_bounds[pi + 1];
+                let n_sw = sw_end - sw_base;
+                let (seg, rest) = active_rest.split_at_mut(cuts[pi] - seg_from);
+                active_rest = rest;
+                seg_from = cuts[pi];
+                let (member, rest) = member_rest.split_at_mut(n_sw);
+                member_rest = rest;
+                let (stg_head, rest) = head_rest.split_at_mut(n_sw * num_ports);
+                head_rest = rest;
+                let (stg_len, rest) = len_rest.split_at_mut(n_sw * num_ports);
+                len_rest = rest;
+                let (link_busy, rest) = busy_rest.split_at_mut(n_sw * num_ports);
+                busy_rest = rest;
+                let (staged_count, rest) = count_rest.split_at_mut(n_sw);
+                count_rest = rest;
+                tasks.push(Mutex::new(XmitTask {
+                    sw_base,
+                    port_base: sw_base * num_ports,
+                    seg,
+                    kept: 0,
+                    member,
+                    stg_head,
+                    stg_len,
+                    link_busy,
+                    staged_count,
+                    events: std::mem::take(events),
+                    progress: false,
+                }));
+                sw_base = sw_end;
+            }
+            let shared = XmitShared {
+                stg_pkt: &self.stg_pkt,
+                stg_vc: &self.stg_vc,
+                stg_ready: &self.stg_ready,
+                out_kind: &self.out_kind,
+                cycle: self.cycle,
+                packet_length: self.cfg.packet_length,
+                cap_out: self.cap_out,
+                num_ports,
+                num_vcs: self.num_vcs,
+            };
+            let body = |t: usize| {
+                let mut task = tasks[t].lock().unwrap();
+                run_xmit_task(&mut task, &shared);
+            };
+            self.pool
+                .as_ref()
+                .expect("partitions > 1 without a pool")
+                .run(self.partitions, &body);
+        }
+        // Merge in fixed partition order: events first (all share one wheel
+        // slot), then the retained-switch segments back into one sorted list.
+        let mut kept = std::mem::take(&mut self.step.sampled); // reuse as usize scratch
+        kept.clear();
+        for (pi, cell) in tasks.into_iter().enumerate() {
+            let task = cell.into_inner().unwrap();
+            self.progress_this_cycle |= task.progress;
+            kept.push(task.kept);
+            self.part_events[pi] = task.events;
+        }
+        let arrive = self.cycle + self.cfg.packet_length + self.cfg.link_latency;
+        debug_assert!(arrive - self.cycle < self.wheel.len() as u64);
+        let wheel_slot = self.wheel_slot(arrive);
+        for pi in 0..self.partitions {
+            let events = &mut self.part_events[pi];
+            self.wheel[wheel_slot].extend(events.drain(..));
+        }
+        let mut w = 0;
+        for pi in 0..self.partitions {
+            let seg_from = if pi == 0 { 0 } else { cuts[pi - 1] };
+            for i in 0..kept[pi] {
+                active[w] = active[seg_from + i];
+                w += 1;
             }
         }
-        requests
+        active.truncate(w);
+        self.xmit_active.list = active;
+        kept.clear();
+        self.step.sampled = kept;
+        self.step.seg = cuts;
     }
+}
 
-    /// The frozen pre-refactor grant application (allocates its sort keys
-    /// and grant counters per call). The shared occupancy bookkeeping is
-    /// kept up to date so the schedulers can be flipped safely.
-    #[cfg(any(test, feature = "full-scan"))]
-    fn apply_grants_full(&mut self, switch: usize, requests: Vec<Request>) {
-        if requests.is_empty() {
-            return;
+/// The per-partition transmit body (see [`Simulator::transmit_parallel`]).
+/// All indices into `task` slices are offset by the partition's base; reads
+/// of the staging payload arrays use global flat indices.
+fn run_xmit_task(task: &mut XmitTask, shared: &XmitShared) {
+    let mut kept = 0;
+    for k in 0..task.seg.len() {
+        let switch = task.seg[k];
+        for port in 0..shared.num_ports {
+            let flat = switch * shared.num_ports + port;
+            let lf = flat - task.port_base;
+            if task.link_busy[lf] > shared.cycle {
+                continue;
+            }
+            if task.stg_len[lf] == 0 {
+                continue;
+            }
+            let head = task.stg_head[lf] as usize;
+            let g = flat * shared.cap_out + head;
+            if shared.stg_ready[g] > shared.cycle {
+                continue;
+            }
+            let next = head + 1;
+            task.stg_head[lf] = if next == shared.cap_out {
+                0
+            } else {
+                next as u16
+            };
+            task.stg_len[lf] -= 1;
+            task.staged_count[switch - task.sw_base] -= 1;
+            task.link_busy[lf] = shared.cycle + shared.packet_length;
+            let packet = shared.stg_pkt[g];
+            match shared.out_kind[flat] {
+                OutputKind::Network {
+                    next_switch,
+                    next_input_port,
+                } => {
+                    let dslot = (next_switch * shared.num_ports + next_input_port) * shared.num_vcs
+                        + shared.stg_vc[g] as usize;
+                    task.events.push(Ev::Arrival {
+                        slot: dslot as u32,
+                        packet,
+                    });
+                }
+                OutputKind::Ejection { .. } => task.events.push(Ev::Delivery { packet }),
+                OutputKind::Dead => unreachable!("dead ports never receive grants"),
+            }
+            task.progress = true;
         }
-        self.obs.add(Counter::AllocRequests, requests.len() as u64);
-        let mut keyed: Vec<(u64, u32, usize)> = requests
-            .iter()
-            .enumerate()
-            .map(|(i, r)| (r.score, self.rng.gen::<u32>(), i))
-            .collect();
-        keyed.sort_unstable();
-        let num_ports = self.switches[switch].outputs.len();
-        let speedup = self.cfg.crossbar_speedup;
-        let mut out_grants = vec![0usize; num_ports];
-        let mut in_grants = vec![0usize; num_ports];
-        let crossbar_time = self.cfg.crossbar_latency
-            + self
-                .cfg
-                .packet_length
-                .div_ceil(self.cfg.crossbar_speedup as u64);
-        for (_, _, idx) in keyed {
-            let req = requests[idx];
-            if out_grants[req.out_port] >= speedup || in_grants[req.in_port] >= speedup {
-                self.obs.incr(Counter::AllocConflicts);
-                self.trace_block(switch, &req);
-                continue;
-            }
-            if !self.switches[switch].outputs[req.out_port]
-                .staging_has_room(self.cfg.output_buffer_packets, 0)
-            {
-                self.obs.incr(Counter::AllocConflicts);
-                self.trace_block(switch, &req);
-                continue;
-            }
-            if let OutputKind::Network {
-                next_switch,
-                next_input_port,
-            } = self.switches[switch].outputs[req.out_port].kind
-            {
-                let free = self.switches[next_switch].inputs[next_input_port][req.out_vc]
-                    .free_slots(self.cfg.input_buffer_packets);
-                if free == 0 {
-                    self.obs.incr(Counter::AllocConflicts);
-                    self.trace_block(switch, &req);
+        if task.staged_count[switch - task.sw_base] > 0 {
+            task.seg[kept] = switch;
+            kept += 1;
+        } else {
+            task.member[switch - task.sw_base] = false;
+        }
+    }
+    task.kept = kept;
+}
+
+/// The per-partition candidate-prefill body (see
+/// [`Simulator::prefill_candidates`]). Computes only — the hit/miss
+/// accounting happens in the sequential sweep via the `cache_fresh` stamp.
+fn run_prefill_task(task: &mut PrefillTask, shared: &PrefillShared) {
+    for &switch in task.seg {
+        for port in 0..shared.num_ports {
+            for vc in 0..shared.num_vcs {
+                let slot = (switch * shared.num_ports + port) * shared.num_vcs + vc;
+                if shared.in_len[slot] == 0 {
                     continue;
                 }
-                self.switches[next_switch].inputs[next_input_port][req.out_vc].inflight += 1;
-            }
-            let input = &mut self.switches[switch].inputs[req.in_port][req.in_vc];
-            let mut packet = input
-                .queue
-                .pop_front()
-                .expect("granted request without a head packet");
-            input.invalidate_cache();
-            self.input_occupancy[switch] -= 1;
-            if let Some(cand) = &req.candidate {
-                if let OutputKind::Network { next_switch, .. } =
-                    self.switches[switch].outputs[req.out_port].kind
-                {
-                    self.mechanism
-                        .note_hop(&mut packet.state, switch, next_switch, cand);
-                    if cand.enters_escape() {
-                        packet.escape_hops += 1;
-                        self.obs.incr(Counter::EscapeGrants);
-                    }
+                let head =
+                    shared.in_q[slot * shared.cap_in + shared.in_head[slot] as usize] as usize;
+                // Ejection heads never consult the candidate cache.
+                if shared.pkt_dst_switch[head] as usize == switch {
+                    continue;
+                }
+                let id = shared.pkt_id[head];
+                let ls = slot - task.slot_base;
+                if task.cached_for[ls] != id {
+                    task.cached_for[ls] = id;
+                    let cache = &mut task.cand_cache[ls];
+                    cache.clear();
+                    shared.mechanism.candidates_into(
+                        &shared.pkt_state[head],
+                        switch,
+                        &mut task.route,
+                        cache,
+                    );
+                    // Stamp: the sequential sweep counts this as the miss a
+                    // sequential engine would have taken at this head.
+                    task.cache_fresh[ls] = shared.cycle + 1;
                 }
             }
-            self.obs.incr(Counter::AllocGrants);
-            if let Some(tracer) = &mut self.tracer {
-                tracer.record(TraceEvent {
-                    cycle: self.cycle,
-                    packet: packet.id,
-                    kind: TraceEventKind::Grant,
-                    switch: switch as u64,
-                    hops: packet.state.hops as u64,
-                    escape_hops: packet.escape_hops as u64,
-                });
-            }
-            self.switches[switch].outputs[req.out_port]
-                .staging
-                .push_back(StagedPacket {
-                    packet,
-                    dst_vc: req.out_vc,
-                    ready_at: self.cycle + crossbar_time,
-                });
-            self.staged_count[switch] += 1;
-            self.xmit_active.insert(switch);
-            out_grants[req.out_port] += 1;
-            in_grants[req.in_port] += 1;
-            self.progress_this_cycle = true;
         }
     }
 }
 
 #[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::traffic::{RandomServerPermutation, UniformTraffic};
-    use hyperx_routing::MechanismSpec;
-    use hyperx_topology::HyperX;
-
-    fn build_sim(spec: MechanismSpec, load_cfg: SimConfig) -> Simulator {
-        let hx = HyperX::regular(2, 4);
-        let view = Arc::new(NetworkView::healthy(hx, 0));
-        let mech = spec.build(view.clone(), load_cfg.num_vcs);
-        let layout = ServerLayout::new(view.hyperx(), load_cfg.servers_per_switch);
-        let pattern = Box::new(UniformTraffic::new(&layout));
-        Simulator::new(view, mech, pattern, load_cfg)
-    }
-
-    #[test]
-    fn single_packet_end_to_end_latency() {
-        // One packet, empty network: latency = injection serialization + per-hop
-        // (crossbar + link) serialization, so it must be close to the analytic
-        // minimum and the packet must arrive.
-        let mut cfg = SimConfig::quick(2, 4);
-        cfg.warmup_cycles = 0;
-        cfg.measure_cycles = 400;
-        cfg.seed = 7;
-        let hx = HyperX::regular(2, 4);
-        let view = Arc::new(NetworkView::healthy(hx, 0));
-        let mech = MechanismSpec::Minimal.build(view.clone(), 4);
-        let layout = ServerLayout::new(view.hyperx(), 2);
-        // A fixed permutation sending server 0 to the farthest corner and making
-        // everything else local (self loops are fine for this test).
-        let mut mapping: Vec<usize> = (0..layout.num_servers()).collect();
-        let far = layout.num_servers() - 1;
-        mapping.swap(0, far);
-        let pattern = Box::new(RandomServerPermutation::from_mapping(mapping));
-        let mut sim = Simulator::new(view, mech, pattern, cfg);
-        sim.generation = GenerationMode::Batch {
-            packets_per_server: 0,
-        };
-        for s in &mut sim.servers {
-            s.remaining_quota = 0;
-        }
-        sim.servers[0].remaining_quota = 1;
-        sim.begin_measurement();
-        for _ in 0..400 {
-            sim.step();
-            if sim.total_delivered() == 1 {
-                break;
-            }
-        }
-        assert_eq!(sim.total_delivered(), 1, "the lone packet must arrive");
-        // Distance is 2 hops; minimum latency = 3 links × (16+1) + 2 crossbars ≈ 70.
-        let lat = sim.counters.latency_sum;
-        assert!(lat >= 3 * 17, "latency {lat} below the serialization floor");
-        assert!(
-            lat <= 150,
-            "latency {lat} absurdly high for an empty network"
-        );
-    }
-
-    #[test]
-    fn low_load_uniform_delivers_offered_traffic() {
-        let mut cfg = SimConfig::quick(2, 4);
-        cfg.warmup_cycles = 500;
-        cfg.measure_cycles = 3000;
-        let mut sim = build_sim(MechanismSpec::Minimal, cfg);
-        let m = sim.run_rate(0.2);
-        assert!(!m.stalled);
-        assert!(
-            (m.accepted_load - 0.2).abs() < 0.05,
-            "accepted {} should track the offered 0.2",
-            m.accepted_load
-        );
-        assert!(m.average_latency > 30.0 && m.average_latency < 300.0);
-        assert!(m.jain_generated > 0.9);
-    }
-
-    #[test]
-    fn packet_conservation_under_drain() {
-        let mut cfg = SimConfig::quick(2, 4);
-        cfg.warmup_cycles = 0;
-        cfg.measure_cycles = 500;
-        let mut sim = build_sim(MechanismSpec::OmniSP, cfg);
-        sim.run_rate(0.4);
-        let generated = sim.total_generated();
-        assert!(generated > 0);
-        let drained = sim.drain(200_000);
-        assert!(drained, "all packets must eventually be delivered");
-        assert_eq!(sim.total_delivered(), generated);
-        assert_eq!(sim.packets_in_switches(), 0);
-    }
-
-    #[test]
-    fn saturation_does_not_exceed_physical_limit() {
-        let mut cfg = SimConfig::quick(2, 4);
-        cfg.warmup_cycles = 300;
-        cfg.measure_cycles = 1500;
-        let mut sim = build_sim(MechanismSpec::OmniSP, cfg);
-        let m = sim.run_rate(1.0);
-        assert!(m.accepted_load <= 1.0 + 1e-9);
-        assert!(
-            m.accepted_load > 0.3,
-            "a healthy HyperX should accept substantial uniform load"
-        );
-        assert!(!m.stalled);
-    }
-
-    #[test]
-    fn batch_mode_completes_and_reports_samples() {
-        let mut cfg = SimConfig::quick(2, 4);
-        cfg.seed = 3;
-        let hx = HyperX::regular(2, 4);
-        let view = Arc::new(NetworkView::healthy(hx, 0));
-        let mech = MechanismSpec::PolSP.build(view.clone(), 4);
-        let layout = ServerLayout::new(view.hyperx(), 2);
-        let mut rng = ChaCha8Rng::seed_from_u64(5);
-        let pattern = Box::new(RandomServerPermutation::new(&layout, &mut rng));
-        let mut sim = Simulator::new(view, mech, pattern, cfg);
-        let result = sim.run_batch(5, 200);
-        assert!(!result.stalled);
-        assert_eq!(result.delivered_packets, 5 * 32);
-        assert!(result.completion_time > 0);
-        assert!(!result.samples.is_empty());
-        let delivered_via_samples: f64 =
-            result.samples.iter().map(|s| s.accepted_load).sum::<f64>();
-        assert!(delivered_via_samples > 0.0);
-    }
-
-    #[test]
-    fn deterministic_given_a_seed() {
-        let mut cfg = SimConfig::quick(2, 4);
-        cfg.warmup_cycles = 200;
-        cfg.measure_cycles = 800;
-        cfg.seed = 99;
-        let m1 = build_sim(MechanismSpec::Polarized, cfg.clone()).run_rate(0.5);
-        let m2 = build_sim(MechanismSpec::Polarized, cfg).run_rate(0.5);
-        assert_eq!(m1.delivered_packets, m2.delivered_packets);
-        assert_eq!(m1.accepted_load, m2.accepted_load);
-        assert_eq!(m1.average_latency, m2.average_latency);
-    }
-
-    #[test]
-    #[should_panic]
-    fn mechanism_vc_mismatch_rejected() {
-        let cfg = SimConfig::quick(2, 6);
-        let hx = HyperX::regular(2, 4);
-        let view = Arc::new(NetworkView::healthy(hx, 0));
-        let mech = MechanismSpec::Minimal.build(view.clone(), 4);
-        let layout = ServerLayout::new(view.hyperx(), 2);
-        let pattern = Box::new(UniformTraffic::new(&layout));
-        let _ = Simulator::new(view, mech, pattern, cfg);
-    }
-
-    #[test]
-    #[should_panic]
-    fn out_of_range_load_rejected() {
-        let cfg = SimConfig::quick(2, 4);
-        let mut sim = build_sim(MechanismSpec::Minimal, cfg);
-        let _ = sim.run_rate(1.5);
-    }
-
-    /// The determinism contract of the scheduler refactor: the active-set
-    /// engine must be **observably identical** to the legacy exhaustive
-    /// scan — same RNG draw order, same metrics bytes — across mechanisms,
-    /// loads, fault scenarios and seeds. These tests run both schedulers on
-    /// the same configuration and compare the serialized metrics.
-    mod scan_equivalence {
-        use super::*;
-        use crate::traffic::ServerLayout;
-        use hyperx_topology::HyperX;
-
-        fn build(spec: MechanismSpec, cfg: SimConfig, faults: usize, full_scan: bool) -> Simulator {
-            let hx = HyperX::regular(2, 4);
-            let view = if faults == 0 {
-                Arc::new(NetworkView::healthy(hx, 0))
-            } else {
-                let mut fault_rng = ChaCha8Rng::seed_from_u64(11);
-                let fault_set = hyperx_topology::FaultSet::random_connected_sequence(
-                    hx.network(),
-                    faults,
-                    &mut fault_rng,
-                );
-                Arc::new(NetworkView::with_faults(hx, &fault_set, 0))
-            };
-            let mech = spec.build(view.clone(), cfg.num_vcs);
-            let layout = ServerLayout::new(view.hyperx(), cfg.servers_per_switch);
-            let pattern = Box::new(UniformTraffic::new(&layout));
-            let mut sim = Simulator::new(view, mech, pattern, cfg);
-            sim.set_full_scan(full_scan);
-            sim
-        }
-
-        fn rate_metrics_bytes(
-            spec: MechanismSpec,
-            cfg: SimConfig,
-            faults: usize,
-            load: f64,
-            full_scan: bool,
-        ) -> String {
-            let mut sim = build(spec, cfg, faults, full_scan);
-            let metrics = sim.run_rate(load);
-            format!(
-                "{metrics:?}|gen={}|del={}",
-                sim.total_generated(),
-                sim.total_delivered()
-            )
-        }
-
-        #[test]
-        fn rate_mode_identical_across_mechanisms_loads_and_contracts() {
-            for contract in [RngContract::V1PerServer, RngContract::V2Counting] {
-                for spec in [
-                    MechanismSpec::Minimal,
-                    MechanismSpec::Valiant,
-                    MechanismSpec::Polarized,
-                    MechanismSpec::OmniSP,
-                    MechanismSpec::PolSP,
-                ] {
-                    for load in [0.1, 0.5, 0.9] {
-                        let mut cfg = SimConfig::quick(2, 4);
-                        cfg.warmup_cycles = 200;
-                        cfg.measure_cycles = 600;
-                        cfg.seed = 42;
-                        cfg.rng_contract = contract;
-                        let a = rate_metrics_bytes(spec, cfg.clone(), 0, load, false);
-                        let b = rate_metrics_bytes(spec, cfg, 0, load, true);
-                        assert_eq!(a, b, "{spec:?} at load {load} ({contract}) diverged");
-                    }
-                }
-            }
-        }
-
-        #[test]
-        fn rate_mode_identical_under_faults_across_seeds_and_contracts() {
-            for contract in [RngContract::V1PerServer, RngContract::V2Counting] {
-                for spec in [MechanismSpec::OmniSP, MechanismSpec::PolSP] {
-                    for seed in [1u64, 7, 99] {
-                        let mut cfg = SimConfig::quick(2, 4);
-                        cfg.warmup_cycles = 200;
-                        cfg.measure_cycles = 600;
-                        cfg.seed = seed;
-                        cfg.rng_contract = contract;
-                        let a = rate_metrics_bytes(spec, cfg.clone(), 4, 0.6, false);
-                        let b = rate_metrics_bytes(spec, cfg, 4, 0.6, true);
-                        assert_eq!(
-                            a, b,
-                            "{spec:?} seed {seed} ({contract}) diverged under faults"
-                        );
-                    }
-                }
-            }
-        }
-
-        #[test]
-        fn batch_mode_and_drain_identical() {
-            let mut results = Vec::new();
-            for full_scan in [false, true] {
-                let mut cfg = SimConfig::quick(2, 4);
-                cfg.seed = 5;
-                let mut sim = build(MechanismSpec::PolSP, cfg, 2, full_scan);
-                let metrics = sim.run_batch(4, 100);
-                let drained = sim.drain(100_000);
-                results.push(format!(
-                    "{metrics:?}|drained={drained}|in_switches={}",
-                    sim.packets_in_switches()
-                ));
-            }
-            assert_eq!(results[0], results[1]);
-        }
-
-        #[test]
-        fn cycle_by_cycle_state_identical_at_low_load() {
-            // Beyond end-of-run metrics: the per-cycle observable state
-            // (alive, generated, delivered) must match at every cycle,
-            // under both RNG contracts.
-            for contract in [RngContract::V1PerServer, RngContract::V2Counting] {
-                let mut cfg = SimConfig::quick(2, 4);
-                cfg.seed = 13;
-                cfg.rng_contract = contract;
-                let mut active = build(MechanismSpec::OmniSP, cfg.clone(), 3, false);
-                let mut full = build(MechanismSpec::OmniSP, cfg, 3, true);
-                active.generation = GenerationMode::Rate { offered_load: 0.2 };
-                full.generation = GenerationMode::Rate { offered_load: 0.2 };
-                for cycle in 0..2_000 {
-                    active.step();
-                    full.step();
-                    assert_eq!(
-                        (
-                            active.packets_alive(),
-                            active.total_generated(),
-                            active.total_delivered(),
-                            active.packets_in_switches()
-                        ),
-                        (
-                            full.packets_alive(),
-                            full.total_generated(),
-                            full.total_delivered(),
-                            full.packets_in_switches()
-                        ),
-                        "state diverged at cycle {cycle} ({contract})"
-                    );
-                }
-            }
-        }
-    }
-
-    /// The zero-perturbation contract of the observability layer: counters
-    /// and the tracer observe the engine without changing it, so metrics
-    /// bytes, generated/delivered totals and RNG draw order are identical
-    /// with the tracer installed or absent — across mechanisms, loads,
-    /// contracts and both schedulers. A/B tested exactly like the
-    /// `full-scan` scheduler contract above.
-    mod obs_equivalence {
-        use super::*;
-        use crate::obs::{Counter, PacketTracer, TraceEventKind};
-
-        fn rate_bytes(traced: bool, contract: RngContract, load: f64) -> String {
-            let mut cfg = SimConfig::quick(2, 4);
-            cfg.warmup_cycles = 200;
-            cfg.measure_cycles = 600;
-            cfg.seed = 21;
-            cfg.rng_contract = contract;
-            let mut sim = build_sim(MechanismSpec::PolSP, cfg);
-            if traced {
-                sim.set_tracer(Some(PacketTracer::with_capacity(1 << 16)));
-            }
-            let metrics = sim.run_rate(load);
-            format!(
-                "{metrics:?}|gen={}|del={}",
-                sim.total_generated(),
-                sim.total_delivered()
-            )
-        }
-
-        #[test]
-        fn tracing_does_not_perturb_rate_metrics_or_rng() {
-            for contract in [RngContract::V1PerServer, RngContract::V2Counting] {
-                for load in [0.1, 0.6] {
-                    let off = rate_bytes(false, contract, load);
-                    let on = rate_bytes(true, contract, load);
-                    assert_eq!(off, on, "tracer perturbed load {load} ({contract})");
-                }
-            }
-        }
-
-        #[test]
-        fn tracing_does_not_perturb_batch_mode() {
-            let mut results = Vec::new();
-            for traced in [false, true] {
-                let mut cfg = SimConfig::quick(2, 4);
-                cfg.seed = 9;
-                let mut sim = build_sim(MechanismSpec::OmniSP, cfg);
-                if traced {
-                    sim.set_tracer(Some(PacketTracer::with_capacity(1 << 16)));
-                }
-                let metrics = sim.run_batch(4, 100);
-                results.push(format!("{metrics:?}"));
-            }
-            assert_eq!(results[0], results[1]);
-        }
-
-        #[test]
-        fn traced_run_yields_complete_lifecycles() {
-            let mut cfg = SimConfig::quick(2, 4);
-            cfg.warmup_cycles = 0;
-            cfg.measure_cycles = 500;
-            cfg.seed = 2;
-            let mut sim = build_sim(MechanismSpec::OmniSP, cfg);
-            sim.set_tracer(Some(PacketTracer::with_capacity(1 << 16)));
-            let _ = sim.run_rate(0.3);
-            let tracer = sim.take_tracer().expect("tracer was installed");
-            assert_eq!(tracer.dropped(), 0);
-            let events = tracer.events();
-            assert!(!events.is_empty());
-            // A delivered packet's lifecycle reads inject → … → deliver in
-            // nondecreasing cycle order, with at least one grant and hop.
-            let delivered = events
-                .iter()
-                .find(|e| e.kind == TraceEventKind::Deliver)
-                .expect("something was delivered");
-            let life: Vec<_> = events
-                .iter()
-                .filter(|e| e.packet == delivered.packet)
-                .collect();
-            assert_eq!(life.first().unwrap().kind, TraceEventKind::Inject);
-            assert_eq!(life.last().unwrap().kind, TraceEventKind::Deliver);
-            assert!(life.iter().any(|e| e.kind == TraceEventKind::Grant));
-            assert!(life.iter().any(|e| e.kind == TraceEventKind::Hop));
-            assert!(life.windows(2).all(|w| w[0].cycle <= w[1].cycle));
-        }
-
-        #[test]
-        fn counters_populate_and_are_deterministic() {
-            let run = || {
-                let mut cfg = SimConfig::quick(2, 4);
-                cfg.warmup_cycles = 100;
-                cfg.measure_cycles = 600;
-                cfg.seed = 4;
-                cfg.rng_contract = RngContract::V2Counting;
-                let mut sim = build_sim(MechanismSpec::PolSP, cfg);
-                let _ = sim.run_rate(0.5);
-                sim.obs().clone()
-            };
-            let a = run();
-            let b = run();
-            assert_eq!(a, b, "counters must be a pure function of the run");
-            assert!(a.get(Counter::AllocRequests) > 0);
-            assert!(a.get(Counter::AllocGrants) > 0);
-            assert!(a.get(Counter::CandCacheMisses) > 0);
-            assert!(a.get(Counter::AllocSwitchVisits) > 0);
-            assert!(a.get(Counter::BinomialDraws) > 0);
-            assert!(
-                a.get(Counter::AllocRequests)
-                    >= a.get(Counter::AllocGrants) + a.get(Counter::AllocConflicts),
-                "every request is granted, denied, or superseded"
-            );
-        }
-    }
-
-    /// The v1↔v2 contract relationship: the two contracts produce different
-    /// byte streams by design, but the *distributions* must agree — same
-    /// per-cycle injector marginals, so the same accepted load, latency and
-    /// fairness up to sampling noise.
-    mod contract_equivalence {
-        use super::*;
-
-        fn run(contract: RngContract, seed: u64, load: f64) -> RateMetrics {
-            let mut cfg = SimConfig::quick(2, 4);
-            cfg.warmup_cycles = 500;
-            cfg.measure_cycles = 3_000;
-            cfg.seed = seed;
-            cfg.rng_contract = contract;
-            build_sim(MechanismSpec::OmniSP, cfg).run_rate(load)
-        }
-
-        fn seed_mean(contract: RngContract, load: f64, f: impl Fn(&RateMetrics) -> f64) -> f64 {
-            let seeds = [3u64, 17, 2024];
-            seeds
-                .iter()
-                .map(|&s| f(&run(contract, s, load)))
-                .sum::<f64>()
-                / seeds.len() as f64
-        }
-
-        #[test]
-        fn accepted_load_agrees_across_contracts() {
-            for load in [0.1, 0.3, 0.6] {
-                let v1 = seed_mean(RngContract::V1PerServer, load, |m| m.accepted_load);
-                let v2 = seed_mean(RngContract::V2Counting, load, |m| m.accepted_load);
-                assert!(
-                    (v1 - v2).abs() < 0.02,
-                    "accepted load at {load}: v1 {v1} vs v2 {v2}"
-                );
-            }
-        }
-
-        #[test]
-        fn latency_agrees_across_contracts() {
-            for load in [0.1, 0.4] {
-                let v1 = seed_mean(RngContract::V1PerServer, load, |m| m.average_latency);
-                let v2 = seed_mean(RngContract::V2Counting, load, |m| m.average_latency);
-                assert!(
-                    (v1 - v2).abs() < 0.1 * v1.max(v2),
-                    "average latency at {load}: v1 {v1} vs v2 {v2}"
-                );
-            }
-        }
-
-        /// The Jain-at-saturation regression pin: `generation_blocked`
-        /// accounting must behave identically under the counting sampler —
-        /// a sampled server with a full source queue loses the opportunity,
-        /// so the fairness index of *generated* load dips below 1 the same
-        /// way v1's blocked Bernoulli successes make it dip.
-        #[test]
-        fn jain_at_saturation_and_blocked_accounting_agree() {
-            let v1 = seed_mean(RngContract::V1PerServer, 1.0, |m| m.jain_generated);
-            let v2 = seed_mean(RngContract::V2Counting, 1.0, |m| m.jain_generated);
-            assert!(
-                (v1 - v2).abs() < 0.05,
-                "Jain(generated) at saturation: v1 {v1} vs v2 {v2}"
-            );
-            // Both contracts must actually be losing opportunities at
-            // saturation — otherwise the parity above is vacuous.
-            for contract in [RngContract::V1PerServer, RngContract::V2Counting] {
-                let mut cfg = SimConfig::quick(2, 4);
-                cfg.warmup_cycles = 500;
-                cfg.measure_cycles = 3_000;
-                cfg.seed = 3;
-                cfg.rng_contract = contract;
-                let mut sim = build_sim(MechanismSpec::OmniSP, cfg);
-                let _ = sim.run_rate(1.0);
-                assert!(
-                    sim.counters.generation_blocked > 0,
-                    "{contract}: no blocked generation at saturation"
-                );
-            }
-        }
-
-        /// v2 must not simply be v1 in disguise: at the same (config, seed)
-        /// the byte streams differ.
-        #[test]
-        fn contracts_are_distinct_streams() {
-            let v1 = run(RngContract::V1PerServer, 7, 0.5);
-            let v2 = run(RngContract::V2Counting, 7, 0.5);
-            assert_ne!(
-                format!("{v1:?}"),
-                format!("{v2:?}"),
-                "v1 and v2 produced identical metrics bytes — the contract switch is dead"
-            );
-        }
-    }
-
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
-}
+mod tests;

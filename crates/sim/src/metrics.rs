@@ -288,28 +288,39 @@ pub struct RateMetrics {
 
 impl RateMetrics {
     /// Derives the metrics from raw counters.
+    ///
+    /// Takes the counters by `&mut` so the latency histogram (976 buckets)
+    /// moves into the result instead of being cloned — the counters are
+    /// rebuilt by the next measurement window anyway. The Jain index streams
+    /// over `generated_per_server` with the same per-element expression and
+    /// accumulation order as [`jain_index`] over a materialised load vector,
+    /// so the f64 results (and therefore metrics bytes) are unchanged.
     pub fn from_counters(
         offered_load: f64,
         packet_length: u64,
         servers: usize,
-        counters: &MeasuredCounters,
+        counters: &mut MeasuredCounters,
         in_flight_at_end: u64,
         stalled: bool,
     ) -> Self {
         let cycles = counters.cycles.max(1) as f64;
         let servers_f = servers.max(1) as f64;
         let accepted_load = counters.delivered_phits as f64 / (cycles * servers_f);
-        let generated_phits: u64 = counters
-            .generated_per_server
-            .iter()
-            .map(|&p| p * packet_length)
-            .sum();
+        let mut generated_phits = 0u64;
+        let mut load_sum = 0.0f64;
+        let mut load_sq_sum = 0.0f64;
+        for &p in &counters.generated_per_server {
+            generated_phits += p * packet_length;
+            let x = p as f64 * packet_length as f64 / cycles;
+            load_sum += x;
+            load_sq_sum += x * x;
+        }
         let generated_load = generated_phits as f64 / (cycles * servers_f);
-        let per_server_loads: Vec<f64> = counters
-            .generated_per_server
-            .iter()
-            .map(|&p| p as f64 * packet_length as f64 / cycles)
-            .collect();
+        let jain_generated = if counters.generated_per_server.is_empty() || load_sq_sum == 0.0 {
+            1.0
+        } else {
+            (load_sum * load_sum) / (counters.generated_per_server.len() as f64 * load_sq_sum)
+        };
         let average_latency = if counters.delivered_packets > 0 {
             counters.latency_sum as f64 / counters.delivered_packets as f64
         } else {
@@ -331,13 +342,13 @@ impl RateMetrics {
             generated_load,
             average_latency,
             max_latency: (counters.delivered_packets > 0).then_some(counters.latency_max),
-            jain_generated: jain_index(&per_server_loads),
+            jain_generated,
             escape_fraction,
             average_hops,
             delivered_packets: counters.delivered_packets,
             in_flight_at_end,
             stalled,
-            latency_hist: Some(counters.latency_hist.clone()),
+            latency_hist: Some(std::mem::take(&mut counters.latency_hist)),
         }
     }
 }
@@ -409,7 +420,7 @@ mod tests {
         c.latency_max = 90;
         c.generated_per_server = vec![3, 3, 3, 3];
         c.hop_sum = 20;
-        let m = RateMetrics::from_counters(0.5, 16, 4, &c, 2, false);
+        let m = RateMetrics::from_counters(0.5, 16, 4, &mut c, 2, false);
         // 160 phits over 100 cycles and 4 servers = 0.4 phits/cycle/server.
         assert!((m.accepted_load - 0.4).abs() < 1e-12);
         assert!((m.generated_load - 0.48).abs() < 1e-12);
@@ -422,9 +433,27 @@ mod tests {
     }
 
     #[test]
+    fn streamed_jain_matches_jain_index_bytes() {
+        // `from_counters` streams the Jain computation instead of
+        // materialising the per-server load vector; the f64 result must be
+        // bit-identical to `jain_index` over that vector.
+        let mut c = MeasuredCounters::new(5);
+        c.cycles = 97;
+        c.generated_per_server = vec![13, 0, 7, 29, 13];
+        let loads: Vec<f64> = c
+            .generated_per_server
+            .iter()
+            .map(|&p| p as f64 * 16.0 / 97.0)
+            .collect();
+        let expected = jain_index(&loads);
+        let m = RateMetrics::from_counters(0.5, 16, 5, &mut c, 0, false);
+        assert_eq!(m.jain_generated.to_bits(), expected.to_bits());
+    }
+
+    #[test]
     fn rate_metrics_with_no_deliveries() {
-        let c = MeasuredCounters::new(2);
-        let m = RateMetrics::from_counters(0.1, 16, 2, &c, 0, true);
+        let mut c = MeasuredCounters::new(2);
+        let m = RateMetrics::from_counters(0.1, 16, 2, &mut c, 0, true);
         assert_eq!(m.accepted_load, 0.0);
         assert_eq!(m.average_latency, 0.0);
         assert_eq!(m.escape_fraction, 0.0);

@@ -1,0 +1,186 @@
+//! Partition invariance end to end: the engine's determinism contract says
+//! intra-simulation partitioning (`SimConfig::partitions`) changes how a
+//! simulation is stepped, never what it computes. These suites prove it at
+//! the store level — the bytes a campaign writes are identical for every
+//! partition count, locally and through the distributed fold — and at the
+//! metrics level on a large 3-D topology.
+
+use std::net::TcpListener;
+use std::path::PathBuf;
+use surepath::core::{
+    run_campaign, run_job_tuned, CampaignSpec, Experiment, FaultScenario, RunTuning, TopologySpec,
+    TrafficSpec, ViewCache,
+};
+use surepath::dist::{run_worker, serve, ServeOptions, WorkerOptions};
+use surepath::routing::MechanismSpec;
+
+mod common;
+use common::test_threads;
+
+/// A faulted multi-mechanism campaign: every routing mechanism family, a
+/// healthy and a faulted scenario, two seeds — enough surface that a
+/// partition-dependent divergence anywhere in the engine would move bytes.
+fn faulted_spec(name: &str) -> CampaignSpec {
+    CampaignSpec {
+        name: name.to_string(),
+        topologies: vec![TopologySpec {
+            sides: vec![4, 4],
+            concentration: None,
+        }],
+        mechanisms: Some(vec!["minimal".into(), "omnisp".into(), "polsp".into()]),
+        traffics: Some(vec!["uniform".into()]),
+        scenarios: Some(vec!["none".into(), "random:6:5".into()]),
+        loads: Some(vec![0.3]),
+        seeds: Some(vec![1, 2]),
+        vcs: Some(4),
+        warmup: Some(100),
+        measure: Some(250),
+        ..CampaignSpec::default()
+    }
+}
+
+fn temp_store(name: &str) -> PathBuf {
+    common::temp_store("surepath-integration-partitions", name)
+}
+
+fn clean(path: &std::path::Path) {
+    for suffix in ["jsonl", "manifest.jsonl", "timings.jsonl"] {
+        let _ = std::fs::remove_file(path.with_extension(suffix));
+    }
+}
+
+/// Runs `spec` locally at the given partition count and returns the store
+/// bytes.
+fn local_bytes_at(spec: &CampaignSpec, name: &str, partitions: usize) -> Vec<u8> {
+    let mut spec = spec.clone();
+    spec.partitions = Some(partitions);
+    let path = temp_store(name);
+    clean(&path);
+    run_campaign(&spec, &path, Some(test_threads()), true).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    clean(&path);
+    bytes
+}
+
+#[test]
+fn faulted_campaign_stores_are_identical_at_p1_p2_p4() {
+    let spec = faulted_spec("part-local");
+    let p1 = local_bytes_at(&spec, "local-p1", 1);
+    assert!(!p1.is_empty());
+    for partitions in [2usize, 4] {
+        assert_eq!(
+            local_bytes_at(&spec, &format!("local-p{partitions}"), partitions),
+            p1,
+            "a campaign run at {partitions} partitions must write the P=1 bytes"
+        );
+    }
+}
+
+#[test]
+fn distributed_fold_with_partitioned_workers_matches_the_p1_store() {
+    // Two real-simulation TCP workers stepping their simulations at
+    // *different* partition counts (1 and 4): the folded store must still
+    // equal a plain local P=1 run byte for byte. This is the strongest
+    // statement of the contract — partitioning is invisible even when
+    // heterogeneous across a fleet.
+    let spec = faulted_spec("part-dist");
+    let jobs = spec.expand().unwrap();
+    let path = temp_store("dist-fold");
+    clean(&path);
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let handles: Vec<_> = [1usize, 4]
+        .into_iter()
+        .enumerate()
+        .map(|(i, partitions)| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let views = ViewCache::new();
+                let tuning = RunTuning {
+                    partitions,
+                    views: Some(&views),
+                };
+                run_worker(
+                    &addr,
+                    &format!("part-worker-p{partitions}-{i}"),
+                    &WorkerOptions {
+                        threads: Some(2),
+                        ..WorkerOptions::default()
+                    },
+                    |job| run_job_tuned(job, &tuning),
+                )
+            })
+        })
+        .collect();
+    let outcome = serve(
+        listener,
+        &spec.name,
+        &jobs,
+        &path,
+        &ServeOptions {
+            quiet: true,
+            ..ServeOptions::default()
+        },
+    )
+    .unwrap();
+    for handle in handles {
+        handle.join().unwrap().unwrap();
+    }
+    assert!(outcome.is_complete(), "{outcome:?}");
+    let bytes = std::fs::read(&path).unwrap();
+    clean(&path);
+    assert_eq!(
+        bytes,
+        local_bytes_at(&spec, "dist-local", 1),
+        "a fleet mixing partition counts must fold to the local P=1 bytes"
+    );
+}
+
+/// The faulted PolSP experiment on the 16×16×16 HyperX (4096 switches) with
+/// the given windows.
+fn big_3d_experiment(warmup: u64, measure: u64) -> Experiment {
+    let mut e = Experiment::paper_3d(MechanismSpec::PolSP, TrafficSpec::Uniform)
+        .with_scenario(FaultScenario::Random { count: 20, seed: 9 });
+    e.sides = vec![16, 16, 16];
+    e.concentration = 16;
+    e.sim.warmup_cycles = warmup;
+    e.sim.measure_cycles = measure;
+    e.sim.seed = 3;
+    e
+}
+
+/// Sweeps the experiment over partition counts on one shared `Arc`ed
+/// topology view (building the 4096-switch view once, not per run) and
+/// asserts every run's metrics byte-match the first (P=1).
+fn assert_partition_invariant_3d(base: &Experiment, partition_counts: &[usize]) {
+    let view = base.build_view();
+    let run = |partitions: usize| {
+        let mut e = base.clone();
+        e.sim.partitions = partitions;
+        let mut sim = e.build_simulator_with_view(view.clone());
+        serde_json::to_string(&sim.run_rate(0.2)).expect("metrics serialize")
+    };
+    assert_eq!(partition_counts[0], 1, "the first run is the reference");
+    let p1 = run(1);
+    for &partitions in &partition_counts[1..] {
+        assert_eq!(
+            run(partitions),
+            p1,
+            "16x16x16 metrics must be byte-identical at P={partitions}"
+        );
+    }
+}
+
+#[test]
+fn big_3d_smoke_is_partition_invariant() {
+    // Short windows on the full 16×16×16 paper topology: enough cycles for
+    // cross-partition traffic to flow, quick enough for the default suite.
+    // The full-length variant is `#[ignore]`d below.
+    assert_partition_invariant_3d(&big_3d_experiment(30, 80), &[1, 2, 4]);
+}
+
+#[test]
+#[ignore = "full-length 16x16x16 partition sweep; minutes of runtime"]
+fn big_3d_full_run_is_partition_invariant() {
+    assert_partition_invariant_3d(&big_3d_experiment(1_000, 3_000), &[1, 2, 4, 8]);
+}
